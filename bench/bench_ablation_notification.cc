@@ -1,0 +1,102 @@
+// Ablation: what does the update-notification machinery buy over plain
+// periodic reconciliation?
+//
+// The paper runs BOTH: notifications give fast best-effort convergence
+// ("rapid propagation enhances the availability of the new version"),
+// while periodic reconciliation is the reliable backstop. This bench
+// disables one half at a time and measures the *staleness window* — the
+// simulated time between an update at replica 1 and the moment replica 2
+// can serve it from local storage.
+#include <cstdio>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+// Measures staleness under the given daemon periods, with notifications
+// optionally suppressed (partitioning the datagram by writing during a
+// brief partition would also drop RPC access, so instead we clear the
+// receiver's new-version cache to model lost datagrams).
+SimTime MeasureStaleness(SimTime propagation_period, SimTime reconcile_period,
+                         bool notifications) {
+  sim::Cluster cluster;
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  auto volume = cluster.CreateVolume({a, b});
+  auto fs = cluster.MountEverywhere(a, *volume);
+  (void)vfs::WriteFileAt(*fs, "f", "v1");
+  (void)cluster.ReconcileUntilQuiescent();
+
+  SimTime start = cluster.clock().Now();
+  (void)vfs::WriteFileAt(*fs, "f", "v2");
+  repl::PhysicalLayer* b_phys = b->registry().LocalReplica(*volume);
+  if (!notifications) {
+    // Model the datagram being lost (best-effort multicast).
+    (void)b_phys->TakePendingVersions();
+  }
+
+  auto entries = b_phys->ReadDirectory(repl::kRootFileId);
+  repl::FileId file;
+  for (const auto& e : *entries) {
+    if (e.alive && e.name == "f") {
+      file = e.file;
+    }
+  }
+
+  // The update lands at a uniformly random phase of the daemon cycles; we
+  // model the worst-ish case by starting the cycle fresh (full period
+  // until the first tick). Step one simulated second at a time, running
+  // each daemon when its period elapses.
+  for (uint64_t tick = 1; tick <= 3600; ++tick) {
+    cluster.Sleep(1 * kSecond);
+    if (propagation_period != 0 && tick % (propagation_period / kSecond) == 0) {
+      (void)cluster.RunPropagationEverywhere();
+    }
+    if (reconcile_period != 0 && tick % (reconcile_period / kSecond) == 0) {
+      (void)b->RunReconciliation();
+    }
+    auto data = b_phys->ReadAllData(file);
+    if (data.ok() && data->size() == 2 && (*data)[1] == '2') {
+      return cluster.clock().Now() - start;
+    }
+  }
+  return 3600 * kSecond;  // did not converge within an hour
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — staleness window: notifications vs reconciliation-only\n");
+  std::printf("(simulated seconds from update at replica 1 until replica 2 holds it)\n\n");
+  std::printf("%24s %24s %18s\n", "propagation period", "reconcile period",
+              "staleness (s)");
+  struct Row {
+    SimTime prop;
+    SimTime recon;
+    bool notify;
+    const char* label;
+  };
+  const Row rows[] = {
+      {5 * kSecond, 300 * kSecond, true, "5s + notify"},
+      {30 * kSecond, 300 * kSecond, true, "30s + notify"},
+      {0, 60 * kSecond, false, "reconcile-only 60s"},
+      {0, 300 * kSecond, false, "reconcile-only 300s"},
+      {0, 900 * kSecond, false, "reconcile-only 900s"},
+  };
+  for (const Row& row : rows) {
+    SimTime staleness = MeasureStaleness(row.prop, row.recon, row.notify);
+    std::printf("%24s %24s %18.0f\n",
+                row.prop == 0 ? "off" : (std::to_string(row.prop / kSecond) + "s").c_str(),
+                (std::to_string(row.recon / kSecond) + "s").c_str(),
+                static_cast<double>(staleness) / kSecond);
+  }
+  std::printf("\nShape check vs paper: with notifications the staleness window is the\n"
+              "propagation-daemon period (seconds); without them it degenerates to\n"
+              "the full reconciliation period (minutes) — why Ficus runs both the\n"
+              "cheap best-effort fast path and the reliable periodic protocol\n"
+              "(sections 3.2-3.3).\n");
+  return 0;
+}

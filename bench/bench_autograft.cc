@@ -1,0 +1,105 @@
+// Experiment G1 (paper section 4.4): autografting. First traversal of a
+// graft point locates and grafts the volume (RPC cost); subsequent
+// traversals hit the graft table; idle grafts are quietly pruned and
+// re-grafted on demand.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+#include "src/vol/graft.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment G1 — autograft cost: first walk vs grafted walk\n\n");
+  std::printf("%10s %16s %16s %14s %14s\n", "volumes", "miss walk (ms)", "hit walk (ms)",
+              "RPCs (miss)", "RPCs (hit)");
+
+  for (int volumes : {1, 4, 16, 64}) {
+    sim::Cluster cluster;
+    sim::FicusHost* client = cluster.AddHost("client");
+    sim::FicusHost* server = cluster.AddHost("server", sim::HostConfig{
+                                                           .disk_blocks = 1 << 16,
+                                                           .inode_count = 1 << 14,
+                                                       });
+    auto root_volume = cluster.CreateVolume({client, server});
+    auto logical = cluster.MountEverywhere(client, *root_volume);
+
+    // One graft point per sub volume, each stored only on the server.
+    repl::PhysicalLayer* phys = client->registry().LocalReplica(*root_volume);
+    std::vector<repl::VolumeId> subs;
+    for (int v = 0; v < volumes; ++v) {
+      auto sub = cluster.CreateVolume({server});
+      subs.push_back(*sub);
+      vol::GraftPointInfo info;
+      info.volume = *sub;
+      info.replicas = {{1, server->id()}};
+      (void)vol::WriteGraftPoint(phys, repl::kRootFileId, "mnt" + std::to_string(v), info);
+      auto sub_logical = cluster.MountEverywhere(server, *sub);
+      (void)vfs::WriteFileAt(*sub_logical, "data", "payload");
+    }
+    (void)cluster.ReconcileUntilQuiescent(4);
+
+    // Miss pass: every graft point resolved for the first time.
+    cluster.network().ResetStats();
+    auto start = std::chrono::steady_clock::now();
+    for (int v = 0; v < volumes; ++v) {
+      (void)vfs::ReadFileAt(*logical, "mnt" + std::to_string(v) + "/data");
+    }
+    double miss_ms = MillisSince(start);
+    uint64_t miss_rpcs = cluster.network().stats().rpcs_sent;
+
+    // Hit pass: grafts already in the table.
+    cluster.network().ResetStats();
+    start = std::chrono::steady_clock::now();
+    for (int v = 0; v < volumes; ++v) {
+      (void)vfs::ReadFileAt(*logical, "mnt" + std::to_string(v) + "/data");
+    }
+    double hit_ms = MillisSince(start);
+    uint64_t hit_rpcs = cluster.network().stats().rpcs_sent;
+
+    std::printf("%10d %16.2f %16.2f %14llu %14llu\n", volumes, miss_ms, hit_ms,
+                static_cast<unsigned long long>(miss_rpcs),
+                static_cast<unsigned long long>(hit_rpcs));
+  }
+
+  // Prune / re-graft cycle.
+  std::printf("\nGraft pruning: idle grafts dropped, transparently re-grafted on use\n");
+  sim::Cluster cluster;
+  sim::FicusHost* client = cluster.AddHost("client");
+  sim::FicusHost* server = cluster.AddHost("server");
+  auto root_volume = cluster.CreateVolume({client, server});
+  auto logical = cluster.MountEverywhere(client, *root_volume);
+  auto sub = cluster.CreateVolume({server});
+  vol::GraftPointInfo info;
+  info.volume = *sub;
+  info.replicas = {{1, server->id()}};
+  (void)vol::WriteGraftPoint(client->registry().LocalReplica(*root_volume),
+                             repl::kRootFileId, "mnt", info);
+  auto sub_logical = cluster.MountEverywhere(server, *sub);
+  (void)vfs::WriteFileAt(*sub_logical, "data", "x");
+  (void)cluster.ReconcileUntilQuiescent(4);
+
+  (void)vfs::ReadFileAt(*logical, "mnt/data");
+  size_t grafted = client->grafts().size();
+  cluster.Sleep(600 * kSecond);
+  int pruned = client->PruneGrafts(300 * kSecond);
+  bool regrafts = vfs::ReadFileAt(*logical, "mnt/data").ok();
+  std::printf("  grafts after first use: %zu, pruned after idle: %d, re-walk ok: %s\n",
+              grafted, pruned, regrafts ? "yes" : "NO");
+  std::printf("\nShape check vs paper: graft-table hits cost no location RPCs; the\n"
+              "miss path pays one-time discovery per volume; pruning is invisible\n"
+              "to clients (section 4.4).\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment C1 (paper abstract / section 3.3): "Conflicting updates to
+// directories are detected and automatically repaired; conflicting updates
+// to ordinary files are detected and reported to the owner. ... the
+// relative rarity of conflicting updates make this optimistic scheme
+// attractive."
+//
+// Drives partition/update/heal cycles with a tunable probability that two
+// sides touch the same object, and reports how many conflicts arose, how
+// many were auto-repaired (directories) vs owner-reported (files), and
+// that zero updates were lost.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+struct Outcome {
+  int updates = 0;
+  int cycles = 0;
+  size_t file_conflicts = 0;
+  size_t dir_repairs = 0;
+  size_t name_collisions = 0;
+  int lost_updates = 0;
+};
+
+Outcome RunScenario(double same_object_prob, int cycles, uint64_t seed) {
+  Rng rng(seed);
+  sim::Cluster cluster;
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  auto volume = cluster.CreateVolume({a, b});
+  auto la = cluster.MountEverywhere(a, *volume);
+  auto lb = cluster.MountEverywhere(b, *volume);
+  (void)vfs::MkdirAll(*la, "shared");
+  (void)vfs::WriteFileAt(*la, "shared/doc", "base");
+  (void)cluster.ReconcileUntilQuiescent(4);
+
+  Outcome outcome;
+  outcome.cycles = cycles;
+  std::set<std::string> expected;  // files that must exist at the end
+  expected.insert("shared/doc");
+  int unique = 0;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    cluster.Partition({{a}, {b}});
+    for (repl::LogicalLayer* logical : {la.value(), lb.value()}) {
+      ++outcome.updates;
+      if (rng.NextBool(same_object_prob)) {
+        // Both sides may hit the same file -> file conflict material.
+        (void)vfs::WriteFileAt(logical, "shared/doc",
+                               "edit " + std::to_string(cycle) + " by " +
+                                   (logical == la.value() ? "a" : "b"));
+      } else {
+        std::string path = "shared/u" + std::to_string(unique++);
+        (void)vfs::WriteFileAt(logical, path, "independent");
+        expected.insert(path);
+      }
+    }
+    cluster.Heal();
+    (void)cluster.ReconcileUntilQuiescent(8);
+    // Owner resolves any conflict so the next cycle starts clean.
+    auto contents = vfs::ReadFileAt(*la, "shared/doc");
+    if (!contents.ok() && contents.status().code() == ErrorCode::kConflict) {
+      repl::PhysicalLayer* phys = a->registry().LocalReplica(*volume);
+      auto entries = phys->ReadDirectory(repl::kRootFileId);
+      // find shared dir, then doc's file id
+      for (const auto& e : *entries) {
+        if (e.alive && e.name == "shared") {
+          auto inner = phys->ReadDirectory(e.file);
+          for (const auto& ie : *inner) {
+            if (ie.alive && ie.name == "doc") {
+              (void)(*la)->ResolveFileConflict(ie.file, {'m', 'e', 'r', 'g', 'e', 'd'});
+            }
+          }
+        }
+      }
+      (void)cluster.ReconcileUntilQuiescent(8);
+    }
+  }
+
+  for (const std::string& path : expected) {
+    if (!vfs::Exists(*la, path) || !vfs::Exists(*lb, path)) {
+      ++outcome.lost_updates;
+    }
+  }
+  outcome.file_conflicts = a->conflict_log().CountOf(repl::ConflictKind::kFileUpdate) +
+                           b->conflict_log().CountOf(repl::ConflictKind::kFileUpdate);
+  outcome.dir_repairs = a->conflict_log().CountOf(repl::ConflictKind::kDirectoryRepair) +
+                        b->conflict_log().CountOf(repl::ConflictKind::kDirectoryRepair);
+  outcome.name_collisions = a->conflict_log().CountOf(repl::ConflictKind::kNameCollision) +
+                            b->conflict_log().CountOf(repl::ConflictKind::kNameCollision);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment C1 — conflict detection & repair across partition cycles\n");
+  std::printf("(two replicas, both sides update during every partition, 12 cycles)\n\n");
+  std::printf("%12s %9s | %14s %12s %12s %8s\n", "same-object", "updates", "file conflicts",
+              "dir repairs", "name colls", "lost");
+  for (double p : {0.0, 0.25, 0.5, 1.0}) {
+    Outcome outcome = RunScenario(p, 12, 7);
+    std::printf("%11.0f%% %9d | %14zu %12zu %12zu %8d\n", p * 100, outcome.updates,
+                outcome.file_conflicts, outcome.dir_repairs, outcome.name_collisions,
+                outcome.lost_updates);
+  }
+  std::printf("\nShape check vs paper: independent updates (same-object 0%%) produce\n"
+              "zero file conflicts — the namespace merges silently; conflicts only\n"
+              "appear when both sides write the same file, they are detected (never\n"
+              "silently merged), and no update is ever lost.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Comparison with the Deceit design point (paper section 1): "The Deceit
+// file system allows partitioned update without a quorum, but has no
+// mechanism for reconciling concurrent updates to replicas of a single
+// directory."
+//
+// Both systems accept partitioned updates; the difference is what happens
+// to the *namespace* afterwards. This bench runs identical partitioned
+// workloads under two repair regimes:
+//   Ficus  — update notification + full directory reconciliation;
+//   Deceit — file propagation only (directory merges disabled), i.e. the
+//            namespace converges only when one side's directory version
+//            happens to dominate — concurrent directory updates strand
+//            entries on one side forever.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+struct Outcome {
+  int files_created = 0;
+  int visible_everywhere = 0;
+  int stranded = 0;  // exist on some replica but not all
+};
+
+Outcome RunWorkload(bool reconcile_directories, int cycles) {
+  sim::Cluster cluster;
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  auto volume = cluster.CreateVolume({a, b});
+  auto fs_a = cluster.MountEverywhere(a, *volume);
+  auto fs_b = cluster.MountEverywhere(b, *volume);
+  (void)vfs::MkdirAll(*fs_a, "shared");
+  (void)cluster.ReconcileUntilQuiescent();
+
+  Outcome outcome;
+  std::set<std::string> paths;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    cluster.Partition({{a}, {b}});
+    // Both sides add files to the same directory, concurrently.
+    std::string pa = "shared/a" + std::to_string(cycle);
+    std::string pb = "shared/b" + std::to_string(cycle);
+    (void)vfs::WriteFileAt(*fs_a, pa, "from a");
+    (void)vfs::WriteFileAt(*fs_b, pb, "from b");
+    paths.insert(pa);
+    paths.insert(pb);
+    cluster.Heal();
+    if (reconcile_directories) {
+      (void)cluster.ReconcileUntilQuiescent();
+    } else {
+      // Deceit regime: only the file-content fast path runs; concurrent
+      // directory versions have no merge mechanism.
+      (void)cluster.RunPropagationEverywhere();
+    }
+  }
+
+  outcome.files_created = static_cast<int>(paths.size());
+  for (const std::string& path : paths) {
+    bool on_a = vfs::Exists(*fs_a, path);
+    // Check b's own replica in isolation.
+    cluster.Partition({{b}});
+    bool on_b = vfs::Exists(*fs_b, path);
+    cluster.Heal();
+    if (on_a && on_b) {
+      ++outcome.visible_everywhere;
+    } else {
+      ++outcome.stranded;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Deceit comparison — concurrent directory updates with and without\n");
+  std::printf("a directory reconciliation mechanism (section 1)\n\n");
+  std::printf("%-34s %10s %14s %10s\n", "regime", "created", "on all replicas", "stranded");
+  for (int cycles : {4, 8, 16}) {
+    Outcome ficus = RunWorkload(/*reconcile_directories=*/true, cycles);
+    Outcome deceit = RunWorkload(/*reconcile_directories=*/false, cycles);
+    std::printf("%-34s %10d %14d %10d\n",
+                ("Ficus, " + std::to_string(cycles) + " partition cycles").c_str(),
+                ficus.files_created, ficus.visible_everywhere, ficus.stranded);
+    std::printf("%-34s %10d %14d %10d\n",
+                ("Deceit-like, " + std::to_string(cycles) + " cycles").c_str(),
+                deceit.files_created, deceit.visible_everywhere, deceit.stranded);
+  }
+  std::printf("\nShape check vs paper: without a directory reconciliation mechanism,\n"
+              "every partition cycle strands the minority side's namespace entries;\n"
+              "Ficus's entry-level merge recovers all of them (section 1's critique\n"
+              "of Deceit, and the reason sections 3.3's machinery exists).\n");
+  return 0;
+}

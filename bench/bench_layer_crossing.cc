@@ -1,0 +1,125 @@
+// Experiment P1 (paper section 6): "The actual cost of crossing a layer
+// boundary is low — one additional procedure call, one pointer
+// indirection, and storage for another vnode block."
+//
+// Measures vnode operations through stacks of 0..16 pass-through (null)
+// layers over an in-memory filesystem, so the marginal cost per layer is
+// isolated from any I/O. Also reports the full Ficus logical->physical
+// stack against raw UFS for the same operation mix.
+#include <benchmark/benchmark.h>
+
+#include "src/repl/logical.h"
+#include "src/repl/physical.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buffer_cache.h"
+#include "src/ufs/ufs.h"
+#include "src/ufs/ufs_vfs.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/pass_through.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+// GetAttr through N null layers: the purest layer-crossing measurement.
+void BM_GetAttrThroughNullLayers(benchmark::State& state) {
+  vfs::MemVfs base;
+  auto top = vfs::StackNullLayers(&base, static_cast<int>(state.range(0)));
+  if (!top.ok()) {
+    state.SkipWithError("stack construction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto attr = (*top)->GetAttr();
+    benchmark::DoNotOptimize(attr);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " layers");
+}
+BENCHMARK(BM_GetAttrThroughNullLayers)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Lookup + read of a small file through N null layers.
+void BM_OpenReadThroughNullLayers(benchmark::State& state) {
+  vfs::MemVfs base;
+  if (!vfs::MkdirAll(&base, "dir").ok() ||
+      !vfs::WriteFileAt(&base, "dir/file", std::string(1024, 'x')).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto base_root = base.Root();
+  auto top = vfs::StackNullLayers(&base, static_cast<int>(state.range(0)));
+  if (!top.ok()) {
+    state.SkipWithError("stack construction failed");
+    return;
+  }
+  vfs::Credentials cred;
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    auto dir = (*top)->Lookup("dir", cred);
+    auto file = (*dir)->Lookup("file", cred);
+    auto n = (*file)->Read(0, 1024, out, cred);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " layers");
+}
+BENCHMARK(BM_OpenReadThroughNullLayers)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+struct FicusStack {
+  FicusStack()
+      : device(16384), cache(&device, 2048), ufs(&cache, &clock) {
+    (void)ufs.Format(2048);
+    physical = std::make_unique<repl::PhysicalLayer>(&ufs, &clock);
+    (void)physical->CreateVolume(repl::VolumeId{1, 1}, 1, "vol", true);
+    resolver.Add(physical.get());
+    logical = std::make_unique<repl::LogicalLayer>(repl::VolumeId{1, 1}, &resolver, nullptr,
+                                                   nullptr, &clock);
+  }
+
+  struct MiniResolver : repl::ReplicaResolver {
+    void Add(repl::PhysicalLayer* layer) { layer_ = layer; }
+    std::vector<repl::ReplicaId> ReplicasOf(const repl::VolumeId&) override { return {1}; }
+    StatusOr<repl::PhysicalApi*> Access(const repl::VolumeId&, repl::ReplicaId) override {
+      return static_cast<repl::PhysicalApi*>(layer_);
+    }
+    repl::PhysicalLayer* layer_ = nullptr;
+  };
+
+  SimClock clock;
+  storage::BlockDevice device;
+  storage::BufferCache cache;
+  ufs::Ufs ufs;
+  std::unique_ptr<repl::PhysicalLayer> physical;
+  MiniResolver resolver;
+  std::unique_ptr<repl::LogicalLayer> logical;
+};
+
+// The same open+read mix against raw UFS (the monolithic baseline)...
+void BM_OpenReadRawUfs(benchmark::State& state) {
+  FicusStack stack;
+  ufs::UfsVfs raw(&stack.ufs);
+  (void)vfs::MkdirAll(&raw, "dir");
+  (void)vfs::WriteFileAt(&raw, "dir/file", std::string(1024, 'x'));
+  for (auto _ : state) {
+    auto contents = vfs::OpenReadClose(&raw, "dir/file");
+    benchmark::DoNotOptimize(contents);
+  }
+  state.SetLabel("raw UFS (monolithic)");
+}
+BENCHMARK(BM_OpenReadRawUfs);
+
+// ...and through the full Ficus logical->physical stack on that UFS.
+void BM_OpenReadFicusStack(benchmark::State& state) {
+  FicusStack stack;
+  (void)vfs::MkdirAll(stack.logical.get(), "dir");
+  (void)vfs::WriteFileAt(stack.logical.get(), "dir/file", std::string(1024, 'x'));
+  for (auto _ : state) {
+    auto contents = vfs::OpenReadClose(stack.logical.get(), "dir/file");
+    benchmark::DoNotOptimize(contents);
+  }
+  state.SetLabel("Ficus logical+physical over UFS");
+}
+BENCHMARK(BM_OpenReadFicusStack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Experiment P4 (paper sections 1, 2.6): the dual name mapping "is
+// difficult to implement efficiently, but is not inherently expensive" —
+// because UNIX file reference streams show strong locality [Floyd'86], the
+// buffer cache absorbs the extra lookups. The Andrew prototype [19] paid
+// dearly for a similar scheme precisely because its lower-level mapping
+// defeated that locality.
+//
+// Sweeps the Zipf skew of an open/read workload and reports device reads
+// per open and buffer-cache hit rate for raw UFS vs the Ficus stack. The
+// Ficus *overhead ratio* should shrink as locality grows.
+#include <cstdio>
+#include <memory>
+
+#include "src/repl/logical.h"
+#include "src/repl/physical.h"
+#include "src/sim/workload.h"
+#include "src/ufs/ufs_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+struct MiniResolver : repl::ReplicaResolver {
+  std::vector<repl::ReplicaId> ReplicasOf(const repl::VolumeId&) override { return {1}; }
+  StatusOr<repl::PhysicalApi*> Access(const repl::VolumeId&, repl::ReplicaId) override {
+    return static_cast<repl::PhysicalApi*>(layer);
+  }
+  repl::PhysicalLayer* layer = nullptr;
+};
+
+struct Result {
+  double reads_per_op = 0;
+  double hit_rate = 0;
+};
+
+constexpr int kOps = 4000;
+// Cache sized to hold a fraction of the working set, so locality matters.
+constexpr uint32_t kCacheBlocks = 160;
+
+Result RunOnUfs(double skew) {
+  SimClock clock;
+  storage::BlockDevice device(1 << 16);
+  storage::BufferCache cache(&device, kCacheBlocks);
+  ufs::Ufs ufs(&cache, &clock);
+  (void)ufs.Format(1 << 14);
+  ufs::UfsVfs raw(&ufs);
+  sim::WorkloadConfig config;
+  config.directories = 32;
+  config.files_per_directory = 16;
+  config.file_size_bytes = 2048;
+  config.zipf_skew = skew;
+  config.write_fraction = 0.0;
+  sim::Workload workload(config, 42);
+  (void)workload.Populate(&raw);
+  cache.Invalidate();
+  cache.ResetStats();
+  device.ResetStats();
+  (void)workload.Run(&raw, kOps);
+  Result result;
+  result.reads_per_op = static_cast<double>(device.stats().reads) / kOps;
+  uint64_t access = cache.stats().hits + cache.stats().misses;
+  result.hit_rate = access == 0 ? 0 : static_cast<double>(cache.stats().hits) / access;
+  return result;
+}
+
+Result RunOnFicus(double skew) {
+  SimClock clock;
+  storage::BlockDevice device(1 << 16);
+  storage::BufferCache cache(&device, kCacheBlocks);
+  ufs::Ufs ufs(&cache, &clock);
+  (void)ufs.Format(1 << 14);
+  auto physical = std::make_unique<repl::PhysicalLayer>(&ufs, &clock);
+  (void)physical->CreateVolume(repl::VolumeId{1, 1}, 1, "vol", true);
+  MiniResolver resolver;
+  resolver.layer = physical.get();
+  repl::LogicalLayer logical(repl::VolumeId{1, 1}, &resolver, nullptr, nullptr, &clock);
+  sim::WorkloadConfig config;
+  config.directories = 32;
+  config.files_per_directory = 16;
+  config.file_size_bytes = 2048;
+  config.zipf_skew = skew;
+  config.write_fraction = 0.0;
+  sim::Workload workload(config, 42);
+  (void)workload.Populate(&logical);
+  cache.Invalidate();
+  cache.ResetStats();
+  device.ResetStats();
+  (void)workload.Run(&logical, kOps);
+  Result result;
+  result.reads_per_op = static_cast<double>(device.stats().reads) / kOps;
+  uint64_t access = cache.stats().hits + cache.stats().misses;
+  result.hit_rate = access == 0 ? 0 : static_cast<double>(cache.stats().hits) / access;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment P4 — locality tames the dual-mapping cost (section 2.6)\n");
+  std::printf("512 files, 4k opens, buffer cache ~%u blocks (partial working set)\n\n",
+              kCacheBlocks);
+  std::printf("%6s | %14s %9s | %14s %9s | %12s\n", "zipf", "UFS reads/op", "UFS hit%",
+              "Ficus reads/op", "Ficus hit%", "extra rd/op");
+  for (double skew : {0.0, 0.4, 0.8, 1.0, 1.2}) {
+    Result unix_result = RunOnUfs(skew);
+    Result ficus_result = RunOnFicus(skew);
+    std::printf("%6.1f | %14.2f %8.1f%% | %14.2f %8.1f%% | %12.2f\n", skew,
+                unix_result.reads_per_op, unix_result.hit_rate * 100,
+                ficus_result.reads_per_op, ficus_result.hit_rate * 100,
+                ficus_result.reads_per_op - unix_result.reads_per_op);
+  }
+  std::printf("\nShape check vs paper: at low locality Ficus pays its extra metadata\n"
+              "I/Os on nearly every open; as the reference stream concentrates\n"
+              "(skew -> 1+), the buffer cache absorbs the dual mapping and the\n"
+              "absolute overhead per open shrinks toward zero — the locality\n"
+              "argument of sections 1 and 2.6, and the [19] failure mode avoided by\n"
+              "keeping the on-disk layout parallel to the logical name space.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment U1 (paper section 3.2): update notification is an
+// asynchronous best-effort multicast; each receiver files the event in a
+// new-version cache and a propagation daemon pulls when it sees fit.
+// "Rapid propagation enhances the availability of the new version of the
+// file; delayed propagation may reduce the overall propagation cost when
+// updates are bursty."
+//
+// Sweeps burst size and propagation policy (eager after every update vs
+// delayed one pass after the burst) and reports transfers and bytes moved.
+#include <cstdio>
+#include <memory>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+struct Run {
+  uint64_t pulls = 0;
+  uint64_t bytes = 0;
+  uint64_t datagrams = 0;
+};
+
+// Writes `burst` updates of `update_size` bytes to one file on host 0 and
+// propagates to host 1 either eagerly (daemon pass after every write) or
+// lazily (single daemon pass at the end).
+Run RunBurst(int burst, size_t update_size, bool eager) {
+  sim::Cluster cluster;
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  auto volume = cluster.CreateVolume({a, b});
+  auto logical = cluster.MountEverywhere(a, *volume);
+  (void)vfs::WriteFileAt(*logical, "f", "seed");
+  (void)cluster.ReconcileUntilQuiescent();
+  cluster.network().ResetStats();
+
+  for (int i = 0; i < burst; ++i) {
+    std::string payload(update_size, static_cast<char>('a' + i % 26));
+    (void)vfs::WriteFileAt(*logical, "f", payload);
+    if (eager) {
+      (void)b->RunPropagation();
+    }
+  }
+  if (!eager) {
+    (void)b->RunPropagation();
+  }
+
+  Run run;
+  const repl::PropagationStats* stats = b->propagation_stats(*volume);
+  if (stats != nullptr) {
+    run.pulls = stats->pulled_files;
+    run.bytes = stats->bytes_pulled;
+  }
+  run.datagrams = cluster.network().stats().datagrams_sent;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment U1 — update notification & propagation under bursts\n");
+  std::printf("(1 KiB updates to one file; receiver pulls eagerly vs after burst)\n\n");
+  std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "burst", "datagrams", "eager",
+              "eager", "delayed", "delayed", "savings");
+  std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "size", "sent", "pulls", "bytes",
+              "pulls", "bytes", "");
+  for (int burst : {1, 2, 4, 8, 16, 32, 64}) {
+    Run eager = RunBurst(burst, 1024, /*eager=*/true);
+    Run delayed = RunBurst(burst, 1024, /*eager=*/false);
+    double savings = eager.bytes == 0
+                         ? 0.0
+                         : 100.0 * (1.0 - static_cast<double>(delayed.bytes) /
+                                              static_cast<double>(eager.bytes));
+    std::printf("%8d %12llu | %10llu %12llu | %10llu %12llu %8.1f%%\n", burst,
+                static_cast<unsigned long long>(eager.datagrams),
+                static_cast<unsigned long long>(eager.pulls),
+                static_cast<unsigned long long>(eager.bytes),
+                static_cast<unsigned long long>(delayed.pulls),
+                static_cast<unsigned long long>(delayed.bytes), savings);
+  }
+  std::printf("\nShape check vs paper: the new-version cache coalesces a burst into\n"
+              "one entry, so delayed propagation transfers the file once where the\n"
+              "eager policy transfers it once per update — the amortization the\n"
+              "paper credits to \"wait for some later, more convenient time\".\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: what does each additional replica cost? The paper bounds the
+// replication factor only by 2^32 (section 3.1 footnote) and relies on
+// update notification staying cheap. This bench sweeps the replication
+// factor and reports, per client update:
+//   * notification datagrams sent (grows linearly — one per peer),
+//   * bytes pulled cluster-wide to bring every replica current,
+//   * reconciliation entry work for the same convergence,
+// plus the read availability payoff that motivates the cost.
+#include <cstdio>
+
+#include "src/baseline/availability.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+struct Cost {
+  uint64_t datagrams_per_update = 0;
+  uint64_t bytes_pulled = 0;
+  uint64_t entries_examined = 0;
+};
+
+Cost Measure(int replicas) {
+  sim::Cluster cluster;
+  std::vector<sim::FicusHost*> hosts;
+  for (int i = 0; i < replicas; ++i) {
+    hosts.push_back(cluster.AddHost("h" + std::to_string(i)));
+  }
+  auto volume = cluster.CreateVolume(hosts);
+  auto fs = cluster.MountEverywhere(hosts[0], *volume);
+  (void)vfs::WriteFileAt(*fs, "f", std::string(2048, 'a'));
+  (void)cluster.ReconcileUntilQuiescent();
+
+  cluster.network().ResetStats();
+  const int kUpdates = 10;
+  for (int u = 0; u < kUpdates; ++u) {
+    (void)vfs::WriteFileAt(*fs, "f", std::string(2048, static_cast<char>('a' + u)));
+    (void)cluster.RunPropagationEverywhere();
+  }
+  (void)cluster.ReconcileUntilQuiescent();
+
+  Cost cost;
+  cost.datagrams_per_update = cluster.network().stats().datagrams_sent / kUpdates;
+  for (sim::FicusHost* host : hosts) {
+    const repl::PropagationStats* stats = host->propagation_stats(*volume);
+    if (stats != nullptr) {
+      cost.bytes_pulled += stats->bytes_pulled;
+    }
+    const repl::ReconcileStats* recon = host->reconcile_stats(*volume);
+    if (recon != nullptr) {
+      cost.entries_examined += recon->entries_examined;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — per-update cost vs replication factor\n");
+  std::printf("(10 updates of a 2 KiB file, eager propagation, then reconcile)\n\n");
+  std::printf("%10s %16s %14s %16s %16s\n", "replicas", "datagrams/upd", "bytes pulled",
+              "entries exam.", "read avail p=.9");
+  baseline::OneCopyPolicy one_copy;
+  for (int n : {1, 2, 3, 4, 5}) {
+    Cost cost = Measure(n);
+    auto avail = baseline::ComputeExact(one_copy, n, 0.9);
+    std::printf("%10d %16llu %14llu %16llu %16.6f\n", n,
+                static_cast<unsigned long long>(cost.datagrams_per_update),
+                static_cast<unsigned long long>(cost.bytes_pulled),
+                static_cast<unsigned long long>(cost.entries_examined),
+                avail.ok() ? avail->read : 0.0);
+  }
+  std::printf("\nShape check: notification fan-out and pull traffic grow linearly\n"
+              "with the replication factor while availability converges to 1 —\n"
+              "the marginal replica buys ever less availability for the same\n"
+              "update cost, which is why Ficus leaves placement per-volume and\n"
+              "per-file (sections 3.1, 4.1).\n");
+  return 0;
+}

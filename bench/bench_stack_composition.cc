@@ -1,0 +1,104 @@
+// Experiment F1 (Figures 1 & 2): the same client operations run through
+// both stack shapes —
+//   co-resident:  logical -> physical -> UFS
+//   cross-host:   logical -> [facade encoding] -> NFS -> facade -> physical -> UFS
+// — and produce identical results; the only difference is RPC traffic.
+// Also demonstrates surrounding either stack with null layers.
+#include <chrono>
+#include <cstdio>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/pass_through.h"
+#include "src/vfs/path_ops.h"
+
+namespace {
+
+using namespace ficus;  // NOLINT
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+constexpr int kOps = 300;
+
+struct RunResult {
+  double ms = 0;
+  uint64_t rpcs = 0;
+  bool correct = true;
+};
+
+RunResult Drive(vfs::Vfs* fs, net::Network* network) {
+  network->ResetStats();
+  RunResult result;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    std::string dir = "d" + std::to_string(i % 8);
+    std::string path = dir + "/f" + std::to_string(i);
+    if (!vfs::MkdirAll(fs, dir).ok() ||
+        !vfs::WriteFileAt(fs, path, "op " + std::to_string(i)).ok()) {
+      result.correct = false;
+      continue;
+    }
+    auto contents = vfs::ReadFileAt(fs, path);
+    if (!contents.ok() || contents.value() != "op " + std::to_string(i)) {
+      result.correct = false;
+    }
+  }
+  result.ms = MillisSince(start);
+  result.rpcs = network->stats().rpcs_sent;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment F1 — stack composition (Figures 1 & 2)\n\n");
+
+  // Co-resident: host 'same' stores the replica it mounts.
+  {
+    sim::Cluster cluster;
+    sim::FicusHost* same = cluster.AddHost("same");
+    auto volume = cluster.CreateVolume({same});
+    auto logical = cluster.MountEverywhere(same, *volume);
+    RunResult result = Drive(*logical, &cluster.network());
+    std::printf("%-44s %9.1f ms %8llu RPCs  %s\n",
+                "co-resident (logical -> physical -> UFS):", result.ms,
+                static_cast<unsigned long long>(result.rpcs),
+                result.correct ? "ok" : "WRONG RESULTS");
+  }
+
+  // Cross-host: 'client' mounts a volume stored only on 'server'.
+  {
+    sim::Cluster cluster;
+    sim::FicusHost* client = cluster.AddHost("client");
+    sim::FicusHost* server = cluster.AddHost("server");
+    auto volume = cluster.CreateVolume({server});
+    auto logical = cluster.MountEverywhere(client, *volume);
+    RunResult result = Drive(*logical, &cluster.network());
+    std::printf("%-44s %9.1f ms %8llu RPCs  %s\n",
+                "cross-host (logical -> NFS -> physical):", result.ms,
+                static_cast<unsigned long long>(result.rpcs),
+                result.correct ? "ok" : "WRONG RESULTS");
+  }
+
+  // Null layers around the logical layer: transparent insertion.
+  {
+    sim::Cluster cluster;
+    sim::FicusHost* same = cluster.AddHost("same");
+    auto volume = cluster.CreateVolume({same});
+    auto logical = cluster.MountEverywhere(same, *volume);
+    vfs::PassThroughVfs wrapped(*logical);
+    vfs::PassThroughVfs doubly(&wrapped);
+    RunResult result = Drive(&doubly, &cluster.network());
+    std::printf("%-44s %9.1f ms %8llu RPCs  %s\n",
+                "co-resident + 2 null layers on top:", result.ms,
+                static_cast<unsigned long long>(result.rpcs),
+                result.correct ? "ok" : "WRONG RESULTS");
+  }
+
+  std::printf("\nShape check vs paper: all three compositions give identical client\n"
+              "semantics; the cross-host stack trades procedure calls for RPCs and\n"
+              "the null layers cost almost nothing (sections 2, 6, 7).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment V1: version-vector operation costs as replica counts grow
+// (the paper allows 2^32 replicas of a file, section 3.1 footnote, so the
+// bookkeeping must stay cheap well past realistic replication factors).
+#include <benchmark/benchmark.h>
+
+#include "src/repl/version_vector.h"
+
+namespace {
+
+using ficus::repl::ReplicaId;
+using ficus::repl::VersionVector;
+
+VersionVector MakeVector(int replicas, uint64_t counts) {
+  VersionVector v;
+  for (int r = 1; r <= replicas; ++r) {
+    for (uint64_t i = 0; i < counts; ++i) {
+      v.Increment(static_cast<ReplicaId>(r));
+    }
+  }
+  return v;
+}
+
+void BM_Increment(benchmark::State& state) {
+  VersionVector v = MakeVector(static_cast<int>(state.range(0)), 1);
+  ReplicaId replica = 1;
+  for (auto _ : state) {
+    v.Increment(replica);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Increment)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CompareEqual(benchmark::State& state) {
+  VersionVector a = MakeVector(static_cast<int>(state.range(0)), 3);
+  VersionVector b = a;
+  for (auto _ : state) {
+    auto order = a.Compare(b);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_CompareEqual)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CompareConcurrent(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  VersionVector a = MakeVector(n, 3);
+  VersionVector b = MakeVector(n, 3);
+  a.Increment(1);
+  b.Increment(static_cast<ReplicaId>(n));
+  for (auto _ : state) {
+    auto order = a.Compare(b);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_CompareConcurrent)->Arg(2)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Merge(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  VersionVector a = MakeVector(n, 3);
+  VersionVector b = MakeVector(n, 4);
+  for (auto _ : state) {
+    VersionVector merged = VersionVector::Merge(a, b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_Merge)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SerializeDeserialize(benchmark::State& state) {
+  VersionVector v = MakeVector(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    ficus::ByteWriter w(buf);
+    v.Serialize(w);
+    ficus::ByteReader r(buf);
+    auto decoded = VersionVector::Deserialize(r);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SerializeDeserialize)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

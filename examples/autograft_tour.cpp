@@ -1,0 +1,95 @@
+// Volumes and autografting (paper section 4): a university-style namespace
+// where department volumes live on different storage sites and are grafted
+// into a campus root volume. A workstation that stores nothing walks the
+// whole tree; volumes are located and grafted on demand, and idle grafts
+// are quietly pruned.
+//
+//   $ ./examples/autograft_tour
+#include <cstdio>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+#include "src/vol/graft.h"
+
+using namespace ficus;  // NOLINT
+
+int main() {
+  sim::Cluster cluster;
+  sim::FicusHost* workstation = cluster.AddHost("workstation");
+  sim::FicusHost* cs_server = cluster.AddHost("cs-server");
+  sim::FicusHost* math_server = cluster.AddHost("math-server");
+  sim::FicusHost* campus_server = cluster.AddHost("campus-server");
+
+  // The campus root volume lives on campus-server (and the workstation
+  // learns its location, like an fstab entry).
+  auto campus = cluster.CreateVolume({campus_server});
+  // Department volumes live on their own servers, replicated where the
+  // departments choose.
+  auto cs_vol = cluster.CreateVolume({cs_server, campus_server});
+  auto math_vol = cluster.CreateVolume({math_server});
+
+  // Graft points in the campus root: /cs and /math. A graft point names
+  // the volume and its <replica, storage site> pairs — stored as ordinary
+  // directory entries, replicated and reconciled like everything else.
+  repl::PhysicalLayer* campus_phys = campus_server->registry().LocalReplica(*campus);
+  vol::GraftPointInfo cs_info;
+  cs_info.volume = *cs_vol;
+  cs_info.replicas = {{1, cs_server->id()}, {2, campus_server->id()}};
+  (void)vol::WriteGraftPoint(campus_phys, repl::kRootFileId, "cs", cs_info);
+  vol::GraftPointInfo math_info;
+  math_info.volume = *math_vol;
+  math_info.replicas = {{1, math_server->id()}};
+  (void)vol::WriteGraftPoint(campus_phys, repl::kRootFileId, "math", math_info);
+
+  // Populate the department volumes.
+  auto cs_fs = cluster.MountEverywhere(cs_server, *cs_vol);
+  (void)vfs::MkdirAll(*cs_fs, "courses/os");
+  (void)vfs::WriteFileAt(*cs_fs, "courses/os/syllabus.txt",
+                         "week 1: stackable layers\nweek 2: optimistic replication\n");
+  auto math_fs = cluster.MountEverywhere(math_server, *math_vol);
+  (void)vfs::WriteFileAt(*math_fs, "primes.txt", "2 3 5 7 11\n");
+  (void)cluster.ReconcileUntilQuiescent();
+
+  // The workstation mounts only the campus root...
+  auto fs = cluster.MountEverywhere(workstation, *campus);
+  std::printf("workstation mounts the campus volume; grafted volumes: %zu\n",
+              workstation->grafts().size());
+
+  // ...and a plain path walk crosses graft points transparently. The first
+  // step through /cs locates the cs volume via the graft point records and
+  // grafts it on the fly.
+  auto syllabus = vfs::ReadFileAt(*fs, "cs/courses/os/syllabus.txt");
+  std::printf("\nread /cs/courses/os/syllabus.txt:\n%s",
+              syllabus.ok() ? syllabus->c_str() : syllabus.status().ToString().c_str());
+  auto primes = vfs::ReadFileAt(*fs, "math/primes.txt");
+  std::printf("read /math/primes.txt: %s",
+              primes.ok() ? primes->c_str() : primes.status().ToString().c_str());
+  std::printf("\ngrafts after the walks: %zu (performed %llu, table hits %llu)\n",
+              workstation->grafts().size(),
+              static_cast<unsigned long long>(workstation->grafts().grafts_performed()),
+              static_cast<unsigned long long>(workstation->grafts().graft_hits()));
+
+  // Availability: cs-server dies, but /cs has a second replica on
+  // campus-server; the walk fails over without the client noticing.
+  cluster.network().SetHostUp(cs_server->id(), false);
+  syllabus = vfs::ReadFileAt(*fs, "cs/courses/os/syllabus.txt");
+  std::printf("\nwith cs-server down, /cs still resolves via replica 2: %s\n",
+              syllabus.ok() ? "yes" : syllabus.status().ToString().c_str());
+  cluster.network().SetHostUp(cs_server->id(), true);
+
+  // Writes through a graft land in the department volume.
+  (void)vfs::WriteFileAt(*fs, "math/homework.txt", "prove it\n");
+  (void)cluster.ReconcileUntilQuiescent();
+  auto hw = vfs::ReadFileAt(*math_fs, "homework.txt");
+  std::printf("math-server sees the workstation's write through the graft: %s",
+              hw.ok() ? hw->c_str() : hw.status().ToString().c_str());
+
+  // Idle grafts are pruned; the next walk re-grafts silently.
+  cluster.Sleep(30 * 60 * kSecond);
+  int pruned = workstation->PruneGrafts(10 * 60 * kSecond);
+  std::printf("\nafter 30 idle minutes, pruned %d graft(s); table size %zu\n", pruned,
+              workstation->grafts().size());
+  primes = vfs::ReadFileAt(*fs, "math/primes.txt");
+  std::printf("next walk re-grafts transparently: %s", primes.ok() ? primes->c_str() : "NO\n");
+  return 0;
+}

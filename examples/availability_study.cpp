@@ -1,0 +1,89 @@
+// Why one-copy availability? (paper section 1)
+//
+// Runs the same partitioned-office week twice: once under Ficus's
+// one-copy availability (simulated for real on the cluster), and once
+// evaluating what each serializable policy WOULD have allowed, then
+// prints the analytic availability tables.
+//
+//   $ ./examples/availability_study
+#include <cstdio>
+#include <vector>
+
+#include "src/baseline/availability.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+using namespace ficus;  // NOLINT
+
+int main() {
+  // --- Part 1: a week at a three-site company, with nightly WAN outages.
+  std::printf("Part 1 — a week of work under nightly partitions\n");
+  std::printf("three sites, one volume replica each; every 'night' the WAN\n");
+  std::printf("splits HQ away from the branches; every 'day' it heals.\n\n");
+
+  sim::Cluster cluster;
+  sim::FicusHost* hq = cluster.AddHost("hq");
+  sim::FicusHost* branch1 = cluster.AddHost("branch1");
+  sim::FicusHost* branch2 = cluster.AddHost("branch2");
+  auto volume = cluster.CreateVolume({hq, branch1, branch2});
+  auto hq_fs = cluster.MountEverywhere(hq, *volume);
+  auto b1_fs = cluster.MountEverywhere(branch1, *volume);
+  (void)vfs::MkdirAll(*hq_fs, "reports");
+  (void)cluster.ReconcileUntilQuiescent();
+
+  int ficus_writes_ok = 0;
+  int quorum_would_deny = 0;  // what majority voting would have refused
+  baseline::MajorityVotingPolicy majority;
+  for (int day = 0; day < 5; ++day) {
+    // Night: HQ cut off. HQ's replica is 1 of 3 — no majority there.
+    cluster.Partition({{hq}, {branch1, branch2}});
+    std::string hq_report = "reports/day" + std::to_string(day) + "-hq.txt";
+    if (vfs::WriteFileAt(*hq_fs, hq_report, "hq nightly numbers\n").ok()) {
+      ++ficus_writes_ok;
+    }
+    // Majority voting sees 1 of 3 replicas from HQ's side.
+    if (!majority.CanUpdate({true, false, false})) {
+      ++quorum_would_deny;
+    }
+    std::string branch_report = "reports/day" + std::to_string(day) + "-branch.txt";
+    if (vfs::WriteFileAt(*b1_fs, branch_report, "branch nightly numbers\n").ok()) {
+      ++ficus_writes_ok;
+    }
+    // Day: heal, reconcile, everyone sees everything.
+    cluster.Heal();
+    (void)cluster.ReconcileUntilQuiescent();
+  }
+  auto listing = vfs::ListDir(*hq_fs, "reports");
+  std::printf("Ficus: %d/%d partition-time writes succeeded; %zu reports visible\n",
+              ficus_writes_ok, 10, listing.ok() ? listing->size() : 0);
+  std::printf("majority voting would have denied %d of HQ's 5 nightly writes\n",
+              quorum_would_deny);
+  size_t conflicts = hq->conflict_log().CountOf(repl::ConflictKind::kFileUpdate);
+  std::printf("file conflicts produced by the week: %zu (disjoint files — none)\n\n",
+              conflicts);
+
+  // --- Part 2: the analytic comparison behind the anecdote.
+  std::printf("Part 2 — exact availability, n=3 replicas\n");
+  std::printf("%-28s %8s | %12s %14s\n", "policy", "p", "read avail", "update avail");
+  baseline::OneCopyPolicy one_copy;
+  baseline::PrimaryCopyPolicy primary(0);
+  baseline::QuorumConsensusPolicy quorum(2, 2);
+  for (double p : {0.9, 0.99}) {
+    for (const baseline::ReplicationPolicy* policy :
+         {static_cast<const baseline::ReplicationPolicy*>(&one_copy),
+          static_cast<const baseline::ReplicationPolicy*>(&primary),
+          static_cast<const baseline::ReplicationPolicy*>(&majority),
+          static_cast<const baseline::ReplicationPolicy*>(&quorum)}) {
+      auto result = baseline::ComputeExact(*policy, 3, p);
+      if (result.ok()) {
+        std::printf("%-28s %8.2f | %12.6f %14.6f\n", policy->Name().c_str(), p,
+                    result->read, result->update);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("The price Ficus pays is not availability but the possibility of\n"
+              "conflicts — which part 1 shows are rare when work is disjoint, are\n"
+              "always detected, and (for directories) repair themselves.\n");
+  return 0;
+}

@@ -1,0 +1,349 @@
+// An interactive shell over a simulated Ficus cluster — poke at
+// replication, partitions, conflicts, and reconciliation by hand.
+//
+//   $ ./examples/ficus_shell
+//   ficus[h0]> help
+//
+// The cluster starts with three hosts, each storing a replica of one
+// volume. Commands are deliberately unix-ish. Also accepts a script on
+// stdin (exits on EOF), so e.g.:
+//   printf 'write f hello\npartition h0 / h1 h2\nwrite f bye\nheal\nreconcile\nstat f\n' \
+//     | ./examples/ficus_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+using namespace ficus;  // NOLINT
+
+namespace {
+
+struct Shell {
+  sim::Cluster cluster;
+  std::vector<sim::FicusHost*> hosts;
+  repl::VolumeId volume;
+  size_t current = 0;  // host whose mount serves commands
+
+  repl::LogicalLayer* fs() {
+    auto logical = cluster.MountEverywhere(hosts[current], volume);
+    return logical.ok() ? logical.value() : nullptr;
+  }
+
+  sim::FicusHost* HostByName(const std::string& name) {
+    for (sim::FicusHost* host : hosts) {
+      if (host->name() == name) {
+        return host;
+      }
+    }
+    return nullptr;
+  }
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  ls [path]                list a directory\n"
+      "  write <path> <text...>   write a file (creates parents)\n"
+      "  cat <path>               read a file\n"
+      "  mkdir <path>             create directories\n"
+      "  rm <path>                remove file or empty directory\n"
+      "  mv <old> <new>           rename\n"
+      "  stat <path>              attributes + per-replica version vectors\n"
+      "  host <name>              switch the host issuing commands\n"
+      "  hosts                    list hosts\n"
+      "  partition <h..> / <h..>  split the network into two groups\n"
+      "  heal                     reconnect everything\n"
+      "  propagate                run every propagation daemon once\n"
+      "  reconcile                reconcile until quiescent\n"
+      "  conflicts                show the conflict logs\n"
+      "  fsck                     run consistency checks on every replica\n"
+      "  orphans                  list orphaned file replicas per host\n"
+      "  resolve <path> <text...> owner-resolve a conflicted file\n"
+      "  help                     this text\n"
+      "  quit                     exit\n");
+}
+
+std::vector<std::string> Split(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string token;
+  while (in >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::string Rest(const std::vector<std::string>& tokens, size_t from) {
+  std::string out;
+  for (size_t i = from; i < tokens.size(); ++i) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += tokens[i];
+  }
+  return out;
+}
+
+// Finds a file's id by path (for stat / resolve).
+StatusOr<repl::FileId> ResolveFileId(Shell& shell, const std::string& path) {
+  repl::PhysicalLayer* phys = shell.hosts[shell.current]->registry().LocalReplica(shell.volume);
+  if (phys == nullptr) {
+    return NotFoundError("current host stores no replica");
+  }
+  repl::FileId dir = repl::kRootFileId;
+  auto split = vfs::SplitPath(path);
+  if (!split.ok()) {
+    return split.status();
+  }
+  std::string parent = split->first;
+  size_t pos = 0;
+  while (pos < parent.size()) {
+    size_t end = parent.find('/', pos);
+    if (end == std::string::npos) {
+      end = parent.size();
+    }
+    std::string component = parent.substr(pos, end - pos);
+    if (!component.empty()) {
+      FICUS_ASSIGN_OR_RETURN(auto entries, phys->ReadDirectory(dir));
+      bool found = false;
+      for (const auto& e : entries) {
+        if (e.alive && e.name == component) {
+          dir = e.file;
+          found = true;
+        }
+      }
+      if (!found) {
+        return NotFoundError(component);
+      }
+    }
+    pos = end + 1;
+  }
+  FICUS_ASSIGN_OR_RETURN(auto entries, phys->ReadDirectory(dir));
+  for (const auto& e : entries) {
+    if (e.alive && e.name == split->second) {
+      return e.file;
+    }
+  }
+  return NotFoundError(split->second);
+}
+
+void Stat(Shell& shell, const std::string& path) {
+  auto file = ResolveFileId(shell, path);
+  if (!file.ok()) {
+    std::printf("stat: %s\n", file.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s  (file-id %s)\n", path.c_str(), file->ToString().c_str());
+  for (repl::ReplicaId replica : shell.hosts[shell.current]->ReplicasOf(shell.volume)) {
+    auto api = shell.hosts[shell.current]->Access(shell.volume, replica);
+    if (!api.ok()) {
+      std::printf("  replica %u: %s\n", replica, api.status().ToString().c_str());
+      continue;
+    }
+    auto attrs = (*api)->GetAttributes(*file);
+    if (!attrs.ok()) {
+      std::printf("  replica %u: %s\n", replica, attrs.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  replica %u: vv=%s%s\n", replica, attrs->vv.ToString().c_str(),
+                attrs->conflict ? "  [CONFLICT]" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  for (int i = 0; i < 3; ++i) {
+    shell.hosts.push_back(shell.cluster.AddHost("h" + std::to_string(i)));
+  }
+  auto volume = shell.cluster.CreateVolume(shell.hosts);
+  if (!volume.ok()) {
+    std::fprintf(stderr, "cluster setup failed: %s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+  shell.volume = *volume;
+  std::printf("Ficus shell — 3 hosts (h0 h1 h2), one volume, a replica on each.\n");
+  std::printf("Type 'help' for commands.\n");
+
+  std::string line;
+  for (;;) {
+    std::printf("ficus[%s]> ", shell.hosts[shell.current]->name().c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      std::printf("\n");
+      break;
+    }
+    std::vector<std::string> tokens = Split(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+    repl::LogicalLayer* fs = shell.fs();
+    if (fs == nullptr) {
+      std::printf("no reachable replica for this host right now\n");
+      continue;
+    }
+
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "ls") {
+      auto entries = vfs::ListDir(fs, tokens.size() > 1 ? tokens[1] : "");
+      if (!entries.ok()) {
+        std::printf("ls: %s\n", entries.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& e : *entries) {
+        std::printf("  %s%s\n", e.name.c_str(),
+                    e.type == vfs::VnodeType::kDirectory     ? "/"
+                    : e.type == vfs::VnodeType::kGraftPoint ? "@"
+                    : e.type == vfs::VnodeType::kSymlink    ? " ->"
+                                                            : "");
+      }
+    } else if (cmd == "write" && tokens.size() >= 3) {
+      Status status = vfs::WriteFileAt(fs, tokens[1], Rest(tokens, 2));
+      if (!status.ok()) {
+        std::printf("write: %s\n", status.ToString().c_str());
+      }
+    } else if (cmd == "cat" && tokens.size() == 2) {
+      auto contents = vfs::ReadFileAt(fs, tokens[1]);
+      if (contents.ok()) {
+        std::printf("%s\n", contents->c_str());
+      } else {
+        std::printf("cat: %s\n", contents.status().ToString().c_str());
+      }
+    } else if (cmd == "mkdir" && tokens.size() == 2) {
+      Status status = vfs::MkdirAll(fs, tokens[1]);
+      if (!status.ok()) {
+        std::printf("mkdir: %s\n", status.ToString().c_str());
+      }
+    } else if (cmd == "rm" && tokens.size() == 2) {
+      Status status = vfs::RemovePath(fs, tokens[1]);
+      if (!status.ok()) {
+        std::printf("rm: %s\n", status.ToString().c_str());
+      }
+    } else if (cmd == "mv" && tokens.size() == 3) {
+      Status status = vfs::RenamePath(fs, tokens[1], tokens[2]);
+      if (!status.ok()) {
+        std::printf("mv: %s\n", status.ToString().c_str());
+      }
+    } else if (cmd == "stat" && tokens.size() == 2) {
+      Stat(shell, tokens[1]);
+    } else if (cmd == "host" && tokens.size() == 2) {
+      bool found = false;
+      for (size_t i = 0; i < shell.hosts.size(); ++i) {
+        if (shell.hosts[i]->name() == tokens[1]) {
+          shell.current = i;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::printf("no such host\n");
+      }
+    } else if (cmd == "hosts") {
+      for (size_t i = 0; i < shell.hosts.size(); ++i) {
+        std::printf("  %s%s\n", shell.hosts[i]->name().c_str(),
+                    i == shell.current ? "  (current)" : "");
+      }
+    } else if (cmd == "partition") {
+      std::vector<sim::FicusHost*> left;
+      std::vector<sim::FicusHost*> right;
+      bool after_slash = false;
+      bool bad = false;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i] == "/") {
+          after_slash = true;
+          continue;
+        }
+        sim::FicusHost* host = shell.HostByName(tokens[i]);
+        if (host == nullptr) {
+          std::printf("no such host: %s\n", tokens[i].c_str());
+          bad = true;
+          break;
+        }
+        (after_slash ? right : left).push_back(host);
+      }
+      if (!bad && after_slash) {
+        shell.cluster.Partition({left, right});
+        std::printf("network partitioned\n");
+      } else if (!bad) {
+        std::printf("usage: partition h0 / h1 h2\n");
+      }
+    } else if (cmd == "heal") {
+      shell.cluster.Heal();
+      std::printf("network healed\n");
+    } else if (cmd == "propagate") {
+      Status status = shell.cluster.RunPropagationEverywhere();
+      std::printf("propagation: %s\n", status.ToString().c_str());
+    } else if (cmd == "reconcile") {
+      auto rounds = shell.cluster.ReconcileUntilQuiescent();
+      if (rounds.ok()) {
+        std::printf("quiescent after %d round(s)\n", rounds.value());
+      } else {
+        std::printf("reconcile: %s\n", rounds.status().ToString().c_str());
+      }
+    } else if (cmd == "fsck") {
+      for (sim::FicusHost* host : shell.hosts) {
+        for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+          auto ufs_problems = host->ufs().Check();
+          auto ficus_problems = layer->CheckConsistency();
+          size_t count = (ufs_problems.ok() ? ufs_problems->size() : 1) +
+                         (ficus_problems.ok() ? ficus_problems->size() : 1);
+          std::printf("  [%s] replica %u: %zu problem(s)\n", host->name().c_str(),
+                      layer->replica_id(), count);
+          if (ufs_problems.ok()) {
+            for (const auto& p : *ufs_problems) {
+              std::printf("    ufs: %s\n", p.c_str());
+            }
+          }
+          if (ficus_problems.ok()) {
+            for (const auto& p : *ficus_problems) {
+              std::printf("    ficus: %s\n", p.c_str());
+            }
+          }
+        }
+      }
+    } else if (cmd == "orphans") {
+      for (sim::FicusHost* host : shell.hosts) {
+        for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+          auto orphans = layer->OrphanNames();
+          if (orphans.ok() && !orphans->empty()) {
+            for (const auto& name : *orphans) {
+              std::printf("  [%s] %s\n", host->name().c_str(), name.c_str());
+            }
+          }
+        }
+      }
+    } else if (cmd == "conflicts") {
+      for (sim::FicusHost* host : shell.hosts) {
+        for (const auto& record : host->conflict_log().records()) {
+          std::printf("  [%s] %s %s (local r%u vs remote r%u)\n", host->name().c_str(),
+                      record.kind == repl::ConflictKind::kFileUpdate      ? "file-conflict"
+                      : record.kind == repl::ConflictKind::kNameCollision ? "name-collision"
+                                                                          : "dir-repair",
+                      record.id.ToString().c_str(), record.local_replica,
+                      record.remote_replica);
+        }
+      }
+    } else if (cmd == "resolve" && tokens.size() >= 3) {
+      auto file = ResolveFileId(shell, tokens[1]);
+      if (!file.ok()) {
+        std::printf("resolve: %s\n", file.status().ToString().c_str());
+        continue;
+      }
+      std::string text = Rest(tokens, 2);
+      Status status =
+          fs->ResolveFileConflict(*file, std::vector<uint8_t>(text.begin(), text.end()));
+      std::printf("resolve: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("unknown command (try 'help')\n");
+    }
+  }
+  return 0;
+}

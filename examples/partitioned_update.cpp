@@ -1,0 +1,113 @@
+// The headline Ficus scenario (paper abstract): update during network
+// partition, automatic directory repair, file-conflict detection, and
+// owner resolution.
+//
+// Two sites share a replicated project volume. The network splits; both
+// sides keep working — one renames the project directory, both add files,
+// and both edit the same document. After the partition heals,
+// reconciliation merges the namespace automatically and flags the
+// double-edited document for its owner, who resolves it.
+//
+//   $ ./examples/partitioned_update
+#include <cstdio>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+using namespace ficus;  // NOLINT
+
+namespace {
+
+void ShowTree(const char* who, repl::LogicalLayer* fs) {
+  std::printf("  [%s] /\n", who);
+  auto entries = vfs::ListDir(fs, "");
+  if (!entries.ok()) {
+    return;
+  }
+  for (const auto& e : *entries) {
+    std::printf("  [%s]   %s%s\n", who, e.name.c_str(),
+                e.type == vfs::VnodeType::kDirectory ? "/" : "");
+    if (e.type == vfs::VnodeType::kDirectory) {
+      auto inner = vfs::ListDir(fs, e.name);
+      if (inner.ok()) {
+        for (const auto& ie : *inner) {
+          std::printf("  [%s]     %s\n", who, ie.name.c_str());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Cluster cluster;
+  sim::FicusHost* west = cluster.AddHost("west-coast");
+  sim::FicusHost* east = cluster.AddHost("east-coast");
+  auto volume = cluster.CreateVolume({west, east});
+  auto west_fs = cluster.MountEverywhere(west, *volume);
+  auto east_fs = cluster.MountEverywhere(east, *volume);
+
+  // Shared starting state.
+  (void)vfs::MkdirAll(*west_fs, "paper");
+  (void)vfs::WriteFileAt(*west_fs, "paper/draft.txt", "abstract: TODO\n");
+  (void)cluster.ReconcileUntilQuiescent();
+  std::printf("== before the partition ==\n");
+  ShowTree("west", *west_fs);
+
+  // The continental link goes down. Both coasts keep working.
+  std::printf("\n== network partitioned; both sides keep updating ==\n");
+  cluster.Partition({{west}, {east}});
+
+  // West renames the directory and adds a figure.
+  (void)vfs::RenamePath(*west_fs, "paper", "paper-v2");
+  (void)vfs::WriteFileAt(*west_fs, "paper-v2/figure1.dat", "...plot data...\n");
+  std::printf("west: renamed paper/ -> paper-v2/, added figure1.dat\n");
+
+  // East (still seeing the old name) adds a bibliography and edits the
+  // draft; west edits the draft too -> a genuine write/write conflict.
+  (void)vfs::WriteFileAt(*east_fs, "paper/refs.bib", "@inproceedings{ficus90}\n");
+  (void)vfs::WriteFileAt(*east_fs, "paper/draft.txt", "abstract: east's words\n");
+  (void)vfs::WriteFileAt(*west_fs, "paper-v2/draft.txt", "abstract: west's words\n");
+  std::printf("east: added refs.bib, edited draft.txt\n");
+  std::printf("west: edited draft.txt (conflict with east!)\n");
+
+  // Heal and reconcile.
+  std::printf("\n== partition heals; reconciliation runs ==\n");
+  cluster.Heal();
+  (void)cluster.ReconcileUntilQuiescent();
+  ShowTree("west", *west_fs);
+  ShowTree("east", *east_fs);
+  std::printf("(directory updates merged automatically; the concurrently renamed\n"
+              " directory keeps BOTH names, pointing at one directory — section 2.5)\n");
+
+  // The double-edited file is flagged, not silently merged.
+  auto read = vfs::ReadFileAt(*west_fs, "paper-v2/draft.txt");
+  std::printf("\nreading draft.txt: %s\n", read.ok() ? "ok (unexpected!)"
+                                                     : read.status().ToString().c_str());
+  size_t conflicts = west->conflict_log().CountOf(repl::ConflictKind::kFileUpdate) +
+                     east->conflict_log().CountOf(repl::ConflictKind::kFileUpdate);
+  std::printf("conflict log entries (file updates): %zu\n", conflicts);
+
+  // The owner resolves by writing a merged version that dominates both.
+  repl::PhysicalLayer* phys = west->registry().LocalReplica(*volume);
+  auto entries = phys->ReadDirectory(repl::kRootFileId);
+  for (const auto& e : *entries) {
+    if (!e.alive || !repl::IsDirectoryLike(e.type)) {
+      continue;
+    }
+    auto inner = phys->ReadDirectory(e.file);
+    for (const auto& ie : *inner) {
+      if (ie.alive && ie.name == "draft.txt") {
+        std::string merged = "abstract: east's and west's words, merged by the owner\n";
+        (void)(*west_fs)->ResolveFileConflict(
+            ie.file, std::vector<uint8_t>(merged.begin(), merged.end()));
+      }
+    }
+  }
+  (void)cluster.ReconcileUntilQuiescent();
+  read = vfs::ReadFileAt(*east_fs, "paper/draft.txt");
+  std::printf("\nafter owner resolution, east reads: %s",
+              read.ok() ? read->c_str() : read.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: a two-host Ficus cluster in ~40 lines.
+//
+// Builds two simulated hosts, creates a volume replicated on both, writes
+// a file through host A's logical layer, lets the update-notification /
+// propagation machinery carry it to host B, and reads it back from B's
+// own replica while A is unreachable.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+using namespace ficus;  // NOLINT — examples favour brevity
+
+int main() {
+  // A cluster owns the simulated clock, network, and hosts. Each host has
+  // its own disk, buffer cache, UFS, and Ficus layers (Figure 1's stack).
+  sim::Cluster cluster;
+  sim::FicusHost* alice = cluster.AddHost("alice");
+  sim::FicusHost* bob = cluster.AddHost("bob");
+
+  // One volume, one replica on each host. Replicas start in sync.
+  auto volume = cluster.CreateVolume({alice, bob});
+  if (!volume.ok()) {
+    std::fprintf(stderr, "CreateVolume: %s\n", volume.status().ToString().c_str());
+    return 1;
+  }
+
+  // Mount on alice and use it like a filesystem. The logical layer gives
+  // the single-copy abstraction; alice's local replica serves the writes.
+  auto fs = cluster.MountEverywhere(alice, *volume);
+  (void)vfs::MkdirAll(*fs, "notes");
+  (void)vfs::WriteFileAt(*fs, "notes/todo.txt", "1. reproduce Ficus\n2. profit\n");
+  std::printf("alice wrote notes/todo.txt\n");
+
+  // The write multicast an update notification; bob's physical layer has
+  // it queued in the new-version cache. Run bob's propagation daemon.
+  (void)cluster.RunPropagationEverywhere();
+
+  // Prove bob holds the data himself: cut him off and read.
+  cluster.Partition({{bob}});
+  auto bob_fs = cluster.MountEverywhere(bob, *volume);
+  auto contents = vfs::ReadFileAt(*bob_fs, "notes/todo.txt");
+  if (!contents.ok()) {
+    std::fprintf(stderr, "bob read failed: %s\n", contents.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bob (fully partitioned) reads:\n%s", contents->c_str());
+
+  // One-copy availability: bob can even update while alone...
+  (void)vfs::WriteFileAt(*bob_fs, "notes/from-bob.txt", "hello from the island\n");
+  std::printf("bob wrote notes/from-bob.txt during the partition\n");
+
+  // ...and reconciliation merges everything after the network heals.
+  cluster.Heal();
+  (void)cluster.ReconcileUntilQuiescent();
+  auto merged = vfs::ReadFileAt(*fs, "notes/from-bob.txt");
+  std::printf("alice reads bob's partition-time file: %s",
+              merged.ok() ? merged->c_str() : merged.status().ToString().c_str());
+  return 0;
+}

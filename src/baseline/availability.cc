@@ -1,0 +1,78 @@
+#include "src/baseline/availability.h"
+
+#include <cmath>
+
+namespace ficus::baseline {
+
+AvailabilityResult SimulateIndependent(const ReplicationPolicy& policy, int n, double p,
+                                       int trials, Rng& rng) {
+  AvailabilityResult result;
+  std::vector<bool> accessible(static_cast<size_t>(n));
+  int reads = 0;
+  int updates = 0;
+  for (int t = 0; t < trials; ++t) {
+    for (auto&& a : accessible) {
+      a = rng.NextBool(p);
+    }
+    if (policy.CanRead(accessible)) {
+      ++reads;
+    }
+    if (policy.CanUpdate(accessible)) {
+      ++updates;
+    }
+  }
+  result.read = static_cast<double>(reads) / trials;
+  result.update = static_cast<double>(updates) / trials;
+  return result;
+}
+
+AvailabilityResult SimulatePartitioned(const ReplicationPolicy& policy, int n,
+                                       double host_up_p, double partition_q, int trials,
+                                       Rng& rng) {
+  AvailabilityResult result;
+  std::vector<bool> accessible(static_cast<size_t>(n));
+  int reads = 0;
+  int updates = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool split = rng.NextBool(partition_q);
+    for (auto&& a : accessible) {
+      bool up = rng.NextBool(host_up_p);
+      bool same_side = !split || !rng.NextBool(0.5);  // client sits on side 0
+      a = up && same_side;
+    }
+    if (policy.CanRead(accessible)) {
+      ++reads;
+    }
+    if (policy.CanUpdate(accessible)) {
+      ++updates;
+    }
+  }
+  result.read = static_cast<double>(reads) / trials;
+  result.update = static_cast<double>(updates) / trials;
+  return result;
+}
+
+StatusOr<AvailabilityResult> ComputeExact(const ReplicationPolicy& policy, int n, double p) {
+  if (n < 1 || n > 20) {
+    return InvalidArgumentError("exact enumeration supports 1 <= n <= 20");
+  }
+  AvailabilityResult result;
+  std::vector<bool> accessible(static_cast<size_t>(n));
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double prob = 1.0;
+    for (int i = 0; i < n; ++i) {
+      bool up = (mask >> i & 1) != 0;
+      accessible[static_cast<size_t>(i)] = up;
+      prob *= up ? p : (1.0 - p);
+    }
+    if (policy.CanRead(accessible)) {
+      result.read += prob;
+    }
+    if (policy.CanUpdate(accessible)) {
+      result.update += prob;
+    }
+  }
+  return result;
+}
+
+}  // namespace ficus::baseline

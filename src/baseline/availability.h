@@ -1,0 +1,40 @@
+// Availability evaluation of replica-control policies — the machinery
+// behind experiment A1 (DESIGN.md): quantifying the paper's claim that
+// one-copy availability strictly dominates the serializable policies.
+//
+// Two failure models:
+//   * independent host failures: each replica is reachable with
+//     probability p, independently (classic availability analysis);
+//   * partition model: with probability q the network splits into two
+//     sides and each replica lands on a uniformly random side, the client
+//     on side 0 — the "communications outages" the paper's abstract calls
+//     the motivating failure mode; host failures compose on top.
+// Exact enumeration is available for the independent model (n <= 20).
+#ifndef FICUS_SRC_BASELINE_AVAILABILITY_H_
+#define FICUS_SRC_BASELINE_AVAILABILITY_H_
+
+#include "src/baseline/policies.h"
+#include "src/common/rng.h"
+
+namespace ficus::baseline {
+
+struct AvailabilityResult {
+  double read = 0.0;    // fraction of trials a read could proceed
+  double update = 0.0;  // fraction of trials an update could proceed
+};
+
+// Monte-Carlo, independent failures: n replicas, each up w.p. p.
+AvailabilityResult SimulateIndependent(const ReplicationPolicy& policy, int n, double p,
+                                       int trials, Rng& rng);
+
+// Monte-Carlo, partition + failures: see header comment.
+AvailabilityResult SimulatePartitioned(const ReplicationPolicy& policy, int n,
+                                       double host_up_p, double partition_q, int trials,
+                                       Rng& rng);
+
+// Exact expectation by enumerating all 2^n accessibility vectors (n <= 20).
+StatusOr<AvailabilityResult> ComputeExact(const ReplicationPolicy& policy, int n, double p);
+
+}  // namespace ficus::baseline
+
+#endif  // FICUS_SRC_BASELINE_AVAILABILITY_H_

@@ -1,0 +1,87 @@
+#include "src/baseline/policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ficus::baseline {
+
+namespace {
+size_t CountAccessible(const std::vector<bool>& accessible) {
+  return static_cast<size_t>(std::count(accessible.begin(), accessible.end(), true));
+}
+}  // namespace
+
+bool OneCopyPolicy::CanRead(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) >= 1;
+}
+
+bool OneCopyPolicy::CanUpdate(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) >= 1;
+}
+
+bool PrimaryCopyPolicy::CanRead(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) >= 1;
+}
+
+bool PrimaryCopyPolicy::CanUpdate(const std::vector<bool>& accessible) const {
+  return primary_ < accessible.size() && accessible[primary_];
+}
+
+bool MajorityVotingPolicy::CanRead(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) * 2 > accessible.size();
+}
+
+bool MajorityVotingPolicy::CanUpdate(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) * 2 > accessible.size();
+}
+
+WeightedVotingPolicy::WeightedVotingPolicy(std::vector<int> weights, int read_quorum,
+                                           int write_quorum)
+    : weights_(std::move(weights)), read_quorum_(read_quorum), write_quorum_(write_quorum) {}
+
+StatusOr<WeightedVotingPolicy> WeightedVotingPolicy::Make(std::vector<int> weights,
+                                                          int read_quorum, int write_quorum) {
+  int total = std::accumulate(weights.begin(), weights.end(), 0);
+  if (read_quorum + write_quorum <= total) {
+    return InvalidArgumentError("r + w must exceed the total vote count");
+  }
+  if (2 * write_quorum <= total) {
+    return InvalidArgumentError("w must exceed half the total vote count");
+  }
+  return WeightedVotingPolicy(std::move(weights), read_quorum, write_quorum);
+}
+
+bool WeightedVotingPolicy::CanRead(const std::vector<bool>& accessible) const {
+  int votes = 0;
+  for (size_t i = 0; i < accessible.size() && i < weights_.size(); ++i) {
+    if (accessible[i]) {
+      votes += weights_[i];
+    }
+  }
+  return votes >= read_quorum_;
+}
+
+bool WeightedVotingPolicy::CanUpdate(const std::vector<bool>& accessible) const {
+  int votes = 0;
+  for (size_t i = 0; i < accessible.size() && i < weights_.size(); ++i) {
+    if (accessible[i]) {
+      votes += weights_[i];
+    }
+  }
+  return votes >= write_quorum_;
+}
+
+std::string QuorumConsensusPolicy::Name() const {
+  return "quorum consensus (r=" + std::to_string(read_quorum_) +
+         ", w=" + std::to_string(write_quorum_) + ")";
+}
+
+bool QuorumConsensusPolicy::CanRead(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) >= read_quorum_;
+}
+
+bool QuorumConsensusPolicy::CanUpdate(const std::vector<bool>& accessible) const {
+  return CountAccessible(accessible) >= write_quorum_;
+}
+
+}  // namespace ficus::baseline

@@ -1,0 +1,99 @@
+// Replica-control policies Ficus is compared against (paper section 1):
+// "One-copy availability provides strictly greater availability than
+// primary copy [2], voting [21], weighted voting [7], and quorum
+// consensus [10]."
+//
+// Each policy answers one question: given which replicas are currently
+// accessible, may a read / an update proceed? Serializable policies must
+// deny some partitions (any two quorums must intersect); Ficus's
+// one-copy availability accepts whenever any replica is reachable and
+// pays for it with reconciliation instead of mutual exclusion.
+#ifndef FICUS_SRC_BASELINE_POLICIES_H_
+#define FICUS_SRC_BASELINE_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ficus::baseline {
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  virtual std::string Name() const = 0;
+
+  // accessible[i] is true iff replica i can be reached from the client.
+  virtual bool CanRead(const std::vector<bool>& accessible) const = 0;
+  virtual bool CanUpdate(const std::vector<bool>& accessible) const = 0;
+};
+
+// Ficus (section 2.5): "update of any copy of the data, without requiring
+// a particular copy or a minimum number of copies to be accessible".
+class OneCopyPolicy : public ReplicationPolicy {
+ public:
+  std::string Name() const override { return "one-copy (Ficus)"; }
+  bool CanRead(const std::vector<bool>& accessible) const override;
+  bool CanUpdate(const std::vector<bool>& accessible) const override;
+};
+
+// Alsberg & Day: all updates funnel through a designated primary; reads
+// may be served by any copy (the read-any / write-primary variant).
+class PrimaryCopyPolicy : public ReplicationPolicy {
+ public:
+  explicit PrimaryCopyPolicy(size_t primary = 0) : primary_(primary) {}
+  std::string Name() const override { return "primary copy"; }
+  bool CanRead(const std::vector<bool>& accessible) const override;
+  bool CanUpdate(const std::vector<bool>& accessible) const override;
+
+ private:
+  size_t primary_;
+};
+
+// Thomas: both reads and updates require a strict majority of copies.
+class MajorityVotingPolicy : public ReplicationPolicy {
+ public:
+  std::string Name() const override { return "majority voting"; }
+  bool CanRead(const std::vector<bool>& accessible) const override;
+  bool CanUpdate(const std::vector<bool>& accessible) const override;
+};
+
+// Gifford: each replica carries votes; a read needs r votes, a write w
+// votes, with r + w > total and w > total/2.
+class WeightedVotingPolicy : public ReplicationPolicy {
+ public:
+  // weights per replica; read_quorum + write_quorum must exceed the total.
+  WeightedVotingPolicy(std::vector<int> weights, int read_quorum, int write_quorum);
+  std::string Name() const override { return "weighted voting"; }
+  bool CanRead(const std::vector<bool>& accessible) const override;
+  bool CanUpdate(const std::vector<bool>& accessible) const override;
+
+  static StatusOr<WeightedVotingPolicy> Make(std::vector<int> weights, int read_quorum,
+                                             int write_quorum);
+
+ private:
+  std::vector<int> weights_;
+  int read_quorum_;
+  int write_quorum_;
+};
+
+// Herlihy-style quorum consensus with uniform weights: a read needs r
+// replicas, a write needs w replicas, r + w > n.
+class QuorumConsensusPolicy : public ReplicationPolicy {
+ public:
+  QuorumConsensusPolicy(size_t read_quorum, size_t write_quorum)
+      : read_quorum_(read_quorum), write_quorum_(write_quorum) {}
+  std::string Name() const override;
+  bool CanRead(const std::vector<bool>& accessible) const override;
+  bool CanUpdate(const std::vector<bool>& accessible) const override;
+
+ private:
+  size_t read_quorum_;
+  size_t write_quorum_;
+};
+
+}  // namespace ficus::baseline
+
+#endif  // FICUS_SRC_BASELINE_POLICIES_H_

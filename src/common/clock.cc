@@ -1,0 +1,3 @@
+#include "src/common/clock.h"
+
+// SimClock is header-only; this translation unit anchors the library.

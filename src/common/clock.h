@@ -1,0 +1,40 @@
+// Simulated clock. The whole system runs on logical time so tests of
+// propagation delay, graft pruning, and cache expiry are deterministic.
+#ifndef FICUS_SRC_COMMON_CLOCK_H_
+#define FICUS_SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace ficus {
+
+// Microseconds of simulated time since simulation start.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Monotonic simulated clock, advanced explicitly by the simulation loop.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime Now() const { return now_; }
+
+  // Advances by delta microseconds.
+  void Advance(SimTime delta) { now_ += delta; }
+
+  // Jumps to an absolute time; must not go backwards.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace ficus
+
+#endif  // FICUS_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,85 @@
+#include "src/common/hex.h"
+
+namespace ficus {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode64(uint64_t value) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string HexEncode32(uint32_t value) {
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+StatusOr<uint64_t> HexDecode64(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty hex string");
+  }
+  if (text.size() > 16) {
+    return InvalidArgumentError("hex string longer than 16 digits");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit = HexValue(c);
+    if (digit < 0) {
+      return InvalidArgumentError("non-hex character in string");
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+std::string HexEncodeBytes(const std::vector<uint8_t>& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> HexDecodeBytes(std::string_view text) {
+  if (text.size() % 2 != 0) {
+    return InvalidArgumentError("odd-length hex byte string");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(text.size() / 2);
+  for (size_t i = 0; i < text.size(); i += 2) {
+    int hi = HexValue(text[i]);
+    int lo = HexValue(text[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgumentError("non-hex character in byte string");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace ficus

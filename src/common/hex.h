@@ -1,0 +1,33 @@
+// Hexadecimal codec. The Ficus physical layer encodes file handles as hex
+// strings used as pathnames in the underlying UFS (the paper's "dual
+// mapping", section 2.6).
+#ifndef FICUS_SRC_COMMON_HEX_H_
+#define FICUS_SRC_COMMON_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ficus {
+
+// Lower-case hex of a 64-bit value, zero-padded to 16 digits.
+std::string HexEncode64(uint64_t value);
+
+// Lower-case hex of a 32-bit value, zero-padded to 8 digits.
+std::string HexEncode32(uint32_t value);
+
+// Parses a hex string (any length up to 16 digits). Rejects empty input and
+// non-hex characters.
+StatusOr<uint64_t> HexDecode64(std::string_view text);
+
+// Arbitrary byte-array codec (2 hex digits per byte) — used to smuggle
+// marshalled requests through lookup names across NFS.
+std::string HexEncodeBytes(const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> HexDecodeBytes(std::string_view text);
+
+}  // namespace ficus
+
+#endif  // FICUS_SRC_COMMON_HEX_H_

@@ -1,0 +1,38 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace ficus {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& component, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s] %s\n", LevelTag(level), component.c_str(), message.c_str());
+}
+
+}  // namespace ficus

@@ -1,0 +1,49 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay
+// quiet; examples flip it on to narrate what the stack is doing.
+#ifndef FICUS_SRC_COMMON_LOGGING_H_
+#define FICUS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ficus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if level passes the filter.
+void LogMessage(LogLevel level, const std::string& component, const std::string& message);
+
+// Stream-style helper: FICUS_LOG(kInfo, "repl") << "propagated " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { LogMessage(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ficus
+
+#define FICUS_LOG(level, component) ::ficus::LogStream(::ficus::LogLevel::level, component)
+
+#endif  // FICUS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "src/common/status.h"
+
+namespace ficus {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not found";
+    case ErrorCode::kExists:
+      return "already exists";
+    case ErrorCode::kNotDir:
+      return "not a directory";
+    case ErrorCode::kIsDir:
+      return "is a directory";
+    case ErrorCode::kNotEmpty:
+      return "directory not empty";
+    case ErrorCode::kNoSpace:
+      return "no space";
+    case ErrorCode::kInvalidArgument:
+      return "invalid argument";
+    case ErrorCode::kPermission:
+      return "permission denied";
+    case ErrorCode::kStale:
+      return "stale handle";
+    case ErrorCode::kIo:
+      return "i/o error";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kNameTooLong:
+      return "name too long";
+    case ErrorCode::kNotSupported:
+      return "not supported";
+    case ErrorCode::kCrossDevice:
+      return "cross-device operation";
+    case ErrorCode::kUnreachable:
+      return "host unreachable";
+    case ErrorCode::kTimedOut:
+      return "timed out";
+    case ErrorCode::kConflict:
+      return "update conflict";
+    case ErrorCode::kCorrupt:
+      return "corrupt structure";
+    case ErrorCode::kQuorumDenied:
+      return "quorum denied";
+    case ErrorCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+
+#define FICUS_DEFINE_ERROR_CTOR(fn, code)            \
+  Status fn(std::string message) {                   \
+    return Status(ErrorCode::code, std::move(message)); \
+  }
+
+FICUS_DEFINE_ERROR_CTOR(NotFoundError, kNotFound)
+FICUS_DEFINE_ERROR_CTOR(ExistsError, kExists)
+FICUS_DEFINE_ERROR_CTOR(NotDirError, kNotDir)
+FICUS_DEFINE_ERROR_CTOR(IsDirError, kIsDir)
+FICUS_DEFINE_ERROR_CTOR(NotEmptyError, kNotEmpty)
+FICUS_DEFINE_ERROR_CTOR(NoSpaceError, kNoSpace)
+FICUS_DEFINE_ERROR_CTOR(InvalidArgumentError, kInvalidArgument)
+FICUS_DEFINE_ERROR_CTOR(PermissionError, kPermission)
+FICUS_DEFINE_ERROR_CTOR(StaleError, kStale)
+FICUS_DEFINE_ERROR_CTOR(IoError, kIo)
+FICUS_DEFINE_ERROR_CTOR(BusyError, kBusy)
+FICUS_DEFINE_ERROR_CTOR(NameTooLongError, kNameTooLong)
+FICUS_DEFINE_ERROR_CTOR(NotSupportedError, kNotSupported)
+FICUS_DEFINE_ERROR_CTOR(CrossDeviceError, kCrossDevice)
+FICUS_DEFINE_ERROR_CTOR(UnreachableError, kUnreachable)
+FICUS_DEFINE_ERROR_CTOR(TimedOutError, kTimedOut)
+FICUS_DEFINE_ERROR_CTOR(ConflictError, kConflict)
+FICUS_DEFINE_ERROR_CTOR(CorruptError, kCorrupt)
+FICUS_DEFINE_ERROR_CTOR(QuorumDeniedError, kQuorumDenied)
+FICUS_DEFINE_ERROR_CTOR(InternalError, kInternal)
+
+#undef FICUS_DEFINE_ERROR_CTOR
+
+}  // namespace ficus

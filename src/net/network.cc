@@ -1,0 +1,151 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+namespace ficus::net {
+
+namespace {
+const std::string kUnknownHostName = "<unknown>";
+
+std::pair<HostId, HostId> OrderedPair(HostId a, HostId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+HostId Network::AddHost(const std::string& name) {
+  HostId id = next_id_++;
+  hosts_[id].name = name;
+  return id;
+}
+
+HostPort* Network::port(HostId host) {
+  auto it = hosts_.find(host);
+  return it != hosts_.end() ? &it->second.port : nullptr;
+}
+
+const std::string& Network::HostName(HostId host) const {
+  auto it = hosts_.find(host);
+  return it != hosts_.end() ? it->second.name : kUnknownHostName;
+}
+
+std::vector<HostId> Network::Hosts() const {
+  std::vector<HostId> out;
+  out.reserve(hosts_.size());
+  for (const auto& [id, host] : hosts_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Network::DisconnectPair(HostId a, HostId b) {
+  if (a != b) {
+    severed_.insert(OrderedPair(a, b));
+  }
+}
+
+void Network::ConnectPair(HostId a, HostId b) { severed_.erase(OrderedPair(a, b)); }
+
+void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
+  severed_.clear();
+  // Map each host to its group; hosts absent from all groups are isolated.
+  std::map<HostId, size_t> group_of;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (HostId h : groups[g]) {
+      group_of[h] = g;
+    }
+  }
+  std::vector<HostId> all = Hosts();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      auto gi = group_of.find(all[i]);
+      auto gj = group_of.find(all[j]);
+      bool same = gi != group_of.end() && gj != group_of.end() && gi->second == gj->second;
+      if (!same) {
+        severed_.insert(OrderedPair(all[i], all[j]));
+      }
+    }
+  }
+}
+
+void Network::Heal() { severed_.clear(); }
+
+void Network::SetHostUp(HostId host, bool up) {
+  auto it = hosts_.find(host);
+  if (it != hosts_.end()) {
+    it->second.up = up;
+  }
+}
+
+bool Network::HostUp(HostId host) const {
+  auto it = hosts_.find(host);
+  return it != hosts_.end() && it->second.up;
+}
+
+bool Network::Reachable(HostId from, HostId to) const {
+  if (!HostUp(from) || !HostUp(to)) {
+    return false;
+  }
+  if (from == to) {
+    return true;
+  }
+  return severed_.count(OrderedPair(from, to)) == 0;
+}
+
+StatusOr<Payload> Network::Rpc(HostId from, HostId to, const std::string& service,
+                               const Payload& request) {
+  if (!Reachable(from, to)) {
+    ++stats_.rpcs_failed;
+    return UnreachableError("no route from " + HostName(from) + " to " + HostName(to));
+  }
+  auto it = hosts_.find(to);
+  if (it == hosts_.end()) {
+    ++stats_.rpcs_failed;
+    return UnreachableError("destination host does not exist");
+  }
+  auto handler = it->second.port.rpc_services_.find(service);
+  if (handler == it->second.port.rpc_services_.end()) {
+    ++stats_.rpcs_failed;
+    return NotFoundError("service not registered: " + service);
+  }
+  ++stats_.rpcs_sent;
+  stats_.rpc_bytes += request.size();
+  if (clock_ != nullptr && from != to) {
+    clock_->Advance(rpc_latency_);
+  }
+  StatusOr<Payload> response = handler->second(from, request);
+  if (response.ok()) {
+    stats_.rpc_bytes += response.value().size();
+  }
+  return response;
+}
+
+size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
+                          const std::string& channel, const Payload& payload) {
+  size_t delivered = 0;
+  for (HostId to : destinations) {
+    if (to == from) {
+      continue;
+    }
+    if (!Reachable(from, to)) {
+      ++stats_.datagrams_dropped;
+      continue;
+    }
+    auto it = hosts_.find(to);
+    if (it == hosts_.end()) {
+      ++stats_.datagrams_dropped;
+      continue;
+    }
+    auto handler = it->second.port.datagram_channels_.find(channel);
+    if (handler == it->second.port.datagram_channels_.end()) {
+      ++stats_.datagrams_dropped;
+      continue;
+    }
+    ++stats_.datagrams_sent;
+    stats_.datagram_bytes += payload.size();
+    handler->second(from, payload);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace ficus::net

@@ -1,0 +1,126 @@
+// Simulated network connecting Ficus hosts. Connectivity is a symmetric
+// reachability relation the test/benchmark scripts partition and heal at
+// will — "partial operation is the normal, not exceptional, status"
+// (paper section 1). Provides the two primitives Ficus needs:
+//   * synchronous unicast RPC (what the NFS transport layer rides on), and
+//   * best-effort multicast datagrams (update notifications, section 3.2):
+//     delivered immediately to reachable hosts, silently dropped for
+//     unreachable ones, never retried.
+#ifndef FICUS_SRC_NET_NETWORK_H_
+#define FICUS_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace ficus::net {
+
+using HostId = uint32_t;
+constexpr HostId kInvalidHost = 0;
+
+// Opaque message payload.
+using Payload = std::vector<uint8_t>;
+
+// Per-network traffic counters.
+struct NetworkStats {
+  uint64_t rpcs_sent = 0;
+  uint64_t rpcs_failed = 0;       // unreachable destination
+  uint64_t rpc_bytes = 0;         // request + response payload bytes
+  uint64_t datagrams_sent = 0;    // per-destination count
+  uint64_t datagrams_dropped = 0; // destinations unreachable at send time
+  uint64_t datagram_bytes = 0;
+};
+
+// A host's attachment to the network: services it exposes.
+//   RPC: service name -> handler(request) -> response or error.
+//   Datagram: channel name -> handler(sender, payload).
+class HostPort {
+ public:
+  using RpcHandler = std::function<StatusOr<Payload>(HostId sender, const Payload& request)>;
+  using DatagramHandler = std::function<void(HostId sender, const Payload& payload)>;
+
+  void RegisterRpcService(const std::string& service, RpcHandler handler) {
+    rpc_services_[service] = std::move(handler);
+  }
+  void RegisterDatagramChannel(const std::string& channel, DatagramHandler handler) {
+    datagram_channels_[channel] = std::move(handler);
+  }
+
+ private:
+  friend class Network;
+  std::map<std::string, RpcHandler> rpc_services_;
+  std::map<std::string, DatagramHandler> datagram_channels_;
+};
+
+class Network {
+ public:
+  // clock may be null; latency accounting then has no effect.
+  explicit Network(SimClock* clock = nullptr) : clock_(clock) {}
+
+  // Adds a host and returns its id (ids start at 1). All existing hosts are
+  // reachable from the new one until partitioned.
+  HostId AddHost(const std::string& name);
+
+  HostPort* port(HostId host);
+  const std::string& HostName(HostId host) const;
+  std::vector<HostId> Hosts() const;
+
+  // --- Connectivity control ---
+  // Severs the (symmetric) link between two hosts.
+  void DisconnectPair(HostId a, HostId b);
+  void ConnectPair(HostId a, HostId b);
+  // Splits hosts into groups; hosts in different groups cannot communicate,
+  // hosts in the same group can. Clears previous pairwise state.
+  void Partition(const std::vector<std::vector<HostId>>& groups);
+  // Restores full connectivity.
+  void Heal();
+  // Takes a host entirely offline / online (models a crashed host).
+  void SetHostUp(HostId host, bool up);
+  bool HostUp(HostId host) const;
+
+  bool Reachable(HostId from, HostId to) const;
+
+  // --- Messaging ---
+  // Synchronous RPC: runs the destination's handler inline. Fails with
+  // kUnreachable when partitioned or either host is down, kNotFound when
+  // the service is not registered. Advances the simulated clock by
+  // rpc_latency per call when a clock is attached.
+  StatusOr<Payload> Rpc(HostId from, HostId to, const std::string& service,
+                        const Payload& request);
+
+  // Best-effort multicast: delivers to each reachable destination's channel
+  // handler, drops the rest. Self-delivery is skipped. Returns the number
+  // of hosts actually reached.
+  size_t Multicast(HostId from, const std::vector<HostId>& destinations,
+                   const std::string& channel, const Payload& payload);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  void set_rpc_latency(SimTime latency) { rpc_latency_ = latency; }
+
+ private:
+  struct Host {
+    std::string name;
+    bool up = true;
+    HostPort port;
+  };
+
+  SimClock* clock_;
+  std::map<HostId, Host> hosts_;
+  HostId next_id_ = 1;
+  // Pairs (a < b) that are explicitly severed.
+  std::set<std::pair<HostId, HostId>> severed_;
+  NetworkStats stats_;
+  SimTime rpc_latency_ = kMillisecond;
+};
+
+}  // namespace ficus::net
+
+#endif  // FICUS_SRC_NET_NETWORK_H_

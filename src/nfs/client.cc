@@ -1,0 +1,402 @@
+#include "src/nfs/client.h"
+
+namespace ficus::nfs {
+
+using net::Payload;
+using vfs::Credentials;
+using vfs::DirEntry;
+using vfs::SetAttrRequest;
+using vfs::VAttr;
+using vfs::VnodePtr;
+
+NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
+                     const SimClock* clock, ClientConfig config, std::string service)
+    : network_(network),
+      local_host_(local_host),
+      server_host_(server_host),
+      clock_(clock),
+      config_(config),
+      service_(std::move(service)) {}
+
+StatusOr<Payload> NfsClient::Call(const Payload& request) {
+  ++stats_.rpcs;
+  FICUS_ASSIGN_OR_RETURN(Payload response,
+                         network_->Rpc(local_host_, server_host_, service_, request));
+  ByteReader r(response);
+  Status status = ReadWireStatus(r);
+  if (!status.ok()) {
+    return status;
+  }
+  return response;
+}
+
+void NfsClient::InvalidateCaches() {
+  attr_cache_.clear();
+  dnlc_.clear();
+}
+
+StatusOr<VAttr> NfsClient::CachedAttr(NfsHandle handle) {
+  auto it = attr_cache_.find(handle);
+  if (it != attr_cache_.end() && it->second.expires > Now()) {
+    ++stats_.attr_cache_hits;
+    return it->second.attr;
+  }
+  ++stats_.attr_cache_misses;
+  return NotFoundError("attr not cached");
+}
+
+void NfsClient::StoreAttr(NfsHandle handle, const VAttr& attr) {
+  if (config_.attr_cache_ttl == 0) {
+    return;
+  }
+  attr_cache_[handle] = AttrEntry{attr, Now() + config_.attr_cache_ttl};
+}
+
+void NfsClient::DropAttr(NfsHandle handle) { attr_cache_.erase(handle); }
+
+StatusOr<NfsHandle> NfsClient::CachedName(NfsHandle dir, std::string_view name) {
+  auto it = dnlc_.find(std::make_pair(dir, std::string(name)));
+  if (it != dnlc_.end() && it->second.expires > Now()) {
+    ++stats_.dnlc_hits;
+    return it->second.child;
+  }
+  ++stats_.dnlc_misses;
+  return NotFoundError("name not cached");
+}
+
+void NfsClient::StoreName(NfsHandle dir, std::string_view name, NfsHandle child) {
+  if (config_.dnlc_ttl == 0) {
+    return;
+  }
+  dnlc_[std::make_pair(dir, std::string(name))] = NameEntry{child, Now() + config_.dnlc_ttl};
+}
+
+void NfsClient::DropName(NfsHandle dir, std::string_view name) {
+  dnlc_.erase(std::make_pair(dir, std::string(name)));
+}
+
+void NfsClient::DropDirNames(NfsHandle dir) {
+  auto it = dnlc_.lower_bound(std::make_pair(dir, std::string()));
+  while (it != dnlc_.end() && it->first.first == dir) {
+    it = dnlc_.erase(it);
+  }
+}
+
+StatusOr<VnodePtr> NfsClient::Root() {
+  if (root_handle_ != kInvalidHandle) {
+    return VnodePtr(std::make_shared<NfsVnode>(this, root_handle_));
+  }
+  Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kGetRoot));
+  PutCred(w, Credentials{});
+  FICUS_ASSIGN_OR_RETURN(Payload response, Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+  VAttr attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
+  root_handle_ = handle;
+  StoreAttr(handle, attr);
+  return VnodePtr(std::make_shared<NfsVnode>(this, handle));
+}
+
+StatusOr<vfs::FsStats> NfsClient::Statfs() {
+  Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kStatfs));
+  PutCred(w, Credentials{});
+  FICUS_ASSIGN_OR_RETURN(Payload response, Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  vfs::FsStats stats;
+  FICUS_ASSIGN_OR_RETURN(stats.total_blocks, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(stats.free_blocks, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(stats.total_inodes, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(stats.free_inodes, r.GetU64());
+  return stats;
+}
+
+namespace {
+// Starts a request for `proc` on `handle` with credentials.
+Payload BeginRequest(NfsProc proc, const Credentials& cred, NfsHandle handle) {
+  Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(proc));
+  PutCred(w, cred);
+  w.PutU64(handle);
+  return request;
+}
+}  // namespace
+
+StatusOr<VAttr> NfsVnode::GetAttr() {
+  auto cached = client_->CachedAttr(handle_);
+  if (cached.ok()) {
+    return cached;
+  }
+  Payload request = BeginRequest(NfsProc::kGetAttr, Credentials{}, handle_);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  VAttr attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
+  client_->StoreAttr(handle_, attr);
+  return attr;
+}
+
+Status NfsVnode::SetAttr(const SetAttrRequest& request_attrs, const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kSetAttr, cred, handle_);
+  ByteWriter w(request);
+  PutSetAttr(w, request_attrs);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  VAttr attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
+  client_->StoreAttr(handle_, attr);
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const Credentials& cred) {
+  auto cached = client_->CachedName(handle_, name);
+  if (cached.ok()) {
+    return VnodePtr(std::make_shared<NfsVnode>(client_, cached.value()));
+  }
+  Payload request = BeginRequest(NfsProc::kLookup, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
+  VAttr attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
+  client_->StoreAttr(child, attr);
+  client_->StoreName(handle_, name, child);
+  return VnodePtr(std::make_shared<NfsVnode>(client_, child));
+}
+
+StatusOr<VnodePtr> NfsVnode::Create(std::string_view name, const VAttr& attr,
+                                    const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kCreate, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  PutVAttr(w, attr);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
+  VAttr child_attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, child_attr));
+  client_->StoreAttr(child, child_attr);
+  client_->StoreName(handle_, name, child);
+  client_->DropAttr(handle_);  // directory mtime changed
+  return VnodePtr(std::make_shared<NfsVnode>(client_, child));
+}
+
+Status NfsVnode::Remove(std::string_view name, const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kRemove, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  client_->DropName(handle_, name);
+  client_->DropAttr(handle_);
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> NfsVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                   const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kMkdir, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  PutVAttr(w, attr);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
+  VAttr child_attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, child_attr));
+  client_->StoreAttr(child, child_attr);
+  client_->StoreName(handle_, name, child);
+  client_->DropAttr(handle_);
+  return VnodePtr(std::make_shared<NfsVnode>(client_, child));
+}
+
+Status NfsVnode::Rmdir(std::string_view name, const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kRmdir, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  // Capture the dying directory's handle so its cached child names can
+  // be purged too (they would otherwise ghost until their TTL).
+  auto victim = client_->CachedName(handle_, name);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  client_->DropName(handle_, name);
+  if (victim.ok()) {
+    client_->DropDirNames(victim.value());
+    client_->DropAttr(victim.value());
+  }
+  client_->DropAttr(handle_);
+  return OkStatus();
+}
+
+Status NfsVnode::Link(std::string_view name, const VnodePtr& target, const Credentials& cred) {
+  auto* nfs_target = dynamic_cast<NfsVnode*>(target.get());
+  if (nfs_target == nullptr || nfs_target->client_ != client_) {
+    return CrossDeviceError("link target is not on the same NFS mount");
+  }
+  Payload request = BeginRequest(NfsProc::kLink, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  w.PutU64(nfs_target->handle_);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  client_->DropAttr(handle_);
+  client_->DropAttr(nfs_target->handle_);
+  return OkStatus();
+}
+
+Status NfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                        std::string_view new_name, const Credentials& cred) {
+  auto* nfs_parent = dynamic_cast<NfsVnode*>(new_parent.get());
+  if (nfs_parent == nullptr || nfs_parent->client_ != client_) {
+    return CrossDeviceError("rename target is not on the same NFS mount");
+  }
+  Payload request = BeginRequest(NfsProc::kRename, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(old_name);
+  w.PutU64(nfs_parent->handle_);
+  w.PutString(new_name);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  client_->DropName(handle_, old_name);
+  client_->DropName(nfs_parent->handle_, new_name);
+  client_->DropAttr(handle_);
+  client_->DropAttr(nfs_parent->handle_);
+  return OkStatus();
+}
+
+StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const Credentials& cred) {
+  // Page through the directory with cookies, as real clients do.
+  std::vector<DirEntry> entries;
+  uint32_t cookie = 0;
+  for (;;) {
+    Payload request = BeginRequest(NfsProc::kReaddir, cred, handle_);
+    ByteWriter w(request);
+    w.PutU32(cookie);
+    FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+    ByteReader r(response);
+    FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+    FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+    entries.reserve(entries.size() + count);
+    for (uint32_t i = 0; i < count; ++i) {
+      DirEntry e;
+      FICUS_ASSIGN_OR_RETURN(e.name, r.GetString());
+      FICUS_ASSIGN_OR_RETURN(e.fileid, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+      e.type = static_cast<vfs::VnodeType>(type);
+      entries.push_back(std::move(e));
+    }
+    FICUS_ASSIGN_OR_RETURN(uint8_t eof, r.GetU8());
+    FICUS_ASSIGN_OR_RETURN(cookie, r.GetU32());
+    if (eof != 0) {
+      break;
+    }
+  }
+  return entries;
+}
+
+StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view target,
+                                     const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kSymlink, cred, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  w.PutString(target);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
+  VAttr child_attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, child_attr));
+  client_->StoreAttr(child, child_attr);
+  client_->DropAttr(handle_);
+  return VnodePtr(std::make_shared<NfsVnode>(client_, child));
+}
+
+StatusOr<std::string> NfsVnode::Readlink(const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kReadlink, cred, handle_);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  return r.GetString();
+}
+
+Status NfsVnode::Open(uint32_t flags, const Credentials& cred) {
+  // "The vnode services open and close are not supported by the NFS
+  // definition, and so are ignored: a layer intending to receive an open
+  // will never get it if NFS is in between." (section 2.2)
+  ++client_->stats_.opens_dropped;
+  if ((flags & vfs::kOpenTruncate) != 0) {
+    // Real NFS clients emulate O_TRUNC with a SETATTR; the open itself
+    // still never reaches the server as an open.
+    SetAttrRequest truncate;
+    truncate.set_size = true;
+    truncate.size = 0;
+    return SetAttr(truncate, cred);
+  }
+  return OkStatus();
+}
+
+Status NfsVnode::Close(uint32_t, const Credentials&) {
+  ++client_->stats_.closes_dropped;
+  return OkStatus();
+}
+
+StatusOr<size_t> NfsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kRead, cred, handle_);
+  ByteWriter w(request);
+  w.PutU64(offset);
+  w.PutU32(static_cast<uint32_t>(length));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(out, r.GetBytes());
+  return out.size();
+}
+
+StatusOr<size_t> NfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                 const Credentials& cred) {
+  Payload request = BeginRequest(NfsProc::kWrite, cred, handle_);
+  ByteWriter w(request);
+  w.PutU64(offset);
+  w.PutBytes(data);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  FICUS_ASSIGN_OR_RETURN(uint32_t written, r.GetU32());
+  VAttr attr;
+  FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
+  client_->StoreAttr(handle_, attr);
+  return static_cast<size_t>(written);
+}
+
+Status NfsVnode::Fsync(const Credentials&) {
+  // NFS writes are already synchronous on the server side.
+  return OkStatus();
+}
+
+Status NfsVnode::Ioctl(std::string_view, const std::vector<uint8_t>&, std::vector<uint8_t>&,
+                       const Credentials&) {
+  // The NFS protocol has no ioctl procedure; an intermediate NFS hop
+  // swallows any out-of-band extension. This is precisely why Ficus
+  // encodes open/close requests inside Lookup names (section 2.3).
+  return NotSupportedError("ioctl cannot cross an NFS transport");
+}
+
+}  // namespace ficus::nfs

@@ -1,0 +1,147 @@
+// NFS client: a Vfs whose vnodes forward operations over the simulated
+// network to an NfsServer. Faithful to the behaviours the paper calls out
+// (section 2.2):
+//   * Open and Close "are not supported by the NFS definition, and so are
+//     ignored" — a layer above never sees them. Here they succeed locally
+//     without a single RPC.
+//   * Ioctl is not part of the protocol and is NOT forwarded — it fails
+//     with kNotSupported, which is why Ficus tunnels open/close through
+//     Lookup instead.
+//   * The client caches attributes and directory-name lookups; the caches
+//     are "not fully controllable" in real NFS, but the simulation exposes
+//     TTL knobs (0 disables) so the resulting anomalies can be tested
+//     rather than merely suffered.
+#ifndef FICUS_SRC_NFS_CLIENT_H_
+#define FICUS_SRC_NFS_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/net/network.h"
+#include "src/nfs/protocol.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::nfs {
+
+struct ClientStats {
+  uint64_t rpcs = 0;
+  uint64_t attr_cache_hits = 0;
+  uint64_t attr_cache_misses = 0;
+  uint64_t dnlc_hits = 0;
+  uint64_t dnlc_misses = 0;
+  uint64_t opens_dropped = 0;   // Open calls absorbed without an RPC
+  uint64_t closes_dropped = 0;  // Close calls absorbed without an RPC
+};
+
+struct ClientConfig {
+  SimTime attr_cache_ttl = 3 * kSecond;  // 0 disables
+  SimTime dnlc_ttl = 3 * kSecond;        // 0 disables
+};
+
+class NfsClient;
+
+// Client-side vnode naming one remote file by NFS handle.
+class NfsVnode : public vfs::Vnode {
+ public:
+  NfsVnode(NfsClient* client, NfsHandle handle) : client_(client), handle_(handle) {}
+
+  StatusOr<vfs::VAttr> GetAttr() override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
+                                 const vfs::Credentials& cred) override;
+  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
+                                const vfs::Credentials& cred) override;
+  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+  Status Link(std::string_view name, const vfs::VnodePtr& target,
+              const vfs::Credentials& cred) override;
+  Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
+                std::string_view new_name, const vfs::Credentials& cred) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
+                                  const vfs::Credentials& cred) override;
+  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
+  // Ignored without an RPC — the NFS statelessness the paper works around.
+  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
+  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const vfs::Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const vfs::Credentials& cred) override;
+  Status Fsync(const vfs::Credentials& cred) override;
+  // Deliberately NOT forwarded: the NFS protocol has no such procedure.
+  Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+               std::vector<uint8_t>& response, const vfs::Credentials& cred) override;
+
+  NfsHandle handle() const { return handle_; }
+
+ private:
+  NfsClient* client_;
+  NfsHandle handle_;
+};
+
+class NfsClient : public vfs::Vfs {
+ public:
+  NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
+            const SimClock* clock, ClientConfig config = ClientConfig{},
+            std::string service = kNfsService);
+
+  // Root() fetches (and caches) the remote root handle.
+  StatusOr<vfs::VnodePtr> Root() override;
+  StatusOr<vfs::FsStats> Statfs() override;
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats{}; }
+
+  // Drops all cached attributes and names (the control real NFS lacks).
+  void InvalidateCaches();
+
+  // Forgets the cached root handle so the next Root() re-fetches it from
+  // the server — the recovery step after a server restart staled it.
+  void ForgetRoot() { root_handle_ = kInvalidHandle; }
+
+ private:
+  friend class NfsVnode;
+
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  // Sends one marshalled call; returns the response with its leading Status
+  // already checked.
+  StatusOr<net::Payload> Call(const net::Payload& request);
+
+  // --- cache plumbing ---
+  StatusOr<vfs::VAttr> CachedAttr(NfsHandle handle);
+  void StoreAttr(NfsHandle handle, const vfs::VAttr& attr);
+  void DropAttr(NfsHandle handle);
+  StatusOr<NfsHandle> CachedName(NfsHandle dir, std::string_view name);
+  void StoreName(NfsHandle dir, std::string_view name, NfsHandle child);
+  void DropName(NfsHandle dir, std::string_view name);
+  void DropDirNames(NfsHandle dir);
+
+  struct AttrEntry {
+    vfs::VAttr attr;
+    SimTime expires;
+  };
+  struct NameEntry {
+    NfsHandle child;
+    SimTime expires;
+  };
+
+  net::Network* network_;
+  net::HostId local_host_;
+  net::HostId server_host_;
+  const SimClock* clock_;
+  ClientConfig config_;
+  std::string service_;
+  ClientStats stats_;
+  NfsHandle root_handle_ = kInvalidHandle;
+  std::map<NfsHandle, AttrEntry> attr_cache_;
+  std::map<std::pair<NfsHandle, std::string>, NameEntry> dnlc_;
+};
+
+}  // namespace ficus::nfs
+
+#endif  // FICUS_SRC_NFS_CLIENT_H_

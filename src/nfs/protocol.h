@@ -1,0 +1,73 @@
+// Wire protocol for the simulated NFS transport (paper section 2.2).
+//
+// Deliberate fidelity to the real NFS of the paper's era:
+//   * stateless: the only per-client state on the server is the file-handle
+//     table, and handles are durable names, not open-file state;
+//   * there are NO open/close procedures — a layer above an NFS hop that
+//     wants open/close must tunnel them (Ficus overloads lookup, §2.3);
+//   * there is no ioctl-style escape hatch either, which is why the
+//     overloading trick is needed at all.
+#ifndef FICUS_SRC_NFS_PROTOCOL_H_
+#define FICUS_SRC_NFS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::nfs {
+
+// Durable server-side name for a vnode.
+using NfsHandle = uint64_t;
+constexpr NfsHandle kInvalidHandle = 0;
+
+// Entries per READDIR page — clients loop with a cookie until EOF, as in
+// the real protocol (a directory can exceed any single response).
+inline constexpr uint32_t kReaddirPageSize = 128;
+
+// RPC procedure numbers. Note the absence of OPEN and CLOSE.
+enum class NfsProc : uint8_t {
+  kNull = 0,
+  kGetRoot = 1,
+  kGetAttr = 2,
+  kSetAttr = 3,
+  kLookup = 4,
+  kCreate = 5,
+  kRemove = 6,
+  kMkdir = 7,
+  kRmdir = 8,
+  kLink = 9,
+  kRename = 10,
+  kReaddir = 11,
+  kSymlink = 12,
+  kReadlink = 13,
+  kRead = 14,
+  kWrite = 15,
+  kStatfs = 16,
+};
+
+// Name of the RPC service an NfsServer registers on its host port.
+inline constexpr char kNfsService[] = "nfs";
+
+// --- shared marshalling helpers ---
+
+void PutStatus(ByteWriter& w, const Status& status);
+// Decodes a Status from the wire. A decode failure surfaces as kCorrupt;
+// otherwise the decoded status itself is returned (ok or not).
+Status ReadWireStatus(ByteReader& r);
+
+void PutVAttr(ByteWriter& w, const vfs::VAttr& attr);
+Status GetVAttr(ByteReader& r, vfs::VAttr& attr);
+
+void PutSetAttr(ByteWriter& w, const vfs::SetAttrRequest& request);
+Status GetSetAttr(ByteReader& r, vfs::SetAttrRequest& request);
+
+void PutCred(ByteWriter& w, const vfs::Credentials& cred);
+Status GetCred(ByteReader& r, vfs::Credentials& cred);
+
+}  // namespace ficus::nfs
+
+#endif  // FICUS_SRC_NFS_PROTOCOL_H_

@@ -1,0 +1,417 @@
+#include "src/nfs/server.h"
+
+#include <algorithm>
+
+namespace ficus::nfs {
+
+using net::Payload;
+using vfs::Credentials;
+using vfs::SetAttrRequest;
+using vfs::VAttr;
+using vfs::VnodePtr;
+
+NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
+                     std::string service)
+    : network_(network), host_(host), exported_(exported) {
+  net::HostPort* port = network_->port(host_);
+  if (port != nullptr) {
+    port->RegisterRpcService(
+        std::move(service), [this](net::HostId sender, const Payload& request) {
+          return Dispatch(sender, request);
+        });
+  }
+}
+
+void NfsServer::FlushHandles() {
+  handle_to_vnode_.clear();
+  file_to_handle_.clear();
+}
+
+NfsHandle NfsServer::HandleFor(const VnodePtr& vnode) {
+  // Different vnode objects can name the same file (each Lookup may mint a
+  // fresh vnode); unify on (fsid, fileid) so handles are durable names.
+  auto attr = vnode->GetAttr();
+  if (attr.ok()) {
+    auto key = std::make_pair(attr->fsid, attr->fileid);
+    auto it = file_to_handle_.find(key);
+    if (it != file_to_handle_.end()) {
+      // Re-point the handle at the fresh vnode: facade session vnodes and
+      // post-rename vnodes carry state the stale object lacks.
+      handle_to_vnode_[it->second] = vnode;
+      return it->second;
+    }
+  }
+  NfsHandle handle = next_handle_++;
+  handle_to_vnode_[handle] = vnode;
+  if (attr.ok()) {
+    file_to_handle_[std::make_pair(attr->fsid, attr->fileid)] = handle;
+  }
+  EvictExcessHandles();
+  return handle;
+}
+
+void NfsServer::EvictExcessHandles() {
+  while (handle_to_vnode_.size() > kMaxHandles) {
+    // Handles are issued in increasing order, so begin() is the oldest.
+    auto oldest = handle_to_vnode_.begin();
+    if (oldest->first == root_handle_) {
+      ++oldest;
+      if (oldest == handle_to_vnode_.end()) {
+        return;
+      }
+    }
+    auto attr = oldest->second->GetAttr();
+    if (attr.ok()) {
+      file_to_handle_.erase(std::make_pair(attr->fsid, attr->fileid));
+    }
+    handle_to_vnode_.erase(oldest);
+  }
+}
+
+StatusOr<VnodePtr> NfsServer::VnodeFor(NfsHandle handle) {
+  auto it = handle_to_vnode_.find(handle);
+  if (it == handle_to_vnode_.end()) {
+    return StaleError("handle " + std::to_string(handle));
+  }
+  return it->second;
+}
+
+namespace {
+
+Payload ErrorResponse(const Status& status) {
+  Payload out;
+  ByteWriter w(out);
+  PutStatus(w, status);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
+  ++stats_.calls;
+  ByteReader r(request);
+  auto fail = [this](const Status& status) -> StatusOr<Payload> {
+    ++stats_.errors;
+    return ErrorResponse(status);
+  };
+
+  auto proc_or = r.GetU8();
+  if (!proc_or.ok()) {
+    return fail(proc_or.status());
+  }
+  NfsProc proc = static_cast<NfsProc>(proc_or.value());
+  Credentials cred;
+  FICUS_RETURN_IF_ERROR(GetCred(r, cred));
+
+  Payload out;
+  ByteWriter w(out);
+
+  switch (proc) {
+    case NfsProc::kNull: {
+      PutStatus(w, OkStatus());
+      return out;
+    }
+    case NfsProc::kGetRoot: {
+      auto root = exported_->Root();
+      if (!root.ok()) {
+        return fail(root.status());
+      }
+      auto attr = root.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      root_handle_ = HandleFor(root.value());
+      w.PutU64(root_handle_);
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kGetAttr: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      auto vnode = VnodeFor(handle);
+      if (!vnode.ok()) {
+        return fail(vnode.status());
+      }
+      auto attr = vnode.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kSetAttr: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      SetAttrRequest setattr;
+      FICUS_RETURN_IF_ERROR(GetSetAttr(r, setattr));
+      auto vnode = VnodeFor(handle);
+      if (!vnode.ok()) {
+        return fail(vnode.status());
+      }
+      Status status = vnode.value()->SetAttr(setattr, cred);
+      if (!status.ok()) {
+        return fail(status);
+      }
+      auto attr = vnode.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kLookup: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto child = dir.value()->Lookup(name, cred);
+      if (!child.ok()) {
+        return fail(child.status());
+      }
+      auto attr = child.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU64(HandleFor(child.value()));
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kCreate: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      VAttr requested;
+      FICUS_RETURN_IF_ERROR(GetVAttr(r, requested));
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto child = dir.value()->Create(name, requested, cred);
+      if (!child.ok()) {
+        return fail(child.status());
+      }
+      auto attr = child.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU64(HandleFor(child.value()));
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kRemove: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      Status status = dir.value()->Remove(name, cred);
+      if (!status.ok()) {
+        return fail(status);
+      }
+      PutStatus(w, OkStatus());
+      return out;
+    }
+    case NfsProc::kMkdir: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      VAttr requested;
+      FICUS_RETURN_IF_ERROR(GetVAttr(r, requested));
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto child = dir.value()->Mkdir(name, requested, cred);
+      if (!child.ok()) {
+        return fail(child.status());
+      }
+      auto attr = child.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU64(HandleFor(child.value()));
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kRmdir: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      Status status = dir.value()->Rmdir(name, cred);
+      if (!status.ok()) {
+        return fail(status);
+      }
+      PutStatus(w, OkStatus());
+      return out;
+    }
+    case NfsProc::kLink: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle dir_handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      FICUS_ASSIGN_OR_RETURN(NfsHandle target_handle, r.GetU64());
+      auto dir = VnodeFor(dir_handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto target = VnodeFor(target_handle);
+      if (!target.ok()) {
+        return fail(target.status());
+      }
+      Status status = dir.value()->Link(name, target.value(), cred);
+      if (!status.ok()) {
+        return fail(status);
+      }
+      PutStatus(w, OkStatus());
+      return out;
+    }
+    case NfsProc::kRename: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle src_handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string old_name, r.GetString());
+      FICUS_ASSIGN_OR_RETURN(NfsHandle dst_handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string new_name, r.GetString());
+      auto src = VnodeFor(src_handle);
+      if (!src.ok()) {
+        return fail(src.status());
+      }
+      auto dst = VnodeFor(dst_handle);
+      if (!dst.ok()) {
+        return fail(dst.status());
+      }
+      Status status = src.value()->Rename(old_name, dst.value(), new_name, cred);
+      if (!status.ok()) {
+        return fail(status);
+      }
+      PutStatus(w, OkStatus());
+      return out;
+    }
+    case NfsProc::kReaddir: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint32_t cookie, r.GetU32());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto entries = dir.value()->Readdir(cred);
+      if (!entries.ok()) {
+        return fail(entries.status());
+      }
+      // One page starting at the cookie; the client loops until eof. The
+      // cookie is an index into the (stable within one burst) listing —
+      // the same weak-consistency contract real NFS readdir cookies have.
+      size_t total = entries.value().size();
+      size_t begin = std::min<size_t>(cookie, total);
+      size_t end = std::min<size_t>(begin + kReaddirPageSize, total);
+      PutStatus(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& e = entries.value()[i];
+        w.PutString(e.name);
+        w.PutU64(e.fileid);
+        w.PutU8(static_cast<uint8_t>(e.type));
+      }
+      w.PutU8(end >= total ? 1 : 0);  // eof
+      w.PutU32(static_cast<uint32_t>(end));  // next cookie
+      return out;
+    }
+    case NfsProc::kSymlink: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      FICUS_ASSIGN_OR_RETURN(std::string target, r.GetString());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto child = dir.value()->Symlink(name, target, cred);
+      if (!child.ok()) {
+        return fail(child.status());
+      }
+      auto attr = child.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU64(HandleFor(child.value()));
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kReadlink: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      auto vnode = VnodeFor(handle);
+      if (!vnode.ok()) {
+        return fail(vnode.status());
+      }
+      auto target = vnode.value()->Readlink(cred);
+      if (!target.ok()) {
+        return fail(target.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutString(target.value());
+      return out;
+    }
+    case NfsProc::kRead: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint64_t offset, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint32_t length, r.GetU32());
+      auto vnode = VnodeFor(handle);
+      if (!vnode.ok()) {
+        return fail(vnode.status());
+      }
+      std::vector<uint8_t> data;
+      auto count = vnode.value()->Read(offset, length, data, cred);
+      if (!count.ok()) {
+        return fail(count.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutBytes(data);
+      return out;
+    }
+    case NfsProc::kWrite: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint64_t offset, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.GetBytes());
+      auto vnode = VnodeFor(handle);
+      if (!vnode.ok()) {
+        return fail(vnode.status());
+      }
+      auto count = vnode.value()->Write(offset, data, cred);
+      if (!count.ok()) {
+        return fail(count.status());
+      }
+      // NFS writes are synchronous through to stable storage.
+      Status synced = vnode.value()->Fsync(cred);
+      if (!synced.ok()) {
+        return fail(synced);
+      }
+      auto attr = vnode.value()->GetAttr();
+      if (!attr.ok()) {
+        return fail(attr.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(count.value()));
+      PutVAttr(w, attr.value());
+      return out;
+    }
+    case NfsProc::kStatfs: {
+      auto stats = exported_->Statfs();
+      if (!stats.ok()) {
+        return fail(stats.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutU64(stats->total_blocks);
+      w.PutU64(stats->free_blocks);
+      w.PutU64(stats->total_inodes);
+      w.PutU64(stats->free_inodes);
+      return out;
+    }
+  }
+  return fail(InvalidArgumentError("unknown NFS procedure"));
+}
+
+}  // namespace ficus::nfs

@@ -1,0 +1,69 @@
+// Stateless NFS server: exports any Vfs over the simulated network. This is
+// the "NFS Server vnode" box in the paper's Figure 2 — below it can sit a
+// UFS, a Ficus physical layer, or any other vnode stack.
+//
+// Statelessness: the server holds no open-file state. The file-handle table
+// maps durable handles to vnodes; FlushHandles() models a server reboot,
+// after which clients presenting old handles get kStale.
+#ifndef FICUS_SRC_NFS_SERVER_H_
+#define FICUS_SRC_NFS_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+#include "src/nfs/protocol.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::nfs {
+
+struct ServerStats {
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+};
+
+class NfsServer {
+ public:
+  // Exports `exported` (borrowed) on `host`. `service` is the RPC service
+  // name to register under — distinct names let one host export several
+  // filesystems (default: kNfsService).
+  NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
+            std::string service = kNfsService);
+
+  // Server restart: all handles become stale except the root, which clients
+  // re-acquire via kGetRoot.
+  void FlushHandles();
+
+  const ServerStats& stats() const { return stats_; }
+  net::HostId host() const { return host_; }
+
+ private:
+  StatusOr<net::Payload> Dispatch(net::HostId sender, const net::Payload& request);
+
+  // Returns the handle for a vnode, minting one if needed.
+  NfsHandle HandleFor(const vfs::VnodePtr& vnode);
+  StatusOr<vfs::VnodePtr> VnodeFor(NfsHandle handle);
+  void EvictExcessHandles();
+
+  net::Network* network_;
+  net::HostId host_;
+  vfs::Vfs* exported_;
+  std::map<NfsHandle, vfs::VnodePtr> handle_to_vnode_;
+  // Durable-name index: one handle per (fsid, fileid). Vnode objects are
+  // cheap per-lookup handles, so identity must be by file, not by pointer.
+  std::map<std::pair<uint64_t, uint64_t>, NfsHandle> file_to_handle_;
+  NfsHandle next_handle_ = 1;
+  NfsHandle root_handle_ = kInvalidHandle;  // never evicted
+  ServerStats stats_;
+
+  // Cap on live handles: beyond it the oldest non-root handles are
+  // retired (clients see kStale and re-lookup, which NFS semantics
+  // permit). Keeps facade request/response traffic from growing the
+  // table without bound.
+  static constexpr size_t kMaxHandles = 8192;
+};
+
+}  // namespace ficus::nfs
+
+#endif  // FICUS_SRC_NFS_SERVER_H_

@@ -1,0 +1,734 @@
+#include "src/repl/facade.h"
+
+#include <algorithm>
+
+namespace ficus::repl {
+
+using vfs::Credentials;
+using vfs::VAttr;
+using vfs::VnodePtr;
+using vfs::VnodeType;
+
+namespace {
+
+constexpr char kReqPrefix[] = "@req:";
+constexpr char kSessionName[] = "@session";
+
+void PutStatusBytes(ByteWriter& w, const Status& status) {
+  w.PutU32(static_cast<uint32_t>(status.code()));
+  w.PutString(status.message());
+}
+
+Status ReadStatusBytes(ByteReader& r) {
+  auto code = r.GetU32();
+  if (!code.ok()) {
+    return code.status();
+  }
+  auto message = r.GetString();
+  if (!message.ok()) {
+    return message.status();
+  }
+  if (code.value() > static_cast<uint32_t>(ErrorCode::kInternal)) {
+    return CorruptError("bad status code in physical-layer response");
+  }
+  return Status(static_cast<ErrorCode>(code.value()), std::move(message).value());
+}
+
+std::vector<uint8_t> ErrorResponse(const Status& status) {
+  std::vector<uint8_t> out;
+  ByteWriter w(out);
+  PutStatusBytes(w, status);
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ExecutePhysRequest(PhysicalLayer* layer,
+                                        const std::vector<uint8_t>& request) {
+  ByteReader r(request);
+  auto op_or = r.GetU8();
+  if (!op_or.ok()) {
+    return ErrorResponse(op_or.status());
+  }
+  PhysOp op = static_cast<PhysOp>(op_or.value());
+
+  std::vector<uint8_t> out;
+  ByteWriter w(out);
+
+  // Each case decodes arguments, runs the call, and emits status+results.
+  switch (op) {
+    case PhysOp::kGetVolumeInfo: {
+      PutStatusBytes(w, OkStatus());
+      PutVolumeId(w, layer->volume_id());
+      w.PutU32(layer->replica_id());
+      return out;
+    }
+    case PhysOp::kGetAttributes: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto attrs = layer->GetAttributes(file);
+      if (!attrs.ok()) {
+        return ErrorResponse(attrs.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      attrs->Serialize(w);
+      return out;
+    }
+    case PhysOp::kSetConflict: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto flag = r.GetU8();
+      if (!flag.ok()) {
+        return ErrorResponse(flag.status());
+      }
+      Status s = layer->SetConflict(file, flag.value() != 0);
+      PutStatusBytes(w, s);
+      return out;
+    }
+    case PhysOp::kReadData: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto offset = r.GetU64();
+      auto length = r.GetU32();
+      if (!offset.ok() || !length.ok()) {
+        return ErrorResponse(CorruptError("bad ReadData request"));
+      }
+      auto data = layer->ReadData(file, offset.value(), length.value());
+      if (!data.ok()) {
+        return ErrorResponse(data.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutBytes(data.value());
+      return out;
+    }
+    case PhysOp::kReadAllData: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto data = layer->ReadAllData(file);
+      if (!data.ok()) {
+        return ErrorResponse(data.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutBytes(data.value());
+      return out;
+    }
+    case PhysOp::kDataSize: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto size = layer->DataSize(file);
+      if (!size.ok()) {
+        return ErrorResponse(size.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU64(size.value());
+      return out;
+    }
+    case PhysOp::kWriteData: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto offset = r.GetU64();
+      auto data = r.GetBytes();
+      if (!offset.ok() || !data.ok()) {
+        return ErrorResponse(CorruptError("bad WriteData request"));
+      }
+      PutStatusBytes(w, layer->WriteData(file, offset.value(), data.value()));
+      return out;
+    }
+    case PhysOp::kTruncateData: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto size = r.GetU64();
+      if (!size.ok()) {
+        return ErrorResponse(size.status());
+      }
+      PutStatusBytes(w, layer->TruncateData(file, size.value()));
+      return out;
+    }
+    case PhysOp::kInstallVersion: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto contents = r.GetBytes();
+      if (!contents.ok()) {
+        return ErrorResponse(contents.status());
+      }
+      auto vv = VersionVector::Deserialize(r);
+      if (!vv.ok()) {
+        return ErrorResponse(vv.status());
+      }
+      PutStatusBytes(w, layer->InstallVersion(file, contents.value(), vv.value()));
+      return out;
+    }
+    case PhysOp::kReadDirectory: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto entries = layer->ReadDirectory(dir);
+      if (!entries.ok()) {
+        return ErrorResponse(entries.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(entries->size()));
+      for (const auto& e : entries.value()) {
+        e.Serialize(w);
+      }
+      return out;
+    }
+    case PhysOp::kCreateChild: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto name = r.GetString();
+      auto type = r.GetU8();
+      auto uid = r.GetU32();
+      if (!name.ok() || !type.ok() || !uid.ok()) {
+        return ErrorResponse(CorruptError("bad CreateChild request"));
+      }
+      auto file = layer->CreateChild(dir, name.value(),
+                                     static_cast<FicusFileType>(type.value()), uid.value());
+      if (!file.ok()) {
+        return ErrorResponse(file.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      PutFileId(w, file.value());
+      return out;
+    }
+    case PhysOp::kAddEntry: {
+      FileId dir;
+      FileId target;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto name = r.GetString();
+      if (!name.ok()) {
+        return ErrorResponse(name.status());
+      }
+      if (Status s = GetFileId(r, target); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto type = r.GetU8();
+      if (!type.ok()) {
+        return ErrorResponse(type.status());
+      }
+      PutStatusBytes(w, layer->AddEntry(dir, name.value(), target,
+                                        static_cast<FicusFileType>(type.value())));
+      return out;
+    }
+    case PhysOp::kRemoveEntry: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto name = r.GetString();
+      if (!name.ok()) {
+        return ErrorResponse(name.status());
+      }
+      PutStatusBytes(w, layer->RemoveEntry(dir, name.value()));
+      return out;
+    }
+    case PhysOp::kRenameEntry: {
+      FileId old_dir;
+      FileId new_dir;
+      if (Status s = GetFileId(r, old_dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto old_name = r.GetString();
+      if (!old_name.ok()) {
+        return ErrorResponse(old_name.status());
+      }
+      if (Status s = GetFileId(r, new_dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto new_name = r.GetString();
+      if (!new_name.ok()) {
+        return ErrorResponse(new_name.status());
+      }
+      PutStatusBytes(w,
+                     layer->RenameEntry(old_dir, old_name.value(), new_dir, new_name.value()));
+      return out;
+    }
+    case PhysOp::kApplyEntry: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto entry = FicusDirEntry::Deserialize(r);
+      if (!entry.ok()) {
+        return ErrorResponse(entry.status());
+      }
+      PutStatusBytes(w, layer->ApplyEntry(dir, entry.value()));
+      return out;
+    }
+    case PhysOp::kApplyEntries: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto count = r.GetU32();
+      if (!count.ok()) {
+        return ErrorResponse(count.status());
+      }
+      std::vector<FicusDirEntry> batch;
+      batch.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        auto entry = FicusDirEntry::Deserialize(r);
+        if (!entry.ok()) {
+          return ErrorResponse(entry.status());
+        }
+        batch.push_back(std::move(entry).value());
+      }
+      PutStatusBytes(w, layer->ApplyEntries(dir, batch));
+      return out;
+    }
+    case PhysOp::kMergeDirVersion: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto vv = VersionVector::Deserialize(r);
+      if (!vv.ok()) {
+        return ErrorResponse(vv.status());
+      }
+      PutStatusBytes(w, layer->MergeDirVersion(dir, vv.value()));
+      return out;
+    }
+    case PhysOp::kReadLink: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto target = layer->ReadLink(file);
+      if (!target.ok()) {
+        return ErrorResponse(target.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutString(target.value());
+      return out;
+    }
+    case PhysOp::kWriteLink: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto target = r.GetString();
+      if (!target.ok()) {
+        return ErrorResponse(target.status());
+      }
+      PutStatusBytes(w, layer->WriteLink(file, target.value()));
+      return out;
+    }
+    case PhysOp::kNoteOpen: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      PutStatusBytes(w, layer->NoteOpen(file));
+      return out;
+    }
+    case PhysOp::kNoteClose: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      PutStatusBytes(w, layer->NoteClose(file));
+      return out;
+    }
+  }
+  return ErrorResponse(InvalidArgumentError("unknown physical-layer opcode"));
+}
+
+namespace {
+
+// Read-only vnode holding one marshalled response.
+class ResponseVnode : public vfs::Vnode {
+ public:
+  ResponseVnode(uint64_t fileid, uint64_t fsid, std::vector<uint8_t> response)
+      : fileid_(fileid), fsid_(fsid), response_(std::move(response)) {}
+
+  StatusOr<VAttr> GetAttr() override {
+    VAttr attr;
+    attr.type = VnodeType::kRegular;
+    attr.size = response_.size();
+    attr.fileid = fileid_;
+    attr.fsid = fsid_;
+    return attr;
+  }
+
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials&) override {
+    out.clear();
+    if (offset >= response_.size()) {
+      return size_t{0};
+    }
+    size_t count = std::min(length, response_.size() - static_cast<size_t>(offset));
+    out.assign(response_.begin() + static_cast<ptrdiff_t>(offset),
+               response_.begin() + static_cast<ptrdiff_t>(offset + count));
+    return count;
+  }
+
+ private:
+  uint64_t fileid_;
+  uint64_t fsid_;
+  std::vector<uint8_t> response_;
+};
+
+// One-shot request/response channel for requests too large for a name.
+class SessionVnode : public vfs::Vnode {
+ public:
+  SessionVnode(PhysicalLayer* layer, uint64_t fileid, uint64_t fsid)
+      : layer_(layer), fileid_(fileid), fsid_(fsid) {}
+
+  StatusOr<VAttr> GetAttr() override {
+    VAttr attr;
+    attr.type = VnodeType::kRegular;
+    attr.size = executed_ ? response_.size() : request_.size();
+    attr.fileid = fileid_;
+    attr.fsid = fsid_;
+    return attr;
+  }
+
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const Credentials&) override {
+    if (executed_) {
+      return InvalidArgumentError("session already executed");
+    }
+    size_t end = static_cast<size_t>(offset) + data.size();
+    if (end > request_.size()) {
+      request_.resize(end, 0);
+    }
+    std::copy(data.begin(), data.end(), request_.begin() + static_cast<ptrdiff_t>(offset));
+    return data.size();
+  }
+
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials&) override {
+    if (!executed_) {
+      response_ = ExecutePhysRequest(layer_, request_);
+      request_.clear();
+      executed_ = true;
+    }
+    out.clear();
+    if (offset >= response_.size()) {
+      return size_t{0};
+    }
+    size_t count = std::min(length, response_.size() - static_cast<size_t>(offset));
+    out.assign(response_.begin() + static_cast<ptrdiff_t>(offset),
+               response_.begin() + static_cast<ptrdiff_t>(offset + count));
+    return count;
+  }
+
+  // The NFS server fsyncs after every write; a session buffer has nothing
+  // to flush.
+  Status Fsync(const vfs::Credentials&) override { return OkStatus(); }
+
+ private:
+  PhysicalLayer* layer_;
+  uint64_t fileid_;
+  uint64_t fsid_;
+  std::vector<uint8_t> request_;
+  std::vector<uint8_t> response_;
+  bool executed_ = false;
+};
+
+class FacadeRootVnode : public vfs::Vnode {
+ public:
+  explicit FacadeRootVnode(PhysicalFacadeVfs* fs) : fs_(fs) {}
+
+  StatusOr<VAttr> GetAttr() override {
+    VAttr attr;
+    attr.type = VnodeType::kDirectory;
+    attr.fileid = 1;
+    attr.fsid = fs_->fsid();
+    return attr;
+  }
+
+  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials&) override {
+    if (name == kSessionName) {
+      return VnodePtr(
+          std::make_shared<SessionVnode>(fs_->layer(), fs_->NextFileId(), fs_->fsid()));
+    }
+    constexpr size_t kPrefixLen = sizeof(kReqPrefix) - 1;
+    if (name.size() > kPrefixLen && name.substr(0, kPrefixLen) == kReqPrefix) {
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> request,
+                             HexDecodeBytes(name.substr(kPrefixLen)));
+      return VnodePtr(std::make_shared<ResponseVnode>(
+          fs_->NextFileId(), fs_->fsid(), ExecutePhysRequest(fs_->layer(), request)));
+    }
+    return NotFoundError("facade understands only @req:* and @session names");
+  }
+
+ private:
+  PhysicalFacadeVfs* fs_;
+};
+
+}  // namespace
+
+PhysicalFacadeVfs::PhysicalFacadeVfs(PhysicalLayer* layer, uint64_t fsid)
+    : layer_(layer), fsid_(fsid) {}
+
+StatusOr<VnodePtr> PhysicalFacadeVfs::Root() {
+  return VnodePtr(std::make_shared<FacadeRootVnode>(this));
+}
+
+// --- RemotePhysical ---
+
+RemotePhysical::RemotePhysical(VnodePtr root, RootRefresher refresher)
+    : root_(std::move(root)), refresher_(std::move(refresher)) {}
+
+StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_t>& request) {
+  Credentials cred;
+  // One retry: a stale facade-root handle (server handle-table eviction
+  // or restart) is recovered by re-acquiring the root, as NFS clients do.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto result = TransactOnce(request, cred);
+    if (result.ok() || result.status().code() != ErrorCode::kStale ||
+        refresher_ == nullptr || attempt == 1) {
+      return result;
+    }
+    auto fresh = refresher_();
+    if (!fresh.ok()) {
+      return result;
+    }
+    root_ = std::move(fresh).value();
+  }
+  return InternalError("unreachable");
+}
+
+StatusOr<std::vector<uint8_t>> RemotePhysical::TransactOnce(
+    const std::vector<uint8_t>& request, const Credentials& cred) {
+  VnodePtr channel;
+  if (request.size() <= kMaxInlineRequest) {
+    // Small request: encode it into a lookup name that NFS forwards
+    // verbatim (the paper's overloaded-lookup technique).
+    ++inline_calls_;
+    std::string name = std::string(kReqPrefix) + HexEncodeBytes(request);
+    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(name, cred));
+  } else {
+    ++session_calls_;
+    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(kSessionName, cred));
+    FICUS_RETURN_IF_ERROR(channel->Write(0, request, cred).status());
+  }
+  // Drain the response (it can exceed one NFS read quantum).
+  std::vector<uint8_t> response;
+  constexpr size_t kChunk = 64 * 1024;
+  for (;;) {
+    std::vector<uint8_t> piece;
+    FICUS_ASSIGN_OR_RETURN(size_t got, channel->Read(response.size(), kChunk, piece, cred));
+    response.insert(response.end(), piece.begin(), piece.end());
+    if (got < kChunk) {
+      break;
+    }
+  }
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadStatusBytes(r));
+  // Return the tail past the status so callers re-parse from a fresh
+  // reader positioned at the results.
+  std::vector<uint8_t> results(response.end() - static_cast<ptrdiff_t>(r.remaining()),
+                               response.end());
+  return results;
+}
+
+Status RemotePhysical::Connect() {
+  std::vector<uint8_t> request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(PhysOp::kGetVolumeInfo));
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results, Transact(request));
+  ByteReader r(results);
+  FICUS_RETURN_IF_ERROR(GetVolumeId(r, volume_));
+  FICUS_ASSIGN_OR_RETURN(replica_, r.GetU32());
+  return OkStatus();
+}
+
+namespace {
+std::vector<uint8_t> BeginPhysRequest(PhysOp op, FileId file) {
+  std::vector<uint8_t> request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(op));
+  PutFileId(w, file);
+  return request;
+}
+}  // namespace
+
+StatusOr<ReplicaAttributes> RemotePhysical::GetAttributes(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kGetAttributes, file)));
+  ByteReader r(results);
+  return ReplicaAttributes::Deserialize(r);
+}
+
+Status RemotePhysical::SetConflict(FileId file, bool conflict) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kSetConflict, file);
+  ByteWriter w(request);
+  w.PutU8(conflict ? 1 : 0);
+  return Transact(request).status();
+}
+
+StatusOr<std::vector<uint8_t>> RemotePhysical::ReadData(FileId file, uint64_t offset,
+                                                        uint32_t length) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kReadData, file);
+  ByteWriter w(request);
+  w.PutU64(offset);
+  w.PutU32(length);
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results, Transact(request));
+  ByteReader r(results);
+  return r.GetBytes();
+}
+
+StatusOr<std::vector<uint8_t>> RemotePhysical::ReadAllData(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kReadAllData, file)));
+  ByteReader r(results);
+  return r.GetBytes();
+}
+
+StatusOr<uint64_t> RemotePhysical::DataSize(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kDataSize, file)));
+  ByteReader r(results);
+  return r.GetU64();
+}
+
+Status RemotePhysical::WriteData(FileId file, uint64_t offset,
+                                 const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kWriteData, file);
+  ByteWriter w(request);
+  w.PutU64(offset);
+  w.PutBytes(data);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::TruncateData(FileId file, uint64_t size) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kTruncateData, file);
+  ByteWriter w(request);
+  w.PutU64(size);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::InstallVersion(FileId file, const std::vector<uint8_t>& contents,
+                                      const VersionVector& vv) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kInstallVersion, file);
+  ByteWriter w(request);
+  w.PutBytes(contents);
+  vv.Serialize(w);
+  return Transact(request).status();
+}
+
+StatusOr<std::vector<FicusDirEntry>> RemotePhysical::ReadDirectory(FileId dir) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kReadDirectory, dir)));
+  ByteReader r(results);
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  std::vector<FicusDirEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FICUS_ASSIGN_OR_RETURN(FicusDirEntry entry, FicusDirEntry::Deserialize(r));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+StatusOr<FileId> RemotePhysical::CreateChild(FileId dir, std::string_view name,
+                                             FicusFileType type, uint32_t owner_uid) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kCreateChild, dir);
+  ByteWriter w(request);
+  w.PutString(name);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(owner_uid);
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results, Transact(request));
+  ByteReader r(results);
+  FileId file;
+  FICUS_RETURN_IF_ERROR(GetFileId(r, file));
+  return file;
+}
+
+Status RemotePhysical::AddEntry(FileId dir, std::string_view name, FileId target,
+                                FicusFileType type) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kAddEntry, dir);
+  ByteWriter w(request);
+  w.PutString(name);
+  PutFileId(w, target);
+  w.PutU8(static_cast<uint8_t>(type));
+  return Transact(request).status();
+}
+
+Status RemotePhysical::RemoveEntry(FileId dir, std::string_view name) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kRemoveEntry, dir);
+  ByteWriter w(request);
+  w.PutString(name);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::RenameEntry(FileId old_dir, std::string_view old_name, FileId new_dir,
+                                   std::string_view new_name) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kRenameEntry, old_dir);
+  ByteWriter w(request);
+  w.PutString(old_name);
+  PutFileId(w, new_dir);
+  w.PutString(new_name);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::ApplyEntry(FileId dir, const FicusDirEntry& entry) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kApplyEntry, dir);
+  ByteWriter w(request);
+  entry.Serialize(w);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::ApplyEntries(FileId dir, const std::vector<FicusDirEntry>& entries) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kApplyEntries, dir);
+  ByteWriter w(request);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    entry.Serialize(w);
+  }
+  return Transact(request).status();
+}
+
+Status RemotePhysical::MergeDirVersion(FileId dir, const VersionVector& vv) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kMergeDirVersion, dir);
+  ByteWriter w(request);
+  vv.Serialize(w);
+  return Transact(request).status();
+}
+
+StatusOr<std::string> RemotePhysical::ReadLink(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kReadLink, file)));
+  ByteReader r(results);
+  return r.GetString();
+}
+
+Status RemotePhysical::WriteLink(FileId file, std::string_view target) {
+  std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kWriteLink, file);
+  ByteWriter w(request);
+  w.PutString(target);
+  return Transact(request).status();
+}
+
+Status RemotePhysical::NoteOpen(FileId file) {
+  return Transact(BeginPhysRequest(PhysOp::kNoteOpen, file)).status();
+}
+
+Status RemotePhysical::NoteClose(FileId file) {
+  return Transact(BeginPhysRequest(PhysOp::kNoteClose, file)).status();
+}
+
+}  // namespace ficus::repl

@@ -1,0 +1,65 @@
+#include "src/repl/ids.h"
+
+namespace ficus::repl {
+
+std::string VolumeId::ToString() const {
+  return std::to_string(allocator) + "." + std::to_string(volume);
+}
+
+StatusOr<FileId> FileId::FromHex(std::string_view hex) {
+  FICUS_ASSIGN_OR_RETURN(uint64_t packed, HexDecode64(hex));
+  FileId id = Unpack(packed);
+  if (!id.valid()) {
+    return InvalidArgumentError("file-id has no issuer");
+  }
+  return id;
+}
+
+std::string FileId::ToString() const {
+  return std::to_string(issuer) + ":" + std::to_string(unique);
+}
+
+std::string GlobalFileId::ToString() const {
+  return volume.ToString() + "/" + file.ToString();
+}
+
+std::string FicusHandle::ToString() const {
+  return "<" + volume.ToString() + ", " + file.ToString() + ", r" + std::to_string(replica) +
+         ">";
+}
+
+void PutVolumeId(ByteWriter& w, const VolumeId& id) {
+  w.PutU32(id.allocator);
+  w.PutU32(id.volume);
+}
+
+Status GetVolumeId(ByteReader& r, VolumeId& id) {
+  FICUS_ASSIGN_OR_RETURN(id.allocator, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(id.volume, r.GetU32());
+  return OkStatus();
+}
+
+void PutFileId(ByteWriter& w, const FileId& id) {
+  w.PutU64(id.Pack());
+}
+
+Status GetFileId(ByteReader& r, FileId& id) {
+  FICUS_ASSIGN_OR_RETURN(uint64_t packed, r.GetU64());
+  id = FileId::Unpack(packed);
+  return OkStatus();
+}
+
+void PutHandle(ByteWriter& w, const FicusHandle& handle) {
+  PutVolumeId(w, handle.volume);
+  PutFileId(w, handle.file);
+  w.PutU32(handle.replica);
+}
+
+Status GetHandle(ByteReader& r, FicusHandle& handle) {
+  FICUS_RETURN_IF_ERROR(GetVolumeId(r, handle.volume));
+  FICUS_RETURN_IF_ERROR(GetFileId(r, handle.file));
+  FICUS_ASSIGN_OR_RETURN(handle.replica, r.GetU32());
+  return OkStatus();
+}
+
+}  // namespace ficus::repl

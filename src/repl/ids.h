@@ -1,0 +1,107 @@
+// Ficus identifiers (paper section 4.2).
+//
+// A volume is named by <allocator-id, volume-id>; a volume replica adds a
+// replica-id. Within a volume, a logical file is named by a file-id that is
+// itself <issuing replica-id, unique-id> so replicas can mint file-ids
+// without coordination. A fully specified file replica name is
+// <allocator-id, volume-id, file-id, replica-id> — unique across all Ficus
+// hosts in existence.
+#ifndef FICUS_SRC_REPL_IDS_H_
+#define FICUS_SRC_REPL_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/hex.h"
+#include "src/common/serialize.h"
+
+namespace ficus::repl {
+
+// Issued once per Ficus host before installation ("an Internet host
+// address would suffice").
+using AllocatorId = uint32_t;
+
+// Volume number issued by an allocator.
+using VolumeNum = uint32_t;
+
+// Identifies one replica of a volume (and doubles as the issuer field of
+// file-ids minted at that replica). The paper allows 2^32 replicas.
+using ReplicaId = uint32_t;
+constexpr ReplicaId kInvalidReplica = 0;
+
+struct VolumeId {
+  AllocatorId allocator = 0;
+  VolumeNum volume = 0;
+
+  auto operator<=>(const VolumeId&) const = default;
+
+  // "a.b" for logs.
+  std::string ToString() const;
+};
+
+// <issuing replica, unique counter at that replica>.
+struct FileId {
+  ReplicaId issuer = kInvalidReplica;
+  uint32_t unique = 0;
+
+  auto operator<=>(const FileId&) const = default;
+
+  bool valid() const { return issuer != kInvalidReplica; }
+
+  // Packs into one u64 (issuer high, unique low) — the value whose hex
+  // encoding names the replica's storage in the underlying UFS (the
+  // paper's dual mapping, section 2.6).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(issuer) << 32) | unique;
+  }
+  static FileId Unpack(uint64_t packed) {
+    return FileId{static_cast<ReplicaId>(packed >> 32), static_cast<uint32_t>(packed)};
+  }
+
+  // 16-char lower-case hex — the UFS pathname component.
+  std::string ToHex() const { return HexEncode64(Pack()); }
+  static StatusOr<FileId> FromHex(std::string_view hex);
+
+  std::string ToString() const;
+};
+
+// The volume root directory always has this well-known file-id, so every
+// volume replica can find its root without negotiation.
+constexpr FileId kRootFileId{0xFFFFFFFF, 1};
+
+// Fully specified logical file name, global across all Ficus hosts.
+struct GlobalFileId {
+  VolumeId volume;
+  FileId file;
+
+  auto operator<=>(const GlobalFileId&) const = default;
+
+  std::string ToString() const;
+};
+
+// One physical replica of a logical file: the handle the logical layer
+// uses to talk to physical layers about a file (paper section 3.1).
+struct FicusHandle {
+  VolumeId volume;
+  FileId file;
+  ReplicaId replica = kInvalidReplica;
+
+  auto operator<=>(const FicusHandle&) const = default;
+
+  GlobalFileId global() const { return GlobalFileId{volume, file}; }
+
+  std::string ToString() const;
+};
+
+void PutVolumeId(ByteWriter& w, const VolumeId& id);
+Status GetVolumeId(ByteReader& r, VolumeId& id);
+void PutFileId(ByteWriter& w, const FileId& id);
+Status GetFileId(ByteReader& r, FileId& id);
+void PutHandle(ByteWriter& w, const FicusHandle& handle);
+Status GetHandle(ByteReader& r, FicusHandle& handle);
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_IDS_H_

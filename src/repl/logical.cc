@@ -1,0 +1,384 @@
+#include "src/repl/logical.h"
+
+namespace ficus::repl {
+
+using vfs::Credentials;
+using vfs::DirEntry;
+using vfs::SetAttrRequest;
+using vfs::VAttr;
+using vfs::VnodePtr;
+using vfs::VnodeType;
+
+LogicalLayer::LogicalLayer(VolumeId volume, ReplicaResolver* resolver,
+                           UpdateNotifier* notifier, ConflictLog* log, const SimClock* clock)
+    : volume_(volume), resolver_(resolver), notifier_(notifier), log_(log), clock_(clock) {}
+
+StatusOr<VnodePtr> LogicalLayer::Root() {
+  return VnodePtr(std::make_shared<LogicalVnode>(this, kRootFileId,
+                                                 FicusFileType::kDirectory));
+}
+
+StatusOr<PhysicalApi*> LogicalLayer::SelectForUpdate(FileId file) {
+  // Fast path: with a single replica there is no selection to perform and
+  // no reason to probe attributes first (keeps the common one-replica
+  // stack at the paper's I/O budget).
+  std::vector<ReplicaId> replicas = resolver_->ReplicasOf(volume_);
+  if (replicas.size() == 1) {
+    return resolver_->Access(volume_, replicas.front());
+  }
+  ReplicaId preferred = resolver_->PreferredReplica(volume_);
+  if (preferred != kInvalidReplica) {
+    auto access = resolver_->Access(volume_, preferred);
+    if (access.ok() && (*access)->GetAttributes(file).ok()) {
+      return access;
+    }
+  }
+  // One-copy availability: fall back to any reachable replica that stores
+  // the file.
+  for (ReplicaId replica : resolver_->ReplicasOf(volume_)) {
+    if (replica == preferred) {
+      continue;
+    }
+    auto access = resolver_->Access(volume_, replica);
+    if (access.ok() && (*access)->GetAttributes(file).ok()) {
+      return access;
+    }
+  }
+  return UnreachableError("no replica of " + file.ToString() + " is available for update");
+}
+
+StatusOr<PhysicalApi*> LogicalLayer::SelectForRead(FileId file) {
+  std::vector<ReplicaId> replicas = resolver_->ReplicasOf(volume_);
+  if (replicas.size() == 1) {
+    return resolver_->Access(volume_, replicas.front());
+  }
+  ReplicaId preferred = resolver_->PreferredReplica(volume_);
+  PhysicalApi* best = nullptr;
+  VersionVector best_vv;
+  bool best_is_preferred = false;
+  for (ReplicaId replica : resolver_->ReplicasOf(volume_)) {
+    auto access = resolver_->Access(volume_, replica);
+    if (!access.ok()) {
+      continue;
+    }
+    auto attrs = (*access)->GetAttributes(file);
+    if (!attrs.ok()) {
+      continue;  // unreachable mid-call, or does not store the file
+    }
+    if (best == nullptr) {
+      best = *access;
+      best_vv = attrs->vv;
+      best_is_preferred = (replica == preferred);
+      continue;
+    }
+    switch (attrs->vv.Compare(best_vv)) {
+      case VectorOrder::kDominates:
+        best = *access;
+        best_vv = attrs->vv;
+        best_is_preferred = (replica == preferred);
+        break;
+      case VectorOrder::kEqual:
+        if (replica == preferred && !best_is_preferred) {
+          best = *access;
+          best_is_preferred = true;
+        }
+        break;
+      case VectorOrder::kDominatedBy:
+      case VectorOrder::kConcurrent:
+        // Concurrent versions: keep the earlier pick (deterministic —
+        // replicas iterate in id order); the conflict flag set by
+        // propagation/reconciliation surfaces the situation to the owner.
+        break;
+    }
+  }
+  if (best == nullptr) {
+    return UnreachableError("no replica of " + file.ToString() + " is available");
+  }
+  if (!best_is_preferred) {
+    ++stats_.replica_switches;
+  }
+  return best;
+}
+
+void LogicalLayer::Notify(FileId file, const VersionVector& vv, ReplicaId source) {
+  if (notifier_ == nullptr) {
+    return;
+  }
+  ++stats_.notifications_sent;
+  notifier_->NotifyUpdate(GlobalFileId{volume_, file}, vv, source);
+}
+
+Status LogicalLayer::ResolveFileConflict(FileId file, const std::vector<uint8_t>& resolved) {
+  // Collect the version vectors of every reachable replica so the resolved
+  // version dominates them all.
+  VersionVector merged;
+  std::vector<PhysicalApi*> reachable;
+  for (ReplicaId replica : resolver_->ReplicasOf(volume_)) {
+    auto access = resolver_->Access(volume_, replica);
+    if (!access.ok()) {
+      continue;
+    }
+    auto attrs = (*access)->GetAttributes(file);
+    if (!attrs.ok()) {
+      continue;
+    }
+    merged.MergeWith(attrs->vv);
+    reachable.push_back(*access);
+  }
+  if (reachable.empty()) {
+    return UnreachableError("no replica available to resolve conflict");
+  }
+  PhysicalApi* target = reachable.front();
+  merged.Increment(target->replica_id());
+  FICUS_RETURN_IF_ERROR(target->InstallVersion(file, resolved, merged));
+  FICUS_RETURN_IF_ERROR(target->SetConflict(file, false));
+  Notify(file, merged, target->replica_id());
+  return OkStatus();
+}
+
+// --- LogicalVnode ---
+
+namespace {
+VnodeType ToVnodeType(FicusFileType type) { return static_cast<VnodeType>(type); }
+}  // namespace
+
+Status LogicalVnode::CheckDir() const {
+  if (!IsDirectoryLike(type_)) {
+    return NotDirError("logical vnode is not a directory");
+  }
+  return OkStatus();
+}
+
+StatusOr<VAttr> LogicalVnode::GetAttr() {
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
+  VAttr out;
+  out.type = ToVnodeType(attrs.type);
+  out.uid = attrs.owner_uid;
+  out.mtime = attrs.mtime;
+  out.ctime = attrs.mtime;
+  out.fileid = file_.Pack();
+  out.fsid = (static_cast<uint64_t>(layer_->volume().allocator) << 32) |
+             layer_->volume().volume;
+  if (attrs.type == FicusFileType::kRegular || attrs.type == FicusFileType::kSymlink) {
+    FICUS_ASSIGN_OR_RETURN(out.size, phys->DataSize(file_));
+  }
+  return out;
+}
+
+Status LogicalVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+  if (request.set_size) {
+    if (type_ != FicusFileType::kRegular) {
+      return IsDirError("cannot truncate a directory");
+    }
+    FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+    FICUS_RETURN_IF_ERROR(phys->TruncateData(file_, request.size));
+    FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
+    layer_->Notify(file_, attrs.vv, phys->replica_id());
+  }
+  // Mode/uid/gid replication is not modelled; Ficus stores owner only.
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  ++layer_->mutable_stats().lookups;
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
+  std::vector<FicusDirEntry> entries = PresentEntries(raw);
+  for (const auto& entry : entries) {
+    if (!entry.alive || entry.name != name) {
+      continue;
+    }
+    // The information NFS eats: tell the physical layer the file is being
+    // touched so its caches warm exactly as an open would (section 2.3).
+    (void)phys->NoteOpen(entry.file);
+    if (entry.type == FicusFileType::kGraftPoint && layer_->graft_resolver() != nullptr) {
+      // Transparent autograft: the client sees the grafted volume's root.
+      return layer_->graft_resolver()->ResolveGraft(
+          GlobalFileId{layer_->volume(), entry.file});
+    }
+    return VnodePtr(std::make_shared<LogicalVnode>(layer_, entry.file, entry.type));
+  }
+  return NotFoundError(std::string(name));
+}
+
+StatusOr<VnodePtr> LogicalVnode::Create(std::string_view name, const VAttr& attr,
+                                        const Credentials& cred) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_ASSIGN_OR_RETURN(FileId child,
+                         phys->CreateChild(file_, name, FicusFileType::kRegular,
+                                           cred.uid != 0 ? cred.uid : attr.uid));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kRegular));
+}
+
+Status LogicalVnode::RemoveCommon(std::string_view name, bool expect_dir) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  // Unix semantics: unlink refuses directories, rmdir refuses files.
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
+  for (const auto& entry : PresentEntries(raw)) {
+    if (!entry.alive || entry.name != name) {
+      continue;
+    }
+    if (IsDirectoryLike(entry.type) && !expect_dir) {
+      return IsDirError(std::string(name));
+    }
+    if (!IsDirectoryLike(entry.type) && expect_dir) {
+      return NotDirError(std::string(name));
+    }
+    break;
+  }
+  FICUS_RETURN_IF_ERROR(phys->RemoveEntry(file_, name));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  return OkStatus();
+}
+
+Status LogicalVnode::Remove(std::string_view name, const Credentials&) {
+  return RemoveCommon(name, /*expect_dir=*/false);
+}
+
+StatusOr<VnodePtr> LogicalVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                       const Credentials& cred) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_ASSIGN_OR_RETURN(FileId child,
+                         phys->CreateChild(file_, name, FicusFileType::kDirectory,
+                                           cred.uid != 0 ? cred.uid : attr.uid));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kDirectory));
+}
+
+Status LogicalVnode::Rmdir(std::string_view name, const Credentials&) {
+  // One entry-removal operation either way; the physical layer enforces
+  // emptiness, this wrapper enforces the Unix type distinction.
+  return RemoveCommon(name, /*expect_dir=*/true);
+}
+
+Status LogicalVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  auto* logical_target = dynamic_cast<LogicalVnode*>(target.get());
+  if (logical_target == nullptr || logical_target->layer_ != layer_) {
+    return CrossDeviceError("link target is not in this volume");
+  }
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_RETURN_IF_ERROR(phys->AddEntry(file_, name, logical_target->file_,
+                                       logical_target->type_));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  return OkStatus();
+}
+
+Status LogicalVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                            std::string_view new_name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  auto* logical_parent = dynamic_cast<LogicalVnode*>(new_parent.get());
+  if (logical_parent == nullptr || logical_parent->layer_ != layer_) {
+    return CrossDeviceError("rename target directory is not in this volume");
+  }
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_RETURN_IF_ERROR(
+      phys->RenameEntry(file_, old_name, logical_parent->file_, new_name));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  if (logical_parent->file_ != file_) {
+    FICUS_ASSIGN_OR_RETURN(ReplicaAttributes new_dir_attrs,
+                           phys->GetAttributes(logical_parent->file_));
+    layer_->Notify(logical_parent->file_, new_dir_attrs.vv, phys->replica_id());
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<DirEntry>> LogicalVnode::Readdir(const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
+  std::vector<DirEntry> out;
+  std::vector<FicusDirEntry> entries = PresentEntries(raw);
+  for (const auto& entry : entries) {
+    if (!entry.alive) {
+      continue;  // tombstones are an implementation detail
+    }
+    out.push_back(DirEntry{entry.name, entry.file.Pack(), ToVnodeType(entry.type)});
+  }
+  return out;
+}
+
+StatusOr<VnodePtr> LogicalVnode::Symlink(std::string_view name, std::string_view target,
+                                         const Credentials& cred) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_ASSIGN_OR_RETURN(FileId child,
+                         phys->CreateChild(file_, name, FicusFileType::kSymlink, cred.uid));
+  FICUS_RETURN_IF_ERROR(phys->WriteLink(child, target));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes link_attrs, phys->GetAttributes(child));
+  layer_->Notify(child, link_attrs.vv, phys->replica_id());
+  return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kSymlink));
+}
+
+StatusOr<std::string> LogicalVnode::Readlink(const Credentials&) {
+  if (type_ != FicusFileType::kSymlink) {
+    return InvalidArgumentError("not a symlink");
+  }
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  return phys->ReadLink(file_);
+}
+
+Status LogicalVnode::Open(uint32_t flags, const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_RETURN_IF_ERROR(phys->NoteOpen(file_));
+  if ((flags & vfs::kOpenTruncate) != 0 && type_ == FicusFileType::kRegular) {
+    FICUS_ASSIGN_OR_RETURN(PhysicalApi * writer, layer_->SelectForUpdate(file_));
+    FICUS_RETURN_IF_ERROR(writer->TruncateData(file_, 0));
+    FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, writer->GetAttributes(file_));
+    layer_->Notify(file_, attrs.vv, writer->replica_id());
+  }
+  return OkStatus();
+}
+
+Status LogicalVnode::Close(uint32_t, const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  return phys->NoteClose(file_);
+}
+
+StatusOr<size_t> LogicalVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                    const Credentials&) {
+  if (type_ != FicusFileType::kRegular) {
+    return IsDirError("read on a non-regular logical file");
+  }
+  ++layer_->mutable_stats().reads;
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
+  if (attrs.conflict) {
+    ++layer_->mutable_stats().conflicts_surfaced;
+    return ConflictError("file " + file_.ToString() +
+                         " has conflicting updates; owner must resolve");
+  }
+  FICUS_ASSIGN_OR_RETURN(out, phys->ReadData(file_, offset, static_cast<uint32_t>(length)));
+  return out.size();
+}
+
+StatusOr<size_t> LogicalVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                     const Credentials&) {
+  if (type_ != FicusFileType::kRegular) {
+    return IsDirError("write on a non-regular logical file");
+  }
+  ++layer_->mutable_stats().writes;
+  // Updates are initially applied to a single physical replica (3.2).
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
+  FICUS_RETURN_IF_ERROR(phys->WriteData(file_, offset, data));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
+  layer_->Notify(file_, attrs.vv, phys->replica_id());
+  return data.size();
+}
+
+Status LogicalVnode::Fsync(const Credentials&) { return OkStatus(); }
+
+}  // namespace ficus::repl

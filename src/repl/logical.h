@@ -1,0 +1,155 @@
+// The Ficus logical layer (paper section 2.5): presents clients with the
+// abstraction that each file has a single copy, although it may have many
+// physical replicas.
+//
+// Responsibilities reproduced here:
+//   * replica selection under the one-copy availability policy — any
+//     reachable replica suffices for read and update; reads prefer the
+//     most recent available copy (dominant version vector), updates
+//     prefer the resolver's local replica;
+//   * update notification — after applying an update to one physical
+//     replica, an asynchronous best-effort multicast tells the replicas'
+//     hosts that a newer version can be fetched from the updated one;
+//   * conflict surfacing — reading a replica whose concurrent-update flag
+//     is set fails with kConflict until the owner resolves it via
+//     ResolveFileConflict();
+//   * graft-point indirection — path translation hands graft-point vnodes
+//     to a pluggable GraftResolver (the volume layer) for autografting.
+//
+// The layer talks to physical layers only through PhysicalApi, so it never
+// knows whether a replica is co-resident or behind an NFS hop (Figure 1).
+#ifndef FICUS_SRC_REPL_LOGICAL_H_
+#define FICUS_SRC_REPL_LOGICAL_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/repl/conflict_log.h"
+#include "src/repl/resolver.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::repl {
+
+// Outbound half of update notification; the simulation harness implements
+// it with a best-effort multicast datagram (section 3.2).
+class UpdateNotifier {
+ public:
+  virtual ~UpdateNotifier() = default;
+  virtual void NotifyUpdate(const GlobalFileId& id, const VersionVector& vv,
+                            ReplicaId source) = 0;
+};
+
+// Volume-layer hook: resolves a graft-point file into the root vnode of
+// the grafted volume (autografting on demand, section 4.4).
+class GraftResolver {
+ public:
+  virtual ~GraftResolver() = default;
+  virtual StatusOr<vfs::VnodePtr> ResolveGraft(const GlobalFileId& graft_point) = 0;
+};
+
+struct LogicalStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t lookups = 0;
+  uint64_t notifications_sent = 0;
+  uint64_t replica_switches = 0;  // read served by a non-preferred replica
+  uint64_t conflicts_surfaced = 0;
+};
+
+class LogicalLayer : public vfs::Vfs {
+ public:
+  // All pointers borrowed; notifier, graft resolver, log, clock optional.
+  LogicalLayer(VolumeId volume, ReplicaResolver* resolver, UpdateNotifier* notifier,
+               ConflictLog* log, const SimClock* clock);
+
+  StatusOr<vfs::VnodePtr> Root() override;
+
+  void set_graft_resolver(GraftResolver* graft_resolver) { graft_resolver_ = graft_resolver; }
+
+  VolumeId volume() const { return volume_; }
+  const LogicalStats& stats() const { return stats_; }
+
+  // Owner's conflict resolution: writes `resolved` as a new version whose
+  // vector dominates every reachable replica's, clears conflict flags, and
+  // notifies. This is the manual step the paper leaves to the file owner.
+  Status ResolveFileConflict(FileId file, const std::vector<uint8_t>& resolved);
+
+  // --- internals shared with LogicalVnode ---
+
+  // Reachable replica preferred for updates (local if possible).
+  StatusOr<PhysicalApi*> SelectForUpdate(FileId file);
+  // Reachable replica holding the most recent version of `file`
+  // ("the default policy ... is to select the most recent copy
+  // available"). Ties break toward the preferred replica, then the lowest
+  // replica id, for determinism.
+  StatusOr<PhysicalApi*> SelectForRead(FileId file);
+
+  void Notify(FileId file, const VersionVector& vv, ReplicaId source);
+
+  ReplicaResolver* resolver() { return resolver_; }
+  GraftResolver* graft_resolver() { return graft_resolver_; }
+  ConflictLog* conflict_log() { return log_; }
+  LogicalStats& mutable_stats() { return stats_; }
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+ private:
+  VolumeId volume_;
+  ReplicaResolver* resolver_;
+  UpdateNotifier* notifier_;
+  GraftResolver* graft_resolver_ = nullptr;
+  ConflictLog* log_;
+  const SimClock* clock_;
+  LogicalStats stats_;
+};
+
+// Client-visible vnode for one logical file. Carries no replica binding:
+// every operation selects a replica afresh, so a partition between two
+// calls silently fails over — the client is "generally unaware which
+// replica services a file request".
+class LogicalVnode : public vfs::Vnode {
+ public:
+  LogicalVnode(LogicalLayer* layer, FileId file, FicusFileType type)
+      : layer_(layer), file_(file), type_(type) {}
+
+  StatusOr<vfs::VAttr> GetAttr() override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
+                                 const vfs::Credentials& cred) override;
+  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
+                                const vfs::Credentials& cred) override;
+  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+  Status Link(std::string_view name, const vfs::VnodePtr& target,
+              const vfs::Credentials& cred) override;
+  Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
+                std::string_view new_name, const vfs::Credentials& cred) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
+                                  const vfs::Credentials& cred) override;
+  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
+  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
+  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const vfs::Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const vfs::Credentials& cred) override;
+  Status Fsync(const vfs::Credentials& cred) override;
+
+  FileId file() const { return file_; }
+  FicusFileType ficus_type() const { return type_; }
+
+ private:
+  Status CheckDir() const;
+  // Shared unlink/rmdir implementation with the Unix type check.
+  Status RemoveCommon(std::string_view name, bool expect_dir);
+
+  LogicalLayer* layer_;
+  FileId file_;
+  FicusFileType type_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_LOGICAL_H_

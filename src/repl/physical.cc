@@ -1,0 +1,1135 @@
+#include "src/repl/physical.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::repl {
+
+namespace {
+
+constexpr char kDirFile[] = ".dir";
+constexpr char kAttrFile[] = ".attr";
+constexpr char kMetaFile[] = "volume.meta";
+constexpr char kOrphanDir[] = "orphans";
+constexpr char kAttrSuffix[] = ".attr";
+constexpr char kShadowSuffix[] = ".shadow";
+constexpr uint32_t kMetaMagic = 0xF1C0501D;
+// Header of every on-disk Ficus directory file: magic + generation.
+constexpr uint32_t kDirMagic = 0xF1C0D1D0;
+constexpr size_t kDirHeaderSize = 12;  // u32 magic + u64 generation
+
+bool HasSuffix(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+bool IsHexName(std::string_view name) {
+  if (name.size() != 16) {
+    return false;
+  }
+  for (char c : name) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Client-supplied entry names must be valid single path components.
+Status ValidateEntryName(std::string_view name) {
+  if (name.empty() || name == "." || name == "..") {
+    return InvalidArgumentError("invalid entry name");
+  }
+  if (name.size() > vfs::kMaxComponentLength) {
+    return NameTooLongError(std::string(name.substr(0, 32)) + "...");
+  }
+  if (name.find('/') != std::string_view::npos) {
+    return InvalidArgumentError("entry name contains '/'");
+  }
+  return OkStatus();
+}
+
+// Finds the alive entry whose *presented* name matches (clients address
+// entries by presented names).
+StatusOr<size_t> FindAliveByPresentedName(const std::vector<FicusDirEntry>& entries,
+                                          std::string_view name) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].alive && PresentedEntryName(entries, i) == name) {
+      return i;
+    }
+  }
+  return NotFoundError(std::string(name));
+}
+
+}  // namespace
+
+namespace {
+// Inode-extension markers for AttrPlacement::kInode.
+constexpr uint8_t kExtInlineAttrs = 0x01;  // attributes follow inline
+constexpr uint8_t kExtSpilled = 0x02;      // attributes live in the aux file
+}  // namespace
+
+PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptions options)
+    : ufs_(ufs), clock_(clock), options_(options) {}
+
+Status PhysicalLayer::CheckAttached() const {
+  if (!attached_) {
+    return InternalError("physical layer not attached to a volume replica");
+  }
+  return OkStatus();
+}
+
+Status PhysicalLayer::PersistMeta() {
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta, ufs_->DirLookup(container_, kMetaFile));
+  std::vector<uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.PutU32(kMetaMagic);
+  PutVolumeId(w, volume_);
+  w.PutU32(replica_);
+  w.PutU32(next_unique_);
+  w.PutU8(static_cast<uint8_t>(options_.attr_placement));
+  return ufs_->WriteAll(meta, bytes);
+}
+
+Status PhysicalLayer::CreateVolume(const VolumeId& volume, ReplicaId replica,
+                                   std::string_view container_name, bool first_replica) {
+  if (replica == kInvalidReplica) {
+    return InvalidArgumentError("replica id 0 is reserved");
+  }
+  auto existing = ufs_->DirLookup(ufs::kRootInode, container_name);
+  if (existing.ok()) {
+    return ExistsError(std::string(container_name));
+  }
+  FICUS_ASSIGN_OR_RETURN(container_,
+                         ufs_->CreateFile(ufs::kRootInode, container_name,
+                                          ufs::FileType::kDirectory, 0755, 0, 0));
+  volume_ = volume;
+  replica_ = replica;
+  next_unique_ = 1;
+  attached_ = true;
+  locations_.clear();
+  alive_refs_.clear();
+
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta,
+                         ufs_->CreateFile(container_, kMetaFile, ufs::FileType::kRegular,
+                                          0600, 0, 0));
+  (void)meta;
+  FICUS_RETURN_IF_ERROR(PersistMeta());
+
+  // Ficus root directory storage.
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum root_dir,
+                         ufs_->CreateFile(container_, kRootFileId.ToHex(),
+                                          ufs::FileType::kDirectory, 0755, 0, 0));
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum dir_file,
+                         ufs_->CreateFile(root_dir, kDirFile, ufs::FileType::kRegular, 0600,
+                                          0, 0));
+  FICUS_RETURN_IF_ERROR(ufs_->WriteAll(dir_file, SerializeDirEntries({})));
+  ReplicaAttributes attrs;
+  attrs.id = GlobalFileId{volume_, kRootFileId};
+  attrs.type = FicusFileType::kDirectory;
+  attrs.mtime = Now();
+  if (first_replica) {
+    attrs.vv.Increment(replica_);
+  }
+  if (options_.attr_placement == AttrPlacement::kAuxFile) {
+    FICUS_RETURN_IF_ERROR(
+        ufs_->CreateFile(root_dir, kAttrFile, ufs::FileType::kRegular, 0600, 0, 0).status());
+  }
+  locations_[kRootFileId] = Location{container_, root_dir, FicusFileType::kDirectory};
+  return StoreAttributes(kRootFileId, attrs);
+}
+
+Status PhysicalLayer::Attach(std::string_view container_name) {
+  FICUS_ASSIGN_OR_RETURN(container_, ufs_->DirLookup(ufs::kRootInode, container_name));
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta, ufs_->DirLookup(container_, kMetaFile));
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(meta));
+  ByteReader r(bytes);
+  FICUS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kMetaMagic) {
+    return CorruptError("bad volume.meta magic");
+  }
+  FICUS_RETURN_IF_ERROR(GetVolumeId(r, volume_));
+  FICUS_ASSIGN_OR_RETURN(replica_, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(next_unique_, r.GetU32());
+  if (!r.AtEnd()) {
+    FICUS_ASSIGN_OR_RETURN(uint8_t placement, r.GetU8());
+    options_.attr_placement = static_cast<AttrPlacement>(placement);
+  }
+  attached_ = true;
+  locations_.clear();
+  alive_refs_.clear();
+
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum root_dir,
+                         ufs_->DirLookup(container_, kRootFileId.ToHex()));
+  locations_[kRootFileId] = Location{container_, root_dir, FicusFileType::kDirectory};
+  FICUS_RETURN_IF_ERROR(RecoverShadows(root_dir));
+  return ScanTree(root_dir, kRootFileId);
+}
+
+Status PhysicalLayer::RecoverShadows(ufs::InodeNum ufs_dir) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs_->DirList(ufs_dir));
+  for (const auto& e : entries) {
+    if (HasSuffix(e.name, kShadowSuffix)) {
+      std::string base = e.name.substr(0, e.name.size() - (sizeof(kShadowSuffix) - 1));
+      auto base_ino = ufs_->DirLookup(ufs_dir, base);
+      if (base_ino.ok() && base_ino.value() == e.ino) {
+        // Crash fell between the repoint and the shadow-entry removal: the
+        // swap committed, only the spare name remains.
+        FICUS_RETURN_IF_ERROR(ufs_->DirRemove(ufs_dir, e.name));
+      } else {
+        // Crash fell before the repoint: the original survives and the
+        // shadow is discarded (section 3.2).
+        FICUS_RETURN_IF_ERROR(ufs_->Unlink(ufs_dir, e.name));
+      }
+      ++stats_.shadows_recovered;
+    } else if (e.type == ufs::FileType::kDirectory) {
+      FICUS_RETURN_IF_ERROR(RecoverShadows(e.ino));
+    }
+  }
+  return OkStatus();
+}
+
+Status PhysicalLayer::ScanTree(ufs::InodeNum ufs_dir, FileId dir_id) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs_->DirList(ufs_dir));
+  for (const auto& e : entries) {
+    if (e.name == kDirFile || e.name == kAttrFile || HasSuffix(e.name, kAttrSuffix) ||
+        !IsHexName(e.name)) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(FileId file, FileId::FromHex(e.name));
+    if (e.type == ufs::FileType::kDirectory) {
+      locations_[file] = Location{ufs_dir, e.ino, FicusFileType::kDirectory};
+      FICUS_RETURN_IF_ERROR(ScanTree(e.ino, file));
+    } else {
+      locations_[file] = Location{ufs_dir, ufs::kInvalidInode, FicusFileType::kRegular};
+    }
+  }
+  // Refine types and liveness from the Ficus directory file itself.
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> ficus_entries, LoadDirEntries(dir_id));
+  for (const auto& fe : ficus_entries) {
+    if (fe.alive) {
+      ++alive_refs_[fe.file];
+    }
+    auto it = locations_.find(fe.file);
+    if (it != locations_.end()) {
+      it->second.type = fe.type;
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<PhysicalLayer::Location> PhysicalLayer::Find(FileId file) const {
+  auto it = locations_.find(file);
+  if (it == locations_.end()) {
+    return NotFoundError("no replica of file " + file.ToString() + " stored here");
+  }
+  return it->second;
+}
+
+StatusOr<ufs::InodeNum> PhysicalLayer::DataInode(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+  if (IsDirectoryLike(loc.type)) {
+    return IsDirError("file " + file.ToString() + " is a directory");
+  }
+  return ufs_->DirLookup(loc.parent_dir, file.ToHex());
+}
+
+StatusOr<ufs::InodeNum> PhysicalLayer::AttrInode(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+  if (IsDirectoryLike(loc.type)) {
+    return ufs_->DirLookup(loc.self_dir, kAttrFile);
+  }
+  return ufs_->DirLookup(loc.parent_dir, file.ToHex() + kAttrSuffix);
+}
+
+StatusOr<ufs::InodeNum> PhysicalLayer::AttrExtInode(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+  if (IsDirectoryLike(loc.type)) {
+    return loc.self_dir;
+  }
+  return ufs_->DirLookup(loc.parent_dir, file.ToHex());
+}
+
+StatusOr<ReplicaAttributes> PhysicalLayer::LoadAttributes(FileId file) {
+  if (options_.attr_placement == AttrPlacement::kInode) {
+    FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrExtInode(file));
+    FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> ext, ufs_->ReadExt(ino));
+    if (!ext.empty() && ext[0] == kExtInlineAttrs) {
+      std::vector<uint8_t> bytes(ext.begin() + 1, ext.end());
+      return ReplicaAttributes::FromBytes(bytes);
+    }
+    // Spilled (or legacy) attributes fall through to the aux file.
+  }
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrInode(file));
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(ino));
+  return ReplicaAttributes::FromBytes(bytes);
+}
+
+Status PhysicalLayer::StoreAttributes(FileId file, const ReplicaAttributes& attrs) {
+  if (options_.attr_placement == AttrPlacement::kInode) {
+    std::vector<uint8_t> bytes = attrs.ToBytes();
+    FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrExtInode(file));
+    if (bytes.size() + 1 <= ufs::kMaxInodeExt) {
+      std::vector<uint8_t> ext;
+      ext.reserve(bytes.size() + 1);
+      ext.push_back(kExtInlineAttrs);
+      ext.insert(ext.end(), bytes.begin(), bytes.end());
+      return ufs_->WriteExt(ino, ext);
+    }
+    // Too large for the inode (a very wide version vector): spill to an
+    // aux file and leave a marker so loads know where to look.
+    FICUS_RETURN_IF_ERROR(ufs_->WriteExt(ino, {kExtSpilled}));
+    FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+    std::string aux_name =
+        IsDirectoryLike(loc.type) ? std::string(kAttrFile) : file.ToHex() + kAttrSuffix;
+    ufs::InodeNum parent = IsDirectoryLike(loc.type) ? loc.self_dir : loc.parent_dir;
+    auto aux = ufs_->DirLookup(parent, aux_name);
+    if (!aux.ok()) {
+      FICUS_ASSIGN_OR_RETURN(
+          aux, ufs_->CreateFile(parent, aux_name, ufs::FileType::kRegular, 0600, 0, 0));
+    }
+    return ufs_->WriteAll(aux.value(), bytes);
+  }
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrInode(file));
+  return ufs_->WriteAll(ino, attrs.ToBytes());
+}
+
+StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(dir));
+  if (!IsDirectoryLike(loc.type)) {
+    return NotDirError("file " + dir.ToString() + " is not a directory");
+  }
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, ufs_->DirLookup(loc.self_dir, kDirFile));
+
+  // Peek at the header: a matching generation validates the cached parse.
+  std::vector<uint8_t> header;
+  FICUS_RETURN_IF_ERROR(ufs_->ReadAt(ino, 0, kDirHeaderSize, header).status());
+  uint64_t generation = 0;
+  bool has_header = false;
+  if (header.size() == kDirHeaderSize) {
+    ByteReader hr(header);
+    FICUS_ASSIGN_OR_RETURN(uint32_t magic, hr.GetU32());
+    if (magic == kDirMagic) {
+      FICUS_ASSIGN_OR_RETURN(generation, hr.GetU64());
+      has_header = true;
+    }
+  }
+  if (has_header) {
+    auto it = dir_cache_.find(dir);
+    if (it != dir_cache_.end() && it->second.generation == generation) {
+      return it->second.entries;
+    }
+  }
+
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(ino));
+  std::vector<uint8_t> body;
+  if (has_header) {
+    body.assign(bytes.begin() + kDirHeaderSize, bytes.end());
+  } else {
+    body = std::move(bytes);  // legacy header-less file (fresh empty dirs)
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, DeserializeDirEntries(body));
+  if (dir_cache_.size() >= kMaxCachedDirs) {
+    dir_cache_.erase(dir_cache_.begin());
+  }
+  dir_cache_[dir] = CachedDir{generation, entries};
+  return entries;
+}
+
+Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntry>& entries) {
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(dir));
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, ufs_->DirLookup(loc.self_dir, kDirFile));
+  // Next generation: one past whatever is cached or on disk.
+  uint64_t generation = 1;
+  auto cached = dir_cache_.find(dir);
+  if (cached != dir_cache_.end()) {
+    generation = cached->second.generation + 1;
+  } else {
+    std::vector<uint8_t> header;
+    FICUS_RETURN_IF_ERROR(ufs_->ReadAt(ino, 0, kDirHeaderSize, header).status());
+    if (header.size() == kDirHeaderSize) {
+      ByteReader hr(header);
+      auto magic = hr.GetU32();
+      if (magic.ok() && magic.value() == kDirMagic) {
+        auto old_gen = hr.GetU64();
+        if (old_gen.ok()) {
+          generation = old_gen.value() + 1;
+        }
+      }
+    }
+  }
+  std::vector<uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.PutU32(kDirMagic);
+  w.PutU64(generation);
+  std::vector<uint8_t> body = SerializeDirEntries(entries);
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  FICUS_RETURN_IF_ERROR(ufs_->WriteAll(ino, bytes));
+  if (dir_cache_.size() >= kMaxCachedDirs) {
+    dir_cache_.erase(dir_cache_.begin());
+  }
+  dir_cache_[dir] = CachedDir{generation, entries};
+  return OkStatus();
+}
+
+bool PhysicalLayer::HasLiveEntries(FileId dir) {
+  auto entries = LoadDirEntries(dir);
+  if (!entries.ok()) {
+    return false;
+  }
+  for (const auto& e : *entries) {
+    if (e.alive) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<bool> PhysicalLayer::SubtreeContains(FileId root, FileId candidate) {
+  if (root == candidate) {
+    return true;
+  }
+  if (!Stores(root)) {
+    return false;
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(root));
+  for (const auto& e : entries) {
+    if (!e.alive || !IsDirectoryLike(e.type)) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(bool inside, SubtreeContains(e.file, candidate));
+    if (inside) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status PhysicalLayer::CreateStorage(FileId dir, FileId file, FicusFileType type,
+                                    uint32_t owner_uid, const VersionVector& vv) {
+  FICUS_ASSIGN_OR_RETURN(Location dir_loc, Find(dir));
+  if (!IsDirectoryLike(dir_loc.type)) {
+    return NotDirError("parent is not a directory");
+  }
+  ReplicaAttributes attrs;
+  attrs.id = GlobalFileId{volume_, file};
+  attrs.type = type;
+  attrs.vv = vv;
+  attrs.owner_uid = owner_uid;
+  attrs.mtime = Now();
+
+  bool aux = options_.attr_placement == AttrPlacement::kAuxFile;
+  if (IsDirectoryLike(type)) {
+    FICUS_ASSIGN_OR_RETURN(ufs::InodeNum self,
+                           ufs_->CreateFile(dir_loc.self_dir, file.ToHex(),
+                                            ufs::FileType::kDirectory, 0755, owner_uid, 0));
+    FICUS_ASSIGN_OR_RETURN(ufs::InodeNum dir_file,
+                           ufs_->CreateFile(self, kDirFile, ufs::FileType::kRegular, 0600, 0,
+                                            0));
+    FICUS_RETURN_IF_ERROR(ufs_->WriteAll(dir_file, SerializeDirEntries({})));
+    if (aux) {
+      FICUS_RETURN_IF_ERROR(
+          ufs_->CreateFile(self, kAttrFile, ufs::FileType::kRegular, 0600, 0, 0).status());
+    }
+    locations_[file] = Location{dir_loc.self_dir, self, type};
+  } else {
+    FICUS_RETURN_IF_ERROR(ufs_->CreateFile(dir_loc.self_dir, file.ToHex(),
+                                           ufs::FileType::kRegular, 0644, owner_uid, 0)
+                              .status());
+    if (aux) {
+      FICUS_RETURN_IF_ERROR(ufs_->CreateFile(dir_loc.self_dir, file.ToHex() + kAttrSuffix,
+                                             ufs::FileType::kRegular, 0600, 0, 0)
+                                .status());
+    }
+    locations_[file] = Location{dir_loc.self_dir, ufs::kInvalidInode, type};
+  }
+  return StoreAttributes(file, attrs);
+}
+
+Status PhysicalLayer::BumpDirVersion(FileId dir) {
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(dir));
+  attrs.vv.Increment(replica_);
+  attrs.mtime = Now();
+  return StoreAttributes(dir, attrs);
+}
+
+// --- PhysicalApi: attributes ---
+
+StatusOr<ReplicaAttributes> PhysicalLayer::GetAttributes(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  return LoadAttributes(file);
+}
+
+Status PhysicalLayer::SetConflict(FileId file, bool conflict) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  attrs.conflict = conflict;
+  return StoreAttributes(file, attrs);
+}
+
+// --- PhysicalApi: file data ---
+
+StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadData(FileId file, uint64_t offset,
+                                                       uint32_t length) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  std::vector<uint8_t> out;
+  FICUS_RETURN_IF_ERROR(ufs_->ReadAt(ino, offset, length, out).status());
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadAllData(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  return ufs_->ReadAll(ino);
+}
+
+StatusOr<uint64_t> PhysicalLayer::DataSize(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  FICUS_ASSIGN_OR_RETURN(ufs::Inode inode, ufs_->ReadInode(ino));
+  return inode.size;
+}
+
+Status PhysicalLayer::WriteData(FileId file, uint64_t offset,
+                                const std::vector<uint8_t>& data) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  FICUS_RETURN_IF_ERROR(ufs_->WriteAt(ino, offset, data).status());
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  attrs.vv.Increment(replica_);
+  attrs.mtime = Now();
+  return StoreAttributes(file, attrs);
+}
+
+Status PhysicalLayer::TruncateData(FileId file, uint64_t size) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  FICUS_RETURN_IF_ERROR(ufs_->Truncate(ino, size));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  attrs.vv.Increment(replica_);
+  attrs.mtime = Now();
+  return StoreAttributes(file, attrs);
+}
+
+Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& contents,
+                                     const VersionVector& vv) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+  if (IsDirectoryLike(loc.type)) {
+    return IsDirError("InstallVersion applies to regular files only");
+  }
+  std::string base = file.ToHex();
+  std::string shadow = base + kShadowSuffix;
+
+  // Discard any leftover shadow from an interrupted earlier install.
+  if (ufs_->DirLookup(loc.parent_dir, shadow).ok()) {
+    FICUS_RETURN_IF_ERROR(ufs_->Unlink(loc.parent_dir, shadow));
+  }
+
+  // 1. Write the complete new version into a shadow replica. With
+  //    inode-resident attributes, the new version vector rides in the
+  //    shadow's inode so the repoint installs contents and attributes in
+  //    one atomic step.
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum shadow_ino,
+                         ufs_->CreateFile(loc.parent_dir, shadow, ufs::FileType::kRegular,
+                                          0644, 0, 0));
+  FICUS_RETURN_IF_ERROR(ufs_->WriteAll(shadow_ino, contents));
+  if (options_.attr_placement == AttrPlacement::kInode) {
+    FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+    attrs.vv = vv;
+    attrs.mtime = Now();
+    std::vector<uint8_t> bytes = attrs.ToBytes();
+    if (bytes.size() + 1 <= ufs::kMaxInodeExt) {
+      std::vector<uint8_t> ext;
+      ext.push_back(kExtInlineAttrs);
+      ext.insert(ext.end(), bytes.begin(), bytes.end());
+      FICUS_RETURN_IF_ERROR(ufs_->WriteExt(shadow_ino, ext));
+    } else {
+      // Attributes no longer fit the inode: spill to the aux file first so
+      // the swapped-in inode's marker always points at valid data.
+      FICUS_RETURN_IF_ERROR(ufs_->WriteExt(shadow_ino, {kExtSpilled}));
+      std::string aux_name = base + kAttrSuffix;
+      auto aux = ufs_->DirLookup(loc.parent_dir, aux_name);
+      if (!aux.ok()) {
+        FICUS_ASSIGN_OR_RETURN(aux, ufs_->CreateFile(loc.parent_dir, aux_name,
+                                                     ufs::FileType::kRegular, 0600, 0, 0));
+      }
+      FICUS_RETURN_IF_ERROR(ufs_->WriteAll(aux.value(), bytes));
+    }
+  }
+
+  // 2. The commit point: atomically swing the low-level directory
+  //    reference from the original to the shadow (section 3.2). A crash
+  //    before this line leaves the original replica intact.
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum old_ino, ufs_->DirLookup(loc.parent_dir, base));
+  FICUS_RETURN_IF_ERROR(ufs_->DirRepoint(loc.parent_dir, base, shadow_ino));
+
+  // 3. Tidy: drop the spare shadow name and the superseded inode. Attach()
+  //    redoes this if a crash interrupts it.
+  FICUS_RETURN_IF_ERROR(ufs_->DirRemove(loc.parent_dir, shadow));
+  FICUS_RETURN_IF_ERROR(ufs_->FreeInode(old_ino));
+
+  // 4. Record the new version vector. A crash between the swap and here
+  //    leaves the replica claiming an older version than it holds; the
+  //    next propagation reinstalls the same bytes, which is idempotent.
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  attrs.vv = vv;
+  attrs.mtime = Now();
+  FICUS_RETURN_IF_ERROR(StoreAttributes(file, attrs));
+  ++stats_.installs;
+  return OkStatus();
+}
+
+// --- PhysicalApi: directories ---
+
+StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::ReadDirectory(FileId dir) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  // Raw entries, colliding spellings and tombstones included: peers need
+  // the truth; the logical layer presents disambiguated names to clients.
+  return LoadDirEntries(dir);
+}
+
+StatusOr<FileId> PhysicalLayer::CreateChild(FileId dir, std::string_view name,
+                                            FicusFileType type, uint32_t owner_uid) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_RETURN_IF_ERROR(ValidateEntryName(name));
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  if (FindAliveByPresentedName(entries, name).ok()) {
+    return ExistsError(std::string(name));
+  }
+  FileId file{replica_, next_unique_++};
+  FICUS_RETURN_IF_ERROR(PersistMeta());
+  VersionVector file_vv;
+  file_vv.Increment(replica_);
+  FICUS_RETURN_IF_ERROR(CreateStorage(dir, file, type, owner_uid, file_vv));
+
+  FicusDirEntry entry;
+  entry.name = std::string(name);
+  entry.file = file;
+  entry.type = type;
+  entry.alive = true;
+  entry.vv.Increment(replica_);
+  entries.push_back(std::move(entry));
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  ++alive_refs_[file];
+  FICUS_RETURN_IF_ERROR(BumpDirVersion(dir));
+  return file;
+}
+
+Status PhysicalLayer::AddEntry(FileId dir, std::string_view name, FileId target,
+                               FicusFileType type) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_RETURN_IF_ERROR(ValidateEntryName(name));
+  if (locations_.count(target) == 0) {
+    return NotFoundError("link target " + target.ToString() + " not stored here");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  if (FindAliveByPresentedName(entries, name).ok()) {
+    return ExistsError(std::string(name));
+  }
+  // Reuse a tombstone for the same (name, file) pair so the entry's
+  // version vector grows monotonically across delete/recreate cycles.
+  bool reused = false;
+  for (auto& e : entries) {
+    if (e.name == name && e.file == target) {
+      e.alive = true;
+      e.type = type;
+      e.vv.Increment(replica_);
+      reused = true;
+      break;
+    }
+  }
+  if (!reused) {
+    FicusDirEntry entry;
+    entry.name = std::string(name);
+    entry.file = target;
+    entry.type = type;
+    entry.alive = true;
+    entry.vv.Increment(replica_);
+    entries.push_back(std::move(entry));
+  }
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  ++alive_refs_[target];
+  return BumpDirVersion(dir);
+}
+
+Status PhysicalLayer::RemoveEntry(FileId dir, std::string_view name) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  FICUS_ASSIGN_OR_RETURN(size_t index, FindAliveByPresentedName(entries, name));
+  FicusDirEntry& entry = entries[index];
+  if (IsDirectoryLike(entry.type)) {
+    // A directory may only be unlinked when empty of live entries.
+    auto child_entries = LoadDirEntries(entry.file);
+    if (child_entries.ok()) {
+      for (const auto& ce : child_entries.value()) {
+        if (ce.alive) {
+          return NotEmptyError(std::string(name));
+        }
+      }
+    }
+  }
+  entry.alive = false;
+  entry.vv.Increment(replica_);
+  entry.deleted_file_vv = VersionVector();
+  if (entry.type == FicusFileType::kRegular || entry.type == FicusFileType::kSymlink) {
+    // Record what the deleter knew of the file's contents, so a peer can
+    // detect a delete racing an update it has that we never saw.
+    auto attrs = LoadAttributes(entry.file);
+    if (attrs.ok()) {
+      entry.deleted_file_vv = attrs->vv;
+    }
+  }
+  FileId target = entry.file;
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  auto it = alive_refs_.find(target);
+  if (it != alive_refs_.end() && it->second > 0) {
+    --it->second;
+  }
+  return BumpDirVersion(dir);
+}
+
+Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, FileId new_dir,
+                                  std::string_view new_name) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_RETURN_IF_ERROR(ValidateEntryName(new_name));
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> old_entries, LoadDirEntries(old_dir));
+  FICUS_ASSIGN_OR_RETURN(size_t index, FindAliveByPresentedName(old_entries, old_name));
+  FicusDirEntry moving = old_entries[index];
+  if (IsDirectoryLike(moving.type) && new_dir != old_dir) {
+    FICUS_ASSIGN_OR_RETURN(bool cycle, SubtreeContains(moving.file, new_dir));
+    if (cycle) {
+      return InvalidArgumentError("rename would move a directory into its own subtree");
+    }
+  }
+
+  if (old_dir == new_dir) {
+    // Displace an existing target entry, then tombstone + re-add in place.
+    auto displaced = FindAliveByPresentedName(old_entries, new_name);
+    if (displaced.ok()) {
+      FicusDirEntry& d = old_entries[displaced.value()];
+      d.alive = false;
+      d.vv.Increment(replica_);
+      // Displacement is a genuine delete of the target's contents: record
+      // the deleter's view for the no-lost-update rule.
+      if (d.type == FicusFileType::kRegular || d.type == FicusFileType::kSymlink) {
+        auto displaced_attrs = LoadAttributes(d.file);
+        if (displaced_attrs.ok()) {
+          d.deleted_file_vv = displaced_attrs->vv;
+        }
+      }
+      auto it = alive_refs_.find(d.file);
+      if (it != alive_refs_.end() && it->second > 0) {
+        --it->second;
+      }
+    }
+    old_entries[index].alive = false;
+    old_entries[index].vv.Increment(replica_);
+    bool reused = false;
+    for (auto& e : old_entries) {
+      if (e.name == new_name && e.file == moving.file) {
+        e.alive = true;
+        e.type = moving.type;
+        e.vv.Increment(replica_);
+        reused = true;
+        break;
+      }
+    }
+    if (!reused) {
+      FicusDirEntry fresh = moving;
+      fresh.name = std::string(new_name);
+      fresh.vv.Increment(replica_);
+      old_entries.push_back(std::move(fresh));
+    }
+    FICUS_RETURN_IF_ERROR(StoreDirEntries(old_dir, old_entries));
+    return BumpDirVersion(old_dir);
+  }
+
+  // Cross-directory: tombstone at the source, (re)insert at the target.
+  // Note the file's *storage* does not move — only the name does, because
+  // storage is addressed by hex file-id, not by pathname.
+  old_entries[index].alive = false;
+  old_entries[index].vv.Increment(replica_);
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(old_dir, old_entries));
+  auto it = alive_refs_.find(moving.file);
+  if (it != alive_refs_.end() && it->second > 0) {
+    --it->second;
+  }
+  FICUS_RETURN_IF_ERROR(BumpDirVersion(old_dir));
+  return AddEntry(new_dir, new_name, moving.file, moving.type);
+}
+
+StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
+                                              std::vector<FicusDirEntry>& entries,
+                                              const FicusDirEntry& remote) {
+  ++stats_.entries_applied;
+  for (auto& local : entries) {
+    if (local.name != remote.name || local.file != remote.file) {
+      continue;
+    }
+    switch (remote.vv.Compare(local.vv)) {
+      case VectorOrder::kEqual:
+      case VectorOrder::kDominatedBy:
+        return false;  // we already know everything the remote does
+      case VectorOrder::kDominates:
+        if (local.alive && !remote.alive &&
+            (local.type == FicusFileType::kRegular ||
+             local.type == FicusFileType::kSymlink) &&
+            !remote.deleted_file_vv.Empty() && Stores(local.file)) {
+          // No-lost-update rule: the delete is only safe if the deleter had
+          // seen every update this replica holds. A concurrent unseen
+          // update wins — the entry is resurrected as a new event and the
+          // remove/update conflict is reported.
+          auto attrs = LoadAttributes(local.file);
+          if (attrs.ok() && !remote.deleted_file_vv.Dominates(attrs->vv)) {
+            local.vv.MergeWith(remote.vv);
+            local.vv.Increment(replica_);
+            ++stats_.remove_update_conflicts;
+            return true;
+          }
+        }
+        if (local.alive && !remote.alive && IsDirectoryLike(local.type)) {
+          // A remote rmdir ordered after our view of the entry — but the
+          // local directory may have gained children the remover never
+          // saw (created in another partition). Deleting would orphan
+          // them, so liveness wins: resurrect the entry as a *new* event
+          // (local increment) that dominates the tombstone, and let it
+          // propagate back out. This is the delete/update conflict on
+          // directories, repaired automatically.
+          if (HasLiveEntries(local.file)) {
+            local.vv.MergeWith(remote.vv);
+            local.vv.Increment(replica_);
+            ++stats_.insert_delete_conflicts;
+            return true;
+          }
+        }
+        if (local.alive && !remote.alive) {
+          auto it = alive_refs_.find(local.file);
+          if (it != alive_refs_.end() && it->second > 0) {
+            --it->second;
+          }
+        } else if (!local.alive && remote.alive) {
+          ++alive_refs_[local.file];
+        }
+        local.alive = remote.alive;
+        local.type = remote.type;
+        local.vv = remote.vv;
+        return true;
+      case VectorOrder::kConcurrent: {
+        // Concurrent insert/delete of the same entry: automatic repair in
+        // favour of liveness (a delete loses to a concurrent recreate).
+        bool was_alive = local.alive;
+        bool resolved_alive = local.alive || remote.alive;
+        if (was_alive != resolved_alive) {
+          ++alive_refs_[local.file];
+        }
+        if (local.alive != remote.alive) {
+          ++stats_.insert_delete_conflicts;
+        }
+        local.alive = resolved_alive;
+        local.vv.MergeWith(remote.vv);
+        return true;
+      }
+    }
+  }
+
+  // Previously unseen entry. If it names a file we do not store yet,
+  // create placeholder storage with an empty version vector so update
+  // propagation later fills in the contents. The storage policy may
+  // decline regular files/symlinks (selective replication, section 4.1);
+  // directories are always stored because they carry the namespace.
+  if (remote.alive && locations_.count(remote.file) == 0) {
+    bool store = IsDirectoryLike(remote.type) || options_.storage_policy == nullptr ||
+                 options_.storage_policy(remote);
+    if (store) {
+      FICUS_RETURN_IF_ERROR(
+          CreateStorage(dir, remote.file, remote.type, 0, VersionVector()));
+    }
+  }
+  // A raw-name collision with a different file is the paper's concurrent
+  // same-name-creation case: both entries are retained and presentation
+  // disambiguates (section 2.5 footnote / DESIGN.md).
+  for (const auto& e : entries) {
+    if (e.alive && remote.alive && e.name == remote.name && e.file != remote.file) {
+      ++stats_.name_conflicts_resolved;
+      break;
+    }
+  }
+  entries.push_back(remote);
+  if (remote.alive) {
+    ++alive_refs_[remote.file];
+  }
+  return true;
+}
+
+Status PhysicalLayer::ApplyEntry(FileId dir, const FicusDirEntry& remote) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  FICUS_ASSIGN_OR_RETURN(bool changed, ApplyEntryToSet(dir, entries, remote));
+  if (!changed) {
+    return OkStatus();
+  }
+  // Any actual state change must advance this directory replica's own
+  // version vector: otherwise a peer whose directory vector already
+  // dominates ours would skip reconciling and never observe the change
+  // (the dominance quick-exit in the reconciler relies on this).
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  return BumpDirVersion(dir);
+}
+
+Status PhysicalLayer::ApplyEntries(FileId dir, const std::vector<FicusDirEntry>& remote) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  bool any_changed = false;
+  for (const FicusDirEntry& r : remote) {
+    FICUS_ASSIGN_OR_RETURN(bool changed, ApplyEntryToSet(dir, entries, r));
+    any_changed = any_changed || changed;
+  }
+  if (!any_changed) {
+    return OkStatus();
+  }
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  return BumpDirVersion(dir);
+}
+
+Status PhysicalLayer::MergeDirVersion(FileId dir, const VersionVector& vv) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(dir));
+  attrs.vv.MergeWith(vv);
+  return StoreAttributes(dir, attrs);
+}
+
+// --- PhysicalApi: symlinks ---
+
+StatusOr<std::string> PhysicalLayer::ReadLink(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadAllData(file));
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Status PhysicalLayer::WriteLink(FileId file, std::string_view target) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
+  std::vector<uint8_t> bytes(target.begin(), target.end());
+  FICUS_RETURN_IF_ERROR(ufs_->WriteAll(ino, bytes));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  attrs.vv.Increment(replica_);
+  attrs.mtime = Now();
+  return StoreAttributes(file, attrs);
+}
+
+// --- PhysicalApi: open/close ---
+
+Status PhysicalLayer::NoteOpen(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  ++stats_.opens_noted;
+  // Warm the caches exactly as a real open would: attributes now, so the
+  // following reads find the aux file resident (section 6's warm path).
+  return LoadAttributes(file).status();
+}
+
+Status PhysicalLayer::NoteClose(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  (void)file;
+  ++stats_.closes_noted;
+  return OkStatus();
+}
+
+// --- new-version cache ---
+
+void PhysicalLayer::NoteNewVersion(const GlobalFileId& id, const VersionVector& vv,
+                                   ReplicaId source) {
+  ++stats_.notifications_noted;
+  auto it = new_version_cache_.find(id);
+  if (it == new_version_cache_.end()) {
+    new_version_cache_[id] = NewVersionEntry{id, vv, source, Now()};
+    return;
+  }
+  // Coalesce bursts: keep one entry per file, remembering the freshest
+  // advertised version (this is what makes delayed propagation cheaper
+  // for bursty updates, section 3.2).
+  it->second.vv.MergeWith(vv);
+  it->second.source = source;
+}
+
+std::vector<NewVersionEntry> PhysicalLayer::TakePendingVersions() {
+  std::vector<NewVersionEntry> out;
+  out.reserve(new_version_cache_.size());
+  for (auto& [id, entry] : new_version_cache_) {
+    out.push_back(entry);
+  }
+  new_version_cache_.clear();
+  return out;
+}
+
+// --- garbage collection ---
+
+StatusOr<int> PhysicalLayer::GarbageCollect() {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  int collected = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = locations_.begin(); it != locations_.end();) {
+      FileId file = it->first;
+      const Location& loc = it->second;
+      auto refs = alive_refs_.find(file);
+      bool unreferenced = (refs == alive_refs_.end() || refs->second == 0);
+      if (file == kRootFileId || !unreferenced) {
+        ++it;
+        continue;
+      }
+      // A directory is only collectable once all its children are gone.
+      if (IsDirectoryLike(loc.type)) {
+        FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> inside,
+                               ufs_->DirList(loc.self_dir));
+        bool has_children = false;
+        for (const auto& e : inside) {
+          if (e.name != kDirFile && e.name != kAttrFile) {
+            has_children = true;
+            break;
+          }
+        }
+        if (has_children) {
+          ++it;
+          continue;
+        }
+        FICUS_RETURN_IF_ERROR(ufs_->Unlink(loc.self_dir, kDirFile));
+        Status attr_gone = ufs_->Unlink(loc.self_dir, kAttrFile);
+        if (!attr_gone.ok() && attr_gone.code() != ErrorCode::kNotFound) {
+          return attr_gone;
+        }
+        FICUS_RETURN_IF_ERROR(ufs_->Unlink(loc.parent_dir, file.ToHex()));
+      } else if (options_.orphanage && loc.type == FicusFileType::kRegular) {
+        // Park the contents in the orphanage rather than freeing them.
+        auto orphans = ufs_->DirLookup(container_, kOrphanDir);
+        if (!orphans.ok()) {
+          FICUS_ASSIGN_OR_RETURN(orphans, ufs_->CreateFile(container_, kOrphanDir,
+                                                           ufs::FileType::kDirectory, 0700,
+                                                           0, 0));
+        }
+        FICUS_ASSIGN_OR_RETURN(ufs::InodeNum data_ino,
+                               ufs_->DirLookup(loc.parent_dir, file.ToHex()));
+        FICUS_RETURN_IF_ERROR(ufs_->DirRemove(loc.parent_dir, file.ToHex()));
+        // Displace an older orphan of the same file-id, if any.
+        if (ufs_->DirLookup(orphans.value(), file.ToHex()).ok()) {
+          FICUS_RETURN_IF_ERROR(ufs_->Unlink(orphans.value(), file.ToHex()));
+        }
+        FICUS_RETURN_IF_ERROR(ufs_->DirAdd(orphans.value(), file.ToHex(), data_ino,
+                                           ufs::FileType::kRegular));
+        Status aux_gone = ufs_->Unlink(loc.parent_dir, file.ToHex() + kAttrSuffix);
+        if (!aux_gone.ok() && aux_gone.code() != ErrorCode::kNotFound) {
+          return aux_gone;
+        }
+      } else {
+        FICUS_RETURN_IF_ERROR(ufs_->Unlink(loc.parent_dir, file.ToHex()));
+        Status aux_gone = ufs_->Unlink(loc.parent_dir, file.ToHex() + kAttrSuffix);
+        if (!aux_gone.ok() && aux_gone.code() != ErrorCode::kNotFound) {
+          return aux_gone;
+        }
+      }
+      it = locations_.erase(it);
+      alive_refs_.erase(file);
+      ++collected;
+      progress = true;
+    }
+  }
+  return collected;
+}
+
+StatusOr<std::vector<std::string>> PhysicalLayer::OrphanNames() {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::vector<std::string> out;
+  auto orphans = ufs_->DirLookup(container_, kOrphanDir);
+  if (!orphans.ok()) {
+    return out;  // never created: no orphans
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs_->DirList(*orphans));
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> PhysicalLayer::CheckConsistency() {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::vector<std::string> problems;
+  std::map<FileId, int> observed_refs;
+  std::set<FileId> referenced;
+
+  for (const auto& [file, loc] : locations_) {
+    // Attributes must parse and carry the right identity.
+    auto attrs = LoadAttributes(file);
+    if (!attrs.ok()) {
+      problems.push_back("replica " + file.ToString() + ": attributes unreadable: " +
+                         attrs.status().ToString());
+      continue;
+    }
+    if (attrs->id.file != file || attrs->id.volume != volume_) {
+      problems.push_back("replica " + file.ToString() + ": attribute identity mismatch (" +
+                         attrs->id.ToString() + ")");
+    }
+    if (IsDirectoryLike(loc.type) != IsDirectoryLike(attrs->type)) {
+      problems.push_back("replica " + file.ToString() + ": storage/attribute type mismatch");
+    }
+    // Tally references from this directory's entries.
+    if (IsDirectoryLike(loc.type)) {
+      auto entries = LoadDirEntries(file);
+      if (!entries.ok()) {
+        problems.push_back("directory " + file.ToString() + ": entries unreadable");
+        continue;
+      }
+      for (const auto& e : *entries) {
+        referenced.insert(e.file);
+        if (e.alive) {
+          ++observed_refs[e.file];
+        }
+        if (e.alive && locations_.count(e.file) == 0 &&
+            options_.orphanage == false) {
+          // Alive entry for a file we do not store: legal (optional
+          // storage) only for files minted elsewhere; a locally minted
+          // file must have storage here.
+          if (e.file.issuer == replica_) {
+            problems.push_back("directory " + file.ToString() + ": alive entry '" + e.name +
+                               "' references locally minted but unstored file " +
+                               e.file.ToString());
+          }
+        }
+      }
+    }
+  }
+
+  // Reference-count bookkeeping must match what the directories say.
+  for (const auto& [file, count] : observed_refs) {
+    auto it = alive_refs_.find(file);
+    int cached = it != alive_refs_.end() ? it->second : 0;
+    if (cached != count) {
+      problems.push_back("file " + file.ToString() + ": alive_refs " +
+                         std::to_string(cached) + " != observed " + std::to_string(count));
+    }
+  }
+  // Every stored non-root replica should be referenced by some entry
+  // (alive or tombstone); otherwise it is invisible garbage.
+  for (const auto& [file, loc] : locations_) {
+    if (file != kRootFileId && referenced.count(file) == 0) {
+      problems.push_back("replica " + file.ToString() + " stored but referenced by no entry");
+    }
+  }
+  return problems;
+}
+
+std::vector<FileId> PhysicalLayer::StoredFiles() const {
+  std::vector<FileId> out;
+  out.reserve(locations_.size());
+  for (const auto& [file, loc] : locations_) {
+    out.push_back(file);
+  }
+  return out;
+}
+
+}  // namespace ficus::repl

@@ -1,0 +1,254 @@
+// The Ficus physical layer (paper sections 2.6, 3.2): implements the
+// concept of a file replica on top of an unmodified UFS.
+//
+// Storage scheme — the paper's "dual mapping":
+//   * Every Ficus file replica is stored as a UFS file whose name is the
+//     16-digit hexadecimal encoding of its file-id.
+//   * Beside it sits an auxiliary file `<hex>.attr` holding the
+//     replication attributes (version vector, conflict flag, ...) that
+//     would live in the inode if the UFS could be modified.
+//   * A Ficus *directory* is stored as a UFS file (`.dir` inside a UFS
+//     directory named by the Ficus directory's hex file-id); its entries
+//     map names to Ficus file handles, and the UFS directory around it
+//     holds the children's storage — so the on-disk organization closely
+//     parallels the logical name space, preserving the reference locality
+//     the UFS buffer cache exploits (section 2.6).
+//   * Update propagation installs new file contents via a shadow replica
+//     plus an atomic low-level directory repoint (section 3.2); crash
+//     before the repoint leaves the original intact, and Attach() runs
+//     the recovery sweep that discards stranded shadows.
+//
+// Volume-replica layout under one UFS directory ("the container"):
+//   volume.meta                       ids + file-id mint counter
+//   ffffffff00000001/                 the Ficus root directory (well-known id)
+//     .dir                            Ficus directory file
+//     .attr                           root's auxiliary attributes
+//     <hex>                           child regular file / symlink contents
+//     <hex>.attr                      its auxiliary attributes
+//     <hex>/                          child Ficus directory (recursively)
+#ifndef FICUS_SRC_REPL_PHYSICAL_H_
+#define FICUS_SRC_REPL_PHYSICAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/repl/physical_api.h"
+#include "src/ufs/ufs.h"
+
+namespace ficus::repl {
+
+struct PhysicalStats {
+  uint64_t opens_noted = 0;
+  uint64_t closes_noted = 0;
+  uint64_t installs = 0;              // shadow commits completed
+  uint64_t entries_applied = 0;       // reconciliation entries replayed
+  uint64_t name_conflicts_resolved = 0;
+  uint64_t insert_delete_conflicts = 0;  // auto-repaired (liveness wins)
+  uint64_t remove_update_conflicts = 0;  // delete raced an unseen update
+  uint64_t notifications_noted = 0;
+  uint64_t shadows_recovered = 0;     // stranded shadows cleaned at Attach
+};
+
+// Where replication attributes live on disk.
+enum class AttrPlacement : uint8_t {
+  // An auxiliary "<hex>.attr" file beside each replica — what the paper's
+  // Ficus had to do on an unmodifiable UFS (section 2.6), costing two
+  // extra I/Os per cold open.
+  kAuxFile = 0,
+  // Inside the UFS inode's extension area — the paper's section 7 wish
+  // ("extensible inodes would allow us to dispense with auxiliary files").
+  // Attributes too large for the inode (huge version vectors) spill to an
+  // aux file transparently.
+  kInode = 1,
+};
+
+// Decides whether this volume replica stores a local copy of a file it
+// learns about during reconciliation. Locally created files and all
+// directories are always stored (directories carry the namespace).
+using StoragePolicy = std::function<bool(const FicusDirEntry& entry)>;
+
+struct PhysicalOptions {
+  AttrPlacement attr_placement = AttrPlacement::kAuxFile;
+  // Null policy = store everything ("a volume replica ... need not store
+  // a replica of any particular file", section 4.1). Reads of unstored
+  // files are served by other replicas via the logical layer's selection.
+  StoragePolicy storage_policy;
+  // When set, GarbageCollect() moves unreferenced regular-file replicas
+  // into an "orphans" UFS directory at the volume root instead of freeing
+  // them — insurance against an optimistic delete that later turns out to
+  // have raced an unseen update ("Reconciliation service cleans up
+  // later", section 7).
+  bool orphanage = false;
+};
+
+class PhysicalLayer : public PhysicalApi {
+ public:
+  // ufs must be mounted; clock may be null.
+  PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock,
+                PhysicalOptions options = PhysicalOptions{});
+
+  // Creates a brand-new volume replica in `container_name` under the UFS
+  // root. When `first_replica` is true the Ficus root directory is born
+  // with one update at this replica (so a fresh volume's root dominates
+  // the empty roots of replicas created later); otherwise the root starts
+  // with an empty version vector and is filled by reconciliation.
+  Status CreateVolume(const VolumeId& volume, ReplicaId replica,
+                      std::string_view container_name, bool first_replica);
+
+  // Mounts an existing volume replica: reads volume.meta, sweeps stranded
+  // shadow files (crash recovery), and builds the in-memory file-id
+  // location map.
+  Status Attach(std::string_view container_name);
+
+  bool attached() const { return attached_; }
+
+  // --- PhysicalApi ---
+  VolumeId volume_id() const override { return volume_; }
+  ReplicaId replica_id() const override { return replica_; }
+  StatusOr<ReplicaAttributes> GetAttributes(FileId file) override;
+  Status SetConflict(FileId file, bool conflict) override;
+  StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
+                                          uint32_t length) override;
+  StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) override;
+  StatusOr<uint64_t> DataSize(FileId file) override;
+  Status WriteData(FileId file, uint64_t offset, const std::vector<uint8_t>& data) override;
+  Status TruncateData(FileId file, uint64_t size) override;
+  Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,
+                        const VersionVector& vv) override;
+  StatusOr<std::vector<FicusDirEntry>> ReadDirectory(FileId dir) override;
+  StatusOr<FileId> CreateChild(FileId dir, std::string_view name, FicusFileType type,
+                               uint32_t owner_uid) override;
+  Status AddEntry(FileId dir, std::string_view name, FileId target,
+                  FicusFileType type) override;
+  Status RemoveEntry(FileId dir, std::string_view name) override;
+  Status RenameEntry(FileId old_dir, std::string_view old_name, FileId new_dir,
+                     std::string_view new_name) override;
+  Status ApplyEntry(FileId dir, const FicusDirEntry& entry) override;
+  Status ApplyEntries(FileId dir, const std::vector<FicusDirEntry>& entries) override;
+  Status MergeDirVersion(FileId dir, const VersionVector& vv) override;
+  StatusOr<std::string> ReadLink(FileId file) override;
+  Status WriteLink(FileId file, std::string_view target) override;
+  Status NoteOpen(FileId file) override;
+  Status NoteClose(FileId file) override;
+
+  // --- new-version cache (receiver side of update notification) ---
+  void NoteNewVersion(const GlobalFileId& id, const VersionVector& vv, ReplicaId source);
+  // Hands the accumulated entries to the propagation daemon and clears
+  // the cache.
+  std::vector<NewVersionEntry> TakePendingVersions();
+  size_t PendingVersionCount() const { return new_version_cache_.size(); }
+
+  // Does this replica store the file at all? (Storage of any particular
+  // file is optional within a volume replica, section 4.1.)
+  bool Stores(FileId file) const { return locations_.count(file) != 0; }
+
+  // Removes local storage of files no live directory entry references.
+  // Returns the number of replicas collected. With options.orphanage set,
+  // regular files are moved to the orphanage instead of freed.
+  StatusOr<int> GarbageCollect();
+
+  // Names of files currently parked in the orphanage (hex file-ids).
+  StatusOr<std::vector<std::string>> OrphanNames();
+
+  // Ficus-level fsck: every stored replica's attributes parse and carry
+  // the right identity, alive-reference counts match the directory
+  // contents, and every non-root replica is referenced by some entry.
+  // Returns a list of problems (empty = consistent).
+  StatusOr<std::vector<std::string>> CheckConsistency();
+
+  const PhysicalStats& stats() const { return stats_; }
+
+  // Lists every file-id this replica stores (tests / reconciler sweep).
+  std::vector<FileId> StoredFiles() const;
+
+ private:
+  struct Location {
+    ufs::InodeNum parent_dir = ufs::kInvalidInode;  // UFS dir holding storage
+    ufs::InodeNum self_dir = ufs::kInvalidInode;    // for dir-like files only
+    FicusFileType type = FicusFileType::kRegular;
+  };
+
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+  Status CheckAttached() const;
+
+  StatusOr<Location> Find(FileId file) const;
+  // UFS inode of a regular replica's data file.
+  StatusOr<ufs::InodeNum> DataInode(FileId file);
+  // UFS inode of a replica's auxiliary attribute file.
+  StatusOr<ufs::InodeNum> AttrInode(FileId file);
+
+  StatusOr<ReplicaAttributes> LoadAttributes(FileId file);
+  Status StoreAttributes(FileId file, const ReplicaAttributes& attrs);
+
+  // kInode placement: the inode whose extension area holds the replica's
+  // attributes (the data-file inode for files, the UFS directory inode for
+  // directory-likes).
+  StatusOr<ufs::InodeNum> AttrExtInode(FileId file);
+
+  // Directory files carry a generation header on disk; Load validates a
+  // cached parse against it with a single small read, Store bumps it.
+  // Coherent even across several PhysicalLayer objects attached to one
+  // image (tests do this), because the generation lives on disk.
+  StatusOr<std::vector<FicusDirEntry>> LoadDirEntries(FileId dir);
+  Status StoreDirEntries(FileId dir, const std::vector<FicusDirEntry>& entries);
+
+  // True when the locally stored directory has at least one live entry
+  // (false also when we do not store it / cannot read it).
+  bool HasLiveEntries(FileId dir);
+
+  // True when `candidate` is reachable from `root` through live entries —
+  // the cycle guard for directory renames (the Ficus namespace is a
+  // rooted *acyclic* graph, section 4.1).
+  StatusOr<bool> SubtreeContains(FileId root, FileId candidate);
+
+  // Creates on-disk storage (data + attr) for a new or remotely-discovered
+  // file in directory `dir`. The attribute record starts with `vv`.
+  Status CreateStorage(FileId dir, FileId file, FicusFileType type, uint32_t owner_uid,
+                       const VersionVector& vv);
+
+  // Advances the directory's own version vector by one local update.
+  Status BumpDirVersion(FileId dir);
+
+  // Core of ApplyEntry/ApplyEntries: merges one remote entry into the
+  // in-memory entry set; returns whether the set changed. Handles
+  // refcounts, placeholder storage, and conflict statistics.
+  StatusOr<bool> ApplyEntryToSet(FileId dir, std::vector<FicusDirEntry>& entries,
+                                 const FicusDirEntry& remote);
+
+  Status PersistMeta();
+  Status ScanTree(ufs::InodeNum ufs_dir, FileId dir_id);
+  Status RecoverShadows(ufs::InodeNum ufs_dir);
+
+  // Renames colliding alive entries deterministically (larger file-id gets
+  // the disambiguating suffix) so every replica converges to one spelling.
+  static void DisambiguateNames(std::vector<FicusDirEntry>& entries, size_t changed_index,
+                                PhysicalStats& stats);
+
+  ufs::Ufs* ufs_;
+  const SimClock* clock_;
+  PhysicalOptions options_;
+  VolumeId volume_;
+  ReplicaId replica_ = kInvalidReplica;
+  uint32_t next_unique_ = 1;
+  ufs::InodeNum container_ = ufs::kInvalidInode;  // volume replica's UFS dir
+  bool attached_ = false;
+  std::map<FileId, Location> locations_;
+  std::map<FileId, int> alive_refs_;
+
+  // Parsed-directory cache, validated by on-disk generation.
+  struct CachedDir {
+    uint64_t generation = 0;
+    std::vector<FicusDirEntry> entries;
+  };
+  std::map<FileId, CachedDir> dir_cache_;
+  static constexpr size_t kMaxCachedDirs = 64;  // live directory references per file
+  std::map<GlobalFileId, NewVersionEntry> new_version_cache_;
+  PhysicalStats stats_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_PHYSICAL_H_

@@ -1,0 +1,92 @@
+// The service interface one volume replica's physical layer offers to
+// logical layers and to peer physical layers (for propagation and
+// reconciliation). Two implementations exist:
+//   * PhysicalLayer      — the local store over a UFS (physical.h), and
+//   * RemotePhysical     — a client-side proxy that marshals each call
+//                          through vnode operations across an NFS hop
+//                          (facade.h), reproducing the paper's use of NFS
+//                          as the transport between stacked Ficus layers.
+// The logical layer is written purely against this interface, so it is
+// "generally unaware which replica services a file request" (section 1).
+#ifndef FICUS_SRC_REPL_PHYSICAL_API_H_
+#define FICUS_SRC_REPL_PHYSICAL_API_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/repl/types.h"
+
+namespace ficus::repl {
+
+class PhysicalApi {
+ public:
+  virtual ~PhysicalApi() = default;
+
+  virtual VolumeId volume_id() const = 0;
+  virtual ReplicaId replica_id() const = 0;
+
+  // --- attributes ---
+  virtual StatusOr<ReplicaAttributes> GetAttributes(FileId file) = 0;
+  // Marks / clears the conflict flag on a replica (file conflicts are
+  // reported to the owner, who resolves and clears; section 3.3).
+  virtual Status SetConflict(FileId file, bool conflict) = 0;
+
+  // --- regular file data ---
+  virtual StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
+                                                  uint32_t length) = 0;
+  virtual StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) = 0;
+  virtual StatusOr<uint64_t> DataSize(FileId file) = 0;
+  // Client update path: applies the write and advances this replica's
+  // component of the file's version vector by one.
+  virtual Status WriteData(FileId file, uint64_t offset,
+                           const std::vector<uint8_t>& data) = 0;
+  virtual Status TruncateData(FileId file, uint64_t size) = 0;
+  // Propagation install path: atomically replaces the whole contents and
+  // the version vector using the shadow-file commit (section 3.2). Never
+  // advances this replica's own component.
+  virtual Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,
+                                const VersionVector& vv) = 0;
+
+  // --- directories ---
+  virtual StatusOr<std::vector<FicusDirEntry>> ReadDirectory(FileId dir) = 0;
+  // Client operations; each advances the directory replica's version
+  // vector and the touched entry's version vector at this replica.
+  virtual StatusOr<FileId> CreateChild(FileId dir, std::string_view name,
+                                       FicusFileType type, uint32_t owner_uid) = 0;
+  // Adds another name for an existing file (hard link / extra directory
+  // name — Ficus directories form a DAG, section 2.5 footnote).
+  virtual Status AddEntry(FileId dir, std::string_view name, FileId target,
+                          FicusFileType type) = 0;
+  virtual Status RemoveEntry(FileId dir, std::string_view name) = 0;
+  virtual Status RenameEntry(FileId old_dir, std::string_view old_name, FileId new_dir,
+                             std::string_view new_name) = 0;
+
+  // Reconciliation path: replays one remote entry (insert or tombstone)
+  // into the local directory replica, creating empty local storage for
+  // previously unseen files. Does NOT advance this replica's components
+  // for the remote activity itself — only repairs count as new events.
+  virtual Status ApplyEntry(FileId dir, const FicusDirEntry& entry) = 0;
+  // Batched form: one directory load/store for the whole remote entry
+  // list — what the subtree protocol uses (a directory's reconciliation
+  // is one logical step, not |entries| rewrites).
+  virtual Status ApplyEntries(FileId dir, const std::vector<FicusDirEntry>& entries) = 0;
+  // Folds a remote directory replica's version vector into the local one
+  // after all its entries have been applied.
+  virtual Status MergeDirVersion(FileId dir, const VersionVector& vv) = 0;
+
+  // --- symlinks ---
+  virtual StatusOr<std::string> ReadLink(FileId file) = 0;
+  virtual Status WriteLink(FileId file, std::string_view target) = 0;
+
+  // --- open/close bookkeeping ---
+  // The information NFS would have eaten; Ficus tunnels it via encoded
+  // lookups (section 2.3). Used for cache warmth accounting here.
+  virtual Status NoteOpen(FileId file) = 0;
+  virtual Status NoteClose(FileId file) = 0;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_PHYSICAL_API_H_

@@ -1,0 +1,116 @@
+#include "src/repl/propagation.h"
+
+namespace ficus::repl {
+
+PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver,
+                                     ConflictLog* log, const SimClock* clock,
+                                     PropagationConfig config)
+    : local_(local), resolver_(resolver), log_(log), clock_(clock), config_(config) {}
+
+Status PropagationDaemon::RunOnce() {
+  ++stats_.runs;
+  std::vector<NewVersionEntry> pending = local_->TakePendingVersions();
+  // A notification for a file we do not store yet may become actionable
+  // within this very pass: reconciling a notified *directory* creates
+  // placeholder storage for its children. Retry such entries as long as a
+  // pass makes progress (bounded by the pass count: each retry round
+  // requires at least one new placeholder).
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<NewVersionEntry> unstored;
+    for (const auto& entry : pending) {
+      if (config_.min_age != 0 && Now() < entry.noted_at + config_.min_age) {
+        // Too young: leave it cached so a burst of updates to the same
+        // file costs one propagation, not many.
+        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        continue;
+      }
+      if (!local_->Stores(entry.id.file)) {
+        unstored.push_back(entry);
+        continue;
+      }
+      Status status = Propagate(entry);
+      if (status.code() == ErrorCode::kUnreachable ||
+          status.code() == ErrorCode::kTimedOut) {
+        ++stats_.deferred_unreachable;
+        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        continue;
+      }
+      FICUS_RETURN_IF_ERROR(status);
+      progress = true;
+    }
+    if (!progress) {
+      // Not stored and nothing changed: this replica legitimately does not
+      // hold these files (optional storage) — drop them.
+      stats_.skipped_current += unstored.size();
+      unstored.clear();
+    }
+    pending = std::move(unstored);
+  }
+  return OkStatus();
+}
+
+Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
+  FileId file = entry.id.file;
+  if (!local_->Stores(file)) {
+    // This volume replica does not hold the file (optional storage);
+    // nothing to bring up to date.
+    ++stats_.skipped_current;
+    return OkStatus();
+  }
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(file));
+  // If we already know everything the notification advertises, drop it
+  // without a network round trip.
+  if (local_attrs.vv.Dominates(entry.vv)) {
+    ++stats_.skipped_current;
+    return OkStatus();
+  }
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * source,
+                         resolver_->Access(entry.id.volume, entry.source));
+
+  if (IsDirectoryLike(local_attrs.type)) {
+    // "Simply copying directory contents is incorrect; in a sense, a
+    // directory operation needs to be replayed at each replica."
+    Reconciler reconciler(local_, resolver_, log_, clock_);
+    FICUS_RETURN_IF_ERROR(reconciler.ReconcileDirectory(file, source));
+    ++stats_.reconciled_dirs;
+    return OkStatus();
+  }
+
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes remote_attrs, source->GetAttributes(file));
+  switch (remote_attrs.vv.Compare(local_attrs.vv)) {
+    case VectorOrder::kEqual:
+    case VectorOrder::kDominatedBy:
+      ++stats_.skipped_current;
+      return OkStatus();
+    case VectorOrder::kDominates: {
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> contents, source->ReadAllData(file));
+      FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs.vv));
+      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs.conflict));
+      ++stats_.pulled_files;
+      stats_.bytes_pulled += contents.size();
+      return OkStatus();
+    }
+    case VectorOrder::kConcurrent: {
+      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, true));
+      ++stats_.conflicts_flagged;
+      if (log_ != nullptr) {
+        ConflictRecord record;
+        record.kind = ConflictKind::kFileUpdate;
+        record.id = entry.id;
+        record.local_replica = local_->replica_id();
+        record.remote_replica = entry.source;
+        record.local_vv = local_attrs.vv;
+        record.remote_vv = remote_attrs.vv;
+        record.detected_at = Now();
+        record.detail = "update notification revealed concurrent versions";
+        log_->Report(std::move(record));
+      }
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable vector order");
+}
+
+}  // namespace ficus::repl

@@ -1,0 +1,71 @@
+// Update-propagation daemon (paper section 3.2).
+//
+// When a logical layer applies an update at one replica it multicasts an
+// update notification; each receiving physical layer files the event in
+// its new-version cache. This daemon is the consumer of that cache: when
+// it "deems it appropriate to expend the effort" — here, when RunOnce() is
+// called, optionally gated by a minimum age so bursty updates coalesce —
+// it pulls the newer version from the advertising replica:
+//   * regular file, remote strictly newer  -> shadow-commit install;
+//   * regular file, concurrent             -> conflict flag + owner report;
+//   * directory                            -> directory reconciliation
+//                                             (contents cannot be copied,
+//                                             operations must be replayed).
+#ifndef FICUS_SRC_REPL_PROPAGATION_H_
+#define FICUS_SRC_REPL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/repl/conflict_log.h"
+#include "src/repl/physical.h"
+#include "src/repl/reconcile.h"
+#include "src/repl/resolver.h"
+
+namespace ficus::repl {
+
+struct PropagationStats {
+  uint64_t runs = 0;
+  uint64_t pulled_files = 0;
+  uint64_t reconciled_dirs = 0;
+  uint64_t conflicts_flagged = 0;
+  uint64_t skipped_current = 0;      // local already up to date
+  uint64_t deferred_unreachable = 0; // source unreachable; retried later
+  uint64_t bytes_pulled = 0;
+};
+
+struct PropagationConfig {
+  // Entries younger than this stay cached (0 = propagate immediately).
+  // Delaying "may reduce the overall propagation cost when updates are
+  // bursty" (section 3.2).
+  SimTime min_age = 0;
+};
+
+class PropagationDaemon {
+ public:
+  PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
+                    const SimClock* clock, PropagationConfig config = PropagationConfig{});
+
+  // Processes the new-version cache once. Unreachable sources and
+  // too-young entries are put back for a later run.
+  Status RunOnce();
+
+  const PropagationStats& stats() const { return stats_; }
+
+ private:
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  Status Propagate(const NewVersionEntry& entry);
+
+  PhysicalLayer* local_;
+  ReplicaResolver* resolver_;
+  ConflictLog* log_;
+  const SimClock* clock_;
+  PropagationConfig config_;
+  PropagationStats stats_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_PROPAGATION_H_

@@ -1,0 +1,201 @@
+#include "src/repl/reconcile.h"
+
+#include <deque>
+#include <set>
+
+namespace ficus::repl {
+
+Reconciler::Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
+                       const SimClock* clock)
+    : local_(local), resolver_(resolver), log_(log), clock_(clock) {}
+
+Status Reconciler::ReconcileDirectory(FileId dir, PhysicalApi* remote) {
+  std::set<FileId> visiting;
+  return ReconcileDirectoryInner(dir, remote, visiting);
+}
+
+Status Reconciler::ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
+                                           std::set<FileId>& visiting) {
+  if (!visiting.insert(dir).second) {
+    return OkStatus();  // already being reconciled higher up this chain
+  }
+  // Fetch raw remote entries (tombstones included) and replay each one.
+  auto remote_attrs_or = remote->GetAttributes(dir);
+  if (!remote_attrs_or.ok()) {
+    if (remote_attrs_or.status().code() == ErrorCode::kNotFound) {
+      // The remote volume replica does not store this directory — legal
+      // (storage of any particular file is optional, section 4.1).
+      return OkStatus();
+    }
+    return remote_attrs_or.status();
+  }
+  ReplicaAttributes remote_attrs = std::move(remote_attrs_or).value();
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(dir));
+  // Quick exit: if the local directory already dominates the remote, every
+  // remote entry is already reflected here.
+  if (local_attrs.vv.Dominates(remote_attrs.vv)) {
+    return OkStatus();
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> remote_entries,
+                         remote->ReadDirectory(dir));
+  uint64_t repairs_before = local_->stats().insert_delete_conflicts;
+  uint64_t collisions_before = local_->stats().name_conflicts_resolved;
+  uint64_t removes_before = local_->stats().remove_update_conflicts;
+  // Subdirectory tombstones need their target's contents reconciled
+  // before application, so emptiness reflects the remote's deletions and
+  // ApplyEntries can tell a real rmdir from a delete/update conflict.
+  for (const auto& entry : remote_entries) {
+    ++stats_.entries_examined;
+    if (!entry.alive && IsDirectoryLike(entry.type) && local_->Stores(entry.file)) {
+      FICUS_RETURN_IF_ERROR(ReconcileDirectoryInner(entry.file, remote, visiting));
+    }
+  }
+  // One load/store for the whole batch: a directory's reconciliation is
+  // one logical step, not |entries| rewrites.
+  FICUS_RETURN_IF_ERROR(local_->ApplyEntries(dir, remote_entries));
+  FICUS_RETURN_IF_ERROR(local_->MergeDirVersion(dir, remote_attrs.vv));
+  ++stats_.directories_reconciled;
+
+  if (log_ != nullptr) {
+    uint64_t repairs = local_->stats().insert_delete_conflicts - repairs_before;
+    for (uint64_t i = 0; i < repairs; ++i) {
+      ConflictRecord record;
+      record.kind = ConflictKind::kDirectoryRepair;
+      record.id = GlobalFileId{local_->volume_id(), dir};
+      record.local_replica = local_->replica_id();
+      record.remote_replica = remote->replica_id();
+      record.local_vv = local_attrs.vv;
+      record.remote_vv = remote_attrs.vv;
+      record.detected_at = Now();
+      record.detail = "concurrent insert/delete repaired in favour of liveness";
+      log_->Report(std::move(record));
+    }
+    uint64_t remove_updates = local_->stats().remove_update_conflicts - removes_before;
+    for (uint64_t i = 0; i < remove_updates; ++i) {
+      ConflictRecord record;
+      record.kind = ConflictKind::kRemoveUpdate;
+      record.id = GlobalFileId{local_->volume_id(), dir};
+      record.local_replica = local_->replica_id();
+      record.remote_replica = remote->replica_id();
+      record.detected_at = Now();
+      record.detail = "remote delete raced an unseen local update; entry resurrected";
+      log_->Report(std::move(record));
+    }
+    uint64_t collisions = local_->stats().name_conflicts_resolved - collisions_before;
+    for (uint64_t i = 0; i < collisions; ++i) {
+      ConflictRecord record;
+      record.kind = ConflictKind::kNameCollision;
+      record.id = GlobalFileId{local_->volume_id(), dir};
+      record.local_replica = local_->replica_id();
+      record.remote_replica = remote->replica_id();
+      record.detected_at = Now();
+      record.detail = "same name created concurrently; both entries retained";
+      log_->Report(std::move(record));
+    }
+  }
+  return OkStatus();
+}
+
+Status Reconciler::ReconcileFile(FileId file, PhysicalApi* remote) {
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(file));
+  auto remote_attrs = remote->GetAttributes(file);
+  if (!remote_attrs.ok()) {
+    if (remote_attrs.status().code() == ErrorCode::kNotFound) {
+      // The remote volume replica does not store this file — legal
+      // (storage of any particular file is optional, section 4.1).
+      return OkStatus();
+    }
+    return remote_attrs.status();
+  }
+  switch (remote_attrs->vv.Compare(local_attrs.vv)) {
+    case VectorOrder::kEqual:
+    case VectorOrder::kDominatedBy:
+      return OkStatus();
+    case VectorOrder::kDominates: {
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> contents, remote->ReadAllData(file));
+      FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs->vv));
+      // A strictly newer version subsumes whatever the conflict flag was
+      // complaining about only if the remote resolved it; propagate the
+      // remote's flag rather than guessing.
+      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs->conflict));
+      ++stats_.files_pulled;
+      return OkStatus();
+    }
+    case VectorOrder::kConcurrent: {
+      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, true));
+      ++stats_.files_in_conflict;
+      if (log_ != nullptr) {
+        ConflictRecord record;
+        record.kind = ConflictKind::kFileUpdate;
+        record.id = GlobalFileId{local_->volume_id(), file};
+        record.local_replica = local_->replica_id();
+        record.remote_replica = remote->replica_id();
+        record.local_vv = local_attrs.vv;
+        record.remote_vv = remote_attrs->vv;
+        record.detected_at = Now();
+        record.detail = "concurrent updates to regular file; owner must resolve";
+        log_->Report(std::move(record));
+      }
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable vector order");
+}
+
+Status Reconciler::ReconcileSubtree(FileId root, ReplicaId remote_replica) {
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * remote,
+                         resolver_->Access(local_->volume_id(), remote_replica));
+  ++stats_.subtree_runs;
+
+  // Breadth-first over the local directory graph. Directories are
+  // reconciled as they are dequeued, which can surface new children that
+  // are then visited in turn. A visited set guards against the DAG's
+  // multiple-name paths.
+  std::deque<FileId> queue;
+  std::set<FileId> seen;
+  queue.push_back(root);
+  seen.insert(root);
+  std::vector<FileId> files;
+
+  while (!queue.empty()) {
+    FileId dir = queue.front();
+    queue.pop_front();
+    FICUS_RETURN_IF_ERROR(ReconcileDirectory(dir, remote));
+    FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, local_->ReadDirectory(dir));
+    for (const auto& entry : entries) {
+      if (!entry.alive || seen.count(entry.file) != 0) {
+        continue;
+      }
+      seen.insert(entry.file);
+      if (IsDirectoryLike(entry.type)) {
+        queue.push_back(entry.file);
+      } else if ((entry.type == FicusFileType::kRegular ||
+                  entry.type == FicusFileType::kSymlink) &&
+                 local_->Stores(entry.file)) {
+        // Files this replica declined to store (selective replication,
+        // section 4.1) have no local copy to bring up to date.
+        files.push_back(entry.file);
+      }
+    }
+  }
+  for (FileId file : files) {
+    FICUS_RETURN_IF_ERROR(ReconcileFile(file, remote));
+  }
+  return OkStatus();
+}
+
+Status Reconciler::ReconcileWithAllReplicas() {
+  Status first_error = OkStatus();
+  for (ReplicaId replica : resolver_->ReplicasOf(local_->volume_id())) {
+    if (replica == local_->replica_id()) {
+      continue;
+    }
+    Status status = ReconcileSubtree(kRootFileId, replica);
+    if (!status.ok() && status.code() != ErrorCode::kUnreachable && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+}  // namespace ficus::repl

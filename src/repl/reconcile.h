@@ -1,0 +1,83 @@
+// The Ficus reconciliation service (paper section 3.3).
+//
+// A reconciliation run examines the state of two replicas, determines which
+// operations have been performed on each, and applies to the local replica
+// the operations that reflect previously unseen remote activity:
+//   * directory reconciliation replays remote entry inserts/deletes using
+//     per-entry version vectors (deletes are tombstones, so a remote
+//     delete is an operation we can order against a local recreate);
+//   * file reconciliation pulls strictly newer versions via the atomic
+//     install path, and flags concurrent versions as conflicts for the
+//     owner (regular files) — directories are merged automatically.
+// The subtree protocol walks an entire subgraph pairwise against one
+// remote replica, interleaving with normal client activity (nothing is
+// locked; every step is an ordinary physical-layer operation).
+#ifndef FICUS_SRC_REPL_RECONCILE_H_
+#define FICUS_SRC_REPL_RECONCILE_H_
+
+#include <cstdint>
+#include <set>
+
+#include "src/common/clock.h"
+#include "src/repl/conflict_log.h"
+#include "src/repl/physical.h"
+#include "src/repl/resolver.h"
+
+namespace ficus::repl {
+
+struct ReconcileStats {
+  uint64_t directories_reconciled = 0;
+  uint64_t files_pulled = 0;           // strictly newer versions installed
+  uint64_t files_in_conflict = 0;      // concurrent versions detected
+  uint64_t entries_examined = 0;
+  uint64_t subtree_runs = 0;
+};
+
+class Reconciler {
+ public:
+  // All pointers borrowed. `local` is the replica being brought up to
+  // date; conflicts are recorded in `log`.
+  Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
+             const SimClock* clock = nullptr);
+
+  // Reconciles one directory (entries + the directory's version vector)
+  // against the remote replica. Does not touch file contents. One
+  // exception to "does not recurse": before applying a remote tombstone
+  // for a subdirectory, that subdirectory's own contents are reconciled
+  // first, so a legitimate rmdir (whose child deletions we simply have
+  // not seen yet) is distinguishable from a delete/update conflict (the
+  // subdirectory gained children the remover never saw — liveness wins).
+  Status ReconcileDirectory(FileId dir, PhysicalApi* remote);
+
+  // Brings one regular file / symlink up to date against the remote:
+  // pull if remote strictly dominates, conflict-flag if concurrent.
+  Status ReconcileFile(FileId file, PhysicalApi* remote);
+
+  // The periodic protocol: traverses the whole subgraph rooted at `root`
+  // against one remote replica, reconciling directories first (so newly
+  // discovered files gain placeholder storage) and then file contents.
+  Status ReconcileSubtree(FileId root, ReplicaId remote_replica);
+
+  // Convenience: reconcile the volume root subtree against every
+  // reachable replica of the volume.
+  Status ReconcileWithAllReplicas();
+
+  const ReconcileStats& stats() const { return stats_; }
+
+ private:
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  // `visiting` guards against cycles in the directory DAG.
+  Status ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
+                                 std::set<FileId>& visiting);
+
+  PhysicalLayer* local_;
+  ReplicaResolver* resolver_;
+  ConflictLog* log_;
+  const SimClock* clock_;
+  ReconcileStats stats_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_RECONCILE_H_

@@ -1,0 +1,39 @@
+// How a layer finds the physical layers managing the replicas of a volume.
+// The simulation harness implements this by returning either the local
+// PhysicalLayer or a RemotePhysical proxy that crosses an NFS hop; an
+// unreachable host surfaces as kUnreachable, which every caller treats as
+// "that replica is not available right now" — the normal condition of a
+// large-scale system (paper section 1).
+#ifndef FICUS_SRC_REPL_RESOLVER_H_
+#define FICUS_SRC_REPL_RESOLVER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/repl/physical_api.h"
+
+namespace ficus::repl {
+
+class ReplicaResolver {
+ public:
+  virtual ~ReplicaResolver() = default;
+
+  // Every replica known to exist for the volume (reachable or not).
+  virtual std::vector<ReplicaId> ReplicasOf(const VolumeId& volume) = 0;
+
+  // Access to one replica's physical layer. kUnreachable when the managing
+  // host cannot be contacted; kNotFound when the replica does not exist.
+  virtual StatusOr<PhysicalApi*> Access(const VolumeId& volume, ReplicaId replica) = 0;
+
+  // The replica this resolver considers local/cheapest (used to bias
+  // update placement and tie-break read selection). kInvalidReplica when
+  // no replica is local to this host.
+  virtual ReplicaId PreferredReplica(const VolumeId& volume) {
+    (void)volume;
+    return kInvalidReplica;
+  }
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_RESOLVER_H_

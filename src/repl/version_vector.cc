@@ -1,0 +1,107 @@
+#include "src/repl/version_vector.h"
+
+namespace ficus::repl {
+
+uint64_t VersionVector::Count(ReplicaId replica) const {
+  auto it = counters_.find(replica);
+  return it != counters_.end() ? it->second : 0;
+}
+
+VectorOrder VersionVector::Compare(const VersionVector& other) const {
+  bool some_greater = false;
+  bool some_less = false;
+  // Walk the union of both key sets in one pass (both maps are ordered).
+  auto lhs = counters_.begin();
+  auto rhs = other.counters_.begin();
+  while (lhs != counters_.end() || rhs != other.counters_.end()) {
+    uint64_t l = 0;
+    uint64_t r = 0;
+    if (rhs == other.counters_.end() || (lhs != counters_.end() && lhs->first < rhs->first)) {
+      l = lhs->second;
+      ++lhs;
+    } else if (lhs == counters_.end() || rhs->first < lhs->first) {
+      r = rhs->second;
+      ++rhs;
+    } else {
+      l = lhs->second;
+      r = rhs->second;
+      ++lhs;
+      ++rhs;
+    }
+    if (l > r) {
+      some_greater = true;
+    } else if (l < r) {
+      some_less = true;
+    }
+    if (some_greater && some_less) {
+      return VectorOrder::kConcurrent;
+    }
+  }
+  if (some_greater) {
+    return VectorOrder::kDominates;
+  }
+  if (some_less) {
+    return VectorOrder::kDominatedBy;
+  }
+  return VectorOrder::kEqual;
+}
+
+void VersionVector::MergeWith(const VersionVector& other) {
+  for (const auto& [replica, count] : other.counters_) {
+    uint64_t& mine = counters_[replica];
+    if (count > mine) {
+      mine = count;
+    }
+  }
+}
+
+VersionVector VersionVector::Merge(const VersionVector& a, const VersionVector& b) {
+  VersionVector out = a;
+  out.MergeWith(b);
+  return out;
+}
+
+uint64_t VersionVector::TotalUpdates() const {
+  uint64_t total = 0;
+  for (const auto& [replica, count] : counters_) {
+    total += count;
+  }
+  return total;
+}
+
+std::string VersionVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [replica, count] : counters_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "r" + std::to_string(replica) + ":" + std::to_string(count);
+  }
+  out += "}";
+  return out;
+}
+
+void VersionVector::Serialize(ByteWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(counters_.size()));
+  for (const auto& [replica, count] : counters_) {
+    w.PutU32(replica);
+    w.PutU64(count);
+  }
+}
+
+StatusOr<VersionVector> VersionVector::Deserialize(ByteReader& r) {
+  FICUS_ASSIGN_OR_RETURN(uint32_t size, r.GetU32());
+  VersionVector vv;
+  for (uint32_t i = 0; i < size; ++i) {
+    FICUS_ASSIGN_OR_RETURN(uint32_t replica, r.GetU32());
+    FICUS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+    if (count != 0) {
+      vv.counters_[replica] = count;
+    }
+  }
+  return vv;
+}
+
+}  // namespace ficus::repl

@@ -1,0 +1,78 @@
+// Version vectors, after Parker et al., "Detection of Mutual Inconsistency
+// in Distributed Systems" (IEEE TSE 1983) — reference [14] of the paper.
+//
+// Each file replica carries a vector mapping replica-id -> number of
+// updates that replica has originated. Comparing two vectors classifies
+// the replicas' histories: equal, one dominates (strictly newer), or
+// concurrent (conflicting unsynchronized updates, section 3.1).
+#ifndef FICUS_SRC_REPL_VERSION_VECTOR_H_
+#define FICUS_SRC_REPL_VERSION_VECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/serialize.h"
+#include "src/repl/ids.h"
+
+namespace ficus::repl {
+
+enum class VectorOrder {
+  kEqual,
+  kDominates,    // lhs strictly newer than rhs
+  kDominatedBy,  // rhs strictly newer than lhs
+  kConcurrent,   // incomparable: conflicting updates
+};
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  // Records one more update originated at `replica`.
+  void Increment(ReplicaId replica) { ++counters_[replica]; }
+
+  uint64_t Count(ReplicaId replica) const;
+
+  // Component-wise comparison of this (lhs) against other (rhs).
+  VectorOrder Compare(const VersionVector& other) const;
+
+  bool Dominates(const VersionVector& other) const {
+    VectorOrder order = Compare(other);
+    return order == VectorOrder::kDominates || order == VectorOrder::kEqual;
+  }
+  bool StrictlyDominates(const VersionVector& other) const {
+    return Compare(other) == VectorOrder::kDominates;
+  }
+  bool ConcurrentWith(const VersionVector& other) const {
+    return Compare(other) == VectorOrder::kConcurrent;
+  }
+
+  // Component-wise maximum — the history that has seen both.
+  void MergeWith(const VersionVector& other);
+  static VersionVector Merge(const VersionVector& a, const VersionVector& b);
+
+  bool Empty() const { return counters_.empty(); }
+  size_t Size() const { return counters_.size(); }
+  uint64_t TotalUpdates() const;
+
+  bool operator==(const VersionVector& other) const {
+    return Compare(other) == VectorOrder::kEqual;
+  }
+
+  // "{r1:3, r4:1}" for logs and conflict reports.
+  std::string ToString() const;
+
+  void Serialize(ByteWriter& w) const;
+  static StatusOr<VersionVector> Deserialize(ByteReader& r);
+
+  const std::map<ReplicaId, uint64_t>& counters() const { return counters_; }
+
+ private:
+  // Absent component == 0; zero entries are never stored, so equal
+  // histories always have identical maps.
+  std::map<ReplicaId, uint64_t> counters_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_VERSION_VECTOR_H_

@@ -1,0 +1,184 @@
+#include "src/sim/cluster.h"
+
+#include <algorithm>
+
+namespace ficus::sim {
+
+FicusHost* Cluster::AddHost(const std::string& name, const HostConfig& config) {
+  hosts_.push_back(std::make_unique<FicusHost>(&network_, &clock_, name, config));
+  return hosts_.back().get();
+}
+
+StatusOr<repl::VolumeId> Cluster::CreateVolume(const std::vector<FicusHost*>& replica_hosts) {
+  if (replica_hosts.empty()) {
+    return InvalidArgumentError("a volume needs at least one replica host");
+  }
+  repl::VolumeId volume{replica_hosts.front()->id(), next_volume_++};
+  std::vector<std::pair<repl::ReplicaId, net::HostId>> placement;
+  for (size_t i = 0; i < replica_hosts.size(); ++i) {
+    repl::ReplicaId replica = static_cast<repl::ReplicaId>(i + 1);
+    FICUS_RETURN_IF_ERROR(
+        replica_hosts[i]->CreateVolumeReplica(volume, replica, /*first_replica=*/i == 0)
+            .status());
+    placement.emplace_back(replica, replica_hosts[i]->id());
+  }
+  // Installation-time knowledge: each storing host learns its peers.
+  for (FicusHost* host : replica_hosts) {
+    for (const auto& [replica, host_id] : placement) {
+      host->LearnReplicaLocation(volume, replica, host_id);
+    }
+  }
+  volumes_[volume] = placement;
+  // Bring later replicas' roots up to the seed's state so all roots share
+  // a common history.
+  for (FicusHost* host : replica_hosts) {
+    FICUS_RETURN_IF_ERROR(host->RunReconciliation());
+  }
+  return volume;
+}
+
+StatusOr<repl::LogicalLayer*> Cluster::MountEverywhere(FicusHost* host,
+                                                       const repl::VolumeId& volume) {
+  auto it = volumes_.find(volume);
+  if (it != volumes_.end()) {
+    for (const auto& [replica, host_id] : it->second) {
+      host->LearnReplicaLocation(volume, replica, host_id);
+    }
+  }
+  return host->MountVolume(volume);
+}
+
+StatusOr<repl::ReplicaId> Cluster::AddReplica(const repl::VolumeId& volume, FicusHost* host) {
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return NotFoundError("unknown volume " + volume.ToString());
+  }
+  repl::ReplicaId replica = 0;
+  for (const auto& [id, host_id] : it->second) {
+    replica = std::max(replica, id);
+  }
+  ++replica;
+  FICUS_RETURN_IF_ERROR(
+      host->CreateVolumeReplica(volume, replica, /*first_replica=*/false).status());
+  it->second.emplace_back(replica, host->id());
+  // Everyone who stores a replica learns the new placement; the new host
+  // learns all of them.
+  for (auto& h : hosts_) {
+    for (const auto& [id, host_id] : it->second) {
+      if (h->registry().LocalReplica(volume) != nullptr || h.get() == host) {
+        h->LearnReplicaLocation(volume, id, host_id);
+      }
+    }
+  }
+  // First fill.
+  FICUS_RETURN_IF_ERROR(host->RunReconciliation());
+  return replica;
+}
+
+Status Cluster::RemoveReplica(const repl::VolumeId& volume, FicusHost* host) {
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return NotFoundError("unknown volume " + volume.ToString());
+  }
+  if (it->second.size() <= 1) {
+    return InvalidArgumentError("refusing to remove the last replica");
+  }
+  // Push any state only this replica holds out to the survivors.
+  FICUS_RETURN_IF_ERROR(host->RunReconciliation());
+  FICUS_RETURN_IF_ERROR(ReconcileUntilQuiescent().status());
+  repl::PhysicalLayer* local = host->registry().LocalReplica(volume);
+  if (local == nullptr) {
+    return NotFoundError("host stores no replica of " + volume.ToString());
+  }
+  repl::ReplicaId replica = local->replica_id();
+  FICUS_RETURN_IF_ERROR(host->DropVolumeReplica(volume));
+  auto& placement = it->second;
+  for (auto p = placement.begin(); p != placement.end(); ++p) {
+    if (p->first == replica) {
+      placement.erase(p);
+      break;
+    }
+  }
+  for (auto& h : hosts_) {
+    h->registry().ForgetReplica(volume, replica);
+  }
+  return OkStatus();
+}
+
+Status Cluster::MoveReplica(const repl::VolumeId& volume, FicusHost* from, FicusHost* to) {
+  FICUS_RETURN_IF_ERROR(AddReplica(volume, to).status());
+  FICUS_RETURN_IF_ERROR(ReconcileUntilQuiescent().status());
+  return RemoveReplica(volume, from);
+}
+
+Status Cluster::RunFor(SimTime duration, SimTime propagation_period,
+                       SimTime reconcile_period) {
+  SimTime end = clock_.Now() + duration;
+  SimTime next_propagation =
+      propagation_period == 0 ? end + 1 : clock_.Now() + propagation_period;
+  SimTime next_reconcile = reconcile_period == 0 ? end + 1 : clock_.Now() + reconcile_period;
+  while (clock_.Now() < end) {
+    SimTime next = std::min({end, next_propagation, next_reconcile});
+    clock_.AdvanceTo(next);
+    if (clock_.Now() >= next_propagation) {
+      FICUS_RETURN_IF_ERROR(RunPropagationEverywhere());
+      next_propagation += propagation_period;
+    }
+    if (clock_.Now() >= next_reconcile) {
+      for (auto& host : hosts_) {
+        FICUS_RETURN_IF_ERROR(host->RunReconciliation());
+      }
+      next_reconcile += reconcile_period;
+    }
+  }
+  return OkStatus();
+}
+
+Status Cluster::RunPropagationEverywhere() {
+  for (auto& host : hosts_) {
+    FICUS_RETURN_IF_ERROR(host->RunPropagation());
+  }
+  return OkStatus();
+}
+
+StatusOr<int> Cluster::ReconcileUntilQuiescent(int max_rounds) {
+  // A round is quiescent when no reconciler pulled a file, applied an
+  // entry, or repaired a conflict anywhere. Entry applications are counted
+  // by the physical layers, file pulls by the reconcilers.
+  auto snapshot = [this]() {
+    uint64_t total = 0;
+    for (auto& host : hosts_) {
+      for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+        total += layer->stats().entries_applied + layer->stats().installs;
+      }
+    }
+    return total;
+  };
+  int round = 0;
+  for (; round < max_rounds; ++round) {
+    uint64_t before = snapshot();
+    for (auto& host : hosts_) {
+      FICUS_RETURN_IF_ERROR(host->RunReconciliation());
+    }
+    if (snapshot() == before) {
+      return round + 1;
+    }
+  }
+  return round;
+}
+
+void Cluster::Partition(const std::vector<std::vector<FicusHost*>>& groups) {
+  std::vector<std::vector<net::HostId>> id_groups;
+  id_groups.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<net::HostId> ids;
+    ids.reserve(group.size());
+    for (FicusHost* host : group) {
+      ids.push_back(host->id());
+    }
+    id_groups.push_back(std::move(ids));
+  }
+  network_.Partition(id_groups);
+}
+
+}  // namespace ficus::sim

@@ -1,0 +1,83 @@
+// A simulated Ficus cluster: clock + network + hosts, with conveniences
+// for creating replicated volumes, mounting them, scripting partitions,
+// and pumping the propagation/reconciliation daemons deterministically.
+#ifndef FICUS_SRC_SIM_CLUSTER_H_
+#define FICUS_SRC_SIM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/host.h"
+
+namespace ficus::sim {
+
+class Cluster {
+ public:
+  Cluster() : network_(&clock_) {}
+
+  SimClock& clock() { return clock_; }
+  net::Network& network() { return network_; }
+
+  FicusHost* AddHost(const std::string& name, const HostConfig& config = HostConfig{});
+
+  FicusHost* host(size_t index) { return hosts_[index].get(); }
+  size_t host_count() const { return hosts_.size(); }
+
+  // Creates a volume with one replica per listed host (replica ids 1..n,
+  // the first listed host seeds the root). Every storing host learns all
+  // replica locations, like an installation-time fstab.
+  StatusOr<repl::VolumeId> CreateVolume(const std::vector<FicusHost*>& replica_hosts);
+
+  // Tells `host` (which need not store a replica) where every replica of
+  // `volume` lives, then mounts it.
+  StatusOr<repl::LogicalLayer*> MountEverywhere(FicusHost* host, const repl::VolumeId& volume);
+
+  // Adds one more replica of an existing volume on `host` at runtime ("a
+  // client may change the location and quantity of file replicas whenever
+  // a file replica is available", section 3.1). The new replica starts
+  // empty and is filled by reconciliation; every known host learns the
+  // placement. Returns the new replica's id.
+  StatusOr<repl::ReplicaId> AddReplica(const repl::VolumeId& volume, FicusHost* host);
+
+  // Retires `host`'s replica of `volume`: reconciles its state into the
+  // surviving replicas first, then destroys it and spreads the news.
+  // Refuses to remove the last replica.
+  Status RemoveReplica(const repl::VolumeId& volume, FicusHost* host);
+
+  // Replica migration = AddReplica(to) + fill + RemoveReplica(from) —
+  // "a client may change the location and quantity of file replicas
+  // whenever a file replica is available" (section 3.1).
+  Status MoveReplica(const repl::VolumeId& volume, FicusHost* from, FicusHost* to);
+
+  // --- daemon pumps ---
+  // One propagation pass on every host.
+  Status RunPropagationEverywhere();
+  // Reconciliation rounds until no replica changes or max_rounds is hit.
+  // Returns the number of rounds executed.
+  StatusOr<int> ReconcileUntilQuiescent(int max_rounds = 8);
+
+  // --- partition scripting (thin wrappers over the network) ---
+  void Partition(const std::vector<std::vector<FicusHost*>>& groups);
+  void Heal() { network_.Heal(); }
+
+  // Advances simulated time.
+  void Sleep(SimTime delta) { clock_.Advance(delta); }
+
+  // Advances simulated time by `duration`, pumping propagation daemons
+  // every `propagation_period` and full reconciliation every
+  // `reconcile_period` — the wall-clock scheduling a kernel Ficus would
+  // get from its daemons. Periods of 0 disable that pump.
+  Status RunFor(SimTime duration, SimTime propagation_period, SimTime reconcile_period);
+
+ private:
+  SimClock clock_;
+  net::Network network_;
+  std::vector<std::unique_ptr<FicusHost>> hosts_;
+  std::map<repl::VolumeId, std::vector<std::pair<repl::ReplicaId, net::HostId>>> volumes_;
+  uint32_t next_volume_ = 1;
+};
+
+}  // namespace ficus::sim
+
+#endif  // FICUS_SRC_SIM_CLUSTER_H_

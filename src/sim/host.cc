@@ -1,0 +1,368 @@
+#include "src/sim/host.h"
+
+#include "src/common/logging.h"
+
+namespace ficus::sim {
+
+// --- ExportVfs: one vnode namespace multiplexing every exported facade ---
+
+class FicusHost::ExportVfs : public vfs::Vfs {
+ public:
+  explicit ExportVfs(FicusHost* host) : host_(host) {}
+
+  StatusOr<vfs::VnodePtr> Root() override {
+    return vfs::VnodePtr(std::make_shared<RootVnode>(host_));
+  }
+
+ private:
+  class RootVnode : public vfs::Vnode {
+   public:
+    explicit RootVnode(FicusHost* host) : host_(host) {}
+
+    StatusOr<vfs::VAttr> GetAttr() override {
+      vfs::VAttr attr;
+      attr.type = vfs::VnodeType::kDirectory;
+      attr.fileid = 1;
+      attr.fsid = 0xE0000000ULL | host_->id();
+      return attr;
+    }
+
+    StatusOr<vfs::VnodePtr> Lookup(std::string_view name,
+                                   const vfs::Credentials&) override {
+      for (auto& [key, local] : host_->locals_) {
+        if (ExportName(key.first, key.second) == name) {
+          return local.facade->Root();
+        }
+      }
+      return NotFoundError("no volume replica exported as " + std::string(name));
+    }
+
+    StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials&) override {
+      std::vector<vfs::DirEntry> out;
+      for (auto& [key, local] : host_->locals_) {
+        out.push_back(vfs::DirEntry{ExportName(key.first, key.second), 0,
+                                    vfs::VnodeType::kDirectory});
+      }
+      return out;
+    }
+
+   private:
+    FicusHost* host_;
+  };
+
+  FicusHost* host_;
+};
+
+// --- FicusHost ---
+
+FicusHost::FicusHost(net::Network* network, SimClock* clock, const std::string& name,
+                     const HostConfig& config)
+    : network_(network),
+      clock_(clock),
+      name_(name),
+      id_(network->AddHost(name)),
+      config_(config),
+      device_(config.disk_blocks),
+      cache_(&device_, config.cache_blocks),
+      ufs_(&cache_, clock),
+      grafts_(clock) {
+  Status formatted = ufs_.Format(config.inode_count);
+  if (!formatted.ok()) {
+    FICUS_LOG(kError, "sim") << "host " << name << ": UFS format failed: "
+                             << formatted.ToString();
+  }
+  export_vfs_ = std::make_unique<ExportVfs>(this);
+  server_ = std::make_unique<nfs::NfsServer>(network_, id_, export_vfs_.get());
+  network_->port(id_)->RegisterDatagramChannel(
+      kUpdateChannel, [this](net::HostId sender, const net::Payload& payload) {
+        HandleUpdateDatagram(sender, payload);
+      });
+}
+
+FicusHost::~FicusHost() = default;
+
+std::string FicusHost::ExportName(const repl::VolumeId& volume, repl::ReplicaId replica) {
+  return "vol-" + HexEncode32(volume.allocator) + HexEncode32(volume.volume) + "-" +
+         HexEncode32(replica);
+}
+
+StatusOr<repl::PhysicalLayer*> FicusHost::CreateVolumeReplica(const repl::VolumeId& volume,
+                                                              repl::ReplicaId replica,
+                                                              bool first_replica) {
+  auto key = std::make_pair(volume, replica);
+  if (locals_.count(key) != 0) {
+    return ExistsError("replica already stored on this host");
+  }
+  LocalReplica local;
+  local.physical = std::make_unique<repl::PhysicalLayer>(&ufs_, clock_, config_.physical);
+  std::string container = "vol_" + HexEncode32(volume.allocator) +
+                          HexEncode32(volume.volume) + "_r" + std::to_string(replica);
+  FICUS_RETURN_IF_ERROR(
+      local.physical->CreateVolume(volume, replica, container, first_replica));
+  // Facade fsid must be unique per (volume, replica) across the cluster so
+  // NFS handle keys never collide.
+  uint64_t fsid = (static_cast<uint64_t>(volume.allocator) << 40) ^
+                  (static_cast<uint64_t>(volume.volume) << 16) ^ replica ^
+                  (static_cast<uint64_t>(id_) << 56);
+  local.facade = std::make_unique<repl::PhysicalFacadeVfs>(local.physical.get(), fsid);
+  local.propagation = std::make_unique<repl::PropagationDaemon>(
+      local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
+  local.reconciler =
+      std::make_unique<repl::Reconciler>(local.physical.get(), this, &conflict_log_, clock_);
+  repl::PhysicalLayer* raw = local.physical.get();
+  locals_[key] = std::move(local);
+  registry_.RegisterLocal(raw, id_);
+  return raw;
+}
+
+void FicusHost::LearnReplicaLocation(const repl::VolumeId& volume, repl::ReplicaId replica,
+                                     net::HostId host) {
+  registry_.RegisterRemote(volume, replica, host);
+}
+
+StatusOr<repl::LogicalLayer*> FicusHost::MountVolume(const repl::VolumeId& volume,
+                                                     bool pinned) {
+  if (repl::LogicalLayer* existing = grafts_.Find(volume)) {
+    return existing;
+  }
+  if (registry_.ReplicasOf(volume).empty()) {
+    return NotFoundError("host knows no replica of volume " + volume.ToString());
+  }
+  auto logical =
+      std::make_unique<repl::LogicalLayer>(volume, this, this, &conflict_log_, clock_);
+  logical->set_graft_resolver(this);
+  return grafts_.Insert(volume, std::move(logical), pinned);
+}
+
+namespace {
+// Recursively unlinks a UFS subtree rooted at `dir`'s entry `name`.
+Status RemoveUfsTree(ufs::Ufs* ufs, ufs::InodeNum dir, const std::string& name) {
+  FICUS_ASSIGN_OR_RETURN(ufs::InodeNum target, ufs->DirLookup(dir, name));
+  FICUS_ASSIGN_OR_RETURN(ufs::Inode inode, ufs->ReadInode(target));
+  if (inode.type == ufs::FileType::kDirectory) {
+    FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs->DirList(target));
+    for (const auto& e : entries) {
+      FICUS_RETURN_IF_ERROR(RemoveUfsTree(ufs, target, e.name));
+    }
+  }
+  return ufs->Unlink(dir, name);
+}
+}  // namespace
+
+Status FicusHost::DropVolumeReplica(const repl::VolumeId& volume) {
+  for (auto it = locals_.begin(); it != locals_.end(); ++it) {
+    if (it->first.first != volume) {
+      continue;
+    }
+    repl::ReplicaId replica = it->first.second;
+    std::string container = "vol_" + HexEncode32(volume.allocator) +
+                            HexEncode32(volume.volume) + "_r" + std::to_string(replica);
+    locals_.erase(it);  // daemons/facade die before the storage goes
+    FICUS_RETURN_IF_ERROR(RemoveUfsTree(&ufs_, ufs::kRootInode, container));
+    registry_.ForgetReplica(volume, replica);
+    return OkStatus();
+  }
+  return NotFoundError("no local replica of volume " + volume.ToString());
+}
+
+void FicusHost::Crash() {
+  device_.InjectCrash();
+  network_->SetHostUp(id_, false);
+}
+
+Status FicusHost::Reboot() {
+  device_.ClearCrash();
+  cache_.Invalidate();
+  network_->SetHostUp(id_, true);
+  // Re-attach every local volume replica from the surviving disk image;
+  // the shadow-recovery sweep runs inside Attach(). The physical layer and
+  // everything holding it (facade, daemons, registry entry) are rebuilt —
+  // exactly what a kernel reboot does. Callers reach replicas through the
+  // resolver, which looks the fresh objects up per call.
+  for (auto& [key, local] : locals_) {
+    std::string container = "vol_" + HexEncode32(key.first.allocator) +
+                            HexEncode32(key.first.volume) + "_r" + std::to_string(key.second);
+    auto fresh = std::make_unique<repl::PhysicalLayer>(&ufs_, clock_, config_.physical);
+    FICUS_RETURN_IF_ERROR(fresh->Attach(container));
+    local.physical = std::move(fresh);
+    uint64_t fsid = (static_cast<uint64_t>(key.first.allocator) << 40) ^
+                    (static_cast<uint64_t>(key.first.volume) << 16) ^ key.second ^
+                    (static_cast<uint64_t>(id_) << 56);
+    local.facade = std::make_unique<repl::PhysicalFacadeVfs>(local.physical.get(), fsid);
+    local.propagation = std::make_unique<repl::PropagationDaemon>(
+        local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
+    local.reconciler = std::make_unique<repl::Reconciler>(local.physical.get(), this,
+                                                          &conflict_log_, clock_);
+    registry_.RegisterLocal(local.physical.get(), id_);
+  }
+  // A rebooted server answers with a fresh handle table (clients see
+  // ESTALE and re-acquire, as real NFS clients do).
+  server_->FlushHandles();
+  return OkStatus();
+}
+
+Status FicusHost::RunPropagation() {
+  for (auto& [key, local] : locals_) {
+    FICUS_RETURN_IF_ERROR(local.propagation->RunOnce());
+  }
+  return OkStatus();
+}
+
+Status FicusHost::RunReconciliation() {
+  for (auto& [key, local] : locals_) {
+    FICUS_RETURN_IF_ERROR(local.reconciler->ReconcileWithAllReplicas());
+  }
+  return OkStatus();
+}
+
+int FicusHost::PruneGrafts(SimTime horizon) { return grafts_.Prune(horizon); }
+
+std::vector<repl::ReplicaId> FicusHost::ReplicasOf(const repl::VolumeId& volume) {
+  return registry_.ReplicasOf(volume);
+}
+
+repl::ReplicaId FicusHost::PreferredReplica(const repl::VolumeId& volume) {
+  repl::PhysicalLayer* local = registry_.LocalReplica(volume);
+  return local != nullptr ? local->replica_id() : repl::kInvalidReplica;
+}
+
+StatusOr<repl::PhysicalApi*> FicusHost::Access(const repl::VolumeId& volume,
+                                               repl::ReplicaId replica) {
+  auto key = std::make_pair(volume, replica);
+  auto local = locals_.find(key);
+  if (local != locals_.end()) {
+    return static_cast<repl::PhysicalApi*>(local->second.physical.get());
+  }
+  auto proxy = proxies_.find(key);
+  if (proxy != proxies_.end()) {
+    return static_cast<repl::PhysicalApi*>(proxy->second.get());
+  }
+  auto host = registry_.HostOf(volume, replica);
+  if (!host.has_value()) {
+    return NotFoundError("no known location for replica " + std::to_string(replica) +
+                         " of volume " + volume.ToString());
+  }
+  return ConnectRemote(volume, replica, *host);
+}
+
+StatusOr<repl::PhysicalApi*> FicusHost::ConnectRemote(const repl::VolumeId& volume,
+                                                      repl::ReplicaId replica,
+                                                      net::HostId host) {
+  // One NFS client (transport) per peer host, shared by all proxies.
+  auto transport = transports_.find(host);
+  if (transport == transports_.end()) {
+    nfs::ClientConfig client_config;
+    client_config.attr_cache_ttl = config_.transport_attr_ttl;
+    client_config.dnlc_ttl = config_.transport_dnlc_ttl;
+    auto client =
+        std::make_unique<nfs::NfsClient>(network_, id_, host, clock_, client_config);
+    transport = transports_.emplace(host, std::move(client)).first;
+  }
+  FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr export_root, transport->second->Root());
+  FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr facade_root,
+                         export_root->Lookup(ExportName(volume, replica), {}));
+  nfs::NfsClient* client_ptr = transport->second.get();
+  auto refresher = [client_ptr, volume, replica]() -> StatusOr<vfs::VnodePtr> {
+    client_ptr->ForgetRoot();
+    client_ptr->InvalidateCaches();
+    FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr root, client_ptr->Root());
+    return root->Lookup(ExportName(volume, replica), {});
+  };
+  auto proxy = std::make_unique<repl::RemotePhysical>(std::move(facade_root),
+                                                      std::move(refresher));
+  FICUS_RETURN_IF_ERROR(proxy->Connect());
+  repl::PhysicalApi* raw = proxy.get();
+  proxies_[std::make_pair(volume, replica)] = std::move(proxy);
+  return raw;
+}
+
+void FicusHost::NotifyUpdate(const repl::GlobalFileId& id, const repl::VersionVector& vv,
+                             repl::ReplicaId source) {
+  // Destinations: every host known to store a replica of this volume.
+  std::vector<net::HostId> destinations;
+  for (repl::ReplicaId replica : registry_.ReplicasOf(id.volume)) {
+    auto host = registry_.HostOf(id.volume, replica);
+    if (host.has_value()) {
+      destinations.push_back(*host);
+    }
+  }
+  net::Payload payload;
+  ByteWriter w(payload);
+  repl::PutVolumeId(w, id.volume);
+  repl::PutFileId(w, id.file);
+  vv.Serialize(w);
+  w.PutU32(source);
+  network_->Multicast(id_, destinations, kUpdateChannel, payload);
+}
+
+void FicusHost::HandleUpdateDatagram(net::HostId, const net::Payload& payload) {
+  ByteReader r(payload);
+  repl::GlobalFileId id;
+  if (!repl::GetVolumeId(r, id.volume).ok() || !repl::GetFileId(r, id.file).ok()) {
+    return;  // malformed datagrams are dropped, like any datagram
+  }
+  auto vv = repl::VersionVector::Deserialize(r);
+  auto source = r.GetU32();
+  if (!vv.ok() || !source.ok()) {
+    return;
+  }
+  for (auto& [key, local] : locals_) {
+    if (key.first == id.volume && key.second != source.value()) {
+      local.physical->NoteNewVersion(id, vv.value(), source.value());
+    }
+  }
+}
+
+StatusOr<vfs::VnodePtr> FicusHost::ResolveGraft(const repl::GlobalFileId& graft_point) {
+  // Already grafted? Use it (graft hit).
+  // Otherwise read the graft point's records through any reachable replica
+  // of the *parent* volume, learn the child volume's replica locations,
+  // and graft (autograft, section 4.4).
+  repl::PhysicalApi* parent_phys = nullptr;
+  for (repl::ReplicaId replica : registry_.ReplicasOf(graft_point.volume)) {
+    auto access = Access(graft_point.volume, replica);
+    if (access.ok()) {
+      parent_phys = *access;
+      // Prefer a replica that actually stores the graft point.
+      if (parent_phys->GetAttributes(graft_point.file).ok()) {
+        break;
+      }
+      parent_phys = nullptr;
+    }
+  }
+  if (parent_phys == nullptr) {
+    return UnreachableError("no replica of the grafted-on volume is available");
+  }
+  FICUS_ASSIGN_OR_RETURN(vol::GraftPointInfo info,
+                         vol::ReadGraftPoint(parent_phys, graft_point.file));
+  if (repl::LogicalLayer* grafted = grafts_.Find(info.volume)) {
+    return grafted->Root();
+  }
+  for (const auto& [replica, host] : info.replicas) {
+    registry_.RegisterRemote(info.volume, replica, host);
+  }
+  FICUS_ASSIGN_OR_RETURN(repl::LogicalLayer * logical,
+                         MountVolume(info.volume, /*pinned=*/false));
+  return logical->Root();
+}
+
+const repl::PropagationStats* FicusHost::propagation_stats(
+    const repl::VolumeId& volume) const {
+  for (const auto& [key, local] : locals_) {
+    if (key.first == volume) {
+      return &local.propagation->stats();
+    }
+  }
+  return nullptr;
+}
+
+const repl::ReconcileStats* FicusHost::reconcile_stats(const repl::VolumeId& volume) const {
+  for (const auto& [key, local] : locals_) {
+    if (key.first == volume) {
+      return &local.reconciler->stats();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ficus::sim

@@ -1,0 +1,179 @@
+// One simulated Ficus host: the full stack of Figure 1/Figure 2 —
+// simulated disk, buffer cache, UFS, Ficus physical layers (one per
+// locally stored volume replica), an NFS server exporting them to peers,
+// NFS clients + RemotePhysical proxies for reaching peers, and Ficus
+// logical layers (one per grafted volume) on top.
+//
+// The host implements three plug interfaces of the repl module:
+//   * ReplicaResolver — maps (volume, replica) to a PhysicalApi, local or
+//     across NFS, using the per-host volume registry (no global tables);
+//   * UpdateNotifier — multicasts update notifications to the hosts known
+//     to store replicas of the updated file's volume;
+//   * GraftResolver — autografts volumes on demand when path translation
+//     encounters a graft point.
+#ifndef FICUS_SRC_SIM_HOST_H_
+#define FICUS_SRC_SIM_HOST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/repl/conflict_log.h"
+#include "src/repl/facade.h"
+#include "src/repl/logical.h"
+#include "src/repl/physical.h"
+#include "src/repl/propagation.h"
+#include "src/repl/reconcile.h"
+#include "src/repl/resolver.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buffer_cache.h"
+#include "src/ufs/ufs.h"
+#include "src/vol/graft.h"
+#include "src/vol/registry.h"
+
+namespace ficus::sim {
+
+struct HostConfig {
+  uint32_t disk_blocks = 16 * 1024;   // 64 MiB
+  uint32_t inode_count = 4 * 1024;
+  uint32_t cache_blocks = 512;        // 2 MiB buffer cache
+  // NFS transport caches for inter-layer traffic are disabled by default:
+  // the paper (section 2.2) complains that NFS's caches are "not fully
+  // controllable" and misbehave under layers that cannot adopt their
+  // assumptions — the simulation gives the control knob real NFS lacked.
+  SimTime transport_attr_ttl = 0;
+  SimTime transport_dnlc_ttl = 0;
+  repl::PropagationConfig propagation;
+  // Options for every physical layer this host creates (attribute
+  // placement, selective-replication policy, orphanage).
+  repl::PhysicalOptions physical;
+};
+
+// The datagram channel update notifications ride on.
+inline constexpr char kUpdateChannel[] = "ficus.update";
+
+class FicusHost : public repl::ReplicaResolver,
+                  public repl::UpdateNotifier,
+                  public repl::GraftResolver {
+ public:
+  FicusHost(net::Network* network, SimClock* clock, const std::string& name,
+            const HostConfig& config = HostConfig{});
+  ~FicusHost();  // out of line: ExportVfs is incomplete here
+
+  net::HostId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // --- volume lifecycle ---
+  // Creates a new volume replica stored on this host's UFS and exports it.
+  StatusOr<repl::PhysicalLayer*> CreateVolumeReplica(const repl::VolumeId& volume,
+                                                     repl::ReplicaId replica,
+                                                     bool first_replica);
+  // Tells this host that `replica` of `volume` lives at `host` (the
+  // "fstab" knowledge for root volumes; graft points teach the rest).
+  void LearnReplicaLocation(const repl::VolumeId& volume, repl::ReplicaId replica,
+                            net::HostId host);
+
+  // Destroys this host's replica of `volume`: storage, daemons, export.
+  // Callers must first make sure the remaining replicas carry the state
+  // (reconcile), or partition-time updates held only here are lost.
+  Status DropVolumeReplica(const repl::VolumeId& volume);
+
+  // The logical layer for a volume, grafting it if needed. Requires the
+  // host to know at least one replica location. Explicit mounts are
+  // pinned (never pruned); autografts are not.
+  StatusOr<repl::LogicalLayer*> MountVolume(const repl::VolumeId& volume, bool pinned = true);
+
+  // --- failure injection ---
+  // Hard-crashes the host: every in-flight and future disk write is
+  // dropped until Reboot(). Pair with network().SetHostUp(id, false) to
+  // also take it off the network.
+  void Crash();
+  // Brings the host back: clears the crash flag, drops the page cache,
+  // re-attaches every local physical layer to the surviving disk image
+  // (running shadow recovery), and restarts the NFS server's handle
+  // table. Remote proxies recover via their ESTALE refreshers.
+  Status Reboot();
+
+  // --- daemons (explicit pumps; deterministic) ---
+  // Runs the update-propagation daemon of every local physical layer.
+  Status RunPropagation();
+  // Runs the full reconciliation protocol of every local replica against
+  // every known peer replica.
+  Status RunReconciliation();
+  // Drops grafts idle longer than `horizon`.
+  int PruneGrafts(SimTime horizon);
+
+  // --- ReplicaResolver ---
+  std::vector<repl::ReplicaId> ReplicasOf(const repl::VolumeId& volume) override;
+  StatusOr<repl::PhysicalApi*> Access(const repl::VolumeId& volume,
+                                      repl::ReplicaId replica) override;
+  repl::ReplicaId PreferredReplica(const repl::VolumeId& volume) override;
+
+  // --- UpdateNotifier ---
+  void NotifyUpdate(const repl::GlobalFileId& id, const repl::VersionVector& vv,
+                    repl::ReplicaId source) override;
+
+  // --- GraftResolver ---
+  StatusOr<vfs::VnodePtr> ResolveGraft(const repl::GlobalFileId& graft_point) override;
+
+  // --- accessors for tests & benchmarks ---
+  storage::BlockDevice& device() { return device_; }
+  storage::BufferCache& buffer_cache() { return cache_; }
+  ufs::Ufs& ufs() { return ufs_; }
+  vol::VolumeRegistry& registry() { return registry_; }
+  vol::GraftTable& grafts() { return grafts_; }
+  repl::ConflictLog& conflict_log() { return conflict_log_; }
+  nfs::NfsServer& nfs_server() { return *server_; }
+  const repl::PropagationStats* propagation_stats(const repl::VolumeId& volume) const;
+  const repl::ReconcileStats* reconcile_stats(const repl::VolumeId& volume) const;
+
+  // Name a facade is exported under.
+  static std::string ExportName(const repl::VolumeId& volume, repl::ReplicaId replica);
+
+ private:
+  // Per local volume replica: the physical layer and its daemons.
+  struct LocalReplica {
+    std::unique_ptr<repl::PhysicalLayer> physical;
+    std::unique_ptr<repl::PhysicalFacadeVfs> facade;
+    std::unique_ptr<repl::PropagationDaemon> propagation;
+    std::unique_ptr<repl::Reconciler> reconciler;
+  };
+
+  // Vfs multiplexing all exported facades, served by one NfsServer.
+  class ExportVfs;
+
+  void HandleUpdateDatagram(net::HostId sender, const net::Payload& payload);
+  StatusOr<repl::PhysicalApi*> ConnectRemote(const repl::VolumeId& volume,
+                                             repl::ReplicaId replica, net::HostId host);
+
+  net::Network* network_;
+  SimClock* clock_;
+  std::string name_;
+  net::HostId id_;
+  HostConfig config_;
+
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  ufs::Ufs ufs_;
+
+  vol::VolumeRegistry registry_;
+  vol::GraftTable grafts_;
+  repl::ConflictLog conflict_log_;
+
+  std::map<std::pair<repl::VolumeId, repl::ReplicaId>, LocalReplica> locals_;
+  std::unique_ptr<ExportVfs> export_vfs_;
+  std::unique_ptr<nfs::NfsServer> server_;
+
+  std::map<net::HostId, std::unique_ptr<nfs::NfsClient>> transports_;
+  std::map<std::pair<repl::VolumeId, repl::ReplicaId>, std::unique_ptr<repl::RemotePhysical>>
+      proxies_;
+
+  uint32_t next_container_ = 1;
+};
+
+}  // namespace ficus::sim
+
+#endif  // FICUS_SRC_SIM_HOST_H_

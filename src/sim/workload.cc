@@ -1,0 +1,48 @@
+#include "src/sim/workload.h"
+
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+
+std::string Workload::PathOf(int rank) const {
+  int dir = rank / config_.files_per_directory;
+  int file = rank % config_.files_per_directory;
+  return "d" + std::to_string(dir) + "/f" + std::to_string(file);
+}
+
+Status Workload::Populate(vfs::Vfs* fs) {
+  std::string contents(static_cast<size_t>(config_.file_size_bytes), 'x');
+  for (int dir = 0; dir < config_.directories; ++dir) {
+    FICUS_RETURN_IF_ERROR(vfs::MkdirAll(fs, "d" + std::to_string(dir)));
+  }
+  for (int rank = 0; rank < file_count(); ++rank) {
+    FICUS_RETURN_IF_ERROR(vfs::WriteFileAt(fs, PathOf(rank), contents));
+  }
+  return OkStatus();
+}
+
+Status Workload::Run(vfs::Vfs* fs, int ops) {
+  std::string contents(static_cast<size_t>(config_.file_size_bytes), 'y');
+  for (int i = 0; i < ops; ++i) {
+    int rank = static_cast<int>(
+        rng_.NextZipf(static_cast<uint64_t>(file_count()), config_.zipf_skew));
+    std::string path = PathOf(rank);
+    ++stats_.operations;
+    if (rng_.NextBool(config_.write_fraction)) {
+      ++stats_.writes;
+      Status status = vfs::WriteFileAt(fs, path, contents);
+      if (!status.ok()) {
+        ++stats_.failures;
+      }
+    } else {
+      ++stats_.reads;
+      auto result = vfs::OpenReadClose(fs, path);
+      if (!result.ok()) {
+        ++stats_.failures;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace ficus::sim

@@ -1,0 +1,34 @@
+#include "src/storage/block_device.h"
+
+namespace ficus::storage {
+
+BlockDevice::BlockDevice(uint32_t block_count)
+    : block_count_(block_count),
+      blocks_(block_count, std::vector<uint8_t>(kBlockSize, 0)) {}
+
+Status BlockDevice::Read(BlockNum block, std::vector<uint8_t>& out) {
+  if (block >= block_count_) {
+    return IoError("read past end of device");
+  }
+  ++stats_.reads;
+  out = blocks_[block];
+  return OkStatus();
+}
+
+Status BlockDevice::Write(BlockNum block, const std::vector<uint8_t>& data) {
+  if (block >= block_count_) {
+    return IoError("write past end of device");
+  }
+  if (data.size() != kBlockSize) {
+    return InvalidArgumentError("write must be exactly one block");
+  }
+  if (crashed_) {
+    ++stats_.dropped_writes;
+    return OkStatus();  // The caller believes the write happened.
+  }
+  ++stats_.writes;
+  blocks_[block] = data;
+  return OkStatus();
+}
+
+}  // namespace ficus::storage

@@ -1,0 +1,64 @@
+#include "src/storage/buffer_cache.h"
+
+namespace ficus::storage {
+
+BufferCache::BufferCache(BlockDevice* device, uint32_t capacity_blocks)
+    : device_(device), capacity_(capacity_blocks) {}
+
+void BufferCache::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void BufferCache::InsertLocked(BlockNum block, const std::vector<uint8_t>& data) {
+  if (capacity_ == 0) {
+    return;
+  }
+  lru_.push_front(Entry{block, data});
+  map_[block] = lru_.begin();
+  while (map_.size() > capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().block);
+    lru_.pop_back();
+  }
+}
+
+Status BufferCache::Read(BlockNum block, std::vector<uint8_t>& out) {
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    out = it->second->data;
+    return OkStatus();
+  }
+  ++stats_.misses;
+  FICUS_RETURN_IF_ERROR(device_->Read(block, out));
+  InsertLocked(block, out);
+  return OkStatus();
+}
+
+Status BufferCache::Write(BlockNum block, const std::vector<uint8_t>& data) {
+  FICUS_RETURN_IF_ERROR(device_->Write(block, data));
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    it->second->data = data;
+    Touch(it->second);
+  } else {
+    InsertLocked(block, data);
+  }
+  return OkStatus();
+}
+
+void BufferCache::Invalidate() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BufferCache::InvalidateBlock(BlockNum block) {
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
+}  // namespace ficus::storage

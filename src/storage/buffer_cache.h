@@ -1,0 +1,66 @@
+// Write-through LRU buffer cache in front of a BlockDevice. The UFS does
+// all its block I/O through this cache; its hit/miss counters are what make
+// the cold-versus-warm open experiments (P2/P3 in DESIGN.md) measurable.
+#ifndef FICUS_SRC_STORAGE_BUFFER_CACHE_H_
+#define FICUS_SRC_STORAGE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace ficus::storage {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+class BufferCache {
+ public:
+  // capacity_blocks == 0 disables caching (every access goes to the device).
+  BufferCache(BlockDevice* device, uint32_t capacity_blocks);
+
+  // Reads a block, serving from cache when possible.
+  Status Read(BlockNum block, std::vector<uint8_t>& out);
+
+  // Write-through: updates the cache copy and the device.
+  Status Write(BlockNum block, const std::vector<uint8_t>& data);
+
+  // Drops every cached block (simulates memory pressure / remount). Device
+  // contents are unaffected because the cache is write-through.
+  void Invalidate();
+
+  // Drops one block if cached.
+  void InvalidateBlock(BlockNum block);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  BlockDevice* device() { return device_; }
+
+  size_t cached_blocks() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    BlockNum block;
+    std::vector<uint8_t> data;
+  };
+
+  void Touch(std::list<Entry>::iterator it);
+  void InsertLocked(BlockNum block, const std::vector<uint8_t>& data);
+
+  BlockDevice* device_;
+  uint32_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<BlockNum, std::list<Entry>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace ficus::storage
+
+#endif  // FICUS_SRC_STORAGE_BUFFER_CACHE_H_

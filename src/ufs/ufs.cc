@@ -1,0 +1,771 @@
+#include "src/ufs/ufs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/serialize.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::ufs {
+
+namespace {
+
+using storage::kBlockSize;
+
+uint32_t DivRoundUp(uint32_t a, uint32_t b) { return (a + b - 1) / b; }
+
+Status SerializeInode(const Inode& inode, uint8_t* out) {
+  if (inode.ext.size() > kMaxInodeExt) {
+    return NoSpaceError("inode extension area overflow");
+  }
+  std::vector<uint8_t> buf;
+  buf.reserve(kInodeSize);
+  ByteWriter w(buf);
+  w.PutU8(static_cast<uint8_t>(inode.type));
+  w.PutU32(inode.mode);
+  w.PutU32(inode.uid);
+  w.PutU32(inode.gid);
+  w.PutU32(inode.nlink);
+  w.PutU64(inode.size);
+  w.PutU64(inode.mtime);
+  w.PutU64(inode.ctime);
+  for (uint32_t d : inode.direct) {
+    w.PutU32(d);
+  }
+  w.PutU32(inode.indirect);
+  w.PutU16(static_cast<uint16_t>(inode.ext.size()));
+  buf.insert(buf.end(), inode.ext.begin(), inode.ext.end());
+  buf.resize(kInodeSize, 0);
+  std::memcpy(out, buf.data(), kInodeSize);
+  return OkStatus();
+}
+
+Status DeserializeInode(const uint8_t* in, Inode& inode) {
+  std::vector<uint8_t> buf(in, in + kInodeSize);
+  ByteReader r(buf);
+  FICUS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  if (type > static_cast<uint8_t>(FileType::kSymlink)) {
+    return CorruptError("bad inode type");
+  }
+  inode.type = static_cast<FileType>(type);
+  FICUS_ASSIGN_OR_RETURN(inode.mode, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(inode.uid, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(inode.gid, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(inode.nlink, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(inode.size, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(inode.mtime, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(inode.ctime, r.GetU64());
+  for (uint32_t& d : inode.direct) {
+    FICUS_ASSIGN_OR_RETURN(d, r.GetU32());
+  }
+  FICUS_ASSIGN_OR_RETURN(inode.indirect, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(uint16_t ext_len, r.GetU16());
+  if (ext_len > kMaxInodeExt) {
+    return CorruptError("inode extension length out of range");
+  }
+  inode.ext.clear();
+  if (ext_len > 0) {
+    for (uint16_t i = 0; i < ext_len; ++i) {
+      FICUS_ASSIGN_OR_RETURN(uint8_t b, r.GetU8());
+      inode.ext.push_back(b);
+    }
+  }
+  return OkStatus();
+}
+
+// Directory file format: a sequence of records
+//   u32 ino | u8 type | u16 name_len | name bytes
+std::vector<uint8_t> SerializeDir(const std::vector<UfsDirEntry>& entries) {
+  std::vector<uint8_t> out;
+  ByteWriter w(out);
+  for (const auto& e : entries) {
+    w.PutU32(e.ino);
+    w.PutU8(static_cast<uint8_t>(e.type));
+    w.PutString(e.name);
+  }
+  return out;
+}
+
+StatusOr<std::vector<UfsDirEntry>> DeserializeDir(const std::vector<uint8_t>& data) {
+  std::vector<UfsDirEntry> entries;
+  ByteReader r(data);
+  while (!r.AtEnd()) {
+    UfsDirEntry e;
+    FICUS_ASSIGN_OR_RETURN(e.ino, r.GetU32());
+    FICUS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+    e.type = static_cast<FileType>(type);
+    FICUS_ASSIGN_OR_RETURN(e.name, r.GetString());
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+Ufs::Ufs(storage::BufferCache* cache, const SimClock* clock) : cache_(cache), clock_(clock) {}
+
+Status Ufs::CheckMounted() const {
+  if (!mounted_) {
+    return InternalError("filesystem not mounted");
+  }
+  return OkStatus();
+}
+
+Status Ufs::WriteSuperBlock() {
+  std::vector<uint8_t> block;
+  block.reserve(kBlockSize);
+  ByteWriter w(block);
+  w.PutU32(sb_.magic);
+  w.PutU32(sb_.block_count);
+  w.PutU32(sb_.inode_count);
+  w.PutU32(sb_.inode_bitmap_start);
+  w.PutU32(sb_.inode_bitmap_blocks);
+  w.PutU32(sb_.block_bitmap_start);
+  w.PutU32(sb_.block_bitmap_blocks);
+  w.PutU32(sb_.inode_table_start);
+  w.PutU32(sb_.inode_table_blocks);
+  w.PutU32(sb_.data_start);
+  w.PutU32(sb_.free_blocks);
+  w.PutU32(sb_.free_inodes);
+  block.resize(kBlockSize, 0);
+  return cache_->Write(0, block);
+}
+
+Status Ufs::Format(uint32_t inode_count) {
+  uint32_t block_count = cache_->device()->block_count();
+  if (inode_count == 0 || block_count < 16) {
+    return InvalidArgumentError("device too small to format");
+  }
+  sb_ = SuperBlock{};
+  sb_.block_count = block_count;
+  sb_.inode_count = inode_count;
+  sb_.inode_bitmap_start = 1;
+  sb_.inode_bitmap_blocks = DivRoundUp(DivRoundUp(inode_count, 8), kBlockSize);
+  sb_.block_bitmap_start = sb_.inode_bitmap_start + sb_.inode_bitmap_blocks;
+  sb_.block_bitmap_blocks = DivRoundUp(DivRoundUp(block_count, 8), kBlockSize);
+  sb_.inode_table_start = sb_.block_bitmap_start + sb_.block_bitmap_blocks;
+  sb_.inode_table_blocks = DivRoundUp(inode_count, kInodesPerBlock);
+  sb_.data_start = sb_.inode_table_start + sb_.inode_table_blocks;
+  if (sb_.data_start >= block_count) {
+    return NoSpaceError("metadata exceeds device size");
+  }
+  sb_.free_blocks = block_count - sb_.data_start;
+  sb_.free_inodes = inode_count - 1;  // inode 0 is never used
+
+  // Zero all metadata blocks.
+  std::vector<uint8_t> zero(kBlockSize, 0);
+  for (uint32_t b = 1; b < sb_.data_start; ++b) {
+    FICUS_RETURN_IF_ERROR(cache_->Write(b, zero));
+  }
+  mounted_ = true;
+
+  // Mark metadata blocks (and inode 0) allocated in the bitmaps.
+  for (uint32_t b = 0; b < sb_.data_start; ++b) {
+    FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, b, true));
+  }
+  FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, 0, true));
+
+  // Create the root directory at inode 1.
+  FICUS_ASSIGN_OR_RETURN(InodeNum root, AllocInode(FileType::kDirectory, 0755, 0, 0));
+  if (root != kRootInode) {
+    return InternalError("root inode not inode 1");
+  }
+  FICUS_ASSIGN_OR_RETURN(Inode root_inode, ReadInode(root));
+  root_inode.nlink = 2;
+  FICUS_RETURN_IF_ERROR(WriteInode(root, root_inode));
+  return WriteSuperBlock();
+}
+
+Status Ufs::Mount() {
+  std::vector<uint8_t> block;
+  FICUS_RETURN_IF_ERROR(cache_->Read(0, block));
+  ByteReader r(block);
+  FICUS_ASSIGN_OR_RETURN(sb_.magic, r.GetU32());
+  if (sb_.magic != kUfsMagic) {
+    return CorruptError("bad superblock magic");
+  }
+  FICUS_ASSIGN_OR_RETURN(sb_.block_count, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.inode_count, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.inode_bitmap_start, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.inode_bitmap_blocks, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.block_bitmap_start, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.block_bitmap_blocks, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.inode_table_start, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.inode_table_blocks, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.data_start, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.free_blocks, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.free_inodes, r.GetU32());
+  if (sb_.block_count != cache_->device()->block_count()) {
+    return CorruptError("superblock block count does not match device");
+  }
+  mounted_ = true;
+  return OkStatus();
+}
+
+// --- Bitmaps ---
+
+StatusOr<bool> Ufs::BitmapGet(uint32_t base, uint32_t index) {
+  uint32_t block = base + index / (kBlockSize * 8);
+  uint32_t bit = index % (kBlockSize * 8);
+  std::vector<uint8_t> data;
+  FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+  return (data[bit / 8] >> (bit % 8) & 1) != 0;
+}
+
+Status Ufs::BitmapSet(uint32_t base, uint32_t index, bool value) {
+  uint32_t block = base + index / (kBlockSize * 8);
+  uint32_t bit = index % (kBlockSize * 8);
+  std::vector<uint8_t> data;
+  FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+  if (value) {
+    data[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  } else {
+    data[bit / 8] &= static_cast<uint8_t>(~(1u << (bit % 8)));
+  }
+  return cache_->Write(block, data);
+}
+
+StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
+  uint32_t blocks = DivRoundUp(DivRoundUp(count, 8), kBlockSize);
+  for (uint32_t b = 0; b < blocks; ++b) {
+    std::vector<uint8_t> data;
+    FICUS_RETURN_IF_ERROR(cache_->Read(base + b, data));
+    for (uint32_t byte = 0; byte < kBlockSize; ++byte) {
+      if (data[byte] == 0xFF) {
+        continue;
+      }
+      for (uint32_t bit = 0; bit < 8; ++bit) {
+        uint32_t index = b * kBlockSize * 8 + byte * 8 + bit;
+        if (index >= count) {
+          return NoSpaceError("bitmap full");
+        }
+        if ((data[byte] >> bit & 1) == 0) {
+          return index;
+        }
+      }
+    }
+  }
+  return NoSpaceError("bitmap full");
+}
+
+// --- Inodes ---
+
+StatusOr<InodeNum> Ufs::AllocInode(FileType type, uint32_t mode, uint32_t uid, uint32_t gid) {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  FICUS_ASSIGN_OR_RETURN(uint32_t ino, BitmapFindFree(sb_.inode_bitmap_start, sb_.inode_count));
+  FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, ino, true));
+  Inode inode;
+  inode.type = type;
+  inode.mode = mode;
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.nlink = 1;
+  inode.mtime = Now();
+  inode.ctime = inode.mtime;
+  FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
+  --sb_.free_inodes;
+  FICUS_RETURN_IF_ERROR(WriteSuperBlock());
+  return ino;
+}
+
+Status Ufs::FreeInode(InodeNum ino) {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  FICUS_RETURN_IF_ERROR(Truncate(ino, 0));
+  Inode inode;
+  inode.type = FileType::kFree;
+  FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
+  FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, ino, false));
+  ++sb_.free_inodes;
+  return WriteSuperBlock();
+}
+
+StatusOr<Inode> Ufs::ReadInode(InodeNum ino) {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  if (ino == kInvalidInode || ino >= sb_.inode_count) {
+    return InvalidArgumentError("inode number out of range");
+  }
+  uint32_t block = sb_.inode_table_start + ino / kInodesPerBlock;
+  uint32_t offset = (ino % kInodesPerBlock) * kInodeSize;
+  std::vector<uint8_t> data;
+  FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+  Inode inode;
+  FICUS_RETURN_IF_ERROR(DeserializeInode(data.data() + offset, inode));
+  return inode;
+}
+
+Status Ufs::WriteInode(InodeNum ino, const Inode& inode) {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  if (ino == kInvalidInode || ino >= sb_.inode_count) {
+    return InvalidArgumentError("inode number out of range");
+  }
+  uint32_t block = sb_.inode_table_start + ino / kInodesPerBlock;
+  uint32_t offset = (ino % kInodesPerBlock) * kInodeSize;
+  std::vector<uint8_t> data;
+  FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+  FICUS_RETURN_IF_ERROR(SerializeInode(inode, data.data() + offset));
+  return cache_->Write(block, data);
+}
+
+StatusOr<std::vector<uint8_t>> Ufs::ReadExt(InodeNum ino) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  return inode.ext;
+}
+
+Status Ufs::WriteExt(InodeNum ino, const std::vector<uint8_t>& ext) {
+  if (ext.size() > kMaxInodeExt) {
+    return NoSpaceError("inode extension area overflow");
+  }
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  inode.ext = ext;
+  return WriteInode(ino, inode);
+}
+
+// --- Blocks ---
+
+StatusOr<uint32_t> Ufs::AllocBlock() {
+  FICUS_ASSIGN_OR_RETURN(uint32_t block, BitmapFindFree(sb_.block_bitmap_start, sb_.block_count));
+  FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, block, true));
+  std::vector<uint8_t> zero(kBlockSize, 0);
+  FICUS_RETURN_IF_ERROR(cache_->Write(block, zero));
+  --sb_.free_blocks;
+  FICUS_RETURN_IF_ERROR(WriteSuperBlock());
+  return block;
+}
+
+Status Ufs::FreeBlock(uint32_t block) {
+  if (block < sb_.data_start || block >= sb_.block_count) {
+    return InternalError("freeing non-data block");
+  }
+  FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, block, false));
+  cache_->InvalidateBlock(block);
+  ++sb_.free_blocks;
+  return WriteSuperBlock();
+}
+
+StatusOr<uint32_t> Ufs::MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty) {
+  if (file_block < kDirectBlocks) {
+    if (inode.direct[file_block] == 0) {
+      if (!allocate) {
+        return uint32_t{0};
+      }
+      FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+      inode.direct[file_block] = block;
+      dirty = true;
+    }
+    return inode.direct[file_block];
+  }
+  uint32_t indirect_index = file_block - kDirectBlocks;
+  if (indirect_index >= kPointersPerBlock) {
+    return NoSpaceError("file exceeds maximum size");
+  }
+  if (inode.indirect == 0) {
+    if (!allocate) {
+      return uint32_t{0};
+    }
+    FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+    inode.indirect = block;
+    dirty = true;
+  }
+  std::vector<uint8_t> pointers;
+  FICUS_RETURN_IF_ERROR(cache_->Read(inode.indirect, pointers));
+  uint32_t entry = 0;
+  std::memcpy(&entry, pointers.data() + indirect_index * 4, 4);
+  if (entry == 0 && allocate) {
+    FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+    entry = block;
+    std::memcpy(pointers.data() + indirect_index * 4, &entry, 4);
+    FICUS_RETURN_IF_ERROR(cache_->Write(inode.indirect, pointers));
+  }
+  return entry;
+}
+
+// --- File data ---
+
+StatusOr<size_t> Ufs::ReadAt(InodeNum ino, uint64_t offset, size_t length,
+                             std::vector<uint8_t>& out) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  out.clear();
+  if (offset >= inode.size) {
+    return size_t{0};
+  }
+  size_t count = static_cast<size_t>(std::min<uint64_t>(length, inode.size - offset));
+  out.reserve(count);
+  size_t produced = 0;
+  bool dirty = false;
+  while (produced < count) {
+    uint64_t pos = offset + produced;
+    uint32_t file_block = static_cast<uint32_t>(pos / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    size_t chunk = std::min<size_t>(count - produced, kBlockSize - in_block);
+    FICUS_ASSIGN_OR_RETURN(uint32_t device_block, MapBlock(inode, file_block, false, dirty));
+    if (device_block == 0) {
+      // Hole: zero-fill.
+      out.insert(out.end(), chunk, 0);
+    } else {
+      std::vector<uint8_t> data;
+      FICUS_RETURN_IF_ERROR(cache_->Read(device_block, data));
+      out.insert(out.end(), data.begin() + in_block, data.begin() + in_block + chunk);
+    }
+    produced += chunk;
+  }
+  return produced;
+}
+
+StatusOr<size_t> Ufs::WriteAt(InodeNum ino, uint64_t offset, const std::vector<uint8_t>& data) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  if (offset + data.size() > kMaxFileSize) {
+    return NoSpaceError("write exceeds maximum file size");
+  }
+  size_t written = 0;
+  bool dirty = false;
+  while (written < data.size()) {
+    uint64_t pos = offset + written;
+    uint32_t file_block = static_cast<uint32_t>(pos / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    size_t chunk = std::min<size_t>(data.size() - written, kBlockSize - in_block);
+    FICUS_ASSIGN_OR_RETURN(uint32_t device_block, MapBlock(inode, file_block, true, dirty));
+    if (in_block == 0 && chunk == kBlockSize) {
+      std::vector<uint8_t> block(data.begin() + static_cast<ptrdiff_t>(written),
+                                 data.begin() + static_cast<ptrdiff_t>(written + chunk));
+      FICUS_RETURN_IF_ERROR(cache_->Write(device_block, block));
+    } else {
+      std::vector<uint8_t> block;
+      FICUS_RETURN_IF_ERROR(cache_->Read(device_block, block));
+      std::copy(data.begin() + static_cast<ptrdiff_t>(written),
+                data.begin() + static_cast<ptrdiff_t>(written + chunk),
+                block.begin() + in_block);
+      FICUS_RETURN_IF_ERROR(cache_->Write(device_block, block));
+    }
+    written += chunk;
+  }
+  if (offset + data.size() > inode.size) {
+    inode.size = offset + data.size();
+    dirty = true;
+  }
+  inode.mtime = Now();
+  dirty = true;
+  if (dirty) {
+    FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
+  }
+  return written;
+}
+
+Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  if (new_size > kMaxFileSize) {
+    return NoSpaceError("truncate exceeds maximum file size");
+  }
+  uint32_t keep_blocks = static_cast<uint32_t>(DivRoundUp(
+      static_cast<uint32_t>(std::min<uint64_t>(new_size, kMaxFileSize)), kBlockSize));
+  // Free direct blocks beyond the boundary.
+  for (uint32_t i = keep_blocks; i < kDirectBlocks; ++i) {
+    if (inode.direct[i] != 0) {
+      FICUS_RETURN_IF_ERROR(FreeBlock(inode.direct[i]));
+      inode.direct[i] = 0;
+    }
+  }
+  // Free indirect-mapped blocks beyond the boundary.
+  if (inode.indirect != 0) {
+    std::vector<uint8_t> pointers;
+    FICUS_RETURN_IF_ERROR(cache_->Read(inode.indirect, pointers));
+    bool any_kept = false;
+    bool changed = false;
+    for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+      uint32_t entry = 0;
+      std::memcpy(&entry, pointers.data() + i * 4, 4);
+      if (entry == 0) {
+        continue;
+      }
+      uint32_t file_block = kDirectBlocks + i;
+      if (file_block >= keep_blocks) {
+        FICUS_RETURN_IF_ERROR(FreeBlock(entry));
+        entry = 0;
+        std::memcpy(pointers.data() + i * 4, &entry, 4);
+        changed = true;
+      } else {
+        any_kept = true;
+      }
+    }
+    if (!any_kept) {
+      FICUS_RETURN_IF_ERROR(FreeBlock(inode.indirect));
+      inode.indirect = 0;
+    } else if (changed) {
+      FICUS_RETURN_IF_ERROR(cache_->Write(inode.indirect, pointers));
+    }
+  }
+  // Zero the tail of the final kept block so a later extension reads
+  // zeros, not stale bytes.
+  if (new_size % kBlockSize != 0) {
+    uint32_t last_block = static_cast<uint32_t>(new_size / kBlockSize);
+    bool dirty = false;
+    FICUS_ASSIGN_OR_RETURN(uint32_t device_block, MapBlock(inode, last_block, false, dirty));
+    if (device_block != 0) {
+      std::vector<uint8_t> data;
+      FICUS_RETURN_IF_ERROR(cache_->Read(device_block, data));
+      std::fill(data.begin() + static_cast<ptrdiff_t>(new_size % kBlockSize), data.end(), 0);
+      FICUS_RETURN_IF_ERROR(cache_->Write(device_block, data));
+    }
+  }
+  inode.size = new_size;
+  inode.mtime = Now();
+  return WriteInode(ino, inode);
+}
+
+StatusOr<std::vector<uint8_t>> Ufs::ReadAll(InodeNum ino) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  std::vector<uint8_t> out;
+  FICUS_RETURN_IF_ERROR(ReadAt(ino, 0, static_cast<size_t>(inode.size), out).status());
+  return out;
+}
+
+Status Ufs::WriteAll(InodeNum ino, const std::vector<uint8_t>& data) {
+  FICUS_RETURN_IF_ERROR(Truncate(ino, 0));
+  if (!data.empty()) {
+    FICUS_RETURN_IF_ERROR(WriteAt(ino, 0, data).status());
+  }
+  return OkStatus();
+}
+
+// --- Directories ---
+
+StatusOr<InodeNum> Ufs::DirLookup(InodeNum dir, std::string_view name) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
+  if (inode.type != FileType::kDirectory) {
+    return NotDirError("DirLookup on non-directory inode");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  for (const auto& e : entries) {
+    if (e.name == name) {
+      return e.ino;
+    }
+  }
+  return NotFoundError(std::string(name));
+}
+
+Status Ufs::DirAdd(InodeNum dir, std::string_view name, InodeNum ino, FileType type) {
+  if (name.empty() || name.size() > vfs::kMaxComponentLength ||
+      name.find('/') != std::string_view::npos) {
+    return InvalidArgumentError("bad directory entry name");
+  }
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
+  if (inode.type != FileType::kDirectory) {
+    return NotDirError("DirAdd on non-directory inode");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  for (const auto& e : entries) {
+    if (e.name == name) {
+      return ExistsError(std::string(name));
+    }
+  }
+  entries.push_back(UfsDirEntry{std::string(name), ino, type});
+  return WriteAll(dir, SerializeDir(entries));
+}
+
+Status Ufs::DirRemove(InodeNum dir, std::string_view name) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const UfsDirEntry& e) { return e.name == name; });
+  if (it == entries.end()) {
+    return NotFoundError(std::string(name));
+  }
+  entries.erase(it);
+  return WriteAll(dir, SerializeDir(entries));
+}
+
+StatusOr<std::vector<UfsDirEntry>> Ufs::DirList(InodeNum dir) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
+  if (inode.type != FileType::kDirectory) {
+    return NotDirError("DirList on non-directory inode");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  return DeserializeDir(data);
+}
+
+StatusOr<bool> Ufs::DirIsEmpty(InodeNum dir) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DirList(dir));
+  return entries.empty();
+}
+
+Status Ufs::DirRepoint(InodeNum dir, std::string_view name, InodeNum new_ino) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  for (auto& e : entries) {
+    if (e.name == name) {
+      e.ino = new_ino;
+      return WriteAll(dir, SerializeDir(entries));
+    }
+  }
+  return NotFoundError(std::string(name));
+}
+
+// --- Composite operations ---
+
+StatusOr<InodeNum> Ufs::CreateFile(InodeNum dir, std::string_view name, FileType type,
+                                   uint32_t mode, uint32_t uid, uint32_t gid) {
+  // Fail before allocating if the name is taken.
+  auto existing = DirLookup(dir, name);
+  if (existing.ok()) {
+    return ExistsError(std::string(name));
+  }
+  if (existing.status().code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  FICUS_ASSIGN_OR_RETURN(InodeNum ino, AllocInode(type, mode, uid, gid));
+  Status add = DirAdd(dir, name, ino, type);
+  if (!add.ok()) {
+    (void)FreeInode(ino);
+    return add;
+  }
+  if (type == FileType::kDirectory) {
+    // "." and ".." are implicit in this UFS; a directory starts with
+    // nlink 2 (itself + parent entry) to keep fsck's arithmetic honest.
+    FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+    inode.nlink = 2;
+    FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
+    FICUS_ASSIGN_OR_RETURN(Inode parent, ReadInode(dir));
+    ++parent.nlink;
+    FICUS_RETURN_IF_ERROR(WriteInode(dir, parent));
+  }
+  return ino;
+}
+
+Status Ufs::Unlink(InodeNum dir, std::string_view name) {
+  FICUS_ASSIGN_OR_RETURN(InodeNum ino, DirLookup(dir, name));
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  if (inode.type == FileType::kDirectory) {
+    FICUS_ASSIGN_OR_RETURN(bool empty, DirIsEmpty(ino));
+    if (!empty) {
+      return NotEmptyError(std::string(name));
+    }
+    FICUS_RETURN_IF_ERROR(DirRemove(dir, name));
+    FICUS_RETURN_IF_ERROR(FreeInode(ino));
+    FICUS_ASSIGN_OR_RETURN(Inode parent, ReadInode(dir));
+    if (parent.nlink > 2) {
+      --parent.nlink;
+    }
+    return WriteInode(dir, parent);
+  }
+  FICUS_RETURN_IF_ERROR(DirRemove(dir, name));
+  if (inode.nlink <= 1) {
+    return FreeInode(ino);
+  }
+  --inode.nlink;
+  return WriteInode(ino, inode);
+}
+
+StatusOr<uint32_t> Ufs::FreeBlockCount() {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  return sb_.free_blocks;
+}
+
+StatusOr<uint32_t> Ufs::FreeInodeCount() {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  return sb_.free_inodes;
+}
+
+// --- fsck ---
+
+StatusOr<std::vector<std::string>> Ufs::Check() {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  std::vector<std::string> problems;
+
+  std::vector<bool> block_used(sb_.block_count, false);
+  for (uint32_t b = 0; b < sb_.data_start; ++b) {
+    block_used[b] = true;
+  }
+  std::vector<uint32_t> refcount(sb_.inode_count, 0);
+  std::vector<bool> inode_seen(sb_.inode_count, false);
+
+  // Pass 1: walk every allocated inode; record block usage.
+  for (InodeNum ino = 1; ino < sb_.inode_count; ++ino) {
+    FICUS_ASSIGN_OR_RETURN(bool allocated, BitmapGet(sb_.inode_bitmap_start, ino));
+    if (!allocated) {
+      continue;
+    }
+    inode_seen[ino] = true;
+    FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+    if (inode.type == FileType::kFree) {
+      problems.push_back("inode " + std::to_string(ino) + " allocated but marked free");
+      continue;
+    }
+    auto use_block = [&](uint32_t block) {
+      if (block == 0) {
+        return;
+      }
+      if (block < sb_.data_start || block >= sb_.block_count) {
+        problems.push_back("inode " + std::to_string(ino) + " references block " +
+                           std::to_string(block) + " outside data area");
+        return;
+      }
+      if (block_used[block]) {
+        problems.push_back("block " + std::to_string(block) + " multiply referenced");
+      }
+      block_used[block] = true;
+    };
+    for (uint32_t d : inode.direct) {
+      use_block(d);
+    }
+    if (inode.indirect != 0) {
+      use_block(inode.indirect);
+      std::vector<uint8_t> pointers;
+      FICUS_RETURN_IF_ERROR(cache_->Read(inode.indirect, pointers));
+      for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        uint32_t entry = 0;
+        std::memcpy(&entry, pointers.data() + i * 4, 4);
+        use_block(entry);
+      }
+    }
+    // Directory contents reference inodes.
+    if (inode.type == FileType::kDirectory) {
+      FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DirList(ino));
+      for (const auto& e : entries) {
+        if (e.ino == kInvalidInode || e.ino >= sb_.inode_count) {
+          problems.push_back("directory inode " + std::to_string(ino) +
+                             " entry '" + e.name + "' has bad inode");
+          continue;
+        }
+        ++refcount[e.ino];
+      }
+    }
+  }
+
+  // Pass 2: compare bitmaps to observed usage.
+  for (uint32_t b = sb_.data_start; b < sb_.block_count; ++b) {
+    FICUS_ASSIGN_OR_RETURN(bool allocated, BitmapGet(sb_.block_bitmap_start, b));
+    if (allocated && !block_used[b]) {
+      problems.push_back("block " + std::to_string(b) + " allocated but unreferenced");
+    }
+    if (!allocated && block_used[b]) {
+      problems.push_back("block " + std::to_string(b) + " referenced but free in bitmap");
+    }
+  }
+
+  // Pass 3: nlink for regular files/symlinks must equal directory refs.
+  for (InodeNum ino = 2; ino < sb_.inode_count; ++ino) {
+    if (!inode_seen[ino]) {
+      if (refcount[ino] != 0) {
+        problems.push_back("free inode " + std::to_string(ino) + " referenced by a directory");
+      }
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+    if (inode.type == FileType::kRegular || inode.type == FileType::kSymlink) {
+      if (inode.nlink != refcount[ino]) {
+        problems.push_back("inode " + std::to_string(ino) + " nlink " +
+                           std::to_string(inode.nlink) + " != refs " +
+                           std::to_string(refcount[ino]));
+      }
+    } else if (inode.type == FileType::kDirectory) {
+      if (refcount[ino] != 1) {
+        problems.push_back("directory inode " + std::to_string(ino) + " has " +
+                           std::to_string(refcount[ino]) + " parent references");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace ficus::ufs

@@ -1,0 +1,192 @@
+// A Unix file system on a simulated block device. This is the nonvolatile
+// storage layer the Ficus physical layer sits on (paper section 2.1: "Ficus
+// can use the UFS as its underlying nonvolatile storage service ... not
+// burdened with the details of how best to physically organize disk
+// storage").
+//
+// On-disk layout (4 KiB blocks):
+//   block 0                superblock
+//   [1 .. ib)              inode bitmap
+//   [ib .. bb)             block bitmap
+//   [bb .. data)           inode table (256-byte inodes, 16 per block)
+//   [data .. end)          data blocks
+//
+// Files use 12 direct block pointers plus one single-indirect block
+// (1024 pointers), for a maximum file size of (12 + 1024) * 4 KiB ≈ 4 MiB.
+// Directories store variable-length {inode, type, name} records in their
+// data blocks, exactly like a file.
+//
+// Each inode carries a small *extension area* — the "extensible inodes"
+// the Ficus paper wishes for in section 7, which let a layering client
+// (the Ficus physical layer) stash replication attributes in the inode
+// itself instead of an auxiliary file, eliminating two I/Os per cold
+// open. The area is opaque to the UFS.
+#ifndef FICUS_SRC_UFS_UFS_H_
+#define FICUS_SRC_UFS_UFS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_cache.h"
+
+namespace ficus::ufs {
+
+using InodeNum = uint32_t;
+constexpr InodeNum kInvalidInode = 0;
+constexpr InodeNum kRootInode = 1;
+
+constexpr uint32_t kInodeSize = 256;
+constexpr uint32_t kInodesPerBlock = storage::kBlockSize / kInodeSize;
+constexpr uint32_t kDirectBlocks = 12;
+constexpr uint32_t kPointersPerBlock = storage::kBlockSize / sizeof(uint32_t);
+constexpr uint64_t kMaxFileSize =
+    static_cast<uint64_t>(kDirectBlocks + kPointersPerBlock) * storage::kBlockSize;
+constexpr uint32_t kUfsMagic = 0xF1C05000;
+
+enum class FileType : uint8_t {
+  kFree = 0,
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+};
+
+// In-memory image of one on-disk inode.
+struct Inode {
+  FileType type = FileType::kFree;
+  uint32_t mode = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+  uint32_t direct[kDirectBlocks] = {};
+  uint32_t indirect = 0;
+  // Opaque client extension area (see kMaxInodeExt).
+  std::vector<uint8_t> ext;
+};
+
+// Fixed on-disk inode fields occupy 93 bytes; a 2-byte length prefix and
+// the extension share the rest of the 256-byte inode.
+constexpr uint32_t kMaxInodeExt = kInodeSize - 93 - 2;
+
+// One directory record as returned by DirList.
+struct UfsDirEntry {
+  std::string name;
+  InodeNum ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+};
+
+struct SuperBlock {
+  uint32_t magic = kUfsMagic;
+  uint32_t block_count = 0;
+  uint32_t inode_count = 0;
+  uint32_t inode_bitmap_start = 0;
+  uint32_t inode_bitmap_blocks = 0;
+  uint32_t block_bitmap_start = 0;
+  uint32_t block_bitmap_blocks = 0;
+  uint32_t inode_table_start = 0;
+  uint32_t inode_table_blocks = 0;
+  uint32_t data_start = 0;
+  uint32_t free_blocks = 0;
+  uint32_t free_inodes = 0;
+};
+
+// The filesystem proper. All block access goes through the BufferCache so
+// cold/warm I/O experiments can count device reads precisely.
+class Ufs {
+ public:
+  // cache is borrowed; clock may be null (mtimes stay zero).
+  Ufs(storage::BufferCache* cache, const SimClock* clock = nullptr);
+
+  // Writes a fresh filesystem with `inode_count` inodes onto the device and
+  // creates the root directory.
+  Status Format(uint32_t inode_count);
+
+  // Reads and validates the superblock of a previously formatted device.
+  Status Mount();
+
+  bool mounted() const { return mounted_; }
+  const SuperBlock& superblock() const { return sb_; }
+  storage::BufferCache* cache() { return cache_; }
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  // --- Inode operations ---
+  StatusOr<InodeNum> AllocInode(FileType type, uint32_t mode, uint32_t uid, uint32_t gid);
+  Status FreeInode(InodeNum ino);
+  StatusOr<Inode> ReadInode(InodeNum ino);
+  Status WriteInode(InodeNum ino, const Inode& inode);
+
+  // Convenience accessors for the inode extension area.
+  StatusOr<std::vector<uint8_t>> ReadExt(InodeNum ino);
+  Status WriteExt(InodeNum ino, const std::vector<uint8_t>& ext);
+
+  // --- File data operations (on any inode) ---
+  // Reads up to `length` bytes at `offset`; short reads at EOF.
+  StatusOr<size_t> ReadAt(InodeNum ino, uint64_t offset, size_t length,
+                          std::vector<uint8_t>& out);
+  // Writes, extending and allocating blocks as needed.
+  StatusOr<size_t> WriteAt(InodeNum ino, uint64_t offset, const std::vector<uint8_t>& data);
+  // Sets file size, freeing blocks beyond the new end.
+  Status Truncate(InodeNum ino, uint64_t new_size);
+  // Reads the entire file contents.
+  StatusOr<std::vector<uint8_t>> ReadAll(InodeNum ino);
+  // Replaces the entire file contents.
+  Status WriteAll(InodeNum ino, const std::vector<uint8_t>& data);
+
+  // --- Directory operations ---
+  StatusOr<InodeNum> DirLookup(InodeNum dir, std::string_view name);
+  Status DirAdd(InodeNum dir, std::string_view name, InodeNum ino, FileType type);
+  Status DirRemove(InodeNum dir, std::string_view name);
+  StatusOr<std::vector<UfsDirEntry>> DirList(InodeNum dir);
+  StatusOr<bool> DirIsEmpty(InodeNum dir);
+  // Atomically repoints an existing entry at a different inode — the
+  // low-level reference swing the Ficus shadow-file commit relies on
+  // (paper section 3.2: "the shadow atomically replaces the original by
+  // changing a low-level directory reference").
+  Status DirRepoint(InodeNum dir, std::string_view name, InodeNum new_ino);
+
+  // --- Whole-tree helpers ---
+  // Creates a file/directory/symlink under `dir`. Returns the new inode.
+  StatusOr<InodeNum> CreateFile(InodeNum dir, std::string_view name, FileType type,
+                                uint32_t mode, uint32_t uid, uint32_t gid);
+  // Unlinks name from dir; frees the inode when nlink drops to zero.
+  Status Unlink(InodeNum dir, std::string_view name);
+
+  StatusOr<uint32_t> FreeBlockCount();
+  StatusOr<uint32_t> FreeInodeCount();
+
+  // fsck-style invariants: every allocated block/inode reachable exactly as
+  // the bitmaps say, directory entries point at allocated inodes, nlink
+  // counts match reference counts. Returns a list of problems (empty = ok).
+  StatusOr<std::vector<std::string>> Check();
+
+ private:
+  Status CheckMounted() const;
+  Status WriteSuperBlock();
+
+  StatusOr<uint32_t> AllocBlock();
+  Status FreeBlock(uint32_t block);
+
+  // Bitmap helpers: index is an inode/block ordinal; base is the bitmap's
+  // first device block.
+  StatusOr<bool> BitmapGet(uint32_t base, uint32_t index);
+  Status BitmapSet(uint32_t base, uint32_t index, bool value);
+  StatusOr<uint32_t> BitmapFindFree(uint32_t base, uint32_t count);
+
+  // Maps a file block ordinal to a device block, optionally allocating.
+  StatusOr<uint32_t> MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty);
+
+  storage::BufferCache* cache_;
+  const SimClock* clock_;
+  SuperBlock sb_;
+  bool mounted_ = false;
+};
+
+}  // namespace ficus::ufs
+
+#endif  // FICUS_SRC_UFS_UFS_H_

@@ -1,0 +1,271 @@
+#include "src/ufs/ufs_vfs.h"
+
+namespace ficus::ufs {
+
+using vfs::Credentials;
+using vfs::DirEntry;
+using vfs::SetAttrRequest;
+using vfs::VAttr;
+using vfs::VnodePtr;
+using vfs::VnodeType;
+
+vfs::VnodeType ToVnodeType(FileType type) {
+  switch (type) {
+    case FileType::kRegular:
+      return VnodeType::kRegular;
+    case FileType::kDirectory:
+      return VnodeType::kDirectory;
+    case FileType::kSymlink:
+      return VnodeType::kSymlink;
+    case FileType::kFree:
+      break;
+  }
+  return VnodeType::kRegular;
+}
+
+FileType ToFileType(vfs::VnodeType type) {
+  switch (type) {
+    case VnodeType::kRegular:
+      return FileType::kRegular;
+    case VnodeType::kDirectory:
+    case VnodeType::kGraftPoint:  // graft points are directories to the UFS
+      return FileType::kDirectory;
+    case VnodeType::kSymlink:
+      return FileType::kSymlink;
+  }
+  return FileType::kRegular;
+}
+
+StatusOr<VAttr> UfsVnode::GetAttr() {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, fs_->ufs()->ReadInode(ino_));
+  VAttr attr;
+  attr.type = ToVnodeType(inode.type);
+  attr.mode = inode.mode;
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  attr.nlink = inode.nlink;
+  attr.size = inode.size;
+  attr.mtime = inode.mtime;
+  attr.ctime = inode.ctime;
+  attr.fileid = ino_;
+  attr.fsid = fs_->fsid();
+  return attr;
+}
+
+Status UfsVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(ino_));
+  if (request.set_size) {
+    if (inode.type != FileType::kRegular) {
+      return IsDirError("cannot truncate a non-regular file");
+    }
+    FICUS_RETURN_IF_ERROR(ufs->Truncate(ino_, request.size));
+    FICUS_ASSIGN_OR_RETURN(inode, ufs->ReadInode(ino_));
+  }
+  if (request.set_mode) {
+    inode.mode = request.mode;
+  }
+  if (request.set_uid) {
+    inode.uid = request.uid;
+  }
+  if (request.set_gid) {
+    inode.gid = request.gid;
+  }
+  if (request.set_mtime) {
+    inode.mtime = request.mtime;
+  }
+  inode.ctime = ufs->Now();
+  return ufs->WriteInode(ino_, inode);
+}
+
+StatusOr<VnodePtr> UfsVnode::Lookup(std::string_view name, const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(InodeNum child, fs_->ufs()->DirLookup(ino_, name));
+  return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
+}
+
+StatusOr<VnodePtr> UfsVnode::Create(std::string_view name, const VAttr& attr,
+                                    const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(InodeNum child,
+                         fs_->ufs()->CreateFile(ino_, name, FileType::kRegular,
+                                                attr.mode != 0 ? attr.mode : 0644, attr.uid,
+                                                attr.gid));
+  return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
+}
+
+Status UfsVnode::Remove(std::string_view name, const Credentials&) {
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(InodeNum child, ufs->DirLookup(ino_, name));
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(child));
+  if (inode.type == FileType::kDirectory) {
+    return IsDirError("use rmdir for directories");
+  }
+  return ufs->Unlink(ino_, name);
+}
+
+StatusOr<VnodePtr> UfsVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                   const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(InodeNum child,
+                         fs_->ufs()->CreateFile(ino_, name, FileType::kDirectory,
+                                                attr.mode != 0 ? attr.mode : 0755, attr.uid,
+                                                attr.gid));
+  return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
+}
+
+Status UfsVnode::Rmdir(std::string_view name, const Credentials&) {
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(InodeNum child, ufs->DirLookup(ino_, name));
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(child));
+  if (inode.type != FileType::kDirectory) {
+    return NotDirError(std::string(name));
+  }
+  return ufs->Unlink(ino_, name);
+}
+
+Status UfsVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+  auto* ufs_target = dynamic_cast<UfsVnode*>(target.get());
+  if (ufs_target == nullptr || ufs_target->fs_ != fs_) {
+    return CrossDeviceError("link target not in this filesystem");
+  }
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(ufs_target->ino_));
+  if (inode.type == FileType::kDirectory) {
+    return IsDirError("cannot hard-link a directory");
+  }
+  FICUS_RETURN_IF_ERROR(ufs->DirAdd(ino_, name, ufs_target->ino_, inode.type));
+  ++inode.nlink;
+  return ufs->WriteInode(ufs_target->ino_, inode);
+}
+
+namespace {
+// True when `candidate` lies inside the subtree rooted at `root` (used to
+// reject renames that would create a directory cycle).
+StatusOr<bool> UfsSubtreeContains(Ufs* ufs, InodeNum root, InodeNum candidate) {
+  if (root == candidate) {
+    return true;
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, ufs->DirList(root));
+  for (const auto& e : entries) {
+    if (e.type != FileType::kDirectory) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(bool inside, UfsSubtreeContains(ufs, e.ino, candidate));
+    if (inside) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+Status UfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                        std::string_view new_name, const Credentials&) {
+  auto* ufs_parent = dynamic_cast<UfsVnode*>(new_parent.get());
+  if (ufs_parent == nullptr || ufs_parent->fs_ != fs_) {
+    return CrossDeviceError("rename target directory not in this filesystem");
+  }
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(InodeNum moving, ufs->DirLookup(ino_, old_name));
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(moving));
+  if (inode.type == FileType::kDirectory && ufs_parent->ino_ != ino_) {
+    FICUS_ASSIGN_OR_RETURN(bool cycle, UfsSubtreeContains(ufs, moving, ufs_parent->ino_));
+    if (cycle) {
+      return InvalidArgumentError("rename would move a directory into its own subtree");
+    }
+  }
+  // Displace an existing target entry if present.
+  auto existing = ufs->DirLookup(ufs_parent->ino_, new_name);
+  if (existing.ok()) {
+    FICUS_RETURN_IF_ERROR(ufs->Unlink(ufs_parent->ino_, new_name));
+  } else if (existing.status().code() != ErrorCode::kNotFound) {
+    return existing.status();
+  }
+  FICUS_RETURN_IF_ERROR(ufs->DirRemove(ino_, old_name));
+  FICUS_RETURN_IF_ERROR(ufs->DirAdd(ufs_parent->ino_, new_name, moving, inode.type));
+  if (inode.type == FileType::kDirectory && ufs_parent->ino_ != ino_) {
+    FICUS_ASSIGN_OR_RETURN(Inode old_parent, ufs->ReadInode(ino_));
+    if (old_parent.nlink > 2) {
+      --old_parent.nlink;
+    }
+    FICUS_RETURN_IF_ERROR(ufs->WriteInode(ino_, old_parent));
+    FICUS_ASSIGN_OR_RETURN(Inode new_parent_inode, ufs->ReadInode(ufs_parent->ino_));
+    ++new_parent_inode.nlink;
+    FICUS_RETURN_IF_ERROR(ufs->WriteInode(ufs_parent->ino_, new_parent_inode));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<DirEntry>> UfsVnode::Readdir(const Credentials&) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> raw, fs_->ufs()->DirList(ino_));
+  std::vector<DirEntry> entries;
+  entries.reserve(raw.size());
+  for (const auto& e : raw) {
+    entries.push_back(DirEntry{e.name, e.ino, ToVnodeType(e.type)});
+  }
+  return entries;
+}
+
+StatusOr<VnodePtr> UfsVnode::Symlink(std::string_view name, std::string_view target,
+                                     const Credentials&) {
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(InodeNum child,
+                         ufs->CreateFile(ino_, name, FileType::kSymlink, 0777, 0, 0));
+  std::vector<uint8_t> bytes(target.begin(), target.end());
+  FICUS_RETURN_IF_ERROR(ufs->WriteAll(child, bytes));
+  return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
+}
+
+StatusOr<std::string> UfsVnode::Readlink(const Credentials&) {
+  Ufs* ufs = fs_->ufs();
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(ino_));
+  if (inode.type != FileType::kSymlink) {
+    return InvalidArgumentError("not a symlink");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ufs->ReadAll(ino_));
+  return std::string(data.begin(), data.end());
+}
+
+Status UfsVnode::Open(uint32_t flags, const Credentials&) {
+  if ((flags & vfs::kOpenTruncate) != 0) {
+    return fs_->ufs()->Truncate(ino_, 0);
+  }
+  // Touch the inode so buffer-cache warmth mirrors real open behaviour.
+  return fs_->ufs()->ReadInode(ino_).status();
+}
+
+Status UfsVnode::Close(uint32_t, const Credentials&) { return OkStatus(); }
+
+StatusOr<size_t> UfsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                const Credentials&) {
+  return fs_->ufs()->ReadAt(ino_, offset, length, out);
+}
+
+StatusOr<size_t> UfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                 const Credentials&) {
+  return fs_->ufs()->WriteAt(ino_, offset, data);
+}
+
+Status UfsVnode::Fsync(const Credentials&) {
+  // The buffer cache is write-through; nothing to flush.
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> UfsVfs::Root() {
+  if (!ufs_->mounted()) {
+    return InternalError("UFS not mounted");
+  }
+  return VnodePtr(std::make_shared<UfsVnode>(this, kRootInode));
+}
+
+StatusOr<vfs::FsStats> UfsVfs::Statfs() {
+  vfs::FsStats stats;
+  const SuperBlock& sb = ufs_->superblock();
+  stats.total_blocks = sb.block_count;
+  FICUS_ASSIGN_OR_RETURN(uint32_t free_blocks, ufs_->FreeBlockCount());
+  stats.free_blocks = free_blocks;
+  stats.total_inodes = sb.inode_count;
+  FICUS_ASSIGN_OR_RETURN(uint32_t free_inodes, ufs_->FreeInodeCount());
+  stats.free_inodes = free_inodes;
+  return stats;
+}
+
+}  // namespace ficus::ufs

@@ -1,0 +1,75 @@
+// Adapter exposing a Ufs instance through the stackable vnode interface so
+// it can sit at the bottom of a Ficus stack (Figure 1: the UFS layer).
+#ifndef FICUS_SRC_UFS_UFS_VFS_H_
+#define FICUS_SRC_UFS_UFS_VFS_H_
+
+#include <memory>
+
+#include "src/ufs/ufs.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::ufs {
+
+class UfsVfs;
+
+// A vnode bound to one UFS inode. Vnodes are cheap handles; all state lives
+// in the filesystem, so two vnodes for the same inode stay coherent.
+class UfsVnode : public vfs::Vnode {
+ public:
+  UfsVnode(UfsVfs* fs, InodeNum ino) : fs_(fs), ino_(ino) {}
+
+  StatusOr<vfs::VAttr> GetAttr() override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
+                                 const vfs::Credentials& cred) override;
+  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
+                                const vfs::Credentials& cred) override;
+  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+  Status Link(std::string_view name, const vfs::VnodePtr& target,
+              const vfs::Credentials& cred) override;
+  Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
+                std::string_view new_name, const vfs::Credentials& cred) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+  StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
+                                  const vfs::Credentials& cred) override;
+  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
+  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
+  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const vfs::Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const vfs::Credentials& cred) override;
+  Status Fsync(const vfs::Credentials& cred) override;
+
+  InodeNum ino() const { return ino_; }
+
+ private:
+  UfsVfs* fs_;
+  InodeNum ino_;
+};
+
+class UfsVfs : public vfs::Vfs {
+ public:
+  // ufs is borrowed and must be mounted.
+  UfsVfs(Ufs* ufs, uint64_t fsid = 1) : ufs_(ufs), fsid_(fsid) {}
+
+  StatusOr<vfs::VnodePtr> Root() override;
+  StatusOr<vfs::FsStats> Statfs() override;
+
+  Ufs* ufs() { return ufs_; }
+  uint64_t fsid() const { return fsid_; }
+
+ private:
+  Ufs* ufs_;
+  uint64_t fsid_;
+};
+
+// Converts between the UFS and vnode type enums.
+vfs::VnodeType ToVnodeType(FileType type);
+FileType ToFileType(vfs::VnodeType type);
+
+}  // namespace ficus::ufs
+
+#endif  // FICUS_SRC_UFS_UFS_VFS_H_

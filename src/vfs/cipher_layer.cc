@@ -1,0 +1,47 @@
+#include "src/vfs/cipher_layer.h"
+
+namespace ficus::vfs {
+
+namespace {
+// Position-dependent key byte: mixes the key with the absolute offset so
+// identical plaintext blocks at different offsets produce different
+// ciphertext (and random access needs no chaining state).
+uint8_t KeyByte(uint64_t key, uint64_t offset) {
+  uint64_t x = key ^ (offset * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  return static_cast<uint8_t>(x);
+}
+}  // namespace
+
+void CipherApply(uint64_t key, uint64_t offset, std::vector<uint8_t>& data) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= KeyByte(key, offset + i);
+  }
+}
+
+VnodePtr CipherVnode::WrapLower(VnodePtr lower) {
+  return std::make_shared<CipherVnode>(std::move(lower), key_);
+}
+
+StatusOr<size_t> CipherVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                   const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(size_t n, PassThroughVnode::Read(offset, length, out, cred));
+  CipherApply(key_, offset, out);
+  return n;
+}
+
+StatusOr<size_t> CipherVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                    const Credentials& cred) {
+  std::vector<uint8_t> enciphered = data;
+  CipherApply(key_, offset, enciphered);
+  return PassThroughVnode::Write(offset, enciphered, cred);
+}
+
+StatusOr<VnodePtr> CipherVfs::Root() {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, lower_->Root());
+  return VnodePtr(std::make_shared<CipherVnode>(std::move(root), key_));
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,59 @@
+// An encryption layer (paper section 1 lists "encryption" among the
+// services a stackable architecture should admit). Encrypts regular-file
+// contents transparently: data written through this layer is stored
+// enciphered below it, and reads decipher on the way back up. Names,
+// directories, and attributes pass through untouched.
+//
+// The cipher is a keyed XOR stream keyed by byte offset — NOT
+// cryptographically meaningful, but it has the structural property a real
+// cipher layer needs and tests exercise: the layer composes with any
+// stack, is position-independent (random-offset reads/writes work), and
+// data below the layer is unreadable without it.
+#ifndef FICUS_SRC_VFS_CIPHER_LAYER_H_
+#define FICUS_SRC_VFS_CIPHER_LAYER_H_
+
+#include <cstdint>
+
+#include "src/vfs/pass_through.h"
+
+namespace ficus::vfs {
+
+class CipherVfs;
+
+class CipherVnode : public PassThroughVnode {
+ public:
+  CipherVnode(VnodePtr lower, uint64_t key) : PassThroughVnode(std::move(lower)), key_(key) {}
+
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const Credentials& cred) override;
+
+ protected:
+  VnodePtr WrapLower(VnodePtr lower) override;
+
+ private:
+  uint64_t key_;
+};
+
+class CipherVfs : public Vfs {
+ public:
+  // key: the shared secret; the same key must be used to read data back.
+  CipherVfs(Vfs* lower, uint64_t key) : lower_(lower), key_(key) {}
+
+  StatusOr<VnodePtr> Root() override;
+  Status Sync() override { return lower_->Sync(); }
+  StatusOr<FsStats> Statfs() override { return lower_->Statfs(); }
+
+ private:
+  Vfs* lower_;
+  uint64_t key_;
+};
+
+// The keystream transform (an involution: applying it twice restores the
+// plaintext). Exposed for tests.
+void CipherApply(uint64_t key, uint64_t offset, std::vector<uint8_t>& data);
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_CIPHER_LAYER_H_

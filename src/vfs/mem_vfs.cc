@@ -1,0 +1,299 @@
+#include "src/vfs/mem_vfs.h"
+
+#include <algorithm>
+
+namespace ficus::vfs {
+
+MemVnode::MemVnode(MemVfs* fs, VnodeType type, uint64_t fileid)
+    : fs_(fs), type_(type), fileid_(fileid) {
+  mtime_ = fs_->Now();
+  ctime_ = mtime_;
+  if (type == VnodeType::kDirectory) {
+    mode_ = 0755;
+    nlink_ = 2;
+  }
+}
+
+Status MemVnode::CheckDir() const {
+  if (type_ != VnodeType::kDirectory) {
+    return NotDirError("vnode is not a directory");
+  }
+  return OkStatus();
+}
+
+Status MemVnode::CheckNameValid(std::string_view name) const {
+  if (name.empty() || name == "." || name == "..") {
+    return InvalidArgumentError("invalid component name");
+  }
+  if (name.size() > kMaxComponentLength) {
+    return NameTooLongError(std::string(name.substr(0, 32)));
+  }
+  if (name.find('/') != std::string_view::npos) {
+    return InvalidArgumentError("component contains '/'");
+  }
+  return OkStatus();
+}
+
+StatusOr<VAttr> MemVnode::GetAttr() {
+  VAttr attr;
+  attr.type = type_;
+  attr.mode = mode_;
+  attr.uid = uid_;
+  attr.gid = gid_;
+  attr.nlink = nlink_;
+  attr.size = type_ == VnodeType::kRegular ? data_.size() : children_.size();
+  attr.mtime = mtime_;
+  attr.ctime = ctime_;
+  attr.fileid = fileid_;
+  attr.fsid = fs_->fsid();
+  return attr;
+}
+
+Status MemVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+  if (request.set_mode) {
+    mode_ = request.mode;
+  }
+  if (request.set_uid) {
+    uid_ = request.uid;
+  }
+  if (request.set_gid) {
+    gid_ = request.gid;
+  }
+  if (request.set_size) {
+    if (type_ != VnodeType::kRegular) {
+      return IsDirError("cannot truncate a directory");
+    }
+    data_.resize(request.set_size ? request.size : data_.size());
+  }
+  if (request.set_mtime) {
+    mtime_ = request.mtime;
+  }
+  ctime_ = fs_->Now();
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> MemVnode::Lookup(std::string_view name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  auto it = children_.find(std::string(name));
+  if (it == children_.end()) {
+    return NotFoundError(std::string(name));
+  }
+  return VnodePtr(it->second);
+}
+
+StatusOr<VnodePtr> MemVnode::Create(std::string_view name, const VAttr& attr,
+                                    const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_RETURN_IF_ERROR(CheckNameValid(name));
+  std::string key(name);
+  if (children_.count(key) != 0) {
+    return ExistsError(key);
+  }
+  auto child = std::make_shared<MemVnode>(fs_, VnodeType::kRegular, fs_->NextFileId());
+  child->mode_ = attr.mode;
+  child->uid_ = attr.uid;
+  child->gid_ = attr.gid;
+  children_[key] = child;
+  mtime_ = fs_->Now();
+  return VnodePtr(child);
+}
+
+Status MemVnode::Remove(std::string_view name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  auto it = children_.find(std::string(name));
+  if (it == children_.end()) {
+    return NotFoundError(std::string(name));
+  }
+  if (it->second->type_ == VnodeType::kDirectory) {
+    return IsDirError("use rmdir for directories");
+  }
+  if (it->second->nlink_ > 0) {
+    --it->second->nlink_;
+  }
+  children_.erase(it);
+  mtime_ = fs_->Now();
+  return OkStatus();
+}
+
+StatusOr<VnodePtr> MemVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                   const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_RETURN_IF_ERROR(CheckNameValid(name));
+  std::string key(name);
+  if (children_.count(key) != 0) {
+    return ExistsError(key);
+  }
+  auto child = std::make_shared<MemVnode>(fs_, VnodeType::kDirectory, fs_->NextFileId());
+  child->mode_ = attr.mode != 0 ? attr.mode : 0755;
+  child->uid_ = attr.uid;
+  child->gid_ = attr.gid;
+  children_[key] = child;
+  ++nlink_;
+  mtime_ = fs_->Now();
+  return VnodePtr(child);
+}
+
+Status MemVnode::Rmdir(std::string_view name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  auto it = children_.find(std::string(name));
+  if (it == children_.end()) {
+    return NotFoundError(std::string(name));
+  }
+  if (it->second->type_ != VnodeType::kDirectory) {
+    return NotDirError(std::string(name));
+  }
+  if (!it->second->children_.empty()) {
+    return NotEmptyError(std::string(name));
+  }
+  children_.erase(it);
+  --nlink_;
+  mtime_ = fs_->Now();
+  return OkStatus();
+}
+
+Status MemVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_RETURN_IF_ERROR(CheckNameValid(name));
+  auto mem_target = std::dynamic_pointer_cast<MemVnode>(target);
+  if (mem_target == nullptr || mem_target->fs_ != fs_) {
+    return CrossDeviceError("link target is not in this filesystem");
+  }
+  if (mem_target->type_ == VnodeType::kDirectory) {
+    return IsDirError("cannot hard-link a directory");
+  }
+  std::string key(name);
+  if (children_.count(key) != 0) {
+    return ExistsError(key);
+  }
+  children_[key] = mem_target;
+  ++mem_target->nlink_;
+  mtime_ = fs_->Now();
+  return OkStatus();
+}
+
+Status MemVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                        std::string_view new_name, const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_RETURN_IF_ERROR(CheckNameValid(new_name));
+  auto mem_parent = std::dynamic_pointer_cast<MemVnode>(new_parent);
+  if (mem_parent == nullptr || mem_parent->fs_ != fs_) {
+    return CrossDeviceError("rename target directory is not in this filesystem");
+  }
+  FICUS_RETURN_IF_ERROR(mem_parent->CheckDir());
+  auto it = children_.find(std::string(old_name));
+  if (it == children_.end()) {
+    return NotFoundError(std::string(old_name));
+  }
+  std::shared_ptr<MemVnode> moving = it->second;
+  std::string new_key(new_name);
+  auto existing = mem_parent->children_.find(new_key);
+  if (existing != mem_parent->children_.end()) {
+    if (existing->second->type_ == VnodeType::kDirectory &&
+        !existing->second->children_.empty()) {
+      return NotEmptyError(new_key);
+    }
+    mem_parent->children_.erase(existing);
+  }
+  children_.erase(it);
+  mem_parent->children_[new_key] = moving;
+  if (moving->type_ == VnodeType::kDirectory && mem_parent.get() != this) {
+    --nlink_;
+    ++mem_parent->nlink_;
+  }
+  mtime_ = fs_->Now();
+  mem_parent->mtime_ = mtime_;
+  return OkStatus();
+}
+
+StatusOr<std::vector<DirEntry>> MemVnode::Readdir(const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  std::vector<DirEntry> entries;
+  entries.reserve(children_.size());
+  for (const auto& [name, child] : children_) {
+    entries.push_back(DirEntry{name, child->fileid_, child->type_});
+  }
+  return entries;
+}
+
+StatusOr<VnodePtr> MemVnode::Symlink(std::string_view name, std::string_view target,
+                                     const Credentials&) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_RETURN_IF_ERROR(CheckNameValid(name));
+  std::string key(name);
+  if (children_.count(key) != 0) {
+    return ExistsError(key);
+  }
+  auto child = std::make_shared<MemVnode>(fs_, VnodeType::kSymlink, fs_->NextFileId());
+  child->link_target_ = std::string(target);
+  children_[key] = child;
+  mtime_ = fs_->Now();
+  return VnodePtr(child);
+}
+
+StatusOr<std::string> MemVnode::Readlink(const Credentials&) {
+  if (type_ != VnodeType::kSymlink) {
+    return InvalidArgumentError("vnode is not a symlink");
+  }
+  return link_target_;
+}
+
+Status MemVnode::Open(uint32_t flags, const Credentials&) {
+  if ((flags & kOpenTruncate) != 0) {
+    if (type_ != VnodeType::kRegular) {
+      return IsDirError("cannot truncate a directory");
+    }
+    data_.clear();
+  }
+  return OkStatus();
+}
+
+Status MemVnode::Close(uint32_t, const Credentials&) { return OkStatus(); }
+
+StatusOr<size_t> MemVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                const Credentials&) {
+  if (type_ != VnodeType::kRegular) {
+    return IsDirError("read on non-regular file");
+  }
+  out.clear();
+  if (offset >= data_.size()) {
+    return size_t{0};
+  }
+  size_t available = data_.size() - static_cast<size_t>(offset);
+  size_t count = std::min(length, available);
+  out.assign(data_.begin() + static_cast<ptrdiff_t>(offset),
+             data_.begin() + static_cast<ptrdiff_t>(offset + count));
+  return count;
+}
+
+StatusOr<size_t> MemVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                 const Credentials&) {
+  if (type_ != VnodeType::kRegular) {
+    return IsDirError("write on non-regular file");
+  }
+  size_t end = static_cast<size_t>(offset) + data.size();
+  if (end > data_.size()) {
+    data_.resize(end, 0);
+  }
+  std::copy(data.begin(), data.end(), data_.begin() + static_cast<ptrdiff_t>(offset));
+  mtime_ = fs_->Now();
+  return data.size();
+}
+
+Status MemVnode::Fsync(const Credentials&) { return OkStatus(); }
+
+MemVfs::MemVfs(const SimClock* clock, uint64_t fsid) : clock_(clock), fsid_(fsid) {
+  root_ = std::make_shared<MemVnode>(this, VnodeType::kDirectory, 1);
+}
+
+StatusOr<VnodePtr> MemVfs::Root() { return VnodePtr(root_); }
+
+StatusOr<FsStats> MemVfs::Statfs() {
+  FsStats stats;
+  stats.total_blocks = 0;
+  stats.free_blocks = 0;
+  stats.total_inodes = next_fileid_;
+  stats.free_inodes = 0;
+  return stats;
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,93 @@
+// In-memory filesystem implementing the vnode interface. Used to test the
+// interface itself and the layers above it (null layer, NFS) without paying
+// for simulated disk I/O, and as the zero-I/O floor in layer-cost benches.
+#ifndef FICUS_SRC_VFS_MEM_VFS_H_
+#define FICUS_SRC_VFS_MEM_VFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/vfs/vnode.h"
+
+namespace ficus::vfs {
+
+class MemVfs;
+
+// A node in the in-memory tree. Directories keep a sorted name -> node map;
+// regular files keep their bytes; symlinks keep their target string.
+class MemVnode : public Vnode, public std::enable_shared_from_this<MemVnode> {
+ public:
+  MemVnode(MemVfs* fs, VnodeType type, uint64_t fileid);
+
+  StatusOr<VAttr> GetAttr() override;
+  Status SetAttr(const SetAttrRequest& request, const Credentials& cred) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
+                            const Credentials& cred) override;
+  Status Remove(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
+                           const Credentials& cred) override;
+  Status Rmdir(std::string_view name, const Credentials& cred) override;
+  Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred) override;
+  Status Rename(std::string_view old_name, const VnodePtr& new_parent,
+                std::string_view new_name, const Credentials& cred) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred) override;
+  StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
+                             const Credentials& cred) override;
+  StatusOr<std::string> Readlink(const Credentials& cred) override;
+  Status Open(uint32_t flags, const Credentials& cred) override;
+  Status Close(uint32_t flags, const Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const Credentials& cred) override;
+  Status Fsync(const Credentials& cred) override;
+
+  VnodeType type() const { return type_; }
+  uint64_t fileid() const { return fileid_; }
+
+ private:
+  friend class MemVfs;
+
+  Status CheckDir() const;
+  Status CheckNameValid(std::string_view name) const;
+
+  MemVfs* fs_;
+  VnodeType type_;
+  uint64_t fileid_;
+  uint32_t mode_ = 0644;
+  uint32_t uid_ = 0;
+  uint32_t gid_ = 0;
+  uint32_t nlink_ = 1;
+  SimTime mtime_ = 0;
+  SimTime ctime_ = 0;
+  std::vector<uint8_t> data_;                          // regular files
+  std::map<std::string, std::shared_ptr<MemVnode>> children_;  // directories
+  std::string link_target_;                            // symlinks
+};
+
+class MemVfs : public Vfs {
+ public:
+  // clock may be null; mtimes then stay zero.
+  explicit MemVfs(const SimClock* clock = nullptr, uint64_t fsid = 1);
+
+  StatusOr<VnodePtr> Root() override;
+  StatusOr<FsStats> Statfs() override;
+
+  uint64_t fsid() const { return fsid_; }
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+  uint64_t NextFileId() { return next_fileid_++; }
+
+ private:
+  const SimClock* clock_;
+  uint64_t fsid_;
+  uint64_t next_fileid_ = 2;  // 1 is the root
+  std::shared_ptr<MemVnode> root_;
+};
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_MEM_VFS_H_

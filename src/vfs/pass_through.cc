@@ -1,0 +1,113 @@
+#include "src/vfs/pass_through.h"
+
+namespace ficus::vfs {
+
+VnodePtr PassThroughVnode::WrapLower(VnodePtr lower) {
+  return std::make_shared<PassThroughVnode>(std::move(lower));
+}
+
+VnodePtr PassThroughVnode::UnwrapIfOurs(const VnodePtr& vnode) {
+  if (auto* pt = dynamic_cast<PassThroughVnode*>(vnode.get())) {
+    return pt->lower_;
+  }
+  return vnode;
+}
+
+StatusOr<VAttr> PassThroughVnode::GetAttr() { return lower_->GetAttr(); }
+
+Status PassThroughVnode::SetAttr(const SetAttrRequest& request, const Credentials& cred) {
+  return lower_->SetAttr(request, cred);
+}
+
+StatusOr<VnodePtr> PassThroughVnode::Lookup(std::string_view name, const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Lookup(name, cred));
+  return WrapLower(std::move(child));
+}
+
+StatusOr<VnodePtr> PassThroughVnode::Create(std::string_view name, const VAttr& attr,
+                                            const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Create(name, attr, cred));
+  return WrapLower(std::move(child));
+}
+
+Status PassThroughVnode::Remove(std::string_view name, const Credentials& cred) {
+  return lower_->Remove(name, cred);
+}
+
+StatusOr<VnodePtr> PassThroughVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                           const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Mkdir(name, attr, cred));
+  return WrapLower(std::move(child));
+}
+
+Status PassThroughVnode::Rmdir(std::string_view name, const Credentials& cred) {
+  return lower_->Rmdir(name, cred);
+}
+
+Status PassThroughVnode::Link(std::string_view name, const VnodePtr& target,
+                              const Credentials& cred) {
+  return lower_->Link(name, UnwrapIfOurs(target), cred);
+}
+
+Status PassThroughVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                                std::string_view new_name, const Credentials& cred) {
+  return lower_->Rename(old_name, UnwrapIfOurs(new_parent), new_name, cred);
+}
+
+StatusOr<std::vector<DirEntry>> PassThroughVnode::Readdir(const Credentials& cred) {
+  return lower_->Readdir(cred);
+}
+
+StatusOr<VnodePtr> PassThroughVnode::Symlink(std::string_view name, std::string_view target,
+                                             const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Symlink(name, target, cred));
+  return WrapLower(std::move(child));
+}
+
+StatusOr<std::string> PassThroughVnode::Readlink(const Credentials& cred) {
+  return lower_->Readlink(cred);
+}
+
+Status PassThroughVnode::Open(uint32_t flags, const Credentials& cred) {
+  return lower_->Open(flags, cred);
+}
+
+Status PassThroughVnode::Close(uint32_t flags, const Credentials& cred) {
+  return lower_->Close(flags, cred);
+}
+
+StatusOr<size_t> PassThroughVnode::Read(uint64_t offset, size_t length,
+                                        std::vector<uint8_t>& out, const Credentials& cred) {
+  return lower_->Read(offset, length, out, cred);
+}
+
+StatusOr<size_t> PassThroughVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                         const Credentials& cred) {
+  return lower_->Write(offset, data, cred);
+}
+
+Status PassThroughVnode::Fsync(const Credentials& cred) { return lower_->Fsync(cred); }
+
+Status PassThroughVnode::Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+                               std::vector<uint8_t>& response, const Credentials& cred) {
+  return lower_->Ioctl(command, request, response, cred);
+}
+
+StatusOr<VnodePtr> PassThroughVfs::Root() {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, lower_->Root());
+  return VnodePtr(std::make_shared<PassThroughVnode>(std::move(root)));
+}
+
+Status PassThroughVfs::Sync() { return lower_->Sync(); }
+
+StatusOr<FsStats> PassThroughVfs::Statfs() { return lower_->Statfs(); }
+
+StatusOr<VnodePtr> StackNullLayers(Vfs* base, int depth) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, base->Root());
+  for (int i = 0; i < depth; ++i) {
+    root = std::make_shared<PassThroughVnode>(std::move(root));
+  }
+  return root;
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,82 @@
+// Pass-through ("null") layer: forwards every vnode operation to the layer
+// below, wrapping returned vnodes so the whole subtree stays inside the
+// layer. Two uses:
+//   1. Benchmark P1 stacks N of these to measure the marginal cost of one
+//      layer crossing — per the paper (section 6) "one additional procedure
+//      call, one pointer indirection, and storage for another vnode block".
+//   2. Base class for real layers that override only a few operations,
+//      the object-oriented-inheritance analogy of section 1.
+#ifndef FICUS_SRC_VFS_PASS_THROUGH_H_
+#define FICUS_SRC_VFS_PASS_THROUGH_H_
+
+#include <memory>
+
+#include "src/vfs/vnode.h"
+
+namespace ficus::vfs {
+
+class PassThroughVnode : public Vnode {
+ public:
+  explicit PassThroughVnode(VnodePtr lower) : lower_(std::move(lower)) {}
+
+  StatusOr<VAttr> GetAttr() override;
+  Status SetAttr(const SetAttrRequest& request, const Credentials& cred) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
+                            const Credentials& cred) override;
+  Status Remove(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
+                           const Credentials& cred) override;
+  Status Rmdir(std::string_view name, const Credentials& cred) override;
+  Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred) override;
+  Status Rename(std::string_view old_name, const VnodePtr& new_parent,
+                std::string_view new_name, const Credentials& cred) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred) override;
+  StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
+                             const Credentials& cred) override;
+  StatusOr<std::string> Readlink(const Credentials& cred) override;
+  Status Open(uint32_t flags, const Credentials& cred) override;
+  Status Close(uint32_t flags, const Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const Credentials& cred) override;
+  Status Fsync(const Credentials& cred) override;
+  Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+               std::vector<uint8_t>& response, const Credentials& cred) override;
+
+  const VnodePtr& lower() const { return lower_; }
+
+ protected:
+  // Wraps a vnode returned by the lower layer. Subclasses override to wrap
+  // in their own vnode type; the default produces another PassThroughVnode.
+  virtual VnodePtr WrapLower(VnodePtr lower);
+
+  // Unwraps a vnode of this layer to its lower counterpart, for operations
+  // (Link, Rename) whose arguments are vnodes that must be handed to the
+  // lower layer. Non-pass-through vnodes are returned unchanged.
+  static VnodePtr UnwrapIfOurs(const VnodePtr& vnode);
+
+  VnodePtr lower_;
+};
+
+// The Vfs side of the null layer.
+class PassThroughVfs : public Vfs {
+ public:
+  explicit PassThroughVfs(Vfs* lower) : lower_(lower) {}
+
+  StatusOr<VnodePtr> Root() override;
+  Status Sync() override;
+  StatusOr<FsStats> Statfs() override;
+
+ private:
+  Vfs* lower_;
+};
+
+// Builds a stack of `depth` pass-through layers over `base` and returns the
+// top root. depth == 0 returns base's root unchanged.
+StatusOr<VnodePtr> StackNullLayers(Vfs* base, int depth);
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_PASS_THROUGH_H_

@@ -1,0 +1,115 @@
+#include "src/vfs/path_ops.h"
+
+namespace ficus::vfs {
+
+Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr current, fs->Root());
+  size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') {
+      ++pos;
+    }
+    if (pos >= path.size()) {
+      break;
+    }
+    size_t end = path.find('/', pos);
+    if (end == std::string_view::npos) {
+      end = path.size();
+    }
+    std::string_view component = path.substr(pos, end - pos);
+    auto child = current->Lookup(component, cred);
+    if (child.ok()) {
+      current = std::move(child).value();
+    } else if (child.status().code() == ErrorCode::kNotFound) {
+      FICUS_ASSIGN_OR_RETURN(current, current->Mkdir(component, VAttr{}, cred));
+    } else {
+      return child.status();
+    }
+    pos = end;
+  }
+  return OkStatus();
+}
+
+Status WriteFileAt(Vfs* fs, std::string_view path, std::string_view contents,
+                   const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, cred));
+  VnodePtr file;
+  auto existing = dir->Lookup(split.second, cred);
+  if (existing.ok()) {
+    file = std::move(existing).value();
+    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite | kOpenTruncate, cred));
+  } else if (existing.status().code() == ErrorCode::kNotFound) {
+    VAttr attr;
+    attr.type = VnodeType::kRegular;
+    FICUS_ASSIGN_OR_RETURN(file, dir->Create(split.second, attr, cred));
+    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite, cred));
+  } else {
+    return existing.status();
+  }
+  std::vector<uint8_t> bytes(contents.begin(), contents.end());
+  FICUS_RETURN_IF_ERROR(file->Write(0, bytes, cred).status());
+  return file->Close(kOpenWrite, cred);
+}
+
+StatusOr<std::string> ReadFileAt(Vfs* fs, std::string_view path, const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, cred));
+  FICUS_ASSIGN_OR_RETURN(VAttr attr, file->GetAttr());
+  std::vector<uint8_t> bytes;
+  FICUS_RETURN_IF_ERROR(file->Read(0, static_cast<size_t>(attr.size), bytes, cred).status());
+  return std::string(bytes.begin(), bytes.end());
+}
+
+StatusOr<std::string> OpenReadClose(Vfs* fs, std::string_view path, const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, cred));
+  FICUS_RETURN_IF_ERROR(file->Open(kOpenRead, cred));
+  FICUS_ASSIGN_OR_RETURN(VAttr attr, file->GetAttr());
+  std::vector<uint8_t> bytes;
+  Status read = file->Read(0, static_cast<size_t>(attr.size), bytes, cred).status();
+  Status closed = file->Close(kOpenRead, cred);
+  FICUS_RETURN_IF_ERROR(read);
+  FICUS_RETURN_IF_ERROR(closed);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Status RemovePath(Vfs* fs, std::string_view path, const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr target, dir->Lookup(split.second, cred));
+  FICUS_ASSIGN_OR_RETURN(VAttr attr, target->GetAttr());
+  if (attr.type == VnodeType::kDirectory || attr.type == VnodeType::kGraftPoint) {
+    return dir->Rmdir(split.second, cred);
+  }
+  return dir->Remove(split.second, cred);
+}
+
+StatusOr<std::vector<DirEntry>> ListDir(Vfs* fs, std::string_view path,
+                                        const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, path, cred));
+  return dir->Readdir(cred);
+}
+
+bool Exists(Vfs* fs, std::string_view path, const Credentials& cred) {
+  auto root = fs->Root();
+  if (!root.ok()) {
+    return false;
+  }
+  return WalkPath(root.value(), path, cred).ok();
+}
+
+Status RenamePath(Vfs* fs, std::string_view old_path, std::string_view new_path,
+                  const Credentials& cred) {
+  FICUS_ASSIGN_OR_RETURN(auto old_split, SplitPath(old_path));
+  FICUS_ASSIGN_OR_RETURN(auto new_split, SplitPath(new_path));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
+  FICUS_ASSIGN_OR_RETURN(VnodePtr old_dir, WalkPath(root, old_split.first, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr new_dir, WalkPath(root, new_split.first, cred));
+  return old_dir->Rename(old_split.second, new_dir, new_split.second, cred);
+}
+
+}  // namespace ficus::vfs

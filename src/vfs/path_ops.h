@@ -1,0 +1,48 @@
+// Path-level convenience operations over any Vfs. These are what a libc /
+// system-call veneer would provide above the vnode interface; tests,
+// examples, and workload generators use them against UFS, NFS mounts, and
+// Ficus logical layers interchangeably — one more payoff of the single
+// symmetric interface.
+#ifndef FICUS_SRC_VFS_PATH_OPS_H_
+#define FICUS_SRC_VFS_PATH_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vfs/vnode.h"
+
+namespace ficus::vfs {
+
+// Creates every missing directory along `path` (like mkdir -p).
+Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred = {});
+
+// Creates (if absent), truncates, and writes `contents` to the file.
+Status WriteFileAt(Vfs* fs, std::string_view path, std::string_view contents,
+                   const Credentials& cred = {});
+
+// Reads the whole file as a string.
+StatusOr<std::string> ReadFileAt(Vfs* fs, std::string_view path,
+                                 const Credentials& cred = {});
+
+// Opens (lookup + open), reads, closes — the full client-visible open
+// path, which is what the cold/warm I/O experiments measure.
+StatusOr<std::string> OpenReadClose(Vfs* fs, std::string_view path,
+                                    const Credentials& cred = {});
+
+// Removes a file or (empty) directory by path.
+Status RemovePath(Vfs* fs, std::string_view path, const Credentials& cred = {});
+
+// Lists a directory by path.
+StatusOr<std::vector<DirEntry>> ListDir(Vfs* fs, std::string_view path,
+                                        const Credentials& cred = {});
+
+// Does the path resolve?
+bool Exists(Vfs* fs, std::string_view path, const Credentials& cred = {});
+
+// Renames old_path to new_path (both relative to the same root).
+Status RenamePath(Vfs* fs, std::string_view old_path, std::string_view new_path,
+                  const Credentials& cred = {});
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_PATH_OPS_H_

@@ -1,0 +1,183 @@
+#include "src/vfs/stats_layer.h"
+
+#include <sstream>
+
+namespace ficus::vfs {
+
+std::string_view VnodeOpName(VnodeOp op) {
+  switch (op) {
+    case VnodeOp::kGetAttr:
+      return "getattr";
+    case VnodeOp::kSetAttr:
+      return "setattr";
+    case VnodeOp::kLookup:
+      return "lookup";
+    case VnodeOp::kCreate:
+      return "create";
+    case VnodeOp::kRemove:
+      return "remove";
+    case VnodeOp::kMkdir:
+      return "mkdir";
+    case VnodeOp::kRmdir:
+      return "rmdir";
+    case VnodeOp::kLink:
+      return "link";
+    case VnodeOp::kRename:
+      return "rename";
+    case VnodeOp::kReaddir:
+      return "readdir";
+    case VnodeOp::kSymlink:
+      return "symlink";
+    case VnodeOp::kReadlink:
+      return "readlink";
+    case VnodeOp::kOpen:
+      return "open";
+    case VnodeOp::kClose:
+      return "close";
+    case VnodeOp::kRead:
+      return "read";
+    case VnodeOp::kWrite:
+      return "write";
+    case VnodeOp::kFsync:
+      return "fsync";
+    case VnodeOp::kIoctl:
+      return "ioctl";
+    case VnodeOp::kCount:
+      break;
+  }
+  return "?";
+}
+
+uint64_t OpCounters::TotalCalls() const {
+  uint64_t total = 0;
+  for (uint64_t c : calls) {
+    total += c;
+  }
+  return total;
+}
+
+std::string OpCounters::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < static_cast<size_t>(VnodeOp::kCount); ++i) {
+    if (calls[i] == 0) {
+      continue;
+    }
+    out << VnodeOpName(static_cast<VnodeOp>(i)) << ": " << calls[i];
+    if (errors[i] != 0) {
+      out << " (" << errors[i] << " errors)";
+    }
+    out << "\n";
+  }
+  if (bytes_read != 0 || bytes_written != 0) {
+    out << "bytes read: " << bytes_read << ", written: " << bytes_written << "\n";
+  }
+  return out.str();
+}
+
+Status StatsVnode::Count(VnodeOp op, Status status) {
+  ++counters_->calls[static_cast<size_t>(op)];
+  if (!status.ok()) {
+    ++counters_->errors[static_cast<size_t>(op)];
+  }
+  return status;
+}
+
+VnodePtr StatsVnode::WrapLower(VnodePtr lower) {
+  return std::make_shared<StatsVnode>(std::move(lower), counters_);
+}
+
+StatusOr<VAttr> StatsVnode::GetAttr() {
+  return Count(VnodeOp::kGetAttr, PassThroughVnode::GetAttr());
+}
+
+Status StatsVnode::SetAttr(const SetAttrRequest& request, const Credentials& cred) {
+  return Count(VnodeOp::kSetAttr, PassThroughVnode::SetAttr(request, cred));
+}
+
+StatusOr<VnodePtr> StatsVnode::Lookup(std::string_view name, const Credentials& cred) {
+  return Count(VnodeOp::kLookup, PassThroughVnode::Lookup(name, cred));
+}
+
+StatusOr<VnodePtr> StatsVnode::Create(std::string_view name, const VAttr& attr,
+                                      const Credentials& cred) {
+  return Count(VnodeOp::kCreate, PassThroughVnode::Create(name, attr, cred));
+}
+
+Status StatsVnode::Remove(std::string_view name, const Credentials& cred) {
+  return Count(VnodeOp::kRemove, PassThroughVnode::Remove(name, cred));
+}
+
+StatusOr<VnodePtr> StatsVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                     const Credentials& cred) {
+  return Count(VnodeOp::kMkdir, PassThroughVnode::Mkdir(name, attr, cred));
+}
+
+Status StatsVnode::Rmdir(std::string_view name, const Credentials& cred) {
+  return Count(VnodeOp::kRmdir, PassThroughVnode::Rmdir(name, cred));
+}
+
+Status StatsVnode::Link(std::string_view name, const VnodePtr& target,
+                        const Credentials& cred) {
+  return Count(VnodeOp::kLink, PassThroughVnode::Link(name, target, cred));
+}
+
+Status StatsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                          std::string_view new_name, const Credentials& cred) {
+  return Count(VnodeOp::kRename,
+               PassThroughVnode::Rename(old_name, new_parent, new_name, cred));
+}
+
+StatusOr<std::vector<DirEntry>> StatsVnode::Readdir(const Credentials& cred) {
+  return Count(VnodeOp::kReaddir, PassThroughVnode::Readdir(cred));
+}
+
+StatusOr<VnodePtr> StatsVnode::Symlink(std::string_view name, std::string_view target,
+                                       const Credentials& cred) {
+  return Count(VnodeOp::kSymlink, PassThroughVnode::Symlink(name, target, cred));
+}
+
+StatusOr<std::string> StatsVnode::Readlink(const Credentials& cred) {
+  return Count(VnodeOp::kReadlink, PassThroughVnode::Readlink(cred));
+}
+
+Status StatsVnode::Open(uint32_t flags, const Credentials& cred) {
+  return Count(VnodeOp::kOpen, PassThroughVnode::Open(flags, cred));
+}
+
+Status StatsVnode::Close(uint32_t flags, const Credentials& cred) {
+  return Count(VnodeOp::kClose, PassThroughVnode::Close(flags, cred));
+}
+
+StatusOr<size_t> StatsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                  const Credentials& cred) {
+  auto result = Count(VnodeOp::kRead, PassThroughVnode::Read(offset, length, out, cred));
+  if (result.ok()) {
+    counters_->bytes_read += result.value();
+  }
+  return result;
+}
+
+StatusOr<size_t> StatsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                   const Credentials& cred) {
+  auto result = Count(VnodeOp::kWrite, PassThroughVnode::Write(offset, data, cred));
+  if (result.ok()) {
+    counters_->bytes_written += result.value();
+  }
+  return result;
+}
+
+Status StatsVnode::Fsync(const Credentials& cred) {
+  return Count(VnodeOp::kFsync, PassThroughVnode::Fsync(cred));
+}
+
+Status StatsVnode::Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+                         std::vector<uint8_t>& response, const Credentials& cred) {
+  return Count(VnodeOp::kIoctl, PassThroughVnode::Ioctl(command, request, response, cred));
+}
+
+StatusOr<VnodePtr> StatsVfs::Root() {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, lower_->Root());
+  return VnodePtr(std::make_shared<StatsVnode>(std::move(root), &counters_));
+}
+
+}  // namespace ficus::vfs

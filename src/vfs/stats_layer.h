@@ -1,0 +1,124 @@
+// A measurement layer (paper section 1: "we expect to use it for
+// performance monitoring ..."). Slips into any vnode stack and counts
+// every operation that crosses it, per operation type — demonstrating the
+// object-oriented-inheritance style of layer construction: it subclasses
+// the pass-through layer and overrides only to observe.
+#ifndef FICUS_SRC_VFS_STATS_LAYER_H_
+#define FICUS_SRC_VFS_STATS_LAYER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/vfs/pass_through.h"
+
+namespace ficus::vfs {
+
+// Indices into the per-operation counter array.
+enum class VnodeOp : size_t {
+  kGetAttr = 0,
+  kSetAttr,
+  kLookup,
+  kCreate,
+  kRemove,
+  kMkdir,
+  kRmdir,
+  kLink,
+  kRename,
+  kReaddir,
+  kSymlink,
+  kReadlink,
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kFsync,
+  kIoctl,
+  kCount,  // sentinel
+};
+
+std::string_view VnodeOpName(VnodeOp op);
+
+// Counters shared by every vnode of one StatsVfs instance.
+struct OpCounters {
+  std::array<uint64_t, static_cast<size_t>(VnodeOp::kCount)> calls{};
+  std::array<uint64_t, static_cast<size_t>(VnodeOp::kCount)> errors{};
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  uint64_t Calls(VnodeOp op) const { return calls[static_cast<size_t>(op)]; }
+  uint64_t Errors(VnodeOp op) const { return errors[static_cast<size_t>(op)]; }
+  uint64_t TotalCalls() const;
+
+  // Multi-line human-readable table of the non-zero counters.
+  std::string ToString() const;
+};
+
+class StatsVnode : public PassThroughVnode {
+ public:
+  StatsVnode(VnodePtr lower, OpCounters* counters)
+      : PassThroughVnode(std::move(lower)), counters_(counters) {}
+
+  StatusOr<VAttr> GetAttr() override;
+  Status SetAttr(const SetAttrRequest& request, const Credentials& cred) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
+                            const Credentials& cred) override;
+  Status Remove(std::string_view name, const Credentials& cred) override;
+  StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
+                           const Credentials& cred) override;
+  Status Rmdir(std::string_view name, const Credentials& cred) override;
+  Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred) override;
+  Status Rename(std::string_view old_name, const VnodePtr& new_parent,
+                std::string_view new_name, const Credentials& cred) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred) override;
+  StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
+                             const Credentials& cred) override;
+  StatusOr<std::string> Readlink(const Credentials& cred) override;
+  Status Open(uint32_t flags, const Credentials& cred) override;
+  Status Close(uint32_t flags, const Credentials& cred) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const Credentials& cred) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const Credentials& cred) override;
+  Status Fsync(const Credentials& cred) override;
+  Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+               std::vector<uint8_t>& response, const Credentials& cred) override;
+
+ protected:
+  VnodePtr WrapLower(VnodePtr lower) override;
+
+ private:
+  // Tallies a call and its outcome; returns the status unchanged.
+  Status Count(VnodeOp op, Status status);
+  template <typename T>
+  StatusOr<T> Count(VnodeOp op, StatusOr<T> result) {
+    ++counters_->calls[static_cast<size_t>(op)];
+    if (!result.ok()) {
+      ++counters_->errors[static_cast<size_t>(op)];
+    }
+    return result;
+  }
+
+  OpCounters* counters_;
+};
+
+class StatsVfs : public Vfs {
+ public:
+  explicit StatsVfs(Vfs* lower) : lower_(lower) {}
+
+  StatusOr<VnodePtr> Root() override;
+  Status Sync() override { return lower_->Sync(); }
+  StatusOr<FsStats> Statfs() override { return lower_->Statfs(); }
+
+  const OpCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = OpCounters{}; }
+
+ private:
+  Vfs* lower_;
+  OpCounters counters_;
+};
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_STATS_LAYER_H_

@@ -1,0 +1,236 @@
+#include "src/vfs/syscalls.h"
+
+namespace ficus::vfs {
+
+SyscallInterface::SyscallInterface(Vfs* fs, Credentials cred) : fs_(fs), cred_(cred) {}
+
+StatusOr<SyscallInterface::OpenFile*> SyscallInterface::Lookup(Fd fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgumentError("bad file descriptor " + std::to_string(fd));
+  }
+  return &it->second;
+}
+
+StatusOr<VnodePtr> SyscallInterface::Resolve(const std::string& path, bool follow_final,
+                                             int depth) {
+  if (depth > kMaxSymlinkDepth) {
+    return InvalidArgumentError("too many levels of symbolic links");
+  }
+  FICUS_ASSIGN_OR_RETURN(VnodePtr current, fs_->Root());
+  size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') {
+      ++pos;
+    }
+    if (pos >= path.size()) {
+      break;
+    }
+    size_t end = path.find('/', pos);
+    if (end == std::string::npos) {
+      end = path.size();
+    }
+    std::string component = path.substr(pos, end - pos);
+    bool is_final = end >= path.size();
+    if (component == ".") {
+      pos = end;
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(VnodePtr child, current->Lookup(component, cred_));
+    FICUS_ASSIGN_OR_RETURN(VAttr attr, child->GetAttr());
+    if (attr.type == VnodeType::kSymlink && (!is_final || follow_final)) {
+      FICUS_ASSIGN_OR_RETURN(std::string target, child->Readlink(cred_));
+      // Splice: resolve the target (relative to the root in this veneer),
+      // then continue with the remaining components.
+      std::string rest = is_final ? "" : path.substr(end);
+      FICUS_ASSIGN_OR_RETURN(VnodePtr resolved,
+                             Resolve(target + rest, follow_final, depth + 1));
+      return resolved;
+    }
+    current = std::move(child);
+    pos = end;
+  }
+  return current;
+}
+
+StatusOr<std::pair<VnodePtr, std::string>> SyscallInterface::ResolveParent(
+    const std::string& path, int depth) {
+  FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr parent,
+                         Resolve(split.first, /*follow_final=*/true, depth));
+  return std::make_pair(std::move(parent), split.second);
+}
+
+StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
+  VnodePtr vnode;
+  auto resolved = Resolve(path, /*follow_final=*/true);
+  if (resolved.ok()) {
+    if ((flags & kCreat) != 0 && (flags & kExcl) != 0) {
+      return ExistsError(path);
+    }
+    vnode = std::move(resolved).value();
+  } else if (resolved.status().code() == ErrorCode::kNotFound && (flags & kCreat) != 0) {
+    FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+    VAttr attr;
+    attr.type = VnodeType::kRegular;
+    attr.uid = cred_.uid;
+    FICUS_ASSIGN_OR_RETURN(vnode, parent.first->Create(parent.second, attr, cred_));
+  } else {
+    return resolved.status();
+  }
+
+  FICUS_ASSIGN_OR_RETURN(VAttr attr, vnode->GetAttr());
+  bool writable = (flags & (kWrOnly | kRdWr | kAppend | kTrunc)) != 0;
+  if (writable && (attr.type == VnodeType::kDirectory ||
+                   attr.type == VnodeType::kGraftPoint)) {
+    return IsDirError(path);
+  }
+
+  uint32_t vnode_flags = kOpenRead;
+  if (writable) {
+    vnode_flags |= kOpenWrite;
+  }
+  if ((flags & kTrunc) != 0) {
+    vnode_flags |= kOpenTruncate;
+  }
+  FICUS_RETURN_IF_ERROR(vnode->Open(vnode_flags, cred_));
+
+  Fd fd = next_fd_++;
+  fds_[fd] = OpenFile{std::move(vnode), 0, flags};
+  return fd;
+}
+
+Status SyscallInterface::Close(Fd fd) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  Status status = file->vnode->Close(kOpenRead, cred_);
+  fds_.erase(fd);
+  return status;
+}
+
+StatusOr<size_t> SyscallInterface::Read(Fd fd, std::vector<uint8_t>& out, size_t count) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Read(file->offset, count, out, cred_));
+  file->offset += n;
+  return n;
+}
+
+StatusOr<size_t> SyscallInterface::Write(Fd fd, const std::vector<uint8_t>& data) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
+    return PermissionError("descriptor not open for writing");
+  }
+  if ((file->flags & kAppend) != 0) {
+    FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr());
+    file->offset = attr.size;
+  }
+  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Write(file->offset, data, cred_));
+  file->offset += n;
+  return n;
+}
+
+StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(file->offset);
+      break;
+    case Whence::kEnd: {
+      FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr());
+      base = static_cast<int64_t>(attr.size);
+      break;
+    }
+  }
+  int64_t target = base + offset;
+  if (target < 0) {
+    return InvalidArgumentError("seek before start of file");
+  }
+  file->offset = static_cast<uint64_t>(target);
+  return file->offset;
+}
+
+StatusOr<size_t> SyscallInterface::Pread(Fd fd, uint64_t offset, std::vector<uint8_t>& out,
+                                         size_t count) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  return file->vnode->Read(offset, count, out, cred_);
+}
+
+StatusOr<size_t> SyscallInterface::Pwrite(Fd fd, uint64_t offset,
+                                          const std::vector<uint8_t>& data) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
+    return PermissionError("descriptor not open for writing");
+  }
+  return file->vnode->Write(offset, data, cred_);
+}
+
+StatusOr<VAttr> SyscallInterface::Fstat(Fd fd) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  return file->vnode->GetAttr();
+}
+
+Status SyscallInterface::Ftruncate(Fd fd, uint64_t size) {
+  FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  SetAttrRequest request;
+  request.set_size = true;
+  request.size = size;
+  return file->vnode->SetAttr(request, cred_);
+}
+
+StatusOr<VAttr> SyscallInterface::Stat(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true));
+  return vnode->GetAttr();
+}
+
+StatusOr<VAttr> SyscallInterface::Lstat(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false));
+  return vnode->GetAttr();
+}
+
+Status SyscallInterface::Mkdir(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  return parent.first->Mkdir(parent.second, VAttr{}, cred_).status();
+}
+
+Status SyscallInterface::Rmdir(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  return parent.first->Rmdir(parent.second, cred_);
+}
+
+Status SyscallInterface::Unlink(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  return parent.first->Remove(parent.second, cred_);
+}
+
+Status SyscallInterface::Rename(const std::string& from, const std::string& to) {
+  FICUS_ASSIGN_OR_RETURN(auto from_parent, ResolveParent(from));
+  FICUS_ASSIGN_OR_RETURN(auto to_parent, ResolveParent(to));
+  return from_parent.first->Rename(from_parent.second, to_parent.first, to_parent.second,
+                                   cred_);
+}
+
+Status SyscallInterface::Link(const std::string& target, const std::string& link_path) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr target_vnode, Resolve(target, /*follow_final=*/true));
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
+  return parent.first->Link(parent.second, target_vnode, cred_);
+}
+
+Status SyscallInterface::Symlink(const std::string& target, const std::string& link_path) {
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
+  return parent.first->Symlink(parent.second, target, cred_).status();
+}
+
+StatusOr<std::string> SyscallInterface::Readlink(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false));
+  return vnode->Readlink(cred_);
+}
+
+StatusOr<std::vector<DirEntry>> SyscallInterface::Readdir(const std::string& path) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true));
+  return vnode->Readdir(cred_);
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,98 @@
+// The "System Calls" box at the top of the paper's Figure 1: a POSIX-ish
+// file-descriptor API over any vnode stack. This is the veneer the Unix
+// system-call family provides above the vnode interface — open/close with
+// an fd table, positioned read/write with per-descriptor offsets, lseek,
+// symlink-following path resolution with a loop bound.
+//
+// It also embodies the paper's section-5 methodology: the vnode interface
+// "exposed to the application level through a set of vnode system calls",
+// letting everything above the kernel boundary run and be tested in user
+// space.
+#ifndef FICUS_SRC_VFS_SYSCALLS_H_
+#define FICUS_SRC_VFS_SYSCALLS_H_
+
+#include <map>
+#include <string>
+
+#include "src/vfs/vnode.h"
+
+namespace ficus::vfs {
+
+using Fd = int;
+
+// open(2) flags, OR-able. kCreat creates the file if absent; kExcl with
+// kCreat fails if it exists; kTrunc empties it; kAppend positions every
+// write at EOF.
+enum SysOpenFlags : uint32_t {
+  kRdOnly = 0,
+  kWrOnly = 1u << 0,
+  kRdWr = 1u << 1,
+  kCreat = 1u << 2,
+  kExcl = 1u << 3,
+  kTrunc = 1u << 4,
+  kAppend = 1u << 5,
+};
+
+enum class Whence { kSet, kCur, kEnd };
+
+// Maximum symlink expansions in one path resolution (ELOOP beyond it).
+constexpr int kMaxSymlinkDepth = 8;
+
+// One process's view of a mounted vnode stack. Not thread-safe (the
+// simulation is single-threaded by design).
+class SyscallInterface {
+ public:
+  // fs borrowed; cred applied to every operation.
+  explicit SyscallInterface(Vfs* fs, Credentials cred = {});
+
+  // --- file descriptors ---
+  StatusOr<Fd> Open(const std::string& path, uint32_t flags);
+  Status Close(Fd fd);
+  // read(2)/write(2): advance the descriptor offset.
+  StatusOr<size_t> Read(Fd fd, std::vector<uint8_t>& out, size_t count);
+  StatusOr<size_t> Write(Fd fd, const std::vector<uint8_t>& data);
+  StatusOr<uint64_t> Lseek(Fd fd, int64_t offset, Whence whence);
+  // pread(2)/pwrite(2): positioned, do not move the offset.
+  StatusOr<size_t> Pread(Fd fd, uint64_t offset, std::vector<uint8_t>& out, size_t count);
+  StatusOr<size_t> Pwrite(Fd fd, uint64_t offset, const std::vector<uint8_t>& data);
+  StatusOr<VAttr> Fstat(Fd fd);
+  Status Ftruncate(Fd fd, uint64_t size);
+
+  // --- path operations (all follow symlinks except the l-variants) ---
+  StatusOr<VAttr> Stat(const std::string& path);
+  StatusOr<VAttr> Lstat(const std::string& path);
+  Status Mkdir(const std::string& path);
+  Status Rmdir(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Status Link(const std::string& target, const std::string& link_path);
+  Status Symlink(const std::string& target, const std::string& link_path);
+  StatusOr<std::string> Readlink(const std::string& path);
+  StatusOr<std::vector<DirEntry>> Readdir(const std::string& path);
+
+  size_t open_files() const { return fds_.size(); }
+
+ private:
+  struct OpenFile {
+    VnodePtr vnode;
+    uint64_t offset = 0;
+    uint32_t flags = 0;
+  };
+
+  // Resolves a path following symlinks in intermediate AND (optionally)
+  // final components.
+  StatusOr<VnodePtr> Resolve(const std::string& path, bool follow_final, int depth = 0);
+  // Resolves the parent directory and returns it plus the final component.
+  StatusOr<std::pair<VnodePtr, std::string>> ResolveParent(const std::string& path,
+                                                           int depth = 0);
+  StatusOr<OpenFile*> Lookup(Fd fd);
+
+  Vfs* fs_;
+  Credentials cred_;
+  std::map<Fd, OpenFile> fds_;
+  Fd next_fd_ = 3;  // 0..2 reserved, as tradition demands
+};
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_SYSCALLS_H_

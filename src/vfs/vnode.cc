@@ -1,0 +1,123 @@
+#include "src/vfs/vnode.h"
+
+namespace ficus::vfs {
+
+namespace {
+Status Unsupported(const char* op) {
+  return NotSupportedError(std::string("vnode operation not supported: ") + op);
+}
+}  // namespace
+
+StatusOr<VAttr> Vnode::GetAttr() { return Unsupported("getattr"); }
+
+Status Vnode::SetAttr(const SetAttrRequest&, const Credentials&) {
+  return Unsupported("setattr");
+}
+
+StatusOr<VnodePtr> Vnode::Lookup(std::string_view, const Credentials&) {
+  return Unsupported("lookup");
+}
+
+StatusOr<VnodePtr> Vnode::Create(std::string_view, const VAttr&, const Credentials&) {
+  return Unsupported("create");
+}
+
+Status Vnode::Remove(std::string_view, const Credentials&) { return Unsupported("remove"); }
+
+StatusOr<VnodePtr> Vnode::Mkdir(std::string_view, const VAttr&, const Credentials&) {
+  return Unsupported("mkdir");
+}
+
+Status Vnode::Rmdir(std::string_view, const Credentials&) { return Unsupported("rmdir"); }
+
+Status Vnode::Link(std::string_view, const VnodePtr&, const Credentials&) {
+  return Unsupported("link");
+}
+
+Status Vnode::Rename(std::string_view, const VnodePtr&, std::string_view, const Credentials&) {
+  return Unsupported("rename");
+}
+
+StatusOr<std::vector<DirEntry>> Vnode::Readdir(const Credentials&) {
+  return Unsupported("readdir");
+}
+
+StatusOr<VnodePtr> Vnode::Symlink(std::string_view, std::string_view, const Credentials&) {
+  return Unsupported("symlink");
+}
+
+StatusOr<std::string> Vnode::Readlink(const Credentials&) { return Unsupported("readlink"); }
+
+Status Vnode::Open(uint32_t, const Credentials&) { return Unsupported("open"); }
+
+Status Vnode::Close(uint32_t, const Credentials&) { return Unsupported("close"); }
+
+StatusOr<size_t> Vnode::Read(uint64_t, size_t, std::vector<uint8_t>&, const Credentials&) {
+  return Unsupported("read");
+}
+
+StatusOr<size_t> Vnode::Write(uint64_t, const std::vector<uint8_t>&, const Credentials&) {
+  return Unsupported("write");
+}
+
+Status Vnode::Fsync(const Credentials&) { return Unsupported("fsync"); }
+
+Status Vnode::Ioctl(std::string_view, const std::vector<uint8_t>&, std::vector<uint8_t>&,
+                    const Credentials&) {
+  return Unsupported("ioctl");
+}
+
+Status Vfs::Sync() { return OkStatus(); }
+
+StatusOr<FsStats> Vfs::Statfs() { return NotSupportedError("statfs not supported"); }
+
+StatusOr<VnodePtr> WalkPath(const VnodePtr& root, std::string_view path,
+                            const Credentials& cred) {
+  if (root == nullptr) {
+    return InvalidArgumentError("walk from null root");
+  }
+  VnodePtr current = root;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    // Skip consecutive slashes.
+    while (pos < path.size() && path[pos] == '/') {
+      ++pos;
+    }
+    if (pos >= path.size()) {
+      break;
+    }
+    size_t end = path.find('/', pos);
+    if (end == std::string_view::npos) {
+      end = path.size();
+    }
+    std::string_view component = path.substr(pos, end - pos);
+    if (component.size() > kMaxComponentLength) {
+      return NameTooLongError(std::string(component.substr(0, 32)) + "...");
+    }
+    if (component == ".") {
+      pos = end;
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(current, current->Lookup(component, cred));
+    pos = end;
+  }
+  return current;
+}
+
+StatusOr<std::pair<std::string, std::string>> SplitPath(std::string_view path) {
+  // Trim trailing slashes.
+  while (!path.empty() && path.back() == '/') {
+    path.remove_suffix(1);
+  }
+  if (path.empty()) {
+    return InvalidArgumentError("path has no final component");
+  }
+  size_t slash = path.rfind('/');
+  if (slash == std::string_view::npos) {
+    return std::make_pair(std::string(), std::string(path));
+  }
+  return std::make_pair(std::string(path.substr(0, slash)),
+                        std::string(path.substr(slash + 1)));
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,132 @@
+#include "src/vol/graft.h"
+
+#include <charconv>
+
+namespace ficus::vol {
+
+namespace {
+
+constexpr char kVolumeEntry[] = "@volume";
+
+std::string EncodeVolume(const repl::VolumeId& volume) {
+  return std::to_string(volume.allocator) + "." + std::to_string(volume.volume);
+}
+
+StatusOr<repl::VolumeId> DecodeVolume(std::string_view text) {
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    return CorruptError("graft point volume record lacks '.'");
+  }
+  repl::VolumeId volume;
+  auto parse = [](std::string_view s, uint32_t& out) -> bool {
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  if (!parse(text.substr(0, dot), volume.allocator) ||
+      !parse(text.substr(dot + 1), volume.volume)) {
+    return CorruptError("unparseable graft point volume record");
+  }
+  return volume;
+}
+
+StatusOr<uint32_t> ParseU32(std::string_view s) {
+  uint32_t out = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return CorruptError("unparseable number in graft point record");
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<repl::FileId> WriteGraftPoint(repl::PhysicalApi* phys, repl::FileId dir,
+                                       std::string_view name, const GraftPointInfo& info) {
+  FICUS_ASSIGN_OR_RETURN(repl::FileId graft,
+                         phys->CreateChild(dir, name, repl::FicusFileType::kGraftPoint, 0));
+  FICUS_ASSIGN_OR_RETURN(
+      repl::FileId volume_link,
+      phys->CreateChild(graft, kVolumeEntry, repl::FicusFileType::kSymlink, 0));
+  FICUS_RETURN_IF_ERROR(phys->WriteLink(volume_link, EncodeVolume(info.volume)));
+  for (const auto& [replica, host] : info.replicas) {
+    FICUS_RETURN_IF_ERROR(AddGraftReplica(phys, graft, replica, host));
+  }
+  return graft;
+}
+
+Status AddGraftReplica(repl::PhysicalApi* phys, repl::FileId graft_point,
+                       repl::ReplicaId replica, net::HostId host) {
+  std::string name = "r" + std::to_string(replica);
+  FICUS_ASSIGN_OR_RETURN(repl::FileId link,
+                         phys->CreateChild(graft_point, name,
+                                           repl::FicusFileType::kSymlink, 0));
+  return phys->WriteLink(link, std::to_string(host));
+}
+
+Status RemoveGraftReplica(repl::PhysicalApi* phys, repl::FileId graft_point,
+                          repl::ReplicaId replica) {
+  return phys->RemoveEntry(graft_point, "r" + std::to_string(replica));
+}
+
+StatusOr<GraftPointInfo> ReadGraftPoint(repl::PhysicalApi* phys, repl::FileId graft_point) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<repl::FicusDirEntry> entries,
+                         phys->ReadDirectory(graft_point));
+  GraftPointInfo info;
+  bool have_volume = false;
+  for (const auto& entry : entries) {
+    if (!entry.alive || entry.type != repl::FicusFileType::kSymlink) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(std::string target, phys->ReadLink(entry.file));
+    if (entry.name == kVolumeEntry) {
+      FICUS_ASSIGN_OR_RETURN(info.volume, DecodeVolume(target));
+      have_volume = true;
+    } else if (!entry.name.empty() && entry.name[0] == 'r') {
+      FICUS_ASSIGN_OR_RETURN(uint32_t replica, ParseU32(entry.name.substr(1)));
+      FICUS_ASSIGN_OR_RETURN(uint32_t host, ParseU32(target));
+      info.replicas.emplace_back(replica, host);
+    }
+  }
+  if (!have_volume) {
+    return CorruptError("graft point has no @volume record");
+  }
+  return info;
+}
+
+repl::LogicalLayer* GraftTable::Find(const repl::VolumeId& volume) {
+  auto it = grafts_.find(volume);
+  if (it == grafts_.end()) {
+    return nullptr;
+  }
+  it->second.last_use = Now();
+  ++graft_hits_;
+  return it->second.logical.get();
+}
+
+repl::LogicalLayer* GraftTable::Insert(const repl::VolumeId& volume,
+                                       std::unique_ptr<repl::LogicalLayer> logical,
+                                       bool pinned) {
+  Graft graft;
+  graft.logical = std::move(logical);
+  graft.last_use = Now();
+  graft.pinned = pinned;
+  ++grafts_performed_;
+  auto [it, inserted] = grafts_.insert_or_assign(volume, std::move(graft));
+  return it->second.logical.get();
+}
+
+int GraftTable::Prune(SimTime horizon) {
+  int pruned = 0;
+  SimTime now = Now();
+  for (auto it = grafts_.begin(); it != grafts_.end();) {
+    if (!it->second.pinned && it->second.last_use + horizon <= now) {
+      it = grafts_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+}  // namespace ficus::vol

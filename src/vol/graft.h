@@ -1,0 +1,106 @@
+// Graft points (paper sections 4.3-4.4).
+//
+// A graft point is "a special kind of directory": it names the volume to
+// be transparently grafted at this spot and lists <volume replica,
+// storage site address> pairs. The paper's key implementation economy is
+// that this replicated data structure is just directory entries — so the
+// ordinary Ficus directory reconciliation keeps graft points consistent
+// with no special-purpose code ("No special code was needed to maintain
+// their consistency", section 7).
+//
+// Encoding: the graft point directory contains symlinks, one per record:
+//   "@volume"        ->  "<allocator>.<volume>"
+//   "r<replica-id>"  ->  "<storage site host id>"
+// Symlinks are full Ficus files, so creation, propagation, and
+// reconciliation all ride the existing machinery.
+#ifndef FICUS_SRC_VOL_GRAFT_H_
+#define FICUS_SRC_VOL_GRAFT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/network.h"
+#include "src/repl/logical.h"
+#include "src/repl/physical_api.h"
+
+namespace ficus::vol {
+
+struct GraftPointInfo {
+  repl::VolumeId volume;
+  // <replica, storage site> pairs, one per volume replica.
+  std::vector<std::pair<repl::ReplicaId, net::HostId>> replicas;
+};
+
+// Creates a graft point named `name` in directory `dir` of the volume
+// served by `phys`, populated from `info`. Returns the graft point's
+// file-id. The caller is responsible for update notification.
+StatusOr<repl::FileId> WriteGraftPoint(repl::PhysicalApi* phys, repl::FileId dir,
+                                       std::string_view name, const GraftPointInfo& info);
+
+// Adds one more <replica, site> pair to an existing graft point (the
+// number and placement of volume replicas may change dynamically, 4.3).
+Status AddGraftReplica(repl::PhysicalApi* phys, repl::FileId graft_point,
+                       repl::ReplicaId replica, net::HostId host);
+
+// Removes a <replica, site> record (tombstoned like any directory entry,
+// so the removal reconciles to other graft-point replicas).
+Status RemoveGraftReplica(repl::PhysicalApi* phys, repl::FileId graft_point,
+                          repl::ReplicaId replica);
+
+// Decodes a graft point's records.
+StatusOr<GraftPointInfo> ReadGraftPoint(repl::PhysicalApi* phys, repl::FileId graft_point);
+
+// Per-host table of currently grafted volumes. "A graft is implicitly
+// maintained as long as a file within the grafted volume replica is being
+// used. A graft that is no longer needed is quietly pruned at a later
+// time." (section 4.4)
+class GraftTable {
+ public:
+  explicit GraftTable(const SimClock* clock) : clock_(clock) {}
+
+  // The logical layer for a grafted volume, or null when not grafted.
+  // Touches the graft's last-use stamp.
+  repl::LogicalLayer* Find(const repl::VolumeId& volume);
+
+  // Records a new graft (takes ownership of the logical layer). Pinned
+  // grafts model explicit mounts (a root volume in the host's "fstab"):
+  // Prune() never drops them; unpinned grafts are the dynamic autografts
+  // that are "quietly pruned at a later time".
+  repl::LogicalLayer* Insert(const repl::VolumeId& volume,
+                             std::unique_ptr<repl::LogicalLayer> logical,
+                             bool pinned = false);
+
+  // Drops unpinned grafts idle for at least `horizon`. Returns how many
+  // were pruned. NOTE: pruning destroys the graft's logical layer, so
+  // vnodes obtained through it must not be used afterwards (a kernel
+  // implementation would hold a use count; the paper's grafts are
+  // "implicitly maintained as long as a file within the grafted volume
+  // replica is being used").
+  int Prune(SimTime horizon);
+
+  size_t size() const { return grafts_.size(); }
+  uint64_t grafts_performed() const { return grafts_performed_; }
+  uint64_t graft_hits() const { return graft_hits_; }
+
+ private:
+  struct Graft {
+    std::unique_ptr<repl::LogicalLayer> logical;
+    SimTime last_use = 0;
+    bool pinned = false;
+  };
+
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  const SimClock* clock_;
+  std::map<repl::VolumeId, Graft> grafts_;
+  uint64_t grafts_performed_ = 0;
+  uint64_t graft_hits_ = 0;
+};
+
+}  // namespace ficus::vol
+
+#endif  // FICUS_SRC_VOL_GRAFT_H_

@@ -1,0 +1,91 @@
+#include "src/vol/registry.h"
+
+namespace ficus::vol {
+
+void VolumeRegistry::RegisterLocal(repl::PhysicalLayer* layer, net::HostId self) {
+  Entry& entry = volumes_[layer->volume_id()][layer->replica_id()];
+  entry.host = self;
+  entry.local = layer;
+}
+
+void VolumeRegistry::RegisterRemote(const repl::VolumeId& volume, repl::ReplicaId replica,
+                                    net::HostId host) {
+  Entry& entry = volumes_[volume][replica];
+  if (entry.local != nullptr) {
+    return;  // local knowledge is authoritative
+  }
+  entry.host = host;
+}
+
+std::vector<repl::ReplicaId> VolumeRegistry::ReplicasOf(const repl::VolumeId& volume) const {
+  std::vector<repl::ReplicaId> out;
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const auto& [replica, entry] : it->second) {
+    out.push_back(replica);
+  }
+  return out;
+}
+
+std::optional<net::HostId> VolumeRegistry::HostOf(const repl::VolumeId& volume,
+                                                  repl::ReplicaId replica) const {
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return std::nullopt;
+  }
+  auto rit = it->second.find(replica);
+  if (rit == it->second.end()) {
+    return std::nullopt;
+  }
+  return rit->second.host;
+}
+
+repl::PhysicalLayer* VolumeRegistry::LocalReplica(const repl::VolumeId& volume) const {
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return nullptr;
+  }
+  for (const auto& [replica, entry] : it->second) {
+    if (entry.local != nullptr) {
+      return entry.local;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<repl::PhysicalLayer*> VolumeRegistry::AllLocal() const {
+  std::vector<repl::PhysicalLayer*> out;
+  for (const auto& [volume, replicas] : volumes_) {
+    for (const auto& [replica, entry] : replicas) {
+      if (entry.local != nullptr) {
+        out.push_back(entry.local);
+      }
+    }
+  }
+  return out;
+}
+
+void VolumeRegistry::ForgetReplica(const repl::VolumeId& volume, repl::ReplicaId replica) {
+  auto it = volumes_.find(volume);
+  if (it == volumes_.end()) {
+    return;
+  }
+  it->second.erase(replica);
+  if (it->second.empty()) {
+    volumes_.erase(it);
+  }
+}
+
+std::vector<repl::VolumeId> VolumeRegistry::KnownVolumes() const {
+  std::vector<repl::VolumeId> out;
+  out.reserve(volumes_.size());
+  for (const auto& [volume, replicas] : volumes_) {
+    out.push_back(volume);
+  }
+  return out;
+}
+
+}  // namespace ficus::vol

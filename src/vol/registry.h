@@ -1,0 +1,60 @@
+// Per-host volume knowledge (paper section 4).
+//
+// There is no global volume location database ("Ficus does not require a
+// replicated volume location database", section 4 footnote): a host knows
+// (a) the volume replicas it stores locally, configured like a mount
+// table, and (b) the <replica, storage-site> pairs it has learned from
+// graft points while translating pathnames. This registry is that
+// knowledge, and doubles as the host's ReplicaResolver backing store.
+#ifndef FICUS_SRC_VOL_REGISTRY_H_
+#define FICUS_SRC_VOL_REGISTRY_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/repl/physical.h"
+
+namespace ficus::vol {
+
+class VolumeRegistry {
+ public:
+  // Records a locally stored volume replica (borrowed pointer).
+  void RegisterLocal(repl::PhysicalLayer* layer, net::HostId self);
+
+  // Records that `replica` of `volume` is managed by the physical layer
+  // at `host` (learned from configuration or a graft point).
+  void RegisterRemote(const repl::VolumeId& volume, repl::ReplicaId replica, net::HostId host);
+
+  // All replicas this host knows about for a volume, in id order.
+  std::vector<repl::ReplicaId> ReplicasOf(const repl::VolumeId& volume) const;
+
+  // The storage site managing one replica.
+  std::optional<net::HostId> HostOf(const repl::VolumeId& volume,
+                                    repl::ReplicaId replica) const;
+
+  // The locally stored replica of a volume, if any.
+  repl::PhysicalLayer* LocalReplica(const repl::VolumeId& volume) const;
+
+  // Every local physical layer (for daemons that pump all of them).
+  std::vector<repl::PhysicalLayer*> AllLocal() const;
+
+  // Drops all knowledge of one replica (it was destroyed).
+  void ForgetReplica(const repl::VolumeId& volume, repl::ReplicaId replica);
+
+  // Volumes with at least one known replica.
+  std::vector<repl::VolumeId> KnownVolumes() const;
+
+ private:
+  struct Entry {
+    net::HostId host = net::kInvalidHost;
+    repl::PhysicalLayer* local = nullptr;  // set when the replica is ours
+  };
+
+  std::map<repl::VolumeId, std::map<repl::ReplicaId, Entry>> volumes_;
+};
+
+}  // namespace ficus::vol
+
+#endif  // FICUS_SRC_VOL_REGISTRY_H_

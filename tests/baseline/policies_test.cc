@@ -1,0 +1,131 @@
+#include "src/baseline/policies.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::baseline {
+namespace {
+
+std::vector<bool> Mask(std::initializer_list<int> up, size_t n) {
+  std::vector<bool> mask(n, false);
+  for (int i : up) {
+    mask[static_cast<size_t>(i)] = true;
+  }
+  return mask;
+}
+
+TEST(OneCopyTest, AnySingleReplicaSuffices) {
+  OneCopyPolicy policy;
+  EXPECT_TRUE(policy.CanRead(Mask({2}, 5)));
+  EXPECT_TRUE(policy.CanUpdate(Mask({4}, 5)));
+  EXPECT_FALSE(policy.CanRead(Mask({}, 5)));
+  EXPECT_FALSE(policy.CanUpdate(Mask({}, 5)));
+}
+
+TEST(PrimaryCopyTest, UpdateNeedsThePrimary) {
+  PrimaryCopyPolicy policy(0);
+  EXPECT_TRUE(policy.CanUpdate(Mask({0}, 3)));
+  EXPECT_FALSE(policy.CanUpdate(Mask({1, 2}, 3)));
+  // Reads go anywhere.
+  EXPECT_TRUE(policy.CanRead(Mask({2}, 3)));
+}
+
+TEST(MajorityVotingTest, NeedsStrictMajority) {
+  MajorityVotingPolicy policy;
+  EXPECT_TRUE(policy.CanRead(Mask({0, 1}, 3)));
+  EXPECT_FALSE(policy.CanRead(Mask({0}, 3)));
+  // Even split of 4 is NOT a majority.
+  EXPECT_FALSE(policy.CanUpdate(Mask({0, 1}, 4)));
+  EXPECT_TRUE(policy.CanUpdate(Mask({0, 1, 2}, 4)));
+}
+
+TEST(WeightedVotingTest, VotesNotHeadsCount) {
+  // Replica 0 carries 3 votes, the others 1 each (total 5); r=2, w=4.
+  auto policy = WeightedVotingPolicy::Make({3, 1, 1}, 2, 4);
+  ASSERT_TRUE(policy.ok());
+  // Replica 0 alone: 3 votes — read yes, write no.
+  EXPECT_TRUE(policy->CanRead(Mask({0}, 3)));
+  EXPECT_FALSE(policy->CanUpdate(Mask({0}, 3)));
+  // Replica 0 + 1: 4 votes — write yes.
+  EXPECT_TRUE(policy->CanUpdate(Mask({0, 1}, 3)));
+  // Replicas 1 + 2: 2 votes — read yes, write no.
+  EXPECT_TRUE(policy->CanRead(Mask({1, 2}, 3)));
+  EXPECT_FALSE(policy->CanUpdate(Mask({1, 2}, 3)));
+}
+
+TEST(WeightedVotingTest, RejectsNonIntersectingQuorums) {
+  EXPECT_FALSE(WeightedVotingPolicy::Make({1, 1, 1}, 1, 2).ok());  // r+w == total
+  EXPECT_FALSE(WeightedVotingPolicy::Make({1, 1, 1, 1}, 3, 2).ok());  // w <= total/2
+}
+
+TEST(QuorumConsensusTest, ReadWriteQuorums) {
+  QuorumConsensusPolicy policy(2, 4);  // n = 5
+  EXPECT_TRUE(policy.CanRead(Mask({0, 1}, 5)));
+  EXPECT_FALSE(policy.CanRead(Mask({0}, 5)));
+  EXPECT_TRUE(policy.CanUpdate(Mask({0, 1, 2, 3}, 5)));
+  EXPECT_FALSE(policy.CanUpdate(Mask({0, 1, 2}, 5)));
+}
+
+// The paper's claim at the level of individual accessibility vectors:
+// whenever ANY serializable policy allows an operation, one-copy allows it
+// too (one-copy availability is an upper bound).
+TEST(DominanceTest, OneCopyAllowsWheneverAnyPolicyDoes) {
+  OneCopyPolicy one_copy;
+  PrimaryCopyPolicy primary(0);
+  MajorityVotingPolicy majority;
+  QuorumConsensusPolicy quorum(2, 4);
+  auto weighted = WeightedVotingPolicy::Make({2, 1, 1, 1}, 2, 4);
+  ASSERT_TRUE(weighted.ok());
+
+  const int n = 5;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> accessible(n);
+    for (int i = 0; i < n; ++i) {
+      accessible[static_cast<size_t>(i)] = (mask >> i & 1) != 0;
+    }
+    for (const ReplicationPolicy* policy :
+         {static_cast<const ReplicationPolicy*>(&primary),
+          static_cast<const ReplicationPolicy*>(&majority),
+          static_cast<const ReplicationPolicy*>(&quorum),
+          static_cast<const ReplicationPolicy*>(&weighted.value())}) {
+      if (policy->CanRead(accessible)) {
+        EXPECT_TRUE(one_copy.CanRead(accessible)) << policy->Name();
+      }
+      if (policy->CanUpdate(accessible)) {
+        EXPECT_TRUE(one_copy.CanUpdate(accessible)) << policy->Name();
+      }
+    }
+  }
+}
+
+// Serializable policies must have intersecting read/write quorums: two
+// disjoint accessibility sets can never both be granted a write (majority
+// and quorum policies).
+TEST(SerializabilityTest, DisjointPartitionsNeverBothWrite) {
+  MajorityVotingPolicy majority;
+  QuorumConsensusPolicy quorum(2, 4);
+  const int n = 5;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> side_a(n);
+    std::vector<bool> side_b(n);
+    for (int i = 0; i < n; ++i) {
+      side_a[static_cast<size_t>(i)] = (mask >> i & 1) != 0;
+      side_b[static_cast<size_t>(i)] = !side_a[static_cast<size_t>(i)];
+    }
+    EXPECT_FALSE(majority.CanUpdate(side_a) && majority.CanUpdate(side_b));
+    EXPECT_FALSE(quorum.CanUpdate(side_a) && quorum.CanUpdate(side_b));
+  }
+}
+
+// ...whereas one-copy availability happily grants both sides an update —
+// that is exactly the non-serializable trade Ficus makes, and why it needs
+// version vectors + reconciliation.
+TEST(SerializabilityTest, OneCopyAllowsBothSidesToUpdate) {
+  OneCopyPolicy one_copy;
+  std::vector<bool> side_a = {true, true, false, false, false};
+  std::vector<bool> side_b = {false, false, true, true, true};
+  EXPECT_TRUE(one_copy.CanUpdate(side_a));
+  EXPECT_TRUE(one_copy.CanUpdate(side_b));
+}
+
+}  // namespace
+}  // namespace ficus::baseline

@@ -1,0 +1,61 @@
+#include "src/common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus {
+namespace {
+
+TEST(HexTest, Encode64ZeroPads) {
+  EXPECT_EQ(HexEncode64(0), "0000000000000000");
+  EXPECT_EQ(HexEncode64(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(HexEncode64(UINT64_MAX), "ffffffffffffffff");
+}
+
+TEST(HexTest, Encode32ZeroPads) {
+  EXPECT_EQ(HexEncode32(0), "00000000");
+  EXPECT_EQ(HexEncode32(0xABC), "00000abc");
+}
+
+TEST(HexTest, Decode64RoundTrips) {
+  for (uint64_t v : std::initializer_list<uint64_t>{0, 1, 0xDEADBEEF, UINT64_MAX,
+                                                    0x123456789ABCDEFULL}) {
+    auto decoded = HexDecode64(HexEncode64(v));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), v);
+  }
+}
+
+TEST(HexTest, Decode64AcceptsUpperCase) {
+  auto decoded = HexDecode64("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), 0xDEADBEEFULL);
+}
+
+TEST(HexTest, Decode64RejectsGarbage) {
+  EXPECT_FALSE(HexDecode64("").ok());
+  EXPECT_FALSE(HexDecode64("xyz").ok());
+  EXPECT_FALSE(HexDecode64("0123456789abcdef0").ok());  // 17 digits
+  EXPECT_FALSE(HexDecode64("12 34").ok());
+}
+
+TEST(HexTest, BytesRoundTrip) {
+  std::vector<uint8_t> bytes = {0x00, 0xFF, 0x12, 0xAB, 0x7F};
+  std::string encoded = HexEncodeBytes(bytes);
+  EXPECT_EQ(encoded, "00ff12ab7f");
+  auto decoded = HexDecodeBytes(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), bytes);
+}
+
+TEST(HexTest, EmptyBytesRoundTrip) {
+  auto decoded = HexDecodeBytes(HexEncodeBytes({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(HexTest, BytesRejectsOddLength) { EXPECT_FALSE(HexDecodeBytes("abc").ok()); }
+
+TEST(HexTest, BytesRejectsNonHex) { EXPECT_FALSE(HexDecodeBytes("zz").ok()); }
+
+}  // namespace
+}  // namespace ficus

@@ -1,0 +1,104 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ficus {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++hits;
+    }
+  }
+  double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewZeroIsUniformish) {
+  Rng rng(13);
+  std::map<uint64_t, int> counts;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.NextZipf(10, 0.0)];
+  }
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.02);
+  }
+}
+
+TEST(RngTest, ZipfSkewConcentratesOnLowRanks) {
+  Rng rng(17);
+  std::map<uint64_t, int> counts;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.NextZipf(100, 1.2)];
+  }
+  // Rank 0 must dominate rank 50 heavily.
+  EXPECT_GT(counts[0], 20 * (counts.count(50) ? counts[50] : 1));
+  // And results must stay in range.
+  for (const auto& [rank, count] : counts) {
+    EXPECT_LT(rank, 100u);
+  }
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace ficus

@@ -1,0 +1,97 @@
+#include "src/common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus {
+namespace {
+
+TEST(SerializeTest, IntegersRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutU32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(SerializeTest, StringsRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string(300, 'x'));
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), std::string(300, 'x'));
+}
+
+TEST(SerializeTest, BytesRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 255, 0};
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutBytes(payload);
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetBytes().value(), payload);
+}
+
+TEST(SerializeTest, TruncatedReadsFailWithCorrupt) {
+  std::vector<uint8_t> buf = {0x01};
+  ByteReader r16(buf);
+  EXPECT_EQ(r16.GetU16().status().code(), ErrorCode::kCorrupt);
+  ByteReader r32(buf);
+  EXPECT_EQ(r32.GetU32().status().code(), ErrorCode::kCorrupt);
+  ByteReader r64(buf);
+  EXPECT_EQ(r64.GetU64().status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutString("hello");
+  buf.resize(buf.size() - 2);  // chop off part of the body
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetString().status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializeTest, TruncatedByteArrayFails) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutBytes({1, 2, 3, 4});
+  buf.resize(buf.size() - 1);
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetBytes().status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializeTest, RemainingTracksCursor) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace ficus

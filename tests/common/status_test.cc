@@ -1,0 +1,112 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing.txt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing.txt");
+  EXPECT_EQ(status.ToString(), "not found: missing.txt");
+}
+
+TEST(StatusTest, EveryConstructorProducesItsCode) {
+  EXPECT_EQ(ExistsError("").code(), ErrorCode::kExists);
+  EXPECT_EQ(NotDirError("").code(), ErrorCode::kNotDir);
+  EXPECT_EQ(IsDirError("").code(), ErrorCode::kIsDir);
+  EXPECT_EQ(NotEmptyError("").code(), ErrorCode::kNotEmpty);
+  EXPECT_EQ(NoSpaceError("").code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(PermissionError("").code(), ErrorCode::kPermission);
+  EXPECT_EQ(StaleError("").code(), ErrorCode::kStale);
+  EXPECT_EQ(IoError("").code(), ErrorCode::kIo);
+  EXPECT_EQ(BusyError("").code(), ErrorCode::kBusy);
+  EXPECT_EQ(NameTooLongError("").code(), ErrorCode::kNameTooLong);
+  EXPECT_EQ(NotSupportedError("").code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(CrossDeviceError("").code(), ErrorCode::kCrossDevice);
+  EXPECT_EQ(UnreachableError("").code(), ErrorCode::kUnreachable);
+  EXPECT_EQ(TimedOutError("").code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(ConflictError("").code(), ErrorCode::kConflict);
+  EXPECT_EQ(CorruptError("").code(), ErrorCode::kCorrupt);
+  EXPECT_EQ(QuorumDeniedError("").code(), ErrorCode::kQuorumDenied);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == ExistsError("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  FICUS_ASSIGN_OR_RETURN(int half, Half(x));
+  FICUS_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_EQ(Quarter(6).status().code(), ErrorCode::kInvalidArgument);  // 3 is odd
+  EXPECT_EQ(Quarter(7).status().code(), ErrorCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+Status CheckBoth(int a, int b) {
+  FICUS_RETURN_IF_ERROR(FailIfNegative(a));
+  FICUS_RETURN_IF_ERROR(FailIfNegative(b));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+}  // namespace
+}  // namespace ficus

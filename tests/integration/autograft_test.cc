@@ -1,0 +1,169 @@
+// Volumes, graft points, and autografting across the cluster (paper
+// section 4): a volume grafted into another volume's name space is
+// located and mounted on demand during path translation, pruned when
+// idle, and its graft point reconciles like any directory.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+#include "src/vol/graft.h"
+
+namespace ficus::sim {
+namespace {
+
+class AutograftTest : public ::testing::Test {
+ protected:
+  AutograftTest() {
+    a_ = cluster_.AddHost("a");
+    b_ = cluster_.AddHost("b");
+    c_ = cluster_.AddHost("c");
+    auto root_volume = cluster_.CreateVolume({a_, b_});
+    EXPECT_TRUE(root_volume.ok());
+    root_volume_ = root_volume.value();
+    auto sub_volume = cluster_.CreateVolume({b_, c_});
+    EXPECT_TRUE(sub_volume.ok());
+    sub_volume_ = sub_volume.value();
+  }
+
+  // Creates /mnt/<name> graft point in the root volume pointing at the
+  // sub volume's replicas.
+  void CreateGraft(const std::string& name) {
+    repl::PhysicalLayer* phys = a_->registry().LocalReplica(root_volume_);
+    ASSERT_NE(phys, nullptr);
+    vol::GraftPointInfo info;
+    info.volume = sub_volume_;
+    info.replicas = {{1, b_->id()}, {2, c_->id()}};
+    auto graft = vol::WriteGraftPoint(phys, repl::kRootFileId, name, info);
+    ASSERT_TRUE(graft.ok());
+    ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  }
+
+  repl::LogicalLayer* Mount(FicusHost* host, const repl::VolumeId& volume) {
+    auto logical = cluster_.MountEverywhere(host, volume);
+    EXPECT_TRUE(logical.ok());
+    return logical.value();
+  }
+
+  Cluster cluster_;
+  FicusHost* a_;
+  FicusHost* b_;
+  FicusHost* c_;
+  repl::VolumeId root_volume_;
+  repl::VolumeId sub_volume_;
+};
+
+TEST_F(AutograftTest, PathWalkCrossesGraftPointTransparently) {
+  CreateGraft("projects");
+  // Populate the sub volume directly.
+  auto sub = Mount(b_, sub_volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(sub, "hello.txt", "inside the grafted volume").ok());
+
+  // Walk from the ROOT volume through the graft point on host a — host a
+  // stores no replica of the sub volume and must autograft via NFS.
+  auto root = Mount(a_, root_volume_);
+  auto contents = vfs::ReadFileAt(root, "projects/hello.txt");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "inside the grafted volume");
+  EXPECT_GE(a_->grafts().grafts_performed(), 1u);
+}
+
+TEST_F(AutograftTest, SecondWalkHitsTheGraftTable) {
+  CreateGraft("projects");
+  auto sub = Mount(b_, sub_volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(sub, "f", "x").ok());
+  auto root = Mount(a_, root_volume_);
+  ASSERT_TRUE(vfs::ReadFileAt(root, "projects/f").ok());
+  uint64_t grafted_before = a_->grafts().grafts_performed();
+  ASSERT_TRUE(vfs::ReadFileAt(root, "projects/f").ok());
+  EXPECT_EQ(a_->grafts().grafts_performed(), grafted_before);  // reused
+  EXPECT_GT(a_->grafts().graft_hits(), 0u);
+}
+
+TEST_F(AutograftTest, WritesThroughGraftLandInSubVolume) {
+  CreateGraft("projects");
+  auto root = Mount(a_, root_volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(root, "projects/report.txt", "written via graft").ok());
+  auto sub = Mount(c_, sub_volume_);
+  auto contents = vfs::ReadFileAt(sub, "report.txt");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "written via graft");
+}
+
+TEST_F(AutograftTest, GraftSurvivesUnavailableFirstReplica) {
+  CreateGraft("projects");
+  auto sub = Mount(b_, sub_volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(sub, "f", "resilient").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  // Host b (the graft point's first listed site) drops off; autograft on
+  // host a must fall through to host c's replica.
+  cluster_.network().SetHostUp(b_->id(), false);
+  auto root = Mount(a_, root_volume_);
+  auto contents = vfs::ReadFileAt(root, "projects/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "resilient");
+  cluster_.network().SetHostUp(b_->id(), true);
+}
+
+TEST_F(AutograftTest, IdleGraftsPruned) {
+  CreateGraft("projects");
+  auto sub = Mount(b_, sub_volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(sub, "f", "x").ok());
+  auto root = Mount(a_, root_volume_);
+  ASSERT_TRUE(vfs::ReadFileAt(root, "projects/f").ok());
+  size_t grafted = a_->grafts().size();
+  EXPECT_GE(grafted, 1u);
+
+  cluster_.Sleep(120 * kSecond);
+  int pruned = a_->PruneGrafts(60 * kSecond);
+  EXPECT_GT(pruned, 0);
+  // The graft quietly comes back on next use.
+  ASSERT_TRUE(vfs::ReadFileAt(root, "projects/f").ok());
+}
+
+TEST_F(AutograftTest, GraftPointReconcilesLikeADirectory) {
+  CreateGraft("projects");
+  // Add a replica record on host a's replica of the ROOT volume, while
+  // host b is partitioned away; after healing, b sees the new record via
+  // plain directory reconciliation (section 4.3 / section 7).
+  cluster_.Partition({{a_}, {b_, c_}});
+  repl::PhysicalLayer* a_phys = a_->registry().LocalReplica(root_volume_);
+  ASSERT_NE(a_phys, nullptr);
+  auto entries = a_phys->ReadDirectory(repl::kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  repl::FileId graft_file;
+  for (const auto& e : *entries) {
+    if (e.alive && e.name == "projects") {
+      graft_file = e.file;
+    }
+  }
+  ASSERT_TRUE(graft_file.valid());
+  ASSERT_TRUE(vol::AddGraftReplica(a_phys, graft_file, 3, 99).ok());
+
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  repl::PhysicalLayer* b_phys = b_->registry().LocalReplica(root_volume_);
+  ASSERT_NE(b_phys, nullptr);
+  auto info = vol::ReadGraftPoint(b_phys, graft_file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->replicas.size(), 3u);
+}
+
+TEST_F(AutograftTest, GraftPointsVisibleAsDirectoriesInListings) {
+  CreateGraft("projects");
+  auto root = Mount(a_, root_volume_);
+  auto listing = vfs::ListDir(root, "");
+  ASSERT_TRUE(listing.ok());
+  bool found = false;
+  for (const auto& e : *listing) {
+    if (e.name == "projects") {
+      found = true;
+      EXPECT_EQ(e.type, vfs::VnodeType::kGraftPoint);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ficus::sim

@@ -1,0 +1,161 @@
+// The central correctness property of optimistic replication: after any
+// sequence of partitioned updates, once the network heals and
+// reconciliation runs to quiescence, every replica presents the same
+// namespace and the same non-conflicted file contents, and conflicted
+// files are flagged identically everywhere.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+  int hosts;
+  int rounds;
+};
+
+class ConvergenceTest : public ::testing::TestWithParam<Scenario> {};
+
+// Recursively snapshots the namespace: path -> (type, contents or
+// "<conflict>" marker for conflicted files).
+void Snapshot(vfs::Vfs* fs, const std::string& path,
+              std::map<std::string, std::string>& out) {
+  auto entries = vfs::ListDir(fs, path);
+  ASSERT_TRUE(entries.ok()) << path;
+  for (const auto& entry : *entries) {
+    std::string child = path.empty() ? entry.name : path + "/" + entry.name;
+    if (entry.type == vfs::VnodeType::kDirectory ||
+        entry.type == vfs::VnodeType::kGraftPoint) {
+      out[child] = "<dir>";
+      Snapshot(fs, child, out);
+    } else if (entry.type == vfs::VnodeType::kSymlink) {
+      out[child] = "<symlink>";
+    } else {
+      auto contents = vfs::ReadFileAt(fs, child);
+      if (contents.ok()) {
+        out[child] = contents.value();
+      } else if (contents.status().code() == ErrorCode::kConflict) {
+        out[child] = "<conflict>";
+      } else {
+        FAIL() << child << ": " << contents.status().ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ConvergenceTest, PartitionedChaosConvergesEverywhere) {
+  const Scenario scenario = GetParam();
+  Rng rng(scenario.seed);
+
+  Cluster cluster;
+  std::vector<FicusHost*> hosts;
+  for (int i = 0; i < scenario.hosts; ++i) {
+    hosts.push_back(cluster.AddHost("h" + std::to_string(i)));
+  }
+  auto volume = cluster.CreateVolume(hosts);
+  ASSERT_TRUE(volume.ok());
+  std::vector<repl::LogicalLayer*> logicals;
+  for (FicusHost* host : hosts) {
+    auto logical = cluster.MountEverywhere(host, *volume);
+    ASSERT_TRUE(logical.ok());
+    logicals.push_back(logical.value());
+  }
+
+  // Seed a few shared directories.
+  for (int d = 0; d < 3; ++d) {
+    ASSERT_TRUE(vfs::MkdirAll(logicals[0], "dir" + std::to_string(d)).ok());
+  }
+  ASSERT_TRUE(cluster.ReconcileUntilQuiescent(16).ok());
+
+  int file_counter = 0;
+  for (int round = 0; round < scenario.rounds; ++round) {
+    // Random partition: each host joins group 0 or 1.
+    std::vector<FicusHost*> group_a;
+    std::vector<FicusHost*> group_b;
+    for (FicusHost* host : hosts) {
+      (rng.NextBool(0.5) ? group_a : group_b).push_back(host);
+    }
+    cluster.Partition({group_a, group_b});
+
+    // Each host performs a few random operations against its own mount;
+    // failures from unreachability are fine (that host's side may have
+    // no replica it can reach is impossible here — every host stores one —
+    // but name collisions etc. may refuse).
+    for (size_t h = 0; h < hosts.size(); ++h) {
+      for (int op = 0; op < 3; ++op) {
+        int action = static_cast<int>(rng.NextBelow(10));
+        std::string dir = "dir" + std::to_string(rng.NextBelow(3));
+        if (action < 5) {
+          std::string path =
+              dir + "/h" + std::to_string(h) + "_" + std::to_string(file_counter++);
+          (void)vfs::WriteFileAt(logicals[h], path,
+                                 "host " + std::to_string(h) + " round " +
+                                     std::to_string(round));
+        } else if (action < 7) {
+          // Overwrite a shared name — the conflict generator.
+          (void)vfs::WriteFileAt(logicals[h], dir + "/shared",
+                                 "host " + std::to_string(h) + " round " +
+                                     std::to_string(round));
+        } else if (action < 9) {
+          auto listing = vfs::ListDir(logicals[h], dir);
+          if (listing.ok() && !listing->empty()) {
+            size_t victim = rng.NextBelow(listing->size());
+            (void)vfs::RemovePath(logicals[h],
+                                  dir + "/" + (*listing)[victim].name);
+          }
+        } else {
+          (void)vfs::MkdirAll(
+              logicals[h], dir + "/sub" + std::to_string(rng.NextBelow(4)));
+        }
+      }
+    }
+
+    cluster.Heal();
+    // Occasionally a host crashes and reboots mid-round: shadow recovery
+    // and the fresh NFS handle table must not perturb convergence.
+    if (rng.NextBool(0.3)) {
+      FicusHost* victim = hosts[rng.NextBelow(hosts.size())];
+      victim->Crash();
+      ASSERT_TRUE(victim->Reboot().ok());
+    }
+    ASSERT_TRUE(cluster.ReconcileUntilQuiescent(16).ok());
+  }
+
+  // All replicas must present identical namespaces and contents.
+  std::map<std::string, std::string> reference;
+  Snapshot(logicals[0], "", reference);
+  for (size_t h = 1; h < hosts.size(); ++h) {
+    std::map<std::string, std::string> view;
+    Snapshot(logicals[static_cast<size_t>(h)], "", view);
+    EXPECT_EQ(view, reference) << "host " << h << " diverged (seed " << scenario.seed << ")";
+  }
+
+  // And every underlying UFS is structurally sound, with every physical
+  // layer's Ficus-level invariants intact.
+  for (FicusHost* host : hosts) {
+    auto problems = host->ufs().Check();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << host->name() << ": " << problems->front();
+    for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+      auto ficus_problems = layer->CheckConsistency();
+      ASSERT_TRUE(ficus_problems.ok());
+      EXPECT_TRUE(ficus_problems->empty())
+          << host->name() << ": " << ficus_problems->front();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chaos, ConvergenceTest,
+                         ::testing::Values(Scenario{101, 2, 3}, Scenario{202, 2, 5},
+                                           Scenario{303, 3, 3}, Scenario{404, 3, 5},
+                                           Scenario{505, 4, 3}, Scenario{606, 4, 4}));
+
+}  // namespace
+}  // namespace ficus::sim

@@ -1,0 +1,129 @@
+// Replica lifecycle management (paper section 3.1: "A client may change
+// the location and quantity of file replicas whenever a file replica is
+// available"; section 4.3: graft point records change dynamically).
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+#include "src/vol/graft.h"
+
+namespace ficus::sim {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    a_ = cluster_.AddHost("a");
+    b_ = cluster_.AddHost("b");
+    c_ = cluster_.AddHost("c");
+    auto volume = cluster_.CreateVolume({a_, b_});
+    EXPECT_TRUE(volume.ok());
+    volume_ = volume.value();
+    auto fs = cluster_.MountEverywhere(a_, volume_);
+    EXPECT_TRUE(vfs::MkdirAll(*fs, "data").ok());
+    EXPECT_TRUE(vfs::WriteFileAt(*fs, "data/payload", "migrate me").ok());
+    EXPECT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  }
+
+  Cluster cluster_;
+  FicusHost* a_;
+  FicusHost* b_;
+  FicusHost* c_;
+  repl::VolumeId volume_;
+};
+
+TEST_F(MigrationTest, RemoveReplicaDrainsStateFirst) {
+  // b holds a partition-era update only it has seen; removing b's replica
+  // must first drain that state to a.
+  cluster_.Partition({{b_}});
+  auto fs_b = cluster_.MountEverywhere(b_, volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_b, "data/only-on-b", "precious").ok());
+  cluster_.Heal();
+
+  ASSERT_TRUE(cluster_.RemoveReplica(volume_, b_).ok());
+
+  EXPECT_EQ(b_->registry().LocalReplica(volume_), nullptr);
+  auto fs_a = cluster_.MountEverywhere(a_, volume_);
+  auto contents = vfs::ReadFileAt(*fs_a, "data/only-on-b");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "precious");
+  // b's disk no longer carries the container and is structurally clean.
+  auto problems = b_->ufs().Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(MigrationTest, RefusesToRemoveLastReplica) {
+  ASSERT_TRUE(cluster_.RemoveReplica(volume_, b_).ok());
+  EXPECT_EQ(cluster_.RemoveReplica(volume_, a_).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(MigrationTest, MoveReplicaPreservesServiceability) {
+  ASSERT_TRUE(cluster_.MoveReplica(volume_, b_, c_).ok());
+  // c now serves the data entirely locally.
+  cluster_.Partition({{c_}});
+  auto fs_c = cluster_.MountEverywhere(c_, volume_);
+  auto contents = vfs::ReadFileAt(*fs_c, "data/payload");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "migrate me");
+  cluster_.Heal();
+  // b is out of the placement everywhere.
+  EXPECT_EQ(b_->registry().LocalReplica(volume_), nullptr);
+  for (FicusHost* host : {a_, c_}) {
+    for (repl::ReplicaId replica : host->registry().ReplicasOf(volume_)) {
+      auto at = host->registry().HostOf(volume_, replica);
+      ASSERT_TRUE(at.has_value());
+      EXPECT_NE(*at, b_->id());
+    }
+  }
+}
+
+TEST_F(MigrationTest, GraftPointFollowsMigration) {
+  // A sub volume grafted into the root volume migrates from b to c; the
+  // graft point records are updated (tombstone + insert, replicated by
+  // ordinary directory reconciliation) and autograft keeps working even
+  // with the old host gone.
+  auto sub = cluster_.CreateVolume({b_});
+  ASSERT_TRUE(sub.ok());
+  auto sub_fs = cluster_.MountEverywhere(b_, *sub);
+  ASSERT_TRUE(vfs::WriteFileAt(*sub_fs, "f", "inside sub").ok());
+
+  repl::PhysicalLayer* root_phys = a_->registry().LocalReplica(volume_);
+  vol::GraftPointInfo info;
+  info.volume = *sub;
+  info.replicas = {{1, b_->id()}};
+  auto graft = vol::WriteGraftPoint(root_phys, repl::kRootFileId, "mnt", info);
+  ASSERT_TRUE(graft.ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  // Migrate the sub volume to c and update the graft point records.
+  ASSERT_TRUE(cluster_.MoveReplica(*sub, b_, c_).ok());
+  ASSERT_TRUE(vol::RemoveGraftReplica(root_phys, *graft, 1).ok());
+  ASSERT_TRUE(vol::AddGraftReplica(root_phys, *graft, 2, c_->id()).ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  // Old host off the network entirely: the walk must succeed via c.
+  cluster_.network().SetHostUp(b_->id(), false);
+  auto fs_a = cluster_.MountEverywhere(a_, volume_);
+  auto contents = vfs::ReadFileAt(*fs_a, "mnt/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "inside sub");
+  cluster_.network().SetHostUp(b_->id(), true);
+}
+
+TEST_F(MigrationTest, AddThenRemoveRoundTrip) {
+  // Grow to three replicas, shrink back to two, everything consistent.
+  ASSERT_TRUE(cluster_.AddReplica(volume_, c_).ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  ASSERT_TRUE(cluster_.RemoveReplica(volume_, c_).ok());
+  auto fs = cluster_.MountEverywhere(a_, volume_);
+  EXPECT_TRUE(vfs::Exists(*fs, "data/payload"));
+  for (FicusHost* host : {a_, b_, c_}) {
+    auto problems = host->ufs().Check();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << host->name() << ": " << problems->front();
+  }
+}
+
+}  // namespace
+}  // namespace ficus::sim

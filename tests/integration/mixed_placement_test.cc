@@ -1,0 +1,94 @@
+// Attribute placement is a per-replica *local* storage decision: one
+// volume can mix replicas using auxiliary files (the paper's 1990
+// reality) and replicas using extensible inodes (its section-7 future) —
+// they must replicate, reconcile, and conflict-detect together.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+namespace {
+
+class MixedPlacementTest : public ::testing::Test {
+ protected:
+  MixedPlacementTest() {
+    HostConfig aux_config;
+    aux_config.physical.attr_placement = repl::AttrPlacement::kAuxFile;
+    HostConfig inode_config;
+    inode_config.physical.attr_placement = repl::AttrPlacement::kInode;
+    legacy_ = cluster_.AddHost("legacy-1990", aux_config);
+    future_ = cluster_.AddHost("future-s7", inode_config);
+    auto volume = cluster_.CreateVolume({legacy_, future_});
+    EXPECT_TRUE(volume.ok());
+    volume_ = volume.value();
+  }
+
+  Cluster cluster_;
+  FicusHost* legacy_;
+  FicusHost* future_;
+  repl::VolumeId volume_;
+};
+
+TEST_F(MixedPlacementTest, ReplicationAcrossPlacements) {
+  auto fs = cluster_.MountEverywhere(legacy_, volume_);
+  ASSERT_TRUE(vfs::MkdirAll(*fs, "shared").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(*fs, "shared/doc", "crosses placements").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{future_}});
+  auto fs_future = cluster_.MountEverywhere(future_, volume_);
+  auto contents = vfs::ReadFileAt(*fs_future, "shared/doc");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "crosses placements");
+  cluster_.Heal();
+}
+
+TEST_F(MixedPlacementTest, ReverseDirectionToo) {
+  auto fs_future = cluster_.MountEverywhere(future_, volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_future, "from-future", "inode attrs here").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  cluster_.Partition({{legacy_}});
+  auto fs_legacy = cluster_.MountEverywhere(legacy_, volume_);
+  auto contents = vfs::ReadFileAt(*fs_legacy, "from-future");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "inode attrs here");
+  cluster_.Heal();
+}
+
+TEST_F(MixedPlacementTest, ConflictDetectionAcrossPlacements) {
+  auto fs_legacy = cluster_.MountEverywhere(legacy_, volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_legacy, "doc", "base").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{legacy_}, {future_}});
+  auto fs_future = cluster_.MountEverywhere(future_, volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_legacy, "doc", "legacy edit").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_future, "doc", "future edit").ok());
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  EXPECT_EQ(vfs::ReadFileAt(*fs_legacy, "doc").status().code(), ErrorCode::kConflict);
+  EXPECT_EQ(vfs::ReadFileAt(*fs_future, "doc").status().code(), ErrorCode::kConflict);
+}
+
+TEST_F(MixedPlacementTest, BothSidesStayConsistent) {
+  auto fs = cluster_.MountEverywhere(legacy_, volume_);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(vfs::WriteFileAt(*fs, "f" + std::to_string(i), std::string(i * 50, 'y')).ok());
+  }
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  for (FicusHost* host : {legacy_, future_}) {
+    auto ufs_problems = host->ufs().Check();
+    ASSERT_TRUE(ufs_problems.ok());
+    EXPECT_TRUE(ufs_problems->empty()) << host->name() << ": " << ufs_problems->front();
+    for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+      auto problems = layer->CheckConsistency();
+      ASSERT_TRUE(problems.ok());
+      EXPECT_TRUE(problems->empty()) << host->name() << ": " << problems->front();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ficus::sim

@@ -1,0 +1,150 @@
+// Partition scenarios across a 4-host cluster: the "update during network
+// partition if any copy is accessible" story, end to end.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest() {
+    for (int i = 0; i < 4; ++i) {
+      hosts_.push_back(cluster_.AddHost("h" + std::to_string(i)));
+    }
+    auto volume = cluster_.CreateVolume({hosts_[0], hosts_[1], hosts_[2]});
+    EXPECT_TRUE(volume.ok());
+    volume_ = volume.value();
+  }
+
+  repl::LogicalLayer* Mount(int i) {
+    auto logical = cluster_.MountEverywhere(hosts_[static_cast<size_t>(i)], volume_);
+    EXPECT_TRUE(logical.ok());
+    return logical.value();
+  }
+
+  Cluster cluster_;
+  std::vector<FicusHost*> hosts_;
+  repl::VolumeId volume_;
+};
+
+TEST_F(PartitionTest, MinoritySideStillUpdates) {
+  auto l0 = Mount(0);
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "f", "base").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  // Host 0 alone on one side — a one-replica minority. Quorum systems
+  // would freeze it; Ficus keeps writing.
+  cluster_.Partition({{hosts_[0]}, {hosts_[1], hosts_[2], hosts_[3]}});
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "minority", "written alone").ok());
+
+  // The majority side writes too.
+  auto l1 = Mount(1);
+  ASSERT_TRUE(vfs::WriteFileAt(l1, "majority", "written together").ok());
+
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  for (int i : {0, 1, 2}) {
+    auto logical = Mount(i);
+    EXPECT_TRUE(vfs::Exists(logical, "minority")) << i;
+    EXPECT_TRUE(vfs::Exists(logical, "majority")) << i;
+  }
+}
+
+TEST_F(PartitionTest, ThreeWaySplitConvergesAfterHeal) {
+  auto l0 = Mount(0);
+  ASSERT_TRUE(vfs::MkdirAll(l0, "proj").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{hosts_[0]}, {hosts_[1]}, {hosts_[2]}});
+  auto l1 = Mount(1);
+  auto l2 = Mount(2);
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "proj/zero", "0").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(l1, "proj/one", "1").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(l2, "proj/two", "2").ok());
+
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  for (int i : {0, 1, 2}) {
+    auto logical = Mount(i);
+    auto listing = vfs::ListDir(logical, "proj");
+    ASSERT_TRUE(listing.ok());
+    EXPECT_EQ(listing->size(), 3u) << "host " << i;
+  }
+}
+
+TEST_F(PartitionTest, DeleteOnOneSideCreateInsideOnOther) {
+  // Host 0 deletes a directory's file and the directory; host 1
+  // concurrently creates a new file inside that directory. Liveness must
+  // win: the directory survives with the new file.
+  auto l0 = Mount(0);
+  ASSERT_TRUE(vfs::MkdirAll(l0, "d").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "d/old", "x").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{hosts_[0]}, {hosts_[1], hosts_[2]}});
+  auto l1 = Mount(1);
+  ASSERT_TRUE(vfs::RemovePath(l0, "d/old").ok());
+  ASSERT_TRUE(vfs::RemovePath(l0, "d").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(l1, "d/new", "fresh").ok());
+
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  for (int i : {0, 1, 2}) {
+    auto logical = Mount(i);
+    EXPECT_TRUE(vfs::Exists(logical, "d")) << "host " << i;
+    EXPECT_TRUE(vfs::Exists(logical, "d/new")) << "host " << i;
+    EXPECT_FALSE(vfs::Exists(logical, "d/old")) << "host " << i;
+  }
+}
+
+TEST_F(PartitionTest, RepeatedPartitionHealCycles) {
+  auto l0 = Mount(0);
+  auto l1 = Mount(1);
+  ASSERT_TRUE(vfs::MkdirAll(l0, "log").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    cluster_.Partition({{hosts_[0]}, {hosts_[1], hosts_[2]}});
+    ASSERT_TRUE(
+        vfs::WriteFileAt(l0, "log/a" + std::to_string(cycle), "from a").ok());
+    ASSERT_TRUE(
+        vfs::WriteFileAt(l1, "log/b" + std::to_string(cycle), "from b").ok());
+    cluster_.Heal();
+    ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  }
+
+  auto listing = vfs::ListDir(Mount(2), "log");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 10u);  // 5 cycles x 2 writers, zero losses
+}
+
+TEST_F(PartitionTest, WriteDuringPartitionNotifiesAfterHealViaReconcile) {
+  // Notifications multicast during the partition are lost (best-effort
+  // datagrams). The periodic reconciliation protocol is the safety net.
+  auto l0 = Mount(0);
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "f", "v1").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{hosts_[0]}, {hosts_[1], hosts_[2]}});
+  ASSERT_TRUE(vfs::WriteFileAt(l0, "f", "v2").ok());
+  // Propagation on the other side has nothing to chew on (datagram lost).
+  ASSERT_TRUE(cluster_.RunPropagationEverywhere().ok());
+  cluster_.Heal();
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  cluster_.Partition({{hosts_[1]}});  // host 1 must serve from its own copy
+  auto l1 = Mount(1);
+  auto contents = vfs::ReadFileAt(l1, "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "v2");
+  cluster_.Heal();
+}
+
+}  // namespace
+}  // namespace ficus::sim

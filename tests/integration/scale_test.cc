@@ -1,0 +1,116 @@
+// Larger-scale exercise: five hosts, several hundred files, staged
+// partitions, runtime replica addition, and time-driven daemons —
+// approximating the paper's "in use at UCLA for normal operation" with
+// everything checked at the end.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/sim/workload.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+namespace {
+
+HostConfig BigHost() {
+  HostConfig config;
+  config.disk_blocks = 1 << 16;   // 256 MiB
+  config.inode_count = 1 << 15;
+  config.cache_blocks = 1 << 12;
+  return config;
+}
+
+TEST(ScaleTest, FiveHostWorkloadWithPartitionsConverges) {
+  Cluster cluster;
+  std::vector<FicusHost*> hosts;
+  for (int i = 0; i < 5; ++i) {
+    hosts.push_back(cluster.AddHost("h" + std::to_string(i), BigHost()));
+  }
+  // Volume replicated on three of five hosts; the other two mount remotely.
+  auto volume = cluster.CreateVolume({hosts[0], hosts[1], hosts[2]});
+  ASSERT_TRUE(volume.ok());
+  std::vector<repl::LogicalLayer*> mounts;
+  for (FicusHost* host : hosts) {
+    auto logical = cluster.MountEverywhere(host, *volume);
+    ASSERT_TRUE(logical.ok());
+    mounts.push_back(logical.value());
+  }
+
+  // Populate 200 files through host 0.
+  WorkloadConfig workload_config;
+  workload_config.directories = 20;
+  workload_config.files_per_directory = 10;
+  workload_config.file_size_bytes = 600;
+  Workload workload(workload_config, 77);
+  ASSERT_TRUE(workload.Populate(mounts[0]).ok());
+  ASSERT_TRUE(cluster.ReconcileUntilQuiescent(16).ok());
+
+  // Three staged partition epochs with disjoint writers.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    cluster.Partition({{hosts[0], hosts[3]}, {hosts[1], hosts[2], hosts[4]}});
+    for (int i = 0; i < 10; ++i) {
+      std::string left = "d" + std::to_string(epoch) + "/left" + std::to_string(i);
+      std::string right = "d" + std::to_string(epoch) + "/right" + std::to_string(i);
+      ASSERT_TRUE(vfs::WriteFileAt(mounts[0], left, "left epoch").ok());
+      ASSERT_TRUE(vfs::WriteFileAt(mounts[1], right, "right epoch").ok());
+    }
+    cluster.Heal();
+    ASSERT_TRUE(cluster.ReconcileUntilQuiescent(16).ok());
+  }
+
+  // Add a fourth replica mid-life on host 3 and let it fill.
+  ASSERT_TRUE(cluster.AddReplica(*volume, hosts[3]).ok());
+  ASSERT_TRUE(cluster.ReconcileUntilQuiescent(16).ok());
+
+  // Host 3 serves everything from its own new replica.
+  cluster.Partition({{hosts[3]}});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_TRUE(vfs::Exists(mounts[3], "d" + std::to_string(epoch) + "/left3"));
+    EXPECT_TRUE(vfs::Exists(mounts[3], "d" + std::to_string(epoch) + "/right3"));
+  }
+  EXPECT_TRUE(vfs::Exists(mounts[3], workload.PathOf(0)));
+  EXPECT_TRUE(vfs::Exists(mounts[3], workload.PathOf(workload.file_count() - 1)));
+  cluster.Heal();
+
+  // Structural sanity everywhere.
+  for (FicusHost* host : hosts) {
+    auto problems = host->ufs().Check();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << host->name() << ": " << problems->front();
+    for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+      auto ficus_problems = layer->CheckConsistency();
+      ASSERT_TRUE(ficus_problems.ok());
+      EXPECT_TRUE(ficus_problems->empty()) << host->name();
+    }
+  }
+}
+
+TEST(ScaleTest, TimeDrivenWeekOfOperation) {
+  // A simulated "day" with daemons on timers: updates land every few
+  // minutes, propagation every 30 s, reconciliation every 10 min.
+  Cluster cluster;
+  FicusHost* a = cluster.AddHost("a", BigHost());
+  FicusHost* b = cluster.AddHost("b", BigHost());
+  auto volume = cluster.CreateVolume({a, b});
+  ASSERT_TRUE(volume.ok());
+  auto fs_a = cluster.MountEverywhere(a, *volume);
+  ASSERT_TRUE(fs_a.ok());
+  ASSERT_TRUE(vfs::MkdirAll(*fs_a, "log").ok());
+
+  for (int hour = 0; hour < 8; ++hour) {
+    ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "log/hour" + std::to_string(hour),
+                                 "entries for hour " + std::to_string(hour))
+                    .ok());
+    ASSERT_TRUE(cluster.RunFor(60 * 60 * kSecond, 30 * kSecond, 600 * kSecond).ok());
+  }
+
+  // b holds the whole log locally.
+  cluster.Partition({{b}});
+  auto fs_b = cluster.MountEverywhere(b, *volume);
+  for (int hour = 0; hour < 8; ++hour) {
+    EXPECT_TRUE(vfs::Exists(*fs_b, "log/hour" + std::to_string(hour))) << hour;
+  }
+  cluster.Heal();
+}
+
+}  // namespace
+}  // namespace ficus::sim

@@ -1,0 +1,130 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&clock_) {
+    a_ = network_.AddHost("a");
+    b_ = network_.AddHost("b");
+    c_ = network_.AddHost("c");
+  }
+
+  // Registers an echo RPC service on `host`.
+  void RegisterEcho(HostId host) {
+    network_.port(host)->RegisterRpcService(
+        "echo", [](HostId, const Payload& request) -> StatusOr<Payload> {
+          return request;
+        });
+  }
+
+  SimClock clock_;
+  Network network_;
+  HostId a_, b_, c_;
+};
+
+TEST_F(NetworkTest, HostsStartFullyConnected) {
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  EXPECT_TRUE(network_.Reachable(b_, c_));
+  EXPECT_TRUE(network_.Reachable(a_, a_));
+}
+
+TEST_F(NetworkTest, RpcRoundTrips) {
+  RegisterEcho(b_);
+  Payload request = {1, 2, 3};
+  auto response = network_.Rpc(a_, b_, "echo", request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value(), request);
+  EXPECT_EQ(network_.stats().rpcs_sent, 1u);
+}
+
+TEST_F(NetworkTest, RpcToUnknownServiceFails) {
+  auto response = network_.Rpc(a_, b_, "ghost", {});
+  EXPECT_EQ(response.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(network_.stats().rpcs_failed, 1u);
+}
+
+TEST_F(NetworkTest, DisconnectPairBlocksBothDirections) {
+  RegisterEcho(a_);
+  RegisterEcho(b_);
+  network_.DisconnectPair(a_, b_);
+  EXPECT_EQ(network_.Rpc(a_, b_, "echo", {}).status().code(), ErrorCode::kUnreachable);
+  EXPECT_EQ(network_.Rpc(b_, a_, "echo", {}).status().code(), ErrorCode::kUnreachable);
+  // Third parties unaffected.
+  RegisterEcho(c_);
+  EXPECT_TRUE(network_.Rpc(a_, c_, "echo", {}).ok());
+  network_.ConnectPair(a_, b_);
+  EXPECT_TRUE(network_.Rpc(a_, b_, "echo", {}).ok());
+}
+
+TEST_F(NetworkTest, PartitionSeparatesGroups) {
+  network_.Partition({{a_, b_}, {c_}});
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  EXPECT_FALSE(network_.Reachable(a_, c_));
+  EXPECT_FALSE(network_.Reachable(b_, c_));
+  network_.Heal();
+  EXPECT_TRUE(network_.Reachable(a_, c_));
+}
+
+TEST_F(NetworkTest, HostsAbsentFromPartitionAreIsolated) {
+  network_.Partition({{a_}});
+  EXPECT_FALSE(network_.Reachable(b_, c_));
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+}
+
+TEST_F(NetworkTest, DownHostUnreachable) {
+  RegisterEcho(b_);
+  network_.SetHostUp(b_, false);
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+  EXPECT_EQ(network_.Rpc(a_, b_, "echo", {}).status().code(), ErrorCode::kUnreachable);
+  network_.SetHostUp(b_, true);
+  EXPECT_TRUE(network_.Rpc(a_, b_, "echo", {}).ok());
+}
+
+TEST_F(NetworkTest, MulticastBestEffort) {
+  int b_got = 0;
+  int c_got = 0;
+  network_.port(b_)->RegisterDatagramChannel(
+      "chan", [&](HostId, const Payload&) { ++b_got; });
+  network_.port(c_)->RegisterDatagramChannel(
+      "chan", [&](HostId, const Payload&) { ++c_got; });
+  network_.DisconnectPair(a_, c_);
+  size_t delivered = network_.Multicast(a_, {b_, c_}, "chan", {7});
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+  EXPECT_EQ(network_.stats().datagrams_dropped, 1u);
+}
+
+TEST_F(NetworkTest, MulticastSkipsSelf) {
+  int a_got = 0;
+  network_.port(a_)->RegisterDatagramChannel(
+      "chan", [&](HostId, const Payload&) { ++a_got; });
+  network_.Multicast(a_, {a_}, "chan", {});
+  EXPECT_EQ(a_got, 0);
+}
+
+TEST_F(NetworkTest, RpcAdvancesClock) {
+  RegisterEcho(b_);
+  network_.set_rpc_latency(2 * kMillisecond);
+  SimTime before = clock_.Now();
+  ASSERT_TRUE(network_.Rpc(a_, b_, "echo", {}).ok());
+  EXPECT_EQ(clock_.Now(), before + 2 * kMillisecond);
+  // Local calls are free.
+  RegisterEcho(a_);
+  before = clock_.Now();
+  ASSERT_TRUE(network_.Rpc(a_, a_, "echo", {}).ok());
+  EXPECT_EQ(clock_.Now(), before);
+}
+
+TEST_F(NetworkTest, TrafficCountersAccumulate) {
+  RegisterEcho(b_);
+  ASSERT_TRUE(network_.Rpc(a_, b_, "echo", {1, 2, 3, 4}).ok());
+  EXPECT_EQ(network_.stats().rpc_bytes, 8u);  // 4 out + 4 back
+}
+
+}  // namespace
+}  // namespace ficus::net

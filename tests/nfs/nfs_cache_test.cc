@@ -1,0 +1,150 @@
+// NFS client caching: the attribute cache and directory-name-lookup cache
+// cut RPC traffic, and — exactly as the paper grumbles (section 2.2) —
+// produce stale views when another client changes the server behind this
+// client's back.
+#include <gtest/gtest.h>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::nfs {
+namespace {
+
+using vfs::Credentials;
+
+class NfsCacheTest : public ::testing::Test {
+ protected:
+  NfsCacheTest() : network_(&clock_), exported_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    other_host_ = network_.AddHost("other");
+    server_ = std::make_unique<NfsServer>(&network_, server_host_, &exported_);
+    ClientConfig config;
+    config.attr_cache_ttl = 3 * kSecond;
+    config.dnlc_ttl = 3 * kSecond;
+    client_ =
+        std::make_unique<NfsClient>(&network_, client_host_, server_host_, &clock_, config);
+    other_ =
+        std::make_unique<NfsClient>(&network_, other_host_, server_host_, &clock_,
+                                    ClientConfig{.attr_cache_ttl = 0, .dnlc_ttl = 0});
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  vfs::MemVfs exported_;
+  net::HostId server_host_, client_host_, other_host_;
+  std::unique_ptr<NfsServer> server_;
+  std::unique_ptr<NfsClient> client_;
+  std::unique_ptr<NfsClient> other_;
+  Credentials cred_;
+};
+
+TEST_F(NfsCacheTest, AttrCacheAbsorbsRepeatGetAttr) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  uint64_t rpcs_before = client_->stats().rpcs;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*file)->GetAttr().ok());
+  }
+  EXPECT_EQ(client_->stats().rpcs, rpcs_before);  // all served from cache
+  EXPECT_GE(client_->stats().attr_cache_hits, 5u);
+}
+
+TEST_F(NfsCacheTest, AttrCacheExpiresWithSimTime) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->GetAttr().ok());
+  clock_.Advance(5 * kSecond);  // past the 3s TTL
+  uint64_t rpcs_before = client_->stats().rpcs;
+  ASSERT_TRUE((*file)->GetAttr().ok());
+  EXPECT_EQ(client_->stats().rpcs, rpcs_before + 1);
+}
+
+TEST_F(NfsCacheTest, DnlcAbsorbsRepeatLookups) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->Lookup("f", cred_).ok());
+  uint64_t rpcs_before = client_->stats().rpcs;
+  ASSERT_TRUE((*root)->Lookup("f", cred_).ok());
+  EXPECT_EQ(client_->stats().rpcs, rpcs_before);
+  EXPECT_GE(client_->stats().dnlc_hits, 1u);
+}
+
+TEST_F(NfsCacheTest, StaleAttributesVisibleWithinTtl) {
+  // The cache anomaly the paper complains about: a second client's write
+  // is invisible to this client's GetAttr until the TTL lapses.
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "aa").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  auto attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 2u);
+
+  // Another client grows the file to 6 bytes.
+  ASSERT_TRUE(vfs::WriteFileAt(other_.get(), "f", "aaaaaa").ok());
+
+  auto stale = (*file)->GetAttr();
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->size, 2u);  // still the cached lie
+
+  clock_.Advance(5 * kSecond);
+  auto fresh = (*file)->GetAttr();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->size, 6u);
+}
+
+TEST_F(NfsCacheTest, DnlcServesDeletedNameWithinTtl) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->Lookup("f", cred_).ok());  // primes the DNLC
+
+  ASSERT_TRUE(vfs::RemovePath(other_.get(), "f").ok());
+
+  // The cached name still resolves (to a handle that now fails on use) —
+  // the "unexpected behavior for layers" of section 2.2.
+  auto ghost = (*root)->Lookup("f", cred_);
+  EXPECT_TRUE(ghost.ok());
+  clock_.Advance(5 * kSecond);
+  EXPECT_EQ((*root)->Lookup("f", cred_).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NfsCacheTest, ZeroTtlDisablesCachingEntirely) {
+  ASSERT_TRUE(vfs::WriteFileAt(other_.get(), "f", "x").ok());
+  auto root = other_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  uint64_t rpcs_before = other_->stats().rpcs;
+  ASSERT_TRUE((*file)->GetAttr().ok());
+  ASSERT_TRUE((*file)->GetAttr().ok());
+  EXPECT_EQ(other_->stats().rpcs, rpcs_before + 2);  // every call hits the wire
+}
+
+TEST_F(NfsCacheTest, InvalidateCachesForcesRefresh) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "aa").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->GetAttr().ok());
+  ASSERT_TRUE(vfs::WriteFileAt(other_.get(), "f", "aaaaaa").ok());
+  client_->InvalidateCaches();
+  auto fresh = (*file)->GetAttr();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->size, 6u);  // the knob real NFS lacked
+}
+
+}  // namespace
+}  // namespace ficus::nfs

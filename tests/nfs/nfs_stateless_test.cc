@@ -1,0 +1,116 @@
+// The statelessness properties the paper leans on (section 2.2): NFS
+// ignores open/close, does not forward layer-private extensions, and
+// invalidates handles on server restart.
+#include <gtest/gtest.h>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::nfs {
+namespace {
+
+using vfs::Credentials;
+using vfs::VnodePtr;
+
+class NfsStatelessTest : public ::testing::Test {
+ protected:
+  NfsStatelessTest() : network_(&clock_), exported_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    server_ = std::make_unique<NfsServer>(&network_, server_host_, &exported_);
+    client_ = std::make_unique<NfsClient>(&network_, client_host_, server_host_, &clock_);
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  vfs::MemVfs exported_;
+  net::HostId server_host_, client_host_;
+  std::unique_ptr<NfsServer> server_;
+  std::unique_ptr<NfsClient> client_;
+  Credentials cred_;
+};
+
+TEST_F(NfsStatelessTest, OpenAndCloseNeverCrossTheWire) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+
+  uint64_t rpcs_before = client_->stats().rpcs;
+  uint64_t opens_before = client_->stats().opens_dropped;
+  uint64_t closes_before = client_->stats().closes_dropped;
+  // "a layer intending to receive an open will never get it if NFS is in
+  // between" — the client absorbs both calls without any RPC.
+  EXPECT_TRUE((*file)->Open(vfs::kOpenRead, cred_).ok());
+  EXPECT_TRUE((*file)->Close(vfs::kOpenRead, cred_).ok());
+  EXPECT_EQ(client_->stats().rpcs, rpcs_before);
+  EXPECT_EQ(client_->stats().opens_dropped, opens_before + 1);
+  EXPECT_EQ(client_->stats().closes_dropped, closes_before + 1);
+}
+
+TEST_F(NfsStatelessTest, IoctlDoesNotCrossTheWire) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> response;
+  // The protocol has no such procedure; this is why Ficus overloads
+  // lookup names instead.
+  EXPECT_EQ((*file)->Ioctl("ficus-op", {}, response, cred_).code(),
+            ErrorCode::kNotSupported);
+}
+
+TEST_F(NfsStatelessTest, ServerRestartStalesOldHandles) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "x").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  client_->InvalidateCaches();
+
+  server_->FlushHandles();  // reboot
+
+  std::vector<uint8_t> out;
+  EXPECT_EQ((*file)->Read(0, 1, out, cred_).status().code(), ErrorCode::kStale);
+}
+
+TEST_F(NfsStatelessTest, WritesAreSynchronousOnTheServer) {
+  // After a client write returns, the data is on the exported filesystem —
+  // no server-side dirty state to lose.
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "durable").ok());
+  auto local = vfs::ReadFileAt(&exported_, "f");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local.value(), "durable");
+}
+
+TEST_F(NfsStatelessTest, HandlesAreDurableNamesForFiles) {
+  ASSERT_TRUE(vfs::WriteFileAt(client_.get(), "f", "v1").ok());
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto first = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(first.ok());
+  client_->InvalidateCaches();
+  auto second = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(second.ok());
+  // Two separate lookups yield the same durable handle.
+  EXPECT_EQ(dynamic_cast<NfsVnode*>(first->get())->handle(),
+            dynamic_cast<NfsVnode*>(second->get())->handle());
+}
+
+TEST_F(NfsStatelessTest, HandleTableEvictionKeepsServingNewLookups) {
+  // Push far past the handle cap; old handles may go stale but fresh
+  // lookups must keep working (NFS semantics allow ESTALE + re-lookup).
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        vfs::WriteFileAt(client_.get(), "file" + std::to_string(i), "x").ok());
+  }
+  EXPECT_TRUE(vfs::ReadFileAt(client_.get(), "file0").ok());
+  EXPECT_TRUE(vfs::ReadFileAt(client_.get(), "file299").ok());
+}
+
+}  // namespace
+}  // namespace ficus::nfs

@@ -1,0 +1,134 @@
+// Adversarial inputs to the NFS server: truncated requests, unknown
+// procedures, bogus handles, and random garbage must produce error
+// responses — never crashes or silent corruption.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::nfs {
+namespace {
+
+class ProtocolRobustnessTest : public ::testing::Test {
+ protected:
+  ProtocolRobustnessTest() : network_(&clock_), exported_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    server_ = std::make_unique<NfsServer>(&network_, server_host_, &exported_);
+    EXPECT_TRUE(vfs::WriteFileAt(&exported_, "canary", "alive").ok());
+  }
+
+  // Sends raw bytes as an RPC and returns the decoded leading status.
+  Status SendRaw(const net::Payload& request) {
+    auto response = network_.Rpc(client_host_, server_host_, kNfsService, request);
+    if (!response.ok()) {
+      return response.status();
+    }
+    ByteReader r(response.value());
+    return ReadWireStatus(r);
+  }
+
+  // The exported filesystem must be untouched by hostile traffic.
+  void ExpectCanaryIntact() {
+    auto canary = vfs::ReadFileAt(&exported_, "canary");
+    ASSERT_TRUE(canary.ok());
+    EXPECT_EQ(canary.value(), "alive");
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  vfs::MemVfs exported_;
+  net::HostId server_host_, client_host_;
+  std::unique_ptr<NfsServer> server_;
+};
+
+TEST_F(ProtocolRobustnessTest, EmptyRequestRejected) {
+  EXPECT_FALSE(SendRaw({}).ok());
+  ExpectCanaryIntact();
+}
+
+TEST_F(ProtocolRobustnessTest, UnknownProcedureRejected) {
+  net::Payload request;
+  ByteWriter w(request);
+  w.PutU8(250);  // no such procedure
+  PutCred(w, vfs::Credentials{});
+  Status status = SendRaw(request);
+  EXPECT_FALSE(status.ok());
+  ExpectCanaryIntact();
+}
+
+TEST_F(ProtocolRobustnessTest, BogusHandleIsStale) {
+  net::Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kGetAttr));
+  PutCred(w, vfs::Credentials{});
+  w.PutU64(0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(SendRaw(request).code(), ErrorCode::kStale);
+}
+
+TEST_F(ProtocolRobustnessTest, TruncatedArgumentsRejected) {
+  // A lookup with the name chopped off mid-length-prefix.
+  net::Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kLookup));
+  PutCred(w, vfs::Credentials{});
+  w.PutU64(1);
+  request.push_back(0x05);  // half of a u16 length
+  EXPECT_FALSE(SendRaw(request).ok());
+  ExpectCanaryIntact();
+}
+
+TEST_F(ProtocolRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(20260705);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t length = rng.NextBelow(64);
+    net::Payload request(length);
+    for (auto& b : request) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    (void)SendRaw(request);  // must not crash; status may be anything
+  }
+  ExpectCanaryIntact();
+  // The server keeps working for honest clients afterwards.
+  NfsClient client(&network_, client_host_, server_host_, &clock_);
+  auto contents = vfs::ReadFileAt(&client, "canary");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "alive");
+}
+
+TEST_F(ProtocolRobustnessTest, MutationWithBogusHandleChangesNothing) {
+  net::Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kRemove));
+  PutCred(w, vfs::Credentials{});
+  w.PutU64(424242);
+  w.PutString("canary");
+  EXPECT_FALSE(SendRaw(request).ok());
+  ExpectCanaryIntact();
+}
+
+TEST_F(ProtocolRobustnessTest, OversizedWritePayloadHandled) {
+  // Get a real handle first.
+  NfsClient client(&network_, client_host_, server_host_, &clock_);
+  auto root = client.Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("canary", {});
+  ASSERT_TRUE(file.ok());
+  // Claim a byte-array length far beyond the actual payload.
+  net::Payload request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(NfsProc::kWrite));
+  PutCred(w, vfs::Credentials{});
+  w.PutU64(dynamic_cast<NfsVnode*>(file->get())->handle());
+  w.PutU64(0);
+  w.PutU32(0x7FFFFFFF);  // lies: "2 GiB follow"
+  request.push_back('x');
+  EXPECT_FALSE(SendRaw(request).ok());
+  ExpectCanaryIntact();
+}
+
+}  // namespace
+}  // namespace ficus::nfs

@@ -1,0 +1,293 @@
+// The lookup-encoded layer transport: RemotePhysical must behave exactly
+// like the local PhysicalLayer it proxies, both directly against the
+// facade and across a real NFS hop (which drops open/close and has no
+// ioctl — the very reason this encoding exists, paper section 2.3).
+#include "src/repl/facade.h"
+
+#include <gtest/gtest.h>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+
+namespace ficus::repl {
+namespace {
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  FacadeTest() : device_(8192), cache_(&device_, 256), ufs_(&cache_, &clock_) {
+    EXPECT_TRUE(ufs_.Format(1024).ok());
+    layer_ = std::make_unique<PhysicalLayer>(&ufs_, &clock_);
+    EXPECT_TRUE(layer_->CreateVolume(VolumeId{1, 1}, 1, "vol1", true).ok());
+    facade_ = std::make_unique<PhysicalFacadeVfs>(layer_.get());
+  }
+
+  // A proxy wired straight to the facade (no NFS in between).
+  std::unique_ptr<RemotePhysical> DirectProxy() {
+    auto root = facade_->Root();
+    EXPECT_TRUE(root.ok());
+    auto proxy = std::make_unique<RemotePhysical>(root.value());
+    EXPECT_TRUE(proxy->Connect().ok());
+    return proxy;
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  ufs::Ufs ufs_;
+  std::unique_ptr<PhysicalLayer> layer_;
+  std::unique_ptr<PhysicalFacadeVfs> facade_;
+};
+
+TEST_F(FacadeTest, ConnectFetchesIdentity) {
+  auto proxy = DirectProxy();
+  EXPECT_EQ(proxy->volume_id(), (VolumeId{1, 1}));
+  EXPECT_EQ(proxy->replica_id(), 1u);
+}
+
+TEST_F(FacadeTest, AttributesThroughProxy) {
+  auto proxy = DirectProxy();
+  auto attrs = proxy->GetAttributes(kRootFileId);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->type, FicusFileType::kDirectory);
+  EXPECT_EQ(attrs->vv.Count(1), 1u);
+}
+
+TEST_F(FacadeTest, CreateWriteReadThroughProxy) {
+  auto proxy = DirectProxy();
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 7);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(proxy->WriteData(*file, 0, {1, 2, 3, 4}).ok());
+  auto data = proxy->ReadAllData(*file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{1, 2, 3, 4}));
+  auto piece = proxy->ReadData(*file, 1, 2);
+  ASSERT_TRUE(piece.ok());
+  EXPECT_EQ(piece.value(), (std::vector<uint8_t>{2, 3}));
+  auto size = proxy->DataSize(*file);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 4u);
+  // The write really landed in the local layer.
+  auto local_data = layer_->ReadAllData(*file);
+  ASSERT_TRUE(local_data.ok());
+  EXPECT_EQ(local_data->size(), 4u);
+}
+
+TEST_F(FacadeTest, SmallRequestsRideInLookupNames) {
+  auto proxy = DirectProxy();
+  ASSERT_TRUE(proxy->GetAttributes(kRootFileId).ok());
+  EXPECT_GT(proxy->inline_calls(), 0u);
+  EXPECT_EQ(proxy->session_calls(), 0u);
+}
+
+TEST_F(FacadeTest, LargePayloadsUseSessions) {
+  auto proxy = DirectProxy();
+  auto file = proxy->CreateChild(kRootFileId, "big", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload(64 * 1024, 0xAA);
+  ASSERT_TRUE(proxy->WriteData(*file, 0, payload).ok());
+  EXPECT_GT(proxy->session_calls(), 0u);
+  auto data = proxy->ReadAllData(*file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), payload);
+}
+
+TEST_F(FacadeTest, ErrorsPropagateThroughEncoding) {
+  auto proxy = DirectProxy();
+  EXPECT_EQ(proxy->GetAttributes(FileId{9, 9}).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(proxy->ReadDirectory(FileId{9, 9}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FacadeTest, DirectoryOpsThroughProxy) {
+  auto proxy = DirectProxy();
+  auto dir = proxy->CreateChild(kRootFileId, "d", FicusFileType::kDirectory, 0);
+  ASSERT_TRUE(dir.ok());
+  auto file = proxy->CreateChild(*dir, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(proxy->RenameEntry(*dir, "f", kRootFileId, "g").ok());
+  ASSERT_TRUE(proxy->AddEntry(*dir, "link", *file, FicusFileType::kRegular).ok());
+  ASSERT_TRUE(proxy->RemoveEntry(*dir, "link").ok());
+  auto entries = proxy->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  int alive = 0;
+  for (const auto& e : *entries) {
+    if (e.alive) {
+      ++alive;
+    }
+  }
+  EXPECT_EQ(alive, 2);  // "d" and "g"
+}
+
+TEST_F(FacadeTest, InstallVersionAndConflictThroughProxy) {
+  auto proxy = DirectProxy();
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  VersionVector vv;
+  vv.Increment(1);
+  vv.Increment(2);
+  ASSERT_TRUE(proxy->InstallVersion(*file, {7, 7}, vv).ok());
+  ASSERT_TRUE(proxy->SetConflict(*file, true).ok());
+  auto attrs = proxy->GetAttributes(*file);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_TRUE(attrs->conflict);
+  EXPECT_TRUE(attrs->vv == vv);
+}
+
+TEST_F(FacadeTest, ApplyEntryAndMergeThroughProxy) {
+  auto proxy = DirectProxy();
+  FicusDirEntry entry;
+  entry.name = "remote";
+  entry.file = FileId{2, 1};
+  entry.type = FicusFileType::kRegular;
+  entry.alive = true;
+  entry.vv.Increment(2);
+  ASSERT_TRUE(proxy->ApplyEntry(kRootFileId, entry).ok());
+  VersionVector dir_vv;
+  dir_vv.Increment(2);
+  ASSERT_TRUE(proxy->MergeDirVersion(kRootFileId, dir_vv).ok());
+  auto attrs = proxy->GetAttributes(kRootFileId);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->vv.Count(2), 1u);
+}
+
+TEST_F(FacadeTest, SymlinksAndOpenCloseThroughProxy) {
+  auto proxy = DirectProxy();
+  auto link = proxy->CreateChild(kRootFileId, "l", FicusFileType::kSymlink, 0);
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(proxy->WriteLink(*link, "t/arget").ok());
+  auto target = proxy->ReadLink(*link);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "t/arget");
+  ASSERT_TRUE(proxy->NoteOpen(*link).ok());
+  ASSERT_TRUE(proxy->NoteClose(*link).ok());
+  EXPECT_EQ(layer_->stats().opens_noted, 1u);
+  EXPECT_EQ(layer_->stats().closes_noted, 1u);
+}
+
+// The real deployment: proxy -> NFS client -> network -> NFS server ->
+// facade -> physical layer. Open/close information survives because it is
+// encoded in lookup names, which NFS forwards verbatim.
+class FacadeOverNfsTest : public FacadeTest {
+ protected:
+  FacadeOverNfsTest() : network_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    server_ = std::make_unique<nfs::NfsServer>(&network_, server_host_, facade_.get());
+    // Transport caches off, as the Ficus layers require (section 2.2).
+    nfs::ClientConfig config;
+    config.attr_cache_ttl = 0;
+    config.dnlc_ttl = 0;
+    client_ = std::make_unique<nfs::NfsClient>(&network_, client_host_, server_host_,
+                                               &clock_, config);
+  }
+
+  std::unique_ptr<RemotePhysical> NfsProxy() {
+    auto root = client_->Root();
+    EXPECT_TRUE(root.ok());
+    auto proxy = std::make_unique<RemotePhysical>(root.value());
+    EXPECT_TRUE(proxy->Connect().ok());
+    return proxy;
+  }
+
+  net::Network network_;
+  net::HostId server_host_, client_host_;
+  std::unique_ptr<nfs::NfsServer> server_;
+  std::unique_ptr<nfs::NfsClient> client_;
+};
+
+TEST_F(FacadeOverNfsTest, FullApiAcrossTheWire) {
+  auto proxy = NfsProxy();
+  EXPECT_EQ(proxy->volume_id(), (VolumeId{1, 1}));
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload(10000, 0x5A);
+  ASSERT_TRUE(proxy->WriteData(*file, 0, payload).ok());
+  auto data = proxy->ReadAllData(*file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), payload);
+}
+
+TEST_F(FacadeOverNfsTest, OpenCloseInformationSurvivesNfs) {
+  auto proxy = NfsProxy();
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  // NoteOpen is carried inside a lookup name; a vnode-level Open would
+  // have been silently absorbed by the NFS client.
+  ASSERT_TRUE(proxy->NoteOpen(*file).ok());
+  EXPECT_EQ(layer_->stats().opens_noted, 1u);
+}
+
+TEST_F(FacadeOverNfsTest, CachingTransportReplaysStaleResponses) {
+  // The paper's section-2.2 warning, demonstrated: if the NFS hop between
+  // Ficus layers runs with its name cache enabled, an identical encoded
+  // request within the TTL is answered from the cache — the layer above
+  // sees yesterday's attributes. This is exactly why the simulation (and
+  // the real system's operators) run the inter-layer transport uncached.
+  nfs::ClientConfig caching;
+  caching.attr_cache_ttl = 30 * kSecond;
+  caching.dnlc_ttl = 30 * kSecond;
+  nfs::NfsClient cached_client(&network_, client_host_, server_host_, &clock_, caching);
+  auto root = cached_client.Root();
+  ASSERT_TRUE(root.ok());
+  RemotePhysical proxy(root.value());
+  ASSERT_TRUE(proxy.Connect().ok());
+
+  auto file = proxy.CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  auto before = proxy.GetAttributes(*file);
+  ASSERT_TRUE(before.ok());
+
+  // A co-resident writer updates the file (vv advances).
+  ASSERT_TRUE(layer_->WriteData(*file, 0, {1, 2, 3}).ok());
+
+  auto after = proxy.GetAttributes(*file);
+  ASSERT_TRUE(after.ok());
+  // The cached transport replays the stale answer...
+  EXPECT_TRUE(after->vv == before->vv);
+  // ...until the TTL lapses.
+  clock_.Advance(31 * kSecond);
+  auto fresh = proxy.GetAttributes(*file);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->vv.StrictlyDominates(before->vv));
+}
+
+TEST_F(FacadeOverNfsTest, StaleRootRecoveredThroughRefresher) {
+  // Build a proxy with a refresher, then restart the NFS server so every
+  // handle (including the cached facade root) goes stale. The next call
+  // must transparently re-acquire the root and succeed — standard NFS
+  // ESTALE recovery.
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  auto refresher = [this]() -> StatusOr<vfs::VnodePtr> {
+    client_->ForgetRoot();
+    return client_->Root();
+  };
+  RemotePhysical proxy(root.value(), refresher);
+  ASSERT_TRUE(proxy.Connect().ok());
+  ASSERT_TRUE(proxy.GetAttributes(kRootFileId).ok());
+
+  server_->FlushHandles();
+  client_->InvalidateCaches();
+
+  EXPECT_TRUE(proxy.GetAttributes(kRootFileId).ok());
+}
+
+TEST_F(FacadeOverNfsTest, StaleRootWithoutRefresherStaysStale) {
+  auto root = client_->Root();
+  ASSERT_TRUE(root.ok());
+  RemotePhysical proxy(root.value());  // no refresher
+  ASSERT_TRUE(proxy.Connect().ok());
+  server_->FlushHandles();
+  client_->InvalidateCaches();
+  EXPECT_EQ(proxy.GetAttributes(kRootFileId).status().code(), ErrorCode::kStale);
+}
+
+TEST_F(FacadeOverNfsTest, PartitionSurfacesAsUnreachable) {
+  auto proxy = NfsProxy();
+  network_.DisconnectPair(client_host_, server_host_);
+  EXPECT_EQ(proxy->GetAttributes(kRootFileId).status().code(), ErrorCode::kUnreachable);
+  network_.ConnectPair(client_host_, server_host_);
+  EXPECT_TRUE(proxy->GetAttributes(kRootFileId).ok());
+}
+
+}  // namespace
+}  // namespace ficus::repl

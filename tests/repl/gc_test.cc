@@ -1,0 +1,130 @@
+// Garbage collection, the orphanage option, and the Ficus-level
+// consistency checker.
+#include <gtest/gtest.h>
+
+#include "src/repl/physical.h"
+
+namespace ficus::repl {
+namespace {
+
+class GcTest : public ::testing::Test {
+ protected:
+  void Build(bool orphanage) {
+    device_ = std::make_unique<storage::BlockDevice>(8192);
+    cache_ = std::make_unique<storage::BufferCache>(device_.get(), 256);
+    ufs_ = std::make_unique<ufs::Ufs>(cache_.get(), &clock_);
+    ASSERT_TRUE(ufs_->Format(1024).ok());
+    PhysicalOptions options;
+    options.orphanage = orphanage;
+    layer_ = std::make_unique<PhysicalLayer>(ufs_.get(), &clock_, options);
+    ASSERT_TRUE(layer_->CreateVolume(VolumeId{1, 1}, 1, "vol", true).ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<storage::BlockDevice> device_;
+  std::unique_ptr<storage::BufferCache> cache_;
+  std::unique_ptr<ufs::Ufs> ufs_;
+  std::unique_ptr<PhysicalLayer> layer_;
+};
+
+TEST_F(GcTest, PlainGcFreesStorage) {
+  Build(/*orphanage=*/false);
+  auto file = layer_->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(layer_->WriteData(*file, 0, std::vector<uint8_t>(50000, 7)).ok());
+  auto free_before = ufs_->FreeBlockCount();
+  ASSERT_TRUE(layer_->RemoveEntry(kRootFileId, "f").ok());
+  ASSERT_TRUE(layer_->GarbageCollect().ok());
+  auto free_after = ufs_->FreeBlockCount();
+  EXPECT_GT(free_after.value(), free_before.value());
+  auto orphans = layer_->OrphanNames();
+  ASSERT_TRUE(orphans.ok());
+  EXPECT_TRUE(orphans->empty());
+}
+
+TEST_F(GcTest, OrphanageParksContents) {
+  Build(/*orphanage=*/true);
+  auto file = layer_->CreateChild(kRootFileId, "precious", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(layer_->WriteData(*file, 0, {'s', 'a', 'v', 'e'}).ok());
+  ASSERT_TRUE(layer_->RemoveEntry(kRootFileId, "precious").ok());
+  auto collected = layer_->GarbageCollect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected.value(), 1);
+
+  auto orphans = layer_->OrphanNames();
+  ASSERT_TRUE(orphans.ok());
+  ASSERT_EQ(orphans->size(), 1u);
+  EXPECT_EQ((*orphans)[0], file->ToHex());
+
+  // The bytes are recoverable from the orphanage.
+  auto container = ufs_->DirLookup(ufs::kRootInode, "vol");
+  auto orphan_dir = ufs_->DirLookup(*container, "orphans");
+  ASSERT_TRUE(orphan_dir.ok());
+  auto ino = ufs_->DirLookup(*orphan_dir, file->ToHex());
+  ASSERT_TRUE(ino.ok());
+  auto contents = ufs_->ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), (std::vector<uint8_t>{'s', 'a', 'v', 'e'}));
+
+  // The UFS stays structurally clean.
+  auto problems = ufs_->Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(GcTest, OrphanageDirectoriesStillFreed) {
+  Build(/*orphanage=*/true);
+  auto dir = layer_->CreateChild(kRootFileId, "d", FicusFileType::kDirectory, 0);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(layer_->RemoveEntry(kRootFileId, "d").ok());
+  auto collected = layer_->GarbageCollect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_EQ(collected.value(), 1);
+  auto orphans = layer_->OrphanNames();
+  ASSERT_TRUE(orphans.ok());
+  EXPECT_TRUE(orphans->empty());  // only regular files are parked
+}
+
+TEST_F(GcTest, ConsistencyCheckCleanAfterChurn) {
+  Build(/*orphanage=*/false);
+  auto dir = layer_->CreateChild(kRootFileId, "d", FicusFileType::kDirectory, 0);
+  ASSERT_TRUE(dir.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto file =
+        layer_->CreateChild(*dir, "f" + std::to_string(i), FicusFileType::kRegular, 0);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(layer_->WriteData(*file, 0, {static_cast<uint8_t>(i)}).ok());
+  }
+  for (int i = 0; i < 10; i += 2) {
+    ASSERT_TRUE(layer_->RemoveEntry(*dir, "f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(layer_->RenameEntry(*dir, "f1", kRootFileId, "promoted").ok());
+  ASSERT_TRUE(layer_->GarbageCollect().ok());
+
+  auto problems = layer_->CheckConsistency();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(GcTest, ConsistencyCheckDetectsIdentityCorruption) {
+  Build(/*orphanage=*/false);
+  auto file = layer_->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  // Corrupt the aux attribute file directly.
+  auto container = ufs_->DirLookup(ufs::kRootInode, "vol");
+  auto root_dir = ufs_->DirLookup(*container, kRootFileId.ToHex());
+  auto attr_ino = ufs_->DirLookup(*root_dir, file->ToHex() + ".attr");
+  ASSERT_TRUE(attr_ino.ok());
+  ReplicaAttributes bogus;
+  bogus.id = GlobalFileId{VolumeId{9, 9}, FileId{9, 9}};  // wrong identity
+  bogus.type = FicusFileType::kRegular;
+  ASSERT_TRUE(ufs_->WriteAll(*attr_ino, bogus.ToBytes()).ok());
+
+  auto problems = layer_->CheckConsistency();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_FALSE(problems->empty());
+}
+
+}  // namespace
+}  // namespace ficus::repl

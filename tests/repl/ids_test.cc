@@ -1,0 +1,68 @@
+#include "src/repl/ids.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::repl {
+namespace {
+
+TEST(IdsTest, FileIdPackUnpackRoundTrip) {
+  FileId id{0xABCD1234, 0x00000042};
+  EXPECT_EQ(FileId::Unpack(id.Pack()), id);
+}
+
+TEST(IdsTest, FileIdHexRoundTrip) {
+  FileId id{7, 99};
+  auto decoded = FileId::FromHex(id.ToHex());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), id);
+  EXPECT_EQ(id.ToHex().size(), 16u);
+}
+
+TEST(IdsTest, FromHexRejectsInvalidIssuer) {
+  // issuer 0 is the reserved invalid replica.
+  EXPECT_FALSE(FileId::FromHex("0000000000000001").ok());
+}
+
+TEST(IdsTest, RootFileIdIsWellKnown) {
+  EXPECT_TRUE(kRootFileId.valid());
+  EXPECT_EQ(kRootFileId.issuer, 0xFFFFFFFFu);
+  EXPECT_EQ(kRootFileId.unique, 1u);
+}
+
+TEST(IdsTest, OrderingIsTotal) {
+  FileId a{1, 5};
+  FileId b{1, 6};
+  FileId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(IdsTest, VolumeIdComparesByBothFields) {
+  VolumeId a{1, 1};
+  VolumeId b{1, 2};
+  VolumeId c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (VolumeId{1, 1}));
+}
+
+TEST(IdsTest, HandleSerializationRoundTrip) {
+  FicusHandle handle{VolumeId{3, 4}, FileId{5, 6}, 7};
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  PutHandle(w, handle);
+  ByteReader r(buf);
+  FicusHandle decoded;
+  ASSERT_TRUE(GetHandle(r, decoded).ok());
+  EXPECT_EQ(decoded, handle);
+}
+
+TEST(IdsTest, ToStringsAreInformative) {
+  EXPECT_EQ((VolumeId{1, 2}).ToString(), "1.2");
+  EXPECT_EQ((FileId{3, 4}).ToString(), "3:4");
+  EXPECT_EQ((GlobalFileId{{1, 2}, {3, 4}}).ToString(), "1.2/3:4");
+}
+
+}  // namespace
+}  // namespace ficus::repl

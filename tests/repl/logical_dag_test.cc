@@ -1,0 +1,129 @@
+// The DAG-of-directories semantics (paper section 2.5): "unlike Unix,
+// Ficus directories may have more than one name", a consequence of
+// concurrent renames during partition — plus multi-name regular files.
+#include <gtest/gtest.h>
+
+#include "src/vfs/path_ops.h"
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+using vfs::Credentials;
+
+class LogicalDagTest : public ReplicaFixture {
+ protected:
+  LogicalDagTest() : ReplicaFixture(2) {
+    logical_ = std::make_unique<LogicalLayer>(VolumeId{1, 1}, &resolver_, &notifier_, &log_,
+                                              &clock_);
+    resolver_.SetPreferred(1);
+  }
+
+  std::unique_ptr<LogicalLayer> logical_;
+  Credentials cred_;
+};
+
+TEST_F(LogicalDagTest, DirectoryReachableThroughTwoNames) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "proj").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "proj/file", "shared content").ok());
+  ReconcileAll();
+
+  // Concurrent renames during partition give the directory two names.
+  ASSERT_TRUE(layer(0)->RenameEntry(kRootFileId, "proj", kRootFileId, "alpha").ok());
+  ASSERT_TRUE(layer(1)->RenameEntry(kRootFileId, "proj", kRootFileId, "beta").ok());
+  ReconcileAll();
+
+  // Both paths resolve to the same directory and the same file.
+  auto via_alpha = vfs::ReadFileAt(logical_.get(), "alpha/file");
+  auto via_beta = vfs::ReadFileAt(logical_.get(), "beta/file");
+  ASSERT_TRUE(via_alpha.ok());
+  ASSERT_TRUE(via_beta.ok());
+  EXPECT_EQ(via_alpha.value(), via_beta.value());
+
+  // A write through one name is visible through the other (same file-id).
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "alpha/file", "updated").ok());
+  via_beta = vfs::ReadFileAt(logical_.get(), "beta/file");
+  ASSERT_TRUE(via_beta.ok());
+  EXPECT_EQ(via_beta.value(), "updated");
+}
+
+TEST_F(LogicalDagTest, NewChildVisibleThroughBothNames) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "d").ok());
+  ReconcileAll();
+  ASSERT_TRUE(layer(0)->RenameEntry(kRootFileId, "d", kRootFileId, "d-one").ok());
+  ASSERT_TRUE(layer(1)->RenameEntry(kRootFileId, "d", kRootFileId, "d-two").ok());
+  ReconcileAll();
+
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "d-one/newfile", "x").ok());
+  EXPECT_TRUE(vfs::Exists(logical_.get(), "d-two/newfile"));
+}
+
+TEST_F(LogicalDagTest, HardLinkAcrossDirectories) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "a").ok());
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "b").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "a/orig", "linked data").ok());
+
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto a = (*root)->Lookup("a", cred_);
+  auto b = (*root)->Lookup("b", cred_);
+  auto file = (*a)->Lookup("orig", cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*b)->Link("alias", *file, cred_).ok());
+
+  auto via_alias = vfs::ReadFileAt(logical_.get(), "b/alias");
+  ASSERT_TRUE(via_alias.ok());
+  EXPECT_EQ(via_alias.value(), "linked data");
+
+  // The link survives replication.
+  ReconcileAll();
+  LogicalLayer other(VolumeId{1, 1}, &resolver_, &notifier_, &log_, &clock_);
+  resolver_.SetReachable(1, false);  // force service from replica 2
+  auto replicated = vfs::ReadFileAt(&other, "b/alias");
+  ASSERT_TRUE(replicated.ok());
+  EXPECT_EQ(replicated.value(), "linked data");
+  resolver_.SetReachable(1, true);
+}
+
+TEST_F(LogicalDagTest, RemovingOneNameKeepsTheOther) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "a").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "a/f", "data").ok());
+  auto root = logical_->Root();
+  auto a = (*root.value()).Lookup("a", cred_);
+  auto file = (*a)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*a)->Link("g", *file, cred_).ok());
+
+  ASSERT_TRUE(vfs::RemovePath(logical_.get(), "a/f").ok());
+  EXPECT_FALSE(vfs::Exists(logical_.get(), "a/f"));
+  auto contents = vfs::ReadFileAt(logical_.get(), "a/g");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "data");
+}
+
+TEST_F(LogicalDagTest, SameNameConflictPresentedDistinctly) {
+  // Concurrent creation of the same name (different files) at the two
+  // replicas: the logical layer must expose both with distinct names and
+  // both contents must be readable.
+  ASSERT_TRUE(layer(0)->CreateChild(kRootFileId, "report", FicusFileType::kRegular, 0).ok());
+  ASSERT_TRUE(layer(1)->CreateChild(kRootFileId, "report", FicusFileType::kRegular, 0).ok());
+  auto e0 = layer(0)->ReadDirectory(kRootFileId);
+  auto e1 = layer(1)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(layer(0)->WriteData((*e0)[0].file, 0, {'A'}).ok());
+  ASSERT_TRUE(layer(1)->WriteData((*e1)[0].file, 0, {'B'}).ok());
+  ReconcileAll();
+
+  auto listing = vfs::ListDir(logical_.get(), "");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 2u);
+  std::set<std::string> contents;
+  for (const auto& entry : *listing) {
+    auto data = vfs::ReadFileAt(logical_.get(), entry.name);
+    ASSERT_TRUE(data.ok()) << entry.name;
+    contents.insert(data.value());
+  }
+  EXPECT_EQ(contents, (std::set<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace ficus::repl

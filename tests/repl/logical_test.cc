@@ -1,0 +1,232 @@
+#include "src/repl/logical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/path_ops.h"
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+using vfs::Credentials;
+using vfs::VnodePtr;
+
+class LogicalTest : public ReplicaFixture {
+ protected:
+  LogicalTest() : ReplicaFixture(2) {
+    logical_ = std::make_unique<LogicalLayer>(VolumeId{1, 1}, &resolver_, &notifier_, &log_,
+                                              &clock_);
+    resolver_.SetPreferred(1);
+  }
+
+  std::unique_ptr<LogicalLayer> logical_;
+  Credentials cred_;
+};
+
+TEST_F(LogicalTest, RootPresentsSingleCopyView) {
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto attr = (*root)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, vfs::VnodeType::kDirectory);
+}
+
+TEST_F(LogicalTest, WriteAppliesToOneReplicaAndNotifies) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "hello").ok());
+  // The update landed on the preferred replica only...
+  auto entries0 = layer(0)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries0.ok());
+  EXPECT_EQ(entries0->size(), 1u);
+  // ...but the notification reached replica 2's new-version cache.
+  EXPECT_GT(notifier_.sent(), 0u);
+  EXPECT_GT(layer(1)->PendingVersionCount(), 0u);
+}
+
+TEST_F(LogicalTest, ReadsPreferLocalReplica) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "data").ok());
+  ReconcileAll();
+  uint64_t switches_before = logical_->stats().replica_switches;
+  auto contents = vfs::ReadFileAt(logical_.get(), "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "data");
+  EXPECT_EQ(logical_->stats().replica_switches, switches_before);
+}
+
+TEST_F(LogicalTest, FailoverToSurvivingReplica) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "precious").ok());
+  ReconcileAll();
+  // The preferred replica vanishes; one-copy availability keeps going.
+  resolver_.SetReachable(1, false);
+  auto contents = vfs::ReadFileAt(logical_.get(), "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "precious");
+  EXPECT_GT(logical_->stats().replica_switches, 0u);
+  // Updates keep working too.
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "g", "written during outage").ok());
+}
+
+TEST_F(LogicalTest, AllReplicasGoneMeansUnreachable) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "x").ok());
+  resolver_.SetReachable(1, false);
+  resolver_.SetReachable(2, false);
+  EXPECT_EQ(vfs::ReadFileAt(logical_.get(), "f").status().code(), ErrorCode::kUnreachable);
+}
+
+TEST_F(LogicalTest, ReadSelectsMostRecentAvailableCopy) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "v1").ok());
+  ReconcileAll();
+  // Replica 2 receives a newer version (simulating propagation there).
+  auto entries = layer(1)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  FileId file = (*entries)[0].file;
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+  // Preferred replica 1 still holds v1, but replica 2's copy dominates:
+  // the logical layer must pick it ("select the most recent copy
+  // available").
+  auto contents = vfs::ReadFileAt(logical_.get(), "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "v2");
+}
+
+TEST_F(LogicalTest, ConcurrentVersionsReadDeterministically) {
+  // When reachable replicas hold concurrent versions, the logical layer
+  // must pick deterministically (lowest replica id wins the tie), so
+  // repeated reads through one mount never flap between versions.
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "base").ok());
+  ReconcileAll();
+  auto entries = layer(0)->ReadDirectory(kRootFileId);
+  FileId file = (*entries)[0].file;
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {'A'}).ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'B'}).ok());
+  // No reconcile: conflict not yet flagged; reads must be stable anyway.
+  std::set<std::string> seen;
+  for (int i = 0; i < 5; ++i) {
+    auto contents = vfs::ReadFileAt(logical_.get(), "f");
+    ASSERT_TRUE(contents.ok());
+    seen.insert(contents.value());
+  }
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST_F(LogicalTest, DirectoryListingHidesTombstones) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "keep", "1").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "gone", "2").ok());
+  ASSERT_TRUE(vfs::RemovePath(logical_.get(), "gone").ok());
+  auto listing = vfs::ListDir(logical_.get(), "");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].name, "keep");
+}
+
+TEST_F(LogicalTest, MkdirRmdirThroughLogical) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "a/b").ok());
+  EXPECT_TRUE(vfs::Exists(logical_.get(), "a/b"));
+  ASSERT_TRUE(vfs::RemovePath(logical_.get(), "a/b").ok());
+  EXPECT_FALSE(vfs::Exists(logical_.get(), "a/b"));
+}
+
+TEST_F(LogicalTest, RenameThroughLogical) {
+  ASSERT_TRUE(vfs::MkdirAll(logical_.get(), "dir").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "move").ok());
+  ASSERT_TRUE(vfs::RenamePath(logical_.get(), "f", "dir/g").ok());
+  EXPECT_FALSE(vfs::Exists(logical_.get(), "f"));
+  auto contents = vfs::ReadFileAt(logical_.get(), "dir/g");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "move");
+}
+
+TEST_F(LogicalTest, LinkGivesFileTwoNames) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "orig", "shared").ok());
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("orig", cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*root)->Link("alias", *file, cred_).ok());
+  auto contents = vfs::ReadFileAt(logical_.get(), "alias");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "shared");
+}
+
+TEST_F(LogicalTest, SymlinkThroughLogical) {
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->Symlink("l", "else/where", cred_).ok());
+  auto link = (*root)->Lookup("l", cred_);
+  ASSERT_TRUE(link.ok());
+  auto target = (*link)->Readlink(cred_);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "else/where");
+}
+
+TEST_F(LogicalTest, ConflictedFileFailsReadsUntilResolved) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "base").ok());
+  ReconcileAll();
+  auto entries = layer(0)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  FileId file = (*entries)[0].file;
+  // Concurrent updates at both replicas, then reconcile -> conflict.
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {'A'}).ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'B'}).ok());
+  ReconcileAll();
+
+  EXPECT_EQ(vfs::ReadFileAt(logical_.get(), "f").status().code(), ErrorCode::kConflict);
+  EXPECT_GT(logical_->stats().conflicts_surfaced, 0u);
+
+  // The owner resolves: new version dominates both, flags clear.
+  ASSERT_TRUE(logical_->ResolveFileConflict(file, {'A', 'B'}).ok());
+  ReconcileAll();
+  auto contents = vfs::ReadFileAt(logical_.get(), "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "AB");
+  // Both replicas converge on the resolution.
+  auto a = layer(0)->GetAttributes(file);
+  auto b = layer(1)->GetAttributes(file);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->conflict);
+  EXPECT_FALSE(b->conflict);
+  EXPECT_TRUE(a->vv == b->vv);
+}
+
+TEST_F(LogicalTest, OpenTunnelsThroughToPhysical) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "x").ok());
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  uint64_t opens_before = layer(0)->stats().opens_noted;
+  ASSERT_TRUE((*file)->Open(vfs::kOpenRead, cred_).ok());
+  ASSERT_TRUE((*file)->Close(vfs::kOpenRead, cred_).ok());
+  EXPECT_GT(layer(0)->stats().opens_noted, opens_before);
+  EXPECT_GT(layer(0)->stats().closes_noted, 0u);
+}
+
+TEST_F(LogicalTest, GetAttrReportsSizeAndType) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "12345").ok());
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  auto attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, vfs::VnodeType::kRegular);
+  EXPECT_EQ(attr->size, 5u);
+}
+
+TEST_F(LogicalTest, TruncateViaSetAttr) {
+  ASSERT_TRUE(vfs::WriteFileAt(logical_.get(), "f", "1234567890").ok());
+  auto root = logical_->Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Lookup("f", cred_);
+  ASSERT_TRUE(file.ok());
+  vfs::SetAttrRequest request;
+  request.set_size = true;
+  request.size = 3;
+  ASSERT_TRUE((*file)->SetAttr(request, cred_).ok());
+  auto contents = vfs::ReadFileAt(logical_.get(), "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "123");
+}
+
+}  // namespace
+}  // namespace ficus::repl

@@ -1,0 +1,157 @@
+#include "src/repl/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+class PropagationTest : public ReplicaFixture {
+ protected:
+  PropagationTest() : ReplicaFixture(2) {
+    daemon1_ = std::make_unique<PropagationDaemon>(layer(1), &resolver_, &log_, &clock_);
+  }
+
+  // Creates a file known to both replicas and returns its id.
+  FileId SharedFile() {
+    auto file = layer(0)->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+    EXPECT_TRUE(file.ok());
+    ReconcileAll();
+    EXPECT_TRUE(layer(1)->Stores(file.value()));
+    return file.value();
+  }
+
+  // Simulates the notification multicast for an update applied at replica 1.
+  void NotifyReplica2(FileId file) {
+    auto attrs = layer(0)->GetAttributes(file);
+    EXPECT_TRUE(attrs.ok());
+    layer(1)->NoteNewVersion(GlobalFileId{VolumeId{1, 1}, file}, attrs->vv, 1);
+  }
+
+  std::unique_ptr<PropagationDaemon> daemon1_;
+};
+
+TEST_F(PropagationTest, PullsNewerVersionOnNotification) {
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {9, 8, 7}).ok());
+  NotifyReplica2(file);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+
+  auto data = layer(1)->ReadAllData(file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_EQ(daemon1_->stats().pulled_files, 1u);
+  EXPECT_EQ(daemon1_->stats().bytes_pulled, 3u);
+}
+
+TEST_F(PropagationTest, SkipsWhenAlreadyCurrent) {
+  FileId file = SharedFile();
+  // Notification about a version we already hold.
+  NotifyReplica2(file);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().pulled_files, 0u);
+  EXPECT_EQ(daemon1_->stats().skipped_current, 1u);
+}
+
+TEST_F(PropagationTest, ConcurrentVersionsFlagConflict) {
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {'A'}).ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'B'}).ok());
+  NotifyReplica2(file);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+
+  EXPECT_EQ(daemon1_->stats().conflicts_flagged, 1u);
+  auto attrs = layer(1)->GetAttributes(file);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_TRUE(attrs->conflict);
+  // Local contents preserved for the owner.
+  auto data = layer(1)->ReadAllData(file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{'B'}));
+  EXPECT_EQ(log_.CountOf(ConflictKind::kFileUpdate), 1u);
+}
+
+TEST_F(PropagationTest, UnreachableSourceRetriedLater) {
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+  resolver_.SetReachable(1, false);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().deferred_unreachable, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);  // still cached
+
+  resolver_.SetReachable(1, true);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().pulled_files, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 0u);
+}
+
+TEST_F(PropagationTest, MinAgeDelaysPropagation) {
+  PropagationConfig config;
+  config.min_age = 10 * kSecond;
+  PropagationDaemon delayed(layer(1), &resolver_, &log_, &clock_, config);
+
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+
+  ASSERT_TRUE(delayed.RunOnce().ok());
+  EXPECT_EQ(delayed.stats().pulled_files, 0u);  // too young
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);
+
+  clock_.Advance(11 * kSecond);
+  ASSERT_TRUE(delayed.RunOnce().ok());
+  EXPECT_EQ(delayed.stats().pulled_files, 1u);
+}
+
+TEST_F(PropagationTest, BurstCoalescesToOnePull) {
+  FileId file = SharedFile();
+  // Five updates in a burst; each notifies.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(layer(0)->WriteData(file, 0, {static_cast<uint8_t>(i)}).ok());
+    NotifyReplica2(file);
+  }
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);  // coalesced
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().pulled_files, 1u);  // one transfer, not five
+  auto data = layer(1)->ReadAllData(file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{4}));
+}
+
+TEST_F(PropagationTest, DirectoryNotificationTriggersReconcile) {
+  // A directory update cannot be byte-copied; the daemon must run the
+  // directory reconciliation instead.
+  auto dir = layer(0)->CreateChild(kRootFileId, "d", FicusFileType::kDirectory, 0);
+  ASSERT_TRUE(dir.ok());
+  ReconcileAll();
+
+  ASSERT_TRUE(layer(0)->CreateChild(*dir, "new-child", FicusFileType::kRegular, 0).ok());
+  auto attrs = layer(0)->GetAttributes(*dir);
+  ASSERT_TRUE(attrs.ok());
+  layer(1)->NoteNewVersion(GlobalFileId{VolumeId{1, 1}, *dir}, attrs->vv, 1);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().reconciled_dirs, 1u);
+  auto entries = layer(1)->ReadDirectory(*dir);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "new-child");
+}
+
+TEST_F(PropagationTest, UnstoredFileIgnored) {
+  // Notification about a file this volume replica chose not to store.
+  GlobalFileId ghost{VolumeId{1, 1}, FileId{1, 999}};
+  VersionVector vv;
+  vv.Increment(1);
+  layer(1)->NoteNewVersion(ghost, vv, 1);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().skipped_current, 1u);
+}
+
+}  // namespace
+}  // namespace ficus::repl

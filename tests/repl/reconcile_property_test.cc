@@ -1,0 +1,156 @@
+// Property sweep at the physical level: N replicas receive random
+// interleaved operations while "partitioned" (no reconciliation), then
+// reconcile pairwise until quiescent. Invariants:
+//   * every replica's raw entry set (name, file, alive) converges;
+//   * every replica's file contents either converge or are flagged
+//     conflicted on every replica that stores them;
+//   * no replica violates its own consistency invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+  int replicas;
+  int rounds;
+  int ops_per_round;
+};
+
+class ReconcilePropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+using EntryKey = std::tuple<std::string, FileId, bool>;
+
+std::set<EntryKey> EntrySetOf(PhysicalLayer* layer, FileId dir) {
+  std::set<EntryKey> out;
+  auto entries = layer->ReadDirectory(dir);
+  EXPECT_TRUE(entries.ok());
+  for (const auto& e : *entries) {
+    out.insert({e.name, e.file, e.alive});
+  }
+  return out;
+}
+
+TEST_P(ReconcilePropertyTest, RandomOpsConvergeAfterReconciliation) {
+  const Scenario scenario = GetParam();
+  Rng rng(scenario.seed);
+
+  SimClock clock;
+  TestResolver resolver;
+  ConflictLog log;
+  std::vector<std::unique_ptr<ReplicaStack>> stacks;
+  for (int i = 0; i < scenario.replicas; ++i) {
+    auto stack = std::make_unique<ReplicaStack>(&clock, VolumeId{1, 1},
+                                                static_cast<ReplicaId>(i + 1), i == 0);
+    resolver.Add(stack->layer.get());
+    stacks.push_back(std::move(stack));
+  }
+  auto reconcile_all = [&]() {
+    for (int pass = 0; pass < scenario.replicas + 1; ++pass) {
+      for (auto& stack : stacks) {
+        Reconciler reconciler(stack->layer.get(), &resolver, &log, &clock);
+        ASSERT_TRUE(reconciler.ReconcileWithAllReplicas().ok());
+      }
+    }
+  };
+  reconcile_all();
+
+  for (int round = 0; round < scenario.rounds; ++round) {
+    // "Partition": each replica mutates its own copy blindly.
+    for (auto& stack : stacks) {
+      PhysicalLayer* layer = stack->layer.get();
+      for (int op = 0; op < scenario.ops_per_round; ++op) {
+        int action = static_cast<int>(rng.NextBelow(10));
+        auto entries = layer->ReadDirectory(kRootFileId);
+        ASSERT_TRUE(entries.ok());
+        // Operate on presented names, as a client would.
+        std::vector<FicusDirEntry> alive;
+        for (const auto& e : PresentEntries(*entries)) {
+          if (e.alive) {
+            alive.push_back(e);
+          }
+        }
+        if (action < 4 || alive.empty()) {
+          std::string name = "r" + std::to_string(layer->replica_id()) + "_" +
+                             std::to_string(round) + "_" + std::to_string(op);
+          (void)layer->CreateChild(kRootFileId, name, FicusFileType::kRegular, 0);
+        } else if (action < 6) {
+          const FicusDirEntry& victim = alive[rng.NextBelow(alive.size())];
+          if (victim.type == FicusFileType::kRegular) {
+            (void)layer->WriteData(victim.file, 0,
+                                   {static_cast<uint8_t>(rng.Next() & 0xFF)});
+          }
+        } else if (action < 8) {
+          const FicusDirEntry& victim = alive[rng.NextBelow(alive.size())];
+          (void)layer->RemoveEntry(kRootFileId, victim.name);
+        } else {
+          const FicusDirEntry& victim = alive[rng.NextBelow(alive.size())];
+          (void)layer->RenameEntry(kRootFileId, victim.name, kRootFileId,
+                                   victim.name + "x");
+        }
+      }
+    }
+    reconcile_all();
+  }
+
+  // Entry sets identical everywhere.
+  std::set<EntryKey> reference = EntrySetOf(stacks[0]->layer.get(), kRootFileId);
+  for (size_t i = 1; i < stacks.size(); ++i) {
+    EXPECT_EQ(EntrySetOf(stacks[i]->layer.get(), kRootFileId), reference)
+        << "replica " << i + 1 << " diverged (seed " << scenario.seed << ")";
+  }
+
+  // Per-file: contents identical or conflict flag everywhere.
+  for (const auto& [name, file, alive] : reference) {
+    if (!alive) {
+      continue;
+    }
+    std::set<std::vector<uint8_t>> contents;
+    std::set<bool> conflict_flags;
+    for (auto& stack : stacks) {
+      if (!stack->layer->Stores(file)) {
+        continue;
+      }
+      auto attrs = stack->layer->GetAttributes(file);
+      ASSERT_TRUE(attrs.ok());
+      if (attrs->type != FicusFileType::kRegular) {
+        continue;
+      }
+      conflict_flags.insert(attrs->conflict);
+      auto data = stack->layer->ReadAllData(file);
+      ASSERT_TRUE(data.ok());
+      contents.insert(data.value());
+    }
+    if (contents.size() > 1) {
+      EXPECT_EQ(conflict_flags, (std::set<bool>{true}))
+          << "file " << file.ToString() << " diverged without a conflict flag (seed "
+          << scenario.seed << ")";
+    }
+  }
+
+  // Invariants hold everywhere.
+  for (auto& stack : stacks) {
+    auto problems = stack->layer->CheckConsistency();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << problems->front();
+    auto ufs_problems = stack->ufs.Check();
+    ASSERT_TRUE(ufs_problems.ok());
+    EXPECT_TRUE(ufs_problems->empty()) << ufs_problems->front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconcilePropertyTest,
+                         ::testing::Values(Scenario{11, 2, 4, 4}, Scenario{22, 2, 6, 3},
+                                           Scenario{33, 3, 4, 3}, Scenario{44, 3, 5, 4},
+                                           Scenario{55, 4, 3, 3}, Scenario{66, 4, 4, 2},
+                                           Scenario{77, 5, 3, 2}));
+
+}  // namespace
+}  // namespace ficus::repl

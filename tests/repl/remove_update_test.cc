@@ -1,0 +1,158 @@
+// The no-lost-update rule: a delete only applies when the deleter had
+// seen every update the applying replica holds; otherwise the entry is
+// resurrected and the remove/update conflict reported. (The general
+// reconciliation literature's "remove/update conflict"; the paper's
+// abstract promises no conflicting update is silently lost.)
+#include <gtest/gtest.h>
+
+#include "src/vfs/path_ops.h"
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+class RemoveUpdateTest : public ReplicaFixture {
+ protected:
+  RemoveUpdateTest() : ReplicaFixture(2) {}
+
+  FileId SharedFile() {
+    auto file = layer(0)->CreateChild(kRootFileId, "doc", FicusFileType::kRegular, 0);
+    EXPECT_TRUE(file.ok());
+    EXPECT_TRUE(layer(0)->WriteData(*file, 0, {'v', '1'}).ok());
+    ReconcileAll();
+    EXPECT_TRUE(layer(1)->Stores(*file));
+    return file.value();
+  }
+};
+
+TEST_F(RemoveUpdateTest, InformedDeleteApplies) {
+  FileId file = SharedFile();
+  // Replica 1 deletes with full knowledge; nothing raced it.
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
+  ReconcileAll();
+  for (int i = 0; i < 2; ++i) {
+    auto entries = layer(i)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    for (const auto& e : *entries) {
+      EXPECT_FALSE(e.alive) << "replica " << i;
+    }
+  }
+  EXPECT_EQ(log_.CountOf(ConflictKind::kRemoveUpdate), 0u);
+}
+
+TEST_F(RemoveUpdateTest, DeleteRacingUnseenUpdateResurrects) {
+  FileId file = SharedFile();
+  // Partitioned: replica 1 deletes, replica 2 updates.
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+
+  ReconcileAll();
+
+  // Liveness wins: the entry survives everywhere, with the updated bytes.
+  for (int i = 0; i < 2; ++i) {
+    auto entries = layer(i)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    int alive = 0;
+    for (const auto& e : *entries) {
+      if (e.alive) {
+        ++alive;
+        EXPECT_EQ(e.file, file);
+      }
+    }
+    EXPECT_EQ(alive, 1) << "replica " << i;
+    auto data = layer(i)->ReadAllData(file);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value(), (std::vector<uint8_t>{'v', '2'})) << "replica " << i;
+  }
+  EXPECT_GE(log_.CountOf(ConflictKind::kRemoveUpdate), 1u);
+}
+
+TEST_F(RemoveUpdateTest, DeleteAfterSeeingUpdateApplies) {
+  FileId file = SharedFile();
+  // Replica 2 updates; reconcile so replica 1 SEES the update; then
+  // replica 1 deletes — an informed delete that must stick.
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+  ReconcileAll();
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
+  ReconcileAll();
+  for (int i = 0; i < 2; ++i) {
+    auto entries = layer(i)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    for (const auto& e : *entries) {
+      EXPECT_FALSE(e.alive) << "replica " << i;
+    }
+  }
+  EXPECT_EQ(log_.CountOf(ConflictKind::kRemoveUpdate), 0u);
+}
+
+TEST_F(RemoveUpdateTest, RenameRacingUpdateDoesNotResurrectOldName) {
+  FileId file = SharedFile();
+  // Replica 1 renames doc -> report; replica 2 concurrently updates the
+  // contents. A rename is not a content judgement: after reconciliation
+  // exactly one name ("report") must survive, holding the update.
+  ASSERT_TRUE(layer(0)->RenameEntry(kRootFileId, "doc", kRootFileId, "report").ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+
+  ReconcileAll();
+
+  for (int i = 0; i < 2; ++i) {
+    auto entries = layer(i)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    std::set<std::string> alive_names;
+    for (const auto& e : *entries) {
+      if (e.alive) {
+        alive_names.insert(e.name);
+      }
+    }
+    EXPECT_EQ(alive_names, (std::set<std::string>{"report"})) << "replica " << i;
+    auto data = layer(i)->ReadAllData(file);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value(), (std::vector<uint8_t>{'v', '2'}));
+  }
+}
+
+TEST_F(RemoveUpdateTest, ResurrectionConvergesAcrossThreeReplicas) {
+  // Three replicas; deleter and updater are different from the observer.
+  // Everyone must converge to the same resurrected state.
+  SimClock clock;
+  TestResolver resolver;
+  TestNotifier notifier;
+  ConflictLog log;
+  std::vector<std::unique_ptr<ReplicaStack>> stacks;
+  for (int i = 0; i < 3; ++i) {
+    auto stack = std::make_unique<ReplicaStack>(&clock, VolumeId{1, 1},
+                                                static_cast<ReplicaId>(i + 1), i == 0);
+    resolver.Add(stack->layer.get());
+    stacks.push_back(std::move(stack));
+  }
+  auto reconcile = [&]() {
+    for (int round = 0; round < 4; ++round) {
+      for (auto& stack : stacks) {
+        Reconciler reconciler(stack->layer.get(), &resolver, &log, &clock);
+        ASSERT_TRUE(reconciler.ReconcileWithAllReplicas().ok());
+      }
+    }
+  };
+  auto file = stacks[0]->layer->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  reconcile();
+
+  ASSERT_TRUE(stacks[0]->layer->RemoveEntry(kRootFileId, "f").ok());
+  ASSERT_TRUE(stacks[1]->layer->WriteData(*file, 0, {'u'}).ok());
+  reconcile();
+
+  int alive_total = 0;
+  for (auto& stack : stacks) {
+    auto entries = stack->layer->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    for (const auto& e : *entries) {
+      if (e.alive) {
+        ++alive_total;
+      }
+    }
+  }
+  EXPECT_EQ(alive_total, 3);  // one alive entry per replica
+}
+
+}  // namespace
+}  // namespace ficus::repl

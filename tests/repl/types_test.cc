@@ -1,0 +1,138 @@
+#include "src/repl/types.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace ficus::repl {
+namespace {
+
+TEST(TypesTest, AttributesRoundTrip) {
+  ReplicaAttributes attrs;
+  attrs.id = GlobalFileId{{1, 2}, {3, 4}};
+  attrs.type = FicusFileType::kDirectory;
+  attrs.vv.Increment(1);
+  attrs.vv.Increment(2);
+  attrs.conflict = true;
+  attrs.owner_uid = 500;
+  attrs.mtime = 12345;
+
+  auto decoded = ReplicaAttributes::FromBytes(attrs.ToBytes());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, attrs.id);
+  EXPECT_EQ(decoded->type, FicusFileType::kDirectory);
+  EXPECT_TRUE(decoded->vv == attrs.vv);
+  EXPECT_TRUE(decoded->conflict);
+  EXPECT_EQ(decoded->owner_uid, 500u);
+  EXPECT_EQ(decoded->mtime, 12345u);
+}
+
+TEST(TypesTest, AttributesRejectCorruptType) {
+  ReplicaAttributes attrs;
+  attrs.id = GlobalFileId{{1, 1}, {1, 1}};
+  std::vector<uint8_t> bytes = attrs.ToBytes();
+  bytes[16] = 99;  // type byte follows volume (8) + file (8)
+  EXPECT_EQ(ReplicaAttributes::FromBytes(bytes).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST(TypesTest, DirEntriesRoundTripIncludingTombstones) {
+  std::vector<FicusDirEntry> entries;
+  FicusDirEntry alive;
+  alive.name = "file.txt";
+  alive.file = FileId{1, 10};
+  alive.type = FicusFileType::kRegular;
+  alive.alive = true;
+  alive.vv.Increment(1);
+  entries.push_back(alive);
+
+  FicusDirEntry tombstone;
+  tombstone.name = "deleted";
+  tombstone.file = FileId{2, 20};
+  tombstone.type = FicusFileType::kDirectory;
+  tombstone.alive = false;
+  tombstone.vv.Increment(1);
+  tombstone.vv.Increment(2);
+  entries.push_back(tombstone);
+
+  auto decoded = DeserializeDirEntries(SerializeDirEntries(entries));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].name, "file.txt");
+  EXPECT_TRUE((*decoded)[0].alive);
+  EXPECT_EQ((*decoded)[1].name, "deleted");
+  EXPECT_FALSE((*decoded)[1].alive);
+  EXPECT_TRUE((*decoded)[1].vv == tombstone.vv);
+}
+
+TEST(TypesTest, EmptyDirectorySerializes) {
+  auto decoded = DeserializeDirEntries(SerializeDirEntries({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(TypesTest, TruncatedDirectoryFails) {
+  std::vector<FicusDirEntry> entries(1);
+  entries[0].name = "x";
+  entries[0].file = FileId{1, 1};
+  std::vector<uint8_t> bytes = SerializeDirEntries(entries);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DeserializeDirEntries(bytes).ok());
+}
+
+// Deserializers face bytes from the network and from disk; arbitrary
+// garbage must produce an error, never a crash or runaway allocation.
+class TypesFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TypesFuzzTest, RandomBytesNeverCrashDeserializers) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t length = rng.NextBelow(200);
+    std::vector<uint8_t> bytes(length);
+    for (auto& b : bytes) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    (void)ReplicaAttributes::FromBytes(bytes);
+    (void)DeserializeDirEntries(bytes);
+    ByteReader r(bytes);
+    (void)VersionVector::Deserialize(r);
+  }
+}
+
+TEST_P(TypesFuzzTest, TruncationsOfValidDataNeverCrash) {
+  Rng rng(GetParam() + 99);
+  // Build a realistic directory image, then chop it everywhere.
+  std::vector<FicusDirEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    FicusDirEntry e;
+    e.name = "entry-" + std::to_string(i);
+    e.file = FileId{static_cast<ReplicaId>(i + 1), static_cast<uint32_t>(rng.Next())};
+    e.alive = (i % 2) == 0;
+    e.vv.Increment(static_cast<ReplicaId>(i + 1));
+    e.deleted_file_vv.Increment(1);
+    entries.push_back(std::move(e));
+  }
+  std::vector<uint8_t> valid = SerializeDirEntries(entries);
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    std::vector<uint8_t> chopped(valid.begin(), valid.begin() + static_cast<ptrdiff_t>(cut));
+    auto result = DeserializeDirEntries(chopped);
+    EXPECT_FALSE(result.ok()) << "cut at " << cut << " parsed successfully";
+  }
+  // And bit flips.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> flipped = valid;
+    flipped[rng.NextBelow(flipped.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    (void)DeserializeDirEntries(flipped);  // may succeed or fail; no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypesFuzzTest, ::testing::Values(1, 7, 42));
+
+TEST(TypesTest, DirectoryLikePredicate) {
+  EXPECT_TRUE(IsDirectoryLike(FicusFileType::kDirectory));
+  EXPECT_TRUE(IsDirectoryLike(FicusFileType::kGraftPoint));
+  EXPECT_FALSE(IsDirectoryLike(FicusFileType::kRegular));
+  EXPECT_FALSE(IsDirectoryLike(FicusFileType::kSymlink));
+}
+
+}  // namespace
+}  // namespace ficus::repl

@@ -1,0 +1,186 @@
+#include "src/repl/version_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace ficus::repl {
+namespace {
+
+TEST(VersionVectorTest, FreshVectorsAreEqual) {
+  VersionVector a, b;
+  EXPECT_EQ(a.Compare(b), VectorOrder::kEqual);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VersionVectorTest, IncrementDominates) {
+  VersionVector a, b;
+  a.Increment(1);
+  EXPECT_EQ(a.Compare(b), VectorOrder::kDominates);
+  EXPECT_EQ(b.Compare(a), VectorOrder::kDominatedBy);
+  EXPECT_TRUE(a.StrictlyDominates(b));
+  EXPECT_TRUE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+}
+
+TEST(VersionVectorTest, DisjointIncrementsAreConcurrent) {
+  VersionVector a, b;
+  a.Increment(1);
+  b.Increment(2);
+  EXPECT_EQ(a.Compare(b), VectorOrder::kConcurrent);
+  EXPECT_TRUE(a.ConcurrentWith(b));
+  EXPECT_TRUE(b.ConcurrentWith(a));
+}
+
+TEST(VersionVectorTest, MixedComponentsConcurrent) {
+  VersionVector a, b;
+  a.Increment(1);
+  a.Increment(1);
+  a.Increment(2);
+  b.Increment(1);
+  b.Increment(2);
+  b.Increment(2);
+  // a = {1:2, 2:1}, b = {1:1, 2:2}
+  EXPECT_EQ(a.Compare(b), VectorOrder::kConcurrent);
+}
+
+TEST(VersionVectorTest, MergeIsLeastUpperBound) {
+  VersionVector a, b;
+  a.Increment(1);
+  a.Increment(1);
+  b.Increment(2);
+  VersionVector merged = VersionVector::Merge(a, b);
+  EXPECT_TRUE(merged.Dominates(a));
+  EXPECT_TRUE(merged.Dominates(b));
+  EXPECT_EQ(merged.Count(1), 2u);
+  EXPECT_EQ(merged.Count(2), 1u);
+}
+
+TEST(VersionVectorTest, MergeIdempotentCommutative) {
+  VersionVector a, b;
+  a.Increment(1);
+  b.Increment(2);
+  b.Increment(3);
+  EXPECT_TRUE(VersionVector::Merge(a, b) == VersionVector::Merge(b, a));
+  EXPECT_TRUE(VersionVector::Merge(a, a) == a);
+}
+
+TEST(VersionVectorTest, CountOfAbsentReplicaIsZero) {
+  VersionVector a;
+  EXPECT_EQ(a.Count(99), 0u);
+  a.Increment(1);
+  EXPECT_EQ(a.Count(99), 0u);
+}
+
+TEST(VersionVectorTest, TotalUpdatesSumsComponents) {
+  VersionVector a;
+  a.Increment(1);
+  a.Increment(1);
+  a.Increment(5);
+  EXPECT_EQ(a.TotalUpdates(), 3u);
+}
+
+TEST(VersionVectorTest, SerializationRoundTrip) {
+  VersionVector a;
+  a.Increment(1);
+  a.Increment(1);
+  a.Increment(7);
+  std::vector<uint8_t> buf;
+  ByteWriter w(buf);
+  a.Serialize(w);
+  ByteReader r(buf);
+  auto decoded = VersionVector::Deserialize(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value() == a);
+}
+
+TEST(VersionVectorTest, ToStringReadable) {
+  VersionVector a;
+  a.Increment(3);
+  a.Increment(3);
+  EXPECT_EQ(a.ToString(), "{r3:2}");
+  EXPECT_EQ(VersionVector().ToString(), "{}");
+}
+
+// --- property sweeps ---
+
+class VersionVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+VersionVector RandomVector(Rng& rng, int replicas, int max_count) {
+  VersionVector v;
+  for (int r = 1; r <= replicas; ++r) {
+    uint64_t count = rng.NextBelow(static_cast<uint64_t>(max_count + 1));
+    for (uint64_t i = 0; i < count; ++i) {
+      v.Increment(static_cast<ReplicaId>(r));
+    }
+  }
+  return v;
+}
+
+TEST_P(VersionVectorPropertyTest, CompareIsAntisymmetricAndMergeUpperBounds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    VersionVector a = RandomVector(rng, 4, 3);
+    VersionVector b = RandomVector(rng, 4, 3);
+    VectorOrder ab = a.Compare(b);
+    VectorOrder ba = b.Compare(a);
+    switch (ab) {
+      case VectorOrder::kEqual:
+        EXPECT_EQ(ba, VectorOrder::kEqual);
+        break;
+      case VectorOrder::kDominates:
+        EXPECT_EQ(ba, VectorOrder::kDominatedBy);
+        break;
+      case VectorOrder::kDominatedBy:
+        EXPECT_EQ(ba, VectorOrder::kDominates);
+        break;
+      case VectorOrder::kConcurrent:
+        EXPECT_EQ(ba, VectorOrder::kConcurrent);
+        break;
+    }
+    VersionVector m = VersionVector::Merge(a, b);
+    EXPECT_TRUE(m.Dominates(a));
+    EXPECT_TRUE(m.Dominates(b));
+    // Minimality: every component of the merge comes from a or b.
+    for (const auto& [replica, count] : m.counters()) {
+      EXPECT_EQ(count, std::max(a.Count(replica), b.Count(replica)));
+    }
+    // Serialization is faithful.
+    std::vector<uint8_t> buf;
+    ByteWriter w(buf);
+    a.Serialize(w);
+    ByteReader r(buf);
+    auto decoded = VersionVector::Deserialize(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value() == a);
+  }
+}
+
+TEST_P(VersionVectorPropertyTest, DominanceIsTransitive) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 200; ++trial) {
+    VersionVector a = RandomVector(rng, 3, 3);
+    VersionVector b = a;
+    VersionVector c;
+    // b >= a by construction; c >= b by construction.
+    for (int i = 0; i < 3; ++i) {
+      if (rng.NextBool(0.5)) {
+        b.Increment(static_cast<ReplicaId>(rng.NextBelow(3) + 1));
+      }
+    }
+    c = b;
+    for (int i = 0; i < 3; ++i) {
+      if (rng.NextBool(0.5)) {
+        c.Increment(static_cast<ReplicaId>(rng.NextBelow(3) + 1));
+      }
+    }
+    EXPECT_TRUE(b.Dominates(a));
+    EXPECT_TRUE(c.Dominates(b));
+    EXPECT_TRUE(c.Dominates(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionVectorPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ficus::repl

@@ -1,0 +1,98 @@
+#include "src/storage/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::storage {
+namespace {
+
+std::vector<uint8_t> Block(uint8_t fill) { return std::vector<uint8_t>(kBlockSize, fill); }
+
+TEST(BufferCacheTest, SecondReadHitsCache) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 4);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(device.stats().reads, 1u);
+}
+
+TEST(BufferCacheTest, WriteThroughReachesDevice) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 4);
+  ASSERT_TRUE(cache.Write(1, Block(0x42)).ok());
+  EXPECT_EQ(device.stats().writes, 1u);
+  // Read served from cache afterwards.
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(1, data).ok());
+  EXPECT_EQ(data, Block(0x42));
+  EXPECT_EQ(device.stats().reads, 0u);
+}
+
+TEST(BufferCacheTest, EvictsLeastRecentlyUsed) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 2);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  ASSERT_TRUE(cache.Read(1, data).ok());
+  ASSERT_TRUE(cache.Read(0, data).ok());  // touch 0 so 1 is LRU
+  ASSERT_TRUE(cache.Read(2, data).ok());  // evicts 1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  device.ResetStats();
+  ASSERT_TRUE(cache.Read(0, data).ok());  // still cached
+  EXPECT_EQ(device.stats().reads, 0u);
+  ASSERT_TRUE(cache.Read(1, data).ok());  // evicted -> device read
+  EXPECT_EQ(device.stats().reads, 1u);
+}
+
+TEST(BufferCacheTest, InvalidateForcesDeviceRead) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 4);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  cache.Invalidate();
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+  device.ResetStats();
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  EXPECT_EQ(device.stats().reads, 1u);
+}
+
+TEST(BufferCacheTest, InvalidateSingleBlock) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 4);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  ASSERT_TRUE(cache.Read(1, data).ok());
+  cache.InvalidateBlock(0);
+  device.ResetStats();
+  ASSERT_TRUE(cache.Read(1, data).ok());
+  EXPECT_EQ(device.stats().reads, 0u);
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  EXPECT_EQ(device.stats().reads, 1u);
+}
+
+TEST(BufferCacheTest, ZeroCapacityDisablesCaching) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 0);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  EXPECT_EQ(device.stats().reads, 2u);
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+}
+
+TEST(BufferCacheTest, WriteUpdatesCachedCopy) {
+  BlockDevice device(8);
+  BufferCache cache(&device, 4);
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  ASSERT_TRUE(cache.Write(0, Block(0x99)).ok());
+  device.ResetStats();
+  ASSERT_TRUE(cache.Read(0, data).ok());
+  EXPECT_EQ(data, Block(0x99));
+  EXPECT_EQ(device.stats().reads, 0u);  // served from the updated cache copy
+}
+
+}  // namespace
+}  // namespace ficus::storage

@@ -1,0 +1,127 @@
+// Property-style sweeps over the UFS: random operation sequences must
+// leave the filesystem fsck-clean and agree with an in-memory model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/ufs/ufs.h"
+
+namespace ficus::ufs {
+namespace {
+
+struct ModelFile {
+  std::vector<uint8_t> contents;
+  InodeNum ino = kInvalidInode;
+};
+
+class UfsRandomOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UfsRandomOpsTest, RandomOpsStayConsistentWithModel) {
+  SimClock clock;
+  storage::BlockDevice device(8192);
+  storage::BufferCache cache(&device, 128);
+  Ufs ufs(&cache, &clock);
+  ASSERT_TRUE(ufs.Format(1024).ok());
+
+  Rng rng(GetParam());
+  std::map<std::string, ModelFile> model;
+  int next_name = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    int action = static_cast<int>(rng.NextBelow(10));
+    if (action < 3) {
+      // create
+      std::string name = "f" + std::to_string(next_name++);
+      auto ino = ufs.CreateFile(kRootInode, name, FileType::kRegular, 0644, 0, 0);
+      ASSERT_TRUE(ino.ok());
+      model[name] = ModelFile{{}, ino.value()};
+    } else if (action < 6 && !model.empty()) {
+      // write at random offset
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(model.size())));
+      uint64_t offset = rng.NextBelow(64 * 1024);
+      size_t length = static_cast<size_t>(rng.NextBelow(8 * 1024) + 1);
+      std::vector<uint8_t> data(length);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(ufs.WriteAt(it->second.ino, offset, data).ok());
+      auto& contents = it->second.contents;
+      if (offset + length > contents.size()) {
+        contents.resize(static_cast<size_t>(offset + length), 0);
+      }
+      std::copy(data.begin(), data.end(),
+                contents.begin() + static_cast<ptrdiff_t>(offset));
+    } else if (action < 7 && !model.empty()) {
+      // truncate
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(model.size())));
+      uint64_t new_size = rng.NextBelow(32 * 1024);
+      ASSERT_TRUE(ufs.Truncate(it->second.ino, new_size).ok());
+      it->second.contents.resize(static_cast<size_t>(new_size), 0);
+    } else if (action < 8 && !model.empty()) {
+      // unlink
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(model.size())));
+      ASSERT_TRUE(ufs.Unlink(kRootInode, it->first).ok());
+      model.erase(it);
+    } else if (!model.empty()) {
+      // verify a random file in full
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(model.size())));
+      auto contents = ufs.ReadAll(it->second.ino);
+      ASSERT_TRUE(contents.ok());
+      ASSERT_EQ(contents.value(), it->second.contents);
+    }
+  }
+
+  // Final: every file matches the model and fsck is clean.
+  for (const auto& [name, file] : model) {
+    auto found = ufs.DirLookup(kRootInode, name);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), file.ino);
+    auto contents = ufs.ReadAll(file.ino);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents.value(), file.contents) << name;
+  }
+  auto problems = ufs.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UfsRandomOpsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class UfsFileSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UfsFileSizeTest, WholeFileRoundTripAtManySizes) {
+  SimClock clock;
+  storage::BlockDevice device(8192);
+  storage::BufferCache cache(&device, 64);
+  Ufs ufs(&cache, &clock);
+  ASSERT_TRUE(ufs.Format(64).ok());
+  auto ino = ufs.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+
+  size_t size = GetParam();
+  std::vector<uint8_t> payload(size);
+  for (size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  ASSERT_TRUE(ufs.WriteAll(*ino, payload).ok());
+  cache.Invalidate();
+  auto contents = ufs.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), payload);
+  auto problems = ufs.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UfsFileSizeTest,
+                         ::testing::Values(0, 1, 100, 4095, 4096, 4097, 12 * 4096,
+                                           12 * 4096 + 1, 50 * 4096, 200 * 4096 + 123));
+
+}  // namespace
+}  // namespace ficus::ufs

@@ -1,0 +1,243 @@
+#include "src/ufs/ufs.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::ufs {
+namespace {
+
+class UfsTest : public ::testing::Test {
+ protected:
+  UfsTest() : device_(4096), cache_(&device_, 256), ufs_(&cache_, &clock_) {
+    EXPECT_TRUE(ufs_.Format(512).ok());
+  }
+
+  void ExpectClean() {
+    auto problems = ufs_.Check();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << "fsck: " << problems->front();
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  Ufs ufs_;
+};
+
+TEST_F(UfsTest, FormatCreatesRootDirectory) {
+  auto root = ufs_.ReadInode(kRootInode);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->type, FileType::kDirectory);
+  EXPECT_EQ(root->nlink, 2u);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, MountRereadsSuperblock) {
+  Ufs second(&cache_, &clock_);
+  ASSERT_TRUE(second.Mount().ok());
+  EXPECT_EQ(second.superblock().inode_count, 512u);
+  EXPECT_EQ(second.superblock().block_count, 4096u);
+}
+
+TEST_F(UfsTest, MountRejectsUnformattedDevice) {
+  storage::BlockDevice blank(64);
+  storage::BufferCache blank_cache(&blank, 8);
+  Ufs fs(&blank_cache, &clock_);
+  EXPECT_EQ(fs.Mount().code(), ErrorCode::kCorrupt);
+}
+
+TEST_F(UfsTest, CreateLookupRoundTrip) {
+  auto ino = ufs_.CreateFile(kRootInode, "hello.txt", FileType::kRegular, 0644, 10, 20);
+  ASSERT_TRUE(ino.ok());
+  auto found = ufs_.DirLookup(kRootInode, "hello.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), ino.value());
+  auto inode = ufs_.ReadInode(ino.value());
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode->uid, 10u);
+  EXPECT_EQ(inode->gid, 20u);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, DuplicateCreateFails) {
+  ASSERT_TRUE(ufs_.CreateFile(kRootInode, "x", FileType::kRegular, 0644, 0, 0).ok());
+  EXPECT_EQ(ufs_.CreateFile(kRootInode, "x", FileType::kRegular, 0644, 0, 0).status().code(),
+            ErrorCode::kExists);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, LookupMissingFails) {
+  EXPECT_EQ(ufs_.DirLookup(kRootInode, "ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(UfsTest, WriteReadSmallFile) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> payload = {'a', 'b', 'c'};
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 0, payload).ok());
+  auto contents = ufs_.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), payload);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, WriteAtOffsetExtendsWithZeros) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> payload = {0xFF};
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 10000, payload).ok());
+  auto contents = ufs_.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->size(), 10001u);
+  EXPECT_EQ((*contents)[0], 0);
+  EXPECT_EQ((*contents)[9999], 0);
+  EXPECT_EQ((*contents)[10000], 0xFF);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, LargeFileUsesIndirectBlocks) {
+  auto ino = ufs_.CreateFile(kRootInode, "big", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  // 64 blocks: well past the 12 direct pointers.
+  std::vector<uint8_t> payload(64 * storage::kBlockSize);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 0, payload).ok());
+  auto inode = ufs_.ReadInode(*ino);
+  ASSERT_TRUE(inode.ok());
+  EXPECT_NE(inode->indirect, 0u);
+  auto contents = ufs_.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), payload);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, MaxFileSizeEnforced) {
+  auto ino = ufs_.CreateFile(kRootInode, "huge", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> one = {1};
+  EXPECT_EQ(ufs_.WriteAt(*ino, kMaxFileSize, one).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(UfsTest, TruncateShrinksAndFreesBlocks) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> payload(20 * storage::kBlockSize, 7);
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 0, payload).ok());
+  auto free_before = ufs_.FreeBlockCount();
+  ASSERT_TRUE(free_before.ok());
+  ASSERT_TRUE(ufs_.Truncate(*ino, 100).ok());
+  auto free_after = ufs_.FreeBlockCount();
+  ASSERT_TRUE(free_after.ok());
+  EXPECT_GT(free_after.value(), free_before.value());
+  auto contents = ufs_.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 100u);
+  EXPECT_EQ((*contents)[0], 7);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, TruncateToZeroFreesEverything) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> payload(30 * storage::kBlockSize, 9);
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 0, payload).ok());
+  ASSERT_TRUE(ufs_.Truncate(*ino, 0).ok());
+  auto inode = ufs_.ReadInode(*ino);
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode->size, 0u);
+  EXPECT_EQ(inode->indirect, 0u);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, UnlinkFreesInode) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  auto free_before = ufs_.FreeInodeCount();
+  ASSERT_TRUE(ufs_.Unlink(kRootInode, "f").ok());
+  auto free_after = ufs_.FreeInodeCount();
+  EXPECT_EQ(free_after.value(), free_before.value() + 1);
+  EXPECT_EQ(ufs_.DirLookup(kRootInode, "f").status().code(), ErrorCode::kNotFound);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, UnlinkNonEmptyDirectoryFails) {
+  auto dir = ufs_.CreateFile(kRootInode, "d", FileType::kDirectory, 0755, 0, 0);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(ufs_.CreateFile(*dir, "child", FileType::kRegular, 0644, 0, 0).ok());
+  EXPECT_EQ(ufs_.Unlink(kRootInode, "d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(ufs_.Unlink(*dir, "child").ok());
+  EXPECT_TRUE(ufs_.Unlink(kRootInode, "d").ok());
+  ExpectClean();
+}
+
+TEST_F(UfsTest, DirRepointSwingsEntryAtomically) {
+  auto a = ufs_.CreateFile(kRootInode, "a", FileType::kRegular, 0644, 0, 0);
+  auto b = ufs_.CreateFile(kRootInode, "b", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(ufs_.DirRepoint(kRootInode, "a", *b).ok());
+  auto found = ufs_.DirLookup(kRootInode, "a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), *b);
+}
+
+TEST_F(UfsTest, DirListReturnsAllEntries) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        ufs_.CreateFile(kRootInode, "f" + std::to_string(i), FileType::kRegular, 0644, 0, 0)
+            .ok());
+  }
+  auto entries = ufs_.DirList(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);
+}
+
+TEST_F(UfsTest, InodeExhaustionReported) {
+  // 512 inodes were formatted; exhaust them.
+  Status last = OkStatus();
+  for (int i = 0; i < 600; ++i) {
+    auto ino =
+        ufs_.CreateFile(kRootInode, "f" + std::to_string(i), FileType::kRegular, 0644, 0, 0);
+    if (!ino.ok()) {
+      last = ino.status();
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(UfsTest, RejectsBadNames) {
+  EXPECT_EQ(ufs_.DirAdd(kRootInode, "", 5, FileType::kRegular).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ufs_.DirAdd(kRootInode, "a/b", 5, FileType::kRegular).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ufs_.DirAdd(kRootInode, std::string(300, 'n'), 5, FileType::kRegular).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(UfsTest, CheckDetectsNlinkMismatch) {
+  auto ino = ufs_.CreateFile(kRootInode, "f", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  auto inode = ufs_.ReadInode(*ino);
+  ASSERT_TRUE(inode.ok());
+  inode->nlink = 5;  // corrupt it
+  ASSERT_TRUE(ufs_.WriteInode(*ino, *inode).ok());
+  auto problems = ufs_.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_FALSE(problems->empty());
+}
+
+TEST_F(UfsTest, SurvivesCacheInvalidation) {
+  auto ino = ufs_.CreateFile(kRootInode, "persist", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  ASSERT_TRUE(ufs_.WriteAt(*ino, 0, payload).ok());
+  cache_.Invalidate();  // everything must come back from the device
+  auto contents = ufs_.ReadAll(*ino);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), payload);
+}
+
+}  // namespace
+}  // namespace ficus::ufs

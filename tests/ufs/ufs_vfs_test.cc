@@ -1,0 +1,181 @@
+#include "src/ufs/ufs_vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/path_ops.h"
+
+namespace ficus::ufs {
+namespace {
+
+using vfs::Credentials;
+using vfs::VAttr;
+using vfs::VnodePtr;
+using vfs::VnodeType;
+
+class UfsVfsTest : public ::testing::Test {
+ protected:
+  UfsVfsTest() : device_(4096), cache_(&device_, 256), ufs_(&cache_, &clock_), vfs_(&ufs_) {
+    EXPECT_TRUE(ufs_.Format(512).ok());
+  }
+
+  VnodePtr Root() {
+    auto root = vfs_.Root();
+    EXPECT_TRUE(root.ok());
+    return root.value();
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  Ufs ufs_;
+  UfsVfs vfs_;
+  Credentials cred_;
+};
+
+TEST_F(UfsVfsTest, RootIsDirectory) {
+  auto attr = Root()->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kDirectory);
+  EXPECT_EQ(attr->fileid, kRootInode);
+}
+
+TEST_F(UfsVfsTest, CreateWriteReadThroughVnodes) {
+  auto file = Root()->Create("f.txt", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload = {'h', 'i'};
+  ASSERT_TRUE((*file)->Write(0, payload, cred_).ok());
+  std::vector<uint8_t> read_back;
+  auto n = (*file)->Read(0, 10, read_back, cred_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST_F(UfsVfsTest, MkdirAndNestedCreate) {
+  auto dir = Root()->Mkdir("sub", VAttr{}, cred_);
+  ASSERT_TRUE(dir.ok());
+  auto file = (*dir)->Create("inner", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  auto walked = vfs::WalkPath(Root(), "sub/inner", cred_);
+  ASSERT_TRUE(walked.ok());
+  auto attr = (*walked)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kRegular);
+}
+
+TEST_F(UfsVfsTest, RemoveAndRmdirEnforceTypes) {
+  ASSERT_TRUE(Root()->Create("file", VAttr{}, cred_).ok());
+  ASSERT_TRUE(Root()->Mkdir("dir", VAttr{}, cred_).ok());
+  EXPECT_EQ(Root()->Remove("dir", cred_).code(), ErrorCode::kIsDir);
+  EXPECT_EQ(Root()->Rmdir("file", cred_).code(), ErrorCode::kNotDir);
+  EXPECT_TRUE(Root()->Remove("file", cred_).ok());
+  EXPECT_TRUE(Root()->Rmdir("dir", cred_).ok());
+}
+
+TEST_F(UfsVfsTest, HardLinkSharesInode) {
+  auto file = Root()->Create("orig", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(Root()->Link("alias", *file, cred_).ok());
+  std::vector<uint8_t> payload = {9, 9};
+  ASSERT_TRUE((*file)->Write(0, payload, cred_).ok());
+  auto alias = Root()->Lookup("alias", cred_);
+  ASSERT_TRUE(alias.ok());
+  std::vector<uint8_t> read_back;
+  ASSERT_TRUE((*alias)->Read(0, 10, read_back, cred_).ok());
+  EXPECT_EQ(read_back, payload);
+  auto attr = (*alias)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 2u);
+  // Removing one name keeps the data.
+  ASSERT_TRUE(Root()->Remove("orig", cred_).ok());
+  EXPECT_TRUE(vfs::Exists(&vfs_, "alias"));
+}
+
+TEST_F(UfsVfsTest, RenameMovesAcrossDirectories) {
+  ASSERT_TRUE(vfs::MkdirAll(&vfs_, "a").ok());
+  ASSERT_TRUE(vfs::MkdirAll(&vfs_, "b").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(&vfs_, "a/f", "data").ok());
+  ASSERT_TRUE(vfs::RenamePath(&vfs_, "a/f", "b/g").ok());
+  EXPECT_FALSE(vfs::Exists(&vfs_, "a/f"));
+  auto contents = vfs::ReadFileAt(&vfs_, "b/g");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "data");
+  auto problems = ufs_.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(UfsVfsTest, RenameDisplacesTarget) {
+  ASSERT_TRUE(vfs::WriteFileAt(&vfs_, "src", "new").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(&vfs_, "dst", "old").ok());
+  ASSERT_TRUE(vfs::RenamePath(&vfs_, "src", "dst").ok());
+  auto contents = vfs::ReadFileAt(&vfs_, "dst");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "new");
+  auto problems = ufs_.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(UfsVfsTest, SymlinkRoundTrip) {
+  auto link = Root()->Symlink("ln", "target/path", cred_);
+  ASSERT_TRUE(link.ok());
+  auto target = (*link)->Readlink(cred_);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "target/path");
+  auto attr = (*link)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kSymlink);
+}
+
+TEST_F(UfsVfsTest, ReaddirListsEverything) {
+  ASSERT_TRUE(Root()->Create("f1", VAttr{}, cred_).ok());
+  ASSERT_TRUE(Root()->Mkdir("d1", VAttr{}, cred_).ok());
+  ASSERT_TRUE(Root()->Symlink("l1", "x", cred_).ok());
+  auto entries = Root()->Readdir(cred_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST_F(UfsVfsTest, SetAttrTruncates) {
+  ASSERT_TRUE(vfs::WriteFileAt(&vfs_, "f", "hello world").ok());
+  auto file = vfs::WalkPath(Root(), "f", cred_);
+  ASSERT_TRUE(file.ok());
+  vfs::SetAttrRequest request;
+  request.set_size = true;
+  request.size = 5;
+  ASSERT_TRUE((*file)->SetAttr(request, cred_).ok());
+  auto contents = vfs::ReadFileAt(&vfs_, "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello");
+}
+
+TEST_F(UfsVfsTest, RenameIntoOwnSubtreeRejected) {
+  ASSERT_TRUE(vfs::MkdirAll(&vfs_, "a/b/c").ok());
+  auto root = Root();
+  auto c = vfs::WalkPath(root, "a/b/c", cred_);
+  ASSERT_TRUE(c.ok());
+  // Moving "a" into a/b/c would orphan the whole subtree in a cycle.
+  EXPECT_EQ(root->Rename("a", *c, "a-again", cred_).code(), ErrorCode::kInvalidArgument);
+  // Moving a directory into itself is equally forbidden.
+  auto a = vfs::WalkPath(root, "a", cred_);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(root->Rename("a", *a, "self", cred_).code(), ErrorCode::kInvalidArgument);
+  // The tree is untouched and clean.
+  EXPECT_TRUE(vfs::Exists(&vfs_, "a/b/c"));
+  auto problems = ufs_.Check();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+}
+
+TEST_F(UfsVfsTest, StatfsReflectsUsage) {
+  auto before = vfs_.Statfs();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(vfs::WriteFileAt(&vfs_, "f", std::string(100000, 'x')).ok());
+  auto after = vfs_.Statfs();
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->free_blocks, before->free_blocks);
+  EXPECT_EQ(after->free_inodes + 1, before->free_inodes);
+}
+
+}  // namespace
+}  // namespace ficus::ufs

@@ -1,0 +1,147 @@
+#include "src/vfs/mem_vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::vfs {
+namespace {
+
+class MemVfsTest : public ::testing::Test {
+ protected:
+  MemVfsTest() : fs_(&clock_) {
+    auto root = fs_.Root();
+    EXPECT_TRUE(root.ok());
+    root_ = root.value();
+  }
+
+  SimClock clock_;
+  MemVfs fs_;
+  VnodePtr root_;
+  Credentials cred_;
+};
+
+TEST_F(MemVfsTest, CreateAndLookup) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  auto found = root_->Lookup("f", cred_);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().get(), file.value().get());
+}
+
+TEST_F(MemVfsTest, WriteExtendsAndReadsBack) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> data = {1, 2, 3};
+  ASSERT_TRUE((*file)->Write(5, data, cred_).ok());
+  std::vector<uint8_t> out;
+  auto n = (*file)->Read(0, 100, out, cred_);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[5], 1);
+  EXPECT_EQ(out[7], 3);
+}
+
+TEST_F(MemVfsTest, ReadPastEndIsShort) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> out;
+  auto n = (*file)->Read(100, 10, out, cred_);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST_F(MemVfsTest, MkdirRmdirLifecycle) {
+  ASSERT_TRUE(root_->Mkdir("d", VAttr{}, cred_).ok());
+  EXPECT_EQ(root_->Mkdir("d", VAttr{}, cred_).status().code(), ErrorCode::kExists);
+  ASSERT_TRUE(root_->Rmdir("d", cred_).ok());
+  EXPECT_EQ(root_->Rmdir("d", cred_).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MemVfsTest, RmdirNonEmptyFails) {
+  auto dir = root_->Mkdir("d", VAttr{}, cred_);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE((*dir)->Create("child", VAttr{}, cred_).ok());
+  EXPECT_EQ(root_->Rmdir("d", cred_).code(), ErrorCode::kNotEmpty);
+}
+
+TEST_F(MemVfsTest, InvalidNamesRejected) {
+  EXPECT_FALSE(root_->Create("", VAttr{}, cred_).ok());
+  EXPECT_FALSE(root_->Create(".", VAttr{}, cred_).ok());
+  EXPECT_FALSE(root_->Create("..", VAttr{}, cred_).ok());
+  EXPECT_FALSE(root_->Create("a/b", VAttr{}, cred_).ok());
+}
+
+TEST_F(MemVfsTest, LinkCountTracksNames) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(root_->Link("g", *file, cred_).ok());
+  auto attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 2u);
+  ASSERT_TRUE(root_->Remove("f", cred_).ok());
+  attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 1u);
+}
+
+TEST_F(MemVfsTest, RenameWithinDirectory) {
+  ASSERT_TRUE(root_->Create("old", VAttr{}, cred_).ok());
+  ASSERT_TRUE(root_->Rename("old", root_, "new", cred_).ok());
+  EXPECT_FALSE(root_->Lookup("old", cred_).ok());
+  EXPECT_TRUE(root_->Lookup("new", cred_).ok());
+}
+
+TEST_F(MemVfsTest, ReaddirSortedAndComplete) {
+  ASSERT_TRUE(root_->Create("b", VAttr{}, cred_).ok());
+  ASSERT_TRUE(root_->Create("a", VAttr{}, cred_).ok());
+  ASSERT_TRUE(root_->Mkdir("c", VAttr{}, cred_).ok());
+  auto entries = root_->Readdir(cred_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[1].name, "b");
+  EXPECT_EQ((*entries)[2].name, "c");
+  EXPECT_EQ((*entries)[2].type, VnodeType::kDirectory);
+}
+
+TEST_F(MemVfsTest, SymlinkReadlink) {
+  ASSERT_TRUE(root_->Symlink("l", "some/where", cred_).ok());
+  auto link = root_->Lookup("l", cred_);
+  ASSERT_TRUE(link.ok());
+  auto target = (*link)->Readlink(cred_);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "some/where");
+}
+
+TEST_F(MemVfsTest, OpenTruncateClearsData) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, {1, 2, 3}, cred_).ok());
+  ASSERT_TRUE((*file)->Open(kOpenWrite | kOpenTruncate, cred_).ok());
+  auto attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST_F(MemVfsTest, MtimeAdvancesWithClock) {
+  auto file = root_->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  clock_.Advance(5 * kSecond);
+  ASSERT_TRUE((*file)->Write(0, {1}, cred_).ok());
+  auto attr = (*file)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->mtime, 5 * kSecond);
+}
+
+TEST_F(MemVfsTest, FileIdsAreUnique) {
+  auto a = root_->Create("a", VAttr{}, cred_);
+  auto b = root_->Create("b", VAttr{}, cred_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto attr_a = (*a)->GetAttr();
+  auto attr_b = (*b)->GetAttr();
+  EXPECT_NE(attr_a->fileid, attr_b->fileid);
+}
+
+}  // namespace
+}  // namespace ficus::vfs

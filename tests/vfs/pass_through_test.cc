@@ -1,0 +1,94 @@
+#include "src/vfs/pass_through.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::vfs {
+namespace {
+
+class PassThroughTest : public ::testing::Test {
+ protected:
+  PassThroughTest() : layered_(&base_) {}
+
+  MemVfs base_;
+  PassThroughVfs layered_;
+  Credentials cred_;
+};
+
+TEST_F(PassThroughTest, OperationsReachTheBase) {
+  auto root = layered_.Root();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->Create("f", VAttr{}, cred_).ok());
+  // Visible through the base directly.
+  auto base_root = base_.Root();
+  ASSERT_TRUE(base_root.ok());
+  EXPECT_TRUE((*base_root)->Lookup("f", cred_).ok());
+}
+
+TEST_F(PassThroughTest, LookupWrapsChildren) {
+  auto root = layered_.Root();
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)->Mkdir("d", VAttr{}, cred_).ok());
+  auto child = (*root)->Lookup("d", cred_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_NE(dynamic_cast<PassThroughVnode*>(child->get()), nullptr);
+}
+
+TEST_F(PassThroughTest, LinkAndRenameUnwrapArguments) {
+  auto root = layered_.Root();
+  ASSERT_TRUE(root.ok());
+  auto file = (*root)->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(file.ok());
+  // Both the target and new-parent vnodes are pass-through wrappers; the
+  // layer must hand the base's vnodes to the base.
+  ASSERT_TRUE((*root)->Link("g", *file, cred_).ok());
+  ASSERT_TRUE((*root)->Mkdir("d", VAttr{}, cred_).ok());
+  auto dir = (*root)->Lookup("d", cred_);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE((*root)->Rename("g", *dir, "h", cred_).ok());
+  EXPECT_TRUE(Exists(&layered_, "d/h"));
+}
+
+TEST_F(PassThroughTest, DeepStackStillCorrect) {
+  // Stack 8 null layers; the filesystem must behave identically.
+  auto top = StackNullLayers(&base_, 8);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE((*top)->Mkdir("a", VAttr{}, cred_).ok());
+  auto a = (*top)->Lookup("a", cred_);
+  ASSERT_TRUE(a.ok());
+  auto f = (*a)->Create("f", VAttr{}, cred_);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, {42}, cred_).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE((*f)->Read(0, 1, out, cred_).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42);
+  // And the data is visible at the bottom.
+  auto contents = ReadFileAt(&base_, "a/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), std::string(1, '\x2a'));
+}
+
+TEST_F(PassThroughTest, GetAttrForwards) {
+  auto root = layered_.Root();
+  ASSERT_TRUE(root.ok());
+  auto attr = (*root)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kDirectory);
+}
+
+TEST_F(PassThroughTest, StatfsForwards) {
+  auto stats = layered_.Statfs();
+  ASSERT_TRUE(stats.ok());
+}
+
+TEST_F(PassThroughTest, StackZeroReturnsBaseRoot) {
+  auto top = StackNullLayers(&base_, 0);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(dynamic_cast<PassThroughVnode*>(top->get()), nullptr);
+}
+
+}  // namespace
+}  // namespace ficus::vfs

@@ -1,0 +1,88 @@
+#include "src/vfs/path_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/mem_vfs.h"
+
+namespace ficus::vfs {
+namespace {
+
+class PathOpsTest : public ::testing::Test {
+ protected:
+  MemVfs fs_;
+};
+
+TEST_F(PathOpsTest, MkdirAllCreatesChain) {
+  ASSERT_TRUE(MkdirAll(&fs_, "a/b/c/d").ok());
+  EXPECT_TRUE(Exists(&fs_, "a/b/c/d"));
+}
+
+TEST_F(PathOpsTest, MkdirAllIdempotent) {
+  ASSERT_TRUE(MkdirAll(&fs_, "a/b").ok());
+  ASSERT_TRUE(MkdirAll(&fs_, "a/b/c").ok());
+  EXPECT_TRUE(Exists(&fs_, "a/b/c"));
+}
+
+TEST_F(PathOpsTest, WriteThenReadFile) {
+  ASSERT_TRUE(MkdirAll(&fs_, "dir").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "dir/file", "payload").ok());
+  auto contents = ReadFileAt(&fs_, "dir/file");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "payload");
+}
+
+TEST_F(PathOpsTest, WriteTruncatesExisting) {
+  ASSERT_TRUE(WriteFileAt(&fs_, "f", "long contents here").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "f", "short").ok());
+  auto contents = ReadFileAt(&fs_, "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "short");
+}
+
+TEST_F(PathOpsTest, OpenReadCloseMatchesRead) {
+  ASSERT_TRUE(WriteFileAt(&fs_, "f", "hello").ok());
+  auto contents = OpenReadClose(&fs_, "f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello");
+}
+
+TEST_F(PathOpsTest, RemovePathFilesAndDirs) {
+  ASSERT_TRUE(MkdirAll(&fs_, "d").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "d/f", "x").ok());
+  ASSERT_TRUE(RemovePath(&fs_, "d/f").ok());
+  EXPECT_FALSE(Exists(&fs_, "d/f"));
+  ASSERT_TRUE(RemovePath(&fs_, "d").ok());
+  EXPECT_FALSE(Exists(&fs_, "d"));
+}
+
+TEST_F(PathOpsTest, ListDirShowsEntries) {
+  ASSERT_TRUE(MkdirAll(&fs_, "d").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "d/a", "1").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "d/b", "2").ok());
+  auto entries = ListDir(&fs_, "d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(PathOpsTest, ExistsFalseForMissing) {
+  EXPECT_FALSE(Exists(&fs_, "nope"));
+  EXPECT_FALSE(Exists(&fs_, "no/pe"));
+}
+
+TEST_F(PathOpsTest, RenamePathMoves) {
+  ASSERT_TRUE(MkdirAll(&fs_, "a").ok());
+  ASSERT_TRUE(MkdirAll(&fs_, "b").ok());
+  ASSERT_TRUE(WriteFileAt(&fs_, "a/f", "data").ok());
+  ASSERT_TRUE(RenamePath(&fs_, "a/f", "b/g").ok());
+  EXPECT_FALSE(Exists(&fs_, "a/f"));
+  auto contents = ReadFileAt(&fs_, "b/g");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "data");
+}
+
+TEST_F(PathOpsTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFileAt(&fs_, "ghost").status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ficus::vfs

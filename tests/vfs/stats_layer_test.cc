@@ -1,0 +1,83 @@
+#include "src/vfs/stats_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::vfs {
+namespace {
+
+class StatsLayerTest : public ::testing::Test {
+ protected:
+  StatsLayerTest() : stats_(&base_) {}
+
+  MemVfs base_;
+  StatsVfs stats_;
+  Credentials cred_;
+};
+
+TEST_F(StatsLayerTest, CountsEveryOperationKind) {
+  ASSERT_TRUE(MkdirAll(&stats_, "d").ok());
+  ASSERT_TRUE(WriteFileAt(&stats_, "d/f", "hello").ok());
+  ASSERT_TRUE(ReadFileAt(&stats_, "d/f").ok());
+  ASSERT_TRUE(RenamePath(&stats_, "d/f", "d/g").ok());
+  ASSERT_TRUE(RemovePath(&stats_, "d/g").ok());
+  ASSERT_TRUE(RemovePath(&stats_, "d").ok());
+
+  const OpCounters& counters = stats_.counters();
+  EXPECT_GT(counters.Calls(VnodeOp::kMkdir), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kCreate), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kLookup), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kWrite), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kRead), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kRename), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kRemove), 0u);
+  EXPECT_GT(counters.Calls(VnodeOp::kRmdir), 0u);
+  EXPECT_EQ(counters.bytes_written, 5u);
+  EXPECT_EQ(counters.bytes_read, 5u);
+}
+
+TEST_F(StatsLayerTest, CountsErrorsSeparately) {
+  auto root = stats_.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE((*root)->Lookup("ghost", cred_).ok());
+  EXPECT_EQ(stats_.counters().Calls(VnodeOp::kLookup), 1u);
+  EXPECT_EQ(stats_.counters().Errors(VnodeOp::kLookup), 1u);
+}
+
+TEST_F(StatsLayerTest, ChildVnodesShareCounters) {
+  ASSERT_TRUE(MkdirAll(&stats_, "a/b/c").ok());
+  uint64_t lookups_before = stats_.counters().Calls(VnodeOp::kLookup);
+  ASSERT_TRUE(Exists(&stats_, "a/b/c"));
+  // The walk did three lookups through wrapped children.
+  EXPECT_EQ(stats_.counters().Calls(VnodeOp::kLookup), lookups_before + 3);
+}
+
+TEST_F(StatsLayerTest, ResetClearsCounters) {
+  ASSERT_TRUE(WriteFileAt(&stats_, "f", "x").ok());
+  EXPECT_GT(stats_.counters().TotalCalls(), 0u);
+  stats_.ResetCounters();
+  EXPECT_EQ(stats_.counters().TotalCalls(), 0u);
+}
+
+TEST_F(StatsLayerTest, ToStringListsNonZeroOps) {
+  ASSERT_TRUE(WriteFileAt(&stats_, "f", "abc").ok());
+  std::string report = stats_.counters().ToString();
+  EXPECT_NE(report.find("write:"), std::string::npos);
+  EXPECT_NE(report.find("bytes"), std::string::npos);
+  EXPECT_EQ(report.find("rmdir:"), std::string::npos);  // never called
+}
+
+TEST_F(StatsLayerTest, TransparentToTheStack) {
+  // The layer must not perturb behaviour: same results with and without.
+  ASSERT_TRUE(WriteFileAt(&stats_, "f", "payload").ok());
+  auto through_stats = ReadFileAt(&stats_, "f");
+  auto through_base = ReadFileAt(&base_, "f");
+  ASSERT_TRUE(through_stats.ok());
+  ASSERT_TRUE(through_base.ok());
+  EXPECT_EQ(through_stats.value(), through_base.value());
+}
+
+}  // namespace
+}  // namespace ficus::vfs

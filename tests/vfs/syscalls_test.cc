@@ -1,0 +1,170 @@
+// The system-call veneer: fd semantics, offsets, symlink resolution, and
+// the same veneer working over an in-memory FS, a raw UFS, and a Ficus
+// logical layer (the symmetric-interface payoff).
+#include "src/vfs/syscalls.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/mem_vfs.h"
+
+namespace ficus::vfs {
+namespace {
+
+class SyscallsTest : public ::testing::Test {
+ protected:
+  SyscallsTest() : sys_(&fs_) {}
+
+  std::vector<uint8_t> Bytes(const std::string& s) {
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+  std::string Str(const std::vector<uint8_t>& b) { return std::string(b.begin(), b.end()); }
+
+  MemVfs fs_;
+  SyscallInterface sys_;
+};
+
+TEST_F(SyscallsTest, OpenCreatWriteReadClose) {
+  auto fd = sys_.Open("hello.txt", kWrOnly | kCreat);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("hello ")).ok());
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("world")).ok());  // offset advanced
+  ASSERT_TRUE(sys_.Close(*fd).ok());
+
+  auto rd = sys_.Open("hello.txt", kRdOnly);
+  ASSERT_TRUE(rd.ok());
+  std::vector<uint8_t> out;
+  auto n = sys_.Read(*rd, out, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(Str(out), "hello world");
+  // Second read hits EOF.
+  n = sys_.Read(*rd, out, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  ASSERT_TRUE(sys_.Close(*rd).ok());
+  EXPECT_EQ(sys_.open_files(), 0u);
+}
+
+TEST_F(SyscallsTest, ExclRefusesExisting) {
+  ASSERT_TRUE(sys_.Open("f", kWrOnly | kCreat).ok());
+  EXPECT_EQ(sys_.Open("f", kWrOnly | kCreat | kExcl).status().code(), ErrorCode::kExists);
+}
+
+TEST_F(SyscallsTest, TruncEmptiesFile) {
+  auto fd = sys_.Open("f", kWrOnly | kCreat);
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("0123456789")).ok());
+  ASSERT_TRUE(sys_.Close(*fd).ok());
+  auto fd2 = sys_.Open("f", kWrOnly | kTrunc);
+  ASSERT_TRUE(fd2.ok());
+  auto attr = sys_.Fstat(*fd2);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST_F(SyscallsTest, AppendAlwaysWritesAtEnd) {
+  auto fd = sys_.Open("log", kWrOnly | kCreat);
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("line1\n")).ok());
+  ASSERT_TRUE(sys_.Close(*fd).ok());
+  auto ap = sys_.Open("log", kAppend);
+  ASSERT_TRUE(ap.ok());
+  ASSERT_TRUE(sys_.Lseek(*ap, 0, Whence::kSet).ok());  // try to rewind...
+  ASSERT_TRUE(sys_.Write(*ap, Bytes("line2\n")).ok()); // ...append ignores it
+  auto attr = sys_.Fstat(*ap);
+  EXPECT_EQ(attr->size, 12u);
+}
+
+TEST_F(SyscallsTest, LseekWhenceVariants) {
+  auto fd = sys_.Open("f", kRdWr | kCreat);
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("0123456789")).ok());
+  auto pos = sys_.Lseek(*fd, 2, Whence::kSet);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 2u);
+  pos = sys_.Lseek(*fd, 3, Whence::kCur);
+  EXPECT_EQ(pos.value(), 5u);
+  pos = sys_.Lseek(*fd, -4, Whence::kEnd);
+  EXPECT_EQ(pos.value(), 6u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(sys_.Read(*fd, out, 2).ok());
+  EXPECT_EQ(Str(out), "67");
+  EXPECT_FALSE(sys_.Lseek(*fd, -100, Whence::kSet).ok());
+}
+
+TEST_F(SyscallsTest, PreadPwriteDontMoveOffset) {
+  auto fd = sys_.Open("f", kRdWr | kCreat);
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("aaaaaaaa")).ok());
+  ASSERT_TRUE(sys_.Pwrite(*fd, 2, Bytes("XX")).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(sys_.Pread(*fd, 0, out, 8).ok());
+  EXPECT_EQ(Str(out), "aaXXaaaa");
+  // The descriptor offset is still at 8 (after the first Write).
+  auto pos = sys_.Lseek(*fd, 0, Whence::kCur);
+  EXPECT_EQ(pos.value(), 8u);
+}
+
+TEST_F(SyscallsTest, ReadOnWriteOnlyAllowedWriteOnReadOnlyRefused) {
+  auto fd = sys_.Open("f", kRdOnly | kCreat);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(sys_.Write(*fd, Bytes("x")).status().code(), ErrorCode::kPermission);
+}
+
+TEST_F(SyscallsTest, BadFdRejected) {
+  EXPECT_FALSE(sys_.Close(99).ok());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(sys_.Read(42, out, 1).ok());
+}
+
+TEST_F(SyscallsTest, PathOpsMirrorPosix) {
+  ASSERT_TRUE(sys_.Mkdir("dir").ok());
+  ASSERT_TRUE(sys_.Open("dir/f", kWrOnly | kCreat).ok());
+  ASSERT_TRUE(sys_.Link("dir/f", "dir/g").ok());
+  auto attr = sys_.Stat("dir/g");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 2u);
+  ASSERT_TRUE(sys_.Rename("dir/g", "dir/h").ok());
+  ASSERT_TRUE(sys_.Unlink("dir/f").ok());
+  ASSERT_TRUE(sys_.Unlink("dir/h").ok());
+  ASSERT_TRUE(sys_.Rmdir("dir").ok());
+  EXPECT_EQ(sys_.Stat("dir").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SyscallsTest, SymlinksFollowedInPaths) {
+  ASSERT_TRUE(sys_.Mkdir("real").ok());
+  ASSERT_TRUE(sys_.Open("real/data", kWrOnly | kCreat).ok());
+  ASSERT_TRUE(sys_.Symlink("real", "alias").ok());
+  // Intermediate symlink: alias/data -> real/data.
+  auto attr = sys_.Stat("alias/data");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kRegular);
+  // Final-component symlink followed by Stat, not by Lstat.
+  ASSERT_TRUE(sys_.Symlink("real/data", "direct").ok());
+  EXPECT_EQ(sys_.Stat("direct")->type, VnodeType::kRegular);
+  EXPECT_EQ(sys_.Lstat("direct")->type, VnodeType::kSymlink);
+  EXPECT_EQ(sys_.Readlink("direct").value(), "real/data");
+}
+
+TEST_F(SyscallsTest, SymlinkLoopsDetected) {
+  ASSERT_TRUE(sys_.Symlink("b", "a").ok());
+  ASSERT_TRUE(sys_.Symlink("a", "b").ok());
+  EXPECT_EQ(sys_.Stat("a").status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SyscallsTest, OpenThroughSymlinkWritesRealFile) {
+  ASSERT_TRUE(sys_.Open("real.txt", kWrOnly | kCreat).ok());
+  ASSERT_TRUE(sys_.Symlink("real.txt", "ln.txt").ok());
+  auto fd = sys_.Open("ln.txt", kWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.Write(*fd, Bytes("via link")).ok());
+  auto rd = sys_.Open("real.txt", kRdOnly);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(sys_.Read(*rd, out, 100).ok());
+  EXPECT_EQ(Str(out), "via link");
+}
+
+TEST_F(SyscallsTest, OpenDirectoryForWriteRefused) {
+  ASSERT_TRUE(sys_.Mkdir("d").ok());
+  EXPECT_EQ(sys_.Open("d", kWrOnly).status().code(), ErrorCode::kIsDir);
+  // Read-only opens of directories are fine (for Readdir-style use).
+  EXPECT_TRUE(sys_.Open("d", kRdOnly).ok());
+}
+
+}  // namespace
+}  // namespace ficus::vfs

@@ -1,0 +1,115 @@
+#include "src/vfs/vnode.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/mem_vfs.h"
+
+namespace ficus::vfs {
+namespace {
+
+TEST(SplitPathTest, SplitsParentAndLeaf) {
+  auto split = SplitPath("a/b/c");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first, "a/b");
+  EXPECT_EQ(split->second, "c");
+}
+
+TEST(SplitPathTest, BareNameHasEmptyParent) {
+  auto split = SplitPath("file");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first, "");
+  EXPECT_EQ(split->second, "file");
+}
+
+TEST(SplitPathTest, TrailingSlashesIgnored) {
+  auto split = SplitPath("a/b///");
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first, "a");
+  EXPECT_EQ(split->second, "b");
+}
+
+TEST(SplitPathTest, EmptyPathFails) {
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("///").ok());
+}
+
+class WalkPathTest : public ::testing::Test {
+ protected:
+  WalkPathTest() {
+    auto root = fs_.Root();
+    EXPECT_TRUE(root.ok());
+    root_ = root.value();
+    auto a = root_->Mkdir("a", VAttr{}, cred_);
+    EXPECT_TRUE(a.ok());
+    auto b = (*a)->Mkdir("b", VAttr{}, cred_);
+    EXPECT_TRUE(b.ok());
+    EXPECT_TRUE((*b)->Create("c", VAttr{}, cred_).ok());
+  }
+
+  MemVfs fs_;
+  VnodePtr root_;
+  Credentials cred_;
+};
+
+TEST_F(WalkPathTest, WalksNestedPath) {
+  auto c = WalkPath(root_, "a/b/c", cred_);
+  ASSERT_TRUE(c.ok());
+  auto attr = (*c)->GetAttr();
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, VnodeType::kRegular);
+}
+
+TEST_F(WalkPathTest, LeadingAndDoubledSlashesOk) {
+  EXPECT_TRUE(WalkPath(root_, "/a/b/c", cred_).ok());
+  EXPECT_TRUE(WalkPath(root_, "a//b///c", cred_).ok());
+}
+
+TEST_F(WalkPathTest, EmptyPathReturnsRoot) {
+  auto walked = WalkPath(root_, "", cred_);
+  ASSERT_TRUE(walked.ok());
+  EXPECT_EQ(walked.value().get(), root_.get());
+}
+
+TEST_F(WalkPathTest, DotComponentIsSkipped) {
+  EXPECT_TRUE(WalkPath(root_, "a/./b", cred_).ok());
+}
+
+TEST_F(WalkPathTest, MissingComponentFails) {
+  EXPECT_EQ(WalkPath(root_, "a/zzz/c", cred_).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(WalkPathTest, OverlongComponentFails) {
+  std::string long_name(kMaxComponentLength + 1, 'x');
+  EXPECT_EQ(WalkPath(root_, long_name, cred_).status().code(), ErrorCode::kNameTooLong);
+}
+
+TEST_F(WalkPathTest, NullRootFails) {
+  EXPECT_EQ(WalkPath(nullptr, "a", cred_).status().code(), ErrorCode::kInvalidArgument);
+}
+
+// A bare Vnode rejects everything with kNotSupported — layers implement
+// only what they serve (streams pass unknown messages on; vnodes must be
+// explicit).
+TEST(VnodeDefaultsTest, AllDefaultOperationsUnsupported) {
+  class Bare : public Vnode {};
+  Bare bare;
+  Credentials cred;
+  std::vector<uint8_t> buf;
+  std::string target;
+  EXPECT_EQ(bare.GetAttr().status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Lookup("x", cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Create("x", VAttr{}, cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Remove("x", cred).code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Mkdir("x", VAttr{}, cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Rmdir("x", cred).code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Readdir(cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Read(0, 1, buf, cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Write(0, buf, cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Open(0, cred).code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Close(0, cred).code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Readlink(cred).status().code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(bare.Fsync(cred).code(), ErrorCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace ficus::vfs

@@ -1,0 +1,98 @@
+#include "src/vol/graft.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repl/physical.h"
+
+namespace ficus::vol {
+namespace {
+
+class GraftTest : public ::testing::Test {
+ protected:
+  GraftTest() : device_(8192), cache_(&device_, 128), ufs_(&cache_, &clock_) {
+    EXPECT_TRUE(ufs_.Format(512).ok());
+    phys_ = std::make_unique<repl::PhysicalLayer>(&ufs_, &clock_);
+    EXPECT_TRUE(phys_->CreateVolume(repl::VolumeId{1, 1}, 1, "parent", true).ok());
+  }
+
+  SimClock clock_;
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  ufs::Ufs ufs_;
+  std::unique_ptr<repl::PhysicalLayer> phys_;
+};
+
+TEST_F(GraftTest, WriteAndReadGraftPoint) {
+  GraftPointInfo info;
+  info.volume = repl::VolumeId{2, 5};
+  info.replicas = {{1, 10}, {2, 20}, {3, 30}};
+  auto graft = WriteGraftPoint(phys_.get(), repl::kRootFileId, "sub", info);
+  ASSERT_TRUE(graft.ok());
+
+  auto attrs = phys_->GetAttributes(*graft);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->type, repl::FicusFileType::kGraftPoint);
+
+  auto decoded = ReadGraftPoint(phys_.get(), *graft);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->volume, info.volume);
+  EXPECT_EQ(decoded->replicas, info.replicas);
+}
+
+TEST_F(GraftTest, GraftPointRecordsAreOrdinaryDirectoryEntries) {
+  // The paper's implementation economy: the records are plain Ficus
+  // directory entries (symlinks), visible through ReadDirectory.
+  GraftPointInfo info;
+  info.volume = repl::VolumeId{2, 5};
+  info.replicas = {{1, 10}};
+  auto graft = WriteGraftPoint(phys_.get(), repl::kRootFileId, "sub", info);
+  ASSERT_TRUE(graft.ok());
+  auto entries = phys_->ReadDirectory(*graft);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);  // @volume + r1
+}
+
+TEST_F(GraftTest, AddReplicaDynamically) {
+  GraftPointInfo info;
+  info.volume = repl::VolumeId{2, 5};
+  info.replicas = {{1, 10}};
+  auto graft = WriteGraftPoint(phys_.get(), repl::kRootFileId, "sub", info);
+  ASSERT_TRUE(graft.ok());
+  ASSERT_TRUE(AddGraftReplica(phys_.get(), *graft, 2, 20).ok());
+  auto decoded = ReadGraftPoint(phys_.get(), *graft);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->replicas.size(), 2u);
+}
+
+TEST_F(GraftTest, GraftPointWithoutVolumeRecordIsCorrupt) {
+  auto dir = phys_->CreateChild(repl::kRootFileId, "broken",
+                                repl::FicusFileType::kGraftPoint, 0);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(ReadGraftPoint(phys_.get(), *dir).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST_F(GraftTest, GraftTableTracksUseAndPrunes) {
+  SimClock clock;
+  GraftTable table(&clock);
+  EXPECT_EQ(table.Find(repl::VolumeId{9, 9}), nullptr);
+
+  auto logical = std::make_unique<repl::LogicalLayer>(repl::VolumeId{9, 9}, nullptr, nullptr,
+                                                      nullptr, &clock);
+  repl::LogicalLayer* raw = logical.get();
+  EXPECT_EQ(table.Insert(repl::VolumeId{9, 9}, std::move(logical)), raw);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.grafts_performed(), 1u);
+
+  clock.Advance(5 * kSecond);
+  EXPECT_EQ(table.Find(repl::VolumeId{9, 9}), raw);  // touch
+  EXPECT_EQ(table.graft_hits(), 1u);
+
+  clock.Advance(9 * kSecond);
+  EXPECT_EQ(table.Prune(10 * kSecond), 0);  // used 9s ago: kept
+  clock.Advance(2 * kSecond);
+  EXPECT_EQ(table.Prune(10 * kSecond), 1);  // idle 11s: pruned
+  EXPECT_EQ(table.Find(repl::VolumeId{9, 9}), nullptr);
+}
+
+}  // namespace
+}  // namespace ficus::vol

@@ -1,0 +1,65 @@
+#include "src/vol/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::vol {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : device_(4096), cache_(&device_, 64), ufs_(&cache_, nullptr) {
+    EXPECT_TRUE(ufs_.Format(256).ok());
+    local_ = std::make_unique<repl::PhysicalLayer>(&ufs_, nullptr);
+    EXPECT_TRUE(local_->CreateVolume(repl::VolumeId{1, 1}, 1, "v", true).ok());
+  }
+
+  storage::BlockDevice device_;
+  storage::BufferCache cache_;
+  ufs::Ufs ufs_;
+  std::unique_ptr<repl::PhysicalLayer> local_;
+  VolumeRegistry registry_;
+};
+
+TEST_F(RegistryTest, EmptyRegistryKnowsNothing) {
+  EXPECT_TRUE(registry_.ReplicasOf(repl::VolumeId{1, 1}).empty());
+  EXPECT_EQ(registry_.LocalReplica(repl::VolumeId{1, 1}), nullptr);
+  EXPECT_FALSE(registry_.HostOf(repl::VolumeId{1, 1}, 1).has_value());
+}
+
+TEST_F(RegistryTest, LocalRegistrationVisible) {
+  registry_.RegisterLocal(local_.get(), 7);
+  auto replicas = registry_.ReplicasOf(repl::VolumeId{1, 1});
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_EQ(replicas[0], 1u);
+  EXPECT_EQ(registry_.LocalReplica(repl::VolumeId{1, 1}), local_.get());
+  auto host = registry_.HostOf(repl::VolumeId{1, 1}, 1);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, 7u);
+}
+
+TEST_F(RegistryTest, RemoteRegistrationAndOrdering) {
+  registry_.RegisterRemote(repl::VolumeId{1, 1}, 3, 30);
+  registry_.RegisterRemote(repl::VolumeId{1, 1}, 2, 20);
+  auto replicas = registry_.ReplicasOf(repl::VolumeId{1, 1});
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0], 2u);  // id order
+  EXPECT_EQ(replicas[1], 3u);
+}
+
+TEST_F(RegistryTest, LocalBeatsRemoteForSameReplica) {
+  registry_.RegisterLocal(local_.get(), 7);
+  registry_.RegisterRemote(repl::VolumeId{1, 1}, 1, 99);  // stale gossip
+  auto host = registry_.HostOf(repl::VolumeId{1, 1}, 1);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, 7u);  // local knowledge is authoritative
+}
+
+TEST_F(RegistryTest, AllLocalAndKnownVolumes) {
+  registry_.RegisterLocal(local_.get(), 7);
+  registry_.RegisterRemote(repl::VolumeId{2, 2}, 1, 9);
+  EXPECT_EQ(registry_.AllLocal().size(), 1u);
+  EXPECT_EQ(registry_.KnownVolumes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ficus::vol
