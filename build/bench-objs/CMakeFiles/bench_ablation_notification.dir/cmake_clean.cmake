@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_notification"
+  "../bench/bench_ablation_notification.pdb"
+  "CMakeFiles/bench_ablation_notification.dir/bench_ablation_notification.cc.o"
+  "CMakeFiles/bench_ablation_notification.dir/bench_ablation_notification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

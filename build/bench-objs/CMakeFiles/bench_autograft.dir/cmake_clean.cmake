@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_autograft"
+  "../bench/bench_autograft.pdb"
+  "CMakeFiles/bench_autograft.dir/bench_autograft.cc.o"
+  "CMakeFiles/bench_autograft.dir/bench_autograft.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autograft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deceit"
+  "../bench/bench_deceit.pdb"
+  "CMakeFiles/bench_deceit.dir/bench_deceit.cc.o"
+  "CMakeFiles/bench_deceit.dir/bench_deceit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deceit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_locality"
+  "../bench/bench_locality.pdb"
+  "CMakeFiles/bench_locality.dir/bench_locality.cc.o"
+  "CMakeFiles/bench_locality.dir/bench_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_open_io"
+  "../bench/bench_open_io.pdb"
+  "CMakeFiles/bench_open_io.dir/bench_open_io.cc.o"
+  "CMakeFiles/bench_open_io.dir/bench_open_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reconciliation"
+  "../bench/bench_reconciliation.pdb"
+  "CMakeFiles/bench_reconciliation.dir/bench_reconciliation.cc.o"
+  "CMakeFiles/bench_reconciliation.dir/bench_reconciliation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconciliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stack_composition"
+  "../bench/bench_stack_composition.pdb"
+  "CMakeFiles/bench_stack_composition.dir/bench_stack_composition.cc.o"
+  "CMakeFiles/bench_stack_composition.dir/bench_stack_composition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

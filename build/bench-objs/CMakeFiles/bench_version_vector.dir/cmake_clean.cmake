@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_version_vector"
+  "../bench/bench_version_vector.pdb"
+  "CMakeFiles/bench_version_vector.dir/bench_version_vector.cc.o"
+  "CMakeFiles/bench_version_vector.dir/bench_version_vector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

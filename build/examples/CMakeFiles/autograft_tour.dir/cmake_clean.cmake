@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograft_tour.dir/autograft_tour.cpp.o"
+  "CMakeFiles/autograft_tour.dir/autograft_tour.cpp.o.d"
+  "autograft_tour"
+  "autograft_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograft_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_shell.dir/ficus_shell.cpp.o"
+  "CMakeFiles/ficus_shell.dir/ficus_shell.cpp.o.d"
+  "ficus_shell"
+  "ficus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_interop.dir/nfs_interop.cpp.o"
+  "CMakeFiles/nfs_interop.dir/nfs_interop.cpp.o.d"
+  "nfs_interop"
+  "nfs_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partitioned_update.cpp" "examples/CMakeFiles/partitioned_update.dir/partitioned_update.cpp.o" "gcc" "examples/CMakeFiles/partitioned_update.dir/partitioned_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ficus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ficus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vol/CMakeFiles/ficus_vol.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/ficus_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/ficus_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ficus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ficus_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ficus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

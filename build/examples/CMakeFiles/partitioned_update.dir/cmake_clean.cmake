@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_update.dir/partitioned_update.cpp.o"
+  "CMakeFiles/partitioned_update.dir/partitioned_update.cpp.o.d"
+  "partitioned_update"
+  "partitioned_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for partitioned_update.
+# This may be replaced when dependencies are built.

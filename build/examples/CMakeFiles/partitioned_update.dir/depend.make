@@ -1,0 +1,2 @@
+# Empty dependencies file for partitioned_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_baseline.dir/availability.cc.o"
+  "CMakeFiles/ficus_baseline.dir/availability.cc.o.d"
+  "CMakeFiles/ficus_baseline.dir/policies.cc.o"
+  "CMakeFiles/ficus_baseline.dir/policies.cc.o.d"
+  "libficus_baseline.a"
+  "libficus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

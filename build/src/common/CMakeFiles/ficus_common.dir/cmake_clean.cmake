@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_common.dir/clock.cc.o"
+  "CMakeFiles/ficus_common.dir/clock.cc.o.d"
+  "CMakeFiles/ficus_common.dir/hex.cc.o"
+  "CMakeFiles/ficus_common.dir/hex.cc.o.d"
+  "CMakeFiles/ficus_common.dir/logging.cc.o"
+  "CMakeFiles/ficus_common.dir/logging.cc.o.d"
+  "CMakeFiles/ficus_common.dir/rng.cc.o"
+  "CMakeFiles/ficus_common.dir/rng.cc.o.d"
+  "CMakeFiles/ficus_common.dir/status.cc.o"
+  "CMakeFiles/ficus_common.dir/status.cc.o.d"
+  "libficus_common.a"
+  "libficus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_net.dir/network.cc.o"
+  "CMakeFiles/ficus_net.dir/network.cc.o.d"
+  "libficus_net.a"
+  "libficus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/client.cc" "src/nfs/CMakeFiles/ficus_nfs.dir/client.cc.o" "gcc" "src/nfs/CMakeFiles/ficus_nfs.dir/client.cc.o.d"
+  "/root/repo/src/nfs/protocol.cc" "src/nfs/CMakeFiles/ficus_nfs.dir/protocol.cc.o" "gcc" "src/nfs/CMakeFiles/ficus_nfs.dir/protocol.cc.o.d"
+  "/root/repo/src/nfs/server.cc" "src/nfs/CMakeFiles/ficus_nfs.dir/server.cc.o" "gcc" "src/nfs/CMakeFiles/ficus_nfs.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ficus_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

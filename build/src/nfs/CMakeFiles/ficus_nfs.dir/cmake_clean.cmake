@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_nfs.dir/client.cc.o"
+  "CMakeFiles/ficus_nfs.dir/client.cc.o.d"
+  "CMakeFiles/ficus_nfs.dir/protocol.cc.o"
+  "CMakeFiles/ficus_nfs.dir/protocol.cc.o.d"
+  "CMakeFiles/ficus_nfs.dir/server.cc.o"
+  "CMakeFiles/ficus_nfs.dir/server.cc.o.d"
+  "libficus_nfs.a"
+  "libficus_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

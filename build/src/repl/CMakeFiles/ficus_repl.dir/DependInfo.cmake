@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repl/facade.cc" "src/repl/CMakeFiles/ficus_repl.dir/facade.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/facade.cc.o.d"
+  "/root/repo/src/repl/ids.cc" "src/repl/CMakeFiles/ficus_repl.dir/ids.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/ids.cc.o.d"
+  "/root/repo/src/repl/logical.cc" "src/repl/CMakeFiles/ficus_repl.dir/logical.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/logical.cc.o.d"
+  "/root/repo/src/repl/physical.cc" "src/repl/CMakeFiles/ficus_repl.dir/physical.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/physical.cc.o.d"
+  "/root/repo/src/repl/propagation.cc" "src/repl/CMakeFiles/ficus_repl.dir/propagation.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/propagation.cc.o.d"
+  "/root/repo/src/repl/reconcile.cc" "src/repl/CMakeFiles/ficus_repl.dir/reconcile.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/reconcile.cc.o.d"
+  "/root/repo/src/repl/types.cc" "src/repl/CMakeFiles/ficus_repl.dir/types.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/types.cc.o.d"
+  "/root/repo/src/repl/version_vector.cc" "src/repl/CMakeFiles/ficus_repl.dir/version_vector.cc.o" "gcc" "src/repl/CMakeFiles/ficus_repl.dir/version_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ficus_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ficus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/ficus_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ficus_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

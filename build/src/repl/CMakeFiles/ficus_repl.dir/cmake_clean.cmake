@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_repl.dir/facade.cc.o"
+  "CMakeFiles/ficus_repl.dir/facade.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/ids.cc.o"
+  "CMakeFiles/ficus_repl.dir/ids.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/logical.cc.o"
+  "CMakeFiles/ficus_repl.dir/logical.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/physical.cc.o"
+  "CMakeFiles/ficus_repl.dir/physical.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/propagation.cc.o"
+  "CMakeFiles/ficus_repl.dir/propagation.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/reconcile.cc.o"
+  "CMakeFiles/ficus_repl.dir/reconcile.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/types.cc.o"
+  "CMakeFiles/ficus_repl.dir/types.cc.o.d"
+  "CMakeFiles/ficus_repl.dir/version_vector.cc.o"
+  "CMakeFiles/ficus_repl.dir/version_vector.cc.o.d"
+  "libficus_repl.a"
+  "libficus_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_sim.dir/cluster.cc.o"
+  "CMakeFiles/ficus_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/ficus_sim.dir/host.cc.o"
+  "CMakeFiles/ficus_sim.dir/host.cc.o.d"
+  "CMakeFiles/ficus_sim.dir/workload.cc.o"
+  "CMakeFiles/ficus_sim.dir/workload.cc.o.d"
+  "libficus_sim.a"
+  "libficus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

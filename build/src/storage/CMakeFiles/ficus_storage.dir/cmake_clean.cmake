@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_storage.dir/block_device.cc.o"
+  "CMakeFiles/ficus_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/ficus_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/ficus_storage.dir/buffer_cache.cc.o.d"
+  "libficus_storage.a"
+  "libficus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libficus_storage.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ufs/ufs.cc" "src/ufs/CMakeFiles/ficus_ufs.dir/ufs.cc.o" "gcc" "src/ufs/CMakeFiles/ficus_ufs.dir/ufs.cc.o.d"
+  "/root/repo/src/ufs/ufs_vfs.cc" "src/ufs/CMakeFiles/ficus_ufs.dir/ufs_vfs.cc.o" "gcc" "src/ufs/CMakeFiles/ficus_ufs.dir/ufs_vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ficus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_ufs.dir/ufs.cc.o"
+  "CMakeFiles/ficus_ufs.dir/ufs.cc.o.d"
+  "CMakeFiles/ficus_ufs.dir/ufs_vfs.cc.o"
+  "CMakeFiles/ficus_ufs.dir/ufs_vfs.cc.o.d"
+  "libficus_ufs.a"
+  "libficus_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/cipher_layer.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/cipher_layer.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/cipher_layer.cc.o.d"
+  "/root/repo/src/vfs/mem_vfs.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/mem_vfs.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/mem_vfs.cc.o.d"
+  "/root/repo/src/vfs/pass_through.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/pass_through.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/pass_through.cc.o.d"
+  "/root/repo/src/vfs/path_ops.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/path_ops.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/path_ops.cc.o.d"
+  "/root/repo/src/vfs/stats_layer.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/stats_layer.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/stats_layer.cc.o.d"
+  "/root/repo/src/vfs/syscalls.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/syscalls.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/syscalls.cc.o.d"
+  "/root/repo/src/vfs/vnode.cc" "src/vfs/CMakeFiles/ficus_vfs.dir/vnode.cc.o" "gcc" "src/vfs/CMakeFiles/ficus_vfs.dir/vnode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

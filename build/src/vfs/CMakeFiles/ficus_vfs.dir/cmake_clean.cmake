@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_vfs.dir/cipher_layer.cc.o"
+  "CMakeFiles/ficus_vfs.dir/cipher_layer.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/mem_vfs.cc.o"
+  "CMakeFiles/ficus_vfs.dir/mem_vfs.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/pass_through.cc.o"
+  "CMakeFiles/ficus_vfs.dir/pass_through.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/path_ops.cc.o"
+  "CMakeFiles/ficus_vfs.dir/path_ops.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/stats_layer.cc.o"
+  "CMakeFiles/ficus_vfs.dir/stats_layer.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/syscalls.cc.o"
+  "CMakeFiles/ficus_vfs.dir/syscalls.cc.o.d"
+  "CMakeFiles/ficus_vfs.dir/vnode.cc.o"
+  "CMakeFiles/ficus_vfs.dir/vnode.cc.o.d"
+  "libficus_vfs.a"
+  "libficus_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

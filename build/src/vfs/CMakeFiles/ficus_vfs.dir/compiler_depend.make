@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ficus_vfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ficus_vol.dir/graft.cc.o"
+  "CMakeFiles/ficus_vol.dir/graft.cc.o.d"
+  "CMakeFiles/ficus_vol.dir/registry.cc.o"
+  "CMakeFiles/ficus_vol.dir/registry.cc.o.d"
+  "libficus_vol.a"
+  "libficus_vol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ficus_vol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

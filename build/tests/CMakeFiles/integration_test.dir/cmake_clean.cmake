@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/autograft_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/autograft_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/convergence_property_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/convergence_property_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/full_stack_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/full_stack_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/migration_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/migration_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/mixed_placement_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/mixed_placement_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/partition_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/partition_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/scale_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/scale_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/syscall_stack_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/syscall_stack_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

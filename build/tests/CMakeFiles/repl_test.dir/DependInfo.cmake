@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repl/crash_test.cc" "tests/CMakeFiles/repl_test.dir/repl/crash_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/crash_test.cc.o.d"
+  "/root/repo/tests/repl/facade_test.cc" "tests/CMakeFiles/repl_test.dir/repl/facade_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/facade_test.cc.o.d"
+  "/root/repo/tests/repl/gc_test.cc" "tests/CMakeFiles/repl_test.dir/repl/gc_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/gc_test.cc.o.d"
+  "/root/repo/tests/repl/ids_test.cc" "tests/CMakeFiles/repl_test.dir/repl/ids_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/ids_test.cc.o.d"
+  "/root/repo/tests/repl/inode_attrs_test.cc" "tests/CMakeFiles/repl_test.dir/repl/inode_attrs_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/inode_attrs_test.cc.o.d"
+  "/root/repo/tests/repl/logical_dag_test.cc" "tests/CMakeFiles/repl_test.dir/repl/logical_dag_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/logical_dag_test.cc.o.d"
+  "/root/repo/tests/repl/logical_test.cc" "tests/CMakeFiles/repl_test.dir/repl/logical_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/logical_test.cc.o.d"
+  "/root/repo/tests/repl/physical_test.cc" "tests/CMakeFiles/repl_test.dir/repl/physical_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/physical_test.cc.o.d"
+  "/root/repo/tests/repl/propagation_test.cc" "tests/CMakeFiles/repl_test.dir/repl/propagation_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/propagation_test.cc.o.d"
+  "/root/repo/tests/repl/reconcile_property_test.cc" "tests/CMakeFiles/repl_test.dir/repl/reconcile_property_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/reconcile_property_test.cc.o.d"
+  "/root/repo/tests/repl/reconcile_test.cc" "tests/CMakeFiles/repl_test.dir/repl/reconcile_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/reconcile_test.cc.o.d"
+  "/root/repo/tests/repl/remove_update_test.cc" "tests/CMakeFiles/repl_test.dir/repl/remove_update_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/remove_update_test.cc.o.d"
+  "/root/repo/tests/repl/types_test.cc" "tests/CMakeFiles/repl_test.dir/repl/types_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/types_test.cc.o.d"
+  "/root/repo/tests/repl/version_vector_test.cc" "tests/CMakeFiles/repl_test.dir/repl/version_vector_test.cc.o" "gcc" "tests/CMakeFiles/repl_test.dir/repl/version_vector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ficus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ficus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vol/CMakeFiles/ficus_vol.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/ficus_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/ficus_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ficus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ficus_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ficus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl_test.dir/repl/crash_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/crash_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/facade_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/facade_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/gc_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/gc_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/ids_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/ids_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/inode_attrs_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/inode_attrs_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/logical_dag_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/logical_dag_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/logical_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/logical_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/physical_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/physical_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/propagation_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/propagation_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/reconcile_property_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/reconcile_property_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/reconcile_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/reconcile_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/remove_update_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/remove_update_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/types_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/types_test.cc.o.d"
+  "CMakeFiles/repl_test.dir/repl/version_vector_test.cc.o"
+  "CMakeFiles/repl_test.dir/repl/version_vector_test.cc.o.d"
+  "repl_test"
+  "repl_test.pdb"
+  "repl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vfs/cipher_layer_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/cipher_layer_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/cipher_layer_test.cc.o.d"
+  "/root/repo/tests/vfs/mem_vfs_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o.d"
+  "/root/repo/tests/vfs/pass_through_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/pass_through_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/pass_through_test.cc.o.d"
+  "/root/repo/tests/vfs/path_ops_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/path_ops_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/path_ops_test.cc.o.d"
+  "/root/repo/tests/vfs/stats_layer_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/stats_layer_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/stats_layer_test.cc.o.d"
+  "/root/repo/tests/vfs/syscalls_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/syscalls_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/syscalls_test.cc.o.d"
+  "/root/repo/tests/vfs/vnode_test.cc" "tests/CMakeFiles/vfs_test.dir/vfs/vnode_test.cc.o" "gcc" "tests/CMakeFiles/vfs_test.dir/vfs/vnode_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ficus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ficus_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vol/CMakeFiles/ficus_vol.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/ficus_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/ficus_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ficus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/ficus_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ficus_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ficus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ficus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_test.dir/vfs/cipher_layer_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/cipher_layer_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/pass_through_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/pass_through_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/path_ops_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/path_ops_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/stats_layer_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/stats_layer_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/syscalls_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/syscalls_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/vnode_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/vnode_test.cc.o.d"
+  "vfs_test"
+  "vfs_test.pdb"
+  "vfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

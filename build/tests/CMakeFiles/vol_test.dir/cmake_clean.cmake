@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vol_test.dir/vol/graft_test.cc.o"
+  "CMakeFiles/vol_test.dir/vol/graft_test.cc.o.d"
+  "CMakeFiles/vol_test.dir/vol/registry_test.cc.o"
+  "CMakeFiles/vol_test.dir/vol/registry_test.cc.o.d"
+  "vol_test"
+  "vol_test.pdb"
+  "vol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
