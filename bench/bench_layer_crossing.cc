@@ -8,6 +8,10 @@
 // stack against raw UFS for the same operation mix.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "src/repl/logical.h"
 #include "src/repl/physical.h"
 #include "src/storage/block_device.h"
@@ -17,6 +21,7 @@
 #include "src/vfs/mem_vfs.h"
 #include "src/vfs/pass_through.h"
 #include "src/vfs/path_ops.h"
+#include "src/vfs/trace_layer.h"
 
 namespace {
 
@@ -120,6 +125,182 @@ void BM_OpenReadFicusStack(benchmark::State& state) {
 }
 BENCHMARK(BM_OpenReadFicusStack);
 
+// --- per-layer attribution -------------------------------------------------
+//
+// The google-benchmark runs above give the end-to-end cost of an N-deep
+// stack; this pass answers the finer question "where did the time go?"
+// by slipping one TraceVfs onto every boundary (all sharing a registry)
+// and running a fixed op mix. The self cost of boundary i is the time
+// attributed below i minus the time attributed below i-1.
+
+constexpr int kTraceBoundaries = 4;
+constexpr int kTraceIterations = 20000;
+
+struct LayerOpCost {
+  std::string layer;
+  std::string op;
+  uint64_t calls = 0;
+  double mean_ns = 0.0;
+  double self_ns = 0.0;
+};
+
+// Runs the fixed mix through `kTraceBoundaries` traced null boundaries
+// over MemVfs and returns the per-layer, per-op breakdown (top first).
+std::vector<LayerOpCost> AttributeNullStack(MetricRegistry& registry) {
+  vfs::MemVfs base;
+  (void)vfs::MkdirAll(&base, "dir");
+  (void)vfs::WriteFileAt(&base, "dir/file", std::string(1024, 'x'));
+
+  std::vector<std::unique_ptr<vfs::TraceVfs>> layers;
+  vfs::Vfs* lower = &base;
+  for (int i = 1; i <= kTraceBoundaries; ++i) {
+    layers.push_back(
+        std::make_unique<vfs::TraceVfs>(lower, "l" + std::to_string(i), &registry));
+    lower = layers.back().get();
+  }
+  vfs::Vfs* top = lower;
+
+  vfs::OpContext ctx;
+  std::vector<uint8_t> out;
+  for (int i = 0; i < kTraceIterations; ++i) {
+    ctx.trace = NextTraceId();
+    auto root = top->Root();
+    auto dir = (*root)->Lookup("dir", ctx);
+    auto file = (*dir)->Lookup("file", ctx);
+    auto attr = (*file)->GetAttr(ctx);
+    benchmark::DoNotOptimize(attr);
+    auto n = (*file)->Read(0, 1024, out, ctx);
+    benchmark::DoNotOptimize(n);
+  }
+
+  const vfs::VnodeOp kOps[] = {vfs::VnodeOp::kLookup, vfs::VnodeOp::kGetAttr,
+                               vfs::VnodeOp::kRead};
+  std::vector<LayerOpCost> costs;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {  // top first
+    vfs::TraceVfs* layer = it->get();
+    vfs::TraceVfs* below = (it + 1) != layers.rend() ? (it + 1)->get() : nullptr;
+    for (vfs::VnodeOp op : kOps) {
+      LayerOpCost cost;
+      cost.layer = layer->sink().layer_name();
+      cost.op = std::string(vfs::VnodeOpName(op));
+      cost.calls = layer->sink().Calls(op);
+      if (cost.calls > 0) {
+        cost.mean_ns = static_cast<double>(layer->sink().TotalNs(op)) /
+                       static_cast<double>(cost.calls);
+        double below_mean =
+            below == nullptr
+                ? 0.0
+                : static_cast<double>(below->sink().TotalNs(op)) /
+                      static_cast<double>(below->sink().Calls(op));
+        // The bottom boundary's "self" time includes the MemVfs work.
+        cost.self_ns = cost.mean_ns - below_mean;
+      }
+      costs.push_back(cost);
+    }
+  }
+  return costs;
+}
+
+// Open+read through the full Ficus stack vs raw UFS, each behind its own
+// trace boundary, so the replication layers' self cost falls out as the
+// difference of the two totals.
+struct StackComparison {
+  double logical_mean_ns = 0.0;
+  double ufs_mean_ns = 0.0;
+  double replication_self_ns = 0.0;
+};
+
+double TracedOpenReadMeanNs(vfs::Vfs* fs, std::string_view name,
+                            MetricRegistry& registry) {
+  vfs::TraceVfs traced(fs, name, &registry);
+  for (int i = 0; i < kTraceIterations / 10; ++i) {
+    auto contents = vfs::OpenReadClose(&traced, "dir/file");
+    benchmark::DoNotOptimize(contents);
+  }
+  uint64_t total = 0;
+  uint64_t calls = 0;
+  for (size_t i = 0; i < static_cast<size_t>(vfs::VnodeOp::kCount); ++i) {
+    total += traced.sink().TotalNs(static_cast<vfs::VnodeOp>(i));
+    calls += traced.sink().Calls(static_cast<vfs::VnodeOp>(i));
+  }
+  (void)calls;
+  return static_cast<double>(total) / (kTraceIterations / 10);
+}
+
+StackComparison AttributeFicusStack(MetricRegistry& registry) {
+  StackComparison comparison;
+  {
+    FicusStack stack;
+    ufs::UfsVfs raw(&stack.ufs);
+    (void)vfs::MkdirAll(&raw, "dir");
+    (void)vfs::WriteFileAt(&raw, "dir/file", std::string(1024, 'x'));
+    comparison.ufs_mean_ns = TracedOpenReadMeanNs(&raw, "ufs", registry);
+  }
+  {
+    FicusStack stack;
+    (void)vfs::MkdirAll(stack.logical.get(), "dir");
+    (void)vfs::WriteFileAt(stack.logical.get(), "dir/file", std::string(1024, 'x'));
+    comparison.logical_mean_ns =
+        TracedOpenReadMeanNs(stack.logical.get(), "logical", registry);
+  }
+  comparison.replication_self_ns =
+      comparison.logical_mean_ns - comparison.ufs_mean_ns;
+  return comparison;
+}
+
+void EmitJson(const std::vector<LayerOpCost>& costs, const StackComparison& comparison,
+              MetricRegistry& registry) {
+  std::ostringstream json;
+  json << "{\"bench\":\"layer_crossing\",\"iterations\":" << kTraceIterations
+       << ",\"boundaries\":" << kTraceBoundaries << ",\"per_layer\":[";
+  for (size_t i = 0; i < costs.size(); ++i) {
+    const LayerOpCost& cost = costs[i];
+    if (i > 0) json << ",";
+    json << "{\"layer\":\"" << cost.layer << "\",\"op\":\"" << cost.op
+         << "\",\"calls\":" << cost.calls << ",\"mean_ns\":" << cost.mean_ns
+         << ",\"self_ns\":" << cost.self_ns << "}";
+  }
+  json << "],\"ficus_stack\":{\"logical_mean_ns\":" << comparison.logical_mean_ns
+       << ",\"ufs_mean_ns\":" << comparison.ufs_mean_ns
+       << ",\"replication_self_ns\":" << comparison.replication_self_ns << "}"
+       << ",\"metrics\":" << registry.ToJson() << "}";
+  std::ofstream out("BENCH_layer_crossing.json");
+  out << json.str() << "\n";
+  std::printf("\nwrote BENCH_layer_crossing.json\n");
+}
+
+void RunAttribution() {
+  MetricRegistry registry;
+  std::vector<LayerOpCost> costs = AttributeNullStack(registry);
+  StackComparison comparison = AttributeFicusStack(registry);
+
+  std::printf("\nPer-layer attribution (%d traced null boundaries over MemVfs,\n"
+              "%d iterations; self = this boundary's cost alone; the bottom\n"
+              "boundary's self time includes the MemVfs work):\n\n",
+              kTraceBoundaries, kTraceIterations);
+  std::printf("%8s %10s %10s %12s %12s\n", "layer", "op", "calls", "mean ns", "self ns");
+  for (const LayerOpCost& cost : costs) {
+    std::printf("%8s %10s %10llu %12.1f %12.1f\n", cost.layer.c_str(), cost.op.c_str(),
+                static_cast<unsigned long long>(cost.calls), cost.mean_ns, cost.self_ns);
+  }
+  std::printf("\nFicus stack vs raw UFS (open+read+close, traced):\n"
+              "  logical+physical over UFS: %10.1f ns/op\n"
+              "  raw UFS:                   %10.1f ns/op\n"
+              "  replication layers' self:  %10.1f ns/op\n",
+              comparison.logical_mean_ns, comparison.ufs_mean_ns,
+              comparison.replication_self_ns);
+  EmitJson(costs, comparison, registry);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunAttribution();
+  return 0;
+}

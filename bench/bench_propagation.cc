@@ -8,7 +8,9 @@
 // Sweeps burst size and propagation policy (eager after every update vs
 // delayed one pass after the burst) and reports transfers and bytes moved.
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "src/sim/cluster.h"
 #include "src/vfs/path_ops.h"
@@ -48,8 +50,8 @@ Run RunBurst(int burst, size_t update_size, bool eager) {
   }
 
   Run run;
-  const repl::PropagationStats* stats = b->propagation_stats(*volume);
-  if (stats != nullptr) {
+  std::optional<repl::PropagationStats> stats = b->propagation_stats(*volume);
+  if (stats.has_value()) {
     run.pulls = stats->pulled_files;
     run.bytes = stats->bytes_pulled;
   }
@@ -66,6 +68,9 @@ int main() {
               "eager", "delayed", "delayed", "savings");
   std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "size", "sent", "pulls", "bytes",
               "pulls", "bytes", "");
+  std::ostringstream json;
+  json << "{\"bench\":\"propagation\",\"update_size\":1024,\"rows\":[";
+  bool first = true;
   for (int burst : {1, 2, 4, 8, 16, 32, 64}) {
     Run eager = RunBurst(burst, 1024, /*eager=*/true);
     Run delayed = RunBurst(burst, 1024, /*eager=*/false);
@@ -79,7 +84,17 @@ int main() {
                 static_cast<unsigned long long>(eager.bytes),
                 static_cast<unsigned long long>(delayed.pulls),
                 static_cast<unsigned long long>(delayed.bytes), savings);
+    if (!first) json << ",";
+    first = false;
+    json << "{\"burst\":" << burst << ",\"datagrams\":" << eager.datagrams
+         << ",\"eager\":{\"pulls\":" << eager.pulls << ",\"bytes\":" << eager.bytes
+         << "},\"delayed\":{\"pulls\":" << delayed.pulls
+         << ",\"bytes\":" << delayed.bytes << "},\"savings_pct\":" << savings << "}";
   }
+  json << "]}";
+  std::ofstream out("BENCH_propagation.json");
+  out << json.str() << "\n";
+  std::printf("\nwrote BENCH_propagation.json\n");
   std::printf("\nShape check vs paper: the new-version cache coalesces a burst into\n"
               "one entry, so delayed propagation transfers the file once where the\n"
               "eager policy transfers it once per update — the amortization the\n"

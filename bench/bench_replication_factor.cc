@@ -44,8 +44,8 @@ Cost Measure(int replicas) {
   Cost cost;
   cost.datagrams_per_update = cluster.network().stats().datagrams_sent / kUpdates;
   for (sim::FicusHost* host : hosts) {
-    const repl::PropagationStats* stats = host->propagation_stats(*volume);
-    if (stats != nullptr) {
+    std::optional<repl::PropagationStats> stats = host->propagation_stats(*volume);
+    if (stats.has_value()) {
       cost.bytes_pulled += stats->bytes_pulled;
     }
     const repl::ReconcileStats* recon = host->reconcile_stats(*volume);

@@ -1,0 +1,186 @@
+#include "src/common/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace ficus {
+
+void Histogram::Record(uint64_t sample) {
+  ++count_;
+  sum_ += sample;
+  if (sample < min_) {
+    min_ = sample;
+  }
+  if (sample > max_) {
+    max_ = sample;
+  }
+  size_t bucket = sample == 0 ? 0 : static_cast<size_t>(std::bit_width(sample) - 1);
+  ++buckets_[bucket];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  buckets_.fill(0);
+}
+
+Counter* MetricRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string MetricRegistry::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " count=" << h->count() << " mean=" << h->mean() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Metric names are dot/underscore identifiers, but escape defensively.
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out << ":" << c->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+        << ",\"min\":" << h->min() << ",\"max\":" << h->max()
+        << ",\"mean\":" << h->mean() << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Counter* MetricScope::counter(std::string_view name) const {
+  if (registry_ == nullptr) {
+    return nullptr;
+  }
+  std::string full = prefix_;
+  full.append(name);
+  return registry_->counter(full);
+}
+
+Histogram* MetricScope::histogram(std::string_view name) const {
+  if (registry_ == nullptr) {
+    return nullptr;
+  }
+  std::string full = prefix_;
+  full.append(name);
+  return registry_->histogram(full);
+}
+
+void MetricScope::IncrementCounter(std::string_view name) const {
+  if (Counter* c = counter(name)) {
+    c->Increment();
+  }
+}
+
+void MetricScope::AddToCounter(std::string_view name, uint64_t delta) const {
+  if (Counter* c = counter(name)) {
+    c->Add(delta);
+  }
+}
+
+void MetricScope::RecordLatency(std::string_view name, uint64_t nanos) const {
+  if (Histogram* h = histogram(name)) {
+    h->Record(nanos);
+  }
+}
+
+TraceId NextTraceId() {
+  static TraceId next = 1;
+  return next++;
+}
+
+}  // namespace ficus

@@ -1,0 +1,134 @@
+// Unified metric registry for the whole stack.
+//
+// Every subsystem used to grow its own disconnected counter struct
+// (OpCounters, NetworkStats, LogicalStats, ...). This registry gives
+// them one home: named monotonic counters and log2-bucketed latency
+// histograms, looked up once at construction time and then bumped
+// through stable pointers on the hot path — a map lookup never sits on
+// a vnode-operation fast path.
+//
+// Naming scheme (dotted, lowercase): `<subsystem>.<object>.<metric>`,
+// e.g. `vfs.stats.lookup.calls`, `nfs.client.rpcs`,
+// `net.rpc_bytes`, `repl.propagation.pulled_files`,
+// `trace.<layer>.<op>.ns` (TraceLayer latency histograms).
+// DESIGN.md documents the full scheme.
+#ifndef FICUS_SRC_COMMON_METRICS_H_
+#define FICUS_SRC_COMMON_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ficus {
+
+// Monotonic counter cell. Stable address for the lifetime of its
+// registry; increments are a single add on a plain uint64_t.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t delta) { value_ += delta; }
+  void Reset() { value_ = 0; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Latency histogram with power-of-two buckets: bucket i counts samples
+// whose value v satisfies 2^i <= v < 2^(i+1) (bucket 0 also takes 0).
+// Cheap enough to record a steady_clock delta per vnode op.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t sample);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+// Owns named counters and histograms. Lookup by name creates on first
+// use and returns a stable pointer; subsystems resolve their cells once
+// and keep the pointers.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  // nullptr when the name was never registered.
+  const Counter* FindCounter(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // 0 when the counter was never registered.
+  uint64_t CounterValue(std::string_view name) const;
+
+  // Zeroes every metric; registrations (and cell addresses) survive.
+  void Reset();
+
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  // One "name value" line per counter, sorted by name.
+  std::string ToString() const;
+  // {"counters":{...},"histograms":{name:{"count":..,"sum":..,"min":..,
+  // "max":..,"mean":..}}} — consumed by the BENCH_*.json emitters.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Cheap handle naming a registry subtree ("nfs.client."). Copyable,
+// null-safe: a default MetricScope makes every operation a no-op, so
+// callers never branch on "is instrumentation attached".
+class MetricScope {
+ public:
+  MetricScope() = default;
+  MetricScope(MetricRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  MetricRegistry* registry() const { return registry_; }
+  const std::string& prefix() const { return prefix_; }
+
+  // Resolve prefixed cells (nullptr when no registry is attached).
+  Counter* counter(std::string_view name) const;
+  Histogram* histogram(std::string_view name) const;
+
+  void IncrementCounter(std::string_view name) const;
+  void AddToCounter(std::string_view name, uint64_t delta) const;
+  void RecordLatency(std::string_view name, uint64_t nanos) const;
+
+ private:
+  MetricRegistry* registry_ = nullptr;
+  std::string prefix_;
+};
+
+// Process-wide trace-id source: deterministic, starts at 1 so 0 can
+// mean "no trace attached".
+using TraceId = uint64_t;
+TraceId NextTraceId();
+
+}  // namespace ficus
+
+#endif  // FICUS_SRC_COMMON_METRICS_H_

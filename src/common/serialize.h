@@ -102,6 +102,20 @@ class ByteReader {
     return v;
   }
 
+  // Reads a u32 element count and validates it against the bytes left:
+  // a count that cannot possibly be satisfied (count * min_element_size
+  // exceeds remaining()) is kCorrupt. Callers must size containers from
+  // this, never from a raw u32 — a garbage count of ~4 billion would
+  // otherwise drive an unbounded reserve() before any per-element read
+  // has a chance to fail.
+  StatusOr<uint32_t> GetCount(size_t min_element_size) {
+    FICUS_ASSIGN_OR_RETURN(uint32_t count, GetU32());
+    if (min_element_size != 0 && count > remaining() / min_element_size) {
+      return CorruptError("element count exceeds available bytes");
+    }
+    return count;
+  }
+
   StatusOr<std::string> GetString() {
     FICUS_ASSIGN_OR_RETURN(uint16_t len, GetU16());
     if (remaining() < len) {

@@ -12,6 +12,36 @@ std::pair<HostId, HostId> OrderedPair(HostId a, HostId b) {
 }
 }  // namespace
 
+Network::Network(SimClock* clock, MetricRegistry* metrics)
+    : clock_(clock), registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.rpcs_sent = registry_->counter("net.rpcs_sent");
+  stats_.rpcs_failed = registry_->counter("net.rpcs_failed");
+  stats_.rpc_bytes = registry_->counter("net.rpc_bytes");
+  stats_.datagrams_sent = registry_->counter("net.datagrams_sent");
+  stats_.datagrams_dropped = registry_->counter("net.datagrams_dropped");
+  stats_.datagram_bytes = registry_->counter("net.datagram_bytes");
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats out;
+  out.rpcs_sent = stats_.rpcs_sent->value();
+  out.rpcs_failed = stats_.rpcs_failed->value();
+  out.rpc_bytes = stats_.rpc_bytes->value();
+  out.datagrams_sent = stats_.datagrams_sent->value();
+  out.datagrams_dropped = stats_.datagrams_dropped->value();
+  out.datagram_bytes = stats_.datagram_bytes->value();
+  return out;
+}
+
+void Network::ResetStats() {
+  stats_.rpcs_sent->Reset();
+  stats_.rpcs_failed->Reset();
+  stats_.rpc_bytes->Reset();
+  stats_.datagrams_sent->Reset();
+  stats_.datagrams_dropped->Reset();
+  stats_.datagram_bytes->Reset();
+}
+
 HostId Network::AddHost(const std::string& name) {
   HostId id = next_id_++;
   hosts_[id].name = name;
@@ -94,27 +124,27 @@ bool Network::Reachable(HostId from, HostId to) const {
 StatusOr<Payload> Network::Rpc(HostId from, HostId to, const std::string& service,
                                const Payload& request) {
   if (!Reachable(from, to)) {
-    ++stats_.rpcs_failed;
+    stats_.rpcs_failed->Increment();
     return UnreachableError("no route from " + HostName(from) + " to " + HostName(to));
   }
   auto it = hosts_.find(to);
   if (it == hosts_.end()) {
-    ++stats_.rpcs_failed;
+    stats_.rpcs_failed->Increment();
     return UnreachableError("destination host does not exist");
   }
   auto handler = it->second.port.rpc_services_.find(service);
   if (handler == it->second.port.rpc_services_.end()) {
-    ++stats_.rpcs_failed;
+    stats_.rpcs_failed->Increment();
     return NotFoundError("service not registered: " + service);
   }
-  ++stats_.rpcs_sent;
-  stats_.rpc_bytes += request.size();
+  stats_.rpcs_sent->Increment();
+  stats_.rpc_bytes->Add(request.size());
   if (clock_ != nullptr && from != to) {
     clock_->Advance(rpc_latency_);
   }
   StatusOr<Payload> response = handler->second(from, request);
   if (response.ok()) {
-    stats_.rpc_bytes += response.value().size();
+    stats_.rpc_bytes->Add(response.value().size());
   }
   return response;
 }
@@ -127,21 +157,21 @@ size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
       continue;
     }
     if (!Reachable(from, to)) {
-      ++stats_.datagrams_dropped;
+      stats_.datagrams_dropped->Increment();
       continue;
     }
     auto it = hosts_.find(to);
     if (it == hosts_.end()) {
-      ++stats_.datagrams_dropped;
+      stats_.datagrams_dropped->Increment();
       continue;
     }
     auto handler = it->second.port.datagram_channels_.find(channel);
     if (handler == it->second.port.datagram_channels_.end()) {
-      ++stats_.datagrams_dropped;
+      stats_.datagrams_dropped->Increment();
       continue;
     }
-    ++stats_.datagrams_sent;
-    stats_.datagram_bytes += payload.size();
+    stats_.datagrams_sent->Increment();
+    stats_.datagram_bytes->Add(payload.size());
     handler->second(from, payload);
     ++delivered;
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace ficus::net {
@@ -27,7 +28,8 @@ constexpr HostId kInvalidHost = 0;
 // Opaque message payload.
 using Payload = std::vector<uint8_t>;
 
-// Per-network traffic counters.
+// Per-network traffic counters. Snapshot of the `net.*` cells in the
+// network's MetricRegistry, kept so existing callers read plain fields.
 struct NetworkStats {
   uint64_t rpcs_sent = 0;
   uint64_t rpcs_failed = 0;       // unreachable destination
@@ -60,8 +62,10 @@ class HostPort {
 
 class Network {
  public:
-  // clock may be null; latency accounting then has no effect.
-  explicit Network(SimClock* clock = nullptr) : clock_(clock) {}
+  // clock may be null; latency accounting then has no effect. `metrics`
+  // (borrowed, optional) receives the `net.*` traffic counters; without
+  // one the network keeps them in a private registry.
+  explicit Network(SimClock* clock = nullptr, MetricRegistry* metrics = nullptr);
 
   // Adds a host and returns its id (ids start at 1). All existing hosts are
   // reachable from the new one until partitioned.
@@ -100,8 +104,10 @@ class Network {
   size_t Multicast(HostId from, const std::vector<HostId>& destinations,
                    const std::string& channel, const Payload& payload);
 
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  NetworkStats stats() const;
+  void ResetStats();
+
+  MetricRegistry* metrics() { return registry_; }
 
   void set_rpc_latency(SimTime latency) { rpc_latency_ = latency; }
 
@@ -112,12 +118,24 @@ class Network {
     HostPort port;
   };
 
+  // Registry-backed counter cells, resolved once at construction.
+  struct StatCells {
+    Counter* rpcs_sent;
+    Counter* rpcs_failed;
+    Counter* rpc_bytes;
+    Counter* datagrams_sent;
+    Counter* datagrams_dropped;
+    Counter* datagram_bytes;
+  };
+
   SimClock* clock_;
   std::map<HostId, Host> hosts_;
   HostId next_id_ = 1;
   // Pairs (a < b) that are explicitly severed.
   std::set<std::pair<HostId, HostId>> severed_;
-  NetworkStats stats_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
   SimTime rpc_latency_ = kMillisecond;
 };
 

@@ -4,22 +4,55 @@ namespace ficus::nfs {
 
 using net::Payload;
 using vfs::Credentials;
+using vfs::OpContext;
 using vfs::DirEntry;
 using vfs::SetAttrRequest;
 using vfs::VAttr;
 using vfs::VnodePtr;
 
 NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
-                     const SimClock* clock, ClientConfig config, std::string service)
+                     const SimClock* clock, ClientConfig config, std::string service,
+                     MetricRegistry* metrics)
     : network_(network),
       local_host_(local_host),
       server_host_(server_host),
       clock_(clock),
       config_(config),
-      service_(std::move(service)) {}
+      service_(std::move(service)),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.rpcs = registry_->counter("nfs.client.rpcs");
+  stats_.attr_cache_hits = registry_->counter("nfs.client.attr_cache_hits");
+  stats_.attr_cache_misses = registry_->counter("nfs.client.attr_cache_misses");
+  stats_.dnlc_hits = registry_->counter("nfs.client.dnlc_hits");
+  stats_.dnlc_misses = registry_->counter("nfs.client.dnlc_misses");
+  stats_.opens_dropped = registry_->counter("nfs.client.opens_dropped");
+  stats_.closes_dropped = registry_->counter("nfs.client.closes_dropped");
+}
+
+ClientStats NfsClient::stats() const {
+  ClientStats out;
+  out.rpcs = stats_.rpcs->value();
+  out.attr_cache_hits = stats_.attr_cache_hits->value();
+  out.attr_cache_misses = stats_.attr_cache_misses->value();
+  out.dnlc_hits = stats_.dnlc_hits->value();
+  out.dnlc_misses = stats_.dnlc_misses->value();
+  out.opens_dropped = stats_.opens_dropped->value();
+  out.closes_dropped = stats_.closes_dropped->value();
+  return out;
+}
+
+void NfsClient::ResetStats() {
+  stats_.rpcs->Reset();
+  stats_.attr_cache_hits->Reset();
+  stats_.attr_cache_misses->Reset();
+  stats_.dnlc_hits->Reset();
+  stats_.dnlc_misses->Reset();
+  stats_.opens_dropped->Reset();
+  stats_.closes_dropped->Reset();
+}
 
 StatusOr<Payload> NfsClient::Call(const Payload& request) {
-  ++stats_.rpcs;
+  stats_.rpcs->Increment();
   FICUS_ASSIGN_OR_RETURN(Payload response,
                          network_->Rpc(local_host_, server_host_, service_, request));
   ByteReader r(response);
@@ -38,10 +71,10 @@ void NfsClient::InvalidateCaches() {
 StatusOr<VAttr> NfsClient::CachedAttr(NfsHandle handle) {
   auto it = attr_cache_.find(handle);
   if (it != attr_cache_.end() && it->second.expires > Now()) {
-    ++stats_.attr_cache_hits;
+    stats_.attr_cache_hits->Increment();
     return it->second.attr;
   }
-  ++stats_.attr_cache_misses;
+  stats_.attr_cache_misses->Increment();
   return NotFoundError("attr not cached");
 }
 
@@ -57,10 +90,10 @@ void NfsClient::DropAttr(NfsHandle handle) { attr_cache_.erase(handle); }
 StatusOr<NfsHandle> NfsClient::CachedName(NfsHandle dir, std::string_view name) {
   auto it = dnlc_.find(std::make_pair(dir, std::string(name)));
   if (it != dnlc_.end() && it->second.expires > Now()) {
-    ++stats_.dnlc_hits;
+    stats_.dnlc_hits->Increment();
     return it->second.child;
   }
-  ++stats_.dnlc_misses;
+  stats_.dnlc_misses->Increment();
   return NotFoundError("name not cached");
 }
 
@@ -89,7 +122,7 @@ StatusOr<VnodePtr> NfsClient::Root() {
   Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kGetRoot));
-  PutCred(w, Credentials{});
+  PutContext(w, OpContext{});
   FICUS_ASSIGN_OR_RETURN(Payload response, Call(request));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
@@ -105,7 +138,7 @@ StatusOr<vfs::FsStats> NfsClient::Statfs() {
   Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kStatfs));
-  PutCred(w, Credentials{});
+  PutContext(w, OpContext{});
   FICUS_ASSIGN_OR_RETURN(Payload response, Call(request));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
@@ -119,22 +152,22 @@ StatusOr<vfs::FsStats> NfsClient::Statfs() {
 
 namespace {
 // Starts a request for `proc` on `handle` with credentials.
-Payload BeginRequest(NfsProc proc, const Credentials& cred, NfsHandle handle) {
+Payload BeginRequest(NfsProc proc, const OpContext& ctx, NfsHandle handle) {
   Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(proc));
-  PutCred(w, cred);
+  PutContext(w, ctx);
   w.PutU64(handle);
   return request;
 }
 }  // namespace
 
-StatusOr<VAttr> NfsVnode::GetAttr() {
+StatusOr<VAttr> NfsVnode::GetAttr(const OpContext& ctx) {
   auto cached = client_->CachedAttr(handle_);
   if (cached.ok()) {
     return cached;
   }
-  Payload request = BeginRequest(NfsProc::kGetAttr, Credentials{}, handle_);
+  Payload request = BeginRequest(NfsProc::kGetAttr, ctx, handle_);
   FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
@@ -144,8 +177,8 @@ StatusOr<VAttr> NfsVnode::GetAttr() {
   return attr;
 }
 
-Status NfsVnode::SetAttr(const SetAttrRequest& request_attrs, const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kSetAttr, cred, handle_);
+Status NfsVnode::SetAttr(const SetAttrRequest& request_attrs, const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kSetAttr, ctx, handle_);
   ByteWriter w(request);
   PutSetAttr(w, request_attrs);
   FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
@@ -157,12 +190,12 @@ Status NfsVnode::SetAttr(const SetAttrRequest& request_attrs, const Credentials&
   return OkStatus();
 }
 
-StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const Credentials& cred) {
+StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const OpContext& ctx) {
   auto cached = client_->CachedName(handle_, name);
   if (cached.ok()) {
     return VnodePtr(std::make_shared<NfsVnode>(client_, cached.value()));
   }
-  Payload request = BeginRequest(NfsProc::kLookup, cred, handle_);
+  Payload request = BeginRequest(NfsProc::kLookup, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
@@ -177,8 +210,8 @@ StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const Credentials& cr
 }
 
 StatusOr<VnodePtr> NfsVnode::Create(std::string_view name, const VAttr& attr,
-                                    const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kCreate, cred, handle_);
+                                    const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kCreate, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   PutVAttr(w, attr);
@@ -194,8 +227,8 @@ StatusOr<VnodePtr> NfsVnode::Create(std::string_view name, const VAttr& attr,
   return VnodePtr(std::make_shared<NfsVnode>(client_, child));
 }
 
-Status NfsVnode::Remove(std::string_view name, const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kRemove, cred, handle_);
+Status NfsVnode::Remove(std::string_view name, const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kRemove, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
@@ -207,8 +240,8 @@ Status NfsVnode::Remove(std::string_view name, const Credentials& cred) {
 }
 
 StatusOr<VnodePtr> NfsVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                   const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kMkdir, cred, handle_);
+                                   const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kMkdir, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   PutVAttr(w, attr);
@@ -224,8 +257,8 @@ StatusOr<VnodePtr> NfsVnode::Mkdir(std::string_view name, const VAttr& attr,
   return VnodePtr(std::make_shared<NfsVnode>(client_, child));
 }
 
-Status NfsVnode::Rmdir(std::string_view name, const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kRmdir, cred, handle_);
+Status NfsVnode::Rmdir(std::string_view name, const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kRmdir, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   // Capture the dying directory's handle so its cached child names can
@@ -243,12 +276,12 @@ Status NfsVnode::Rmdir(std::string_view name, const Credentials& cred) {
   return OkStatus();
 }
 
-Status NfsVnode::Link(std::string_view name, const VnodePtr& target, const Credentials& cred) {
+Status NfsVnode::Link(std::string_view name, const VnodePtr& target, const OpContext& ctx) {
   auto* nfs_target = dynamic_cast<NfsVnode*>(target.get());
   if (nfs_target == nullptr || nfs_target->client_ != client_) {
     return CrossDeviceError("link target is not on the same NFS mount");
   }
-  Payload request = BeginRequest(NfsProc::kLink, cred, handle_);
+  Payload request = BeginRequest(NfsProc::kLink, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   w.PutU64(nfs_target->handle_);
@@ -261,12 +294,12 @@ Status NfsVnode::Link(std::string_view name, const VnodePtr& target, const Crede
 }
 
 Status NfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                        std::string_view new_name, const Credentials& cred) {
+                        std::string_view new_name, const OpContext& ctx) {
   auto* nfs_parent = dynamic_cast<NfsVnode*>(new_parent.get());
   if (nfs_parent == nullptr || nfs_parent->client_ != client_) {
     return CrossDeviceError("rename target is not on the same NFS mount");
   }
-  Payload request = BeginRequest(NfsProc::kRename, cred, handle_);
+  Payload request = BeginRequest(NfsProc::kRename, ctx, handle_);
   ByteWriter w(request);
   w.PutString(old_name);
   w.PutU64(nfs_parent->handle_);
@@ -281,18 +314,19 @@ Status NfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
   return OkStatus();
 }
 
-StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const Credentials& cred) {
+StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const OpContext& ctx) {
   // Page through the directory with cookies, as real clients do.
   std::vector<DirEntry> entries;
   uint32_t cookie = 0;
   for (;;) {
-    Payload request = BeginRequest(NfsProc::kReaddir, cred, handle_);
+    Payload request = BeginRequest(NfsProc::kReaddir, ctx, handle_);
     ByteWriter w(request);
     w.PutU32(cookie);
     FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
     ByteReader r(response);
     FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
-    FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+    // Minimum wire entry: name (2) + fileid (8) + type (1) = 11 bytes.
+    FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(11));
     entries.reserve(entries.size() + count);
     for (uint32_t i = 0; i < count; ++i) {
       DirEntry e;
@@ -312,8 +346,8 @@ StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const Credentials& cred) {
 }
 
 StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view target,
-                                     const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kSymlink, cred, handle_);
+                                     const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kSymlink, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
   w.PutString(target);
@@ -328,38 +362,38 @@ StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view tar
   return VnodePtr(std::make_shared<NfsVnode>(client_, child));
 }
 
-StatusOr<std::string> NfsVnode::Readlink(const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kReadlink, cred, handle_);
+StatusOr<std::string> NfsVnode::Readlink(const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kReadlink, ctx, handle_);
   FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   return r.GetString();
 }
 
-Status NfsVnode::Open(uint32_t flags, const Credentials& cred) {
+Status NfsVnode::Open(uint32_t flags, const OpContext& ctx) {
   // "The vnode services open and close are not supported by the NFS
   // definition, and so are ignored: a layer intending to receive an open
   // will never get it if NFS is in between." (section 2.2)
-  ++client_->stats_.opens_dropped;
+  client_->stats_.opens_dropped->Increment();
   if ((flags & vfs::kOpenTruncate) != 0) {
     // Real NFS clients emulate O_TRUNC with a SETATTR; the open itself
     // still never reaches the server as an open.
     SetAttrRequest truncate;
     truncate.set_size = true;
     truncate.size = 0;
-    return SetAttr(truncate, cred);
+    return SetAttr(truncate, ctx);
   }
   return OkStatus();
 }
 
-Status NfsVnode::Close(uint32_t, const Credentials&) {
-  ++client_->stats_.closes_dropped;
+Status NfsVnode::Close(uint32_t, const OpContext&) {
+  client_->stats_.closes_dropped->Increment();
   return OkStatus();
 }
 
 StatusOr<size_t> NfsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kRead, cred, handle_);
+                                const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kRead, ctx, handle_);
   ByteWriter w(request);
   w.PutU64(offset);
   w.PutU32(static_cast<uint32_t>(length));
@@ -371,8 +405,8 @@ StatusOr<size_t> NfsVnode::Read(uint64_t offset, size_t length, std::vector<uint
 }
 
 StatusOr<size_t> NfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                 const Credentials& cred) {
-  Payload request = BeginRequest(NfsProc::kWrite, cred, handle_);
+                                 const OpContext& ctx) {
+  Payload request = BeginRequest(NfsProc::kWrite, ctx, handle_);
   ByteWriter w(request);
   w.PutU64(offset);
   w.PutBytes(data);
@@ -386,13 +420,13 @@ StatusOr<size_t> NfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& da
   return static_cast<size_t>(written);
 }
 
-Status NfsVnode::Fsync(const Credentials&) {
+Status NfsVnode::Fsync(const OpContext&) {
   // NFS writes are already synchronous on the server side.
   return OkStatus();
 }
 
 Status NfsVnode::Ioctl(std::string_view, const std::vector<uint8_t>&, std::vector<uint8_t>&,
-                       const Credentials&) {
+                       const OpContext&) {
   // The NFS protocol has no ioctl procedure; an intermediate NFS hop
   // swallows any out-of-band extension. This is precisely why Ficus
   // encodes open/close requests inside Lookup names (section 2.3).

@@ -19,12 +19,15 @@
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/net/network.h"
 #include "src/nfs/protocol.h"
 #include "src/vfs/vnode.h"
 
 namespace ficus::nfs {
 
+// Snapshot of the client's `nfs.client.*` registry cells; existing
+// callers keep reading plain fields.
 struct ClientStats {
   uint64_t rpcs = 0;
   uint64_t attr_cache_hits = 0;
@@ -47,34 +50,34 @@ class NfsVnode : public vfs::Vnode {
  public:
   NfsVnode(NfsClient* client, NfsHandle handle) : client_(client), handle_(handle) {}
 
-  StatusOr<vfs::VAttr> GetAttr() override;
-  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
-  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VAttr> GetAttr(const vfs::OpContext& ctx = {}) override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::OpContext& ctx) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
-                                 const vfs::Credentials& cred) override;
-  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+                                 const vfs::OpContext& ctx) override;
+  Status Remove(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
-                                const vfs::Credentials& cred) override;
-  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+                                const vfs::OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const vfs::OpContext& ctx) override;
   Status Link(std::string_view name, const vfs::VnodePtr& target,
-              const vfs::Credentials& cred) override;
+              const vfs::OpContext& ctx) override;
   Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
-                std::string_view new_name, const vfs::Credentials& cred) override;
-  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+                std::string_view new_name, const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
-                                  const vfs::Credentials& cred) override;
-  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
+                                  const vfs::OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;
   // Ignored without an RPC — the NFS statelessness the paper works around.
-  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
-  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+  Status Open(uint32_t flags, const vfs::OpContext& ctx) override;
+  Status Close(uint32_t flags, const vfs::OpContext& ctx) override;
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const vfs::Credentials& cred) override;
+                        const vfs::OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const vfs::Credentials& cred) override;
-  Status Fsync(const vfs::Credentials& cred) override;
+                         const vfs::OpContext& ctx) override;
+  Status Fsync(const vfs::OpContext& ctx) override;
   // Deliberately NOT forwarded: the NFS protocol has no such procedure.
   Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
-               std::vector<uint8_t>& response, const vfs::Credentials& cred) override;
+               std::vector<uint8_t>& response, const vfs::OpContext& ctx) override;
 
   NfsHandle handle() const { return handle_; }
 
@@ -85,16 +88,18 @@ class NfsVnode : public vfs::Vnode {
 
 class NfsClient : public vfs::Vfs {
  public:
+  // `metrics` (borrowed, optional) receives the `nfs.client.*` counters;
+  // without one the client keeps them in a private registry.
   NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
             const SimClock* clock, ClientConfig config = ClientConfig{},
-            std::string service = kNfsService);
+            std::string service = kNfsService, MetricRegistry* metrics = nullptr);
 
   // Root() fetches (and caches) the remote root handle.
   StatusOr<vfs::VnodePtr> Root() override;
   StatusOr<vfs::FsStats> Statfs() override;
 
-  const ClientStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ClientStats{}; }
+  ClientStats stats() const;
+  void ResetStats();
 
   // Drops all cached attributes and names (the control real NFS lacks).
   void InvalidateCaches();
@@ -130,13 +135,26 @@ class NfsClient : public vfs::Vfs {
     SimTime expires;
   };
 
+  // Registry-backed counter cells, resolved once at construction.
+  struct StatCells {
+    Counter* rpcs;
+    Counter* attr_cache_hits;
+    Counter* attr_cache_misses;
+    Counter* dnlc_hits;
+    Counter* dnlc_misses;
+    Counter* opens_dropped;
+    Counter* closes_dropped;
+  };
+
   net::Network* network_;
   net::HostId local_host_;
   net::HostId server_host_;
   const SimClock* clock_;
   ClientConfig config_;
   std::string service_;
-  ClientStats stats_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
   NfsHandle root_handle_ = kInvalidHandle;
   std::map<NfsHandle, AttrEntry> attr_cache_;
   std::map<std::pair<NfsHandle, std::string>, NameEntry> dnlc_;

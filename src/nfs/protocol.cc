@@ -96,4 +96,17 @@ Status GetCred(ByteReader& r, vfs::Credentials& cred) {
   return OkStatus();
 }
 
+void PutContext(ByteWriter& w, const vfs::OpContext& ctx) {
+  PutCred(w, ctx.cred);
+  w.PutU64(ctx.trace);
+  w.PutU64(ctx.deadline);
+}
+
+Status GetContext(ByteReader& r, vfs::OpContext& ctx) {
+  FICUS_RETURN_IF_ERROR(GetCred(r, ctx.cred));
+  FICUS_ASSIGN_OR_RETURN(ctx.trace, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(ctx.deadline, r.GetU64());
+  return OkStatus();
+}
+
 }  // namespace ficus::nfs

@@ -68,6 +68,15 @@ Status GetSetAttr(ByteReader& r, vfs::SetAttrRequest& request);
 void PutCred(ByteWriter& w, const vfs::Credentials& cred);
 Status GetCred(ByteReader& r, vfs::Credentials& cred);
 
+// Per-operation context on the wire: credentials plus trace id and
+// absolute deadline, so a remote layer continues the caller's trace and
+// can refuse work whose deadline already passed. Every request carries
+// one, directly after the procedure number.
+void PutContext(ByteWriter& w, const vfs::OpContext& ctx);
+// Fills cred/trace/deadline; clock and metrics are local concerns the
+// receiver attaches itself.
+Status GetContext(ByteReader& r, vfs::OpContext& ctx);
+
 }  // namespace ficus::nfs
 
 #endif  // FICUS_SRC_NFS_PROTOCOL_H_

@@ -6,13 +6,20 @@ namespace ficus::nfs {
 
 using net::Payload;
 using vfs::Credentials;
+using vfs::OpContext;
 using vfs::SetAttrRequest;
 using vfs::VAttr;
 using vfs::VnodePtr;
 
 NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
-                     std::string service)
-    : network_(network), host_(host), exported_(exported) {
+                     std::string service, const SimClock* clock, MetricRegistry* metrics)
+    : network_(network),
+      host_(host),
+      exported_(exported),
+      clock_(clock),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.calls = registry_->counter("nfs.server.calls");
+  stats_.errors = registry_->counter("nfs.server.errors");
   net::HostPort* port = network_->port(host_);
   if (port != nullptr) {
     port->RegisterRpcService(
@@ -20,6 +27,13 @@ NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported
           return Dispatch(sender, request);
         });
   }
+}
+
+ServerStats NfsServer::stats() const {
+  ServerStats out;
+  out.calls = stats_.calls->value();
+  out.errors = stats_.errors->value();
+  return out;
 }
 
 void NfsServer::FlushHandles() {
@@ -88,10 +102,10 @@ Payload ErrorResponse(const Status& status) {
 }  // namespace
 
 StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
-  ++stats_.calls;
+  stats_.calls->Increment();
   ByteReader r(request);
   auto fail = [this](const Status& status) -> StatusOr<Payload> {
-    ++stats_.errors;
+    stats_.errors->Increment();
     return ErrorResponse(status);
   };
 
@@ -100,8 +114,19 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
     return fail(proc_or.status());
   }
   NfsProc proc = static_cast<NfsProc>(proc_or.value());
-  Credentials cred;
-  FICUS_RETURN_IF_ERROR(GetCred(r, cred));
+  vfs::OpContext ctx;
+  Status ctx_status = GetContext(r, ctx);
+  if (!ctx_status.ok()) {
+    return fail(ctx_status);
+  }
+  // The wire carries the deadline as absolute sim time; judge it against
+  // the server's clock so an RPC that spent its budget in transit is
+  // refused here instead of doing work its caller already abandoned.
+  ctx.clock = clock_;
+  Status deadline_status = ctx.CheckDeadline("nfs.server");
+  if (!deadline_status.ok()) {
+    return fail(deadline_status);
+  }
 
   Payload out;
   ByteWriter w(out);
@@ -116,7 +141,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!root.ok()) {
         return fail(root.status());
       }
-      auto attr = root.value()->GetAttr();
+      auto attr = root.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -132,7 +157,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!vnode.ok()) {
         return fail(vnode.status());
       }
-      auto attr = vnode.value()->GetAttr();
+      auto attr = vnode.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -148,11 +173,11 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!vnode.ok()) {
         return fail(vnode.status());
       }
-      Status status = vnode.value()->SetAttr(setattr, cred);
+      Status status = vnode.value()->SetAttr(setattr, ctx);
       if (!status.ok()) {
         return fail(status);
       }
-      auto attr = vnode.value()->GetAttr();
+      auto attr = vnode.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -167,11 +192,11 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      auto child = dir.value()->Lookup(name, cred);
+      auto child = dir.value()->Lookup(name, ctx);
       if (!child.ok()) {
         return fail(child.status());
       }
-      auto attr = child.value()->GetAttr();
+      auto attr = child.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -189,11 +214,11 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      auto child = dir.value()->Create(name, requested, cred);
+      auto child = dir.value()->Create(name, requested, ctx);
       if (!child.ok()) {
         return fail(child.status());
       }
-      auto attr = child.value()->GetAttr();
+      auto attr = child.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -209,7 +234,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      Status status = dir.value()->Remove(name, cred);
+      Status status = dir.value()->Remove(name, ctx);
       if (!status.ok()) {
         return fail(status);
       }
@@ -225,11 +250,11 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      auto child = dir.value()->Mkdir(name, requested, cred);
+      auto child = dir.value()->Mkdir(name, requested, ctx);
       if (!child.ok()) {
         return fail(child.status());
       }
-      auto attr = child.value()->GetAttr();
+      auto attr = child.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -245,7 +270,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      Status status = dir.value()->Rmdir(name, cred);
+      Status status = dir.value()->Rmdir(name, ctx);
       if (!status.ok()) {
         return fail(status);
       }
@@ -264,7 +289,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!target.ok()) {
         return fail(target.status());
       }
-      Status status = dir.value()->Link(name, target.value(), cred);
+      Status status = dir.value()->Link(name, target.value(), ctx);
       if (!status.ok()) {
         return fail(status);
       }
@@ -284,7 +309,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dst.ok()) {
         return fail(dst.status());
       }
-      Status status = src.value()->Rename(old_name, dst.value(), new_name, cred);
+      Status status = src.value()->Rename(old_name, dst.value(), new_name, ctx);
       if (!status.ok()) {
         return fail(status);
       }
@@ -298,7 +323,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      auto entries = dir.value()->Readdir(cred);
+      auto entries = dir.value()->Readdir(ctx);
       if (!entries.ok()) {
         return fail(entries.status());
       }
@@ -328,11 +353,11 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!dir.ok()) {
         return fail(dir.status());
       }
-      auto child = dir.value()->Symlink(name, target, cred);
+      auto child = dir.value()->Symlink(name, target, ctx);
       if (!child.ok()) {
         return fail(child.status());
       }
-      auto attr = child.value()->GetAttr();
+      auto attr = child.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }
@@ -347,7 +372,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!vnode.ok()) {
         return fail(vnode.status());
       }
-      auto target = vnode.value()->Readlink(cred);
+      auto target = vnode.value()->Readlink(ctx);
       if (!target.ok()) {
         return fail(target.status());
       }
@@ -364,7 +389,7 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
         return fail(vnode.status());
       }
       std::vector<uint8_t> data;
-      auto count = vnode.value()->Read(offset, length, data, cred);
+      auto count = vnode.value()->Read(offset, length, data, ctx);
       if (!count.ok()) {
         return fail(count.status());
       }
@@ -380,16 +405,16 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       if (!vnode.ok()) {
         return fail(vnode.status());
       }
-      auto count = vnode.value()->Write(offset, data, cred);
+      auto count = vnode.value()->Write(offset, data, ctx);
       if (!count.ok()) {
         return fail(count.status());
       }
       // NFS writes are synchronous through to stable storage.
-      Status synced = vnode.value()->Fsync(cred);
+      Status synced = vnode.value()->Fsync(ctx);
       if (!synced.ok()) {
         return fail(synced);
       }
-      auto attr = vnode.value()->GetAttr();
+      auto attr = vnode.value()->GetAttr(ctx);
       if (!attr.ok()) {
         return fail(attr.status());
       }

@@ -12,12 +12,15 @@
 #include <memory>
 #include <string>
 
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/net/network.h"
 #include "src/nfs/protocol.h"
 #include "src/vfs/vnode.h"
 
 namespace ficus::nfs {
 
+// Snapshot of the server's `nfs.server.*` registry cells.
 struct ServerStats {
   uint64_t calls = 0;
   uint64_t errors = 0;
@@ -28,14 +31,19 @@ class NfsServer {
   // Exports `exported` (borrowed) on `host`. `service` is the RPC service
   // name to register under — distinct names let one host export several
   // filesystems (default: kNfsService).
+  // `clock`, when given, lets the server enforce per-op deadlines carried
+  // in the wire context (expired requests are refused with kTimedOut).
+  // `metrics` (borrowed, optional) receives the `nfs.server.*` counters;
+  // without one the server keeps them in a private registry.
   NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
-            std::string service = kNfsService);
+            std::string service = kNfsService, const SimClock* clock = nullptr,
+            MetricRegistry* metrics = nullptr);
 
   // Server restart: all handles become stale except the root, which clients
   // re-acquire via kGetRoot.
   void FlushHandles();
 
-  const ServerStats& stats() const { return stats_; }
+  ServerStats stats() const;
   net::HostId host() const { return host_; }
 
  private:
@@ -46,16 +54,25 @@ class NfsServer {
   StatusOr<vfs::VnodePtr> VnodeFor(NfsHandle handle);
   void EvictExcessHandles();
 
+  // Registry-backed counter cells, resolved once at construction.
+  struct StatCells {
+    Counter* calls;
+    Counter* errors;
+  };
+
   net::Network* network_;
   net::HostId host_;
   vfs::Vfs* exported_;
+  const SimClock* clock_ = nullptr;
   std::map<NfsHandle, vfs::VnodePtr> handle_to_vnode_;
   // Durable-name index: one handle per (fsid, fileid). Vnode objects are
   // cheap per-lookup handles, so identity must be by file, not by pointer.
   std::map<std::pair<uint64_t, uint64_t>, NfsHandle> file_to_handle_;
   NfsHandle next_handle_ = 1;
   NfsHandle root_handle_ = kInvalidHandle;  // never evicted
-  ServerStats stats_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
 
   // Cap on live handles: beyond it the oldest non-root handles are
   // retired (clients see kStale and re-lookup, which NFS semantics

@@ -5,6 +5,7 @@
 namespace ficus::repl {
 
 using vfs::Credentials;
+using vfs::OpContext;
 using vfs::VAttr;
 using vfs::VnodePtr;
 using vfs::VnodeType;
@@ -281,7 +282,7 @@ std::vector<uint8_t> ExecutePhysRequest(PhysicalLayer* layer,
       if (Status s = GetFileId(r, dir); !s.ok()) {
         return ErrorResponse(s);
       }
-      auto count = r.GetU32();
+      auto count = r.GetCount(20);  // see FicusDirEntry wire minimum
       if (!count.ok()) {
         return ErrorResponse(count.status());
       }
@@ -362,7 +363,7 @@ class ResponseVnode : public vfs::Vnode {
   ResponseVnode(uint64_t fileid, uint64_t fsid, std::vector<uint8_t> response)
       : fileid_(fileid), fsid_(fsid), response_(std::move(response)) {}
 
-  StatusOr<VAttr> GetAttr() override {
+  StatusOr<VAttr> GetAttr(const OpContext& = {}) override {
     VAttr attr;
     attr.type = VnodeType::kRegular;
     attr.size = response_.size();
@@ -372,7 +373,7 @@ class ResponseVnode : public vfs::Vnode {
   }
 
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const Credentials&) override {
+                        const OpContext&) override {
     out.clear();
     if (offset >= response_.size()) {
       return size_t{0};
@@ -395,7 +396,7 @@ class SessionVnode : public vfs::Vnode {
   SessionVnode(PhysicalLayer* layer, uint64_t fileid, uint64_t fsid)
       : layer_(layer), fileid_(fileid), fsid_(fsid) {}
 
-  StatusOr<VAttr> GetAttr() override {
+  StatusOr<VAttr> GetAttr(const OpContext& = {}) override {
     VAttr attr;
     attr.type = VnodeType::kRegular;
     attr.size = executed_ ? response_.size() : request_.size();
@@ -405,7 +406,7 @@ class SessionVnode : public vfs::Vnode {
   }
 
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const Credentials&) override {
+                         const OpContext&) override {
     if (executed_) {
       return InvalidArgumentError("session already executed");
     }
@@ -418,7 +419,7 @@ class SessionVnode : public vfs::Vnode {
   }
 
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const Credentials&) override {
+                        const OpContext&) override {
     if (!executed_) {
       response_ = ExecutePhysRequest(layer_, request_);
       request_.clear();
@@ -436,7 +437,7 @@ class SessionVnode : public vfs::Vnode {
 
   // The NFS server fsyncs after every write; a session buffer has nothing
   // to flush.
-  Status Fsync(const vfs::Credentials&) override { return OkStatus(); }
+  Status Fsync(const vfs::OpContext&) override { return OkStatus(); }
 
  private:
   PhysicalLayer* layer_;
@@ -451,7 +452,7 @@ class FacadeRootVnode : public vfs::Vnode {
  public:
   explicit FacadeRootVnode(PhysicalFacadeVfs* fs) : fs_(fs) {}
 
-  StatusOr<VAttr> GetAttr() override {
+  StatusOr<VAttr> GetAttr(const OpContext& = {}) override {
     VAttr attr;
     attr.type = VnodeType::kDirectory;
     attr.fileid = 1;
@@ -459,7 +460,7 @@ class FacadeRootVnode : public vfs::Vnode {
     return attr;
   }
 
-  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials&) override {
+  StatusOr<VnodePtr> Lookup(std::string_view name, const OpContext&) override {
     if (name == kSessionName) {
       return VnodePtr(
           std::make_shared<SessionVnode>(fs_->layer(), fs_->NextFileId(), fs_->fsid()));
@@ -493,11 +494,11 @@ RemotePhysical::RemotePhysical(VnodePtr root, RootRefresher refresher)
     : root_(std::move(root)), refresher_(std::move(refresher)) {}
 
 StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_t>& request) {
-  Credentials cred;
+  Credentials ctx;
   // One retry: a stale facade-root handle (server handle-table eviction
   // or restart) is recovered by re-acquiring the root, as NFS clients do.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto result = TransactOnce(request, cred);
+    auto result = TransactOnce(request, ctx);
     if (result.ok() || result.status().code() != ErrorCode::kStale ||
         refresher_ == nullptr || attempt == 1) {
       return result;
@@ -512,25 +513,25 @@ StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_
 }
 
 StatusOr<std::vector<uint8_t>> RemotePhysical::TransactOnce(
-    const std::vector<uint8_t>& request, const Credentials& cred) {
+    const std::vector<uint8_t>& request, const OpContext& ctx) {
   VnodePtr channel;
   if (request.size() <= kMaxInlineRequest) {
     // Small request: encode it into a lookup name that NFS forwards
     // verbatim (the paper's overloaded-lookup technique).
     ++inline_calls_;
     std::string name = std::string(kReqPrefix) + HexEncodeBytes(request);
-    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(name, cred));
+    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(name, ctx));
   } else {
     ++session_calls_;
-    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(kSessionName, cred));
-    FICUS_RETURN_IF_ERROR(channel->Write(0, request, cred).status());
+    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(kSessionName, ctx));
+    FICUS_RETURN_IF_ERROR(channel->Write(0, request, ctx).status());
   }
   // Drain the response (it can exceed one NFS read quantum).
   std::vector<uint8_t> response;
   constexpr size_t kChunk = 64 * 1024;
   for (;;) {
     std::vector<uint8_t> piece;
-    FICUS_ASSIGN_OR_RETURN(size_t got, channel->Read(response.size(), kChunk, piece, cred));
+    FICUS_ASSIGN_OR_RETURN(size_t got, channel->Read(response.size(), kChunk, piece, ctx));
     response.insert(response.end(), piece.begin(), piece.end());
     if (got < kChunk) {
       break;
@@ -634,7 +635,7 @@ StatusOr<std::vector<FicusDirEntry>> RemotePhysical::ReadDirectory(FileId dir) {
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
                          Transact(BeginPhysRequest(PhysOp::kReadDirectory, dir)));
   ByteReader r(results);
-  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(20));
   std::vector<FicusDirEntry> entries;
   entries.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

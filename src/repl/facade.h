@@ -142,7 +142,7 @@ class RemotePhysical : public PhysicalApi {
   // stale root handle.
   StatusOr<std::vector<uint8_t>> Transact(const std::vector<uint8_t>& request);
   StatusOr<std::vector<uint8_t>> TransactOnce(const std::vector<uint8_t>& request,
-                                              const vfs::Credentials& cred);
+                                              const vfs::OpContext& ctx);
 
   vfs::VnodePtr root_;
   RootRefresher refresher_;

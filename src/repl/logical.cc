@@ -3,6 +3,7 @@
 namespace ficus::repl {
 
 using vfs::Credentials;
+using vfs::OpContext;
 using vfs::DirEntry;
 using vfs::SetAttrRequest;
 using vfs::VAttr;
@@ -10,8 +11,32 @@ using vfs::VnodePtr;
 using vfs::VnodeType;
 
 LogicalLayer::LogicalLayer(VolumeId volume, ReplicaResolver* resolver,
-                           UpdateNotifier* notifier, ConflictLog* log, const SimClock* clock)
-    : volume_(volume), resolver_(resolver), notifier_(notifier), log_(log), clock_(clock) {}
+                           UpdateNotifier* notifier, ConflictLog* log, const SimClock* clock,
+                           MetricRegistry* metrics)
+    : volume_(volume),
+      resolver_(resolver),
+      notifier_(notifier),
+      log_(log),
+      clock_(clock),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.reads = registry_->counter("repl.logical.reads");
+  stats_.writes = registry_->counter("repl.logical.writes");
+  stats_.lookups = registry_->counter("repl.logical.lookups");
+  stats_.notifications_sent = registry_->counter("repl.logical.notifications_sent");
+  stats_.replica_switches = registry_->counter("repl.logical.replica_switches");
+  stats_.conflicts_surfaced = registry_->counter("repl.logical.conflicts_surfaced");
+}
+
+LogicalStats LogicalLayer::stats() const {
+  LogicalStats out;
+  out.reads = stats_.reads->value();
+  out.writes = stats_.writes->value();
+  out.lookups = stats_.lookups->value();
+  out.notifications_sent = stats_.notifications_sent->value();
+  out.replica_switches = stats_.replica_switches->value();
+  out.conflicts_surfaced = stats_.conflicts_surfaced->value();
+  return out;
+}
 
 StatusOr<VnodePtr> LogicalLayer::Root() {
   return VnodePtr(std::make_shared<LogicalVnode>(this, kRootFileId,
@@ -95,7 +120,7 @@ StatusOr<PhysicalApi*> LogicalLayer::SelectForRead(FileId file) {
     return UnreachableError("no replica of " + file.ToString() + " is available");
   }
   if (!best_is_preferred) {
-    ++stats_.replica_switches;
+    stats_.replica_switches->Increment();
   }
   return best;
 }
@@ -104,7 +129,7 @@ void LogicalLayer::Notify(FileId file, const VersionVector& vv, ReplicaId source
   if (notifier_ == nullptr) {
     return;
   }
-  ++stats_.notifications_sent;
+  stats_.notifications_sent->Increment();
   notifier_->NotifyUpdate(GlobalFileId{volume_, file}, vv, source);
 }
 
@@ -149,7 +174,7 @@ Status LogicalVnode::CheckDir() const {
   return OkStatus();
 }
 
-StatusOr<VAttr> LogicalVnode::GetAttr() {
+StatusOr<VAttr> LogicalVnode::GetAttr(const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
   VAttr out;
@@ -166,7 +191,7 @@ StatusOr<VAttr> LogicalVnode::GetAttr() {
   return out;
 }
 
-Status LogicalVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+Status LogicalVnode::SetAttr(const SetAttrRequest& request, const OpContext&) {
   if (request.set_size) {
     if (type_ != FicusFileType::kRegular) {
       return IsDirError("cannot truncate a directory");
@@ -180,9 +205,9 @@ Status LogicalVnode::SetAttr(const SetAttrRequest& request, const Credentials&) 
   return OkStatus();
 }
 
-StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const Credentials&) {
+StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
-  ++layer_->mutable_stats().lookups;
+  layer_->stat_cells().lookups->Increment();
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
   std::vector<FicusDirEntry> entries = PresentEntries(raw);
@@ -204,12 +229,12 @@ StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const Credentials
 }
 
 StatusOr<VnodePtr> LogicalVnode::Create(std::string_view name, const VAttr& attr,
-                                        const Credentials& cred) {
+                                        const OpContext& ctx) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_ASSIGN_OR_RETURN(FileId child,
                          phys->CreateChild(file_, name, FicusFileType::kRegular,
-                                           cred.uid != 0 ? cred.uid : attr.uid));
+                                           ctx.cred.uid != 0 ? ctx.cred.uid : attr.uid));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kRegular));
@@ -238,29 +263,29 @@ Status LogicalVnode::RemoveCommon(std::string_view name, bool expect_dir) {
   return OkStatus();
 }
 
-Status LogicalVnode::Remove(std::string_view name, const Credentials&) {
+Status LogicalVnode::Remove(std::string_view name, const OpContext&) {
   return RemoveCommon(name, /*expect_dir=*/false);
 }
 
 StatusOr<VnodePtr> LogicalVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                       const Credentials& cred) {
+                                       const OpContext& ctx) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_ASSIGN_OR_RETURN(FileId child,
                          phys->CreateChild(file_, name, FicusFileType::kDirectory,
-                                           cred.uid != 0 ? cred.uid : attr.uid));
+                                           ctx.cred.uid != 0 ? ctx.cred.uid : attr.uid));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kDirectory));
 }
 
-Status LogicalVnode::Rmdir(std::string_view name, const Credentials&) {
+Status LogicalVnode::Rmdir(std::string_view name, const OpContext&) {
   // One entry-removal operation either way; the physical layer enforces
   // emptiness, this wrapper enforces the Unix type distinction.
   return RemoveCommon(name, /*expect_dir=*/true);
 }
 
-Status LogicalVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+Status LogicalVnode::Link(std::string_view name, const VnodePtr& target, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   auto* logical_target = dynamic_cast<LogicalVnode*>(target.get());
   if (logical_target == nullptr || logical_target->layer_ != layer_) {
@@ -275,7 +300,7 @@ Status LogicalVnode::Link(std::string_view name, const VnodePtr& target, const C
 }
 
 Status LogicalVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                            std::string_view new_name, const Credentials&) {
+                            std::string_view new_name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   auto* logical_parent = dynamic_cast<LogicalVnode*>(new_parent.get());
   if (logical_parent == nullptr || logical_parent->layer_ != layer_) {
@@ -294,7 +319,7 @@ Status LogicalVnode::Rename(std::string_view old_name, const VnodePtr& new_paren
   return OkStatus();
 }
 
-StatusOr<std::vector<DirEntry>> LogicalVnode::Readdir(const Credentials&) {
+StatusOr<std::vector<DirEntry>> LogicalVnode::Readdir(const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
@@ -310,11 +335,11 @@ StatusOr<std::vector<DirEntry>> LogicalVnode::Readdir(const Credentials&) {
 }
 
 StatusOr<VnodePtr> LogicalVnode::Symlink(std::string_view name, std::string_view target,
-                                         const Credentials& cred) {
+                                         const OpContext& ctx) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_ASSIGN_OR_RETURN(FileId child,
-                         phys->CreateChild(file_, name, FicusFileType::kSymlink, cred.uid));
+                         phys->CreateChild(file_, name, FicusFileType::kSymlink, ctx.cred.uid));
   FICUS_RETURN_IF_ERROR(phys->WriteLink(child, target));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
@@ -323,7 +348,7 @@ StatusOr<VnodePtr> LogicalVnode::Symlink(std::string_view name, std::string_view
   return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kSymlink));
 }
 
-StatusOr<std::string> LogicalVnode::Readlink(const Credentials&) {
+StatusOr<std::string> LogicalVnode::Readlink(const OpContext&) {
   if (type_ != FicusFileType::kSymlink) {
     return InvalidArgumentError("not a symlink");
   }
@@ -331,7 +356,7 @@ StatusOr<std::string> LogicalVnode::Readlink(const Credentials&) {
   return phys->ReadLink(file_);
 }
 
-Status LogicalVnode::Open(uint32_t flags, const Credentials&) {
+Status LogicalVnode::Open(uint32_t flags, const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   FICUS_RETURN_IF_ERROR(phys->NoteOpen(file_));
   if ((flags & vfs::kOpenTruncate) != 0 && type_ == FicusFileType::kRegular) {
@@ -343,21 +368,21 @@ Status LogicalVnode::Open(uint32_t flags, const Credentials&) {
   return OkStatus();
 }
 
-Status LogicalVnode::Close(uint32_t, const Credentials&) {
+Status LogicalVnode::Close(uint32_t, const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   return phys->NoteClose(file_);
 }
 
 StatusOr<size_t> LogicalVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                    const Credentials&) {
+                                    const OpContext&) {
   if (type_ != FicusFileType::kRegular) {
     return IsDirError("read on a non-regular logical file");
   }
-  ++layer_->mutable_stats().reads;
+  layer_->stat_cells().reads->Increment();
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, phys->GetAttributes(file_));
   if (attrs.conflict) {
-    ++layer_->mutable_stats().conflicts_surfaced;
+    layer_->stat_cells().conflicts_surfaced->Increment();
     return ConflictError("file " + file_.ToString() +
                          " has conflicting updates; owner must resolve");
   }
@@ -366,11 +391,11 @@ StatusOr<size_t> LogicalVnode::Read(uint64_t offset, size_t length, std::vector<
 }
 
 StatusOr<size_t> LogicalVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                     const Credentials&) {
+                                     const OpContext&) {
   if (type_ != FicusFileType::kRegular) {
     return IsDirError("write on a non-regular logical file");
   }
-  ++layer_->mutable_stats().writes;
+  layer_->stat_cells().writes->Increment();
   // Updates are initially applied to a single physical replica (3.2).
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_RETURN_IF_ERROR(phys->WriteData(file_, offset, data));
@@ -379,6 +404,6 @@ StatusOr<size_t> LogicalVnode::Write(uint64_t offset, const std::vector<uint8_t>
   return data.size();
 }
 
-Status LogicalVnode::Fsync(const Credentials&) { return OkStatus(); }
+Status LogicalVnode::Fsync(const OpContext&) { return OkStatus(); }
 
 }  // namespace ficus::repl

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/repl/conflict_log.h"
 #include "src/repl/resolver.h"
 #include "src/vfs/vnode.h"
@@ -48,6 +49,8 @@ class GraftResolver {
   virtual StatusOr<vfs::VnodePtr> ResolveGraft(const GlobalFileId& graft_point) = 0;
 };
 
+// Snapshot of the layer's `repl.logical.*` registry cells; existing
+// callers keep reading plain fields.
 struct LogicalStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -59,16 +62,30 @@ struct LogicalStats {
 
 class LogicalLayer : public vfs::Vfs {
  public:
-  // All pointers borrowed; notifier, graft resolver, log, clock optional.
+  // Registry-backed counter cells, resolved once at construction; shared
+  // with LogicalVnode, which bumps them directly.
+  struct StatCells {
+    Counter* reads;
+    Counter* writes;
+    Counter* lookups;
+    Counter* notifications_sent;
+    Counter* replica_switches;
+    Counter* conflicts_surfaced;
+  };
+
+  // All pointers borrowed; notifier, graft resolver, log, clock, metrics
+  // optional. `metrics` receives the `repl.logical.*` counters; without
+  // one the layer keeps them in a private registry.
   LogicalLayer(VolumeId volume, ReplicaResolver* resolver, UpdateNotifier* notifier,
-               ConflictLog* log, const SimClock* clock);
+               ConflictLog* log, const SimClock* clock,
+               MetricRegistry* metrics = nullptr);
 
   StatusOr<vfs::VnodePtr> Root() override;
 
   void set_graft_resolver(GraftResolver* graft_resolver) { graft_resolver_ = graft_resolver; }
 
   VolumeId volume() const { return volume_; }
-  const LogicalStats& stats() const { return stats_; }
+  LogicalStats stats() const;
 
   // Owner's conflict resolution: writes `resolved` as a new version whose
   // vector dominates every reachable replica's, clears conflict flags, and
@@ -90,7 +107,7 @@ class LogicalLayer : public vfs::Vfs {
   ReplicaResolver* resolver() { return resolver_; }
   GraftResolver* graft_resolver() { return graft_resolver_; }
   ConflictLog* conflict_log() { return log_; }
-  LogicalStats& mutable_stats() { return stats_; }
+  const StatCells& stat_cells() const { return stats_; }
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
  private:
@@ -100,7 +117,9 @@ class LogicalLayer : public vfs::Vfs {
   GraftResolver* graft_resolver_ = nullptr;
   ConflictLog* log_;
   const SimClock* clock_;
-  LogicalStats stats_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
 };
 
 // Client-visible vnode for one logical file. Carries no replica binding:
@@ -112,30 +131,30 @@ class LogicalVnode : public vfs::Vnode {
   LogicalVnode(LogicalLayer* layer, FileId file, FicusFileType type)
       : layer_(layer), file_(file), type_(type) {}
 
-  StatusOr<vfs::VAttr> GetAttr() override;
-  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
-  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VAttr> GetAttr(const vfs::OpContext& ctx = {}) override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::OpContext& ctx) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
-                                 const vfs::Credentials& cred) override;
-  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+                                 const vfs::OpContext& ctx) override;
+  Status Remove(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
-                                const vfs::Credentials& cred) override;
-  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+                                const vfs::OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const vfs::OpContext& ctx) override;
   Status Link(std::string_view name, const vfs::VnodePtr& target,
-              const vfs::Credentials& cred) override;
+              const vfs::OpContext& ctx) override;
   Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
-                std::string_view new_name, const vfs::Credentials& cred) override;
-  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+                std::string_view new_name, const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
-                                  const vfs::Credentials& cred) override;
-  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
-  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
-  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+                                  const vfs::OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;
+  Status Open(uint32_t flags, const vfs::OpContext& ctx) override;
+  Status Close(uint32_t flags, const vfs::OpContext& ctx) override;
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const vfs::Credentials& cred) override;
+                        const vfs::OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const vfs::Credentials& cred) override;
-  Status Fsync(const vfs::Credentials& cred) override;
+                         const vfs::OpContext& ctx) override;
+  Status Fsync(const vfs::OpContext& ctx) override;
 
   FileId file() const { return file_; }
   FicusFileType ficus_type() const { return type_; }

@@ -73,8 +73,36 @@ constexpr uint8_t kExtInlineAttrs = 0x01;  // attributes follow inline
 constexpr uint8_t kExtSpilled = 0x02;      // attributes live in the aux file
 }  // namespace
 
-PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptions options)
-    : ufs_(ufs), clock_(clock), options_(options) {}
+PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptions options,
+                             MetricRegistry* metrics)
+    : ufs_(ufs),
+      clock_(clock),
+      options_(options),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.opens_noted = registry_->counter("repl.physical.opens_noted");
+  stats_.closes_noted = registry_->counter("repl.physical.closes_noted");
+  stats_.installs = registry_->counter("repl.physical.installs");
+  stats_.entries_applied = registry_->counter("repl.physical.entries_applied");
+  stats_.name_conflicts_resolved = registry_->counter("repl.physical.name_conflicts_resolved");
+  stats_.insert_delete_conflicts = registry_->counter("repl.physical.insert_delete_conflicts");
+  stats_.remove_update_conflicts = registry_->counter("repl.physical.remove_update_conflicts");
+  stats_.notifications_noted = registry_->counter("repl.physical.notifications_noted");
+  stats_.shadows_recovered = registry_->counter("repl.physical.shadows_recovered");
+}
+
+PhysicalStats PhysicalLayer::stats() const {
+  PhysicalStats out;
+  out.opens_noted = stats_.opens_noted->value();
+  out.closes_noted = stats_.closes_noted->value();
+  out.installs = stats_.installs->value();
+  out.entries_applied = stats_.entries_applied->value();
+  out.name_conflicts_resolved = stats_.name_conflicts_resolved->value();
+  out.insert_delete_conflicts = stats_.insert_delete_conflicts->value();
+  out.remove_update_conflicts = stats_.remove_update_conflicts->value();
+  out.notifications_noted = stats_.notifications_noted->value();
+  out.shadows_recovered = stats_.shadows_recovered->value();
+  return out;
+}
 
 Status PhysicalLayer::CheckAttached() const {
   if (!attached_) {
@@ -185,7 +213,7 @@ Status PhysicalLayer::RecoverShadows(ufs::InodeNum ufs_dir) {
         // shadow is discarded (section 3.2).
         FICUS_RETURN_IF_ERROR(ufs_->Unlink(ufs_dir, e.name));
       }
-      ++stats_.shadows_recovered;
+      stats_.shadows_recovered->Increment();
     } else if (e.type == ufs::FileType::kDirectory) {
       FICUS_RETURN_IF_ERROR(RecoverShadows(e.ino));
     }
@@ -581,7 +609,7 @@ Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& co
   attrs.vv = vv;
   attrs.mtime = Now();
   FICUS_RETURN_IF_ERROR(StoreAttributes(file, attrs));
-  ++stats_.installs;
+  stats_.installs->Increment();
   return OkStatus();
 }
 
@@ -767,7 +795,7 @@ Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, Fil
 StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
                                               std::vector<FicusDirEntry>& entries,
                                               const FicusDirEntry& remote) {
-  ++stats_.entries_applied;
+  stats_.entries_applied->Increment();
   for (auto& local : entries) {
     if (local.name != remote.name || local.file != remote.file) {
       continue;
@@ -789,7 +817,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
           if (attrs.ok() && !remote.deleted_file_vv.Dominates(attrs->vv)) {
             local.vv.MergeWith(remote.vv);
             local.vv.Increment(replica_);
-            ++stats_.remove_update_conflicts;
+            stats_.remove_update_conflicts->Increment();
             return true;
           }
         }
@@ -804,7 +832,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
           if (HasLiveEntries(local.file)) {
             local.vv.MergeWith(remote.vv);
             local.vv.Increment(replica_);
-            ++stats_.insert_delete_conflicts;
+            stats_.insert_delete_conflicts->Increment();
             return true;
           }
         }
@@ -829,7 +857,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
           ++alive_refs_[local.file];
         }
         if (local.alive != remote.alive) {
-          ++stats_.insert_delete_conflicts;
+          stats_.insert_delete_conflicts->Increment();
         }
         local.alive = resolved_alive;
         local.vv.MergeWith(remote.vv);
@@ -856,7 +884,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
   // disambiguates (section 2.5 footnote / DESIGN.md).
   for (const auto& e : entries) {
     if (e.alive && remote.alive && e.name == remote.name && e.file != remote.file) {
-      ++stats_.name_conflicts_resolved;
+      stats_.name_conflicts_resolved->Increment();
       break;
     }
   }
@@ -926,7 +954,7 @@ Status PhysicalLayer::WriteLink(FileId file, std::string_view target) {
 
 Status PhysicalLayer::NoteOpen(FileId file) {
   FICUS_RETURN_IF_ERROR(CheckAttached());
-  ++stats_.opens_noted;
+  stats_.opens_noted->Increment();
   // Warm the caches exactly as a real open would: attributes now, so the
   // following reads find the aux file resident (section 6's warm path).
   return LoadAttributes(file).status();
@@ -935,7 +963,7 @@ Status PhysicalLayer::NoteOpen(FileId file) {
 Status PhysicalLayer::NoteClose(FileId file) {
   FICUS_RETURN_IF_ERROR(CheckAttached());
   (void)file;
-  ++stats_.closes_noted;
+  stats_.closes_noted->Increment();
   return OkStatus();
 }
 
@@ -943,7 +971,7 @@ Status PhysicalLayer::NoteClose(FileId file) {
 
 void PhysicalLayer::NoteNewVersion(const GlobalFileId& id, const VersionVector& vv,
                                    ReplicaId source) {
-  ++stats_.notifications_noted;
+  stats_.notifications_noted->Increment();
   auto it = new_version_cache_.find(id);
   if (it == new_version_cache_.end()) {
     new_version_cache_[id] = NewVersionEntry{id, vv, source, Now()};

@@ -35,11 +35,14 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/repl/physical_api.h"
 #include "src/ufs/ufs.h"
 
 namespace ficus::repl {
 
+// Snapshot of the layer's `repl.physical.*` registry cells; existing
+// callers keep reading plain fields.
 struct PhysicalStats {
   uint64_t opens_noted = 0;
   uint64_t closes_noted = 0;
@@ -86,9 +89,12 @@ struct PhysicalOptions {
 
 class PhysicalLayer : public PhysicalApi {
  public:
-  // ufs must be mounted; clock may be null.
+  // ufs must be mounted; clock may be null. `metrics` (borrowed,
+  // optional) receives the `repl.physical.*` counters; without one the
+  // layer keeps them in a private registry.
   PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock,
-                PhysicalOptions options = PhysicalOptions{});
+                PhysicalOptions options = PhysicalOptions{},
+                MetricRegistry* metrics = nullptr);
 
   // Creates a brand-new volume replica in `container_name` under the UFS
   // root. When `first_replica` is true the Ficus root directory is born
@@ -159,7 +165,7 @@ class PhysicalLayer : public PhysicalApi {
   // Returns a list of problems (empty = consistent).
   StatusOr<std::vector<std::string>> CheckConsistency();
 
-  const PhysicalStats& stats() const { return stats_; }
+  PhysicalStats stats() const;
 
   // Lists every file-id this replica stores (tests / reconciler sweep).
   std::vector<FileId> StoredFiles() const;
@@ -222,11 +228,6 @@ class PhysicalLayer : public PhysicalApi {
   Status ScanTree(ufs::InodeNum ufs_dir, FileId dir_id);
   Status RecoverShadows(ufs::InodeNum ufs_dir);
 
-  // Renames colliding alive entries deterministically (larger file-id gets
-  // the disambiguating suffix) so every replica converges to one spelling.
-  static void DisambiguateNames(std::vector<FicusDirEntry>& entries, size_t changed_index,
-                                PhysicalStats& stats);
-
   ufs::Ufs* ufs_;
   const SimClock* clock_;
   PhysicalOptions options_;
@@ -246,7 +247,22 @@ class PhysicalLayer : public PhysicalApi {
   std::map<FileId, CachedDir> dir_cache_;
   static constexpr size_t kMaxCachedDirs = 64;  // live directory references per file
   std::map<GlobalFileId, NewVersionEntry> new_version_cache_;
-  PhysicalStats stats_;
+  // Registry-backed counter cells, resolved once at construction.
+  struct StatCells {
+    Counter* opens_noted;
+    Counter* closes_noted;
+    Counter* installs;
+    Counter* entries_applied;
+    Counter* name_conflicts_resolved;
+    Counter* insert_delete_conflicts;
+    Counter* remove_update_conflicts;
+    Counter* notifications_noted;
+    Counter* shadows_recovered;
+  };
+
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
 };
 
 }  // namespace ficus::repl

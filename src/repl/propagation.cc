@@ -4,11 +4,37 @@ namespace ficus::repl {
 
 PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver,
                                      ConflictLog* log, const SimClock* clock,
-                                     PropagationConfig config)
-    : local_(local), resolver_(resolver), log_(log), clock_(clock), config_(config) {}
+                                     PropagationConfig config, MetricRegistry* metrics)
+    : local_(local),
+      resolver_(resolver),
+      log_(log),
+      clock_(clock),
+      config_(config),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.runs = registry_->counter("repl.propagation.runs");
+  stats_.pulled_files = registry_->counter("repl.propagation.pulled_files");
+  stats_.reconciled_dirs = registry_->counter("repl.propagation.reconciled_dirs");
+  stats_.conflicts_flagged = registry_->counter("repl.propagation.conflicts_flagged");
+  stats_.skipped_current = registry_->counter("repl.propagation.skipped_current");
+  stats_.deferred_unreachable = registry_->counter("repl.propagation.deferred_unreachable");
+  stats_.bytes_pulled = registry_->counter("repl.propagation.bytes_pulled");
+}
+
+PropagationStats PropagationDaemon::stats() const {
+  PropagationStats out;
+  out.runs = stats_.runs->value();
+  out.pulled_files = stats_.pulled_files->value();
+  out.reconciled_dirs = stats_.reconciled_dirs->value();
+  out.conflicts_flagged = stats_.conflicts_flagged->value();
+  out.skipped_current = stats_.skipped_current->value();
+  out.deferred_unreachable = stats_.deferred_unreachable->value();
+  out.bytes_pulled = stats_.bytes_pulled->value();
+  return out;
+}
 
 Status PropagationDaemon::RunOnce() {
-  ++stats_.runs;
+  last_trace_ = NextTraceId();
+  stats_.runs->Increment();
   std::vector<NewVersionEntry> pending = local_->TakePendingVersions();
   // A notification for a file we do not store yet may become actionable
   // within this very pass: reconciling a notified *directory* creates
@@ -33,7 +59,7 @@ Status PropagationDaemon::RunOnce() {
       Status status = Propagate(entry);
       if (status.code() == ErrorCode::kUnreachable ||
           status.code() == ErrorCode::kTimedOut) {
-        ++stats_.deferred_unreachable;
+        stats_.deferred_unreachable->Increment();
         local_->NoteNewVersion(entry.id, entry.vv, entry.source);
         continue;
       }
@@ -43,7 +69,7 @@ Status PropagationDaemon::RunOnce() {
     if (!progress) {
       // Not stored and nothing changed: this replica legitimately does not
       // hold these files (optional storage) — drop them.
-      stats_.skipped_current += unstored.size();
+      stats_.skipped_current->Add(unstored.size());
       unstored.clear();
     }
     pending = std::move(unstored);
@@ -56,14 +82,14 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
   if (!local_->Stores(file)) {
     // This volume replica does not hold the file (optional storage);
     // nothing to bring up to date.
-    ++stats_.skipped_current;
+    stats_.skipped_current->Increment();
     return OkStatus();
   }
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(file));
   // If we already know everything the notification advertises, drop it
   // without a network round trip.
   if (local_attrs.vv.Dominates(entry.vv)) {
-    ++stats_.skipped_current;
+    stats_.skipped_current->Increment();
     return OkStatus();
   }
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * source,
@@ -74,7 +100,7 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
     // directory operation needs to be replayed at each replica."
     Reconciler reconciler(local_, resolver_, log_, clock_);
     FICUS_RETURN_IF_ERROR(reconciler.ReconcileDirectory(file, source));
-    ++stats_.reconciled_dirs;
+    stats_.reconciled_dirs->Increment();
     return OkStatus();
   }
 
@@ -82,19 +108,19 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
   switch (remote_attrs.vv.Compare(local_attrs.vv)) {
     case VectorOrder::kEqual:
     case VectorOrder::kDominatedBy:
-      ++stats_.skipped_current;
+      stats_.skipped_current->Increment();
       return OkStatus();
     case VectorOrder::kDominates: {
       FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> contents, source->ReadAllData(file));
       FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs.vv));
       FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs.conflict));
-      ++stats_.pulled_files;
-      stats_.bytes_pulled += contents.size();
+      stats_.pulled_files->Increment();
+      stats_.bytes_pulled->Add(contents.size());
       return OkStatus();
     }
     case VectorOrder::kConcurrent: {
       FICUS_RETURN_IF_ERROR(local_->SetConflict(file, true));
-      ++stats_.conflicts_flagged;
+      stats_.conflicts_flagged->Increment();
       if (log_ != nullptr) {
         ConflictRecord record;
         record.kind = ConflictKind::kFileUpdate;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/repl/conflict_log.h"
 #include "src/repl/physical.h"
 #include "src/repl/reconcile.h"
@@ -25,6 +26,8 @@
 
 namespace ficus::repl {
 
+// Snapshot of the daemon's `repl.propagation.*` registry cells; existing
+// callers keep reading plain fields.
 struct PropagationStats {
   uint64_t runs = 0;
   uint64_t pulled_files = 0;
@@ -44,16 +47,35 @@ struct PropagationConfig {
 
 class PropagationDaemon {
  public:
+  // `metrics` (borrowed, optional) receives the `repl.propagation.*`
+  // counters; without one the daemon keeps them in a private registry.
   PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-                    const SimClock* clock, PropagationConfig config = PropagationConfig{});
+                    const SimClock* clock, PropagationConfig config = PropagationConfig{},
+                    MetricRegistry* metrics = nullptr);
 
   // Processes the new-version cache once. Unreachable sources and
-  // too-young entries are put back for a later run.
+  // too-young entries are put back for a later run. Each run is a traced
+  // operation in its own right (the daemon has no syscall layer above it
+  // to mint a context).
   Status RunOnce();
 
-  const PropagationStats& stats() const { return stats_; }
+  PropagationStats stats() const;
+
+  // Trace id stamped on the most recent RunOnce (0 before the first).
+  TraceId last_trace() const { return last_trace_; }
 
  private:
+  // Registry-backed counter cells, resolved once at construction.
+  struct StatCells {
+    Counter* runs;
+    Counter* pulled_files;
+    Counter* reconciled_dirs;
+    Counter* conflicts_flagged;
+    Counter* skipped_current;
+    Counter* deferred_unreachable;
+    Counter* bytes_pulled;
+  };
+
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
   Status Propagate(const NewVersionEntry& entry);
@@ -63,7 +85,10 @@ class PropagationDaemon {
   ConflictLog* log_;
   const SimClock* clock_;
   PropagationConfig config_;
-  PropagationStats stats_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
+  TraceId last_trace_ = 0;
 };
 
 }  // namespace ficus::repl

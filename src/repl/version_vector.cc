@@ -92,7 +92,9 @@ void VersionVector::Serialize(ByteWriter& w) const {
 }
 
 StatusOr<VersionVector> VersionVector::Deserialize(ByteReader& r) {
-  FICUS_ASSIGN_OR_RETURN(uint32_t size, r.GetU32());
+  // Each counter is u32 replica + u64 count = 12 bytes on the wire; a
+  // size that cannot be satisfied is rejected before the loop runs.
+  FICUS_ASSIGN_OR_RETURN(uint32_t size, r.GetCount(12));
   VersionVector vv;
   for (uint32_t i = 0; i < size; ++i) {
     FICUS_ASSIGN_OR_RETURN(uint32_t replica, r.GetU32());

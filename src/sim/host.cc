@@ -19,7 +19,7 @@ class FicusHost::ExportVfs : public vfs::Vfs {
    public:
     explicit RootVnode(FicusHost* host) : host_(host) {}
 
-    StatusOr<vfs::VAttr> GetAttr() override {
+    StatusOr<vfs::VAttr> GetAttr(const vfs::OpContext& = {}) override {
       vfs::VAttr attr;
       attr.type = vfs::VnodeType::kDirectory;
       attr.fileid = 1;
@@ -28,7 +28,7 @@ class FicusHost::ExportVfs : public vfs::Vfs {
     }
 
     StatusOr<vfs::VnodePtr> Lookup(std::string_view name,
-                                   const vfs::Credentials&) override {
+                                   const vfs::OpContext&) override {
       for (auto& [key, local] : host_->locals_) {
         if (ExportName(key.first, key.second) == name) {
           return local.facade->Root();
@@ -37,7 +37,7 @@ class FicusHost::ExportVfs : public vfs::Vfs {
       return NotFoundError("no volume replica exported as " + std::string(name));
     }
 
-    StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials&) override {
+    StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext&) override {
       std::vector<vfs::DirEntry> out;
       for (auto& [key, local] : host_->locals_) {
         out.push_back(vfs::DirEntry{ExportName(key.first, key.second), 0,
@@ -346,14 +346,14 @@ StatusOr<vfs::VnodePtr> FicusHost::ResolveGraft(const repl::GlobalFileId& graft_
   return logical->Root();
 }
 
-const repl::PropagationStats* FicusHost::propagation_stats(
+std::optional<repl::PropagationStats> FicusHost::propagation_stats(
     const repl::VolumeId& volume) const {
   for (const auto& [key, local] : locals_) {
     if (key.first == volume) {
-      return &local.propagation->stats();
+      return local.propagation->stats();
     }
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 const repl::ReconcileStats* FicusHost::reconcile_stats(const repl::VolumeId& volume) const {

@@ -15,6 +15,7 @@
 #define FICUS_SRC_SIM_HOST_H_
 
 #include <map>
+#include <optional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -127,7 +128,7 @@ class FicusHost : public repl::ReplicaResolver,
   vol::GraftTable& grafts() { return grafts_; }
   repl::ConflictLog& conflict_log() { return conflict_log_; }
   nfs::NfsServer& nfs_server() { return *server_; }
-  const repl::PropagationStats* propagation_stats(const repl::VolumeId& volume) const;
+  std::optional<repl::PropagationStats> propagation_stats(const repl::VolumeId& volume) const;
   const repl::ReconcileStats* reconcile_stats(const repl::VolumeId& volume) const;
 
   // Name a facade is exported under.

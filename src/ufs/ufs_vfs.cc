@@ -3,6 +3,7 @@
 namespace ficus::ufs {
 
 using vfs::Credentials;
+using vfs::OpContext;
 using vfs::DirEntry;
 using vfs::SetAttrRequest;
 using vfs::VAttr;
@@ -36,7 +37,7 @@ FileType ToFileType(vfs::VnodeType type) {
   return FileType::kRegular;
 }
 
-StatusOr<VAttr> UfsVnode::GetAttr() {
+StatusOr<VAttr> UfsVnode::GetAttr(const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(Inode inode, fs_->ufs()->ReadInode(ino_));
   VAttr attr;
   attr.type = ToVnodeType(inode.type);
@@ -52,7 +53,7 @@ StatusOr<VAttr> UfsVnode::GetAttr() {
   return attr;
 }
 
-Status UfsVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+Status UfsVnode::SetAttr(const SetAttrRequest& request, const OpContext&) {
   Ufs* ufs = fs_->ufs();
   FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(ino_));
   if (request.set_size) {
@@ -78,13 +79,13 @@ Status UfsVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
   return ufs->WriteInode(ino_, inode);
 }
 
-StatusOr<VnodePtr> UfsVnode::Lookup(std::string_view name, const Credentials&) {
+StatusOr<VnodePtr> UfsVnode::Lookup(std::string_view name, const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(InodeNum child, fs_->ufs()->DirLookup(ino_, name));
   return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
 }
 
 StatusOr<VnodePtr> UfsVnode::Create(std::string_view name, const VAttr& attr,
-                                    const Credentials&) {
+                                    const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(InodeNum child,
                          fs_->ufs()->CreateFile(ino_, name, FileType::kRegular,
                                                 attr.mode != 0 ? attr.mode : 0644, attr.uid,
@@ -92,7 +93,7 @@ StatusOr<VnodePtr> UfsVnode::Create(std::string_view name, const VAttr& attr,
   return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
 }
 
-Status UfsVnode::Remove(std::string_view name, const Credentials&) {
+Status UfsVnode::Remove(std::string_view name, const OpContext&) {
   Ufs* ufs = fs_->ufs();
   FICUS_ASSIGN_OR_RETURN(InodeNum child, ufs->DirLookup(ino_, name));
   FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(child));
@@ -103,7 +104,7 @@ Status UfsVnode::Remove(std::string_view name, const Credentials&) {
 }
 
 StatusOr<VnodePtr> UfsVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                   const Credentials&) {
+                                   const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(InodeNum child,
                          fs_->ufs()->CreateFile(ino_, name, FileType::kDirectory,
                                                 attr.mode != 0 ? attr.mode : 0755, attr.uid,
@@ -111,7 +112,7 @@ StatusOr<VnodePtr> UfsVnode::Mkdir(std::string_view name, const VAttr& attr,
   return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
 }
 
-Status UfsVnode::Rmdir(std::string_view name, const Credentials&) {
+Status UfsVnode::Rmdir(std::string_view name, const OpContext&) {
   Ufs* ufs = fs_->ufs();
   FICUS_ASSIGN_OR_RETURN(InodeNum child, ufs->DirLookup(ino_, name));
   FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(child));
@@ -121,7 +122,7 @@ Status UfsVnode::Rmdir(std::string_view name, const Credentials&) {
   return ufs->Unlink(ino_, name);
 }
 
-Status UfsVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+Status UfsVnode::Link(std::string_view name, const VnodePtr& target, const OpContext&) {
   auto* ufs_target = dynamic_cast<UfsVnode*>(target.get());
   if (ufs_target == nullptr || ufs_target->fs_ != fs_) {
     return CrossDeviceError("link target not in this filesystem");
@@ -158,7 +159,7 @@ StatusOr<bool> UfsSubtreeContains(Ufs* ufs, InodeNum root, InodeNum candidate) {
 }  // namespace
 
 Status UfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                        std::string_view new_name, const Credentials&) {
+                        std::string_view new_name, const OpContext&) {
   auto* ufs_parent = dynamic_cast<UfsVnode*>(new_parent.get());
   if (ufs_parent == nullptr || ufs_parent->fs_ != fs_) {
     return CrossDeviceError("rename target directory not in this filesystem");
@@ -194,7 +195,7 @@ Status UfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
   return OkStatus();
 }
 
-StatusOr<std::vector<DirEntry>> UfsVnode::Readdir(const Credentials&) {
+StatusOr<std::vector<DirEntry>> UfsVnode::Readdir(const OpContext&) {
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> raw, fs_->ufs()->DirList(ino_));
   std::vector<DirEntry> entries;
   entries.reserve(raw.size());
@@ -205,7 +206,7 @@ StatusOr<std::vector<DirEntry>> UfsVnode::Readdir(const Credentials&) {
 }
 
 StatusOr<VnodePtr> UfsVnode::Symlink(std::string_view name, std::string_view target,
-                                     const Credentials&) {
+                                     const OpContext&) {
   Ufs* ufs = fs_->ufs();
   FICUS_ASSIGN_OR_RETURN(InodeNum child,
                          ufs->CreateFile(ino_, name, FileType::kSymlink, 0777, 0, 0));
@@ -214,7 +215,7 @@ StatusOr<VnodePtr> UfsVnode::Symlink(std::string_view name, std::string_view tar
   return VnodePtr(std::make_shared<UfsVnode>(fs_, child));
 }
 
-StatusOr<std::string> UfsVnode::Readlink(const Credentials&) {
+StatusOr<std::string> UfsVnode::Readlink(const OpContext&) {
   Ufs* ufs = fs_->ufs();
   FICUS_ASSIGN_OR_RETURN(Inode inode, ufs->ReadInode(ino_));
   if (inode.type != FileType::kSymlink) {
@@ -224,7 +225,7 @@ StatusOr<std::string> UfsVnode::Readlink(const Credentials&) {
   return std::string(data.begin(), data.end());
 }
 
-Status UfsVnode::Open(uint32_t flags, const Credentials&) {
+Status UfsVnode::Open(uint32_t flags, const OpContext&) {
   if ((flags & vfs::kOpenTruncate) != 0) {
     return fs_->ufs()->Truncate(ino_, 0);
   }
@@ -232,19 +233,19 @@ Status UfsVnode::Open(uint32_t flags, const Credentials&) {
   return fs_->ufs()->ReadInode(ino_).status();
 }
 
-Status UfsVnode::Close(uint32_t, const Credentials&) { return OkStatus(); }
+Status UfsVnode::Close(uint32_t, const OpContext&) { return OkStatus(); }
 
 StatusOr<size_t> UfsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                const Credentials&) {
+                                const OpContext&) {
   return fs_->ufs()->ReadAt(ino_, offset, length, out);
 }
 
 StatusOr<size_t> UfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                 const Credentials&) {
+                                 const OpContext&) {
   return fs_->ufs()->WriteAt(ino_, offset, data);
 }
 
-Status UfsVnode::Fsync(const Credentials&) {
+Status UfsVnode::Fsync(const OpContext&) {
   // The buffer cache is write-through; nothing to flush.
   return OkStatus();
 }

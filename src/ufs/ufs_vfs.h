@@ -18,30 +18,30 @@ class UfsVnode : public vfs::Vnode {
  public:
   UfsVnode(UfsVfs* fs, InodeNum ino) : fs_(fs), ino_(ino) {}
 
-  StatusOr<vfs::VAttr> GetAttr() override;
-  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::Credentials& cred) override;
-  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::Credentials& cred) override;
+  StatusOr<vfs::VAttr> GetAttr(const vfs::OpContext& ctx = {}) override;
+  Status SetAttr(const vfs::SetAttrRequest& request, const vfs::OpContext& ctx) override;
+  StatusOr<vfs::VnodePtr> Lookup(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Create(std::string_view name, const vfs::VAttr& attr,
-                                 const vfs::Credentials& cred) override;
-  Status Remove(std::string_view name, const vfs::Credentials& cred) override;
+                                 const vfs::OpContext& ctx) override;
+  Status Remove(std::string_view name, const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Mkdir(std::string_view name, const vfs::VAttr& attr,
-                                const vfs::Credentials& cred) override;
-  Status Rmdir(std::string_view name, const vfs::Credentials& cred) override;
+                                const vfs::OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const vfs::OpContext& ctx) override;
   Status Link(std::string_view name, const vfs::VnodePtr& target,
-              const vfs::Credentials& cred) override;
+              const vfs::OpContext& ctx) override;
   Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
-                std::string_view new_name, const vfs::Credentials& cred) override;
-  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::Credentials& cred) override;
+                std::string_view new_name, const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
-                                  const vfs::Credentials& cred) override;
-  StatusOr<std::string> Readlink(const vfs::Credentials& cred) override;
-  Status Open(uint32_t flags, const vfs::Credentials& cred) override;
-  Status Close(uint32_t flags, const vfs::Credentials& cred) override;
+                                  const vfs::OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;
+  Status Open(uint32_t flags, const vfs::OpContext& ctx) override;
+  Status Close(uint32_t flags, const vfs::OpContext& ctx) override;
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const vfs::Credentials& cred) override;
+                        const vfs::OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const vfs::Credentials& cred) override;
-  Status Fsync(const vfs::Credentials& cred) override;
+                         const vfs::OpContext& ctx) override;
+  Status Fsync(const vfs::OpContext& ctx) override;
 
   InodeNum ino() const { return ino_; }
 

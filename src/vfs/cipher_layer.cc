@@ -26,17 +26,17 @@ VnodePtr CipherVnode::WrapLower(VnodePtr lower) {
 }
 
 StatusOr<size_t> CipherVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                   const Credentials& cred) {
-  FICUS_ASSIGN_OR_RETURN(size_t n, PassThroughVnode::Read(offset, length, out, cred));
+                                   const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(size_t n, PassThroughVnode::Read(offset, length, out, ctx));
   CipherApply(key_, offset, out);
   return n;
 }
 
 StatusOr<size_t> CipherVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                    const Credentials& cred) {
+                                    const OpContext& ctx) {
   std::vector<uint8_t> enciphered = data;
   CipherApply(key_, offset, enciphered);
-  return PassThroughVnode::Write(offset, enciphered, cred);
+  return PassThroughVnode::Write(offset, enciphered, ctx);
 }
 
 StatusOr<VnodePtr> CipherVfs::Root() {

@@ -25,9 +25,9 @@ class CipherVnode : public PassThroughVnode {
   CipherVnode(VnodePtr lower, uint64_t key) : PassThroughVnode(std::move(lower)), key_(key) {}
 
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const Credentials& cred) override;
+                        const OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const Credentials& cred) override;
+                         const OpContext& ctx) override;
 
  protected:
   VnodePtr WrapLower(VnodePtr lower) override;

@@ -34,7 +34,7 @@ Status MemVnode::CheckNameValid(std::string_view name) const {
   return OkStatus();
 }
 
-StatusOr<VAttr> MemVnode::GetAttr() {
+StatusOr<VAttr> MemVnode::GetAttr(const OpContext&) {
   VAttr attr;
   attr.type = type_;
   attr.mode = mode_;
@@ -49,7 +49,7 @@ StatusOr<VAttr> MemVnode::GetAttr() {
   return attr;
 }
 
-Status MemVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
+Status MemVnode::SetAttr(const SetAttrRequest& request, const OpContext&) {
   if (request.set_mode) {
     mode_ = request.mode;
   }
@@ -72,7 +72,7 @@ Status MemVnode::SetAttr(const SetAttrRequest& request, const Credentials&) {
   return OkStatus();
 }
 
-StatusOr<VnodePtr> MemVnode::Lookup(std::string_view name, const Credentials&) {
+StatusOr<VnodePtr> MemVnode::Lookup(std::string_view name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   auto it = children_.find(std::string(name));
   if (it == children_.end()) {
@@ -82,7 +82,7 @@ StatusOr<VnodePtr> MemVnode::Lookup(std::string_view name, const Credentials&) {
 }
 
 StatusOr<VnodePtr> MemVnode::Create(std::string_view name, const VAttr& attr,
-                                    const Credentials&) {
+                                    const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_RETURN_IF_ERROR(CheckNameValid(name));
   std::string key(name);
@@ -98,7 +98,7 @@ StatusOr<VnodePtr> MemVnode::Create(std::string_view name, const VAttr& attr,
   return VnodePtr(child);
 }
 
-Status MemVnode::Remove(std::string_view name, const Credentials&) {
+Status MemVnode::Remove(std::string_view name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   auto it = children_.find(std::string(name));
   if (it == children_.end()) {
@@ -116,7 +116,7 @@ Status MemVnode::Remove(std::string_view name, const Credentials&) {
 }
 
 StatusOr<VnodePtr> MemVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                   const Credentials&) {
+                                   const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_RETURN_IF_ERROR(CheckNameValid(name));
   std::string key(name);
@@ -133,7 +133,7 @@ StatusOr<VnodePtr> MemVnode::Mkdir(std::string_view name, const VAttr& attr,
   return VnodePtr(child);
 }
 
-Status MemVnode::Rmdir(std::string_view name, const Credentials&) {
+Status MemVnode::Rmdir(std::string_view name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   auto it = children_.find(std::string(name));
   if (it == children_.end()) {
@@ -151,7 +151,7 @@ Status MemVnode::Rmdir(std::string_view name, const Credentials&) {
   return OkStatus();
 }
 
-Status MemVnode::Link(std::string_view name, const VnodePtr& target, const Credentials&) {
+Status MemVnode::Link(std::string_view name, const VnodePtr& target, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_RETURN_IF_ERROR(CheckNameValid(name));
   auto mem_target = std::dynamic_pointer_cast<MemVnode>(target);
@@ -172,7 +172,7 @@ Status MemVnode::Link(std::string_view name, const VnodePtr& target, const Crede
 }
 
 Status MemVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                        std::string_view new_name, const Credentials&) {
+                        std::string_view new_name, const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_RETURN_IF_ERROR(CheckNameValid(new_name));
   auto mem_parent = std::dynamic_pointer_cast<MemVnode>(new_parent);
@@ -205,7 +205,7 @@ Status MemVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
   return OkStatus();
 }
 
-StatusOr<std::vector<DirEntry>> MemVnode::Readdir(const Credentials&) {
+StatusOr<std::vector<DirEntry>> MemVnode::Readdir(const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   std::vector<DirEntry> entries;
   entries.reserve(children_.size());
@@ -216,7 +216,7 @@ StatusOr<std::vector<DirEntry>> MemVnode::Readdir(const Credentials&) {
 }
 
 StatusOr<VnodePtr> MemVnode::Symlink(std::string_view name, std::string_view target,
-                                     const Credentials&) {
+                                     const OpContext&) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_RETURN_IF_ERROR(CheckNameValid(name));
   std::string key(name);
@@ -230,14 +230,14 @@ StatusOr<VnodePtr> MemVnode::Symlink(std::string_view name, std::string_view tar
   return VnodePtr(child);
 }
 
-StatusOr<std::string> MemVnode::Readlink(const Credentials&) {
+StatusOr<std::string> MemVnode::Readlink(const OpContext&) {
   if (type_ != VnodeType::kSymlink) {
     return InvalidArgumentError("vnode is not a symlink");
   }
   return link_target_;
 }
 
-Status MemVnode::Open(uint32_t flags, const Credentials&) {
+Status MemVnode::Open(uint32_t flags, const OpContext&) {
   if ((flags & kOpenTruncate) != 0) {
     if (type_ != VnodeType::kRegular) {
       return IsDirError("cannot truncate a directory");
@@ -247,10 +247,10 @@ Status MemVnode::Open(uint32_t flags, const Credentials&) {
   return OkStatus();
 }
 
-Status MemVnode::Close(uint32_t, const Credentials&) { return OkStatus(); }
+Status MemVnode::Close(uint32_t, const OpContext&) { return OkStatus(); }
 
 StatusOr<size_t> MemVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                const Credentials&) {
+                                const OpContext&) {
   if (type_ != VnodeType::kRegular) {
     return IsDirError("read on non-regular file");
   }
@@ -266,7 +266,7 @@ StatusOr<size_t> MemVnode::Read(uint64_t offset, size_t length, std::vector<uint
 }
 
 StatusOr<size_t> MemVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                 const Credentials&) {
+                                 const OpContext&) {
   if (type_ != VnodeType::kRegular) {
     return IsDirError("write on non-regular file");
   }
@@ -279,7 +279,7 @@ StatusOr<size_t> MemVnode::Write(uint64_t offset, const std::vector<uint8_t>& da
   return data.size();
 }
 
-Status MemVnode::Fsync(const Credentials&) { return OkStatus(); }
+Status MemVnode::Fsync(const OpContext&) { return OkStatus(); }
 
 MemVfs::MemVfs(const SimClock* clock, uint64_t fsid) : clock_(clock), fsid_(fsid) {
   root_ = std::make_shared<MemVnode>(this, VnodeType::kDirectory, 1);

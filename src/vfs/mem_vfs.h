@@ -22,29 +22,29 @@ class MemVnode : public Vnode, public std::enable_shared_from_this<MemVnode> {
  public:
   MemVnode(MemVfs* fs, VnodeType type, uint64_t fileid);
 
-  StatusOr<VAttr> GetAttr() override;
-  Status SetAttr(const SetAttrRequest& request, const Credentials& cred) override;
-  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred) override;
+  StatusOr<VAttr> GetAttr(const OpContext& ctx = {}) override;
+  Status SetAttr(const SetAttrRequest& request, const OpContext& ctx) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const OpContext& ctx) override;
   StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
-                            const Credentials& cred) override;
-  Status Remove(std::string_view name, const Credentials& cred) override;
+                            const OpContext& ctx) override;
+  Status Remove(std::string_view name, const OpContext& ctx) override;
   StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
-                           const Credentials& cred) override;
-  Status Rmdir(std::string_view name, const Credentials& cred) override;
-  Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred) override;
+                           const OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const OpContext& ctx) override;
+  Status Link(std::string_view name, const VnodePtr& target, const OpContext& ctx) override;
   Status Rename(std::string_view old_name, const VnodePtr& new_parent,
-                std::string_view new_name, const Credentials& cred) override;
-  StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred) override;
+                std::string_view new_name, const OpContext& ctx) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx) override;
   StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
-                             const Credentials& cred) override;
-  StatusOr<std::string> Readlink(const Credentials& cred) override;
-  Status Open(uint32_t flags, const Credentials& cred) override;
-  Status Close(uint32_t flags, const Credentials& cred) override;
+                             const OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const OpContext& ctx) override;
+  Status Open(uint32_t flags, const OpContext& ctx) override;
+  Status Close(uint32_t flags, const OpContext& ctx) override;
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const Credentials& cred) override;
+                        const OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const Credentials& cred) override;
-  Status Fsync(const Credentials& cred) override;
+                         const OpContext& ctx) override;
+  Status Fsync(const OpContext& ctx) override;
 
   VnodeType type() const { return type_; }
   uint64_t fileid() const { return fileid_; }

@@ -13,84 +13,84 @@ VnodePtr PassThroughVnode::UnwrapIfOurs(const VnodePtr& vnode) {
   return vnode;
 }
 
-StatusOr<VAttr> PassThroughVnode::GetAttr() { return lower_->GetAttr(); }
+StatusOr<VAttr> PassThroughVnode::GetAttr(const OpContext& ctx) { return lower_->GetAttr(ctx); }
 
-Status PassThroughVnode::SetAttr(const SetAttrRequest& request, const Credentials& cred) {
-  return lower_->SetAttr(request, cred);
+Status PassThroughVnode::SetAttr(const SetAttrRequest& request, const OpContext& ctx) {
+  return lower_->SetAttr(request, ctx);
 }
 
-StatusOr<VnodePtr> PassThroughVnode::Lookup(std::string_view name, const Credentials& cred) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Lookup(name, cred));
+StatusOr<VnodePtr> PassThroughVnode::Lookup(std::string_view name, const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Lookup(name, ctx));
   return WrapLower(std::move(child));
 }
 
 StatusOr<VnodePtr> PassThroughVnode::Create(std::string_view name, const VAttr& attr,
-                                            const Credentials& cred) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Create(name, attr, cred));
+                                            const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Create(name, attr, ctx));
   return WrapLower(std::move(child));
 }
 
-Status PassThroughVnode::Remove(std::string_view name, const Credentials& cred) {
-  return lower_->Remove(name, cred);
+Status PassThroughVnode::Remove(std::string_view name, const OpContext& ctx) {
+  return lower_->Remove(name, ctx);
 }
 
 StatusOr<VnodePtr> PassThroughVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                           const Credentials& cred) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Mkdir(name, attr, cred));
+                                           const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Mkdir(name, attr, ctx));
   return WrapLower(std::move(child));
 }
 
-Status PassThroughVnode::Rmdir(std::string_view name, const Credentials& cred) {
-  return lower_->Rmdir(name, cred);
+Status PassThroughVnode::Rmdir(std::string_view name, const OpContext& ctx) {
+  return lower_->Rmdir(name, ctx);
 }
 
 Status PassThroughVnode::Link(std::string_view name, const VnodePtr& target,
-                              const Credentials& cred) {
-  return lower_->Link(name, UnwrapIfOurs(target), cred);
+                              const OpContext& ctx) {
+  return lower_->Link(name, UnwrapIfOurs(target), ctx);
 }
 
 Status PassThroughVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                                std::string_view new_name, const Credentials& cred) {
-  return lower_->Rename(old_name, UnwrapIfOurs(new_parent), new_name, cred);
+                                std::string_view new_name, const OpContext& ctx) {
+  return lower_->Rename(old_name, UnwrapIfOurs(new_parent), new_name, ctx);
 }
 
-StatusOr<std::vector<DirEntry>> PassThroughVnode::Readdir(const Credentials& cred) {
-  return lower_->Readdir(cred);
+StatusOr<std::vector<DirEntry>> PassThroughVnode::Readdir(const OpContext& ctx) {
+  return lower_->Readdir(ctx);
 }
 
 StatusOr<VnodePtr> PassThroughVnode::Symlink(std::string_view name, std::string_view target,
-                                             const Credentials& cred) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Symlink(name, target, cred));
+                                             const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Symlink(name, target, ctx));
   return WrapLower(std::move(child));
 }
 
-StatusOr<std::string> PassThroughVnode::Readlink(const Credentials& cred) {
-  return lower_->Readlink(cred);
+StatusOr<std::string> PassThroughVnode::Readlink(const OpContext& ctx) {
+  return lower_->Readlink(ctx);
 }
 
-Status PassThroughVnode::Open(uint32_t flags, const Credentials& cred) {
-  return lower_->Open(flags, cred);
+Status PassThroughVnode::Open(uint32_t flags, const OpContext& ctx) {
+  return lower_->Open(flags, ctx);
 }
 
-Status PassThroughVnode::Close(uint32_t flags, const Credentials& cred) {
-  return lower_->Close(flags, cred);
+Status PassThroughVnode::Close(uint32_t flags, const OpContext& ctx) {
+  return lower_->Close(flags, ctx);
 }
 
 StatusOr<size_t> PassThroughVnode::Read(uint64_t offset, size_t length,
-                                        std::vector<uint8_t>& out, const Credentials& cred) {
-  return lower_->Read(offset, length, out, cred);
+                                        std::vector<uint8_t>& out, const OpContext& ctx) {
+  return lower_->Read(offset, length, out, ctx);
 }
 
 StatusOr<size_t> PassThroughVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                         const Credentials& cred) {
-  return lower_->Write(offset, data, cred);
+                                         const OpContext& ctx) {
+  return lower_->Write(offset, data, ctx);
 }
 
-Status PassThroughVnode::Fsync(const Credentials& cred) { return lower_->Fsync(cred); }
+Status PassThroughVnode::Fsync(const OpContext& ctx) { return lower_->Fsync(ctx); }
 
 Status PassThroughVnode::Ioctl(std::string_view command, const std::vector<uint8_t>& request,
-                               std::vector<uint8_t>& response, const Credentials& cred) {
-  return lower_->Ioctl(command, request, response, cred);
+                               std::vector<uint8_t>& response, const OpContext& ctx) {
+  return lower_->Ioctl(command, request, response, ctx);
 }
 
 StatusOr<VnodePtr> PassThroughVfs::Root() {

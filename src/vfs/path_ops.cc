@@ -2,7 +2,7 @@
 
 namespace ficus::vfs {
 
-Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred) {
+Status MkdirAll(Vfs* fs, std::string_view path, const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(VnodePtr current, fs->Root());
   size_t pos = 0;
   while (pos < path.size()) {
@@ -17,11 +17,11 @@ Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred) {
       end = path.size();
     }
     std::string_view component = path.substr(pos, end - pos);
-    auto child = current->Lookup(component, cred);
+    auto child = current->Lookup(component, ctx);
     if (child.ok()) {
       current = std::move(child).value();
     } else if (child.status().code() == ErrorCode::kNotFound) {
-      FICUS_ASSIGN_OR_RETURN(current, current->Mkdir(component, VAttr{}, cred));
+      FICUS_ASSIGN_OR_RETURN(current, current->Mkdir(component, VAttr{}, ctx));
     } else {
       return child.status();
     }
@@ -31,85 +31,85 @@ Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred) {
 }
 
 Status WriteFileAt(Vfs* fs, std::string_view path, std::string_view contents,
-                   const Credentials& cred) {
+                   const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, ctx));
   VnodePtr file;
-  auto existing = dir->Lookup(split.second, cred);
+  auto existing = dir->Lookup(split.second, ctx);
   if (existing.ok()) {
     file = std::move(existing).value();
-    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite | kOpenTruncate, cred));
+    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite | kOpenTruncate, ctx));
   } else if (existing.status().code() == ErrorCode::kNotFound) {
     VAttr attr;
     attr.type = VnodeType::kRegular;
-    FICUS_ASSIGN_OR_RETURN(file, dir->Create(split.second, attr, cred));
-    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite, cred));
+    FICUS_ASSIGN_OR_RETURN(file, dir->Create(split.second, attr, ctx));
+    FICUS_RETURN_IF_ERROR(file->Open(kOpenWrite, ctx));
   } else {
     return existing.status();
   }
   std::vector<uint8_t> bytes(contents.begin(), contents.end());
-  FICUS_RETURN_IF_ERROR(file->Write(0, bytes, cred).status());
-  return file->Close(kOpenWrite, cred);
+  FICUS_RETURN_IF_ERROR(file->Write(0, bytes, ctx).status());
+  return file->Close(kOpenWrite, ctx);
 }
 
-StatusOr<std::string> ReadFileAt(Vfs* fs, std::string_view path, const Credentials& cred) {
+StatusOr<std::string> ReadFileAt(Vfs* fs, std::string_view path, const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, ctx));
   FICUS_ASSIGN_OR_RETURN(VAttr attr, file->GetAttr());
   std::vector<uint8_t> bytes;
-  FICUS_RETURN_IF_ERROR(file->Read(0, static_cast<size_t>(attr.size), bytes, cred).status());
+  FICUS_RETURN_IF_ERROR(file->Read(0, static_cast<size_t>(attr.size), bytes, ctx).status());
   return std::string(bytes.begin(), bytes.end());
 }
 
-StatusOr<std::string> OpenReadClose(Vfs* fs, std::string_view path, const Credentials& cred) {
+StatusOr<std::string> OpenReadClose(Vfs* fs, std::string_view path, const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, cred));
-  FICUS_RETURN_IF_ERROR(file->Open(kOpenRead, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr file, WalkPath(root, path, ctx));
+  FICUS_RETURN_IF_ERROR(file->Open(kOpenRead, ctx));
   FICUS_ASSIGN_OR_RETURN(VAttr attr, file->GetAttr());
   std::vector<uint8_t> bytes;
-  Status read = file->Read(0, static_cast<size_t>(attr.size), bytes, cred).status();
-  Status closed = file->Close(kOpenRead, cred);
+  Status read = file->Read(0, static_cast<size_t>(attr.size), bytes, ctx).status();
+  Status closed = file->Close(kOpenRead, ctx);
   FICUS_RETURN_IF_ERROR(read);
   FICUS_RETURN_IF_ERROR(closed);
   return std::string(bytes.begin(), bytes.end());
 }
 
-Status RemovePath(Vfs* fs, std::string_view path, const Credentials& cred) {
+Status RemovePath(Vfs* fs, std::string_view path, const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, cred));
-  FICUS_ASSIGN_OR_RETURN(VnodePtr target, dir->Lookup(split.second, cred));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, split.first, ctx));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr target, dir->Lookup(split.second, ctx));
   FICUS_ASSIGN_OR_RETURN(VAttr attr, target->GetAttr());
   if (attr.type == VnodeType::kDirectory || attr.type == VnodeType::kGraftPoint) {
-    return dir->Rmdir(split.second, cred);
+    return dir->Rmdir(split.second, ctx);
   }
-  return dir->Remove(split.second, cred);
+  return dir->Remove(split.second, ctx);
 }
 
 StatusOr<std::vector<DirEntry>> ListDir(Vfs* fs, std::string_view path,
-                                        const Credentials& cred) {
+                                        const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, path, cred));
-  return dir->Readdir(cred);
+  FICUS_ASSIGN_OR_RETURN(VnodePtr dir, WalkPath(root, path, ctx));
+  return dir->Readdir(ctx);
 }
 
-bool Exists(Vfs* fs, std::string_view path, const Credentials& cred) {
+bool Exists(Vfs* fs, std::string_view path, const OpContext& ctx) {
   auto root = fs->Root();
   if (!root.ok()) {
     return false;
   }
-  return WalkPath(root.value(), path, cred).ok();
+  return WalkPath(root.value(), path, ctx).ok();
 }
 
 Status RenamePath(Vfs* fs, std::string_view old_path, std::string_view new_path,
-                  const Credentials& cred) {
+                  const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(auto old_split, SplitPath(old_path));
   FICUS_ASSIGN_OR_RETURN(auto new_split, SplitPath(new_path));
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, fs->Root());
-  FICUS_ASSIGN_OR_RETURN(VnodePtr old_dir, WalkPath(root, old_split.first, cred));
-  FICUS_ASSIGN_OR_RETURN(VnodePtr new_dir, WalkPath(root, new_split.first, cred));
-  return old_dir->Rename(old_split.second, new_dir, new_split.second, cred);
+  FICUS_ASSIGN_OR_RETURN(VnodePtr old_dir, WalkPath(root, old_split.first, ctx));
+  FICUS_ASSIGN_OR_RETURN(VnodePtr new_dir, WalkPath(root, new_split.first, ctx));
+  return old_dir->Rename(old_split.second, new_dir, new_split.second, ctx);
 }
 
 }  // namespace ficus::vfs

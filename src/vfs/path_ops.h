@@ -14,34 +14,34 @@
 namespace ficus::vfs {
 
 // Creates every missing directory along `path` (like mkdir -p).
-Status MkdirAll(Vfs* fs, std::string_view path, const Credentials& cred = {});
+Status MkdirAll(Vfs* fs, std::string_view path, const OpContext& ctx = {});
 
 // Creates (if absent), truncates, and writes `contents` to the file.
 Status WriteFileAt(Vfs* fs, std::string_view path, std::string_view contents,
-                   const Credentials& cred = {});
+                   const OpContext& ctx = {});
 
 // Reads the whole file as a string.
 StatusOr<std::string> ReadFileAt(Vfs* fs, std::string_view path,
-                                 const Credentials& cred = {});
+                                 const OpContext& ctx = {});
 
 // Opens (lookup + open), reads, closes — the full client-visible open
 // path, which is what the cold/warm I/O experiments measure.
 StatusOr<std::string> OpenReadClose(Vfs* fs, std::string_view path,
-                                    const Credentials& cred = {});
+                                    const OpContext& ctx = {});
 
 // Removes a file or (empty) directory by path.
-Status RemovePath(Vfs* fs, std::string_view path, const Credentials& cred = {});
+Status RemovePath(Vfs* fs, std::string_view path, const OpContext& ctx = {});
 
 // Lists a directory by path.
 StatusOr<std::vector<DirEntry>> ListDir(Vfs* fs, std::string_view path,
-                                        const Credentials& cred = {});
+                                        const OpContext& ctx = {});
 
 // Does the path resolve?
-bool Exists(Vfs* fs, std::string_view path, const Credentials& cred = {});
+bool Exists(Vfs* fs, std::string_view path, const OpContext& ctx = {});
 
 // Renames old_path to new_path (both relative to the same root).
 Status RenamePath(Vfs* fs, std::string_view old_path, std::string_view new_path,
-                  const Credentials& cred = {});
+                  const OpContext& ctx = {});
 
 }  // namespace ficus::vfs
 

@@ -74,110 +74,153 @@ std::string OpCounters::ToString() const {
   return out.str();
 }
 
+OpCounterCells::OpCounterCells(MetricRegistry* registry, std::string_view prefix) {
+  for (size_t i = 0; i < static_cast<size_t>(VnodeOp::kCount); ++i) {
+    std::string base = std::string(prefix) + std::string(VnodeOpName(static_cast<VnodeOp>(i)));
+    calls[i] = registry->counter(base + ".calls");
+    errors[i] = registry->counter(base + ".errors");
+  }
+  bytes_read = registry->counter(std::string(prefix) + "bytes_read");
+  bytes_written = registry->counter(std::string(prefix) + "bytes_written");
+}
+
+OpCounters OpCounterCells::Snapshot() const {
+  OpCounters out;
+  for (size_t i = 0; i < static_cast<size_t>(VnodeOp::kCount); ++i) {
+    out.calls[i] = calls[i] != nullptr ? calls[i]->value() : 0;
+    out.errors[i] = errors[i] != nullptr ? errors[i]->value() : 0;
+  }
+  out.bytes_read = bytes_read != nullptr ? bytes_read->value() : 0;
+  out.bytes_written = bytes_written != nullptr ? bytes_written->value() : 0;
+  return out;
+}
+
+void OpCounterCells::Reset() const {
+  for (size_t i = 0; i < static_cast<size_t>(VnodeOp::kCount); ++i) {
+    if (calls[i] != nullptr) {
+      calls[i]->Reset();
+    }
+    if (errors[i] != nullptr) {
+      errors[i]->Reset();
+    }
+  }
+  if (bytes_read != nullptr) {
+    bytes_read->Reset();
+  }
+  if (bytes_written != nullptr) {
+    bytes_written->Reset();
+  }
+}
+
 Status StatsVnode::Count(VnodeOp op, Status status) {
-  ++counters_->calls[static_cast<size_t>(op)];
+  cells_->calls[static_cast<size_t>(op)]->Increment();
   if (!status.ok()) {
-    ++counters_->errors[static_cast<size_t>(op)];
+    cells_->errors[static_cast<size_t>(op)]->Increment();
   }
   return status;
 }
 
 VnodePtr StatsVnode::WrapLower(VnodePtr lower) {
-  return std::make_shared<StatsVnode>(std::move(lower), counters_);
+  return std::make_shared<StatsVnode>(std::move(lower), cells_);
 }
 
-StatusOr<VAttr> StatsVnode::GetAttr() {
-  return Count(VnodeOp::kGetAttr, PassThroughVnode::GetAttr());
+StatusOr<VAttr> StatsVnode::GetAttr(const OpContext& ctx) {
+  return Count(VnodeOp::kGetAttr, PassThroughVnode::GetAttr(ctx));
 }
 
-Status StatsVnode::SetAttr(const SetAttrRequest& request, const Credentials& cred) {
-  return Count(VnodeOp::kSetAttr, PassThroughVnode::SetAttr(request, cred));
+Status StatsVnode::SetAttr(const SetAttrRequest& request, const OpContext& ctx) {
+  return Count(VnodeOp::kSetAttr, PassThroughVnode::SetAttr(request, ctx));
 }
 
-StatusOr<VnodePtr> StatsVnode::Lookup(std::string_view name, const Credentials& cred) {
-  return Count(VnodeOp::kLookup, PassThroughVnode::Lookup(name, cred));
+StatusOr<VnodePtr> StatsVnode::Lookup(std::string_view name, const OpContext& ctx) {
+  return Count(VnodeOp::kLookup, PassThroughVnode::Lookup(name, ctx));
 }
 
 StatusOr<VnodePtr> StatsVnode::Create(std::string_view name, const VAttr& attr,
-                                      const Credentials& cred) {
-  return Count(VnodeOp::kCreate, PassThroughVnode::Create(name, attr, cred));
+                                      const OpContext& ctx) {
+  return Count(VnodeOp::kCreate, PassThroughVnode::Create(name, attr, ctx));
 }
 
-Status StatsVnode::Remove(std::string_view name, const Credentials& cred) {
-  return Count(VnodeOp::kRemove, PassThroughVnode::Remove(name, cred));
+Status StatsVnode::Remove(std::string_view name, const OpContext& ctx) {
+  return Count(VnodeOp::kRemove, PassThroughVnode::Remove(name, ctx));
 }
 
 StatusOr<VnodePtr> StatsVnode::Mkdir(std::string_view name, const VAttr& attr,
-                                     const Credentials& cred) {
-  return Count(VnodeOp::kMkdir, PassThroughVnode::Mkdir(name, attr, cred));
+                                     const OpContext& ctx) {
+  return Count(VnodeOp::kMkdir, PassThroughVnode::Mkdir(name, attr, ctx));
 }
 
-Status StatsVnode::Rmdir(std::string_view name, const Credentials& cred) {
-  return Count(VnodeOp::kRmdir, PassThroughVnode::Rmdir(name, cred));
+Status StatsVnode::Rmdir(std::string_view name, const OpContext& ctx) {
+  return Count(VnodeOp::kRmdir, PassThroughVnode::Rmdir(name, ctx));
 }
 
 Status StatsVnode::Link(std::string_view name, const VnodePtr& target,
-                        const Credentials& cred) {
-  return Count(VnodeOp::kLink, PassThroughVnode::Link(name, target, cred));
+                        const OpContext& ctx) {
+  return Count(VnodeOp::kLink, PassThroughVnode::Link(name, target, ctx));
 }
 
 Status StatsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
-                          std::string_view new_name, const Credentials& cred) {
+                          std::string_view new_name, const OpContext& ctx) {
   return Count(VnodeOp::kRename,
-               PassThroughVnode::Rename(old_name, new_parent, new_name, cred));
+               PassThroughVnode::Rename(old_name, new_parent, new_name, ctx));
 }
 
-StatusOr<std::vector<DirEntry>> StatsVnode::Readdir(const Credentials& cred) {
-  return Count(VnodeOp::kReaddir, PassThroughVnode::Readdir(cred));
+StatusOr<std::vector<DirEntry>> StatsVnode::Readdir(const OpContext& ctx) {
+  return Count(VnodeOp::kReaddir, PassThroughVnode::Readdir(ctx));
 }
 
 StatusOr<VnodePtr> StatsVnode::Symlink(std::string_view name, std::string_view target,
-                                       const Credentials& cred) {
-  return Count(VnodeOp::kSymlink, PassThroughVnode::Symlink(name, target, cred));
+                                       const OpContext& ctx) {
+  return Count(VnodeOp::kSymlink, PassThroughVnode::Symlink(name, target, ctx));
 }
 
-StatusOr<std::string> StatsVnode::Readlink(const Credentials& cred) {
-  return Count(VnodeOp::kReadlink, PassThroughVnode::Readlink(cred));
+StatusOr<std::string> StatsVnode::Readlink(const OpContext& ctx) {
+  return Count(VnodeOp::kReadlink, PassThroughVnode::Readlink(ctx));
 }
 
-Status StatsVnode::Open(uint32_t flags, const Credentials& cred) {
-  return Count(VnodeOp::kOpen, PassThroughVnode::Open(flags, cred));
+Status StatsVnode::Open(uint32_t flags, const OpContext& ctx) {
+  return Count(VnodeOp::kOpen, PassThroughVnode::Open(flags, ctx));
 }
 
-Status StatsVnode::Close(uint32_t flags, const Credentials& cred) {
-  return Count(VnodeOp::kClose, PassThroughVnode::Close(flags, cred));
+Status StatsVnode::Close(uint32_t flags, const OpContext& ctx) {
+  return Count(VnodeOp::kClose, PassThroughVnode::Close(flags, ctx));
 }
 
 StatusOr<size_t> StatsVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                  const Credentials& cred) {
-  auto result = Count(VnodeOp::kRead, PassThroughVnode::Read(offset, length, out, cred));
+                                  const OpContext& ctx) {
+  auto result = Count(VnodeOp::kRead, PassThroughVnode::Read(offset, length, out, ctx));
   if (result.ok()) {
-    counters_->bytes_read += result.value();
+    cells_->bytes_read->Add(result.value());
   }
   return result;
 }
 
 StatusOr<size_t> StatsVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                   const Credentials& cred) {
-  auto result = Count(VnodeOp::kWrite, PassThroughVnode::Write(offset, data, cred));
+                                   const OpContext& ctx) {
+  auto result = Count(VnodeOp::kWrite, PassThroughVnode::Write(offset, data, ctx));
   if (result.ok()) {
-    counters_->bytes_written += result.value();
+    cells_->bytes_written->Add(result.value());
   }
   return result;
 }
 
-Status StatsVnode::Fsync(const Credentials& cred) {
-  return Count(VnodeOp::kFsync, PassThroughVnode::Fsync(cred));
+Status StatsVnode::Fsync(const OpContext& ctx) {
+  return Count(VnodeOp::kFsync, PassThroughVnode::Fsync(ctx));
 }
 
 Status StatsVnode::Ioctl(std::string_view command, const std::vector<uint8_t>& request,
-                         std::vector<uint8_t>& response, const Credentials& cred) {
-  return Count(VnodeOp::kIoctl, PassThroughVnode::Ioctl(command, request, response, cred));
+                         std::vector<uint8_t>& response, const OpContext& ctx) {
+  return Count(VnodeOp::kIoctl, PassThroughVnode::Ioctl(command, request, response, ctx));
 }
+
+StatsVfs::StatsVfs(Vfs* lower, MetricRegistry* registry, std::string_view prefix)
+    : lower_(lower),
+      registry_(registry != nullptr ? registry : &owned_registry_),
+      cells_(registry_, prefix) {}
 
 StatusOr<VnodePtr> StatsVfs::Root() {
   FICUS_ASSIGN_OR_RETURN(VnodePtr root, lower_->Root());
-  return VnodePtr(std::make_shared<StatsVnode>(std::move(root), &counters_));
+  return VnodePtr(std::make_shared<StatsVnode>(std::move(root), &cells_));
 }
 
 }  // namespace ficus::vfs

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/vfs/pass_through.h"
 
 namespace ficus::vfs {
@@ -39,7 +40,9 @@ enum class VnodeOp : size_t {
 
 std::string_view VnodeOpName(VnodeOp op);
 
-// Counters shared by every vnode of one StatsVfs instance.
+// Snapshot of one StatsVfs instance's counters. The live cells are
+// MetricRegistry counters (see OpCounterCells); this struct is the thin
+// compatibility view existing callers and tests consume.
 struct OpCounters {
   std::array<uint64_t, static_cast<size_t>(VnodeOp::kCount)> calls{};
   std::array<uint64_t, static_cast<size_t>(VnodeOp::kCount)> errors{};
@@ -54,36 +57,54 @@ struct OpCounters {
   std::string ToString() const;
 };
 
+// Registry-backed counter cells shared by every vnode of one StatsVfs
+// instance: "<prefix><op>.calls", "<prefix><op>.errors",
+// "<prefix>bytes_read", "<prefix>bytes_written". Resolved once at
+// construction so the per-op cost is one pointer increment.
+struct OpCounterCells {
+  std::array<Counter*, static_cast<size_t>(VnodeOp::kCount)> calls{};
+  std::array<Counter*, static_cast<size_t>(VnodeOp::kCount)> errors{};
+  Counter* bytes_read = nullptr;
+  Counter* bytes_written = nullptr;
+
+  OpCounterCells() = default;
+  OpCounterCells(MetricRegistry* registry, std::string_view prefix);
+
+  OpCounters Snapshot() const;
+  // Zeroes only this instance's cells (a shared registry keeps the rest).
+  void Reset() const;
+};
+
 class StatsVnode : public PassThroughVnode {
  public:
-  StatsVnode(VnodePtr lower, OpCounters* counters)
-      : PassThroughVnode(std::move(lower)), counters_(counters) {}
+  StatsVnode(VnodePtr lower, const OpCounterCells* cells)
+      : PassThroughVnode(std::move(lower)), cells_(cells) {}
 
-  StatusOr<VAttr> GetAttr() override;
-  Status SetAttr(const SetAttrRequest& request, const Credentials& cred) override;
-  StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred) override;
+  StatusOr<VAttr> GetAttr(const OpContext& ctx = {}) override;
+  Status SetAttr(const SetAttrRequest& request, const OpContext& ctx) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const OpContext& ctx) override;
   StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
-                            const Credentials& cred) override;
-  Status Remove(std::string_view name, const Credentials& cred) override;
+                            const OpContext& ctx) override;
+  Status Remove(std::string_view name, const OpContext& ctx) override;
   StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
-                           const Credentials& cred) override;
-  Status Rmdir(std::string_view name, const Credentials& cred) override;
-  Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred) override;
+                           const OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const OpContext& ctx) override;
+  Status Link(std::string_view name, const VnodePtr& target, const OpContext& ctx) override;
   Status Rename(std::string_view old_name, const VnodePtr& new_parent,
-                std::string_view new_name, const Credentials& cred) override;
-  StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred) override;
+                std::string_view new_name, const OpContext& ctx) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx) override;
   StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
-                             const Credentials& cred) override;
-  StatusOr<std::string> Readlink(const Credentials& cred) override;
-  Status Open(uint32_t flags, const Credentials& cred) override;
-  Status Close(uint32_t flags, const Credentials& cred) override;
+                             const OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const OpContext& ctx) override;
+  Status Open(uint32_t flags, const OpContext& ctx) override;
+  Status Close(uint32_t flags, const OpContext& ctx) override;
   StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                        const Credentials& cred) override;
+                        const OpContext& ctx) override;
   StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                         const Credentials& cred) override;
-  Status Fsync(const Credentials& cred) override;
+                         const OpContext& ctx) override;
+  Status Fsync(const OpContext& ctx) override;
   Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
-               std::vector<uint8_t>& response, const Credentials& cred) override;
+               std::vector<uint8_t>& response, const OpContext& ctx) override;
 
  protected:
   VnodePtr WrapLower(VnodePtr lower) override;
@@ -93,30 +114,39 @@ class StatsVnode : public PassThroughVnode {
   Status Count(VnodeOp op, Status status);
   template <typename T>
   StatusOr<T> Count(VnodeOp op, StatusOr<T> result) {
-    ++counters_->calls[static_cast<size_t>(op)];
+    cells_->calls[static_cast<size_t>(op)]->Increment();
     if (!result.ok()) {
-      ++counters_->errors[static_cast<size_t>(op)];
+      cells_->errors[static_cast<size_t>(op)]->Increment();
     }
     return result;
   }
 
-  OpCounters* counters_;
+  const OpCounterCells* cells_;
 };
 
 class StatsVfs : public Vfs {
  public:
-  explicit StatsVfs(Vfs* lower) : lower_(lower) {}
+  // Counts into `registry` under `prefix` — pass a shared registry to
+  // unify this layer's counters with the rest of the stack, or omit it
+  // to use an internally owned one.
+  explicit StatsVfs(Vfs* lower, MetricRegistry* registry = nullptr,
+                    std::string_view prefix = "vfs.stats.");
 
   StatusOr<VnodePtr> Root() override;
   Status Sync() override { return lower_->Sync(); }
   StatusOr<FsStats> Statfs() override { return lower_->Statfs(); }
 
-  const OpCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = OpCounters{}; }
+  // Compatibility snapshot of the registry-backed cells.
+  OpCounters counters() const { return cells_.Snapshot(); }
+  void ResetCounters() { cells_.Reset(); }
+
+  MetricRegistry* metrics() { return registry_; }
 
  private:
   Vfs* lower_;
-  OpCounters counters_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  OpCounterCells cells_;
 };
 
 }  // namespace ficus::vfs

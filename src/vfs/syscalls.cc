@@ -2,7 +2,24 @@
 
 namespace ficus::vfs {
 
-SyscallInterface::SyscallInterface(Vfs* fs, Credentials cred) : fs_(fs), cred_(cred) {}
+SyscallInterface::SyscallInterface(Vfs* fs, Credentials cred, const SimClock* clock,
+                                   MetricRegistry* metrics)
+    : fs_(fs), cred_(cred), clock_(clock), metrics_(metrics, "syscall.") {}
+
+OpContext SyscallInterface::NewOp(std::string_view name) {
+  OpContext ctx(cred_);
+  ctx.trace = NextTraceId();
+  last_trace_ = ctx.trace;
+  ctx.clock = clock_;
+  if (clock_ != nullptr && op_timeout_ != 0) {
+    ctx.deadline = clock_->Now() + op_timeout_;
+  }
+  if (metrics_.registry() != nullptr) {
+    ctx.metrics = &metrics_;
+    metrics_.IncrementCounter(name);
+  }
+  return ctx;
+}
 
 StatusOr<SyscallInterface::OpenFile*> SyscallInterface::Lookup(Fd fd) {
   auto it = fds_.find(fd);
@@ -13,7 +30,7 @@ StatusOr<SyscallInterface::OpenFile*> SyscallInterface::Lookup(Fd fd) {
 }
 
 StatusOr<VnodePtr> SyscallInterface::Resolve(const std::string& path, bool follow_final,
-                                             int depth) {
+                                             const OpContext& ctx, int depth) {
   if (depth > kMaxSymlinkDepth) {
     return InvalidArgumentError("too many levels of symbolic links");
   }
@@ -36,15 +53,18 @@ StatusOr<VnodePtr> SyscallInterface::Resolve(const std::string& path, bool follo
       pos = end;
       continue;
     }
-    FICUS_ASSIGN_OR_RETURN(VnodePtr child, current->Lookup(component, cred_));
-    FICUS_ASSIGN_OR_RETURN(VAttr attr, child->GetAttr());
+    // A lower layer (an NFS hop, say) may have burned the whole budget on
+    // the previous component; stop walking rather than issue more calls.
+    FICUS_RETURN_IF_ERROR(ctx.CheckDeadline("syscall.resolve"));
+    FICUS_ASSIGN_OR_RETURN(VnodePtr child, current->Lookup(component, ctx));
+    FICUS_ASSIGN_OR_RETURN(VAttr attr, child->GetAttr(ctx));
     if (attr.type == VnodeType::kSymlink && (!is_final || follow_final)) {
-      FICUS_ASSIGN_OR_RETURN(std::string target, child->Readlink(cred_));
+      FICUS_ASSIGN_OR_RETURN(std::string target, child->Readlink(ctx));
       // Splice: resolve the target (relative to the root in this veneer),
       // then continue with the remaining components.
       std::string rest = is_final ? "" : path.substr(end);
       FICUS_ASSIGN_OR_RETURN(VnodePtr resolved,
-                             Resolve(target + rest, follow_final, depth + 1));
+                             Resolve(target + rest, follow_final, ctx, depth + 1));
       return resolved;
     }
     current = std::move(child);
@@ -54,32 +74,33 @@ StatusOr<VnodePtr> SyscallInterface::Resolve(const std::string& path, bool follo
 }
 
 StatusOr<std::pair<VnodePtr, std::string>> SyscallInterface::ResolveParent(
-    const std::string& path, int depth) {
+    const std::string& path, const OpContext& ctx, int depth) {
   FICUS_ASSIGN_OR_RETURN(auto split, SplitPath(path));
   FICUS_ASSIGN_OR_RETURN(VnodePtr parent,
-                         Resolve(split.first, /*follow_final=*/true, depth));
+                         Resolve(split.first, /*follow_final=*/true, ctx, depth));
   return std::make_pair(std::move(parent), split.second);
 }
 
 StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
+  OpContext ctx = NewOp("open");
   VnodePtr vnode;
-  auto resolved = Resolve(path, /*follow_final=*/true);
+  auto resolved = Resolve(path, /*follow_final=*/true, ctx);
   if (resolved.ok()) {
     if ((flags & kCreat) != 0 && (flags & kExcl) != 0) {
       return ExistsError(path);
     }
     vnode = std::move(resolved).value();
   } else if (resolved.status().code() == ErrorCode::kNotFound && (flags & kCreat) != 0) {
-    FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+    FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
     VAttr attr;
     attr.type = VnodeType::kRegular;
     attr.uid = cred_.uid;
-    FICUS_ASSIGN_OR_RETURN(vnode, parent.first->Create(parent.second, attr, cred_));
+    FICUS_ASSIGN_OR_RETURN(vnode, parent.first->Create(parent.second, attr, ctx));
   } else {
     return resolved.status();
   }
 
-  FICUS_ASSIGN_OR_RETURN(VAttr attr, vnode->GetAttr());
+  FICUS_ASSIGN_OR_RETURN(VAttr attr, vnode->GetAttr(ctx));
   bool writable = (flags & (kWrOnly | kRdWr | kAppend | kTrunc)) != 0;
   if (writable && (attr.type == VnodeType::kDirectory ||
                    attr.type == VnodeType::kGraftPoint)) {
@@ -93,7 +114,7 @@ StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
   if ((flags & kTrunc) != 0) {
     vnode_flags |= kOpenTruncate;
   }
-  FICUS_RETURN_IF_ERROR(vnode->Open(vnode_flags, cred_));
+  FICUS_RETURN_IF_ERROR(vnode->Open(vnode_flags, ctx));
 
   Fd fd = next_fd_++;
   fds_[fd] = OpenFile{std::move(vnode), 0, flags};
@@ -101,34 +122,38 @@ StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
 }
 
 Status SyscallInterface::Close(Fd fd) {
+  OpContext ctx = NewOp("close");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
-  Status status = file->vnode->Close(kOpenRead, cred_);
+  Status status = file->vnode->Close(kOpenRead, ctx);
   fds_.erase(fd);
   return status;
 }
 
 StatusOr<size_t> SyscallInterface::Read(Fd fd, std::vector<uint8_t>& out, size_t count) {
+  OpContext ctx = NewOp("read");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
-  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Read(file->offset, count, out, cred_));
+  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Read(file->offset, count, out, ctx));
   file->offset += n;
   return n;
 }
 
 StatusOr<size_t> SyscallInterface::Write(Fd fd, const std::vector<uint8_t>& data) {
+  OpContext ctx = NewOp("write");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
     return PermissionError("descriptor not open for writing");
   }
   if ((file->flags & kAppend) != 0) {
-    FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr());
+    FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr(ctx));
     file->offset = attr.size;
   }
-  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Write(file->offset, data, cred_));
+  FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Write(file->offset, data, ctx));
   file->offset += n;
   return n;
 }
 
 StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence) {
+  OpContext ctx = NewOp("lseek");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   int64_t base = 0;
   switch (whence) {
@@ -139,7 +164,7 @@ StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence)
       base = static_cast<int64_t>(file->offset);
       break;
     case Whence::kEnd: {
-      FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr());
+      FICUS_ASSIGN_OR_RETURN(VAttr attr, file->vnode->GetAttr(ctx));
       base = static_cast<int64_t>(attr.size);
       break;
     }
@@ -154,83 +179,97 @@ StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence)
 
 StatusOr<size_t> SyscallInterface::Pread(Fd fd, uint64_t offset, std::vector<uint8_t>& out,
                                          size_t count) {
+  OpContext ctx = NewOp("pread");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
-  return file->vnode->Read(offset, count, out, cred_);
+  return file->vnode->Read(offset, count, out, ctx);
 }
 
 StatusOr<size_t> SyscallInterface::Pwrite(Fd fd, uint64_t offset,
                                           const std::vector<uint8_t>& data) {
+  OpContext ctx = NewOp("pwrite");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
     return PermissionError("descriptor not open for writing");
   }
-  return file->vnode->Write(offset, data, cred_);
+  return file->vnode->Write(offset, data, ctx);
 }
 
 StatusOr<VAttr> SyscallInterface::Fstat(Fd fd) {
+  OpContext ctx = NewOp("fstat");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
-  return file->vnode->GetAttr();
+  return file->vnode->GetAttr(ctx);
 }
 
 Status SyscallInterface::Ftruncate(Fd fd, uint64_t size) {
+  OpContext ctx = NewOp("ftruncate");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   SetAttrRequest request;
   request.set_size = true;
   request.size = size;
-  return file->vnode->SetAttr(request, cred_);
+  return file->vnode->SetAttr(request, ctx);
 }
 
 StatusOr<VAttr> SyscallInterface::Stat(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true));
-  return vnode->GetAttr();
+  OpContext ctx = NewOp("stat");
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true, ctx));
+  return vnode->GetAttr(ctx);
 }
 
 StatusOr<VAttr> SyscallInterface::Lstat(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false));
-  return vnode->GetAttr();
+  OpContext ctx = NewOp("lstat");
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false, ctx));
+  return vnode->GetAttr(ctx);
 }
 
 Status SyscallInterface::Mkdir(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  return parent.first->Mkdir(parent.second, VAttr{}, cred_).status();
+  OpContext ctx = NewOp("mkdir");
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
+  return parent.first->Mkdir(parent.second, VAttr{}, ctx).status();
 }
 
 Status SyscallInterface::Rmdir(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  return parent.first->Rmdir(parent.second, cred_);
+  OpContext ctx = NewOp("rmdir");
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
+  return parent.first->Rmdir(parent.second, ctx);
 }
 
 Status SyscallInterface::Unlink(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  return parent.first->Remove(parent.second, cred_);
+  OpContext ctx = NewOp("unlink");
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
+  return parent.first->Remove(parent.second, ctx);
 }
 
 Status SyscallInterface::Rename(const std::string& from, const std::string& to) {
-  FICUS_ASSIGN_OR_RETURN(auto from_parent, ResolveParent(from));
-  FICUS_ASSIGN_OR_RETURN(auto to_parent, ResolveParent(to));
+  OpContext ctx = NewOp("rename");
+  FICUS_ASSIGN_OR_RETURN(auto from_parent, ResolveParent(from, ctx));
+  FICUS_ASSIGN_OR_RETURN(auto to_parent, ResolveParent(to, ctx));
   return from_parent.first->Rename(from_parent.second, to_parent.first, to_parent.second,
-                                   cred_);
+                                   ctx);
 }
 
 Status SyscallInterface::Link(const std::string& target, const std::string& link_path) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr target_vnode, Resolve(target, /*follow_final=*/true));
-  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
-  return parent.first->Link(parent.second, target_vnode, cred_);
+  OpContext ctx = NewOp("link");
+  FICUS_ASSIGN_OR_RETURN(VnodePtr target_vnode, Resolve(target, /*follow_final=*/true, ctx));
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path, ctx));
+  return parent.first->Link(parent.second, target_vnode, ctx);
 }
 
 Status SyscallInterface::Symlink(const std::string& target, const std::string& link_path) {
-  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path));
-  return parent.first->Symlink(parent.second, target, cred_).status();
+  OpContext ctx = NewOp("symlink");
+  FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path, ctx));
+  return parent.first->Symlink(parent.second, target, ctx).status();
 }
 
 StatusOr<std::string> SyscallInterface::Readlink(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false));
-  return vnode->Readlink(cred_);
+  OpContext ctx = NewOp("readlink");
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false, ctx));
+  return vnode->Readlink(ctx);
 }
 
 StatusOr<std::vector<DirEntry>> SyscallInterface::Readdir(const std::string& path) {
-  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true));
-  return vnode->Readdir(cred_);
+  OpContext ctx = NewOp("readdir");
+  FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true, ctx));
+  return vnode->Readdir(ctx);
 }
 
 }  // namespace ficus::vfs

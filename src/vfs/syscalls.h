@@ -8,12 +8,20 @@
 // "exposed to the application level through a set of vnode system calls",
 // letting everything above the kernel boundary run and be tested in user
 // space.
+//
+// This is also where each operation's OpContext is born: every public
+// entry point mints a fresh trace id, stamps the per-op deadline (when a
+// clock and timeout are configured), and threads the context through
+// every vnode call it makes — so a deadline set here is honored at any
+// depth of the stack, including below an NFS hop.
 #ifndef FICUS_SRC_VFS_SYSCALLS_H_
 #define FICUS_SRC_VFS_SYSCALLS_H_
 
 #include <map>
 #include <string>
 
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/vfs/vnode.h"
 
 namespace ficus::vfs {
@@ -42,8 +50,22 @@ constexpr int kMaxSymlinkDepth = 8;
 // simulation is single-threaded by design).
 class SyscallInterface {
  public:
-  // fs borrowed; cred applied to every operation.
-  explicit SyscallInterface(Vfs* fs, Credentials cred = {});
+  // fs borrowed; cred applied to every operation. `clock` (borrowed,
+  // optional) enables per-op deadlines; `metrics` (borrowed, optional)
+  // receives `syscall.<op>` call counters.
+  explicit SyscallInterface(Vfs* fs, Credentials cred = {},
+                            const SimClock* clock = nullptr,
+                            MetricRegistry* metrics = nullptr);
+
+  // Per-operation time budget (simulated). 0 disables. Requires a clock;
+  // each entry point stamps deadline = now + timeout into its OpContext,
+  // and any layer below — local or across an NFS hop — may refuse the
+  // rest of the work with kTimedOut once the clock passes it.
+  void set_op_timeout(SimTime timeout) { op_timeout_ = timeout; }
+  SimTime op_timeout() const { return op_timeout_; }
+
+  // Trace id stamped on the most recent operation (0 before the first).
+  TraceId last_trace() const { return last_trace_; }
 
   // --- file descriptors ---
   StatusOr<Fd> Open(const std::string& path, uint32_t flags);
@@ -79,16 +101,26 @@ class SyscallInterface {
     uint32_t flags = 0;
   };
 
+  // Mints the context one dispatched operation carries through the stack:
+  // fresh trace id, deadline (when configured), metric sink.
+  OpContext NewOp(std::string_view name);
+
   // Resolves a path following symlinks in intermediate AND (optionally)
   // final components.
-  StatusOr<VnodePtr> Resolve(const std::string& path, bool follow_final, int depth = 0);
+  StatusOr<VnodePtr> Resolve(const std::string& path, bool follow_final,
+                             const OpContext& ctx, int depth = 0);
   // Resolves the parent directory and returns it plus the final component.
   StatusOr<std::pair<VnodePtr, std::string>> ResolveParent(const std::string& path,
+                                                           const OpContext& ctx,
                                                            int depth = 0);
   StatusOr<OpenFile*> Lookup(Fd fd);
 
   Vfs* fs_;
   Credentials cred_;
+  const SimClock* clock_;
+  MetricScope metrics_;
+  SimTime op_timeout_ = 0;
+  TraceId last_trace_ = 0;
   std::map<Fd, OpenFile> fds_;
   Fd next_fd_ = 3;  // 0..2 reserved, as tradition demands
 };

@@ -1,0 +1,184 @@
+#include "src/vfs/trace_layer.h"
+
+#include <chrono>
+
+namespace ficus::vfs {
+
+namespace {
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+}  // namespace
+
+TraceSink::TraceSink(MetricRegistry* registry, std::string_view layer_name)
+    : layer_name_(layer_name) {
+  for (size_t i = 0; i < static_cast<size_t>(VnodeOp::kCount); ++i) {
+    std::string base = "trace." + layer_name_ + "." +
+                       std::string(VnodeOpName(static_cast<VnodeOp>(i)));
+    calls_[i] = registry->counter(base + ".calls");
+    ns_[i] = registry->histogram(base + ".ns");
+  }
+}
+
+void TraceSink::Record(TraceId trace, VnodeOp op, uint64_t ns) {
+  size_t i = static_cast<size_t>(op);
+  calls_[i]->Increment();
+  ns_[i]->Record(ns);
+  if (spans_.size() >= kMaxSpans) {
+    spans_.erase(spans_.begin(), spans_.begin() + static_cast<ptrdiff_t>(kMaxSpans / 2));
+  }
+  spans_.push_back(TraceSpan{trace, op, ns});
+}
+
+std::vector<TraceSpan> TraceSink::SpansFor(TraceId trace) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& span : spans_) {
+    if (span.trace == trace) {
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceSink::Calls(VnodeOp op) const {
+  return calls_[static_cast<size_t>(op)]->value();
+}
+
+uint64_t TraceSink::TotalNs(VnodeOp op) const {
+  return ns_[static_cast<size_t>(op)]->sum();
+}
+
+// Times one forwarded call and hands the result back unchanged. A macro
+// rather than a template so the forwarded expression is arbitrary.
+#define FICUS_TRACE_OP(op, expr)             \
+  do {                                       \
+    uint64_t start = NowNs();                \
+    auto result = (expr);                    \
+    sink_->Record(ctx.trace, op, NowNs() - start); \
+    return result;                           \
+  } while (0)
+
+StatusOr<VAttr> TraceVnode::GetAttr(const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kGetAttr, lower_->GetAttr(ctx));
+}
+
+Status TraceVnode::SetAttr(const SetAttrRequest& request, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kSetAttr, lower_->SetAttr(request, ctx));
+}
+
+StatusOr<VnodePtr> TraceVnode::Lookup(std::string_view name, const OpContext& ctx) {
+  uint64_t start = NowNs();
+  auto result = lower_->Lookup(name, ctx);
+  sink_->Record(ctx.trace, VnodeOp::kLookup, NowNs() - start);
+  if (!result.ok()) {
+    return result;
+  }
+  return WrapLower(std::move(result).value());
+}
+
+StatusOr<VnodePtr> TraceVnode::Create(std::string_view name, const VAttr& attr,
+                                      const OpContext& ctx) {
+  uint64_t start = NowNs();
+  auto result = lower_->Create(name, attr, ctx);
+  sink_->Record(ctx.trace, VnodeOp::kCreate, NowNs() - start);
+  if (!result.ok()) {
+    return result;
+  }
+  return WrapLower(std::move(result).value());
+}
+
+Status TraceVnode::Remove(std::string_view name, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kRemove, lower_->Remove(name, ctx));
+}
+
+StatusOr<VnodePtr> TraceVnode::Mkdir(std::string_view name, const VAttr& attr,
+                                     const OpContext& ctx) {
+  uint64_t start = NowNs();
+  auto result = lower_->Mkdir(name, attr, ctx);
+  sink_->Record(ctx.trace, VnodeOp::kMkdir, NowNs() - start);
+  if (!result.ok()) {
+    return result;
+  }
+  return WrapLower(std::move(result).value());
+}
+
+Status TraceVnode::Rmdir(std::string_view name, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kRmdir, lower_->Rmdir(name, ctx));
+}
+
+Status TraceVnode::Link(std::string_view name, const VnodePtr& target,
+                        const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kLink, lower_->Link(name, UnwrapIfOurs(target), ctx));
+}
+
+Status TraceVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
+                          std::string_view new_name, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kRename,
+                 lower_->Rename(old_name, UnwrapIfOurs(new_parent), new_name, ctx));
+}
+
+StatusOr<std::vector<DirEntry>> TraceVnode::Readdir(const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kReaddir, lower_->Readdir(ctx));
+}
+
+StatusOr<VnodePtr> TraceVnode::Symlink(std::string_view name, std::string_view target,
+                                       const OpContext& ctx) {
+  uint64_t start = NowNs();
+  auto result = lower_->Symlink(name, target, ctx);
+  sink_->Record(ctx.trace, VnodeOp::kSymlink, NowNs() - start);
+  if (!result.ok()) {
+    return result;
+  }
+  return WrapLower(std::move(result).value());
+}
+
+StatusOr<std::string> TraceVnode::Readlink(const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kReadlink, lower_->Readlink(ctx));
+}
+
+Status TraceVnode::Open(uint32_t flags, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kOpen, lower_->Open(flags, ctx));
+}
+
+Status TraceVnode::Close(uint32_t flags, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kClose, lower_->Close(flags, ctx));
+}
+
+StatusOr<size_t> TraceVnode::Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                                  const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kRead, lower_->Read(offset, length, out, ctx));
+}
+
+StatusOr<size_t> TraceVnode::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                                   const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kWrite, lower_->Write(offset, data, ctx));
+}
+
+Status TraceVnode::Fsync(const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kFsync, lower_->Fsync(ctx));
+}
+
+Status TraceVnode::Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+                         std::vector<uint8_t>& response, const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kIoctl, lower_->Ioctl(command, request, response, ctx));
+}
+
+#undef FICUS_TRACE_OP
+
+VnodePtr TraceVnode::WrapLower(VnodePtr lower) {
+  return std::make_shared<TraceVnode>(std::move(lower), sink_);
+}
+
+TraceVfs::TraceVfs(Vfs* lower, std::string_view layer_name, MetricRegistry* registry)
+    : lower_(lower),
+      registry_(registry != nullptr ? registry : &owned_registry_),
+      sink_(registry_, layer_name) {}
+
+StatusOr<VnodePtr> TraceVfs::Root() {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr root, lower_->Root());
+  return VnodePtr(std::make_shared<TraceVnode>(std::move(root), &sink_));
+}
+
+}  // namespace ficus::vfs

@@ -1,0 +1,128 @@
+// Trace layer: a pass-through layer that attributes wall-clock cost to
+// the layer boundary it sits on. Slipped between any two layers of a
+// vnode stack it records, per operation type:
+//   * `trace.<layer>.<op>.calls`  — operations that crossed here, and
+//   * `trace.<layer>.<op>.ns`     — a latency histogram of the time spent
+//                                   in everything below this layer.
+// Stacking one trace layer per boundary turns a single end-to-end number
+// into a per-layer cost breakdown (the paper's section-6 question — what
+// does one more layer cost? — answered per layer rather than in
+// aggregate). It also keeps a bounded log of recent spans tagged with the
+// OpContext trace id, so one operation's path through the stack can be
+// reconstructed across layers — including the far side of an NFS hop.
+#ifndef FICUS_SRC_VFS_TRACE_LAYER_H_
+#define FICUS_SRC_VFS_TRACE_LAYER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/vfs/pass_through.h"
+#include "src/vfs/stats_layer.h"
+
+namespace ficus::vfs {
+
+// One recorded entry/exit pair: which operation crossed this layer, under
+// which OpContext trace id, and how long the layers below took.
+struct TraceSpan {
+  TraceId trace = 0;
+  VnodeOp op = VnodeOp::kCount;
+  uint64_t ns = 0;
+};
+
+// Shared per-layer state: metric cells resolved once at TraceVfs
+// construction, plus the bounded span log.
+class TraceSink {
+ public:
+  // Cells live in `registry` under "trace.<layer_name>.".
+  TraceSink(MetricRegistry* registry, std::string_view layer_name);
+
+  // Records one crossing; called by TraceVnode on every operation exit.
+  void Record(TraceId trace, VnodeOp op, uint64_t ns);
+
+  const std::string& layer_name() const { return layer_name_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  // Spans recorded under one trace id, in recording order.
+  std::vector<TraceSpan> SpansFor(TraceId trace) const;
+  void ClearSpans() { spans_.clear(); }
+
+  uint64_t Calls(VnodeOp op) const;
+  // Total nanoseconds attributed below this layer for one operation type.
+  uint64_t TotalNs(VnodeOp op) const;
+
+ private:
+  // Bound on the span log; older spans fall off the front.
+  static constexpr size_t kMaxSpans = 4096;
+
+  std::string layer_name_;
+  std::array<Counter*, static_cast<size_t>(VnodeOp::kCount)> calls_{};
+  std::array<Histogram*, static_cast<size_t>(VnodeOp::kCount)> ns_{};
+  std::vector<TraceSpan> spans_;
+};
+
+// Vnode half: forwards to the lower layer, timing every call.
+class TraceVnode : public PassThroughVnode {
+ public:
+  TraceVnode(VnodePtr lower, TraceSink* sink)
+      : PassThroughVnode(std::move(lower)), sink_(sink) {}
+
+  StatusOr<VAttr> GetAttr(const OpContext& ctx = {}) override;
+  Status SetAttr(const SetAttrRequest& request, const OpContext& ctx) override;
+  StatusOr<VnodePtr> Lookup(std::string_view name, const OpContext& ctx) override;
+  StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
+                            const OpContext& ctx) override;
+  Status Remove(std::string_view name, const OpContext& ctx) override;
+  StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
+                           const OpContext& ctx) override;
+  Status Rmdir(std::string_view name, const OpContext& ctx) override;
+  Status Link(std::string_view name, const VnodePtr& target, const OpContext& ctx) override;
+  Status Rename(std::string_view old_name, const VnodePtr& new_parent,
+                std::string_view new_name, const OpContext& ctx) override;
+  StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx) override;
+  StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
+                             const OpContext& ctx) override;
+  StatusOr<std::string> Readlink(const OpContext& ctx) override;
+  Status Open(uint32_t flags, const OpContext& ctx) override;
+  Status Close(uint32_t flags, const OpContext& ctx) override;
+  StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
+                        const OpContext& ctx) override;
+  StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
+                         const OpContext& ctx) override;
+  Status Fsync(const OpContext& ctx) override;
+  Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
+               std::vector<uint8_t>& response, const OpContext& ctx) override;
+
+ protected:
+  VnodePtr WrapLower(VnodePtr lower) override;
+
+ private:
+  TraceSink* sink_;
+};
+
+// Vfs half. `layer_name` names the boundary in metric names and span
+// queries; `registry` (borrowed, optional) unifies the cells with the
+// rest of the stack, else an internally owned registry is used.
+class TraceVfs : public Vfs {
+ public:
+  explicit TraceVfs(Vfs* lower, std::string_view layer_name = "layer",
+                    MetricRegistry* registry = nullptr);
+
+  StatusOr<VnodePtr> Root() override;
+  Status Sync() override { return lower_->Sync(); }
+  StatusOr<FsStats> Statfs() override { return lower_->Statfs(); }
+
+  TraceSink& sink() { return sink_; }
+  const TraceSink& sink() const { return sink_; }
+  MetricRegistry* metrics() { return registry_; }
+
+ private:
+  Vfs* lower_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  TraceSink sink_;
+};
+
+}  // namespace ficus::vfs
+
+#endif  // FICUS_SRC_VFS_TRACE_LAYER_H_

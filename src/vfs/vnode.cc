@@ -8,62 +8,69 @@ Status Unsupported(const char* op) {
 }
 }  // namespace
 
-StatusOr<VAttr> Vnode::GetAttr() { return Unsupported("getattr"); }
+Status OpContext::CheckDeadline(std::string_view where) const {
+  if (DeadlineExpired()) {
+    return TimedOutError(std::string("op deadline exceeded at ") + std::string(where));
+  }
+  return OkStatus();
+}
 
-Status Vnode::SetAttr(const SetAttrRequest&, const Credentials&) {
+StatusOr<VAttr> Vnode::GetAttr(const OpContext&) { return Unsupported("getattr"); }
+
+Status Vnode::SetAttr(const SetAttrRequest&, const OpContext&) {
   return Unsupported("setattr");
 }
 
-StatusOr<VnodePtr> Vnode::Lookup(std::string_view, const Credentials&) {
+StatusOr<VnodePtr> Vnode::Lookup(std::string_view, const OpContext&) {
   return Unsupported("lookup");
 }
 
-StatusOr<VnodePtr> Vnode::Create(std::string_view, const VAttr&, const Credentials&) {
+StatusOr<VnodePtr> Vnode::Create(std::string_view, const VAttr&, const OpContext&) {
   return Unsupported("create");
 }
 
-Status Vnode::Remove(std::string_view, const Credentials&) { return Unsupported("remove"); }
+Status Vnode::Remove(std::string_view, const OpContext&) { return Unsupported("remove"); }
 
-StatusOr<VnodePtr> Vnode::Mkdir(std::string_view, const VAttr&, const Credentials&) {
+StatusOr<VnodePtr> Vnode::Mkdir(std::string_view, const VAttr&, const OpContext&) {
   return Unsupported("mkdir");
 }
 
-Status Vnode::Rmdir(std::string_view, const Credentials&) { return Unsupported("rmdir"); }
+Status Vnode::Rmdir(std::string_view, const OpContext&) { return Unsupported("rmdir"); }
 
-Status Vnode::Link(std::string_view, const VnodePtr&, const Credentials&) {
+Status Vnode::Link(std::string_view, const VnodePtr&, const OpContext&) {
   return Unsupported("link");
 }
 
-Status Vnode::Rename(std::string_view, const VnodePtr&, std::string_view, const Credentials&) {
+Status Vnode::Rename(std::string_view, const VnodePtr&, std::string_view, const OpContext&) {
   return Unsupported("rename");
 }
 
-StatusOr<std::vector<DirEntry>> Vnode::Readdir(const Credentials&) {
+StatusOr<std::vector<DirEntry>> Vnode::Readdir(const OpContext&) {
   return Unsupported("readdir");
 }
 
-StatusOr<VnodePtr> Vnode::Symlink(std::string_view, std::string_view, const Credentials&) {
+StatusOr<VnodePtr> Vnode::Symlink(std::string_view, std::string_view, const OpContext&) {
   return Unsupported("symlink");
 }
 
-StatusOr<std::string> Vnode::Readlink(const Credentials&) { return Unsupported("readlink"); }
+StatusOr<std::string> Vnode::Readlink(const OpContext&) { return Unsupported("readlink"); }
 
-Status Vnode::Open(uint32_t, const Credentials&) { return Unsupported("open"); }
+Status Vnode::Open(uint32_t, const OpContext&) { return Unsupported("open"); }
 
-Status Vnode::Close(uint32_t, const Credentials&) { return Unsupported("close"); }
+Status Vnode::Close(uint32_t, const OpContext&) { return Unsupported("close"); }
 
-StatusOr<size_t> Vnode::Read(uint64_t, size_t, std::vector<uint8_t>&, const Credentials&) {
+StatusOr<size_t> Vnode::Read(uint64_t, size_t, std::vector<uint8_t>&, const OpContext&) {
   return Unsupported("read");
 }
 
-StatusOr<size_t> Vnode::Write(uint64_t, const std::vector<uint8_t>&, const Credentials&) {
+StatusOr<size_t> Vnode::Write(uint64_t, const std::vector<uint8_t>&, const OpContext&) {
   return Unsupported("write");
 }
 
-Status Vnode::Fsync(const Credentials&) { return Unsupported("fsync"); }
+Status Vnode::Fsync(const OpContext&) { return Unsupported("fsync"); }
 
 Status Vnode::Ioctl(std::string_view, const std::vector<uint8_t>&, std::vector<uint8_t>&,
-                    const Credentials&) {
+                    const OpContext&) {
   return Unsupported("ioctl");
 }
 
@@ -72,7 +79,7 @@ Status Vfs::Sync() { return OkStatus(); }
 StatusOr<FsStats> Vfs::Statfs() { return NotSupportedError("statfs not supported"); }
 
 StatusOr<VnodePtr> WalkPath(const VnodePtr& root, std::string_view path,
-                            const Credentials& cred) {
+                            const OpContext& ctx) {
   if (root == nullptr) {
     return InvalidArgumentError("walk from null root");
   }
@@ -98,7 +105,7 @@ StatusOr<VnodePtr> WalkPath(const VnodePtr& root, std::string_view path,
       pos = end;
       continue;
     }
-    FICUS_ASSIGN_OR_RETURN(current, current->Lookup(component, cred));
+    FICUS_ASSIGN_OR_RETURN(current, current->Lookup(component, ctx));
     pos = end;
   }
   return current;

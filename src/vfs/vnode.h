@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace ficus::vfs {
@@ -94,6 +95,33 @@ struct Credentials {
   uint32_t gid = 0;
 };
 
+// One operation's cross-layer context, threaded through every vnode call.
+// Beyond caller identity it carries a trace id (stamped at the dispatch
+// entry point, continued across the NFS wire), an absolute deadline in
+// simulated time, the clock that deadline is judged against, and an
+// optional metric sink. Layers forward the context they receive so a
+// single operation stays one trace however deep the stack is.
+//
+// Implicitly constructible from Credentials: call sites that only care
+// about identity keep writing `node->Lookup(name, cred)` and get a fresh
+// context with no trace, deadline, or metrics attached.
+struct OpContext {
+  Credentials cred;
+  TraceId trace = 0;                // 0 = no trace attached
+  SimTime deadline = 0;             // absolute sim time; 0 = no deadline
+  const SimClock* clock = nullptr;  // clock the deadline is judged against
+  MetricScope* metrics = nullptr;   // optional per-caller metric sink
+
+  OpContext() = default;
+  OpContext(const Credentials& c) : cred(c) {}  // NOLINT(runtime/explicit)
+
+  bool HasDeadline() const { return deadline != 0 && clock != nullptr; }
+  bool DeadlineExpired() const { return HasDeadline() && clock->Now() > deadline; }
+  // kTimedOut once the clock has passed the deadline; ok otherwise.
+  // `where` names the layer/op for the error message.
+  Status CheckDeadline(std::string_view where) const;
+};
+
 // One vnode: an open-ended handle to a file, directory, symlink, or graft
 // point within some layer. All operations are synchronous; remote layers
 // surface partitions as kUnreachable/kTimedOut statuses.
@@ -106,42 +134,42 @@ class Vnode {
  public:
   virtual ~Vnode() = default;
 
-  virtual StatusOr<VAttr> GetAttr();
-  virtual Status SetAttr(const SetAttrRequest& request, const Credentials& cred);
+  virtual StatusOr<VAttr> GetAttr(const OpContext& ctx = {});
+  virtual Status SetAttr(const SetAttrRequest& request, const OpContext& ctx);
 
   // --- Directory operations ---
-  virtual StatusOr<VnodePtr> Lookup(std::string_view name, const Credentials& cred);
+  virtual StatusOr<VnodePtr> Lookup(std::string_view name, const OpContext& ctx);
   virtual StatusOr<VnodePtr> Create(std::string_view name, const VAttr& attr,
-                                    const Credentials& cred);
-  virtual Status Remove(std::string_view name, const Credentials& cred);
+                                    const OpContext& ctx);
+  virtual Status Remove(std::string_view name, const OpContext& ctx);
   virtual StatusOr<VnodePtr> Mkdir(std::string_view name, const VAttr& attr,
-                                   const Credentials& cred);
-  virtual Status Rmdir(std::string_view name, const Credentials& cred);
-  virtual Status Link(std::string_view name, const VnodePtr& target, const Credentials& cred);
+                                   const OpContext& ctx);
+  virtual Status Rmdir(std::string_view name, const OpContext& ctx);
+  virtual Status Link(std::string_view name, const VnodePtr& target, const OpContext& ctx);
   virtual Status Rename(std::string_view old_name, const VnodePtr& new_parent,
-                        std::string_view new_name, const Credentials& cred);
-  virtual StatusOr<std::vector<DirEntry>> Readdir(const Credentials& cred);
+                        std::string_view new_name, const OpContext& ctx);
+  virtual StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx);
   virtual StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
-                                     const Credentials& cred);
-  virtual StatusOr<std::string> Readlink(const Credentials& cred);
+                                     const OpContext& ctx);
+  virtual StatusOr<std::string> Readlink(const OpContext& ctx);
 
   // --- File operations ---
   // NFS (stateless) drops Open/Close; layers above it that need open/close
   // semantics must tunnel them through Lookup (paper section 2.3).
-  virtual Status Open(uint32_t flags, const Credentials& cred);
-  virtual Status Close(uint32_t flags, const Credentials& cred);
+  virtual Status Open(uint32_t flags, const OpContext& ctx);
+  virtual Status Close(uint32_t flags, const OpContext& ctx);
   virtual StatusOr<size_t> Read(uint64_t offset, size_t length, std::vector<uint8_t>& out,
-                                const Credentials& cred);
+                                const OpContext& ctx);
   virtual StatusOr<size_t> Write(uint64_t offset, const std::vector<uint8_t>& data,
-                                 const Credentials& cred);
-  virtual Status Fsync(const Credentials& cred);
+                                 const OpContext& ctx);
+  virtual Status Fsync(const OpContext& ctx);
 
   // Escape hatch for layer-specific services not in the vnode vocabulary.
   // `command` names the service; request/response are opaque to intermediate
   // layers that forward it. NFS does NOT forward Ioctl (its protocol has no
   // such RPC) — which is exactly why Ficus overloads Lookup instead.
   virtual Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
-                       std::vector<uint8_t>& response, const Credentials& cred);
+                       std::vector<uint8_t>& response, const OpContext& ctx);
 };
 
 // Filesystem statistics for Statfs.
@@ -172,7 +200,7 @@ constexpr size_t kMaxComponentLength = 255;
 // "/", "a/b/c" and "/a/b/c" (leading slash ignored: the walk is rooted at
 // `root` regardless). Follows no symlinks (callers resolve those).
 StatusOr<VnodePtr> WalkPath(const VnodePtr& root, std::string_view path,
-                            const Credentials& cred);
+                            const OpContext& ctx);
 
 // Splits a path into parent-walk and final component, e.g. "a/b/c" ->
 // ("a/b", "c"). Returns error for empty final components.

@@ -1,0 +1,175 @@
+// MetricRegistry: the unified home for every subsystem's counters. The
+// legacy stats structs (OpCounters, NetworkStats, ClientStats, ...) are
+// snapshots of registry cells now; the tests at the bottom pin the two
+// views together so neither can drift.
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+#include "src/vfs/stats_layer.h"
+
+namespace ficus {
+namespace {
+
+TEST(CounterTest, IncrementAddReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, RecordsMoments) {
+  Histogram h;
+  h.Record(1);
+  h.Record(3);
+  h.Record(8);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, Log2Buckets) {
+  Histogram h;
+  h.Record(0);  // bucket 0
+  h.Record(1);  // bucket 0
+  h.Record(2);  // bucket 1
+  h.Record(3);  // bucket 1
+  h.Record(1024);  // bucket 10
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+}
+
+TEST(MetricRegistryTest, StablePointersAndLookup) {
+  MetricRegistry registry;
+  Counter* a = registry.counter("x.calls");
+  a->Add(7);
+  // Second lookup returns the same cell.
+  EXPECT_EQ(registry.counter("x.calls"), a);
+  EXPECT_EQ(registry.CounterValue("x.calls"), 7u);
+  EXPECT_EQ(registry.CounterValue("never.registered"), 0u);
+  EXPECT_EQ(registry.FindCounter("never.registered"), nullptr);
+}
+
+TEST(MetricRegistryTest, ResetKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter* c = registry.counter("a");
+  Histogram* h = registry.histogram("b");
+  c->Add(5);
+  h->Record(9);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  // Same cells, still registered.
+  EXPECT_EQ(registry.counter("a"), c);
+  EXPECT_EQ(registry.histogram("b"), h);
+}
+
+TEST(MetricRegistryTest, ToJsonContainsCells) {
+  MetricRegistry registry;
+  registry.counter("n.c")->Add(3);
+  registry.histogram("n.h")->Record(4);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"n.c\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"n.h\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricScopeTest, NullScopeIsNoOp) {
+  MetricScope scope;
+  EXPECT_EQ(scope.registry(), nullptr);
+  EXPECT_EQ(scope.counter("x"), nullptr);
+  scope.IncrementCounter("x");  // must not crash
+  scope.RecordLatency("y", 5);
+}
+
+TEST(MetricScopeTest, PrefixesNames) {
+  MetricRegistry registry;
+  MetricScope scope(&registry, "sub.");
+  scope.IncrementCounter("op");
+  scope.AddToCounter("op", 2);
+  EXPECT_EQ(registry.CounterValue("sub.op"), 3u);
+}
+
+TEST(NextTraceIdTest, MonotonicAndNonZero) {
+  TraceId a = NextTraceId();
+  TraceId b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+// --- legacy accessors vs registry cells ---
+
+TEST(LegacyStatsTest, StatsVfsSnapshotMatchesRegistry) {
+  MetricRegistry registry;
+  vfs::MemVfs mem;
+  vfs::StatsVfs stats(&mem, &registry);
+  ASSERT_TRUE(vfs::WriteFileAt(&stats, "f", "data").ok());
+  ASSERT_TRUE(vfs::ReadFileAt(&stats, "f").ok());
+
+  vfs::OpCounters snapshot = stats.counters();
+  EXPECT_GT(snapshot.Calls(vfs::VnodeOp::kLookup), 0u);
+  EXPECT_EQ(snapshot.Calls(vfs::VnodeOp::kLookup),
+            registry.CounterValue("vfs.stats.lookup.calls"));
+  EXPECT_EQ(snapshot.Calls(vfs::VnodeOp::kWrite),
+            registry.CounterValue("vfs.stats.write.calls"));
+  EXPECT_EQ(snapshot.bytes_written, registry.CounterValue("vfs.stats.bytes_written"));
+  EXPECT_EQ(snapshot.bytes_written, 4u);
+}
+
+TEST(LegacyStatsTest, NetworkSnapshotMatchesRegistry) {
+  MetricRegistry registry;
+  net::Network network(nullptr, &registry);
+  net::HostId a = network.AddHost("a");
+  net::HostId b = network.AddHost("b");
+  network.port(b)->RegisterRpcService(
+      "echo", [](net::HostId, const net::Payload& request) -> StatusOr<net::Payload> {
+        return request;
+      });
+  ASSERT_TRUE(network.Rpc(a, b, "echo", {1, 2, 3}).ok());
+  ASSERT_FALSE(network.Rpc(a, b, "no-such-service", {}).ok());
+
+  net::NetworkStats snapshot = network.stats();
+  EXPECT_EQ(snapshot.rpcs_sent, 1u);
+  EXPECT_EQ(snapshot.rpcs_failed, 1u);
+  EXPECT_EQ(snapshot.rpcs_sent, registry.CounterValue("net.rpcs_sent"));
+  EXPECT_EQ(snapshot.rpcs_failed, registry.CounterValue("net.rpcs_failed"));
+  EXPECT_EQ(snapshot.rpc_bytes, registry.CounterValue("net.rpc_bytes"));
+  EXPECT_EQ(snapshot.rpc_bytes, 6u);  // 3 out + 3 back
+
+  network.ResetStats();
+  EXPECT_EQ(network.stats().rpcs_sent, 0u);
+  EXPECT_EQ(registry.CounterValue("net.rpcs_sent"), 0u);
+}
+
+TEST(LegacyStatsTest, SharedRegistryUnifiesLayers) {
+  // One registry can back several subsystems at once; their names are
+  // disjoint by the `<subsystem>.` prefix convention.
+  MetricRegistry registry;
+  vfs::MemVfs mem;
+  vfs::StatsVfs stats(&mem, &registry);
+  net::Network network(nullptr, &registry);
+  (void)vfs::WriteFileAt(&stats, "f", "x");
+
+  std::vector<std::string> names = registry.CounterNames();
+  bool has_vfs = false;
+  bool has_net = false;
+  for (const std::string& name : names) {
+    has_vfs = has_vfs || name.rfind("vfs.stats.", 0) == 0;
+    has_net = has_net || name.rfind("net.", 0) == 0;
+  }
+  EXPECT_TRUE(has_vfs);
+  EXPECT_TRUE(has_net);
+}
+
+}  // namespace
+}  // namespace ficus

@@ -54,7 +54,7 @@ TEST_F(ProtocolRobustnessTest, UnknownProcedureRejected) {
   net::Payload request;
   ByteWriter w(request);
   w.PutU8(250);  // no such procedure
-  PutCred(w, vfs::Credentials{});
+  PutContext(w, vfs::OpContext{});
   Status status = SendRaw(request);
   EXPECT_FALSE(status.ok());
   ExpectCanaryIntact();
@@ -64,7 +64,7 @@ TEST_F(ProtocolRobustnessTest, BogusHandleIsStale) {
   net::Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kGetAttr));
-  PutCred(w, vfs::Credentials{});
+  PutContext(w, vfs::OpContext{});
   w.PutU64(0xDEADBEEFCAFEF00DULL);
   EXPECT_EQ(SendRaw(request).code(), ErrorCode::kStale);
 }
@@ -74,7 +74,7 @@ TEST_F(ProtocolRobustnessTest, TruncatedArgumentsRejected) {
   net::Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kLookup));
-  PutCred(w, vfs::Credentials{});
+  PutContext(w, vfs::OpContext{});
   w.PutU64(1);
   request.push_back(0x05);  // half of a u16 length
   EXPECT_FALSE(SendRaw(request).ok());
@@ -103,7 +103,7 @@ TEST_F(ProtocolRobustnessTest, MutationWithBogusHandleChangesNothing) {
   net::Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kRemove));
-  PutCred(w, vfs::Credentials{});
+  PutContext(w, vfs::OpContext{});
   w.PutU64(424242);
   w.PutString("canary");
   EXPECT_FALSE(SendRaw(request).ok());
@@ -121,7 +121,7 @@ TEST_F(ProtocolRobustnessTest, OversizedWritePayloadHandled) {
   net::Payload request;
   ByteWriter w(request);
   w.PutU8(static_cast<uint8_t>(NfsProc::kWrite));
-  PutCred(w, vfs::Credentials{});
+  PutContext(w, vfs::OpContext{});
   w.PutU64(dynamic_cast<NfsVnode*>(file->get())->handle());
   w.PutU64(0);
   w.PutU32(0x7FFFFFFF);  // lies: "2 GiB follow"

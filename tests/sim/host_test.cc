@@ -136,8 +136,8 @@ TEST(HostTest, RunForSchedulesDaemonsByPeriod) {
   // A minute of simulated time with 10s propagation, 30s reconciliation.
   ASSERT_TRUE(cluster.RunFor(60 * kSecond, 10 * kSecond, 30 * kSecond).ok());
 
-  const repl::PropagationStats* stats = b->propagation_stats(*volume);
-  ASSERT_NE(stats, nullptr);
+  std::optional<repl::PropagationStats> stats = b->propagation_stats(*volume);
+  ASSERT_TRUE(stats.has_value());
   EXPECT_GE(stats->runs, 5u);  // ~6 propagation ticks
 
   cluster.Partition({{b}});

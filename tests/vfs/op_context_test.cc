@@ -1,0 +1,182 @@
+// OpContext end-to-end: one context minted at the syscall layer rides
+// through pass-through layers and across the NFS wire, carrying the
+// caller's deadline and trace id. The deadline is honored at any depth —
+// a server on the far side of a slow RPC hop refuses expired work — and
+// the trace id lets a TraceVfs below the server attribute its spans to
+// the client's operation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/pass_through.h"
+#include "src/vfs/path_ops.h"
+#include "src/vfs/syscalls.h"
+#include "src/vfs/trace_layer.h"
+
+namespace ficus::vfs {
+namespace {
+
+TEST(OpContextTest, DefaultHasNoDeadline) {
+  OpContext ctx;
+  EXPECT_FALSE(ctx.HasDeadline());
+  EXPECT_FALSE(ctx.DeadlineExpired());
+  EXPECT_TRUE(ctx.CheckDeadline("here").ok());
+}
+
+TEST(OpContextTest, CheckDeadlineFailsOncePassed) {
+  SimClock clock;
+  OpContext ctx;
+  ctx.clock = &clock;
+  ctx.deadline = clock.Now() + 10;
+  EXPECT_TRUE(ctx.CheckDeadline("before").ok());
+  clock.Advance(11);
+  EXPECT_TRUE(ctx.DeadlineExpired());
+  Status status = ctx.CheckDeadline("after");
+  EXPECT_EQ(status.code(), ErrorCode::kTimedOut);
+}
+
+TEST(OpContextTest, ImplicitFromCredentials) {
+  Credentials cred{42, 7};
+  OpContext ctx = cred;  // every pre-refactor call site relies on this
+  EXPECT_EQ(ctx.cred.uid, 42u);
+  EXPECT_EQ(ctx.trace, 0u);
+}
+
+// Client syscalls -> pass-through layer -> NFS client -> (wire) -> NFS
+// server -> exported filesystem.
+class OpContextStackTest : public ::testing::Test {
+ protected:
+  OpContextStackTest() : network_(&clock_), exported_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    traced_ = std::make_unique<TraceVfs>(&exported_, "server", &registry_);
+    server_ = std::make_unique<nfs::NfsServer>(&network_, server_host_, traced_.get(),
+                                               nfs::kNfsService, &clock_);
+    client_ = std::make_unique<nfs::NfsClient>(&network_, client_host_, server_host_,
+                                               &clock_);
+    top_ = std::make_unique<PassThroughVfs>(client_.get());
+    sys_ = std::make_unique<SyscallInterface>(top_.get(), Credentials{}, &clock_,
+                                              &registry_);
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  MemVfs exported_;
+  MetricRegistry registry_;
+  net::HostId server_host_, client_host_;
+  std::unique_ptr<TraceVfs> traced_;
+  std::unique_ptr<nfs::NfsServer> server_;
+  std::unique_ptr<nfs::NfsClient> client_;
+  std::unique_ptr<PassThroughVfs> top_;
+  std::unique_ptr<SyscallInterface> sys_;
+};
+
+TEST_F(OpContextStackTest, DeadlineHonoredBelowNfsHop) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  // Warm the root handle so the timing below starts at the Lookup RPC.
+  ASSERT_TRUE(client_->Root().ok());
+
+  // Each RPC hop costs 1ms of simulated time; a 200µs budget therefore
+  // expires in flight, and the *server* must refuse the work.
+  network_.set_rpc_latency(kMillisecond);
+  sys_->set_op_timeout(200);  // µs
+  uint64_t server_errors_before = server_->stats().errors;
+
+  auto attr = sys_->Stat("f");
+  ASSERT_FALSE(attr.ok());
+  EXPECT_EQ(attr.status().code(), ErrorCode::kTimedOut);
+  // The refusal came from the remote side, not a local short-circuit.
+  EXPECT_EQ(server_->stats().errors, server_errors_before + 1);
+}
+
+TEST_F(OpContextStackTest, GenerousDeadlineSucceeds) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  ASSERT_TRUE(client_->Root().ok());
+  sys_->set_op_timeout(10 * kSecond);
+  auto attr = sys_->Stat("f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 4u);
+}
+
+TEST_F(OpContextStackTest, NoTimeoutConfiguredNeverExpires) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  // rpc_latency default (1ms) with no timeout: everything succeeds.
+  EXPECT_TRUE(sys_->Stat("f").ok());
+}
+
+TEST_F(OpContextStackTest, ResolveStopsEarlyWhenBudgetBurns) {
+  // Deep path: each component costs one Lookup RPC (1ms). A 1.5ms budget
+  // survives the first hop and dies before or at the second — wherever it
+  // dies, the caller sees kTimedOut, never a partial success.
+  ASSERT_TRUE(MkdirAll(&exported_, "a/b/c").ok());
+  ASSERT_TRUE(WriteFileAt(&exported_, "a/b/c/f", "x").ok());
+  ASSERT_TRUE(client_->Root().ok());
+  sys_->set_op_timeout(kMillisecond + kMillisecond / 2);
+  auto attr = sys_->Stat("a/b/c/f");
+  ASSERT_FALSE(attr.ok());
+  EXPECT_EQ(attr.status().code(), ErrorCode::kTimedOut);
+}
+
+TEST_F(OpContextStackTest, TraceIdRidesTheWire) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  ASSERT_TRUE(client_->Root().ok());
+
+  traced_->sink().ClearSpans();
+  ASSERT_TRUE(sys_->Stat("f").ok());
+  TraceId trace = sys_->last_trace();
+  ASSERT_NE(trace, 0u);
+
+  // The server-side trace layer attributed spans to the client's trace id
+  // — continuity across the NFS hop.
+  std::vector<TraceSpan> spans = traced_->sink().SpansFor(trace);
+  ASSERT_FALSE(spans.empty());
+  bool saw_lookup = false;
+  for (const TraceSpan& span : spans) {
+    saw_lookup = saw_lookup || span.op == VnodeOp::kLookup;
+  }
+  EXPECT_TRUE(saw_lookup);
+}
+
+TEST_F(OpContextStackTest, DistinctOpsGetDistinctTraces) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  ASSERT_TRUE(sys_->Stat("f").ok());
+  TraceId first = sys_->last_trace();
+  client_->InvalidateCaches();
+  ASSERT_TRUE(sys_->Stat("f").ok());
+  TraceId second = sys_->last_trace();
+  EXPECT_NE(first, second);
+}
+
+TEST_F(OpContextStackTest, SyscallCountersLandInSharedRegistry) {
+  ASSERT_TRUE(WriteFileAt(&exported_, "f", "data").ok());
+  uint64_t stats_before = registry_.CounterValue("syscall.stat");
+  ASSERT_TRUE(sys_->Stat("f").ok());
+  EXPECT_EQ(registry_.CounterValue("syscall.stat"), stats_before + 1);
+}
+
+// Purely local trace-layer attribution: two boundaries, one registry.
+TEST(TraceLayerTest, PerLayerAttribution) {
+  MetricRegistry registry;
+  MemVfs mem;
+  TraceVfs lower(&mem, "below", &registry);
+  TraceVfs upper(&lower, "above", &registry);
+
+  ASSERT_TRUE(WriteFileAt(&upper, "f", "hello").ok());
+  ASSERT_TRUE(ReadFileAt(&upper, "f").ok());
+
+  // Every op that crossed the upper boundary also crossed the lower one.
+  EXPECT_GT(upper.sink().Calls(VnodeOp::kLookup), 0u);
+  EXPECT_EQ(upper.sink().Calls(VnodeOp::kLookup), lower.sink().Calls(VnodeOp::kLookup));
+  EXPECT_EQ(upper.sink().Calls(VnodeOp::kWrite), lower.sink().Calls(VnodeOp::kWrite));
+  // Time attributed below the upper boundary includes the lower layer's.
+  EXPECT_GE(upper.sink().TotalNs(VnodeOp::kWrite), lower.sink().TotalNs(VnodeOp::kWrite));
+  // Both boundaries published histograms under their own names.
+  EXPECT_NE(registry.FindHistogram("trace.above.write.ns"), nullptr);
+  EXPECT_NE(registry.FindHistogram("trace.below.write.ns"), nullptr);
+}
+
+}  // namespace
+}  // namespace ficus::vfs
