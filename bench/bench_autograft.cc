@@ -29,10 +29,10 @@ int main() {
   for (int volumes : {1, 4, 16, 64}) {
     sim::Cluster cluster;
     sim::FicusHost* client = cluster.AddHost("client");
-    sim::FicusHost* server = cluster.AddHost("server", sim::HostConfig{
-                                                           .disk_blocks = 1 << 16,
-                                                           .inode_count = 1 << 14,
-                                                       });
+    sim::HostConfig server_config;
+    server_config.disk_blocks = 1 << 16;
+    server_config.inode_count = 1 << 14;
+    sim::FicusHost* server = cluster.AddHost("server", server_config);
     auto root_volume = cluster.CreateVolume({client, server});
     auto logical = cluster.MountEverywhere(client, *root_volume);
 

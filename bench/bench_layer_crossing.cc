@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -134,7 +135,14 @@ BENCHMARK(BM_OpenReadFicusStack);
 // attributed below i minus the time attributed below i-1.
 
 constexpr int kTraceBoundaries = 4;
-constexpr int kTraceIterations = 20000;
+
+// FICUS_BENCH_SMOKE=1 (CI) cuts the attribution passes to a correctness
+// check: same code paths and JSON shape, a fraction of the runtime.
+int TraceIterations() {
+  static const int iterations =
+      std::getenv("FICUS_BENCH_SMOKE") != nullptr ? 500 : 20000;
+  return iterations;
+}
 
 struct LayerOpCost {
   std::string layer;
@@ -162,7 +170,7 @@ std::vector<LayerOpCost> AttributeNullStack(MetricRegistry& registry) {
 
   vfs::OpContext ctx;
   std::vector<uint8_t> out;
-  for (int i = 0; i < kTraceIterations; ++i) {
+  for (int i = 0; i < TraceIterations(); ++i) {
     ctx.trace = NextTraceId();
     auto root = top->Root();
     auto dir = (*root)->Lookup("dir", ctx);
@@ -213,7 +221,7 @@ struct StackComparison {
 double TracedOpenReadMeanNs(vfs::Vfs* fs, std::string_view name,
                             MetricRegistry& registry) {
   vfs::TraceVfs traced(fs, name, &registry);
-  for (int i = 0; i < kTraceIterations / 10; ++i) {
+  for (int i = 0; i < TraceIterations() / 10; ++i) {
     auto contents = vfs::OpenReadClose(&traced, "dir/file");
     benchmark::DoNotOptimize(contents);
   }
@@ -224,7 +232,7 @@ double TracedOpenReadMeanNs(vfs::Vfs* fs, std::string_view name,
     calls += traced.sink().Calls(static_cast<vfs::VnodeOp>(i));
   }
   (void)calls;
-  return static_cast<double>(total) / (kTraceIterations / 10);
+  return static_cast<double>(total) / (TraceIterations() / 10);
 }
 
 StackComparison AttributeFicusStack(MetricRegistry& registry) {
@@ -251,7 +259,7 @@ StackComparison AttributeFicusStack(MetricRegistry& registry) {
 void EmitJson(const std::vector<LayerOpCost>& costs, const StackComparison& comparison,
               MetricRegistry& registry) {
   std::ostringstream json;
-  json << "{\"bench\":\"layer_crossing\",\"iterations\":" << kTraceIterations
+  json << "{\"bench\":\"layer_crossing\",\"iterations\":" << TraceIterations()
        << ",\"boundaries\":" << kTraceBoundaries << ",\"per_layer\":[";
   for (size_t i = 0; i < costs.size(); ++i) {
     const LayerOpCost& cost = costs[i];
@@ -277,7 +285,7 @@ void RunAttribution() {
   std::printf("\nPer-layer attribution (%d traced null boundaries over MemVfs,\n"
               "%d iterations; self = this boundary's cost alone; the bottom\n"
               "boundary's self time includes the MemVfs work):\n\n",
-              kTraceBoundaries, kTraceIterations);
+              kTraceBoundaries, TraceIterations());
   std::printf("%8s %10s %10s %12s %12s\n", "layer", "op", "calls", "mean ns", "self ns");
   for (const LayerOpCost& cost : costs) {
     std::printf("%8s %10s %10llu %12.1f %12.1f\n", cost.layer.c_str(), cost.op.c_str(),

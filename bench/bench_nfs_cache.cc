@@ -37,7 +37,7 @@ Result RunWithTtl(SimTime ttl) {
   nfs::NfsClient reader(&network, reader_host, server_host, &clock, reader_config);
   // The writer bypasses caches entirely (it represents "someone else").
   nfs::NfsClient writer(&network, writer_host, server_host, &clock,
-                        nfs::ClientConfig{.attr_cache_ttl = 0, .dnlc_ttl = 0});
+                        nfs::ClientConfig{.attr_cache_ttl = 0, .dnlc_ttl = 0, .retry = {}});
 
   const int kFiles = 16;
   for (int i = 0; i < kFiles; ++i) {

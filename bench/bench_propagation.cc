@@ -8,9 +8,11 @@
 // Sweeps burst size and propagation policy (eager after every update vs
 // delayed one pass after the burst) and reports transfers and bytes moved.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "src/sim/cluster.h"
 #include "src/vfs/path_ops.h"
@@ -68,10 +70,15 @@ int main() {
               "eager", "delayed", "delayed", "savings");
   std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "size", "sent", "pulls", "bytes",
               "pulls", "bytes", "");
+  // FICUS_BENCH_SMOKE=1 (CI) shrinks the sweep to a correctness check:
+  // same code paths, same JSON shape, a fraction of the runtime.
+  const bool smoke = std::getenv("FICUS_BENCH_SMOKE") != nullptr;
+  const std::vector<int> bursts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
   std::ostringstream json;
   json << "{\"bench\":\"propagation\",\"update_size\":1024,\"rows\":[";
   bool first = true;
-  for (int burst : {1, 2, 4, 8, 16, 32, 64}) {
+  for (int burst : bursts) {
     Run eager = RunBurst(burst, 1024, /*eager=*/true);
     Run delayed = RunBurst(burst, 1024, /*eager=*/false);
     double savings = eager.bytes == 0

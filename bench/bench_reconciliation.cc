@@ -28,12 +28,12 @@ void SweepDirectorySize() {
   for (int entries : {10, 100, 500, 1500}) {
     for (double divergence : {0.1, 0.5}) {
       sim::Cluster cluster;
-      sim::FicusHost* a = cluster.AddHost("a", sim::HostConfig{.disk_blocks = 1 << 16,
-                                                               .inode_count = 1 << 15,
-                                                               .cache_blocks = 1 << 13});
-      sim::FicusHost* b = cluster.AddHost("b", sim::HostConfig{.disk_blocks = 1 << 16,
-                                                               .inode_count = 1 << 15,
-                                                               .cache_blocks = 1 << 13});
+      sim::HostConfig host_config;
+      host_config.disk_blocks = 1 << 16;
+      host_config.inode_count = 1 << 15;
+      host_config.cache_blocks = 1 << 13;
+      sim::FicusHost* a = cluster.AddHost("a", host_config);
+      sim::FicusHost* b = cluster.AddHost("b", host_config);
       auto volume = cluster.CreateVolume({a, b});
       auto logical = cluster.MountEverywhere(a, *volume);
       int shared = static_cast<int>(entries * (1.0 - divergence));
@@ -66,12 +66,12 @@ void SweepDirectorySize() {
 void NonBlockingSubtree() {
   std::printf("R2 — client activity during subtree reconciliation\n");
   sim::Cluster cluster;
-  sim::FicusHost* a = cluster.AddHost("a", sim::HostConfig{.disk_blocks = 1 << 16,
-                                                           .inode_count = 1 << 15,
-                                                           .cache_blocks = 1 << 13});
-  sim::FicusHost* b = cluster.AddHost("b", sim::HostConfig{.disk_blocks = 1 << 16,
-                                                           .inode_count = 1 << 15,
-                                                           .cache_blocks = 1 << 13});
+  sim::HostConfig host_config;
+  host_config.disk_blocks = 1 << 16;
+  host_config.inode_count = 1 << 15;
+  host_config.cache_blocks = 1 << 13;
+  sim::FicusHost* a = cluster.AddHost("a", host_config);
+  sim::FicusHost* b = cluster.AddHost("b", host_config);
   auto volume = cluster.CreateVolume({a, b});
   auto la = cluster.MountEverywhere(a, *volume);
   auto lb = cluster.MountEverywhere(b, *volume);

@@ -7,8 +7,8 @@
 // The cluster starts with three hosts, each storing a replica of one
 // volume. Commands are deliberately unix-ish. Also accepts a script on
 // stdin (exits on EOF), so e.g.:
-//   printf 'write f hello\npartition h0 / h1 h2\nwrite f bye\nheal\nreconcile\nstat f\n' \
-//     | ./examples/ficus_shell
+//   printf 'write f hello\npartition h0 / h1 h2\nwrite f bye\nheal\nreconcile\nstat f\n'
+// piped into ./examples/ficus_shell
 #include <cstdio>
 #include <iostream>
 #include <sstream>

@@ -1,0 +1,121 @@
+#include "src/net/fault.h"
+
+#include <algorithm>
+
+namespace ficus::net {
+
+namespace {
+std::pair<HostId, HostId> OrderedPair(HostId a, HostId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+FaultPlan::FaultPlan(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultPlan::SetLinkFaults(HostId a, HostId b, const LinkFaults& faults) {
+  links_[OrderedPair(a, b)] = faults;
+}
+
+const LinkFaults& FaultPlan::LinkFor(HostId a, HostId b) const {
+  auto it = links_.find(OrderedPair(a, b));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void FaultPlan::AddFlap(HostId a, HostId b, SimTime first_down, SimTime down_for,
+                        SimTime period) {
+  auto [lo, hi] = OrderedPair(a, b);
+  flaps_.push_back(Flap{lo, hi, first_down, down_for, period});
+}
+
+void FaultPlan::SchedulePartition(SimTime at, std::vector<std::vector<HostId>> groups) {
+  PartitionEvent event;
+  event.at = at;
+  event.heal = false;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (HostId h : groups[g]) {
+      event.group_of[h] = g;
+    }
+  }
+  partition_events_.push_back(std::move(event));
+  std::stable_sort(partition_events_.begin(), partition_events_.end(),
+                   [](const PartitionEvent& x, const PartitionEvent& y) { return x.at < y.at; });
+}
+
+void FaultPlan::ScheduleHeal(SimTime at) {
+  PartitionEvent event;
+  event.at = at;
+  event.heal = true;
+  partition_events_.push_back(std::move(event));
+  std::stable_sort(partition_events_.begin(), partition_events_.end(),
+                   [](const PartitionEvent& x, const PartitionEvent& y) { return x.at < y.at; });
+}
+
+bool FaultPlan::ScheduledDown(HostId a, HostId b, SimTime now) const {
+  if (a == b) {
+    return false;  // loopback never faulted
+  }
+  auto [lo, hi] = OrderedPair(a, b);
+  for (const Flap& flap : flaps_) {
+    bool matches = (flap.a == 0 || flap.a == lo) && (flap.b == 0 || flap.b == hi);
+    if (!matches || now < flap.first_down) {
+      continue;
+    }
+    SimTime phase = now - flap.first_down;
+    if (flap.period != 0) {
+      phase %= flap.period;
+    }
+    if (phase < flap.down_for) {
+      return true;
+    }
+  }
+  // The partition state is whatever the last event at or before `now` says.
+  const PartitionEvent* current = nullptr;
+  for (const PartitionEvent& event : partition_events_) {
+    if (event.at > now) {
+      break;
+    }
+    current = &event;
+  }
+  if (current == nullptr || current->heal) {
+    return false;
+  }
+  auto ga = current->group_of.find(a);
+  auto gb = current->group_of.find(b);
+  bool same_group =
+      ga != current->group_of.end() && gb != current->group_of.end() && ga->second == gb->second;
+  return !same_group;
+}
+
+FaultPlan FaultPlan::Lossy(uint64_t seed, double drop) {
+  FaultPlan plan(seed);
+  plan.default_link().drop = drop;
+  return plan;
+}
+
+FaultPlan FaultPlan::HighLatency(uint64_t seed, SimTime base, SimTime jitter) {
+  FaultPlan plan(seed);
+  plan.default_link().latency = LatencyModel{base, jitter};
+  return plan;
+}
+
+FaultPlan FaultPlan::Flapping(uint64_t seed, SimTime period, SimTime down_for) {
+  FaultPlan plan(seed);
+  plan.default_link().drop = 0.05;
+  plan.AddFlap(0, 0, /*first_down=*/period / 2, down_for, period);
+  return plan;
+}
+
+FaultPlan FaultPlan::Named(const std::string& name, uint64_t seed) {
+  if (name == "lossy" || name == "Lossy") {
+    return Lossy(seed);
+  }
+  if (name == "high-latency" || name == "HighLatency") {
+    return HighLatency(seed);
+  }
+  if (name == "flapping" || name == "Flapping") {
+    return Flapping(seed);
+  }
+  return FaultPlan(seed);
+}
+
+}  // namespace ficus::net

@@ -1,0 +1,128 @@
+// Fault model for the simulated network. The paper's premise is that
+// "partial operation is the normal, not exceptional, status" (section 1),
+// so the network the replication machinery is tested against must be able
+// to misbehave: lose messages, delay them, duplicate and reorder
+// datagrams, and take links up and down on a script.
+//
+// A FaultPlan collects all of that declaratively:
+//   * per-link LinkFaults (drop probability, latency distribution,
+//     duplication and reordering probabilities), with a default applied
+//     to every link that has no explicit override;
+//   * a scripted schedule of partitions/heals and per-link flaps, judged
+//     purely as a function of SimClock time so the same plan replayed
+//     against the same workload yields byte-identical behaviour;
+//   * one plan-level seeded Rng (src/common/rng.h) that every
+//     probabilistic decision draws from, so a failing CI run is
+//     reproducible from the logged seed alone.
+//
+// The Network consults the installed plan on every Rpc/Multicast; without
+// a plan it behaves exactly as before (perfect, instant-ish delivery).
+#ifndef FICUS_SRC_NET_FAULT_H_
+#define FICUS_SRC_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace ficus::net {
+
+using HostId = uint32_t;
+
+// Message latency: base plus uniform jitter in [0, jitter].
+struct LatencyModel {
+  SimTime base = kMillisecond;
+  SimTime jitter = 0;
+};
+
+// Fault characteristics of one (symmetric) link.
+struct LinkFaults {
+  // Probability each message on the link is lost. For synchronous RPC the
+  // request and the response are rolled independently — a lost response
+  // means the server executed the call but the client times out, the
+  // classic at-least-once hazard.
+  double drop = 0.0;
+  // Probability a datagram is delivered twice (datagrams only).
+  double duplicate = 0.0;
+  // Probability a datagram is held back and delivered after later traffic
+  // to the same destination (datagrams only).
+  double reorder = 0.0;
+  LatencyModel latency;
+};
+
+class FaultPlan {
+ public:
+  // All randomness in the plan flows from this one seed.
+  explicit FaultPlan(uint64_t seed = 1);
+
+  uint64_t seed() const { return seed_; }
+  Rng& rng() { return rng_; }
+
+  // --- per-link fault configuration ---
+  // The faults applied to links without an explicit override.
+  LinkFaults& default_link() { return default_link_; }
+  const LinkFaults& default_link() const { return default_link_; }
+  void SetLinkFaults(HostId a, HostId b, const LinkFaults& faults);
+  // The faults governing messages between `a` and `b` (symmetric).
+  const LinkFaults& LinkFor(HostId a, HostId b) const;
+
+  // --- scripted connectivity schedule ---
+  // The link between `a` and `b` goes down at `first_down` for `down_for`
+  // microseconds; with a nonzero `period` the outage repeats every period
+  // (a flapping link). Host id 0 is a wildcard matching every host, so
+  // AddFlap(0, 0, ...) flaps the whole network.
+  void AddFlap(HostId a, HostId b, SimTime first_down, SimTime down_for,
+               SimTime period = 0);
+  // From `at` onward (until the next scheduled event) hosts in different
+  // groups cannot communicate; hosts absent from every group are isolated.
+  void SchedulePartition(SimTime at, std::vector<std::vector<HostId>> groups);
+  // From `at` onward the scripted partition (if any) is lifted.
+  void ScheduleHeal(SimTime at);
+
+  // True when the schedule (flaps or partitions) severs a<->b at `now`.
+  bool ScheduledDown(HostId a, HostId b, SimTime now) const;
+
+  // --- canned plans (the CI fault tiers) ---
+  // 20% message loss on every link.
+  static FaultPlan Lossy(uint64_t seed, double drop = 0.2);
+  // 25ms base latency with 25ms jitter on every link.
+  static FaultPlan HighLatency(uint64_t seed, SimTime base = 25 * kMillisecond,
+                               SimTime jitter = 25 * kMillisecond);
+  // Every link flaps: down `down_for` out of every `period`, plus 5%
+  // residual message loss while up.
+  static FaultPlan Flapping(uint64_t seed, SimTime period = 500 * kMillisecond,
+                            SimTime down_for = 100 * kMillisecond);
+  // Resolves a canned plan by name ("lossy", "high-latency", "flapping");
+  // unknown names yield a plan with no faults.
+  static FaultPlan Named(const std::string& name, uint64_t seed);
+
+ private:
+  struct Flap {
+    HostId a;  // 0 = any host
+    HostId b;
+    SimTime first_down;
+    SimTime down_for;
+    SimTime period;  // 0 = one-shot outage
+  };
+  struct PartitionEvent {
+    SimTime at;
+    // Empty = heal. Otherwise group index per host; absent hosts isolated.
+    std::map<HostId, size_t> group_of;
+    bool heal;
+  };
+
+  uint64_t seed_;
+  Rng rng_;
+  LinkFaults default_link_;
+  std::map<std::pair<HostId, HostId>, LinkFaults> links_;
+  std::vector<Flap> flaps_;
+  std::vector<PartitionEvent> partition_events_;  // sorted by `at`
+};
+
+}  // namespace ficus::net
+
+#endif  // FICUS_SRC_NET_FAULT_H_

@@ -20,6 +20,12 @@ Network::Network(SimClock* clock, MetricRegistry* metrics)
   stats_.datagrams_sent = registry_->counter("net.datagrams_sent");
   stats_.datagrams_dropped = registry_->counter("net.datagrams_dropped");
   stats_.datagram_bytes = registry_->counter("net.datagram_bytes");
+  stats_.fault_rpc_request_drops = registry_->counter("net.faults.rpc_request_drops");
+  stats_.fault_rpc_response_drops = registry_->counter("net.faults.rpc_response_drops");
+  stats_.fault_datagram_drops = registry_->counter("net.faults.datagram_drops");
+  stats_.fault_datagram_dups = registry_->counter("net.faults.datagram_dups");
+  stats_.fault_datagram_reorders = registry_->counter("net.faults.datagram_reorders");
+  stats_.fault_scheduled_blocks = registry_->counter("net.faults.scheduled_blocks");
 }
 
 NetworkStats Network::stats() const {
@@ -30,6 +36,12 @@ NetworkStats Network::stats() const {
   out.datagrams_sent = stats_.datagrams_sent->value();
   out.datagrams_dropped = stats_.datagrams_dropped->value();
   out.datagram_bytes = stats_.datagram_bytes->value();
+  out.fault_rpc_request_drops = stats_.fault_rpc_request_drops->value();
+  out.fault_rpc_response_drops = stats_.fault_rpc_response_drops->value();
+  out.fault_datagram_drops = stats_.fault_datagram_drops->value();
+  out.fault_datagram_dups = stats_.fault_datagram_dups->value();
+  out.fault_datagram_reorders = stats_.fault_datagram_reorders->value();
+  out.fault_scheduled_blocks = stats_.fault_scheduled_blocks->value();
   return out;
 }
 
@@ -40,7 +52,20 @@ void Network::ResetStats() {
   stats_.datagrams_sent->Reset();
   stats_.datagrams_dropped->Reset();
   stats_.datagram_bytes->Reset();
+  stats_.fault_rpc_request_drops->Reset();
+  stats_.fault_rpc_response_drops->Reset();
+  stats_.fault_datagram_drops->Reset();
+  stats_.fault_datagram_dups->Reset();
+  stats_.fault_datagram_reorders->Reset();
+  stats_.fault_scheduled_blocks->Reset();
 }
+
+FaultPlan& Network::InstallFaultPlan(FaultPlan plan) {
+  faults_ = std::make_unique<FaultPlan>(std::move(plan));
+  return *faults_;
+}
+
+void Network::ClearFaultPlan() { faults_.reset(); }
 
 HostId Network::AddHost(const std::string& name) {
   HostId id = next_id_++;
@@ -111,6 +136,10 @@ bool Network::HostUp(HostId host) const {
   return it != hosts_.end() && it->second.up;
 }
 
+bool Network::ScheduledDown(HostId a, HostId b) const {
+  return faults_ != nullptr && faults_->ScheduledDown(a, b, Now());
+}
+
 bool Network::Reachable(HostId from, HostId to) const {
   if (!HostUp(from) || !HostUp(to)) {
     return false;
@@ -118,12 +147,31 @@ bool Network::Reachable(HostId from, HostId to) const {
   if (from == to) {
     return true;
   }
+  if (ScheduledDown(from, to)) {
+    return false;
+  }
   return severed_.count(OrderedPair(from, to)) == 0;
 }
 
+SimTime Network::SampleLatency(HostId a, HostId b) {
+  if (faults_ == nullptr) {
+    return rpc_latency_;
+  }
+  const LatencyModel& latency = faults_->LinkFor(a, b).latency;
+  SimTime sample = latency.base;
+  if (latency.jitter != 0) {
+    sample += faults_->rng().NextBelow(latency.jitter + 1);
+  }
+  return sample;
+}
+
 StatusOr<Payload> Network::Rpc(HostId from, HostId to, const std::string& service,
-                               const Payload& request) {
+                               const Payload& request, SimTime timeout) {
   if (!Reachable(from, to)) {
+    if (HostUp(from) && HostUp(to) && severed_.count(OrderedPair(from, to)) == 0 &&
+        ScheduledDown(from, to)) {
+      stats_.fault_scheduled_blocks->Increment();
+    }
     stats_.rpcs_failed->Increment();
     return UnreachableError("no route from " + HostName(from) + " to " + HostName(to));
   }
@@ -137,16 +185,58 @@ StatusOr<Payload> Network::Rpc(HostId from, HostId to, const std::string& servic
     stats_.rpcs_failed->Increment();
     return NotFoundError("service not registered: " + service);
   }
+  const bool remote = from != to;
+  const LinkFaults* faults =
+      (faults_ != nullptr && remote) ? &faults_->LinkFor(from, to) : nullptr;
+  // The caller's patience: how long it waits before declaring a lost
+  // message a timeout.
+  auto wait_out_timeout = [&]() {
+    if (clock_ != nullptr) {
+      clock_->Advance(timeout != 0 ? timeout : SampleLatency(from, to));
+    }
+  };
+  if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+    stats_.fault_rpc_request_drops->Increment();
+    stats_.rpcs_failed->Increment();
+    wait_out_timeout();
+    return TimedOutError("rpc request to " + HostName(to) + " lost (" + service + ")");
+  }
   stats_.rpcs_sent->Increment();
   stats_.rpc_bytes->Add(request.size());
-  if (clock_ != nullptr && from != to) {
-    clock_->Advance(rpc_latency_);
+  if (clock_ != nullptr && remote) {
+    clock_->Advance(SampleLatency(from, to));
   }
   StatusOr<Payload> response = handler->second(from, request);
+  if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+    // The handler executed but the reply never arrived: the at-least-once
+    // hazard every NFS retry loop must tolerate.
+    stats_.fault_rpc_response_drops->Increment();
+    stats_.rpcs_failed->Increment();
+    wait_out_timeout();
+    return TimedOutError("rpc response from " + HostName(to) + " lost (" + service + ")");
+  }
   if (response.ok()) {
     stats_.rpc_bytes->Add(response.value().size());
   }
   return response;
+}
+
+bool Network::DeliverDatagram(HostId from, HostId to, const std::string& channel,
+                              const Payload& payload) {
+  auto it = hosts_.find(to);
+  if (it == hosts_.end()) {
+    stats_.datagrams_dropped->Increment();
+    return false;
+  }
+  auto handler = it->second.port.datagram_channels_.find(channel);
+  if (handler == it->second.port.datagram_channels_.end()) {
+    stats_.datagrams_dropped->Increment();
+    return false;
+  }
+  stats_.datagrams_sent->Increment();
+  stats_.datagram_bytes->Add(payload.size());
+  handler->second(from, payload);
+  return true;
 }
 
 size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
@@ -160,22 +250,56 @@ size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
       stats_.datagrams_dropped->Increment();
       continue;
     }
-    auto it = hosts_.find(to);
-    if (it == hosts_.end()) {
-      stats_.datagrams_dropped->Increment();
+    const LinkFaults* faults = faults_ != nullptr ? &faults_->LinkFor(from, to) : nullptr;
+    if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+      stats_.fault_datagram_drops->Increment();
       continue;
     }
-    auto handler = it->second.port.datagram_channels_.find(channel);
-    if (handler == it->second.port.datagram_channels_.end()) {
-      stats_.datagrams_dropped->Increment();
+    if (faults != nullptr && faults_->rng().NextBool(faults->reorder)) {
+      // Held back until later traffic reaches this destination (or an
+      // explicit flush) — delivered out of order, not lost.
+      stats_.fault_datagram_reorders->Increment();
+      deferred_.push_back(DeferredDatagram{from, to, channel, payload});
       continue;
     }
-    stats_.datagrams_sent->Increment();
-    stats_.datagram_bytes->Add(payload.size());
-    handler->second(from, payload);
-    ++delivered;
+    if (DeliverDatagram(from, to, channel, payload)) {
+      ++delivered;
+    }
+    if (faults != nullptr && faults_->rng().NextBool(faults->duplicate)) {
+      stats_.fault_datagram_dups->Increment();
+      DeliverDatagram(from, to, channel, payload);
+    }
+    // The new datagram has arrived; anything deferred for this destination
+    // now lands behind it, completing the reorder.
+    delivered += FlushDeferredFor(to);
   }
   return delivered;
 }
+
+size_t Network::FlushDeferredFor(HostId to) {
+  size_t delivered = 0;
+  std::vector<DeferredDatagram> keep;
+  std::vector<DeferredDatagram> flush;
+  for (auto& d : deferred_) {
+    if (to == kInvalidHost || d.to == to) {
+      flush.push_back(std::move(d));
+    } else {
+      keep.push_back(std::move(d));
+    }
+  }
+  deferred_ = std::move(keep);
+  for (const auto& d : flush) {
+    if (!Reachable(d.from, d.to)) {
+      stats_.datagrams_dropped->Increment();
+      continue;
+    }
+    if (DeliverDatagram(d.from, d.to, d.channel, d.payload)) {
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+size_t Network::FlushDeferredDatagrams() { return FlushDeferredFor(kInvalidHost); }
 
 }  // namespace ficus::net

@@ -6,12 +6,16 @@
 //   * best-effort multicast datagrams (update notifications, section 3.2):
 //     delivered immediately to reachable hosts, silently dropped for
 //     unreachable ones, never retried.
+// An installed FaultPlan (src/net/fault.h) layers realistic misbehaviour
+// on top: message loss, latency jitter, datagram duplication/reordering,
+// and scripted flaps/partitions — all seeded and deterministic.
 #ifndef FICUS_SRC_NET_NETWORK_H_
 #define FICUS_SRC_NET_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -19,10 +23,10 @@
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/net/fault.h"
 
 namespace ficus::net {
 
-using HostId = uint32_t;
 constexpr HostId kInvalidHost = 0;
 
 // Opaque message payload.
@@ -37,6 +41,13 @@ struct NetworkStats {
   uint64_t datagrams_sent = 0;    // per-destination count
   uint64_t datagrams_dropped = 0; // destinations unreachable at send time
   uint64_t datagram_bytes = 0;
+  // Injected-fault effects (`net.faults.*`), all zero without a FaultPlan.
+  uint64_t fault_rpc_request_drops = 0;   // request lost; handler never ran
+  uint64_t fault_rpc_response_drops = 0;  // response lost; handler DID run
+  uint64_t fault_datagram_drops = 0;
+  uint64_t fault_datagram_dups = 0;
+  uint64_t fault_datagram_reorders = 0;
+  uint64_t fault_scheduled_blocks = 0;    // sends blocked by the fault schedule
 };
 
 // A host's attachment to the network: services it exposes.
@@ -90,24 +101,47 @@ class Network {
 
   bool Reachable(HostId from, HostId to) const;
 
+  // --- Fault injection ---
+  // Installs `plan` (replacing any previous one) and returns it for
+  // further scripting; the network consults it on every send. Without a
+  // plan, delivery is perfect: fixed latency, no loss.
+  FaultPlan& InstallFaultPlan(FaultPlan plan);
+  void ClearFaultPlan();
+  FaultPlan* fault_plan() { return faults_.get(); }
+
   // --- Messaging ---
   // Synchronous RPC: runs the destination's handler inline. Fails with
   // kUnreachable when partitioned or either host is down, kNotFound when
-  // the service is not registered. Advances the simulated clock by
-  // rpc_latency per call when a clock is attached.
+  // the service is not registered. Advances the simulated clock by the
+  // link latency per call when a clock is attached. Under an installed
+  // FaultPlan a lost request or response surfaces as kTimedOut after
+  // `timeout` simulated microseconds (the caller's patience; 0 waits one
+  // link latency) — a lost *response* means the handler already ran.
   StatusOr<Payload> Rpc(HostId from, HostId to, const std::string& service,
-                        const Payload& request);
+                        const Payload& request, SimTime timeout = 0);
 
   // Best-effort multicast: delivers to each reachable destination's channel
   // handler, drops the rest. Self-delivery is skipped. Returns the number
-  // of hosts actually reached.
+  // of hosts actually reached. An installed FaultPlan may additionally
+  // drop, duplicate, or reorder deliveries (a reordered datagram is held
+  // back until later traffic reaches the same destination, or until
+  // FlushDeferredDatagrams()).
   size_t Multicast(HostId from, const std::vector<HostId>& destinations,
                    const std::string& channel, const Payload& payload);
+
+  // Delivers every datagram held back by fault reordering (subject to
+  // current reachability). Returns the number delivered. The simulation
+  // pumps call this so reordered notifications are late, not lost.
+  size_t FlushDeferredDatagrams();
 
   NetworkStats stats() const;
   void ResetStats();
 
   MetricRegistry* metrics() { return registry_; }
+
+  // The clock messages are timed against; null in clockless tests. Exposed
+  // so transports can model waiting (retry backoff) on the same timeline.
+  SimClock* sim_clock() { return clock_; }
 
   void set_rpc_latency(SimTime latency) { rpc_latency_ = latency; }
 
@@ -126,7 +160,33 @@ class Network {
     Counter* datagrams_sent;
     Counter* datagrams_dropped;
     Counter* datagram_bytes;
+    Counter* fault_rpc_request_drops;
+    Counter* fault_rpc_response_drops;
+    Counter* fault_datagram_drops;
+    Counter* fault_datagram_dups;
+    Counter* fault_datagram_reorders;
+    Counter* fault_scheduled_blocks;
   };
+
+  // A datagram held back by fault reordering.
+  struct DeferredDatagram {
+    HostId from;
+    HostId to;
+    std::string channel;
+    Payload payload;
+  };
+
+  SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+  // The fault schedule's verdict on a<->b right now.
+  bool ScheduledDown(HostId a, HostId b) const;
+  // Samples the one-way latency for a message on a<->b.
+  SimTime SampleLatency(HostId a, HostId b);
+  // Hands `payload` to `to`'s handler for `channel` if one is registered.
+  bool DeliverDatagram(HostId from, HostId to, const std::string& channel,
+                       const Payload& payload);
+  // Delivers deferred datagrams bound for `to` (after newer traffic — the
+  // reorder). `to` = kInvalidHost flushes every destination.
+  size_t FlushDeferredFor(HostId to);
 
   SimClock* clock_;
   std::map<HostId, Host> hosts_;
@@ -137,6 +197,8 @@ class Network {
   MetricRegistry* registry_;
   StatCells stats_;
   SimTime rpc_latency_ = kMillisecond;
+  std::unique_ptr<FaultPlan> faults_;
+  std::vector<DeferredDatagram> deferred_;
 };
 
 }  // namespace ficus::net

@@ -1,5 +1,7 @@
 #include "src/nfs/client.h"
 
+#include <algorithm>
+
 namespace ficus::nfs {
 
 using net::Payload;
@@ -19,7 +21,12 @@ NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId 
       clock_(clock),
       config_(config),
       service_(std::move(service)),
-      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+      registry_(metrics != nullptr ? metrics : &owned_registry_),
+      // Deterministic per-endpoint-pair jitter stream: the plan-level seed
+      // mixed with both host ids, so two clients never share a stream but
+      // a rerun with the same seed replays exactly.
+      retry_rng_(config.retry.rng_seed ^
+                 (0x9E3779B97F4A7C15ull * (uint64_t{local_host} << 32 | server_host))) {
   stats_.rpcs = registry_->counter("nfs.client.rpcs");
   stats_.attr_cache_hits = registry_->counter("nfs.client.attr_cache_hits");
   stats_.attr_cache_misses = registry_->counter("nfs.client.attr_cache_misses");
@@ -27,6 +34,11 @@ NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId 
   stats_.dnlc_misses = registry_->counter("nfs.client.dnlc_misses");
   stats_.opens_dropped = registry_->counter("nfs.client.opens_dropped");
   stats_.closes_dropped = registry_->counter("nfs.client.closes_dropped");
+  stats_.retry_attempts = registry_->counter("nfs.retries.attempts");
+  stats_.retry_recovered = registry_->counter("nfs.retries.recovered");
+  stats_.retry_exhausted = registry_->counter("nfs.retries.exhausted");
+  stats_.retry_deadline_aborts = registry_->counter("nfs.retries.deadline_aborts");
+  stats_.retry_backoff_us = registry_->counter("nfs.retries.backoff_us");
 }
 
 ClientStats NfsClient::stats() const {
@@ -38,6 +50,11 @@ ClientStats NfsClient::stats() const {
   out.dnlc_misses = stats_.dnlc_misses->value();
   out.opens_dropped = stats_.opens_dropped->value();
   out.closes_dropped = stats_.closes_dropped->value();
+  out.retry_attempts = stats_.retry_attempts->value();
+  out.retry_recovered = stats_.retry_recovered->value();
+  out.retry_exhausted = stats_.retry_exhausted->value();
+  out.retry_deadline_aborts = stats_.retry_deadline_aborts->value();
+  out.retry_backoff_us = stats_.retry_backoff_us->value();
   return out;
 }
 
@@ -49,18 +66,58 @@ void NfsClient::ResetStats() {
   stats_.dnlc_misses->Reset();
   stats_.opens_dropped->Reset();
   stats_.closes_dropped->Reset();
+  stats_.retry_attempts->Reset();
+  stats_.retry_recovered->Reset();
+  stats_.retry_exhausted->Reset();
+  stats_.retry_deadline_aborts->Reset();
+  stats_.retry_backoff_us->Reset();
 }
 
-StatusOr<Payload> NfsClient::Call(const Payload& request) {
-  stats_.rpcs->Increment();
-  FICUS_ASSIGN_OR_RETURN(Payload response,
-                         network_->Rpc(local_host_, server_host_, service_, request));
-  ByteReader r(response);
-  Status status = ReadWireStatus(r);
-  if (!status.ok()) {
-    return status;
+StatusOr<Payload> NfsClient::Call(const Payload& request, const OpContext& ctx) {
+  const RetryPolicy& retry = config_.retry;
+  SimTime backoff = retry.backoff_base;
+  for (uint32_t attempt = 0;; ++attempt) {
+    stats_.rpcs->Increment();
+    StatusOr<Payload> result =
+        network_->Rpc(local_host_, server_host_, service_, request, retry.rpc_timeout);
+    if (result.ok()) {
+      if (attempt > 0) {
+        stats_.retry_recovered->Increment();
+      }
+      ByteReader r(result.value());
+      // A wire-level error (including the server refusing expired work
+      // with kTimedOut) is the server's answer, not a lost message: never
+      // retried.
+      FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+      return result;
+    }
+    const Status& status = result.status();
+    bool retryable = status.code() == ErrorCode::kTimedOut ||
+                     (retry.retry_unreachable && status.code() == ErrorCode::kUnreachable);
+    if (!retryable) {
+      return status;
+    }
+    if (attempt >= retry.max_retries) {
+      stats_.retry_exhausted->Increment();
+      return status;
+    }
+    // Capped exponential backoff with equal jitter: uniform in [b/2, b].
+    SimTime cap = retry.backoff_cap != 0 ? retry.backoff_cap : backoff;
+    SimTime b = std::min(backoff, cap);
+    SimTime delay = b == 0 ? 0 : b / 2 + retry_rng_.NextBelow(b - b / 2 + 1);
+    if (ctx.HasDeadline() && ctx.clock->Now() + delay > ctx.deadline) {
+      // Sleeping would overrun the caller's deadline; give up now rather
+      // than burn the remaining budget waiting.
+      stats_.retry_deadline_aborts->Increment();
+      return TimedOutError("deadline would expire during retry backoff");
+    }
+    if (delay != 0 && network_->sim_clock() != nullptr) {
+      network_->sim_clock()->Advance(delay);
+    }
+    stats_.retry_backoff_us->Add(delay);
+    stats_.retry_attempts->Increment();
+    backoff = backoff == 0 ? 0 : std::min(backoff * 2, cap);
   }
-  return response;
 }
 
 void NfsClient::InvalidateCaches() {
@@ -168,7 +225,7 @@ StatusOr<VAttr> NfsVnode::GetAttr(const OpContext& ctx) {
     return cached;
   }
   Payload request = BeginRequest(NfsProc::kGetAttr, ctx, handle_);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   VAttr attr;
@@ -181,7 +238,7 @@ Status NfsVnode::SetAttr(const SetAttrRequest& request_attrs, const OpContext& c
   Payload request = BeginRequest(NfsProc::kSetAttr, ctx, handle_);
   ByteWriter w(request);
   PutSetAttr(w, request_attrs);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   VAttr attr;
@@ -198,7 +255,7 @@ StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const OpContext& ctx)
   Payload request = BeginRequest(NfsProc::kLookup, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
@@ -215,7 +272,7 @@ StatusOr<VnodePtr> NfsVnode::Create(std::string_view name, const VAttr& attr,
   ByteWriter w(request);
   w.PutString(name);
   PutVAttr(w, attr);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
@@ -231,7 +288,7 @@ Status NfsVnode::Remove(std::string_view name, const OpContext& ctx) {
   Payload request = BeginRequest(NfsProc::kRemove, ctx, handle_);
   ByteWriter w(request);
   w.PutString(name);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   client_->DropName(handle_, name);
@@ -245,7 +302,7 @@ StatusOr<VnodePtr> NfsVnode::Mkdir(std::string_view name, const VAttr& attr,
   ByteWriter w(request);
   w.PutString(name);
   PutVAttr(w, attr);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
@@ -264,7 +321,7 @@ Status NfsVnode::Rmdir(std::string_view name, const OpContext& ctx) {
   // Capture the dying directory's handle so its cached child names can
   // be purged too (they would otherwise ghost until their TTL).
   auto victim = client_->CachedName(handle_, name);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   client_->DropName(handle_, name);
@@ -285,7 +342,7 @@ Status NfsVnode::Link(std::string_view name, const VnodePtr& target, const OpCon
   ByteWriter w(request);
   w.PutString(name);
   w.PutU64(nfs_target->handle_);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   client_->DropAttr(handle_);
@@ -304,7 +361,7 @@ Status NfsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
   w.PutString(old_name);
   w.PutU64(nfs_parent->handle_);
   w.PutString(new_name);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   client_->DropName(handle_, old_name);
@@ -322,7 +379,7 @@ StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const OpContext& ctx) {
     Payload request = BeginRequest(NfsProc::kReaddir, ctx, handle_);
     ByteWriter w(request);
     w.PutU32(cookie);
-    FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+    FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
     ByteReader r(response);
     FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
     // Minimum wire entry: name (2) + fileid (8) + type (1) = 11 bytes.
@@ -351,7 +408,7 @@ StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view tar
   ByteWriter w(request);
   w.PutString(name);
   w.PutString(target);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(NfsHandle child, r.GetU64());
@@ -364,7 +421,7 @@ StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view tar
 
 StatusOr<std::string> NfsVnode::Readlink(const OpContext& ctx) {
   Payload request = BeginRequest(NfsProc::kReadlink, ctx, handle_);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   return r.GetString();
@@ -397,7 +454,7 @@ StatusOr<size_t> NfsVnode::Read(uint64_t offset, size_t length, std::vector<uint
   ByteWriter w(request);
   w.PutU64(offset);
   w.PutU32(static_cast<uint32_t>(length));
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(out, r.GetBytes());
@@ -410,7 +467,7 @@ StatusOr<size_t> NfsVnode::Write(uint64_t offset, const std::vector<uint8_t>& da
   ByteWriter w(request);
   w.PutU64(offset);
   w.PutBytes(data);
-  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request));
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
   ByteReader r(response);
   FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
   FICUS_ASSIGN_OR_RETURN(uint32_t written, r.GetU32());

@@ -20,6 +20,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
+#include "src/common/rng.h"
 #include "src/net/network.h"
 #include "src/nfs/protocol.h"
 #include "src/vfs/vnode.h"
@@ -36,11 +37,38 @@ struct ClientStats {
   uint64_t dnlc_misses = 0;
   uint64_t opens_dropped = 0;   // Open calls absorbed without an RPC
   uint64_t closes_dropped = 0;  // Close calls absorbed without an RPC
+  // Retry/backoff path (`nfs.retries.*`), nonzero only under faults.
+  uint64_t retry_attempts = 0;         // resends after a transport timeout
+  uint64_t retry_recovered = 0;        // calls that succeeded after >=1 retry
+  uint64_t retry_exhausted = 0;        // gave up after max_retries
+  uint64_t retry_deadline_aborts = 0;  // backoff cut short by the OpContext deadline
+  uint64_t retry_backoff_us = 0;       // total simulated time spent backing off
+};
+
+// How the client behaves when the transport times out (a message was lost
+// by an installed FaultPlan). Retries are capped exponential backoff with
+// equal jitter: the k-th delay is uniform in [b/2, b] for b =
+// min(backoff_base * 2^k, backoff_cap). Transport kTimedOut only — a
+// kTimedOut *wire status* (the server refusing expired work) is never
+// retried. Without a fault plan the transport never times out, so these
+// defaults change nothing for perfect networks.
+struct RetryPolicy {
+  SimTime rpc_timeout = 100 * kMillisecond;  // patience per attempt
+  uint32_t max_retries = 8;                  // resends after the first attempt
+  SimTime backoff_base = 10 * kMillisecond;
+  SimTime backoff_cap = kSecond;
+  // Also retry kUnreachable (useful under flapping links; off by default
+  // so a hard partition still fails fast).
+  bool retry_unreachable = false;
+  // Mixed with the host ids to seed the jitter Rng; keep in sync with the
+  // FaultPlan seed so a CI failure replays exactly.
+  uint64_t rng_seed = 0;
 };
 
 struct ClientConfig {
   SimTime attr_cache_ttl = 3 * kSecond;  // 0 disables
   SimTime dnlc_ttl = 3 * kSecond;        // 0 disables
+  RetryPolicy retry;
 };
 
 class NfsClient;
@@ -114,8 +142,12 @@ class NfsClient : public vfs::Vfs {
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
   // Sends one marshalled call; returns the response with its leading Status
-  // already checked.
-  StatusOr<net::Payload> Call(const net::Payload& request);
+  // already checked. Transport timeouts (lost messages under faults) are
+  // retried per config_.retry with capped exponential backoff + jitter,
+  // honoring ctx's deadline: the client never starts a backoff sleep that
+  // would overrun it. The first attempt is always sent — deadline
+  // enforcement on fresh work belongs to the server.
+  StatusOr<net::Payload> Call(const net::Payload& request, const vfs::OpContext& ctx = {});
 
   // --- cache plumbing ---
   StatusOr<vfs::VAttr> CachedAttr(NfsHandle handle);
@@ -144,6 +176,11 @@ class NfsClient : public vfs::Vfs {
     Counter* dnlc_misses;
     Counter* opens_dropped;
     Counter* closes_dropped;
+    Counter* retry_attempts;
+    Counter* retry_recovered;
+    Counter* retry_exhausted;
+    Counter* retry_deadline_aborts;
+    Counter* retry_backoff_us;
   };
 
   net::Network* network_;
@@ -155,6 +192,7 @@ class NfsClient : public vfs::Vfs {
   MetricRegistry owned_registry_;
   MetricRegistry* registry_;
   StatCells stats_;
+  Rng retry_rng_;
   NfsHandle root_handle_ = kInvalidHandle;
   std::map<NfsHandle, AttrEntry> attr_cache_;
   std::map<std::pair<NfsHandle, std::string>, NameEntry> dnlc_;

@@ -1,5 +1,7 @@
 #include "src/repl/propagation.h"
 
+#include <algorithm>
+
 namespace ficus::repl {
 
 PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver,
@@ -17,6 +19,8 @@ PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* reso
   stats_.conflicts_flagged = registry_->counter("repl.propagation.conflicts_flagged");
   stats_.skipped_current = registry_->counter("repl.propagation.skipped_current");
   stats_.deferred_unreachable = registry_->counter("repl.propagation.deferred_unreachable");
+  stats_.deferred_backoff = registry_->counter("repl.propagation.deferred_backoff");
+  stats_.retry_dropped = registry_->counter("repl.propagation.retry_dropped");
   stats_.bytes_pulled = registry_->counter("repl.propagation.bytes_pulled");
 }
 
@@ -28,6 +32,8 @@ PropagationStats PropagationDaemon::stats() const {
   out.conflicts_flagged = stats_.conflicts_flagged->value();
   out.skipped_current = stats_.skipped_current->value();
   out.deferred_unreachable = stats_.deferred_unreachable->value();
+  out.deferred_backoff = stats_.deferred_backoff->value();
+  out.retry_dropped = stats_.retry_dropped->value();
   out.bytes_pulled = stats_.bytes_pulled->value();
   return out;
 }
@@ -52,6 +58,14 @@ Status PropagationDaemon::RunOnce() {
         local_->NoteNewVersion(entry.id, entry.vv, entry.source);
         continue;
       }
+      auto retry = retries_.find(entry.id);
+      if (retry != retries_.end() && Now() < retry->second.next_attempt) {
+        // Still inside the backoff window from an earlier failed pull:
+        // age in the cache instead of hammering an unreachable source.
+        stats_.deferred_backoff->Increment();
+        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        continue;
+      }
       if (!local_->Stores(entry.id.file)) {
         unstored.push_back(entry);
         continue;
@@ -59,11 +73,29 @@ Status PropagationDaemon::RunOnce() {
       Status status = Propagate(entry);
       if (status.code() == ErrorCode::kUnreachable ||
           status.code() == ErrorCode::kTimedOut) {
+        RetryState& state = retries_[entry.id];
+        ++state.attempts;
+        if (config_.retry_budget != 0 && state.attempts >= config_.retry_budget) {
+          // Budget exhausted: stop carrying the notification. The
+          // periodic reconciliation protocol still converges the replica.
+          stats_.retry_dropped->Increment();
+          retries_.erase(entry.id);
+          continue;
+        }
+        if (config_.retry_backoff_base != 0) {
+          SimTime delay = config_.retry_backoff_base;
+          for (uint32_t k = 1; k < state.attempts && delay < config_.retry_backoff_cap;
+               ++k) {
+            delay *= 2;
+          }
+          state.next_attempt = Now() + std::min(delay, config_.retry_backoff_cap);
+        }
         stats_.deferred_unreachable->Increment();
         local_->NoteNewVersion(entry.id, entry.vv, entry.source);
         continue;
       }
       FICUS_RETURN_IF_ERROR(status);
+      retries_.erase(entry.id);
       progress = true;
     }
     if (!progress) {

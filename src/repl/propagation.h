@@ -15,6 +15,7 @@
 #define FICUS_SRC_REPL_PROPAGATION_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -35,6 +36,8 @@ struct PropagationStats {
   uint64_t conflicts_flagged = 0;
   uint64_t skipped_current = 0;      // local already up to date
   uint64_t deferred_unreachable = 0; // source unreachable; retried later
+  uint64_t deferred_backoff = 0;     // still inside a retry backoff window
+  uint64_t retry_dropped = 0;        // retry budget exhausted; entry dropped
   uint64_t bytes_pulled = 0;
 };
 
@@ -43,6 +46,16 @@ struct PropagationConfig {
   // Delaying "may reduce the overall propagation cost when updates are
   // bursty" (section 3.2).
   SimTime min_age = 0;
+  // When a pull fails because the source is unreachable or timed out, the
+  // entry ages with capped exponential backoff instead of being retried on
+  // every run: the k-th retry waits min(retry_backoff_base * 2^k,
+  // retry_backoff_cap). 0 keeps the legacy retry-every-run behaviour.
+  SimTime retry_backoff_base = 0;
+  SimTime retry_backoff_cap = 30 * kSecond;
+  // After this many failed pulls the entry is dropped — the periodic
+  // reconciliation protocol is the safety net that still converges the
+  // replica (section 3.3). 0 = never drop.
+  uint32_t retry_budget = 0;
 };
 
 class PropagationDaemon {
@@ -73,7 +86,15 @@ class PropagationDaemon {
     Counter* conflicts_flagged;
     Counter* skipped_current;
     Counter* deferred_unreachable;
+    Counter* deferred_backoff;
+    Counter* retry_dropped;
     Counter* bytes_pulled;
+  };
+
+  // Backoff bookkeeping for an entry whose source keeps failing.
+  struct RetryState {
+    uint32_t attempts = 0;
+    SimTime next_attempt = 0;
   };
 
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
@@ -89,6 +110,7 @@ class PropagationDaemon {
   MetricRegistry* registry_;
   StatCells stats_;
   TraceId last_trace_ = 0;
+  std::map<GlobalFileId, RetryState> retries_;
 };
 
 }  // namespace ficus::repl

@@ -135,6 +135,9 @@ Status Cluster::RunFor(SimTime duration, SimTime propagation_period,
 }
 
 Status Cluster::RunPropagationEverywhere() {
+  // Reordered notifications land before the daemons look at their caches —
+  // late, not lost.
+  network_.FlushDeferredDatagrams();
   for (auto& host : hosts_) {
     FICUS_RETURN_IF_ERROR(host->RunPropagation());
   }

@@ -61,6 +61,20 @@ class Cluster {
   void Partition(const std::vector<std::vector<FicusHost*>>& groups);
   void Heal() { network_.Heal(); }
 
+  // --- fault scripting ---
+  // Installs `plan` on the cluster network (replacing any previous one)
+  // and returns it for further scripting; tests and benches declare a
+  // whole failure scenario this way, e.g.
+  //   cluster.InstallFaultPlan(net::FaultPlan::Lossy(seed));
+  net::FaultPlan& InstallFaultPlan(net::FaultPlan plan) {
+    return network_.InstallFaultPlan(std::move(plan));
+  }
+  // Back to a perfect network (pending reordered datagrams are delivered).
+  void ClearFaults() {
+    network_.FlushDeferredDatagrams();
+    network_.ClearFaultPlan();
+  }
+
   // Advances simulated time.
   void Sleep(SimTime delta) { clock_.Advance(delta); }
 

@@ -254,8 +254,10 @@ StatusOr<repl::PhysicalApi*> FicusHost::ConnectRemote(const repl::VolumeId& volu
     nfs::ClientConfig client_config;
     client_config.attr_cache_ttl = config_.transport_attr_ttl;
     client_config.dnlc_ttl = config_.transport_dnlc_ttl;
-    auto client =
-        std::make_unique<nfs::NfsClient>(network_, id_, host, clock_, client_config);
+    client_config.retry = config_.transport_retry;
+    auto client = std::make_unique<nfs::NfsClient>(network_, id_, host, clock_,
+                                                   client_config, nfs::kNfsService,
+                                                   &metrics_);
     transport = transports_.emplace(host, std::move(client)).first;
   }
   FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr export_root, transport->second->Root());

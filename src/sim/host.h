@@ -47,6 +47,9 @@ struct HostConfig {
   // assumptions — the simulation gives the control knob real NFS lacked.
   SimTime transport_attr_ttl = 0;
   SimTime transport_dnlc_ttl = 0;
+  // Retry/backoff policy for the inter-host NFS transports (engaged only
+  // when a FaultPlan makes the network lose messages).
+  nfs::RetryPolicy transport_retry;
   repl::PropagationConfig propagation;
   // Options for every physical layer this host creates (attribute
   // placement, selective-replication policy, orphanage).
@@ -128,6 +131,9 @@ class FicusHost : public repl::ReplicaResolver,
   vol::GraftTable& grafts() { return grafts_; }
   repl::ConflictLog& conflict_log() { return conflict_log_; }
   nfs::NfsServer& nfs_server() { return *server_; }
+  // Host-level registry the inter-host NFS transports report into; the
+  // `nfs.client.*` / `nfs.retries.*` cells here aggregate over all peers.
+  MetricRegistry& metrics() { return metrics_; }
   std::optional<repl::PropagationStats> propagation_stats(const repl::VolumeId& volume) const;
   const repl::ReconcileStats* reconcile_stats(const repl::VolumeId& volume) const;
 
@@ -163,6 +169,7 @@ class FicusHost : public repl::ReplicaResolver,
   vol::VolumeRegistry registry_;
   vol::GraftTable grafts_;
   repl::ConflictLog conflict_log_;
+  MetricRegistry metrics_;
 
   std::map<std::pair<repl::VolumeId, repl::ReplicaId>, LocalReplica> locals_;
   std::unique_ptr<ExportVfs> export_vfs_;

@@ -1,0 +1,216 @@
+// Fault-injection layer: seeded drops, latency jitter, duplication,
+// reordering, and scripted flap/partition schedules — all deterministic
+// functions of (plan seed, SimClock time).
+#include "src/net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace ficus::net {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : network_(&clock_) {
+    a_ = network_.AddHost("a");
+    b_ = network_.AddHost("b");
+    c_ = network_.AddHost("c");
+    network_.port(b_)->RegisterRpcService(
+        "echo", [this](HostId, const Payload& request) -> StatusOr<Payload> {
+          ++handled_;
+          return request;
+        });
+  }
+
+  SimClock clock_;
+  Network network_;
+  HostId a_, b_, c_;
+  int handled_ = 0;
+};
+
+TEST_F(FaultTest, NoPlanMeansPerfectDelivery) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(network_.Rpc(a_, b_, "echo", {1}).ok());
+  }
+  EXPECT_EQ(network_.stats().fault_rpc_request_drops, 0u);
+  EXPECT_EQ(network_.stats().fault_rpc_response_drops, 0u);
+}
+
+TEST_F(FaultTest, CertainDropTimesOutWithoutRunningHandler) {
+  FaultPlan plan(7);
+  plan.default_link().drop = 1.0;
+  network_.InstallFaultPlan(std::move(plan));
+
+  SimTime before = clock_.Now();
+  auto response = network_.Rpc(a_, b_, "echo", {1}, /*timeout=*/50 * kMillisecond);
+  EXPECT_EQ(response.status().code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(handled_, 0);  // the request never arrived
+  // The caller waited out its full patience.
+  EXPECT_EQ(clock_.Now(), before + 50 * kMillisecond);
+  EXPECT_EQ(network_.stats().fault_rpc_request_drops, 1u);
+}
+
+TEST_F(FaultTest, LostResponseStillRanTheHandler) {
+  // Drop ~half the messages; with both directions rolled, some calls must
+  // lose only the response — handler ran, caller timed out.
+  FaultPlan plan(21);
+  plan.default_link().drop = 0.5;
+  network_.InstallFaultPlan(std::move(plan));
+
+  for (int i = 0; i < 200; ++i) {
+    (void)network_.Rpc(a_, b_, "echo", {1}, kMillisecond);
+  }
+  NetworkStats stats = network_.stats();
+  EXPECT_GT(stats.fault_rpc_request_drops, 0u);
+  EXPECT_GT(stats.fault_rpc_response_drops, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(handled_),
+            stats.rpcs_sent);  // every undropped request executed
+}
+
+TEST_F(FaultTest, SameSeedSameOutcome) {
+  auto run = [](uint64_t seed) {
+    SimClock clock;
+    Network network(&clock);
+    HostId a = network.AddHost("a");
+    HostId b = network.AddHost("b");
+    network.port(b)->RegisterRpcService(
+        "echo", [](HostId, const Payload& request) -> StatusOr<Payload> { return request; });
+    FaultPlan plan(seed);
+    plan.default_link().drop = 0.3;
+    plan.default_link().latency = LatencyModel{kMillisecond, 5 * kMillisecond};
+    network.InstallFaultPlan(std::move(plan));
+    uint64_t ok = 0;
+    for (int i = 0; i < 100; ++i) {
+      if (network.Rpc(a, b, "echo", {1}, kMillisecond).ok()) {
+        ++ok;
+      }
+    }
+    return std::make_pair(ok, clock.Now());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // and the seed actually matters
+}
+
+TEST_F(FaultTest, LatencyJitterStaysInBounds) {
+  FaultPlan plan(5);
+  plan.default_link().latency = LatencyModel{10 * kMillisecond, 4 * kMillisecond};
+  network_.InstallFaultPlan(std::move(plan));
+  for (int i = 0; i < 50; ++i) {
+    SimTime before = clock_.Now();
+    ASSERT_TRUE(network_.Rpc(a_, b_, "echo", {1}).ok());
+    SimTime elapsed = clock_.Now() - before;
+    EXPECT_GE(elapsed, 10 * kMillisecond);
+    EXPECT_LE(elapsed, 14 * kMillisecond);
+  }
+}
+
+TEST_F(FaultTest, PerLinkOverridesBeatTheDefault) {
+  network_.port(c_)->RegisterRpcService(
+      "echo", [](HostId, const Payload& request) -> StatusOr<Payload> { return request; });
+  FaultPlan plan(9);
+  plan.default_link().drop = 0.0;
+  LinkFaults broken;
+  broken.drop = 1.0;
+  plan.SetLinkFaults(a_, b_, broken);
+  network_.InstallFaultPlan(std::move(plan));
+
+  EXPECT_EQ(network_.Rpc(a_, b_, "echo", {1}).status().code(), ErrorCode::kTimedOut);
+  EXPECT_TRUE(network_.Rpc(a_, c_, "echo", {1}).ok());
+}
+
+TEST_F(FaultTest, DatagramDuplication) {
+  int got = 0;
+  network_.port(b_)->RegisterDatagramChannel("chan",
+                                             [&](HostId, const Payload&) { ++got; });
+  FaultPlan plan(3);
+  plan.default_link().duplicate = 1.0;
+  network_.InstallFaultPlan(std::move(plan));
+  network_.Multicast(a_, {b_}, "chan", {1});
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(network_.stats().fault_datagram_dups, 1u);
+}
+
+TEST_F(FaultTest, ReorderedDatagramArrivesAfterLaterTraffic) {
+  std::vector<uint8_t> order;
+  network_.port(b_)->RegisterDatagramChannel(
+      "chan", [&](HostId, const Payload& p) { order.push_back(p[0]); });
+  FaultPlan& plan = network_.InstallFaultPlan(FaultPlan(11));
+  plan.default_link().reorder = 1.0;
+  network_.Multicast(a_, {b_}, "chan", {1});  // held back
+  EXPECT_TRUE(order.empty());
+  plan.default_link().reorder = 0.0;
+  network_.Multicast(a_, {b_}, "chan", {2});  // arrives first, then flushes {1}
+  EXPECT_EQ(order, (std::vector<uint8_t>{2, 1}));
+  EXPECT_EQ(network_.stats().fault_datagram_reorders, 1u);
+}
+
+TEST_F(FaultTest, FlushDeliversDeferredDatagrams) {
+  int got = 0;
+  network_.port(b_)->RegisterDatagramChannel("chan",
+                                             [&](HostId, const Payload&) { ++got; });
+  FaultPlan plan(13);
+  plan.default_link().reorder = 1.0;
+  network_.InstallFaultPlan(std::move(plan));
+  network_.Multicast(a_, {b_}, "chan", {1});
+  network_.Multicast(a_, {b_}, "chan", {2});
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(network_.FlushDeferredDatagrams(), 2u);
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(FaultTest, FlapScheduleTogglesReachability) {
+  FaultPlan plan(1);
+  // Down during [100ms, 150ms) of every 200ms period.
+  plan.AddFlap(a_, b_, 100 * kMillisecond, 50 * kMillisecond, 200 * kMillisecond);
+  network_.InstallFaultPlan(std::move(plan));
+
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  clock_.AdvanceTo(120 * kMillisecond);
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+  EXPECT_TRUE(network_.Reachable(a_, c_));  // other links unaffected
+  clock_.AdvanceTo(160 * kMillisecond);
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  clock_.AdvanceTo(320 * kMillisecond);  // next period's outage
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+  // A blocked send is attributed to the schedule.
+  EXPECT_EQ(network_.Rpc(a_, b_, "echo", {1}).status().code(), ErrorCode::kUnreachable);
+  EXPECT_EQ(network_.stats().fault_scheduled_blocks, 1u);
+}
+
+TEST_F(FaultTest, WildcardFlapCoversEveryLink) {
+  FaultPlan plan(1);
+  plan.AddFlap(0, 0, kSecond, kSecond);  // one-shot whole-network outage
+  network_.InstallFaultPlan(std::move(plan));
+  clock_.AdvanceTo(1500 * kMillisecond);
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+  EXPECT_FALSE(network_.Reachable(b_, c_));
+  clock_.AdvanceTo(2500 * kMillisecond);
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+}
+
+TEST_F(FaultTest, ScheduledPartitionAndHeal) {
+  FaultPlan plan(1);
+  plan.SchedulePartition(kSecond, {{a_, c_}, {b_}});
+  plan.ScheduleHeal(3 * kSecond);
+  network_.InstallFaultPlan(std::move(plan));
+
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  clock_.AdvanceTo(2 * kSecond);
+  EXPECT_FALSE(network_.Reachable(a_, b_));
+  EXPECT_TRUE(network_.Reachable(a_, c_));
+  clock_.AdvanceTo(4 * kSecond);
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+}
+
+TEST_F(FaultTest, CannedPlansHaveTheirSignatureFaults) {
+  EXPECT_DOUBLE_EQ(FaultPlan::Lossy(1).default_link().drop, 0.2);
+  EXPECT_EQ(FaultPlan::HighLatency(1).default_link().latency.base, 25 * kMillisecond);
+  EXPECT_TRUE(FaultPlan::Flapping(1).ScheduledDown(1, 2, 300 * kMillisecond));
+  EXPECT_FALSE(FaultPlan::Flapping(1).ScheduledDown(1, 2, 400 * kMillisecond));
+  EXPECT_DOUBLE_EQ(FaultPlan::Named("lossy", 1).default_link().drop, 0.2);
+  EXPECT_DOUBLE_EQ(FaultPlan::Named("unknown", 1).default_link().drop, 0.0);
+}
+
+}  // namespace
+}  // namespace ficus::net

@@ -28,7 +28,7 @@ class NfsCacheTest : public ::testing::Test {
         std::make_unique<NfsClient>(&network_, client_host_, server_host_, &clock_, config);
     other_ =
         std::make_unique<NfsClient>(&network_, other_host_, server_host_, &clock_,
-                                    ClientConfig{.attr_cache_ttl = 0, .dnlc_ttl = 0});
+                                    ClientConfig{.attr_cache_ttl = 0, .dnlc_ttl = 0, .retry = {}});
   }
 
   SimClock clock_;

@@ -1,0 +1,175 @@
+// NFS client retry/backoff under an installed FaultPlan: lost messages
+// are resent with capped exponential backoff, deadlines cut retries
+// short, and a dead link eventually exhausts the budget.
+#include <gtest/gtest.h>
+
+#include "src/net/fault.h"
+#include "src/nfs/client.h"
+#include "src/nfs/server.h"
+#include "src/vfs/mem_vfs.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::nfs {
+namespace {
+
+using vfs::Credentials;
+
+class NfsRetryTest : public ::testing::Test {
+ protected:
+  NfsRetryTest() : network_(&clock_), exported_(&clock_) {
+    server_host_ = network_.AddHost("server");
+    client_host_ = network_.AddHost("client");
+    server_ = std::make_unique<NfsServer>(&network_, server_host_, &exported_);
+  }
+
+  NfsClient* MakeClient(RetryPolicy retry) {
+    ClientConfig config;
+    config.attr_cache_ttl = 0;  // every op hits the wire
+    config.dnlc_ttl = 0;
+    config.retry = retry;
+    client_ = std::make_unique<NfsClient>(&network_, client_host_, server_host_, &clock_,
+                                          config);
+    return client_.get();
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  vfs::MemVfs exported_;
+  net::HostId server_host_, client_host_;
+  std::unique_ptr<NfsServer> server_;
+  std::unique_ptr<NfsClient> client_;
+  Credentials cred_;
+};
+
+TEST_F(NfsRetryTest, RecoversFromLossyLink) {
+  // 40% loss per message; with 8 retries per call the workload must
+  // complete, and the retry counters must show the recovery work.
+  net::FaultPlan plan(77);
+  plan.default_link().drop = 0.4;
+  network_.InstallFaultPlan(std::move(plan));
+  RetryPolicy retry;
+  retry.rng_seed = 77;
+  NfsClient* client = MakeClient(retry);
+
+  ASSERT_TRUE(vfs::WriteFileAt(client, "f", "survived").ok());
+  auto read_back = vfs::ReadFileAt(client, "f");
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), "survived");
+
+  ClientStats stats = client->stats();
+  EXPECT_GT(stats.retry_attempts, 0u);
+  EXPECT_GT(stats.retry_recovered, 0u);
+  EXPECT_GT(stats.retry_backoff_us, 0u);
+  EXPECT_EQ(stats.retry_exhausted, 0u);
+}
+
+TEST_F(NfsRetryTest, ExhaustsRetriesOnDeadLink) {
+  net::FaultPlan plan(5);
+  plan.default_link().drop = 1.0;  // nothing ever gets through
+  network_.InstallFaultPlan(std::move(plan));
+  RetryPolicy retry;
+  retry.max_retries = 3;
+  NfsClient* client = MakeClient(retry);
+
+  auto root = client->Root();
+  EXPECT_EQ(root.status().code(), ErrorCode::kTimedOut);
+  ClientStats stats = client->stats();
+  EXPECT_EQ(stats.retry_exhausted, 1u);
+  EXPECT_EQ(stats.retry_attempts, 3u);
+  EXPECT_EQ(stats.rpcs, 4u);  // first attempt + 3 retries
+}
+
+TEST_F(NfsRetryTest, BackoffIsCappedExponentialWithJitter) {
+  net::FaultPlan plan(5);
+  plan.default_link().drop = 1.0;
+  network_.InstallFaultPlan(std::move(plan));
+  RetryPolicy retry;
+  retry.rpc_timeout = kMillisecond;
+  retry.max_retries = 6;
+  retry.backoff_base = 8 * kMillisecond;
+  retry.backoff_cap = 20 * kMillisecond;
+  NfsClient* client = MakeClient(retry);
+  SimTime before = clock_.Now();
+  ASSERT_FALSE(client->Root().ok());
+  // 7 attempts waited out 1ms each; the 6 backoff delays are drawn from
+  // [b/2, b] for b = 8, 16, 20, 20, 20, 20 ms (doubling, then capped).
+  SimTime waiting = 7 * kMillisecond;
+  SimTime min_backoff = (4 + 8 + 10 + 10 + 10 + 10) * kMillisecond;
+  SimTime max_backoff = (8 + 16 + 20 + 20 + 20 + 20) * kMillisecond;
+  SimTime elapsed = clock_.Now() - before;
+  EXPECT_GE(elapsed, waiting + min_backoff);
+  EXPECT_LE(elapsed, waiting + max_backoff);
+  EXPECT_EQ(client->stats().retry_backoff_us, elapsed - waiting);
+}
+
+TEST_F(NfsRetryTest, DeadlineStopsBackoffEarly) {
+  // Fetch the root handle on a healthy network, then make the link drop
+  // everything. The retry budget is generous, but the operation's deadline
+  // only has room for the first attempt — the client must refuse to start
+  // the backoff sleep rather than overrun it.
+  RetryPolicy retry;
+  retry.rpc_timeout = 10 * kMillisecond;
+  retry.max_retries = 100;
+  retry.backoff_base = 50 * kMillisecond;
+  NfsClient* client = MakeClient(retry);
+  auto root = client->Root();
+  ASSERT_TRUE(root.ok());
+  net::FaultPlan plan(5);
+  plan.default_link().drop = 1.0;
+  network_.InstallFaultPlan(std::move(plan));
+
+  vfs::OpContext ctx(cred_);
+  ctx.clock = &clock_;
+  ctx.deadline = clock_.Now() + 30 * kMillisecond;  // one 10ms attempt + <50ms backoff
+  uint64_t aborts_before = client->stats().retry_deadline_aborts;
+  auto attr = (*root)->GetAttr(ctx);
+  EXPECT_EQ(attr.status().code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(client->stats().retry_deadline_aborts, aborts_before + 1);
+  // The deadline itself was honored: we gave up before sleeping past it.
+  EXPECT_LE(clock_.Now(), ctx.deadline);
+}
+
+TEST_F(NfsRetryTest, WireStatusErrorsAreNotRetried) {
+  // A clean kNotFound from the server must come back after exactly one
+  // RPC — only transport losses are retried, not application errors.
+  NfsClient* client = MakeClient(RetryPolicy{});
+  auto root = client->Root();
+  ASSERT_TRUE(root.ok());
+  uint64_t rpcs_before = client->stats().rpcs;
+  EXPECT_EQ((*root)->Lookup("missing", cred_).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client->stats().rpcs, rpcs_before + 1);
+  EXPECT_EQ(client->stats().retry_attempts, 0u);
+}
+
+TEST_F(NfsRetryTest, UnreachableRetriedOnlyWhenAsked) {
+  network_.Partition({{client_host_}, {server_host_}});
+  NfsClient* fail_fast = MakeClient(RetryPolicy{});
+  EXPECT_EQ(fail_fast->Root().status().code(), ErrorCode::kUnreachable);
+  EXPECT_EQ(fail_fast->stats().retry_attempts, 0u);
+  network_.Heal();
+
+  // With retry_unreachable the client keeps trying through a flap window:
+  // the link heals while it backs off, and the call lands.
+  net::FaultPlan plan(3);
+  plan.AddFlap(client_host_, server_host_, 0, 40 * kMillisecond);  // one-shot outage
+  network_.InstallFaultPlan(std::move(plan));
+  RetryPolicy patient_retry;
+  patient_retry.backoff_base = 20 * kMillisecond;
+  patient_retry.retry_unreachable = true;
+  patient_retry.rng_seed = 3;
+  NfsClient* patient = MakeClient(patient_retry);
+  auto root = patient->Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_GT(patient->stats().retry_recovered, 0u);
+}
+
+TEST_F(NfsRetryTest, PerfectNetworkNeverRetries) {
+  NfsClient* client = MakeClient(RetryPolicy{});
+  ASSERT_TRUE(vfs::WriteFileAt(client, "f", "x").ok());
+  ClientStats stats = client->stats();
+  EXPECT_EQ(stats.retry_attempts, 0u);
+  EXPECT_EQ(stats.retry_backoff_us, 0u);
+}
+
+}  // namespace
+}  // namespace ficus::nfs

@@ -143,6 +143,64 @@ TEST_F(PropagationTest, DirectoryNotificationTriggersReconcile) {
   EXPECT_EQ((*entries)[0].name, "new-child");
 }
 
+TEST_F(PropagationTest, BackoffAgesFailedEntries) {
+  // With a retry backoff configured, an entry whose source stays down is
+  // not hammered on every pass: it sits out the backoff window.
+  PropagationConfig config;
+  config.retry_backoff_base = 10 * kSecond;
+  PropagationDaemon daemon(layer(1), &resolver_, &log_, &clock_, config);
+
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+  resolver_.SetReachable(1, false);
+
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  EXPECT_EQ(daemon.stats().deferred_unreachable, 1u);
+
+  // Within the backoff window the entry is skipped without a probe.
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  EXPECT_EQ(daemon.stats().deferred_unreachable, 1u);  // no new probe
+  EXPECT_GE(daemon.stats().deferred_backoff, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);  // still cached
+
+  // Past the window it is retried; the source is back, so it lands.
+  resolver_.SetReachable(1, true);
+  clock_.Advance(21 * kSecond);  // first delay is in [base, 2*base)
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  EXPECT_EQ(daemon.stats().pulled_files, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 0u);
+}
+
+TEST_F(PropagationTest, RetryBudgetDropsHopelessEntries) {
+  // A bounded retry budget: after `retry_budget` failed probes the entry
+  // is dropped from the pending cache — reconciliation remains the safety
+  // net for whatever propagation gives up on.
+  PropagationConfig config;
+  config.retry_budget = 2;
+  PropagationDaemon daemon(layer(1), &resolver_, &log_, &clock_, config);
+
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+  resolver_.SetReachable(1, false);
+
+  ASSERT_TRUE(daemon.RunOnce().ok());  // attempt 1
+  ASSERT_TRUE(daemon.RunOnce().ok());  // attempt 2 — budget exhausted
+  EXPECT_EQ(daemon.stats().retry_dropped, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 0u);  // no longer pending
+
+  // Nothing left to retry even after the source returns...
+  resolver_.SetReachable(1, true);
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  EXPECT_EQ(daemon.stats().pulled_files, 0u);
+  // ...but reconciliation still converges the replica.
+  ReconcileAll();
+  auto data = layer(1)->ReadAllData(file);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{1}));
+}
+
 TEST_F(PropagationTest, UnstoredFileIgnored) {
   // Notification about a file this volume replica chose not to store.
   GlobalFileId ghost{VolumeId{1, 1}, FileId{1, 999}};

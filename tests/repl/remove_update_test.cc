@@ -26,7 +26,7 @@ class RemoveUpdateTest : public ReplicaFixture {
 };
 
 TEST_F(RemoveUpdateTest, InformedDeleteApplies) {
-  FileId file = SharedFile();
+  SharedFile();
   // Replica 1 deletes with full knowledge; nothing raced it.
   ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
   ReconcileAll();
