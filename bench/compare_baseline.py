@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_*.json against a committed
+baseline.
+
+Usage: compare_baseline.py <current.json> <baseline.json> [--tolerance 0.20]
+
+Walks both JSON trees in lockstep and compares every numeric leaf. A leaf
+fails when it differs from the baseline by more than the relative
+tolerance AND by more than a small absolute slack (so counters that sit
+near zero — e.g. a savings percentage of 0.0 vs 0.4 — do not trip the
+gate on noise). Structural mismatches (missing/extra keys, different
+array lengths) fail outright: a bench that silently stops emitting a
+section is itself a regression.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+ABS_SLACK = 4.0  # absolute difference ignored regardless of ratio
+
+
+def compare(current, baseline, tolerance, path, failures):
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            failures.append(f"{path}: expected object, got {type(current).__name__}")
+            return
+        for key in baseline:
+            if key not in current:
+                failures.append(f"{path}.{key}: missing from current output")
+                continue
+            compare(current[key], baseline[key], tolerance, f"{path}.{key}", failures)
+        for key in current:
+            if key not in baseline:
+                failures.append(f"{path}.{key}: not present in baseline")
+    elif isinstance(baseline, list):
+        if not isinstance(current, list):
+            failures.append(f"{path}: expected array, got {type(current).__name__}")
+            return
+        if len(current) != len(baseline):
+            failures.append(f"{path}: length {len(current)} != baseline {len(baseline)}")
+            return
+        for i, (c, b) in enumerate(zip(current, baseline)):
+            compare(c, b, tolerance, f"{path}[{i}]", failures)
+    elif isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
+        if current != baseline:
+            failures.append(f"{path}: {current!r} != baseline {baseline!r}")
+    else:
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            failures.append(f"{path}: expected number, got {current!r}")
+            return
+        diff = abs(current - baseline)
+        if diff <= ABS_SLACK:
+            return
+        limit = tolerance * max(abs(baseline), 1.0)
+        if diff > limit:
+            failures.append(
+                f"{path}: {current} vs baseline {baseline} "
+                f"(diff {diff:.2f} > allowed {limit:.2f})"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative deviation per numeric leaf")
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_baseline: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compare(current, baseline, args.tolerance, "$", failures)
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} deviations "
+              f"beyond ±{args.tolerance:.0%}):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"perf gate ok: {args.current} within ±{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

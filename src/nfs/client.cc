@@ -39,6 +39,10 @@ NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId 
   stats_.retry_exhausted = registry_->counter("nfs.retries.exhausted");
   stats_.retry_deadline_aborts = registry_->counter("nfs.retries.deadline_aborts");
   stats_.retry_backoff_us = registry_->counter("nfs.retries.backoff_us");
+  for (size_t i = 0; i < kNfsProcCount; ++i) {
+    proc_cells_[i] = registry_->counter(std::string("nfs.client.proc.") +
+                                        NfsProcName(static_cast<NfsProc>(i)));
+  }
 }
 
 ClientStats NfsClient::stats() const {
@@ -78,6 +82,9 @@ StatusOr<Payload> NfsClient::Call(const Payload& request, const OpContext& ctx) 
   SimTime backoff = retry.backoff_base;
   for (uint32_t attempt = 0;; ++attempt) {
     stats_.rpcs->Increment();
+    if (!request.empty() && request[0] < kNfsProcCount) {
+      proc_cells_[request[0]]->Increment();
+    }
     StatusOr<Payload> result =
         network_->Rpc(local_host_, server_host_, service_, request, retry.rpc_timeout);
     if (result.ok()) {

@@ -183,6 +183,10 @@ class NfsClient : public vfs::Vfs {
     Counter* retry_backoff_us;
   };
 
+  // Per-procedure request counters (`nfs.client.proc.<name>`), indexed by
+  // NfsProc; bumped alongside `rpcs` from the request's leading opcode.
+  Counter* proc_cells_[kNfsProcCount] = {};
+
   net::Network* network_;
   net::HostId local_host_;
   net::HostId server_host_;

@@ -2,6 +2,29 @@
 
 namespace ficus::nfs {
 
+const char* NfsProcName(NfsProc proc) {
+  switch (proc) {
+    case NfsProc::kNull: return "null";
+    case NfsProc::kGetRoot: return "getroot";
+    case NfsProc::kGetAttr: return "getattr";
+    case NfsProc::kSetAttr: return "setattr";
+    case NfsProc::kLookup: return "lookup";
+    case NfsProc::kCreate: return "create";
+    case NfsProc::kRemove: return "remove";
+    case NfsProc::kMkdir: return "mkdir";
+    case NfsProc::kRmdir: return "rmdir";
+    case NfsProc::kLink: return "link";
+    case NfsProc::kRename: return "rename";
+    case NfsProc::kReaddir: return "readdir";
+    case NfsProc::kSymlink: return "symlink";
+    case NfsProc::kReadlink: return "readlink";
+    case NfsProc::kRead: return "read";
+    case NfsProc::kWrite: return "write";
+    case NfsProc::kStatfs: return "statfs";
+  }
+  return "unknown";
+}
+
 void PutStatus(ByteWriter& w, const Status& status) {
   w.PutU32(static_cast<uint32_t>(status.code()));
   w.PutString(status.message());

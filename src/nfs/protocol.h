@@ -49,6 +49,14 @@ enum class NfsProc : uint8_t {
   kStatfs = 16,
 };
 
+// Number of procedures (for per-proc counter tables).
+inline constexpr size_t kNfsProcCount = 17;
+
+// Stable lower-case name of a procedure ("lookup", "read", ...) used to
+// build per-proc metric names like `nfs.client.proc.lookup`. Returns
+// "unknown" for out-of-range values.
+const char* NfsProcName(NfsProc proc);
+
 // Name of the RPC service an NfsServer registers on its host port.
 inline constexpr char kNfsService[] = "nfs";
 

@@ -20,6 +20,10 @@ NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported
       registry_(metrics != nullptr ? metrics : &owned_registry_) {
   stats_.calls = registry_->counter("nfs.server.calls");
   stats_.errors = registry_->counter("nfs.server.errors");
+  for (size_t i = 0; i < kNfsProcCount; ++i) {
+    proc_cells_[i] = registry_->counter(std::string("nfs.server.proc.") +
+                                        NfsProcName(static_cast<NfsProc>(i)));
+  }
   net::HostPort* port = network_->port(host_);
   if (port != nullptr) {
     port->RegisterRpcService(
@@ -114,6 +118,9 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
     return fail(proc_or.status());
   }
   NfsProc proc = static_cast<NfsProc>(proc_or.value());
+  if (proc_or.value() < kNfsProcCount) {
+    proc_cells_[proc_or.value()]->Increment();
+  }
   vfs::OpContext ctx;
   Status ctx_status = GetContext(r, ctx);
   if (!ctx_status.ok()) {

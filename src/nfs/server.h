@@ -59,6 +59,9 @@ class NfsServer {
     Counter* calls;
     Counter* errors;
   };
+  // Per-procedure dispatch counters (`nfs.server.proc.<name>`), indexed
+  // by NfsProc.
+  Counter* proc_cells_[kNfsProcCount] = {};
 
   net::Network* network_;
   net::HostId host_;

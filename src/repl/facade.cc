@@ -351,6 +351,52 @@ std::vector<uint8_t> ExecutePhysRequest(PhysicalLayer* layer,
       PutStatusBytes(w, layer->NoteClose(file));
       return out;
     }
+    case PhysOp::kReadBlockDigests: {
+      FileId file;
+      if (Status s = GetFileId(r, file); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto info = layer->ReadBlockDigests(file);
+      if (!info.ok()) {
+        return ErrorResponse(info.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU64(info->file_size);
+      w.PutU32(static_cast<uint32_t>(info->digests.size()));
+      for (uint64_t d : info->digests) {
+        w.PutU64(d);
+      }
+      return out;
+    }
+    case PhysOp::kBatchGetAttributes: {
+      auto count = r.GetCount(8);  // one FileId per row
+      if (!count.ok()) {
+        return ErrorResponse(count.status());
+      }
+      std::vector<FileId> files;
+      files.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        FileId file;
+        if (Status s = GetFileId(r, file); !s.ok()) {
+          return ErrorResponse(s);
+        }
+        files.push_back(file);
+      }
+      auto rows = layer->BatchGetAttributes(files);
+      if (!rows.ok()) {
+        return ErrorResponse(rows.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(rows->size()));
+      for (const auto& row : rows.value()) {
+        PutFileId(w, row.file);
+        PutStatusBytes(w, row.status);
+        if (row.status.ok()) {
+          row.attrs.Serialize(w);
+        }
+      }
+      return out;
+    }
   }
   return ErrorResponse(InvalidArgumentError("unknown physical-layer opcode"));
 }
@@ -581,6 +627,36 @@ Status RemotePhysical::SetConflict(FileId file, bool conflict) {
   return Transact(request).status();
 }
 
+StatusOr<std::vector<FileAttrResult>> RemotePhysical::BatchGetAttributes(
+    const std::vector<FileId>& files) {
+  std::vector<uint8_t> request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(PhysOp::kBatchGetAttributes));
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (FileId file : files) {
+    PutFileId(w, file);
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results, Transact(request));
+  ByteReader r(results);
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(14));  // FileId + min status bytes
+  std::vector<FileAttrResult> rows;
+  rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FileAttrResult row;
+    FICUS_RETURN_IF_ERROR(GetFileId(r, row.file));
+    row.status = ReadStatusBytes(r);
+    if (row.status.ok()) {
+      FICUS_ASSIGN_OR_RETURN(row.attrs, ReplicaAttributes::Deserialize(r));
+    } else if (row.status.code() == ErrorCode::kCorrupt) {
+      // A marshalling error (vs. a per-file failure shipped in the row)
+      // poisons the rest of the stream.
+      return row.status;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 StatusOr<std::vector<uint8_t>> RemotePhysical::ReadData(FileId file, uint64_t offset,
                                                         uint32_t length) {
   std::vector<uint8_t> request = BeginPhysRequest(PhysOp::kReadData, file);
@@ -604,6 +680,21 @@ StatusOr<uint64_t> RemotePhysical::DataSize(FileId file) {
                          Transact(BeginPhysRequest(PhysOp::kDataSize, file)));
   ByteReader r(results);
   return r.GetU64();
+}
+
+StatusOr<BlockDigestInfo> RemotePhysical::ReadBlockDigests(FileId file) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kReadBlockDigests, file)));
+  ByteReader r(results);
+  BlockDigestInfo info;
+  FICUS_ASSIGN_OR_RETURN(info.file_size, r.GetU64());
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(8));
+  info.digests.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FICUS_ASSIGN_OR_RETURN(uint64_t digest, r.GetU64());
+    info.digests.push_back(digest);
+  }
+  return info;
 }
 
 Status RemotePhysical::WriteData(FileId file, uint64_t offset,

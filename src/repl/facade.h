@@ -64,6 +64,8 @@ enum class PhysOp : uint8_t {
   kNoteOpen = 19,
   kNoteClose = 20,
   kApplyEntries = 21,
+  kReadBlockDigests = 22,
+  kBatchGetAttributes = 23,
 };
 
 // Executes one marshalled request against a local physical layer and
@@ -108,10 +110,13 @@ class RemotePhysical : public PhysicalApi {
   ReplicaId replica_id() const override { return replica_; }
   StatusOr<ReplicaAttributes> GetAttributes(FileId file) override;
   Status SetConflict(FileId file, bool conflict) override;
+  StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
+      const std::vector<FileId>& files) override;
   StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
                                           uint32_t length) override;
   StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) override;
   StatusOr<uint64_t> DataSize(FileId file) override;
+  StatusOr<BlockDigestInfo> ReadBlockDigests(FileId file) override;
   Status WriteData(FileId file, uint64_t offset, const std::vector<uint8_t>& data) override;
   Status TruncateData(FileId file, uint64_t size) override;
   Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,

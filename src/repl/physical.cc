@@ -88,6 +88,8 @@ PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptio
   stats_.remove_update_conflicts = registry_->counter("repl.physical.remove_update_conflicts");
   stats_.notifications_noted = registry_->counter("repl.physical.notifications_noted");
   stats_.shadows_recovered = registry_->counter("repl.physical.shadows_recovered");
+  stats_.dir_cache_hits = registry_->counter("repl.physical.dir_cache.hits");
+  stats_.dir_cache_misses = registry_->counter("repl.physical.dir_cache.misses");
 }
 
 PhysicalStats PhysicalLayer::stats() const {
@@ -101,6 +103,8 @@ PhysicalStats PhysicalLayer::stats() const {
   out.remove_update_conflicts = stats_.remove_update_conflicts->value();
   out.notifications_noted = stats_.notifications_noted->value();
   out.shadows_recovered = stats_.shadows_recovered->value();
+  out.dir_cache_hits = stats_.dir_cache_hits->value();
+  out.dir_cache_misses = stats_.dir_cache_misses->value();
   return out;
 }
 
@@ -349,9 +353,11 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
   if (has_header) {
     auto it = dir_cache_.find(dir);
     if (it != dir_cache_.end() && it->second.generation == generation) {
+      stats_.dir_cache_hits->Increment();
       return it->second.entries;
     }
   }
+  stats_.dir_cache_misses->Increment();
 
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(ino));
   std::vector<uint8_t> body;
@@ -499,6 +505,24 @@ Status PhysicalLayer::SetConflict(FileId file, bool conflict) {
   return StoreAttributes(file, attrs);
 }
 
+StatusOr<std::vector<FileAttrResult>> PhysicalLayer::BatchGetAttributes(
+    const std::vector<FileId>& files) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::vector<FileAttrResult> out;
+  out.reserve(files.size());
+  for (FileId file : files) {
+    FileAttrResult row;
+    row.file = file;
+    auto attrs = LoadAttributes(file);
+    row.status = attrs.status();
+    if (attrs.ok()) {
+      row.attrs = std::move(attrs).value();
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 // --- PhysicalApi: file data ---
 
 StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadData(FileId file, uint64_t offset,
@@ -523,11 +547,40 @@ StatusOr<uint64_t> PhysicalLayer::DataSize(FileId file) {
   return inode.size;
 }
 
+StatusOr<BlockDigestInfo> PhysicalLayer::ReadBlockDigests(FileId file) {
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
+  if (IsDirectoryLike(loc.type)) {
+    return IsDirError("block digests apply to regular files only");
+  }
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
+  FICUS_ASSIGN_OR_RETURN(uint64_t size, DataSize(file));
+  auto it = digest_cache_.find(file);
+  if (it != digest_cache_.end() && it->second.vv.Compare(attrs.vv) == VectorOrder::kEqual &&
+      it->second.file_size == size) {
+    return BlockDigestInfo{it->second.file_size, it->second.digests};
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAllData(file));
+  BlockDigestInfo info;
+  info.file_size = data.size();
+  info.digests.reserve((data.size() + kDeltaBlockSize - 1) / kDeltaBlockSize);
+  for (size_t off = 0; off < data.size(); off += kDeltaBlockSize) {
+    size_t len = std::min<size_t>(kDeltaBlockSize, data.size() - off);
+    info.digests.push_back(BlockDigest(data.data() + off, len));
+  }
+  if (digest_cache_.size() >= kMaxCachedDigests) {
+    digest_cache_.erase(digest_cache_.begin());
+  }
+  digest_cache_[file] = CachedDigests{attrs.vv, info.file_size, info.digests};
+  return info;
+}
+
 Status PhysicalLayer::WriteData(FileId file, uint64_t offset,
                                 const std::vector<uint8_t>& data) {
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   FICUS_RETURN_IF_ERROR(ufs_->WriteAt(ino, offset, data).status());
+  digest_cache_.erase(file);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
   attrs.vv.Increment(replica_);
   attrs.mtime = Now();
@@ -538,6 +591,7 @@ Status PhysicalLayer::TruncateData(FileId file, uint64_t size) {
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   FICUS_RETURN_IF_ERROR(ufs_->Truncate(ino, size));
+  digest_cache_.erase(file);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
   attrs.vv.Increment(replica_);
   attrs.mtime = Now();
@@ -553,6 +607,7 @@ Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& co
   }
   std::string base = file.ToHex();
   std::string shadow = base + kShadowSuffix;
+  digest_cache_.erase(file);
 
   // Discard any leftover shadow from an interrupted earlier install.
   if (ufs_->DirLookup(loc.parent_dir, shadow).ok()) {
@@ -944,6 +999,7 @@ Status PhysicalLayer::WriteLink(FileId file, std::string_view target) {
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   std::vector<uint8_t> bytes(target.begin(), target.end());
   FICUS_RETURN_IF_ERROR(ufs_->WriteAll(ino, bytes));
+  digest_cache_.erase(file);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
   attrs.vv.Increment(replica_);
   attrs.mtime = Now();
@@ -979,9 +1035,33 @@ void PhysicalLayer::NoteNewVersion(const GlobalFileId& id, const VersionVector& 
   }
   // Coalesce bursts: keep one entry per file, remembering the freshest
   // advertised version (this is what makes delayed propagation cheaper
-  // for bursty updates, section 3.2).
+  // for bursty updates, section 3.2). The source only moves to the new
+  // notifier when its version is at least as new as everything seen so
+  // far — a stale duplicate must not redirect the pull at a peer that
+  // does not hold the freshest version.
+  VectorOrder order = vv.Compare(it->second.vv);
   it->second.vv.MergeWith(vv);
-  it->second.source = source;
+  if (order == VectorOrder::kDominates || order == VectorOrder::kEqual) {
+    it->second.source = source;
+  }
+}
+
+void PhysicalLayer::RestoreNewVersion(const NewVersionEntry& entry) {
+  auto it = new_version_cache_.find(entry.id);
+  if (it == new_version_cache_.end()) {
+    new_version_cache_[entry.id] = entry;
+    return;
+  }
+  // A newer notification arrived while this entry was out with the
+  // propagation daemon: join the vectors but keep the dominant side's
+  // source, and keep the oldest noted_at so min_age measures the first
+  // sighting, not the latest deferral.
+  VectorOrder order = entry.vv.Compare(it->second.vv);
+  it->second.vv.MergeWith(entry.vv);
+  if (order == VectorOrder::kDominates) {
+    it->second.source = entry.source;
+  }
+  it->second.noted_at = std::min(it->second.noted_at, entry.noted_at);
 }
 
 std::vector<NewVersionEntry> PhysicalLayer::TakePendingVersions() {

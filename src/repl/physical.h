@@ -53,6 +53,8 @@ struct PhysicalStats {
   uint64_t remove_update_conflicts = 0;  // delete raced an unseen update
   uint64_t notifications_noted = 0;
   uint64_t shadows_recovered = 0;     // stranded shadows cleaned at Attach
+  uint64_t dir_cache_hits = 0;        // parsed-directory cache generation matches
+  uint64_t dir_cache_misses = 0;      // full read + reparse was needed
 };
 
 // Where replication attributes live on disk.
@@ -116,10 +118,13 @@ class PhysicalLayer : public PhysicalApi {
   ReplicaId replica_id() const override { return replica_; }
   StatusOr<ReplicaAttributes> GetAttributes(FileId file) override;
   Status SetConflict(FileId file, bool conflict) override;
+  StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
+      const std::vector<FileId>& files) override;
   StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
                                           uint32_t length) override;
   StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) override;
   StatusOr<uint64_t> DataSize(FileId file) override;
+  StatusOr<BlockDigestInfo> ReadBlockDigests(FileId file) override;
   Status WriteData(FileId file, uint64_t offset, const std::vector<uint8_t>& data) override;
   Status TruncateData(FileId file, uint64_t size) override;
   Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,
@@ -142,6 +147,12 @@ class PhysicalLayer : public PhysicalApi {
 
   // --- new-version cache (receiver side of update notification) ---
   void NoteNewVersion(const GlobalFileId& id, const VersionVector& vv, ReplicaId source);
+  // Puts a previously taken entry back (propagation deferred it). Unlike
+  // NoteNewVersion this merges keep-dominant — a newer notification that
+  // arrived meanwhile must not have its vv or source clobbered by the
+  // stale re-note — and preserves the oldest noted_at so min_age cannot
+  // starve a repeatedly deferred entry.
+  void RestoreNewVersion(const NewVersionEntry& entry);
   // Hands the accumulated entries to the propagation daemon and clears
   // the cache.
   std::vector<NewVersionEntry> TakePendingVersions();
@@ -246,6 +257,16 @@ class PhysicalLayer : public PhysicalApi {
   };
   std::map<FileId, CachedDir> dir_cache_;
   static constexpr size_t kMaxCachedDirs = 64;  // live directory references per file
+  // Lazily computed block digests, validated against the attributes'
+  // version vector (every content mutation bumps or replaces the vv) and
+  // the current data size. Erased eagerly by the mutating paths too.
+  struct CachedDigests {
+    VersionVector vv;
+    uint64_t file_size = 0;
+    std::vector<uint64_t> digests;
+  };
+  std::map<FileId, CachedDigests> digest_cache_;
+  static constexpr size_t kMaxCachedDigests = 64;
   std::map<GlobalFileId, NewVersionEntry> new_version_cache_;
   // Registry-backed counter cells, resolved once at construction.
   struct StatCells {
@@ -258,6 +279,8 @@ class PhysicalLayer : public PhysicalApi {
     Counter* remove_update_conflicts;
     Counter* notifications_noted;
     Counter* shadows_recovered;
+    Counter* dir_cache_hits;
+    Counter* dir_cache_misses;
   };
 
   MetricRegistry owned_registry_;

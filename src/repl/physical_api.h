@@ -20,6 +20,48 @@
 
 namespace ficus::repl {
 
+// Delta propagation (PR 4) transfers files in fixed-size blocks: the
+// puller compares per-block digests and fetches only the blocks that
+// differ. 4 KiB matches the UFS/storage block size, so a delta fetch
+// never straddles more device blocks than the data it carries.
+inline constexpr uint32_t kDeltaBlockSize = 4096;
+
+// Strong 64-bit content digest for one block: FNV-1a over the bytes,
+// seeded with the block length (so a short tail block never collides
+// with its zero-padded sibling), finished with a splitmix64 avalanche
+// to spread FNV's weak low bits. Not cryptographic — the threat model
+// is accidental collision between replicas of the same file, where
+// 64 bits is ample.
+inline uint64_t BlockDigest(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(len));
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+// Result of ReadBlockDigests: the file size at digest time plus one
+// digest per kDeltaBlockSize block (the last block may be partial). The
+// size rides along so a single RPC tells the puller everything it needs
+// to plan the delta fetch.
+struct BlockDigestInfo {
+  uint64_t file_size = 0;
+  std::vector<uint64_t> digests;
+};
+
+// One row of a BatchGetAttributes response. `attrs` is meaningful only
+// when `status` is ok (a file can be missing at the source while its
+// siblings in the same batch exist).
+struct FileAttrResult {
+  FileId file;
+  Status status = OkStatus();
+  ReplicaAttributes attrs;
+};
+
 class PhysicalApi {
  public:
   virtual ~PhysicalApi() = default;
@@ -32,12 +74,23 @@ class PhysicalApi {
   // Marks / clears the conflict flag on a replica (file conflicts are
   // reported to the owner, who resolves and clears; section 3.3).
   virtual Status SetConflict(FileId file, bool conflict) = 0;
+  // Batched probe for the propagation daemon: attributes for many files
+  // of this volume in one round trip. Per-file failures are reported in
+  // the row's status; the call itself only fails on transport/marshal
+  // errors. Rows come back in request order.
+  virtual StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
+      const std::vector<FileId>& files) = 0;
 
   // --- regular file data ---
   virtual StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
                                                   uint32_t length) = 0;
   virtual StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) = 0;
   virtual StatusOr<uint64_t> DataSize(FileId file) = 0;
+  // Per-block digests of the current contents (kDeltaBlockSize blocks),
+  // computed lazily and cached against the file's version vector. The
+  // delta propagation path compares these against local digests and
+  // fetches only differing blocks via ranged ReadData.
+  virtual StatusOr<BlockDigestInfo> ReadBlockDigests(FileId file) = 0;
   // Client update path: applies the write and advances this replica's
   // component of the file's version vector by one.
   virtual Status WriteData(FileId file, uint64_t offset,

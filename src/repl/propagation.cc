@@ -22,6 +22,10 @@ PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* reso
   stats_.deferred_backoff = registry_->counter("repl.propagation.deferred_backoff");
   stats_.retry_dropped = registry_->counter("repl.propagation.retry_dropped");
   stats_.bytes_pulled = registry_->counter("repl.propagation.bytes_pulled");
+  stats_.delta_blocks_fetched = registry_->counter("repl.prop.delta.blocks_fetched");
+  stats_.delta_bytes_saved = registry_->counter("repl.prop.delta.bytes_saved");
+  stats_.whole_file_fallbacks = registry_->counter("repl.prop.delta.whole_file_fallbacks");
+  stats_.batched_probes = registry_->counter("repl.prop.delta.batched_probes");
 }
 
 PropagationStats PropagationDaemon::stats() const {
@@ -35,6 +39,10 @@ PropagationStats PropagationDaemon::stats() const {
   out.deferred_backoff = stats_.deferred_backoff->value();
   out.retry_dropped = stats_.retry_dropped->value();
   out.bytes_pulled = stats_.bytes_pulled->value();
+  out.delta_blocks_fetched = stats_.delta_blocks_fetched->value();
+  out.delta_bytes_saved = stats_.delta_bytes_saved->value();
+  out.whole_file_fallbacks = stats_.whole_file_fallbacks->value();
+  out.batched_probes = stats_.batched_probes->value();
   return out;
 }
 
@@ -51,11 +59,57 @@ Status PropagationDaemon::RunOnce() {
   while (progress && !pending.empty()) {
     progress = false;
     std::vector<NewVersionEntry> unstored;
+
+    // Probe phase: one BatchGetAttributes RPC per (volume, source) pair
+    // covering every actionable regular-file entry, so a pass over N
+    // pending files costs O(peers) probe round trips instead of O(N).
+    // Entries the batch cannot serve (directories, per-file failures,
+    // unreachable sources) fall back to the per-entry path below.
+    std::map<GlobalFileId, ReplicaAttributes> probed;
+    std::map<std::pair<VolumeId, ReplicaId>, std::vector<FileId>> probe_groups;
+    for (const auto& entry : pending) {
+      if (config_.min_age != 0 && Now() < entry.noted_at + config_.min_age) {
+        continue;
+      }
+      auto retry = retries_.find(entry.id);
+      if (retry != retries_.end() && Now() < retry->second.next_attempt) {
+        continue;
+      }
+      if (!local_->Stores(entry.id.file)) {
+        continue;
+      }
+      auto local_attrs = local_->GetAttributes(entry.id.file);
+      if (!local_attrs.ok() || local_attrs->vv.Dominates(entry.vv) ||
+          IsDirectoryLike(local_attrs->type)) {
+        continue;
+      }
+      probe_groups[{entry.id.volume, entry.source}].push_back(entry.id.file);
+    }
+    for (const auto& [peer, files] : probe_groups) {
+      if (files.size() < 2) {
+        continue;  // a batch of one saves no round trips
+      }
+      auto source = resolver_->Access(peer.first, peer.second);
+      if (!source.ok()) {
+        continue;
+      }
+      auto rows = source.value()->BatchGetAttributes(files);
+      if (!rows.ok()) {
+        continue;
+      }
+      stats_.batched_probes->Increment();
+      for (auto& row : rows.value()) {
+        if (row.status.ok()) {
+          probed[GlobalFileId{peer.first, row.file}] = std::move(row.attrs);
+        }
+      }
+    }
+
     for (const auto& entry : pending) {
       if (config_.min_age != 0 && Now() < entry.noted_at + config_.min_age) {
         // Too young: leave it cached so a burst of updates to the same
         // file costs one propagation, not many.
-        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        local_->RestoreNewVersion(entry);
         continue;
       }
       auto retry = retries_.find(entry.id);
@@ -63,14 +117,14 @@ Status PropagationDaemon::RunOnce() {
         // Still inside the backoff window from an earlier failed pull:
         // age in the cache instead of hammering an unreachable source.
         stats_.deferred_backoff->Increment();
-        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        local_->RestoreNewVersion(entry);
         continue;
       }
       if (!local_->Stores(entry.id.file)) {
         unstored.push_back(entry);
         continue;
       }
-      Status status = Propagate(entry);
+      Status status = Propagate(entry, probed);
       if (status.code() == ErrorCode::kUnreachable ||
           status.code() == ErrorCode::kTimedOut) {
         RetryState& state = retries_[entry.id];
@@ -91,7 +145,7 @@ Status PropagationDaemon::RunOnce() {
           state.next_attempt = Now() + std::min(delay, config_.retry_backoff_cap);
         }
         stats_.deferred_unreachable->Increment();
-        local_->NoteNewVersion(entry.id, entry.vv, entry.source);
+        local_->RestoreNewVersion(entry);
         continue;
       }
       FICUS_RETURN_IF_ERROR(status);
@@ -109,7 +163,8 @@ Status PropagationDaemon::RunOnce() {
   return OkStatus();
 }
 
-Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
+Status PropagationDaemon::Propagate(const NewVersionEntry& entry,
+                                    const std::map<GlobalFileId, ReplicaAttributes>& probed) {
   FileId file = entry.id.file;
   if (!local_->Stores(file)) {
     // This volume replica does not hold the file (optional storage);
@@ -136,18 +191,45 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
     return OkStatus();
   }
 
-  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes remote_attrs, source->GetAttributes(file));
+  ReplicaAttributes remote_attrs;
+  auto prefetched = probed.find(entry.id);
+  if (prefetched != probed.end()) {
+    remote_attrs = prefetched->second;
+  } else {
+    FICUS_ASSIGN_OR_RETURN(remote_attrs, source->GetAttributes(file));
+  }
   switch (remote_attrs.vv.Compare(local_attrs.vv)) {
     case VectorOrder::kEqual:
     case VectorOrder::kDominatedBy:
       stats_.skipped_current->Increment();
       return OkStatus();
     case VectorOrder::kDominates: {
-      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> contents, source->ReadAllData(file));
+      std::vector<uint8_t> contents;
+      uint64_t fetched_bytes = 0;
+      bool delta_done = false;
+      if (config_.delta_enabled) {
+        auto delta = TryDeltaFetch(file, source, &fetched_bytes);
+        if (delta.ok()) {
+          contents = std::move(delta).value();
+          delta_done = true;
+        } else if (delta.status().code() == ErrorCode::kUnreachable ||
+                   delta.status().code() == ErrorCode::kTimedOut) {
+          return delta.status();
+        } else {
+          stats_.whole_file_fallbacks->Increment();
+        }
+      }
+      if (!delta_done) {
+        FICUS_ASSIGN_OR_RETURN(contents, source->ReadAllData(file));
+        fetched_bytes = contents.size();
+      }
       FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs.vv));
       FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs.conflict));
       stats_.pulled_files->Increment();
-      stats_.bytes_pulled->Add(contents.size());
+      stats_.bytes_pulled->Add(fetched_bytes);
+      if (delta_done) {
+        stats_.delta_bytes_saved->Add(contents.size() - fetched_bytes);
+      }
       return OkStatus();
     }
     case VectorOrder::kConcurrent: {
@@ -169,6 +251,102 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry) {
     }
   }
   return InternalError("unreachable vector order");
+}
+
+StatusOr<std::vector<uint8_t>> PropagationDaemon::TryDeltaFetch(FileId file,
+                                                                PhysicalApi* source,
+                                                                uint64_t* fetched_bytes) {
+  // Local size gate first — it costs no network round trip. A local copy
+  // below the threshold shares too little with any remote version for
+  // the digest exchange to pay off.
+  FICUS_ASSIGN_OR_RETURN(uint64_t local_size, local_->DataSize(file));
+  if (local_size < config_.delta_min_bytes) {
+    return InvalidArgumentError("local copy below delta threshold");
+  }
+  FICUS_ASSIGN_OR_RETURN(BlockDigestInfo remote, source->ReadBlockDigests(file));
+  if (remote.file_size < config_.delta_min_bytes) {
+    return InvalidArgumentError("remote version below delta threshold");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> local_data, local_->ReadAllData(file));
+
+  // Which remote blocks do we already hold? Digests are length-seeded, so
+  // a matching digest implies matching length and (with 64-bit strength)
+  // matching bytes.
+  size_t blocks = remote.digests.size();
+  std::vector<bool> need(blocks, false);
+  size_t need_count = 0;
+  for (size_t i = 0; i < blocks; ++i) {
+    uint64_t off = static_cast<uint64_t>(i) * kDeltaBlockSize;
+    uint64_t remote_len = std::min<uint64_t>(kDeltaBlockSize, remote.file_size - off);
+    bool same = false;
+    if (off < local_data.size()) {
+      uint64_t local_len = std::min<uint64_t>(kDeltaBlockSize, local_data.size() - off);
+      if (local_len == remote_len &&
+          BlockDigest(local_data.data() + off, static_cast<size_t>(local_len)) ==
+              remote.digests[i]) {
+        same = true;
+      }
+    }
+    if (!same) {
+      need[i] = true;
+      ++need_count;
+    }
+  }
+  if (blocks != 0 &&
+      static_cast<double>(need_count) > config_.delta_max_diff * static_cast<double>(blocks)) {
+    return InvalidArgumentError("delta would transfer most of the file");
+  }
+
+  // Assemble: local bytes for unchanged blocks, one ranged read per
+  // contiguous run of differing blocks.
+  std::vector<uint8_t> out(remote.file_size, 0);
+  for (size_t i = 0; i < blocks; ++i) {
+    if (need[i]) {
+      continue;
+    }
+    uint64_t off = static_cast<uint64_t>(i) * kDeltaBlockSize;
+    uint64_t len = std::min<uint64_t>(kDeltaBlockSize, remote.file_size - off);
+    std::copy(local_data.begin() + static_cast<ptrdiff_t>(off),
+              local_data.begin() + static_cast<ptrdiff_t>(off + len),
+              out.begin() + static_cast<ptrdiff_t>(off));
+  }
+  uint64_t fetched = 0;
+  for (size_t i = 0; i < blocks;) {
+    if (!need[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < blocks && need[j]) {
+      ++j;
+    }
+    uint64_t off = static_cast<uint64_t>(i) * kDeltaBlockSize;
+    uint64_t len =
+        std::min<uint64_t>(remote.file_size, static_cast<uint64_t>(j) * kDeltaBlockSize) - off;
+    FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> piece,
+                           source->ReadData(file, off, static_cast<uint32_t>(len)));
+    if (piece.size() != len) {
+      // The file changed under us between the digest and data reads; let
+      // the whole-file path take over.
+      return CorruptError("short ranged read during delta fetch");
+    }
+    std::copy(piece.begin(), piece.end(), out.begin() + static_cast<ptrdiff_t>(off));
+    fetched += len;
+    stats_.delta_blocks_fetched->Add(j - i);
+    i = j;
+  }
+
+  // Paranoia pass: the assembled contents must reproduce the remote
+  // digests exactly, or the source raced an update between our reads.
+  for (size_t i = 0; i < blocks; ++i) {
+    uint64_t off = static_cast<uint64_t>(i) * kDeltaBlockSize;
+    uint64_t len = std::min<uint64_t>(kDeltaBlockSize, remote.file_size - off);
+    if (BlockDigest(out.data() + off, static_cast<size_t>(len)) != remote.digests[i]) {
+      return CorruptError("assembled delta fails digest verification");
+    }
+  }
+  *fetched_bytes = fetched;
+  return out;
 }
 
 }  // namespace ficus::repl

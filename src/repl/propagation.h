@@ -38,7 +38,12 @@ struct PropagationStats {
   uint64_t deferred_unreachable = 0; // source unreachable; retried later
   uint64_t deferred_backoff = 0;     // still inside a retry backoff window
   uint64_t retry_dropped = 0;        // retry budget exhausted; entry dropped
-  uint64_t bytes_pulled = 0;
+  uint64_t bytes_pulled = 0;         // payload bytes actually transferred
+  // Delta path (`repl.prop.delta.*`).
+  uint64_t delta_blocks_fetched = 0;   // differing blocks pulled via ranged reads
+  uint64_t delta_bytes_saved = 0;      // file bytes NOT transferred thanks to deltas
+  uint64_t whole_file_fallbacks = 0;   // delta attempted/eligible but whole file pulled
+  uint64_t batched_probes = 0;         // BatchGetAttributes probe RPCs issued
 };
 
 struct PropagationConfig {
@@ -56,6 +61,17 @@ struct PropagationConfig {
   // reconciliation protocol is the safety net that still converges the
   // replica (section 3.3). 0 = never drop.
   uint32_t retry_budget = 0;
+  // Delta pulls: compare per-block digests with the source and fetch only
+  // the differing blocks, assembling the rest from the local copy. Falls
+  // back to a whole-file transfer for small files, unavailable digests,
+  // or when the delta would not pay for itself.
+  bool delta_enabled = true;
+  // Files smaller than this always go whole-file (the digest round trip
+  // would cost more than it saves).
+  uint64_t delta_min_bytes = 16 * 1024;
+  // Fall back to whole-file when more than this fraction of the remote's
+  // blocks differ from the local copy.
+  double delta_max_diff = 0.5;
 };
 
 class PropagationDaemon {
@@ -89,6 +105,10 @@ class PropagationDaemon {
     Counter* deferred_backoff;
     Counter* retry_dropped;
     Counter* bytes_pulled;
+    Counter* delta_blocks_fetched;
+    Counter* delta_bytes_saved;
+    Counter* whole_file_fallbacks;
+    Counter* batched_probes;
   };
 
   // Backoff bookkeeping for an entry whose source keeps failing.
@@ -99,7 +119,20 @@ class PropagationDaemon {
 
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
-  Status Propagate(const NewVersionEntry& entry);
+  // `probed` holds attributes prefetched by the pass's batched probe
+  // phase, keyed by global file id; entries not in it fall back to a
+  // per-file GetAttributes round trip.
+  Status Propagate(const NewVersionEntry& entry,
+                   const std::map<GlobalFileId, ReplicaAttributes>& probed);
+
+  // Pulls the remote version's bytes via block deltas: compares remote
+  // digests against the local copy and fetches only differing block runs.
+  // Returns the fully assembled contents; `fetched_bytes` reports the
+  // payload actually transferred. A non-ok result means "fall back to a
+  // whole-file read" unless its code is kUnreachable/kTimedOut, which the
+  // caller must surface to the retry machinery.
+  StatusOr<std::vector<uint8_t>> TryDeltaFetch(FileId file, PhysicalApi* source,
+                                               uint64_t* fetched_bytes);
 
   PhysicalLayer* local_;
   ReplicaResolver* resolver_;

@@ -51,6 +51,7 @@ Status BufferCache::Write(BlockNum block, const std::vector<uint8_t>& data) {
 void BufferCache::Invalidate() {
   lru_.clear();
   map_.clear();
+  ++epoch_;
 }
 
 void BufferCache::InvalidateBlock(BlockNum block) {
@@ -59,6 +60,7 @@ void BufferCache::InvalidateBlock(BlockNum block) {
     lru_.erase(it->second);
     map_.erase(it);
   }
+  ++epoch_;
 }
 
 }  // namespace ficus::storage

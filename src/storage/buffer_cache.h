@@ -41,6 +41,11 @@ class BufferCache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
+  // Bumped by every Invalidate/InvalidateBlock. Layers that keep parsed
+  // copies of block data (e.g. the UFS directory index) compare epochs to
+  // notice that the backing store may have diverged underneath them.
+  uint64_t epoch() const { return epoch_; }
+
   BlockDevice* device() { return device_; }
 
   size_t cached_blocks() const { return map_.size(); }
@@ -59,6 +64,7 @@ class BufferCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<BlockNum, std::list<Entry>::iterator> map_;
   CacheStats stats_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace ficus::storage

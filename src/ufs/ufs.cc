@@ -136,6 +136,7 @@ Status Ufs::Format(uint32_t inode_count) {
   if (inode_count == 0 || block_count < 16) {
     return InvalidArgumentError("device too small to format");
   }
+  dir_index_.clear();
   sb_ = SuperBlock{};
   sb_.block_count = block_count;
   sb_.inode_count = inode_count;
@@ -177,6 +178,7 @@ Status Ufs::Format(uint32_t inode_count) {
 }
 
 Status Ufs::Mount() {
+  dir_index_.clear();
   std::vector<uint8_t> block;
   FICUS_RETURN_IF_ERROR(cache_->Read(0, block));
   ByteReader r(block);
@@ -447,6 +449,7 @@ StatusOr<size_t> Ufs::WriteAt(InodeNum ino, uint64_t offset, const std::vector<u
   if (dirty) {
     FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
   }
+  dir_index_.erase(ino);
   return written;
 }
 
@@ -508,6 +511,7 @@ Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
   }
   inode.size = new_size;
   inode.mtime = Now();
+  dir_index_.erase(ino);
   return WriteInode(ino, inode);
 }
 
@@ -528,13 +532,65 @@ Status Ufs::WriteAll(InodeNum ino, const std::vector<uint8_t>& data) {
 
 // --- Directories ---
 
+StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir) {
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
+  return CachedDirEntries(dir, inode);
+}
+
+StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir, const Inode& inode) {
+  SyncDirIndexEpoch();
+  auto it = dir_index_.find(dir);
+  if (it != dir_index_.end() && it->second.mtime == inode.mtime &&
+      it->second.size == inode.size) {
+    return it->second.entries;
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  if (inode.type == FileType::kDirectory) {
+    if (dir_index_.size() >= kMaxDirIndexEntries) {
+      dir_index_.erase(dir_index_.begin());
+    }
+    dir_index_[dir] = CachedDirIndex{inode.mtime, inode.size, entries};
+  }
+  return entries;
+}
+
+void Ufs::SyncDirIndexEpoch() {
+  // A buffer-cache invalidation means the device may have diverged from
+  // everything we have parsed (crash simulation, external mutation); the
+  // (mtime, size) stamp cannot be trusted across it, so drop the index.
+  if (cache_->epoch() != dir_index_epoch_) {
+    dir_index_.clear();
+    dir_index_epoch_ = cache_->epoch();
+  }
+}
+
+void Ufs::RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
+  SyncDirIndexEpoch();
+  auto inode = ReadInode(dir);
+  if (!inode.ok() || inode->type != FileType::kDirectory) {
+    return;
+  }
+  if (dir_index_.size() >= kMaxDirIndexEntries) {
+    dir_index_.erase(dir_index_.begin());
+  }
+  dir_index_[dir] = CachedDirIndex{inode->mtime, inode->size, entries};
+}
+
+Status Ufs::WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
+  // WriteAll's Truncate/WriteAt erase the index entry; re-stamp it with
+  // the freshly written state so the next access is a hit.
+  FICUS_RETURN_IF_ERROR(WriteAll(dir, SerializeDir(entries)));
+  RememberDirIndex(dir, entries);
+  return OkStatus();
+}
+
 StatusOr<InodeNum> Ufs::DirLookup(InodeNum dir, std::string_view name) {
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirLookup on non-directory inode");
   }
-  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
-  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir, inode));
   for (const auto& e : entries) {
     if (e.name == name) {
       return e.ino;
@@ -552,27 +608,25 @@ Status Ufs::DirAdd(InodeNum dir, std::string_view name, InodeNum ino, FileType t
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirAdd on non-directory inode");
   }
-  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
-  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir, inode));
   for (const auto& e : entries) {
     if (e.name == name) {
       return ExistsError(std::string(name));
     }
   }
   entries.push_back(UfsDirEntry{std::string(name), ino, type});
-  return WriteAll(dir, SerializeDir(entries));
+  return WriteDirEntries(dir, entries);
 }
 
 Status Ufs::DirRemove(InodeNum dir, std::string_view name) {
-  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
-  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir));
   auto it = std::find_if(entries.begin(), entries.end(),
                          [&](const UfsDirEntry& e) { return e.name == name; });
   if (it == entries.end()) {
     return NotFoundError(std::string(name));
   }
   entries.erase(it);
-  return WriteAll(dir, SerializeDir(entries));
+  return WriteDirEntries(dir, entries);
 }
 
 StatusOr<std::vector<UfsDirEntry>> Ufs::DirList(InodeNum dir) {
@@ -580,8 +634,7 @@ StatusOr<std::vector<UfsDirEntry>> Ufs::DirList(InodeNum dir) {
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirList on non-directory inode");
   }
-  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
-  return DeserializeDir(data);
+  return CachedDirEntries(dir, inode);
 }
 
 StatusOr<bool> Ufs::DirIsEmpty(InodeNum dir) {
@@ -590,12 +643,11 @@ StatusOr<bool> Ufs::DirIsEmpty(InodeNum dir) {
 }
 
 Status Ufs::DirRepoint(InodeNum dir, std::string_view name, InodeNum new_ino) {
-  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
-  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir));
   for (auto& e : entries) {
     if (e.name == name) {
       e.ino = new_ino;
-      return WriteAll(dir, SerializeDir(entries));
+      return WriteDirEntries(dir, entries);
     }
   }
   return NotFoundError(std::string(name));

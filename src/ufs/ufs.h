@@ -25,6 +25,7 @@
 #define FICUS_SRC_UFS_UFS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -180,6 +181,32 @@ class Ufs {
 
   // Maps a file block ordinal to a device block, optionally allocating.
   StatusOr<uint32_t> MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty);
+
+  // --- parsed-directory index ---
+  // Every DirLookup/DirAdd/DirRemove used to re-read and re-parse the
+  // whole directory file; this per-inode index keeps the parsed entries,
+  // validated by the inode's (mtime, size) stamp and erased outright by
+  // any data mutation (WriteAt/Truncate), mirroring the physical layer's
+  // generation-validated dir_cache_.
+  // Drops the whole index if the buffer cache has been invalidated since
+  // we last looked (the device may have diverged, e.g. crash simulation).
+  void SyncDirIndexEpoch();
+  StatusOr<std::vector<UfsDirEntry>> CachedDirEntries(InodeNum dir);
+  // Overload for callers that already read the inode (saves a re-read).
+  StatusOr<std::vector<UfsDirEntry>> CachedDirEntries(InodeNum dir, const Inode& inode);
+  // Serializes + writes `entries` as dir's contents and re-stamps the
+  // index with the resulting inode state.
+  Status WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entries);
+  void RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries);
+
+  struct CachedDirIndex {
+    SimTime mtime = 0;
+    uint64_t size = 0;
+    std::vector<UfsDirEntry> entries;
+  };
+  std::map<InodeNum, CachedDirIndex> dir_index_;
+  uint64_t dir_index_epoch_ = 0;
+  static constexpr size_t kMaxDirIndexEntries = 128;
 
   storage::BufferCache* cache_;
   const SimClock* clock_;

@@ -163,6 +163,43 @@ TEST_F(FacadeTest, SymlinksAndOpenCloseThroughProxy) {
   EXPECT_EQ(layer_->stats().closes_noted, 1u);
 }
 
+TEST_F(FacadeTest, BlockDigestsThroughProxy) {
+  auto proxy = DirectProxy();
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload(kDeltaBlockSize + 100, 0x3C);
+  ASSERT_TRUE(proxy->WriteData(*file, 0, payload).ok());
+
+  auto info = proxy->ReadBlockDigests(*file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->file_size, payload.size());
+  ASSERT_EQ(info->digests.size(), 2u);
+  EXPECT_EQ(info->digests[0], BlockDigest(payload.data(), kDeltaBlockSize));
+  EXPECT_EQ(info->digests[1], BlockDigest(payload.data() + kDeltaBlockSize, 100));
+  // Digests of a directory are refused through the same encoding.
+  EXPECT_EQ(proxy->ReadBlockDigests(kRootFileId).status().code(), ErrorCode::kIsDir);
+}
+
+TEST_F(FacadeTest, BatchGetAttributesThroughProxy) {
+  auto proxy = DirectProxy();
+  auto f1 = proxy->CreateChild(kRootFileId, "f1", FicusFileType::kRegular, 0);
+  auto f2 = proxy->CreateChild(kRootFileId, "f2", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(proxy->WriteData(*f2, 0, {1}).ok());
+
+  auto rows = proxy->BatchGetAttributes({*f1, *f2, FileId{9, 9}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0].file, *f1);
+  ASSERT_TRUE((*rows)[0].status.ok());
+  EXPECT_EQ((*rows)[0].attrs.type, FicusFileType::kRegular);
+  ASSERT_TRUE((*rows)[1].status.ok());
+  EXPECT_EQ((*rows)[1].attrs.vv.Count(1), 2u);  // create + write
+  // Per-file errors ride inside the batch instead of failing it.
+  EXPECT_EQ((*rows)[2].status.code(), ErrorCode::kNotFound);
+}
+
 // The real deployment: proxy -> NFS client -> network -> NFS server ->
 // facade -> physical layer. Open/close information survives because it is
 // encoded in lookup names, which NFS forwards verbatim.
@@ -204,6 +241,34 @@ TEST_F(FacadeOverNfsTest, FullApiAcrossTheWire) {
   auto data = proxy->ReadAllData(*file);
   ASSERT_TRUE(data.ok());
   EXPECT_EQ(data.value(), payload);
+}
+
+TEST_F(FacadeOverNfsTest, BlockDigestsAndBatchedAttributesAcrossTheWire) {
+  auto proxy = NfsProxy();
+  auto file = proxy->CreateChild(kRootFileId, "f", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload(3 * kDeltaBlockSize, 0x7E);
+  ASSERT_TRUE(proxy->WriteData(*file, 0, payload).ok());
+
+  auto info = proxy->ReadBlockDigests(*file);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->file_size, payload.size());
+  ASSERT_EQ(info->digests.size(), 3u);
+  for (uint64_t d : info->digests) {
+    EXPECT_EQ(d, BlockDigest(payload.data(), kDeltaBlockSize));
+  }
+
+  auto rows = proxy->BatchGetAttributes({*file, FileId{9, 9}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_TRUE((*rows)[0].status.ok());
+  EXPECT_EQ((*rows)[1].status.code(), ErrorCode::kNotFound);
+
+  // A ranged read works across the hop too (the delta path's fetch RPC).
+  auto piece = proxy->ReadData(*file, kDeltaBlockSize, kDeltaBlockSize);
+  ASSERT_TRUE(piece.ok());
+  EXPECT_EQ(piece->size(), kDeltaBlockSize);
+  EXPECT_EQ((*piece)[0], 0x7E);
 }
 
 TEST_F(FacadeOverNfsTest, OpenCloseInformationSurvivesNfs) {

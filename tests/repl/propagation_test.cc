@@ -201,6 +201,126 @@ TEST_F(PropagationTest, RetryBudgetDropsHopelessEntries) {
   EXPECT_EQ(data.value(), (std::vector<uint8_t>{1}));
 }
 
+TEST_F(PropagationTest, DeltaPullFetchesOnlyDifferingBlocks) {
+  FileId file = SharedFile();
+  std::vector<uint8_t> contents(128 * 1024, 'x');
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, contents).ok());
+  ReconcileAll();  // both replicas now hold the 128 KiB version
+
+  std::vector<uint8_t> edit(kDeltaBlockSize, 'y');
+  ASSERT_TRUE(layer(0)->WriteData(file, 17 * kDeltaBlockSize, edit).ok());
+  NotifyReplica2(file);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+
+  auto got = layer(1)->ReadAllData(file);
+  auto want = layer(0)->ReadAllData(file);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got.value(), want.value());
+  PropagationStats stats = daemon1_->stats();
+  EXPECT_EQ(stats.pulled_files, 1u);
+  EXPECT_EQ(stats.bytes_pulled, kDeltaBlockSize);  // one block, not 128 KiB
+  EXPECT_EQ(stats.delta_blocks_fetched, 1u);
+  EXPECT_EQ(stats.delta_bytes_saved, contents.size() - kDeltaBlockSize);
+  EXPECT_EQ(stats.whole_file_fallbacks, 0u);
+}
+
+TEST_F(PropagationTest, SmallFilePullSkipsDeltaMachinery) {
+  // Below delta_min_bytes the daemon must not even ask for digests — it
+  // goes straight to the whole-file read and counts the fallback.
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {9, 8, 7}).ok());
+  NotifyReplica2(file);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  PropagationStats stats = daemon1_->stats();
+  EXPECT_EQ(stats.bytes_pulled, 3u);
+  EXPECT_EQ(stats.delta_blocks_fetched, 0u);
+  EXPECT_EQ(stats.whole_file_fallbacks, 1u);
+}
+
+TEST_F(PropagationTest, DeltaDisabledPullsWholeFile) {
+  PropagationConfig config;
+  config.delta_enabled = false;
+  PropagationDaemon daemon(layer(1), &resolver_, &log_, &clock_, config);
+  FileId file = SharedFile();
+  std::vector<uint8_t> contents(64 * 1024, 'x');
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, contents).ok());
+  ReconcileAll();
+  contents[0] = 'y';
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {'y'}).ok());
+  NotifyReplica2(file);
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  PropagationStats stats = daemon.stats();
+  EXPECT_EQ(stats.bytes_pulled, contents.size());
+  EXPECT_EQ(stats.delta_blocks_fetched, 0u);
+}
+
+TEST_F(PropagationTest, ProbePhaseBatchesPerPeer) {
+  // Two pending entries from the same source peer are probed with ONE
+  // BatchGetAttributes round instead of a GetAttributes call each.
+  auto f1 = layer(0)->CreateChild(kRootFileId, "f1", FicusFileType::kRegular, 0);
+  auto f2 = layer(0)->CreateChild(kRootFileId, "f2", FicusFileType::kRegular, 0);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ReconcileAll();
+  ASSERT_TRUE(layer(0)->WriteData(*f1, 0, {1}).ok());
+  ASSERT_TRUE(layer(0)->WriteData(*f2, 0, {2}).ok());
+  NotifyReplica2(*f1);
+  NotifyReplica2(*f2);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().batched_probes, 1u);
+  EXPECT_EQ(daemon1_->stats().pulled_files, 2u);
+}
+
+TEST_F(PropagationTest, StaleRestoreKeepsNewerNotification) {
+  // Regression: an entry taken by the daemon and re-noted after a deferral
+  // used to clobber any newer notification that arrived in between. The
+  // restore must merge keep-dominant.
+  FileId file = SharedFile();
+  GlobalFileId gid{VolumeId{1, 1}, file};
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  auto old_attrs = layer(0)->GetAttributes(file);
+  ASSERT_TRUE(old_attrs.ok());
+  layer(1)->NoteNewVersion(gid, old_attrs->vv, 1);
+  std::vector<NewVersionEntry> taken = layer(1)->TakePendingVersions();
+  ASSERT_EQ(taken.size(), 1u);
+
+  // While the daemon held the entry, a strictly newer version shows up
+  // advertised by replica 3.
+  clock_.Advance(5 * kSecond);
+  VersionVector newer = old_attrs->vv;
+  newer.Increment(3);
+  layer(1)->NoteNewVersion(gid, newer, 3);
+
+  layer(1)->RestoreNewVersion(taken[0]);
+  std::vector<NewVersionEntry> merged = layer(1)->TakePendingVersions();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].source, 3);  // dominant notification wins the source
+  EXPECT_TRUE(merged[0].vv == newer);
+  EXPECT_EQ(merged[0].noted_at, taken[0].noted_at);  // oldest age preserved
+}
+
+TEST_F(PropagationTest, RepeatedDeferralDoesNotStarveMinAge) {
+  // Regression: a min_age deferral used to re-note the entry with a fresh
+  // timestamp, so an entry checked more often than min_age never ripened.
+  PropagationConfig config;
+  config.min_age = 10 * kSecond;
+  PropagationDaemon delayed(layer(1), &resolver_, &log_, &clock_, config);
+
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+
+  ASSERT_TRUE(delayed.RunOnce().ok());  // t0: too young
+  clock_.Advance(6 * kSecond);
+  ASSERT_TRUE(delayed.RunOnce().ok());  // t0+6s: still too young
+  EXPECT_EQ(delayed.stats().pulled_files, 0u);
+  clock_.Advance(6 * kSecond);
+  ASSERT_TRUE(delayed.RunOnce().ok());  // t0+12s: ripe from ORIGINAL arrival
+  EXPECT_EQ(delayed.stats().pulled_files, 1u);
+}
+
 TEST_F(PropagationTest, UnstoredFileIgnored) {
   // Notification about a file this volume replica chose not to store.
   GlobalFileId ghost{VolumeId{1, 1}, FileId{1, 999}};

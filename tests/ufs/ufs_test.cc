@@ -239,5 +239,71 @@ TEST_F(UfsTest, SurvivesCacheInvalidation) {
   EXPECT_EQ(contents.value(), payload);
 }
 
+TEST_F(UfsTest, DirIndexServesRepeatedLookupsWithoutRereads) {
+  // After one parse, repeated lookups in an unchanged directory are served
+  // from the in-memory index — no buffer-cache traffic for the dir data.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        ufs_.CreateFile(kRootInode, "f" + std::to_string(i), FileType::kRegular, 0644, 0, 0)
+            .ok());
+  }
+  ASSERT_TRUE(ufs_.DirLookup(kRootInode, "f0").ok());  // warm the index
+  uint64_t hits_before = cache_.stats().hits;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ufs_.DirLookup(kRootInode, "f" + std::to_string(i)).ok());
+  }
+  // Each indexed lookup still reads the inode (1 cache hit) but not the
+  // directory's data blocks; an unindexed parse would add data reads too.
+  EXPECT_EQ(cache_.stats().hits - hits_before, 50u);
+}
+
+TEST_F(UfsTest, DirIndexInvalidatedByDirectDataWrite) {
+  // A raw WriteAt to the directory inode (bypassing DirAdd/DirRemove) must
+  // not leave the index serving the old parsed entries.
+  auto a = ufs_.CreateFile(kRootInode, "a", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ufs_.DirLookup(kRootInode, "a").ok());  // index the root
+
+  // Rewrite the root directory's bytes to an empty record list.
+  ASSERT_TRUE(ufs_.WriteAll(kRootInode, std::vector<uint8_t>{}).ok());
+  EXPECT_EQ(ufs_.DirLookup(kRootInode, "a").status().code(), ErrorCode::kNotFound);
+  auto entries = ufs_.DirList(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST_F(UfsTest, DirIndexDroppedOnCacheInvalidation) {
+  // DirRepoint keeps the directory's size (and, with a frozen clock, its
+  // mtime) unchanged, so only the cache-epoch check can notice that the
+  // device diverged — the crash-simulation pattern.
+  auto a = ufs_.CreateFile(kRootInode, "a", FileType::kRegular, 0644, 0, 0);
+  auto b = ufs_.CreateFile(kRootInode, "b", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(ufs_.DirRepoint(kRootInode, "a", *b).ok());
+  cache_.Invalidate();
+  auto found = ufs_.DirLookup(kRootInode, "a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), *b);  // re-parsed from the device, not the index
+}
+
+TEST_F(UfsTest, DirIndexSurvivesMutationsThroughDirOps) {
+  // Add/remove/repoint keep the index coherent: every op re-stamps or
+  // erases, and lookups always agree with a from-scratch parse.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        ufs_.CreateFile(kRootInode, "f" + std::to_string(i), FileType::kRegular, 0644, 0, 0)
+            .ok());
+  }
+  ASSERT_TRUE(ufs_.Unlink(kRootInode, "f3").ok());
+  ASSERT_TRUE(ufs_.Unlink(kRootInode, "f17").ok());
+  EXPECT_EQ(ufs_.DirLookup(kRootInode, "f3").status().code(), ErrorCode::kNotFound);
+  auto entries = ufs_.DirList(kRootInode);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 18u);
+  ASSERT_TRUE(ufs_.DirLookup(kRootInode, "f0").ok());
+  ExpectClean();
+}
+
 }  // namespace
 }  // namespace ficus::ufs
