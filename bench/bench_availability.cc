@@ -58,7 +58,7 @@ int main() {
 
   std::printf("Partition model (Monte-Carlo, 200k trials): reliable hosts\n");
   std::printf("(p=0.99) behind a network that splits in two with probability q\n\n");
-  Rng rng(20260705);
+  Rng rng(SeedFromEnvOr(20260705, "bench_availability"));
   OneCopyPolicy one_copy;
   MajorityVotingPolicy majority;
   PrimaryCopyPolicy primary(0);

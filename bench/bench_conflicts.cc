@@ -30,7 +30,7 @@ struct Outcome {
 };
 
 Outcome RunScenario(double same_object_prob, int cycles, uint64_t seed) {
-  Rng rng(seed);
+  Rng rng(SeedFromEnvOr(seed, "bench_conflicts"));
   sim::Cluster cluster;
   sim::FicusHost* a = cluster.AddHost("a");
   sim::FicusHost* b = cluster.AddHost("b");

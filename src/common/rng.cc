@@ -2,8 +2,32 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ficus {
+
+uint64_t SeedFromEnvOr(uint64_t default_seed, const char* label) {
+  uint64_t seed = default_seed;
+  const char* env = std::getenv("FICUS_SEED");
+  bool overridden = false;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    uint64_t parsed = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      seed = parsed;
+      overridden = true;
+    } else {
+      std::fprintf(stderr, "[seed] %s: ignoring unparseable FICUS_SEED='%s'\n",
+                   label != nullptr ? label : "rng", env);
+    }
+  }
+  std::fprintf(stderr, "[seed] %s: %llu%s (reproduce with FICUS_SEED=%llu)\n",
+               label != nullptr ? label : "rng", static_cast<unsigned long long>(seed),
+               overridden ? " (from FICUS_SEED)" : "",
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
 
 namespace {
 uint64_t SplitMix64(uint64_t& state) {

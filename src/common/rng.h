@@ -11,6 +11,13 @@
 
 namespace ficus {
 
+// Returns the seed a randomized test/bench should use: the FICUS_SEED
+// environment variable when set (so any logged failure reproduces with
+// `FICUS_SEED=<n> ctest -R <test>`), otherwise `default_seed`. The chosen
+// seed is logged to stderr with `label` either way — a failure report is
+// only actionable if the seed that produced it is in the output.
+uint64_t SeedFromEnvOr(uint64_t default_seed, const char* label);
+
 // xoshiro256** — small, fast, high-quality; seeded via splitmix64.
 class Rng {
  public:

@@ -88,6 +88,7 @@ PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptio
   stats_.remove_update_conflicts = registry_->counter("repl.physical.remove_update_conflicts");
   stats_.notifications_noted = registry_->counter("repl.physical.notifications_noted");
   stats_.shadows_recovered = registry_->counter("repl.physical.shadows_recovered");
+  stats_.orphans_reclaimed = registry_->counter("repl.physical.orphans_reclaimed");
   stats_.dir_cache_hits = registry_->counter("repl.physical.dir_cache.hits");
   stats_.dir_cache_misses = registry_->counter("repl.physical.dir_cache.misses");
 }
@@ -103,6 +104,7 @@ PhysicalStats PhysicalLayer::stats() const {
   out.remove_update_conflicts = stats_.remove_update_conflicts->value();
   out.notifications_noted = stats_.notifications_noted->value();
   out.shadows_recovered = stats_.shadows_recovered->value();
+  out.orphans_reclaimed = stats_.orphans_reclaimed->value();
   out.dir_cache_hits = stats_.dir_cache_hits->value();
   out.dir_cache_misses = stats_.dir_cache_misses->value();
   return out;
@@ -199,6 +201,11 @@ Status PhysicalLayer::Attach(std::string_view container_name) {
                          ufs_->DirLookup(container_, kRootFileId.ToHex()));
   locations_[kRootFileId] = Location{container_, root_dir, FicusFileType::kDirectory};
   FICUS_RETURN_IF_ERROR(RecoverShadows(root_dir));
+  // A crash after the repoint but before FreeInode strands the superseded
+  // inode with no directory reference; the shadow sweep cannot see it (the
+  // shadow name may already be gone), so reclaim at the UFS level.
+  FICUS_ASSIGN_OR_RETURN(uint32_t reclaimed, ufs_->ReclaimOrphans());
+  stats_.orphans_reclaimed->Add(reclaimed);
   return ScanTree(root_dir, kRootFileId);
 }
 
@@ -598,6 +605,14 @@ Status PhysicalLayer::TruncateData(FileId file, uint64_t size) {
   return StoreAttributes(file, attrs);
 }
 
+Status PhysicalLayer::MaybeCrash(ShadowCrashPoint point) const {
+  if (options_.crash_point != nullptr && options_.crash_point(point)) {
+    return IoError("simulated crash at shadow commit point " +
+                   std::to_string(static_cast<int>(point)));
+  }
+  return OkStatus();
+}
+
 Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& contents,
                                      const VersionVector& vv) {
   FICUS_RETURN_IF_ERROR(CheckAttached());
@@ -621,7 +636,9 @@ Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& co
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum shadow_ino,
                          ufs_->CreateFile(loc.parent_dir, shadow, ufs::FileType::kRegular,
                                           0644, 0, 0));
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterShadowCreate));
   FICUS_RETURN_IF_ERROR(ufs_->WriteAll(shadow_ino, contents));
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterShadowWrite));
   if (options_.attr_placement == AttrPlacement::kInode) {
     FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
     attrs.vv = vv;
@@ -645,17 +662,21 @@ Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& co
       FICUS_RETURN_IF_ERROR(ufs_->WriteAll(aux.value(), bytes));
     }
   }
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterAttrStage));
 
   // 2. The commit point: atomically swing the low-level directory
   //    reference from the original to the shadow (section 3.2). A crash
   //    before this line leaves the original replica intact.
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum old_ino, ufs_->DirLookup(loc.parent_dir, base));
   FICUS_RETURN_IF_ERROR(ufs_->DirRepoint(loc.parent_dir, base, shadow_ino));
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterRepoint));
 
   // 3. Tidy: drop the spare shadow name and the superseded inode. Attach()
   //    redoes this if a crash interrupts it.
   FICUS_RETURN_IF_ERROR(ufs_->DirRemove(loc.parent_dir, shadow));
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterShadowUnlink));
   FICUS_RETURN_IF_ERROR(ufs_->FreeInode(old_ino));
+  FICUS_RETURN_IF_ERROR(MaybeCrash(ShadowCrashPoint::kAfterFreeInode));
 
   // 4. Record the new version vector. A crash between the swap and here
   //    leaves the replica claiming an older version than it holds; the
@@ -723,6 +744,9 @@ Status PhysicalLayer::AddEntry(FileId dir, std::string_view name, FileId target,
       e.alive = true;
       e.type = type;
       e.vv.Increment(replica_);
+      // The old deleter's content judgement no longer applies to a live
+      // entry; a stale one would diverge from peers that recreate afresh.
+      e.deleted_file_vv = VersionVector();
       reused = true;
       break;
     }
@@ -819,6 +843,7 @@ Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, Fil
         e.alive = true;
         e.type = moving.type;
         e.vv.Increment(replica_);
+        e.deleted_file_vv = VersionVector();
         reused = true;
         break;
       }
@@ -833,9 +858,52 @@ Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, Fil
     return BumpDirVersion(old_dir);
   }
 
-  // Cross-directory: tombstone at the source, (re)insert at the target.
-  // Note the file's *storage* does not move — only the name does, because
-  // storage is addressed by hex file-id, not by pathname.
+  // Cross-directory: displace any existing target (same semantics as the
+  // in-place branch above), insert at the target directory FIRST, and only
+  // then tombstone the source. A failure between the two steps leaves a
+  // benign transient double link — never an orphaned file, which is what
+  // the old tombstone-then-AddEntry order produced when the target name
+  // already existed. The file's *storage* does not move — only the name
+  // does, because storage is addressed by hex file-id, not by pathname.
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> new_entries, LoadDirEntries(new_dir));
+  auto displaced = FindAliveByPresentedName(new_entries, new_name);
+  if (displaced.ok()) {
+    FicusDirEntry& d = new_entries[displaced.value()];
+    d.alive = false;
+    d.vv.Increment(replica_);
+    if (d.type == FicusFileType::kRegular || d.type == FicusFileType::kSymlink) {
+      auto displaced_attrs = LoadAttributes(d.file);
+      if (displaced_attrs.ok()) {
+        d.deleted_file_vv = displaced_attrs->vv;
+      }
+    }
+    auto displaced_it = alive_refs_.find(d.file);
+    if (displaced_it != alive_refs_.end() && displaced_it->second > 0) {
+      --displaced_it->second;
+    }
+  }
+  bool reused = false;
+  for (auto& e : new_entries) {
+    if (e.name == new_name && e.file == moving.file) {
+      e.alive = true;
+      e.type = moving.type;
+      e.vv.Increment(replica_);
+      e.deleted_file_vv = VersionVector();
+      reused = true;
+      break;
+    }
+  }
+  if (!reused) {
+    FicusDirEntry fresh = moving;
+    fresh.name = std::string(new_name);
+    fresh.vv.Increment(replica_);
+    fresh.deleted_file_vv = VersionVector();
+    new_entries.push_back(std::move(fresh));
+  }
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(new_dir, new_entries));
+  ++alive_refs_[moving.file];
+  FICUS_RETURN_IF_ERROR(BumpDirVersion(new_dir));
+
   old_entries[index].alive = false;
   old_entries[index].vv.Increment(replica_);
   FICUS_RETURN_IF_ERROR(StoreDirEntries(old_dir, old_entries));
@@ -843,8 +911,7 @@ Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, Fil
   if (it != alive_refs_.end() && it->second > 0) {
     --it->second;
   }
-  FICUS_RETURN_IF_ERROR(BumpDirVersion(old_dir));
-  return AddEntry(new_dir, new_name, moving.file, moving.type);
+  return BumpDirVersion(old_dir);
 }
 
 StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
@@ -872,6 +939,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
           if (attrs.ok() && !remote.deleted_file_vv.Dominates(attrs->vv)) {
             local.vv.MergeWith(remote.vv);
             local.vv.Increment(replica_);
+            local.deleted_file_vv = VersionVector();
             stats_.remove_update_conflicts->Increment();
             return true;
           }
@@ -887,6 +955,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
           if (HasLiveEntries(local.file)) {
             local.vv.MergeWith(remote.vv);
             local.vv.Increment(replica_);
+            local.deleted_file_vv = VersionVector();
             stats_.insert_delete_conflicts->Increment();
             return true;
           }
@@ -902,6 +971,10 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
         local.alive = remote.alive;
         local.type = remote.type;
         local.vv = remote.vv;
+        // The tombstone's record of the deleter's content knowledge must
+        // travel with it, or replicas that learned of the delete second-hand
+        // would make different resurrection decisions later.
+        local.deleted_file_vv = remote.deleted_file_vv;
         return true;
       case VectorOrder::kConcurrent: {
         // Concurrent insert/delete of the same entry: automatic repair in
@@ -916,6 +989,12 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
         }
         local.alive = resolved_alive;
         local.vv.MergeWith(remote.vv);
+        if (resolved_alive) {
+          local.deleted_file_vv = VersionVector();
+        } else {
+          // Concurrent tombstones: combine both deleters' knowledge.
+          local.deleted_file_vv.MergeWith(remote.deleted_file_vv);
+        }
         return true;
       }
     }

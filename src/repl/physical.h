@@ -53,6 +53,7 @@ struct PhysicalStats {
   uint64_t remove_update_conflicts = 0;  // delete raced an unseen update
   uint64_t notifications_noted = 0;
   uint64_t shadows_recovered = 0;     // stranded shadows cleaned at Attach
+  uint64_t orphans_reclaimed = 0;     // unreferenced inodes freed at Attach
   uint64_t dir_cache_hits = 0;        // parsed-directory cache generation matches
   uint64_t dir_cache_misses = 0;      // full read + reparse was needed
 };
@@ -75,8 +76,26 @@ enum class AttrPlacement : uint8_t {
 // directories are always stored (directories carry the namespace).
 using StoragePolicy = std::function<bool(const FicusDirEntry& entry)>;
 
+// The write points of InstallVersion's shadow-file commit sequence, in
+// order. Used by the crash_point test hook to simulate a crash after each
+// durable step (the buffer cache is write-through, so "everything up to
+// the point, nothing after" is exactly what a real crash leaves on disk).
+enum class ShadowCrashPoint {
+  kAfterShadowCreate,  // shadow inode exists, still empty
+  kAfterShadowWrite,   // new contents staged in the shadow
+  kAfterAttrStage,     // inode-resident/spilled attributes staged
+  kAfterRepoint,       // commit point passed: the name now maps to the shadow inode
+  kAfterShadowUnlink,  // spare shadow name removed
+  kAfterFreeInode,     // superseded inode freed; version vector not yet updated
+};
+
 struct PhysicalOptions {
   AttrPlacement attr_placement = AttrPlacement::kAuxFile;
+  // Test-only fault hook: called at each write point of the shadow-file
+  // commit path; returning true aborts the install with an I/O error,
+  // leaving the on-disk image exactly as a crash at that point would.
+  // Null (the default) never fires.
+  std::function<bool(ShadowCrashPoint)> crash_point;
   // Null policy = store everything ("a volume replica ... need not store
   // a replica of any particular file", section 4.1). Reads of unstored
   // files are served by other replicas via the logical layer's selection.
@@ -190,6 +209,9 @@ class PhysicalLayer : public PhysicalApi {
 
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
   Status CheckAttached() const;
+  // Fires the options_.crash_point hook: an I/O error when the hook elects
+  // to crash the shadow commit at `point`, OkStatus otherwise.
+  Status MaybeCrash(ShadowCrashPoint point) const;
 
   StatusOr<Location> Find(FileId file) const;
   // UFS inode of a regular replica's data file.
@@ -279,6 +301,7 @@ class PhysicalLayer : public PhysicalApi {
     Counter* remove_update_conflicts;
     Counter* notifications_noted;
     Counter* shadows_recovered;
+    Counter* orphans_reclaimed;
     Counter* dir_cache_hits;
     Counter* dir_cache_misses;
   };

@@ -1,0 +1,511 @@
+#include "src/sim/checker/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/net/fault.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim::checker {
+
+namespace {
+
+// Index into Runner::parent_ids for the directory holding `slot`.
+size_t ParentIndex(const CheckerConfig& config, uint32_t slot) {
+  if (config.dirs == 0 || slot % 3 == 0) return 0;  // the volume root
+  return 1 + (slot % config.dirs);
+}
+
+// Everything one Run() needs, so helpers stay free of long parameter
+// lists.
+struct Runner {
+  const Schedule& schedule;
+  Cluster cluster;
+  std::vector<FicusHost*> hosts;
+  std::vector<repl::LogicalLayer*> logicals;
+  // parent_ids[0] = volume root, parent_ids[1 + k] = "d<k>". Resolved once
+  // after the pre-seed quiesce; these directories are never removed or
+  // renamed, so the binding is stable for the whole run.
+  std::vector<repl::FileId> parent_ids;
+  repl::VolumeId volume;
+  OneCopyOracle oracle;
+  std::set<uint32_t> crashed;
+  std::set<std::string> violations;  // deduplicated across checkpoints
+  RunResult result;
+
+  explicit Runner(const Schedule& s) : schedule(s) {}
+
+  bool IsCrashed(uint32_t host) const { return crashed.count(host) != 0; }
+
+  // Never cached: Reboot() rebuilds the physical layer, so a stored
+  // pointer dangles after the first crash/recover cycle.
+  repl::PhysicalLayer* physical(uint32_t host) const {
+    return hosts[host]->registry().LocalReplica(volume);
+  }
+
+  void HarnessError(const std::string& what) { result.harness_errors.push_back(what); }
+
+  // Observations bypass the simulated network entirely: each host's local
+  // physical layer is read directly, so fault plans and partitions cannot
+  // distort what the oracle learns. Crashed hosts are excluded — their
+  // in-memory layer believes writes that the crashed device dropped.
+  void ObserveDirEverywhere(const repl::FileId& dir) {
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (IsCrashed(h)) continue;
+      StatusOr<std::vector<repl::FicusDirEntry>> raw = physical(h)->ReadDirectory(dir);
+      if (raw.ok()) oracle.ObserveDirectory(dir, raw.value());
+    }
+  }
+
+  void ObserveParentEverywhere(uint32_t slot) {
+    size_t index = ParentIndex(schedule.config, slot);
+    if (index < parent_ids.size()) ObserveDirEverywhere(parent_ids[index]);
+  }
+
+  uint64_t ReconcileWorkTotal() const {
+    uint64_t total = 0;
+    for (FicusHost* host : hosts) {
+      for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+        total += layer->stats().entries_applied + layer->stats().installs;
+      }
+    }
+    return total;
+  }
+
+  void PropagationPass() {
+    cluster.network().FlushDeferredDatagrams();
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (IsCrashed(h)) continue;
+      (void)hosts[h]->RunPropagation();  // fault-induced errors are chaos, not bugs
+    }
+  }
+
+  // Recursive sweep for ".shadow" files left behind by a crashed commit —
+  // Attach() must have cleaned every one of them during reboot.
+  void ScanShadowResidue(FicusHost* host, ufs::InodeNum dir, const std::string& prefix) {
+    StatusOr<std::vector<ufs::UfsDirEntry>> entries = host->ufs().DirList(dir);
+    if (!entries.ok()) {
+      HarnessError("shadow scan failed on " + host->name() + " at " + prefix + ": " +
+                   entries.status().ToString());
+      return;
+    }
+    for (const ufs::UfsDirEntry& entry : entries.value()) {
+      std::string path = prefix + "/" + entry.name;
+      if (entry.name.size() > 7 && entry.name.substr(entry.name.size() - 7) == ".shadow") {
+        violations.insert("shadow residue after recovery: " + path + " on host " +
+                          host->name());
+      }
+      if (entry.type == ufs::FileType::kDirectory) {
+        ScanShadowResidue(host, entry.ino, path);
+      }
+    }
+  }
+
+  // Heal-and-quiesce, then run the oracle and the per-host storage checks.
+  void Checkpoint(int op_index) {
+    ++result.checkpoints;
+    cluster.ClearFaults();
+    cluster.Heal();
+    for (uint32_t h : crashed) {
+      Status status = hosts[h]->Reboot();
+      if (!status.ok()) {
+        HarnessError("reboot of " + hosts[h]->name() + " failed: " + status.ToString());
+      }
+    }
+    crashed.clear();
+    // Clear the propagation daemons' retry backoff (capped at 30 s) and
+    // any min_age gate before draining them.
+    cluster.Sleep(60 * kSecond);
+    for (int pass = 0; pass < 4; ++pass) {
+      PropagationPass();
+      cluster.Sleep(kSecond);
+    }
+    StatusOr<int> rounds = cluster.ReconcileUntilQuiescent(32);
+    if (!rounds.ok()) {
+      HarnessError("reconciliation failed at op " + std::to_string(op_index) + ": " +
+                   rounds.status().ToString());
+      return;
+    }
+    // The round count is ambiguous at the limit; probe quiescence
+    // explicitly with one more full pass over the work counters.
+    uint64_t before = ReconcileWorkTotal();
+    for (FicusHost* host : hosts) (void)host->RunReconciliation();
+    if (ReconcileWorkTotal() != before) {
+      result.quiesced = false;
+      violations.insert("cluster failed to quiesce within 33 reconciliation rounds");
+    }
+
+    std::vector<ReplicaView> views;
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      views.push_back(ReplicaView{hosts[h]->name(), physical(h), logicals[h]});
+    }
+    for (const std::string& violation : oracle.CheckFinal(views)) {
+      violations.insert(violation);
+    }
+    for (FicusHost* host : hosts) {
+      ScanShadowResidue(host, ufs::kRootInode, "");
+      StatusOr<std::vector<std::string>> fsck = host->ufs().Check();
+      if (!fsck.ok()) {
+        HarnessError("ufs check failed on " + host->name() + ": " + fsck.status().ToString());
+      } else {
+        for (const std::string& problem : fsck.value()) {
+          violations.insert("ufs inconsistency on " + host->name() + ": " + problem);
+        }
+      }
+      for (repl::PhysicalLayer* layer : host->registry().AllLocal()) {
+        StatusOr<std::vector<std::string>> check = layer->CheckConsistency();
+        if (!check.ok()) {
+          HarnessError("physical consistency check failed on " + host->name() + ": " +
+                       check.status().ToString());
+        } else {
+          for (const std::string& problem : check.value()) {
+            violations.insert("replica inconsistency on " + host->name() + ": " + problem);
+          }
+        }
+      }
+    }
+  }
+};
+
+Status SetUp(Runner& r) {
+  const CheckerConfig& config = r.schedule.config;
+  HostConfig host_config;
+  // Small disks keep per-schedule setup cheap; the op universe is tiny.
+  host_config.disk_blocks = 2048;
+  host_config.inode_count = 512;
+  host_config.cache_blocks = 128;
+  if (!config.fault_plan.empty()) {
+    // Same patience the fault tier uses: cheap per-attempt timeouts and
+    // retry on unreachable, so a lossy network costs sim time, not truth.
+    host_config.transport_retry.rpc_timeout = 20 * kMillisecond;
+    host_config.transport_retry.backoff_base = 10 * kMillisecond;
+    host_config.transport_retry.retry_unreachable = true;
+    host_config.transport_retry.rng_seed = r.schedule.seed;
+    host_config.propagation.retry_backoff_base = 250 * kMillisecond;
+  }
+  for (uint32_t h = 0; h < config.hosts; ++h) {
+    r.hosts.push_back(r.cluster.AddHost("h" + std::to_string(h), host_config));
+  }
+  FICUS_ASSIGN_OR_RETURN(r.volume, r.cluster.CreateVolume(r.hosts));
+  for (FicusHost* host : r.hosts) {
+    FICUS_ASSIGN_OR_RETURN(repl::LogicalLayer * logical,
+                           r.cluster.MountEverywhere(host, r.volume));
+    r.logicals.push_back(logical);
+    if (host->registry().LocalReplica(r.volume) == nullptr) {
+      return Status(ErrorCode::kInternal, "host stores no replica after CreateVolume");
+    }
+  }
+  for (uint32_t d = 0; d < config.dirs; ++d) {
+    FICUS_RETURN_IF_ERROR(vfs::MkdirAll(r.logicals[0], "d" + std::to_string(d)));
+  }
+  FICUS_RETURN_IF_ERROR(r.cluster.ReconcileUntilQuiescent(16).status());
+  // Resolve the stable directory bindings (root, d0, d1, ...).
+  r.parent_ids.push_back(repl::kRootFileId);
+  FICUS_ASSIGN_OR_RETURN(std::vector<repl::FicusDirEntry> root_entries,
+                         r.physical(0)->ReadDirectory(repl::kRootFileId));
+  for (uint32_t d = 0; d < config.dirs; ++d) {
+    std::string name = "d" + std::to_string(d);
+    bool found = false;
+    for (const repl::FicusDirEntry& entry : root_entries) {
+      if (entry.alive && entry.name == name) {
+        r.parent_ids.push_back(entry.file);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status(ErrorCode::kInternal, "pre-seeded directory missing: " + name);
+  }
+  r.ObserveDirEverywhere(repl::kRootFileId);
+  if (!config.fault_plan.empty()) {
+    r.cluster.InstallFaultPlan(net::FaultPlan::Named(config.fault_plan, r.schedule.seed));
+  }
+  return OkStatus();
+}
+
+void ApplyWrite(Runner& r, const Op& op, int op_index) {
+  const CheckerConfig& config = r.schedule.config;
+  uint32_t slot = op.file % config.files;
+  std::string path = SlotPath(config, slot);
+  std::string payload = "op" + std::to_string(op_index) + "@h" + std::to_string(op.host);
+
+  // Pre-op version vectors of every stored file at every live replica —
+  // whichever replica absorbs the write, its prior state is in here.
+  std::map<std::pair<uint32_t, repl::FileId>, repl::VersionVector> pre;
+  for (uint32_t h = 0; h < r.hosts.size(); ++h) {
+    if (r.IsCrashed(h)) continue;
+    repl::PhysicalLayer* layer = r.physical(h);
+    for (const repl::FileId& file : layer->StoredFiles()) {
+      StatusOr<repl::ReplicaAttributes> attrs = layer->GetAttributes(file);
+      if (attrs.ok()) pre[{h, file}] = attrs->vv;
+    }
+  }
+
+  if (!vfs::WriteFileAt(r.logicals[op.host], path, payload).ok()) {
+    ++r.result.ops_skipped;  // conflicted file, no reachable replica, ...
+    return;
+  }
+  ++r.result.ops_applied;
+
+  // Ground truth: exactly one live replica now holds the (unique) payload
+  // — the one the logical layer selected for the update. Nothing has
+  // propagated yet (no daemon ran), so the match identifies the writer.
+  std::vector<uint8_t> payload_bytes(payload.begin(), payload.end());
+  int matches = 0;
+  uint32_t writer_host = 0;
+  repl::FileId writer_file;
+  for (uint32_t h = 0; h < r.hosts.size(); ++h) {
+    if (r.IsCrashed(h)) continue;
+    repl::PhysicalLayer* layer = r.physical(h);
+    for (const repl::FileId& file : layer->StoredFiles()) {
+      StatusOr<std::vector<uint8_t>> data = layer->ReadAllData(file);
+      if (data.ok() && data.value() == payload_bytes) {
+        ++matches;
+        writer_host = h;
+        writer_file = file;
+      }
+    }
+  }
+  if (matches == 0) {
+    r.violations.insert("op " + std::to_string(op_index) + ": write to '" + path +
+                        "' succeeded but no live replica holds the payload");
+    return;
+  }
+  if (matches > 1) {
+    r.HarnessError("op " + std::to_string(op_index) +
+                   ": payload found at multiple replicas before any propagation");
+    return;
+  }
+  repl::PhysicalLayer* writer = r.physical(writer_host);
+  StatusOr<repl::ReplicaAttributes> attrs = writer->GetAttributes(writer_file);
+  if (!attrs.ok()) {
+    r.HarnessError("op " + std::to_string(op_index) + ": attributes unreadable after write: " +
+                   attrs.status().ToString());
+    return;
+  }
+  auto pre_it = pre.find({writer_host, writer_file});
+  repl::VersionVector before_vv;
+  if (pre_it != pre.end()) before_vv = pre_it->second;
+  r.oracle.ObserveWrite(writer_file, attrs->vv, before_vv, payload, op_index);
+  r.ObserveParentEverywhere(slot);
+
+  if (config.inject_lost_update && !before_vv.Empty()) {
+    // The deliberate bug the guarded tests hunt: roll the version vector
+    // back to its pre-write value while keeping the new bytes. Peers now
+    // see nothing newer to pull and the update is silently lost.
+    (void)writer->InstallVersion(writer_file, payload_bytes, before_vv);
+  }
+}
+
+void ApplyRemove(Runner& r, const Op& op, int /*op_index*/) {
+  uint32_t slot = op.file % r.schedule.config.files;
+  std::string path = SlotPath(r.schedule.config, slot);
+  if (!vfs::RemovePath(r.logicals[op.host], path).ok()) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  ++r.result.ops_applied;
+  r.ObserveParentEverywhere(slot);
+}
+
+void ApplyRename(Runner& r, const Op& op, int /*op_index*/) {
+  const CheckerConfig& config = r.schedule.config;
+  uint32_t src_slot = op.file % config.files;
+  uint32_t dst_slot = static_cast<uint32_t>(op.arg) % config.files;
+  if (src_slot == dst_slot) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  std::string src = SlotPath(config, src_slot);
+  std::string dst = SlotPath(config, dst_slot);
+  if (!vfs::RenamePath(r.logicals[op.host], src, dst).ok()) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  ++r.result.ops_applied;
+  r.ObserveParentEverywhere(src_slot);
+  r.ObserveParentEverywhere(dst_slot);
+}
+
+void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
+  const CheckerConfig& config = r.schedule.config;
+  Op op = raw_op;
+  op.host = op.host % config.hosts;
+  // Ops aimed at a crashed host are skipped deterministically (shrinking
+  // can separate an op from the reboot that made it plausible).
+  bool needs_live_host =
+      op.kind == OpKind::kWrite || op.kind == OpKind::kRemove || op.kind == OpKind::kRename ||
+      op.kind == OpKind::kCrash || op.kind == OpKind::kReconcile;
+  if (needs_live_host && r.IsCrashed(op.host)) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  switch (op.kind) {
+    case OpKind::kWrite:
+      ApplyWrite(r, op, op_index);
+      break;
+    case OpKind::kRemove:
+      ApplyRemove(r, op, op_index);
+      break;
+    case OpKind::kRename:
+      ApplyRename(r, op, op_index);
+      break;
+    case OpKind::kCrash:
+      r.hosts[op.host]->Crash();
+      r.crashed.insert(op.host);
+      ++r.result.ops_applied;
+      break;
+    case OpKind::kReboot: {
+      if (!r.IsCrashed(op.host)) {
+        ++r.result.ops_skipped;
+        break;
+      }
+      Status status = r.hosts[op.host]->Reboot();
+      if (!status.ok()) {
+        r.HarnessError("op " + std::to_string(op_index) + ": reboot failed: " +
+                       status.ToString());
+        break;
+      }
+      r.crashed.erase(op.host);
+      ++r.result.ops_applied;
+      break;
+    }
+    case OpKind::kPartition: {
+      std::vector<FicusHost*> group_a;
+      std::vector<FicusHost*> group_b;
+      for (size_t h = 0; h < r.hosts.size(); ++h) {
+        ((op.arg >> h) & 1 ? group_a : group_b).push_back(r.hosts[h]);
+      }
+      if (group_a.empty() || group_b.empty()) {
+        ++r.result.ops_skipped;
+        break;
+      }
+      r.cluster.Partition({group_a, group_b});
+      ++r.result.ops_applied;
+      break;
+    }
+    case OpKind::kHeal:
+      r.cluster.Heal();
+      ++r.result.ops_applied;
+      break;
+    case OpKind::kPropagate:
+      r.PropagationPass();
+      ++r.result.ops_applied;
+      break;
+    case OpKind::kReconcile:
+      (void)r.hosts[op.host]->RunReconciliation();
+      ++r.result.ops_applied;
+      break;
+    case OpKind::kAdvance:
+      r.cluster.Sleep(static_cast<SimTime>(op.arg) * kMillisecond);
+      ++r.result.ops_applied;
+      break;
+    case OpKind::kCheckpoint:
+      r.Checkpoint(op_index);
+      ++r.result.ops_applied;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string RunResult::Summary() const {
+  std::string out = "applied " + std::to_string(ops_applied) + ", skipped " +
+                    std::to_string(ops_skipped) + ", checkpoints " +
+                    std::to_string(checkpoints);
+  if (!quiesced) out += ", NOT QUIESCED";
+  for (const std::string& violation : violations) out += "\n  violation: " + violation;
+  for (const std::string& error : harness_errors) out += "\n  harness error: " + error;
+  return out;
+}
+
+RunResult ModelChecker::Run(const Schedule& schedule) {
+  Runner runner(schedule);
+  if (schedule.config.hosts == 0 || schedule.config.files == 0) {
+    runner.HarnessError("config needs at least one host and one file slot");
+    return runner.result;
+  }
+  Status setup = SetUp(runner);
+  if (!setup.ok()) {
+    runner.HarnessError("cluster setup failed: " + setup.ToString());
+    return runner.result;
+  }
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    ApplyOp(runner, schedule.ops[i], static_cast<int>(i));
+    // Distinct mtimes per op keep on-disk stamps deterministic but unequal.
+    runner.cluster.Sleep(kMillisecond);
+  }
+  runner.Checkpoint(static_cast<int>(schedule.ops.size()));
+  runner.result.violations.assign(runner.violations.begin(), runner.violations.end());
+  return runner.result;
+}
+
+ModelChecker::ExploreResult ModelChecker::Explore(
+    const CheckerConfig& config, uint64_t base_seed, int count,
+    const std::function<void(uint64_t, const RunResult&)>& on_result) {
+  ExploreResult result;
+  Rng seeds(base_seed);
+  for (int i = 0; i < count; ++i) {
+    uint64_t seed = seeds.Next();
+    Schedule schedule = GenerateSchedule(config, seed);
+    RunResult run = Run(schedule);
+    ++result.schedules;
+    result.total_ops += schedule.ops.size();
+    if (run.failed()) result.failing_seeds.push_back(seed);
+    if (on_result) on_result(seed, run);
+  }
+  return result;
+}
+
+Schedule ModelChecker::Shrink(const Schedule& schedule) {
+  std::vector<Op> current = schedule.ops;
+  auto violates = [&](const std::vector<Op>& ops) {
+    Schedule candidate = schedule;
+    candidate.ops = ops;
+    return Run(candidate).failed();
+  };
+  if (!violates(current)) return schedule;
+
+  // ddmin: try dropping ever-finer chunks as long as the violation stays.
+  size_t granularity = 2;
+  while (current.size() >= 2) {
+    size_t chunk = (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<Op> candidate(current.begin(), current.begin() + start);
+      size_t resume = std::min(start + chunk, current.size());
+      candidate.insert(candidate.end(), current.begin() + resume, current.end());
+      if (!candidate.empty() && violates(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  // Greedy 1-minimal polish: no single remaining op can be dropped.
+  bool changed = true;
+  while (changed && current.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.size(); ++i) {
+      std::vector<Op> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (violates(candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  Schedule out = schedule;
+  out.ops = std::move(current);
+  return out;
+}
+
+}  // namespace ficus::sim::checker

@@ -1,0 +1,56 @@
+// The model-checking harness: builds a small cluster, runs a Schedule
+// against it, checks the OneCopyOracle after every heal-and-quiesce, and
+// delta-debugs failing schedules down to a minimal repro.
+#ifndef FICUS_SRC_SIM_CHECKER_CHECKER_H_
+#define FICUS_SRC_SIM_CHECKER_CHECKER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/checker/oracle.h"
+#include "src/sim/checker/schedule.h"
+
+namespace ficus::sim::checker {
+
+struct RunResult {
+  // Oracle violations (deterministic, deduplicated). Non-empty = the
+  // schedule falsified a convergence property.
+  std::vector<std::string> violations;
+  // Harness problems (setup failed, replay infrastructure broke) — NOT
+  // oracle verdicts; a run with harness errors proves nothing.
+  std::vector<std::string> harness_errors;
+  int ops_applied = 0;
+  int ops_skipped = 0;  // implausible after shrinking, crashed hosts, refused ops
+  int checkpoints = 0;
+  bool quiesced = true;
+
+  bool failed() const { return !violations.empty(); }
+  std::string Summary() const;
+};
+
+class ModelChecker {
+ public:
+  // Runs one schedule start to finish (a final heal-and-quiesce checkpoint
+  // is always appended). Deterministic: same schedule, same result.
+  RunResult Run(const Schedule& schedule);
+
+  struct ExploreResult {
+    int schedules = 0;
+    uint64_t total_ops = 0;
+    std::vector<uint64_t> failing_seeds;
+  };
+  // Generates and runs `count` schedules with seeds drawn deterministically
+  // from `base_seed`. `on_result` (optional) sees every run.
+  ExploreResult Explore(const CheckerConfig& config, uint64_t base_seed, int count,
+                        const std::function<void(uint64_t, const RunResult&)>& on_result = {});
+
+  // ddmin over the op list, then a greedy 1-minimal pass: returns the
+  // smallest schedule found that still produces an oracle violation.
+  // Returns the input unchanged if its violation does not reproduce.
+  Schedule Shrink(const Schedule& schedule);
+};
+
+}  // namespace ficus::sim::checker
+
+#endif  // FICUS_SRC_SIM_CHECKER_CHECKER_H_

@@ -1,0 +1,401 @@
+#include "src/sim/checker/oracle.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim::checker {
+
+namespace {
+
+std::string Describe(const repl::FileId& file) { return file.ToString(); }
+
+// Canonical one-line rendering of a raw entry for comparisons and
+// violation messages.
+std::string EntryString(const repl::FicusDirEntry& entry) {
+  std::string out = entry.name + "#" + entry.file.ToHex();
+  out += entry.alive ? " alive " : " dead ";
+  out += entry.vv.ToString();
+  if (!entry.deleted_file_vv.Empty()) out += " dfv=" + entry.deleted_file_vv.ToString();
+  return out;
+}
+
+std::vector<std::string> CanonicalEntrySet(const std::vector<repl::FicusDirEntry>& entries) {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const repl::FicusDirEntry& entry : entries) out.push_back(EntryString(entry));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Recursive namespace snapshot through the client-visible logical layer;
+// conflicted files collapse to a marker, like the convergence suite does.
+Status LogicalSnapshot(vfs::Vfs* fs, const std::string& path,
+                       std::map<std::string, std::string>& out) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<vfs::DirEntry> entries, vfs::ListDir(fs, path));
+  for (const vfs::DirEntry& entry : entries) {
+    std::string child = path.empty() ? entry.name : path + "/" + entry.name;
+    if (entry.type == vfs::VnodeType::kDirectory ||
+        entry.type == vfs::VnodeType::kGraftPoint) {
+      out[child] = "<dir>";
+      FICUS_RETURN_IF_ERROR(LogicalSnapshot(fs, child, out));
+    } else if (entry.type == vfs::VnodeType::kSymlink) {
+      out[child] = "<symlink>";
+    } else {
+      StatusOr<std::string> contents = vfs::ReadFileAt(fs, child);
+      if (contents.ok()) {
+        out[child] = contents.value();
+      } else if (contents.status().code() == ErrorCode::kConflict) {
+        out[child] = "<conflict>";
+      } else {
+        return contents.status();
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void OneCopyOracle::ObserveWrite(const repl::FileId& file, const repl::VersionVector& vv,
+                                 const repl::VersionVector& before_vv,
+                                 const std::string& payload, int op_index) {
+  if (!vv.StrictlyDominates(before_vv)) {
+    violations_.push_back("op " + std::to_string(op_index) + ": write to " + Describe(file) +
+                          " did not advance the version vector (" + before_vv.ToString() +
+                          " -> " + vv.ToString() + ")");
+  }
+  for (const WriteObs& prior : writes_[file]) {
+    if (prior.vv == vv && prior.payload != payload) {
+      violations_.push_back("op " + std::to_string(op_index) + ": " + Describe(file) +
+                            " minted version " + vv.ToString() +
+                            " twice with different contents (first at op " +
+                            std::to_string(prior.op_index) + ")");
+    }
+  }
+  writes_[file].push_back(WriteObs{vv, payload, op_index});
+}
+
+void OneCopyOracle::ObserveDirectory(const repl::FileId& dir,
+                                     const std::vector<repl::FicusDirEntry>& entries) {
+  for (const repl::FicusDirEntry& entry : entries) {
+    EntryKey key{dir, entry.name, entry.file};
+    std::vector<EntryObs>& states = entries_[key];
+    // Dedupe identical consecutive observations to bound growth.
+    bool known = false;
+    for (const EntryObs& state : states) {
+      if (state.alive == entry.alive && state.vv == entry.vv &&
+          state.deleted_file_vv == entry.deleted_file_vv) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      states.push_back(EntryObs{entry.vv, entry.alive, entry.deleted_file_vv});
+    }
+  }
+}
+
+std::vector<const OneCopyOracle::WriteObs*> OneCopyOracle::MaximalWrites(
+    const repl::FileId& file) const {
+  std::vector<const WriteObs*> maximal;
+  auto it = writes_.find(file);
+  if (it == writes_.end()) return maximal;
+  for (const WriteObs& candidate : it->second) {
+    bool dominated = false;
+    for (const WriteObs& other : it->second) {
+      if (&other != &candidate && other.vv.StrictlyDominates(candidate.vv)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Equal vectors (idempotent duplicate observation) keep one entry.
+    bool duplicate = false;
+    for (const WriteObs* kept : maximal) {
+      if (kept->vv == candidate.vv) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) maximal.push_back(&candidate);
+  }
+  return maximal;
+}
+
+void OneCopyOracle::AddViolation(std::vector<std::string>& out, const std::string& what) {
+  out.push_back(what);
+}
+
+std::vector<std::string> OneCopyOracle::CheckFinal(const std::vector<ReplicaView>& replicas) {
+  std::vector<std::string> out = violations_;
+  if (replicas.empty()) return out;
+  repl::PhysicalLayer* base = replicas[0].physical;
+
+  // --- Walk the converged namespace from the root, checking that every
+  // replica holds the identical raw entry set and directory vector, and
+  // collecting the alive-reachable files. ---
+  std::map<repl::FileId, std::vector<repl::FicusDirEntry>> dir_entries;  // replica 0's view
+  std::map<repl::FileId, repl::FicusFileType> alive_files;
+  std::set<repl::FileId> alive_dirs;
+  std::deque<repl::FileId> queue;
+  queue.push_back(repl::kRootFileId);
+  alive_dirs.insert(repl::kRootFileId);
+  while (!queue.empty()) {
+    repl::FileId dir = queue.front();
+    queue.pop_front();
+    StatusOr<std::vector<repl::FicusDirEntry>> base_entries = base->ReadDirectory(dir);
+    if (!base_entries.ok()) {
+      AddViolation(out, "cannot read directory " + Describe(dir) + " at " +
+                            replicas[0].host_name + ": " + base_entries.status().ToString());
+      continue;
+    }
+    dir_entries[dir] = base_entries.value();
+    std::vector<std::string> base_canonical = CanonicalEntrySet(base_entries.value());
+    StatusOr<repl::ReplicaAttributes> base_attrs = base->GetAttributes(dir);
+    for (size_t r = 1; r < replicas.size(); ++r) {
+      StatusOr<std::vector<repl::FicusDirEntry>> peer_entries =
+          replicas[r].physical->ReadDirectory(dir);
+      if (!peer_entries.ok()) {
+        AddViolation(out, "cannot read directory " + Describe(dir) + " at " +
+                              replicas[r].host_name + ": " + peer_entries.status().ToString());
+        continue;
+      }
+      std::vector<std::string> peer_canonical = CanonicalEntrySet(peer_entries.value());
+      if (peer_canonical != base_canonical) {
+        std::string detail;
+        for (const std::string& entry : base_canonical) {
+          if (!std::binary_search(peer_canonical.begin(), peer_canonical.end(), entry)) {
+            detail += " [only " + replicas[0].host_name + ": " + entry + "]";
+          }
+        }
+        for (const std::string& entry : peer_canonical) {
+          if (!std::binary_search(base_canonical.begin(), base_canonical.end(), entry)) {
+            detail += " [only " + replicas[r].host_name + ": " + entry + "]";
+          }
+        }
+        AddViolation(out, "directory " + Describe(dir) + " diverges between " +
+                              replicas[0].host_name + " and " + replicas[r].host_name + ":" +
+                              detail);
+      }
+      StatusOr<repl::ReplicaAttributes> peer_attrs = replicas[r].physical->GetAttributes(dir);
+      if (base_attrs.ok() && peer_attrs.ok() && !(base_attrs->vv == peer_attrs->vv)) {
+        AddViolation(out, "directory " + Describe(dir) + " version vectors diverge: " +
+                              base_attrs->vv.ToString() + " at " + replicas[0].host_name +
+                              " vs " + peer_attrs->vv.ToString() + " at " +
+                              replicas[r].host_name);
+      }
+    }
+    for (const repl::FicusDirEntry& entry : base_entries.value()) {
+      if (!entry.alive) continue;
+      if (repl::IsDirectoryLike(entry.type)) {
+        if (alive_dirs.insert(entry.file).second) queue.push_back(entry.file);
+      } else {
+        alive_files[entry.file] = entry.type;
+      }
+    }
+  }
+
+  // --- Per alive file: replicas agree, and the converged state matches a
+  // concurrent-maximal observed write (or is a flagged conflict). ---
+  for (const auto& [file, type] : alive_files) {
+    struct FileState {
+      size_t replica_index;
+      repl::ReplicaAttributes attrs;
+      std::string content;
+    };
+    std::vector<FileState> states;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      if (!replicas[r].physical->Stores(file)) continue;
+      StatusOr<repl::ReplicaAttributes> attrs = replicas[r].physical->GetAttributes(file);
+      if (!attrs.ok()) {
+        AddViolation(out, "alive file " + Describe(file) + " unreadable attributes at " +
+                              replicas[r].host_name + ": " + attrs.status().ToString());
+        continue;
+      }
+      std::string content;
+      if (type == repl::FicusFileType::kRegular) {
+        StatusOr<std::vector<uint8_t>> bytes = replicas[r].physical->ReadAllData(file);
+        if (!bytes.ok()) {
+          AddViolation(out, "alive file " + Describe(file) + " unreadable at " +
+                                replicas[r].host_name + ": " + bytes.status().ToString());
+          continue;
+        }
+        content.assign(bytes->begin(), bytes->end());
+      }
+      states.push_back(FileState{r, std::move(attrs).value(), std::move(content)});
+    }
+    if (states.empty()) {
+      AddViolation(out, "alive file " + Describe(file) + " is stored by no replica");
+      continue;
+    }
+    bool conflicted = false;
+    for (const FileState& state : states) conflicted = conflicted || state.attrs.conflict;
+    if (conflicted) {
+      for (const FileState& state : states) {
+        if (!state.attrs.conflict) {
+          AddViolation(out, "conflict flag for " + Describe(file) + " missing at " +
+                                replicas[state.replica_index].host_name);
+        }
+      }
+    } else {
+      for (size_t i = 1; i < states.size(); ++i) {
+        if (!(states[i].attrs.vv == states[0].attrs.vv) ||
+            states[i].content != states[0].content) {
+          AddViolation(out, "non-conflicted file " + Describe(file) + " diverges: " +
+                                states[0].attrs.vv.ToString() + " at " +
+                                replicas[states[0].replica_index].host_name + " vs " +
+                                states[i].attrs.vv.ToString() + " at " +
+                                replicas[states[i].replica_index].host_name);
+        }
+      }
+    }
+
+    if (type != repl::FicusFileType::kRegular) continue;
+    std::vector<const WriteObs*> maximal = MaximalWrites(file);
+    if (maximal.empty()) continue;  // created but never successfully written
+    if (conflicted) {
+      if (maximal.size() < 2) {
+        AddViolation(out, "file " + Describe(file) +
+                              " flagged conflicted but its observed writes are totally "
+                              "ordered (max " +
+                              maximal[0]->vv.ToString() + ")");
+      }
+      for (const FileState& state : states) {
+        bool matches = false;
+        for (const WriteObs* obs : maximal) {
+          if (obs->vv == state.attrs.vv && obs->payload == state.content) matches = true;
+        }
+        if (!matches) {
+          AddViolation(out, "conflicted file " + Describe(file) + " at " +
+                                replicas[state.replica_index].host_name + " holds " +
+                                state.attrs.vv.ToString() +
+                                " which matches no concurrent-maximal observed write");
+        }
+      }
+    } else {
+      if (maximal.size() > 1) {
+        std::string versions;
+        for (const WriteObs* obs : maximal) {
+          if (!versions.empty()) versions += ", ";
+          versions += obs->vv.ToString();
+        }
+        AddViolation(out, "lost update: file " + Describe(file) +
+                              " has concurrent observed writes {" + versions +
+                              "} but converged without a conflict flag");
+      } else {
+        const WriteObs* winner = maximal[0];
+        const FileState& state = states[0];
+        if (!(state.attrs.vv == winner->vv) || state.content != winner->payload) {
+          AddViolation(out, "lost update: file " + Describe(file) + " converged to " +
+                                state.attrs.vv.ToString() +
+                                " but the maximal observed write is " + winner->vv.ToString() +
+                                " (op " + std::to_string(winner->op_index) + ")");
+        }
+      }
+    }
+  }
+
+  // --- Membership: no orphaned or resurrected entries. ---
+  for (const auto& [key, observations] : entries_) {
+    const auto& [dir, name, file] = key;
+    if (alive_dirs.count(dir) == 0) continue;  // whole subtree is gone
+    auto dir_it = dir_entries.find(dir);
+    if (dir_it == dir_entries.end()) continue;
+
+    // Maximal observed states for this entry.
+    std::vector<const EntryObs*> maximal;
+    for (const EntryObs& candidate : observations) {
+      bool dominated = false;
+      for (const EntryObs& other : observations) {
+        if (&other != &candidate && other.vv.StrictlyDominates(candidate.vv)) dominated = true;
+      }
+      if (!dominated) maximal.push_back(&candidate);
+    }
+    if (maximal.empty()) continue;
+    bool all_alive = true;
+    bool all_dead = true;
+    for (const EntryObs* obs : maximal) {
+      all_alive = all_alive && obs->alive;
+      all_dead = all_dead && !obs->alive;
+    }
+
+    const repl::FicusDirEntry* final_entry = nullptr;
+    for (const repl::FicusDirEntry& entry : dir_it->second) {
+      if (entry.name == name && entry.file == file) final_entry = &entry;
+    }
+    bool final_alive = final_entry != nullptr && final_entry->alive;
+
+    if (all_alive && !final_alive) {
+      AddViolation(out, "orphaned entry: '" + name + "' -> " + Describe(file) + " in " +
+                            Describe(dir) +
+                            " was only ever observed alive but is gone after convergence");
+    }
+    if (all_dead && final_alive) {
+      // Resurrection is legitimate when some tombstone was an uninformed
+      // delete: its deleted_file_vv failed to cover an observed content
+      // version (the paper's remove/update conflict, repaired by keeping
+      // the file). Only an informed delete must stay dead.
+      bool informed = true;
+      for (const EntryObs* obs : maximal) {
+        if (obs->deleted_file_vv.Empty()) {
+          informed = false;  // rename tombstones carry no content judgement
+          continue;
+        }
+        auto writes_it = writes_.find(file);
+        if (writes_it == writes_.end()) continue;
+        for (const WriteObs& write : writes_it->second) {
+          if (!obs->deleted_file_vv.Dominates(write.vv)) informed = false;
+        }
+      }
+      if (informed) {
+        AddViolation(out, "resurrected entry: '" + name + "' -> " + Describe(file) + " in " +
+                              Describe(dir) +
+                              " is alive after convergence although every maximal "
+                              "observation is an informed delete");
+      }
+    }
+  }
+
+  // --- Client-visible one-copy image: every logical mount presents the
+  // identical namespace, conflicts included. ---
+  std::map<std::string, std::string> base_snapshot;
+  Status snap_status = LogicalSnapshot(replicas[0].logical, "", base_snapshot);
+  if (!snap_status.ok()) {
+    AddViolation(out, "logical snapshot failed at " + replicas[0].host_name + ": " +
+                          snap_status.ToString());
+  } else {
+    for (size_t r = 1; r < replicas.size(); ++r) {
+      std::map<std::string, std::string> peer_snapshot;
+      Status status = LogicalSnapshot(replicas[r].logical, "", peer_snapshot);
+      if (!status.ok()) {
+        AddViolation(out, "logical snapshot failed at " + replicas[r].host_name + ": " +
+                              status.ToString());
+        continue;
+      }
+      if (peer_snapshot != base_snapshot) {
+        std::string detail;
+        for (const auto& [path, value] : base_snapshot) {
+          auto it = peer_snapshot.find(path);
+          if (it == peer_snapshot.end()) {
+            detail = "'" + path + "' missing at " + replicas[r].host_name;
+            break;
+          }
+          if (it->second != value) {
+            detail = "'" + path + "' differs";
+            break;
+          }
+        }
+        if (detail.empty()) detail = "extra entries at " + replicas[r].host_name;
+        AddViolation(out, "logical namespaces diverge between " + replicas[0].host_name +
+                              " and " + replicas[r].host_name + ": " + detail);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ficus::sim::checker

@@ -1,0 +1,102 @@
+// The one-copy oracle of the model checker: an observation-based abstract
+// model of what the cluster should converge to.
+//
+// The oracle never models the network or the reconciliation protocol —
+// doing so would just re-implement the code under test and inherit its
+// bugs. Instead it records *ground truth observations* at op time, taken
+// from the acting host's local physical layer (every checker host stores
+// a replica, so the logical layer always serves ops locally):
+//   * after every successful write: the file's new version vector and the
+//     payload written (plus the pre-op vector for monotonicity checks);
+//   * after every namespace op: the raw entry set (tombstones included)
+//     of each directory the op touched.
+// Because every version vector in the system is minted by an op the
+// checker issued, the observed set covers all versions that can exist.
+//
+// After heal-and-quiesce, CheckFinal compares the converged cluster
+// against the observations:
+//   1. all replicas agree: raw entry sets and directory version vectors
+//      for every alive-reachable directory; version vector, type, and
+//      content for every alive non-conflicted file; conflict flags set
+//      everywhere for alive conflicted files;
+//   2. no lost update: each replica's final (vv, content) for an alive
+//      file matches some concurrent-maximal observed write, and the
+//      conflict flag is set iff more than one maximal write exists;
+//   3. no orphaned entries: an entry whose maximal observations are all
+//      alive must survive;
+//   4. no resurrection: an entry whose maximal observations are all
+//      informed deletes (tombstone knew every observed content version)
+//      must stay dead.
+#ifndef FICUS_SRC_SIM_CHECKER_ORACLE_H_
+#define FICUS_SRC_SIM_CHECKER_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/repl/logical.h"
+#include "src/repl/physical.h"
+#include "src/repl/types.h"
+
+namespace ficus::sim::checker {
+
+// One replica of the converged cluster, as CheckFinal sees it.
+struct ReplicaView {
+  std::string host_name;
+  repl::PhysicalLayer* physical = nullptr;
+  repl::LogicalLayer* logical = nullptr;
+};
+
+class OneCopyOracle {
+ public:
+  // Records a successful write (or create+write) of `payload` into `file`
+  // at some host's local replica. `before_vv` is the content vector that
+  // replica held before the op (empty when the op created the file).
+  // Immediate checks: the new vector strictly dominates the old, and no
+  // two distinct payloads ever mint the same vector.
+  void ObserveWrite(const repl::FileId& file, const repl::VersionVector& vv,
+                    const repl::VersionVector& before_vv, const std::string& payload,
+                    int op_index);
+
+  // Records the raw entry set of directory `dir` as seen at the acting
+  // host's local replica right after a namespace op.
+  void ObserveDirectory(const repl::FileId& dir,
+                        const std::vector<repl::FicusDirEntry>& entries);
+
+  // Violations found at observation time (monotonicity, duplicate mints).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // Runs the full post-quiescence check; returns all violations found
+  // (including the observation-time ones).
+  std::vector<std::string> CheckFinal(const std::vector<ReplicaView>& replicas);
+
+ private:
+  struct WriteObs {
+    repl::VersionVector vv;
+    std::string payload;
+    int op_index = 0;
+  };
+  struct EntryObs {
+    repl::VersionVector vv;
+    bool alive = true;
+    repl::VersionVector deleted_file_vv;
+  };
+  // (directory, raw name, file-id) — the unit the directory merge
+  // algorithm reasons about.
+  using EntryKey = std::tuple<repl::FileId, std::string, repl::FileId>;
+
+  // Observed write vectors for `file` not strictly dominated by another
+  // observed vector.
+  std::vector<const WriteObs*> MaximalWrites(const repl::FileId& file) const;
+
+  void AddViolation(std::vector<std::string>& out, const std::string& what);
+
+  std::map<repl::FileId, std::vector<WriteObs>> writes_;
+  std::map<EntryKey, std::vector<EntryObs>> entries_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace ficus::sim::checker
+
+#endif  // FICUS_SRC_SIM_CHECKER_ORACLE_H_

@@ -1,0 +1,407 @@
+#include "src/sim/checker/schedule.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace ficus::sim::checker {
+
+namespace {
+
+struct KindName {
+  OpKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {OpKind::kWrite, "write"},         {OpKind::kRemove, "remove"},
+    {OpKind::kRename, "rename"},       {OpKind::kCrash, "crash"},
+    {OpKind::kReboot, "reboot"},       {OpKind::kPartition, "partition"},
+    {OpKind::kHeal, "heal"},           {OpKind::kPropagate, "propagate"},
+    {OpKind::kReconcile, "reconcile"}, {OpKind::kAdvance, "advance"},
+    {OpKind::kCheckpoint, "checkpoint"},
+};
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+StatusOr<OpKind> OpKindFromName(std::string_view name) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) return entry.kind;
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown op kind: " + std::string(name));
+}
+
+std::string SlotPath(const CheckerConfig& config, uint32_t index) {
+  // Every third slot lives at the root; the rest spread over the dirs.
+  if (config.dirs == 0 || index % 3 == 0) return "f" + std::to_string(index);
+  return "d" + std::to_string(index % config.dirs) + "/f" + std::to_string(index);
+}
+
+Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed) {
+  Schedule schedule;
+  schedule.seed = seed;
+  schedule.config = config;
+  Rng rng(seed);
+
+  // Generation-time plausibility state: which hosts are down, whether a
+  // partition is in force. (Shrinking may break plausibility; the runner
+  // skips implausible ops deterministically.)
+  std::set<uint32_t> crashed;
+  bool partitioned = false;
+
+  auto live_host = [&]() -> uint32_t {
+    uint32_t h;
+    do {
+      h = static_cast<uint32_t>(rng.NextBelow(config.hosts));
+    } while (crashed.count(h) != 0);
+    return h;
+  };
+
+  for (uint32_t i = 0; i < config.ops; ++i) {
+    uint64_t roll = rng.NextBelow(100);
+    Op op;
+    if (roll < 38) {
+      op.kind = OpKind::kWrite;
+      op.host = live_host();
+      op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
+    } else if (roll < 48) {
+      op.kind = OpKind::kRemove;
+      op.host = live_host();
+      op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
+    } else if (roll < 54) {
+      op.kind = OpKind::kRename;
+      op.host = live_host();
+      op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
+      op.arg = rng.NextBelow(config.files);
+    } else if (roll < 59 && crashed.size() + 1 < config.hosts) {
+      op.kind = OpKind::kCrash;
+      op.host = live_host();
+      crashed.insert(op.host);
+    } else if (roll < 65 && !crashed.empty()) {
+      // Reboot the lowest crashed host (deterministic pick).
+      op.kind = OpKind::kReboot;
+      op.host = *crashed.begin();
+      crashed.erase(op.host);
+    } else if (roll < 72 && config.hosts >= 2) {
+      op.kind = OpKind::kPartition;
+      // Any mask with both groups non-empty.
+      op.arg = 1 + rng.NextBelow((1ull << config.hosts) - 2);
+      partitioned = true;
+    } else if (roll < 77 && partitioned) {
+      op.kind = OpKind::kHeal;
+      partitioned = false;
+    } else if (roll < 87) {
+      op.kind = OpKind::kPropagate;
+    } else if (roll < 95) {
+      op.kind = OpKind::kReconcile;
+      op.host = live_host();
+    } else if (roll < 99) {
+      op.kind = OpKind::kAdvance;
+      op.arg = 50 * (1 + rng.NextBelow(10));  // 50ms .. 500ms
+    } else {
+      op.kind = OpKind::kCheckpoint;
+    }
+    schedule.ops.push_back(op);
+  }
+  return schedule;
+}
+
+// --- JSON serialization ---
+//
+// The format is deliberately tiny (flat objects, no nesting beyond the op
+// list) so a hand-rolled writer/parser suffices; traces stay greppable and
+// hand-editable.
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string ToJson(const Schedule& schedule) {
+  std::string out;
+  out += "{\n";
+  out += "  \"format\": 1,\n";
+  out += "  \"seed\": " + std::to_string(schedule.seed) + ",\n";
+  out += "  \"hosts\": " + std::to_string(schedule.config.hosts) + ",\n";
+  out += "  \"files\": " + std::to_string(schedule.config.files) + ",\n";
+  out += "  \"dirs\": " + std::to_string(schedule.config.dirs) + ",\n";
+  out += "  \"ops_requested\": " + std::to_string(schedule.config.ops) + ",\n";
+  out += "  \"fault_plan\": ";
+  AppendEscaped(out, schedule.config.fault_plan);
+  out += ",\n";
+  out += "  \"inject_lost_update\": ";
+  out += schedule.config.inject_lost_update ? "true" : "false";
+  out += ",\n";
+  out += "  \"expect_violation\": ";
+  out += schedule.expect_violation ? "true" : "false";
+  out += ",\n";
+  out += "  \"ops\": [\n";
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    const Op& op = schedule.ops[i];
+    out += "    {\"op\": ";
+    AppendEscaped(out, OpKindName(op.kind));
+    out += ", \"host\": " + std::to_string(op.host);
+    out += ", \"file\": " + std::to_string(op.file);
+    out += ", \"arg\": " + std::to_string(op.arg);
+    out += "}";
+    if (i + 1 < schedule.ops.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the subset of JSON traces use:
+// objects, arrays, strings, unsigned integers, booleans.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  struct Value {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    bool boolean = false;
+    uint64_t number = 0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+  };
+
+  StatusOr<Value> Parse() {
+    FICUS_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status(ErrorCode::kInvalidArgument, "trailing characters in JSON trace");
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "JSON trace parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  StatusOr<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (std::isdigit(static_cast<unsigned char>(c))) return ParseNumber();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      Value v;
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      Value v;
+      v.type = Value::Type::kBool;
+      return v;
+    }
+    return Fail("unexpected character");
+  }
+
+  StatusOr<Value> ParseString() {
+    ++pos_;  // opening quote
+    Value v;
+    v.type = Value::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          default: return Fail("unsupported escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  StatusOr<Value> ParseNumber() {
+    Value v;
+    v.type = Value::Type::kNumber;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v.number = v.number * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  StatusOr<Value> ParseArray() {
+    ++pos_;  // '['
+    Value v;
+    v.type = Value::Type::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      FICUS_ASSIGN_OR_RETURN(Value elem, ParseValue());
+      v.array.push_back(std::move(elem));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value v;
+    v.type = Value::Type::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected object key");
+      FICUS_ASSIGN_OR_RETURN(Value key, ParseString());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      FICUS_ASSIGN_OR_RETURN(Value value, ParseValue());
+      v.object.emplace(std::move(key.string), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<uint64_t> GetNumber(const JsonParser::Value& obj, const std::string& key) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.type != JsonParser::Value::Type::kNumber) {
+    return Status(ErrorCode::kInvalidArgument, "trace missing numeric field: " + key);
+  }
+  return it->second.number;
+}
+
+bool GetBool(const JsonParser::Value& obj, const std::string& key, bool fallback) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end() || it->second.type != JsonParser::Value::Type::kBool) {
+    return fallback;
+  }
+  return it->second.boolean;
+}
+
+}  // namespace
+
+StatusOr<Schedule> FromJson(std::string_view json) {
+  JsonParser parser(json);
+  FICUS_ASSIGN_OR_RETURN(JsonParser::Value root, parser.Parse());
+  if (root.type != JsonParser::Value::Type::kObject) {
+    return Status(ErrorCode::kInvalidArgument, "trace root is not an object");
+  }
+  FICUS_ASSIGN_OR_RETURN(uint64_t format, GetNumber(root, "format"));
+  if (format != 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "unsupported trace format " + std::to_string(format));
+  }
+  Schedule schedule;
+  FICUS_ASSIGN_OR_RETURN(schedule.seed, GetNumber(root, "seed"));
+  FICUS_ASSIGN_OR_RETURN(uint64_t hosts, GetNumber(root, "hosts"));
+  FICUS_ASSIGN_OR_RETURN(uint64_t files, GetNumber(root, "files"));
+  FICUS_ASSIGN_OR_RETURN(uint64_t dirs, GetNumber(root, "dirs"));
+  FICUS_ASSIGN_OR_RETURN(uint64_t ops_requested, GetNumber(root, "ops_requested"));
+  schedule.config.hosts = static_cast<uint32_t>(hosts);
+  schedule.config.files = static_cast<uint32_t>(files);
+  schedule.config.dirs = static_cast<uint32_t>(dirs);
+  schedule.config.ops = static_cast<uint32_t>(ops_requested);
+  if (auto it = root.object.find("fault_plan");
+      it != root.object.end() && it->second.type == JsonParser::Value::Type::kString) {
+    schedule.config.fault_plan = it->second.string;
+  }
+  schedule.config.inject_lost_update = GetBool(root, "inject_lost_update", false);
+  schedule.expect_violation = GetBool(root, "expect_violation", false);
+
+  auto ops_it = root.object.find("ops");
+  if (ops_it == root.object.end() || ops_it->second.type != JsonParser::Value::Type::kArray) {
+    return Status(ErrorCode::kInvalidArgument, "trace missing ops array");
+  }
+  for (const JsonParser::Value& op_value : ops_it->second.array) {
+    if (op_value.type != JsonParser::Value::Type::kObject) {
+      return Status(ErrorCode::kInvalidArgument, "trace op is not an object");
+    }
+    auto name_it = op_value.object.find("op");
+    if (name_it == op_value.object.end() ||
+        name_it->second.type != JsonParser::Value::Type::kString) {
+      return Status(ErrorCode::kInvalidArgument, "trace op missing kind");
+    }
+    Op op;
+    FICUS_ASSIGN_OR_RETURN(op.kind, OpKindFromName(name_it->second.string));
+    FICUS_ASSIGN_OR_RETURN(uint64_t host, GetNumber(op_value, "host"));
+    FICUS_ASSIGN_OR_RETURN(uint64_t file, GetNumber(op_value, "file"));
+    FICUS_ASSIGN_OR_RETURN(op.arg, GetNumber(op_value, "arg"));
+    op.host = static_cast<uint32_t>(host);
+    op.file = static_cast<uint32_t>(file);
+    schedule.ops.push_back(op);
+  }
+  return schedule;
+}
+
+}  // namespace ficus::sim::checker

@@ -1,0 +1,91 @@
+// Schedules for the deterministic cluster model checker: a schedule is a
+// finite program of cluster events — syscall workload ops, crashes and
+// reboots, partitions and heals, daemon ticks, clock advances — generated
+// from a single uint64 seed with zero wall-clock dependence, so the same
+// seed always yields the same byte-for-byte schedule and the same run.
+//
+// Schedules serialize to a small JSON trace format so a shrunk failing
+// schedule can be committed under tests/sim/traces/ and replayed forever
+// as a regression test (see docs/TESTING.md).
+#ifndef FICUS_SRC_SIM_CHECKER_SCHEDULE_H_
+#define FICUS_SRC_SIM_CHECKER_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ficus::sim::checker {
+
+enum class OpKind : uint8_t {
+  kWrite,       // overwrite file `file` at host `host` with a unique payload
+  kRemove,      // remove file `file` at host `host`
+  kRename,      // rename file `file` to the name of file-slot `arg`
+  kCrash,       // hard-crash host `host` (writes dropped, off the network)
+  kReboot,      // reboot host `host` (shadow recovery runs)
+  kPartition,   // split the network: hosts with bit set in `arg` vs the rest
+  kHeal,        // heal all partitions
+  kPropagate,   // one update-propagation pass on every live host
+  kReconcile,   // one reconciliation pass on host `host`
+  kAdvance,     // advance the simulated clock by `arg` milliseconds
+  kCheckpoint,  // heal-and-quiesce mid-run, then run the full oracle check
+};
+
+const char* OpKindName(OpKind kind);
+StatusOr<OpKind> OpKindFromName(std::string_view name);
+
+struct Op {
+  OpKind kind = OpKind::kWrite;
+  uint32_t host = 0;  // acting host for kWrite/kRemove/kRename/kCrash/kReboot/kReconcile
+  uint32_t file = 0;  // file-universe slot for kWrite/kRemove/kRename
+  uint64_t arg = 0;   // kRename: target slot; kPartition: host bitmask; kAdvance: ms
+
+  bool operator==(const Op&) const = default;
+};
+
+struct CheckerConfig {
+  uint32_t hosts = 3;
+  uint32_t files = 8;  // file-universe slots, spread over the root + dirs
+  uint32_t dirs = 2;   // pre-seeded directories d0..d<dirs-1>
+  uint32_t ops = 48;   // schedule length
+  // Named canned net::FaultPlan installed for the whole run ("", "Lossy",
+  // "HighLatency", "Flapping"). Faults are cleared at every checkpoint.
+  std::string fault_plan;
+  // Testing the tester: sabotage every successful overwrite by rolling the
+  // replica's version vector back to its pre-write value — a classic lost
+  // update the oracle must catch (guarded test, never on by default).
+  bool inject_lost_update = false;
+
+  bool operator==(const CheckerConfig&) const = default;
+};
+
+struct Schedule {
+  uint64_t seed = 0;
+  CheckerConfig config;
+  std::vector<Op> ops;
+  // Replay expectation for committed traces: a trace of a (deliberately
+  // injected) bug records true, and the replay test asserts the violation
+  // still reproduces; clean edge-case traces record false.
+  bool expect_violation = false;
+};
+
+// Path of file-universe slot `index` relative to the volume root: slots
+// cycle through the root and the pre-seeded directories so renames and
+// removes cross directory boundaries.
+std::string SlotPath(const CheckerConfig& config, uint32_t index);
+
+// Deterministically generates a plausible schedule from `seed`: weighted
+// op mix, crashes only while another host survives, reboots only of
+// crashed hosts, partitions always leave two non-empty groups.
+Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed);
+
+// JSON trace round-trip. ToJson is deterministic (stable key order, one
+// op per line) so byte-for-byte comparison of two generations is valid.
+std::string ToJson(const Schedule& schedule);
+StatusOr<Schedule> FromJson(std::string_view json);
+
+}  // namespace ficus::sim::checker
+
+#endif  // FICUS_SRC_SIM_CHECKER_SCHEDULE_H_

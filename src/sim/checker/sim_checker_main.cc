@@ -1,0 +1,195 @@
+// CLI driver for the model checker. CI runs it as the sim-check tier:
+//
+//   sim_checker --schedules 500 --seed <run-id>
+//
+// The base seed is always logged so any CI failure reproduces locally
+// byte-for-byte; on violation the offending schedule is shrunk to a
+// minimal repro and (with --trace-out) written as a replayable JSON trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/sim/checker/checker.h"
+#include "src/sim/checker/schedule.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schedules N] [--seed S] [--hosts N] [--files N] [--dirs N]\n"
+               "          [--ops N] [--fault-plan NAME] [--inject-lost-update]\n"
+               "          [--no-shrink] [--trace-out FILE] [--replay FILE]\n"
+               "          [--canonicalize FILE]\n",
+               argv0);
+}
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ficus::sim::checker::CheckerConfig;
+  using ficus::sim::checker::ModelChecker;
+  using ficus::sim::checker::RunResult;
+  using ficus::sim::checker::Schedule;
+
+  CheckerConfig config;
+  uint64_t base_seed = 1;
+  uint64_t schedules = 500;
+  bool shrink = true;
+  std::string trace_out;
+  std::string replay_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](uint64_t* out) {
+      if (i + 1 >= argc || !ParseUint(argv[++i], out)) {
+        std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+        Usage(argv[0]);
+        std::exit(2);
+      }
+    };
+    uint64_t value = 0;
+    if (arg == "--schedules") {
+      next_value(&schedules);
+    } else if (arg == "--seed") {
+      next_value(&base_seed);
+    } else if (arg == "--hosts") {
+      next_value(&value);
+      config.hosts = static_cast<uint32_t>(value);
+    } else if (arg == "--files") {
+      next_value(&value);
+      config.files = static_cast<uint32_t>(value);
+    } else if (arg == "--dirs") {
+      next_value(&value);
+      config.dirs = static_cast<uint32_t>(value);
+    } else if (arg == "--ops") {
+      next_value(&value);
+      config.ops = static_cast<uint32_t>(value);
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      config.fault_plan = argv[++i];
+    } else if (arg == "--inject-lost-update") {
+      config.inject_lost_update = true;
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else if (arg == "--replay") {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      replay_file = argv[++i];
+    } else if (arg == "--canonicalize") {
+      // Rewrite a (possibly hand-edited) trace in the canonical byte form
+      // the replay regression test insists on.
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      std::string file = argv[++i];
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot read trace %s\n", file.c_str());
+        return 2;
+      }
+      std::string json((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      auto schedule = ficus::sim::checker::FromJson(json);
+      if (!schedule.ok()) {
+        std::fprintf(stderr, "trace parse failed: %s\n",
+                     schedule.status().ToString().c_str());
+        return 2;
+      }
+      std::ofstream out(file);
+      out << ficus::sim::checker::ToJson(schedule.value());
+      std::printf("canonicalized %s\n", file.c_str());
+      return 0;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  ModelChecker checker;
+
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read trace %s\n", replay_file.c_str());
+      return 2;
+    }
+    std::string json((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    auto schedule = ficus::sim::checker::FromJson(json);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "trace parse failed: %s\n",
+                   schedule.status().ToString().c_str());
+      return 2;
+    }
+    RunResult result = checker.Run(schedule.value());
+    std::printf("replayed %s (%zu ops): %s\n", replay_file.c_str(),
+                schedule->ops.size(), result.Summary().c_str());
+    bool as_expected = result.failed() == schedule->expect_violation;
+    if (!as_expected) {
+      std::printf("REPLAY MISMATCH: trace expects %s\n",
+                  schedule->expect_violation ? "a violation" : "a clean run");
+    }
+    return as_expected && result.harness_errors.empty() ? 0 : 1;
+  }
+
+  std::printf("sim_checker: %llu schedules, base seed %llu, %u hosts, %u files, %u ops%s%s\n",
+              static_cast<unsigned long long>(schedules),
+              static_cast<unsigned long long>(base_seed), config.hosts, config.files,
+              config.ops, config.fault_plan.empty() ? "" : ", fault plan ",
+              config.fault_plan.c_str());
+
+  int failures = 0;
+  uint64_t explored = 0;
+  ModelChecker::ExploreResult result = checker.Explore(
+      config, base_seed, static_cast<int>(schedules),
+      [&](uint64_t seed, const RunResult& run) {
+        ++explored;
+        if (explored % 100 == 0) {
+          std::printf("  ... %llu schedules explored\n",
+                      static_cast<unsigned long long>(explored));
+        }
+        if (!run.harness_errors.empty()) {
+          std::printf("seed %llu harness errors:\n%s\n",
+                      static_cast<unsigned long long>(seed), run.Summary().c_str());
+        }
+        if (!run.failed()) return;
+        ++failures;
+        std::printf("VIOLATION at seed %llu:\n%s\n", static_cast<unsigned long long>(seed),
+                    run.Summary().c_str());
+        Schedule schedule = ficus::sim::checker::GenerateSchedule(config, seed);
+        if (shrink) {
+          Schedule minimal = checker.Shrink(schedule);
+          minimal.expect_violation = true;
+          std::printf("shrunk to %zu ops (from %zu):\n%s",
+                      minimal.ops.size(), schedule.ops.size(),
+                      ficus::sim::checker::ToJson(minimal).c_str());
+          if (!trace_out.empty()) {
+            std::ofstream out(trace_out);
+            out << ficus::sim::checker::ToJson(minimal);
+            std::printf("trace written to %s\n", trace_out.c_str());
+          }
+        }
+      });
+
+  std::printf("explored %d schedules (%llu ops total), %d violation(s)\n", result.schedules,
+              static_cast<unsigned long long>(result.total_ops), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -21,24 +21,52 @@ Status Workload::Populate(vfs::Vfs* fs) {
   return OkStatus();
 }
 
+namespace {
+
+// True for failures that mean the mount itself died under the run (host
+// crash, broken device) rather than a workload-visible outcome like a
+// missing file, a conflict, or an unreachable replica.
+bool IsFatalToRun(const Status& status) {
+  return status.code() == ErrorCode::kIo || status.code() == ErrorCode::kInternal;
+}
+
+}  // namespace
+
 Status Workload::Run(vfs::Vfs* fs, int ops) {
+  // The run accumulates into a local delta that is committed to stats_ on
+  // every exit path. Without this, a run cut short by a host crash dropped
+  // its last-tick operations from WorkloadStats, so assertions that pair
+  // Crash() with stats were racy against where the run happened to stop.
+  WorkloadStats delta;
+  struct CommitOnExit {
+    WorkloadStats& total;
+    const WorkloadStats& delta;
+    ~CommitOnExit() {
+      total.operations += delta.operations;
+      total.reads += delta.reads;
+      total.writes += delta.writes;
+      total.failures += delta.failures;
+    }
+  } commit{stats_, delta};
+
   std::string contents(static_cast<size_t>(config_.file_size_bytes), 'y');
   for (int i = 0; i < ops; ++i) {
     int rank = static_cast<int>(
         rng_.NextZipf(static_cast<uint64_t>(file_count()), config_.zipf_skew));
     std::string path = PathOf(rank);
-    ++stats_.operations;
+    ++delta.operations;
+    Status status = OkStatus();
     if (rng_.NextBool(config_.write_fraction)) {
-      ++stats_.writes;
-      Status status = vfs::WriteFileAt(fs, path, contents);
-      if (!status.ok()) {
-        ++stats_.failures;
-      }
+      ++delta.writes;
+      status = vfs::WriteFileAt(fs, path, contents);
     } else {
-      ++stats_.reads;
-      auto result = vfs::OpenReadClose(fs, path);
-      if (!result.ok()) {
-        ++stats_.failures;
+      ++delta.reads;
+      status = vfs::OpenReadClose(fs, path).status();
+    }
+    if (!status.ok()) {
+      ++delta.failures;
+      if (IsFatalToRun(status)) {
+        return status;  // the committed delta still counts this attempt
       }
     }
   }

@@ -820,4 +820,40 @@ StatusOr<std::vector<std::string>> Ufs::Check() {
   return problems;
 }
 
+StatusOr<uint32_t> Ufs::ReclaimOrphans() {
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  std::vector<uint32_t> refcount(sb_.inode_count, 0);
+  std::vector<bool> allocated(sb_.inode_count, false);
+  for (InodeNum ino = 1; ino < sb_.inode_count; ++ino) {
+    FICUS_ASSIGN_OR_RETURN(bool used, BitmapGet(sb_.inode_bitmap_start, ino));
+    if (!used) {
+      continue;
+    }
+    allocated[ino] = true;
+    FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+    if (inode.type != FileType::kDirectory) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DirList(ino));
+    for (const auto& e : entries) {
+      if (e.ino != kInvalidInode && e.ino < sb_.inode_count) {
+        ++refcount[e.ino];
+      }
+    }
+  }
+  uint32_t reclaimed = 0;
+  for (InodeNum ino = kRootInode + 1; ino < sb_.inode_count; ++ino) {
+    if (!allocated[ino] || refcount[ino] != 0) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+    if (inode.type != FileType::kRegular && inode.type != FileType::kSymlink) {
+      continue;
+    }
+    FICUS_RETURN_IF_ERROR(FreeInode(ino));
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
 }  // namespace ficus::ufs

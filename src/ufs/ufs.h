@@ -166,6 +166,13 @@ class Ufs {
   // counts match reference counts. Returns a list of problems (empty = ok).
   StatusOr<std::vector<std::string>> Check();
 
+  // fsck-style repair for the one kind of debris a crash can legally
+  // leave: an allocated regular-file/symlink inode no directory entry
+  // references (e.g. a superseded replica whose directory repoint
+  // committed but whose FreeInode never ran). Frees them and returns how
+  // many were reclaimed. Directories are never reclaimed here.
+  StatusOr<uint32_t> ReclaimOrphans();
+
  private:
   Status CheckMounted() const;
   Status WriteSuperBlock();

@@ -48,7 +48,7 @@ TEST(ExactTest, RejectsSillyN) {
 
 TEST(MonteCarloTest, AgreesWithExact) {
   MajorityVotingPolicy policy;
-  Rng rng(42);
+  Rng rng(SeedFromEnvOr(42, "availability.monte_carlo"));
   auto exact = ComputeExact(policy, 5, 0.85);
   ASSERT_TRUE(exact.ok());
   auto simulated = SimulateIndependent(policy, 5, 0.85, 200000, rng);
@@ -97,7 +97,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{5, 0.95}, SweepParam{7, 0.9}, SweepParam{9, 0.8}));
 
 TEST(PartitionModelTest, PartitionsHurtQuorumMoreThanOneCopy) {
-  Rng rng(7);
+  Rng rng(SeedFromEnvOr(7, "availability.partition_model"));
   OneCopyPolicy one_copy;
   MajorityVotingPolicy majority;
   // Reliable hosts, but the network splits half the time.
@@ -116,7 +116,7 @@ TEST(PartitionModelTest, NoPartitionMatchesIndependentModel) {
 }
 
 TEST(MonteCarloTest, AvailabilityMonotoneInP) {
-  Rng rng(3);
+  Rng rng(SeedFromEnvOr(3, "availability.monotone"));
   OneCopyPolicy policy;
   double prev = -1.0;
   for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {

@@ -52,7 +52,7 @@ void Snapshot(vfs::Vfs* fs, const std::string& path,
 
 TEST_P(ConvergenceTest, PartitionedChaosConvergesEverywhere) {
   const Scenario scenario = GetParam();
-  Rng rng(scenario.seed);
+  Rng rng(SeedFromEnvOr(scenario.seed, "convergence_property"));
 
   Cluster cluster;
   std::vector<FicusHost*> hosts;

@@ -4,6 +4,10 @@
 // or corrupted state.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
+#include "src/repl/physical.h"
 #include "src/sim/cluster.h"
 #include "src/vfs/path_ops.h"
 
@@ -132,6 +136,147 @@ TEST_F(CrashRecoveryTest, RepeatedCrashCyclesStayConsistent) {
     EXPECT_TRUE(problems->empty()) << host->name() << ": " << problems->front();
   }
 }
+
+// Crash-point matrix over the shadow-file commit path: host b's install
+// of a peer update is cut at every write point of InstallVersion (via the
+// PhysicalOptions::crash_point hook), b then crashes and reboots, and
+// recovery must leave no shadow residue, a clean UFS, consistent replica
+// metadata, and exactly the pre- or post-commit contents — never a torn
+// file.
+class ShadowCommitCrashTest
+    : public ::testing::TestWithParam<repl::ShadowCrashPoint> {
+ protected:
+  static constexpr int kDisarmed = -1;
+
+  ShadowCommitCrashTest() {
+    a_ = cluster_.AddHost("a");
+    HostConfig config;
+    // Fires once at the parameterized point, then disarms so reboot
+    // recovery and later reinstalls run unimpeded. The armed state lives
+    // behind a shared_ptr because Reboot() rebuilds the physical layer
+    // from a copy of this config.
+    config.physical.crash_point = [armed = armed_](repl::ShadowCrashPoint p) {
+      if (*armed != static_cast<int>(p)) return false;
+      *armed = kDisarmed;
+      return true;
+    };
+    b_ = cluster_.AddHost("b", config);
+    auto volume = cluster_.CreateVolume({a_, b_});
+    EXPECT_TRUE(volume.ok());
+    volume_ = volume.value();
+  }
+
+  // b's local copy of root entry `name`, read with no network involved.
+  std::string LocalContentsAtB(const std::string& name) {
+    repl::PhysicalLayer* physical = b_->registry().LocalReplica(volume_);
+    if (physical == nullptr) {
+      ADD_FAILURE() << "b stores no replica of the volume";
+      return "";
+    }
+    auto entries = physical->ReadDirectory(repl::kRootFileId);
+    if (!entries.ok()) {
+      ADD_FAILURE() << entries.status().ToString();
+      return "";
+    }
+    for (const repl::FicusDirEntry& entry : entries.value()) {
+      if (entry.name != name || !entry.alive) continue;
+      auto contents = physical->ReadAllData(entry.file);
+      if (!contents.ok()) {
+        ADD_FAILURE() << contents.status().ToString();
+        return "";
+      }
+      return std::string(contents->begin(), contents->end());
+    }
+    ADD_FAILURE() << "no live entry '" << name << "' in b's root";
+    return "";
+  }
+
+  void ExpectNoShadowResidue(ufs::InodeNum dir, const std::string& prefix) {
+    auto entries = b_->ufs().DirList(dir);
+    ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+    for (const ufs::UfsDirEntry& entry : entries.value()) {
+      std::string path = prefix + "/" + entry.name;
+      EXPECT_FALSE(entry.name.size() > 7 &&
+                   entry.name.substr(entry.name.size() - 7) == ".shadow")
+          << "shadow residue survived recovery: " << path;
+      if (entry.type == ufs::FileType::kDirectory) {
+        ExpectNoShadowResidue(entry.ino, path);
+      }
+    }
+  }
+
+  std::shared_ptr<int> armed_ = std::make_shared<int>(kDisarmed);
+  Cluster cluster_;
+  FicusHost* a_;
+  FicusHost* b_;
+  repl::VolumeId volume_;
+};
+
+TEST_P(ShadowCommitCrashTest, RecoveryIsCleanAtEveryWritePoint) {
+  auto fs_a = cluster_.MountEverywhere(a_, volume_);
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v1").ok());
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+  // v2 must land on a's replica only: partition a alone so update
+  // selection cannot route the write to b.
+  cluster_.Partition({{a_}});
+  ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v2").ok());
+  cluster_.Heal();
+
+  *armed_ = static_cast<int>(GetParam());
+  // b pulls v2 from a and the install dies at the armed point; the error
+  // aborts the pull, leaving exactly the crash-point disk image.
+  Status pull = b_->RunReconciliation();
+  EXPECT_FALSE(pull.ok()) << "the interrupted install must surface an error";
+  ASSERT_EQ(*armed_, kDisarmed) << "the crash point never fired";
+
+  b_->Crash();
+  ASSERT_TRUE(b_->Reboot().ok());
+
+  ExpectNoShadowResidue(ufs::kRootInode, "");
+  auto fsck = b_->ufs().Check();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->empty()) << fsck->front();
+  for (repl::PhysicalLayer* layer : b_->registry().AllLocal()) {
+    auto problems = layer->CheckConsistency();
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << problems->front();
+  }
+
+  // Atomicity: before the repoint b still serves v1 intact, from the
+  // repoint onward it serves v2 — never a torn or empty file.
+  std::string contents = LocalContentsAtB("f");
+  if (GetParam() < repl::ShadowCrashPoint::kAfterRepoint) {
+    EXPECT_EQ(contents, "v1");
+  } else {
+    EXPECT_EQ(contents, "v2");
+  }
+
+  // With the hook disarmed, reconciliation finishes the interrupted (or
+  // unacknowledged) install and the cluster converges on v2.
+  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+  EXPECT_EQ(LocalContentsAtB("f"), "v2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWritePoints, ShadowCommitCrashTest,
+    ::testing::Values(repl::ShadowCrashPoint::kAfterShadowCreate,
+                      repl::ShadowCrashPoint::kAfterShadowWrite,
+                      repl::ShadowCrashPoint::kAfterAttrStage,
+                      repl::ShadowCrashPoint::kAfterRepoint,
+                      repl::ShadowCrashPoint::kAfterShadowUnlink,
+                      repl::ShadowCrashPoint::kAfterFreeInode),
+    [](const ::testing::TestParamInfo<repl::ShadowCrashPoint>& point) {
+      switch (point.param) {
+        case repl::ShadowCrashPoint::kAfterShadowCreate: return "AfterShadowCreate";
+        case repl::ShadowCrashPoint::kAfterShadowWrite: return "AfterShadowWrite";
+        case repl::ShadowCrashPoint::kAfterAttrStage: return "AfterAttrStage";
+        case repl::ShadowCrashPoint::kAfterRepoint: return "AfterRepoint";
+        case repl::ShadowCrashPoint::kAfterShadowUnlink: return "AfterShadowUnlink";
+        case repl::ShadowCrashPoint::kAfterFreeInode: return "AfterFreeInode";
+      }
+      return "Unknown";
+    });
 
 }  // namespace
 }  // namespace ficus::sim

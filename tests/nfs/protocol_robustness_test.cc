@@ -82,7 +82,7 @@ TEST_F(ProtocolRobustnessTest, TruncatedArgumentsRejected) {
 }
 
 TEST_F(ProtocolRobustnessTest, RandomGarbageNeverCrashes) {
-  Rng rng(20260705);
+  Rng rng(SeedFromEnvOr(20260705, "nfs_robustness.random_garbage"));
   for (int trial = 0; trial < 500; ++trial) {
     size_t length = rng.NextBelow(64);
     net::Payload request(length);

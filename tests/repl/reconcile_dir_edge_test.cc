@@ -1,0 +1,206 @@
+// Directory-merge edge cases for the reconciler: concurrent rename vs.
+// remove, remove/recreate under the same name, tombstone metadata
+// propagation, cross-directory rename displacement, and orphan adoption
+// via the remove/update repair. The same scenarios are committed as model
+// checker traces under tests/sim/traces/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+class ReconcileDirEdgeTest : public ReplicaFixture {
+ protected:
+  ReconcileDirEdgeTest() : ReplicaFixture(2) {}
+
+  FileId MustCreate(int replica, FileId dir, const std::string& name,
+                    const std::vector<uint8_t>& contents) {
+    auto file = layer(replica)->CreateChild(dir, name, FicusFileType::kRegular, 0);
+    EXPECT_TRUE(file.ok()) << file.status().ToString();
+    EXPECT_TRUE(layer(replica)->WriteData(*file, 0, contents).ok());
+    return *file;
+  }
+
+  // The raw entry for (name, file) in `dir`, or nullptr.
+  static const FicusDirEntry* FindEntry(const std::vector<FicusDirEntry>& entries,
+                                        const std::string& name, FileId file) {
+    for (const FicusDirEntry& entry : entries) {
+      if (entry.name == name && entry.file == file) return &entry;
+    }
+    return nullptr;
+  }
+
+  // Asserts both replicas hold the identical raw entry set for `dir`.
+  void ExpectConverged(FileId dir) {
+    auto a = layer(0)->ReadDirectory(dir);
+    auto b = layer(1)->ReadDirectory(dir);
+    ASSERT_TRUE(a.ok() && b.ok());
+    auto canonical = [](std::vector<FicusDirEntry> entries) {
+      std::vector<std::string> out;
+      for (const FicusDirEntry& e : entries) {
+        out.push_back(e.name + "/" + e.file.ToHex() + (e.alive ? "/alive/" : "/dead/") +
+                      e.vv.ToString() + "/dfv=" + e.deleted_file_vv.ToString());
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(canonical(a.value()), canonical(b.value()));
+  }
+};
+
+TEST_F(ReconcileDirEdgeTest, ConcurrentRenameVsRemoveKeepsTheNewName) {
+  FileId doc = MustCreate(0, kRootFileId, "doc", {'v', '1'});
+  ReconcileAll();
+
+  // Partitioned in spirit: the two ops happen with no reconciliation
+  // between them. Replica 1 renames while replica 2 removes.
+  ASSERT_TRUE(layer(0)->RenameEntry(kRootFileId, "doc", kRootFileId, "doc2").ok());
+  ASSERT_TRUE(layer(1)->RemoveEntry(kRootFileId, "doc").ok());
+  ReconcileAll(3);
+
+  ExpectConverged(kRootFileId);
+  auto entries = layer(1)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  const FicusDirEntry* old_name = FindEntry(entries.value(), "doc", doc);
+  const FicusDirEntry* new_name = FindEntry(entries.value(), "doc2", doc);
+  ASSERT_NE(old_name, nullptr);
+  ASSERT_NE(new_name, nullptr);
+  EXPECT_FALSE(old_name->alive) << "the old name must stay dead";
+  EXPECT_TRUE(new_name->alive) << "the remove raced a rename, not an update: "
+                                  "the file lives on under its new name";
+  auto contents = layer(1)->ReadAllData(doc);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), (std::vector<uint8_t>{'v', '1'}));
+}
+
+TEST_F(ReconcileDirEdgeTest, RemoveThenRecreateSameNameConverges) {
+  FileId first = MustCreate(0, kRootFileId, "f", {'a'});
+  ReconcileAll();
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "f").ok());
+  ReconcileAll();
+
+  // Recreated at the *other* replica: a brand-new file under the old name.
+  FileId second = MustCreate(1, kRootFileId, "f", {'b'});
+  ASSERT_NE(first, second);
+  ReconcileAll(3);
+
+  ExpectConverged(kRootFileId);
+  auto entries = layer(0)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  const FicusDirEntry* old_entry = FindEntry(entries.value(), "f", first);
+  const FicusDirEntry* new_entry = FindEntry(entries.value(), "f", second);
+  ASSERT_NE(old_entry, nullptr);
+  ASSERT_NE(new_entry, nullptr);
+  EXPECT_FALSE(old_entry->alive);
+  EXPECT_TRUE(new_entry->alive);
+  auto contents = layer(0)->ReadAllData(second);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), (std::vector<uint8_t>{'b'}));
+}
+
+TEST_F(ReconcileDirEdgeTest, RecreateAtSameReplicaReusesTombstoneAndClearsDfv) {
+  FileId file = MustCreate(0, kRootFileId, "f", {'a'});
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "f").ok());
+  // Re-link the same file id under the same name: the tombstone is reused
+  // (monotone entry vector) and its deleted_file_vv judgement is dropped.
+  ASSERT_TRUE(layer(0)->AddEntry(kRootFileId, "f", file, FicusFileType::kRegular).ok());
+  auto entries = layer(0)->ReadDirectory(kRootFileId);
+  ASSERT_TRUE(entries.ok());
+  const FicusDirEntry* entry = FindEntry(entries.value(), "f", file);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->alive);
+  EXPECT_TRUE(entry->deleted_file_vv.Empty())
+      << "a live entry must not carry a stale delete judgement";
+  ReconcileAll(3);
+  ExpectConverged(kRootFileId);
+}
+
+TEST_F(ReconcileDirEdgeTest, TombstoneContentJudgementTravelsToPeers) {
+  FileId file = MustCreate(0, kRootFileId, "f", {'x', 'y'});
+  ReconcileAll();
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "f").ok());
+  ReconcileAll(3);
+
+  // Both tombstones — the deleter's and the one applied at the peer — must
+  // carry the same non-empty deleted_file_vv, or the two replicas would
+  // make different remove/update resurrection decisions later.
+  for (int r = 0; r < 2; ++r) {
+    auto entries = layer(r)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    const FicusDirEntry* entry = FindEntry(entries.value(), "f", file);
+    ASSERT_NE(entry, nullptr) << "replica " << r;
+    EXPECT_FALSE(entry->alive) << "replica " << r;
+    EXPECT_FALSE(entry->deleted_file_vv.Empty())
+        << "replica " << r << " lost the deleter's content judgement";
+  }
+  ExpectConverged(kRootFileId);
+}
+
+TEST_F(ReconcileDirEdgeTest, CrossDirectoryRenameDisplacesExistingTarget) {
+  auto dir = layer(0)->CreateChild(kRootFileId, "d", FicusFileType::kDirectory, 0);
+  ASSERT_TRUE(dir.ok());
+  FileId mover = MustCreate(0, kRootFileId, "a", {'A'});
+  FileId target = MustCreate(0, *dir, "g", {'G'});
+
+  // Used to fail half-way: the source was tombstoned, then AddEntry
+  // refused the existing target name — orphaning the file.
+  ASSERT_TRUE(layer(0)->RenameEntry(kRootFileId, "a", *dir, "g").ok());
+
+  auto root_entries = layer(0)->ReadDirectory(kRootFileId);
+  auto dir_entries = layer(0)->ReadDirectory(*dir);
+  ASSERT_TRUE(root_entries.ok() && dir_entries.ok());
+  const FicusDirEntry* source = FindEntry(root_entries.value(), "a", mover);
+  ASSERT_NE(source, nullptr);
+  EXPECT_FALSE(source->alive);
+  const FicusDirEntry* moved = FindEntry(dir_entries.value(), "g", mover);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_TRUE(moved->alive);
+  const FicusDirEntry* displaced = FindEntry(dir_entries.value(), "g", target);
+  ASSERT_NE(displaced, nullptr);
+  EXPECT_FALSE(displaced->alive);
+  EXPECT_FALSE(displaced->deleted_file_vv.Empty())
+      << "displacement deletes the target's contents and must say what it knew";
+
+  auto contents = layer(0)->ReadAllData(mover);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), (std::vector<uint8_t>{'A'}));
+  auto problems = layer(0)->CheckConsistency();
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << problems->front();
+
+  ReconcileAll(3);
+  ExpectConverged(kRootFileId);
+  ExpectConverged(*dir);
+}
+
+TEST_F(ReconcileDirEdgeTest, RemoveUpdateRepairAdoptsTheOrphanedFile) {
+  FileId file = MustCreate(0, kRootFileId, "f", {'o', 'l', 'd'});
+  ReconcileAll();
+
+  // Concurrently: replica 1 removes while replica 2 writes new contents
+  // the remover never saw. The no-lost-update rule resurrects the entry
+  // — the orphaned file is adopted back into the namespace everywhere,
+  // carrying the surviving update.
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "f").ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'n', 'e', 'w'}).ok());
+  ReconcileAll(3);
+
+  for (int r = 0; r < 2; ++r) {
+    auto entries = layer(r)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    const FicusDirEntry* entry = FindEntry(entries.value(), "f", file);
+    ASSERT_NE(entry, nullptr) << "replica " << r;
+    EXPECT_TRUE(entry->alive) << "replica " << r << ": the unseen update must win";
+    EXPECT_TRUE(entry->deleted_file_vv.Empty()) << "replica " << r;
+    auto contents = layer(r)->ReadAllData(file);
+    ASSERT_TRUE(contents.ok()) << "replica " << r;
+    EXPECT_EQ(contents.value(), (std::vector<uint8_t>{'n', 'e', 'w'})) << "replica " << r;
+  }
+  ExpectConverged(kRootFileId);
+}
+
+}  // namespace
+}  // namespace ficus::repl

@@ -40,7 +40,7 @@ std::set<EntryKey> EntrySetOf(PhysicalLayer* layer, FileId dir) {
 
 TEST_P(ReconcilePropertyTest, RandomOpsConvergeAfterReconciliation) {
   const Scenario scenario = GetParam();
-  Rng rng(scenario.seed);
+  Rng rng(SeedFromEnvOr(scenario.seed, "reconcile_property"));
 
   SimClock clock;
   TestResolver resolver;

@@ -84,7 +84,7 @@ TEST(TypesTest, TruncatedDirectoryFails) {
 class TypesFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(TypesFuzzTest, RandomBytesNeverCrashDeserializers) {
-  Rng rng(GetParam());
+  Rng rng(SeedFromEnvOr(GetParam(), "types_fuzz.random_bytes"));
   for (int trial = 0; trial < 2000; ++trial) {
     size_t length = rng.NextBelow(200);
     std::vector<uint8_t> bytes(length);
@@ -99,7 +99,7 @@ TEST_P(TypesFuzzTest, RandomBytesNeverCrashDeserializers) {
 }
 
 TEST_P(TypesFuzzTest, TruncationsOfValidDataNeverCrash) {
-  Rng rng(GetParam() + 99);
+  Rng rng(SeedFromEnvOr(GetParam() + 99, "types_fuzz.truncations"));
   // Build a realistic directory image, then chop it everywhere.
   std::vector<FicusDirEntry> entries;
   for (int i = 0; i < 5; ++i) {

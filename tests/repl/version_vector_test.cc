@@ -118,7 +118,7 @@ VersionVector RandomVector(Rng& rng, int replicas, int max_count) {
 }
 
 TEST_P(VersionVectorPropertyTest, CompareIsAntisymmetricAndMergeUpperBounds) {
-  Rng rng(GetParam());
+  Rng rng(SeedFromEnvOr(GetParam(), "version_vector.antisymmetry"));
   for (int trial = 0; trial < 200; ++trial) {
     VersionVector a = RandomVector(rng, 4, 3);
     VersionVector b = RandomVector(rng, 4, 3);
@@ -157,7 +157,7 @@ TEST_P(VersionVectorPropertyTest, CompareIsAntisymmetricAndMergeUpperBounds) {
 }
 
 TEST_P(VersionVectorPropertyTest, DominanceIsTransitive) {
-  Rng rng(GetParam() + 1000);
+  Rng rng(SeedFromEnvOr(GetParam() + 1000, "version_vector.transitivity"));
   for (int trial = 0; trial < 200; ++trial) {
     VersionVector a = RandomVector(rng, 3, 3);
     VersionVector b = a;

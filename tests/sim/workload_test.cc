@@ -3,10 +3,49 @@
 #include <gtest/gtest.h>
 
 #include "src/vfs/mem_vfs.h"
+#include "src/vfs/pass_through.h"
 #include "src/vfs/path_ops.h"
 
 namespace ficus::sim {
 namespace {
+
+// Vnode layer that serves `budget` Opens and then fails every further one
+// with an I/O error — the shape of a host dying mid-run.
+class DyingVnode : public vfs::PassThroughVnode {
+ public:
+  DyingVnode(vfs::VnodePtr lower, int* budget)
+      : PassThroughVnode(std::move(lower)), budget_(budget) {}
+
+  Status Open(uint32_t flags, const vfs::OpContext& ctx) override {
+    if (*budget_ <= 0) {
+      return IoError("device lost");
+    }
+    --*budget_;
+    return PassThroughVnode::Open(flags, ctx);
+  }
+
+ protected:
+  vfs::VnodePtr WrapLower(vfs::VnodePtr lower) override {
+    return std::make_shared<DyingVnode>(std::move(lower), budget_);
+  }
+
+ private:
+  int* budget_;
+};
+
+class DyingVfs : public vfs::Vfs {
+ public:
+  DyingVfs(vfs::Vfs* lower, int* budget) : lower_(lower), budget_(budget) {}
+
+  StatusOr<vfs::VnodePtr> Root() override {
+    FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr root, lower_->Root());
+    return vfs::VnodePtr(std::make_shared<DyingVnode>(std::move(root), budget_));
+  }
+
+ private:
+  vfs::Vfs* lower_;
+  int* budget_;
+};
 
 TEST(WorkloadTest, PopulateCreatesAllFiles) {
   WorkloadConfig config;
@@ -52,6 +91,26 @@ TEST(WorkloadTest, SkewConcentratesAccesses) {
   ASSERT_TRUE(w1.Run(&fs1, 100).ok());
   ASSERT_TRUE(w2.Run(&fs2, 100).ok());
   EXPECT_EQ(w1.stats().writes, w2.stats().writes);  // same seed, same draws
+}
+
+TEST(WorkloadTest, StatsCommittedWhenRunAbortsMidStream) {
+  WorkloadConfig config;
+  config.directories = 2;
+  config.files_per_directory = 4;
+  config.write_fraction = 0.0;  // every op is one Open; the budget is exact
+  Workload workload(config, 5);
+  vfs::MemVfs fs;
+  ASSERT_TRUE(workload.Populate(&fs).ok());
+
+  int budget = 7;
+  DyingVfs dying(&fs, &budget);
+  Status status = workload.Run(&dying, 20);
+  EXPECT_EQ(status.code(), ErrorCode::kIo) << status.ToString();
+  // The 7 completed ops AND the fatal attempt are committed, even though
+  // the run aborted mid-stream — nothing from the last tick is dropped.
+  EXPECT_EQ(workload.stats().operations, 8u);
+  EXPECT_EQ(workload.stats().reads, 8u);
+  EXPECT_EQ(workload.stats().failures, 1u);
 }
 
 TEST(WorkloadTest, PathOfIsStable) {

@@ -24,7 +24,7 @@ TEST_P(UfsRandomOpsTest, RandomOpsStayConsistentWithModel) {
   Ufs ufs(&cache, &clock);
   ASSERT_TRUE(ufs.Format(1024).ok());
 
-  Rng rng(GetParam());
+  Rng rng(SeedFromEnvOr(GetParam(), "ufs_property"));
   std::map<std::string, ModelFile> model;
   int next_name = 0;
 
