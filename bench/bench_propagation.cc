@@ -7,8 +7,10 @@
 //
 // Sweeps burst size and propagation policy (eager after every update vs
 // delayed one pass after the burst) and reports transfers and bytes moved.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -26,13 +28,18 @@ struct Run {
   uint64_t pulls = 0;
   uint64_t bytes = 0;
   uint64_t datagrams = 0;
+  double wall_ms = 0.0;  // host wall clock, not simulated time
 };
 
 // Writes `burst` updates of `update_size` bytes to one file on host 0 and
 // propagates to host 1 either eagerly (daemon pass after every write) or
-// lazily (single daemon pass at the end).
-Run RunBurst(int burst, size_t update_size, bool eager) {
-  sim::Cluster cluster;
+// lazily (single daemon pass at the end). `runtime` picks the execution
+// mode: deterministic pumps inline; threaded serves NFS from a thread
+// pool and pulls through a per-replica propagation worker.
+Run RunBurst(int burst, size_t update_size, bool eager,
+             const RuntimeOptions& runtime = RuntimeOptions{}) {
+  auto started = std::chrono::steady_clock::now();
+  sim::Cluster cluster(runtime);
   sim::FicusHost* a = cluster.AddHost("a");
   sim::FicusHost* b = cluster.AddHost("b");
   auto volume = cluster.CreateVolume({a, b});
@@ -59,6 +66,9 @@ Run RunBurst(int burst, size_t update_size, bool eager) {
     run.bytes = stats->bytes_pulled;
   }
   run.datagrams = cluster.network().stats().datagrams_sent;
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
   return run;
 }
 
@@ -108,9 +118,26 @@ DeltaRun RunDeltaEdit(size_t file_size, bool delta_enabled) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --runtime=threaded runs the burst sweep over the threaded runtime
+  // (thread-pool NFS service + propagation workers) instead of the
+  // deterministic one; either way the JSON carries a side-by-side
+  // threaded-vs-deterministic comparison of one fixed workload.
+  RuntimeOptions runtime;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime=threaded") == 0) {
+      runtime.mode = RuntimeMode::kThreaded;
+    } else if (std::strcmp(argv[i], "--runtime=deterministic") == 0) {
+      runtime.mode = RuntimeMode::kDeterministic;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --runtime=threaded)\n", argv[i]);
+      return 2;
+    }
+  }
+
   std::printf("Experiment U1 — update notification & propagation under bursts\n");
-  std::printf("(1 KiB updates to one file; receiver pulls eagerly vs after burst)\n\n");
+  std::printf("(1 KiB updates to one file; receiver pulls eagerly vs after burst)\n");
+  std::printf("(runtime: %s)\n\n", RuntimeModeName(runtime.mode));
   std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "burst", "datagrams", "eager",
               "eager", "delayed", "delayed", "savings");
   std::printf("%8s %12s | %10s %12s | %10s %12s %9s\n", "size", "sent", "pulls", "bytes",
@@ -121,11 +148,12 @@ int main() {
   const std::vector<int> bursts =
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
   std::ostringstream json;
-  json << "{\"bench\":\"propagation\",\"update_size\":1024,\"rows\":[";
+  json << "{\"bench\":\"propagation\",\"update_size\":1024,\"runtime\":\""
+       << RuntimeModeName(runtime.mode) << "\",\"rows\":[";
   bool first = true;
   for (int burst : bursts) {
-    Run eager = RunBurst(burst, 1024, /*eager=*/true);
-    Run delayed = RunBurst(burst, 1024, /*eager=*/false);
+    Run eager = RunBurst(burst, 1024, /*eager=*/true, runtime);
+    Run delayed = RunBurst(burst, 1024, /*eager=*/false, runtime);
     double savings = eager.bytes == 0
                          ? 0.0
                          : 100.0 * (1.0 - static_cast<double>(delayed.bytes) /
@@ -172,7 +200,38 @@ int main() {
          << ",\"rpcs\":" << delta.rpcs << ",\"blocks_fetched\":" << delta.blocks_fetched
          << "},\"reduction\":" << reduction << "}";
   }
-  json << "]}";
+  json << "]";
+
+  // Threaded-vs-deterministic on one fixed workload: same pull/byte
+  // counts expected (the protocols are runtime-independent), wall clock
+  // reported so the cost of real threads is visible next to the inline
+  // pump. This section always runs both runtimes regardless of --runtime.
+  const int cmp_burst = smoke ? 4 : 16;
+  std::printf("\nRuntime comparison — burst of %d, eager pulls, both runtimes\n",
+              cmp_burst);
+  std::printf("%14s | %8s %12s %10s\n", "runtime", "pulls", "bytes", "wall ms");
+  json << ",\"runtime_comparison\":{\"burst\":" << cmp_burst << ",\"modes\":[";
+  Run per_mode[2];
+  for (int i = 0; i < 2; ++i) {
+    RuntimeOptions mode_options;
+    mode_options.mode = (i == 0) ? RuntimeMode::kDeterministic : RuntimeMode::kThreaded;
+    per_mode[i] = RunBurst(cmp_burst, 1024, /*eager=*/true, mode_options);
+    std::printf("%14s | %8llu %12llu %10.2f\n", RuntimeModeName(mode_options.mode),
+                static_cast<unsigned long long>(per_mode[i].pulls),
+                static_cast<unsigned long long>(per_mode[i].bytes),
+                per_mode[i].wall_ms);
+    if (i != 0) json << ",";
+    json << "{\"runtime\":\"" << RuntimeModeName(mode_options.mode)
+         << "\",\"pulls\":" << per_mode[i].pulls << ",\"bytes\":" << per_mode[i].bytes
+         << ",\"wall_ms\":" << per_mode[i].wall_ms << "}";
+  }
+  const bool transfers_match = per_mode[0].pulls == per_mode[1].pulls &&
+                               per_mode[0].bytes == per_mode[1].bytes;
+  json << "],\"transfers_match\":" << (transfers_match ? "true" : "false") << "}";
+  std::printf("transfer counts %s across runtimes\n",
+              transfers_match ? "match" : "DIFFER");
+
+  json << "}";
   std::ofstream out("BENCH_propagation.json");
   out << json.str() << "\n";
   std::printf("\nwrote BENCH_propagation.json\n");

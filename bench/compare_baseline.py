@@ -21,6 +21,10 @@ import sys
 
 ABS_SLACK = 4.0  # absolute difference ignored regardless of ratio
 
+# Wall-clock leaves vary with the machine and load; the gate only holds
+# deterministic counters (pulls, bytes, RPCs) to the baseline.
+VOLATILE_KEYS = {"wall_ms"}
+
 
 def compare(current, baseline, tolerance, path, failures):
     if isinstance(baseline, dict):
@@ -28,6 +32,8 @@ def compare(current, baseline, tolerance, path, failures):
             failures.append(f"{path}: expected object, got {type(current).__name__}")
             return
         for key in baseline:
+            if key in VOLATILE_KEYS:
+                continue
             if key not in current:
                 failures.append(f"{path}.{key}: missing from current output")
                 continue

@@ -1,0 +1,53 @@
+// Capped exponential backoff with equal jitter — the one retry-delay
+// policy shared by the NFS client transport (per-RPC retries) and the
+// propagation daemon (per-entry pull retries). Both used to carry a
+// private copy of this arithmetic; keeping it here means the two agree
+// forever on what "attempt k" waits.
+//
+// The k-th delay grows as base·2^k, clamped to `cap`; the jittered form
+// then draws uniformly from [b/2, b] ("equal jitter": half deterministic
+// spacing, half randomized to de-synchronize retry herds).
+#ifndef FICUS_SRC_COMMON_BACKOFF_H_
+#define FICUS_SRC_COMMON_BACKOFF_H_
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace ficus {
+
+// min(base · 2^attempt, cap), saturating on shift overflow. `cap` is
+// taken literally: cap == 0 yields 0 (callers wanting "uncapped" or
+// "cap defaults to base" map that before calling — the NFS transport
+// treats an unset cap as cap = base, i.e. constant backoff).
+inline SimTime BackoffDelay(SimTime base, SimTime cap, uint32_t attempt) {
+  SimTime delay = base;
+  for (uint32_t k = 0; k < attempt; ++k) {
+    if (delay >= cap) {
+      break;  // already clamped; further doubling cannot matter
+    }
+    if (delay > SimClock::kMaxSimTime / 2) {
+      delay = SimClock::kMaxSimTime;
+      break;
+    }
+    delay *= 2;
+  }
+  return std::min(delay, cap);
+}
+
+// Equal-jitter variant: uniform in [b/2, b] for b = BackoffDelay(...).
+// Draws exactly one rng value when b > 0 and none when b == 0, so
+// seeded retry sequences are reproducible call-for-call.
+inline SimTime JitteredBackoffDelay(SimTime base, SimTime cap, uint32_t attempt,
+                                    Rng& rng) {
+  SimTime b = BackoffDelay(base, cap, attempt);
+  if (b == 0) {
+    return 0;
+  }
+  return b / 2 + rng.NextBelow(b - b / 2 + 1);
+}
+
+}  // namespace ficus
+
+#endif  // FICUS_SRC_COMMON_BACKOFF_H_

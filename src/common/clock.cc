@@ -1,3 +1,19 @@
 #include "src/common/clock.h"
 
-// SimClock is header-only; this translation unit anchors the library.
+#include <cinttypes>
+#include <cstdio>
+
+namespace ficus {
+
+void SimClock::LogSaturationOnce(SimTime at, SimTime delta) {
+  bool expected = false;
+  if (saturation_logged_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "SimClock: Advance(%" PRIu64 ") at now=%" PRIu64
+                 " would overflow; saturating at SimTime max\n",
+                 delta, at);
+  }
+}
+
+}  // namespace ficus

@@ -1,8 +1,19 @@
 // Simulated clock. The whole system runs on logical time so tests of
 // propagation delay, graft pruning, and cache expiry are deterministic.
+//
+// Two layers:
+//   - Clock: the read-only interface every layer consumes (Now() only).
+//     Layers that merely stamp deadlines, mtimes, or cache expiry take a
+//     `const Clock*` and work under any runtime.
+//   - SimClock: the writable simulated implementation, advanced explicitly
+//     by the simulation loop (or, under the threaded runtime, by whichever
+//     thread performs the simulated wait). Reads and writes are atomic so
+//     a worker thread observing time while another advances it is a data
+//     race only in the benign sense the memory model already permits.
 #ifndef FICUS_SRC_COMMON_CLOCK_H_
 #define FICUS_SRC_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ficus {
@@ -14,25 +25,61 @@ constexpr SimTime kMicrosecond = 1;
 constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 constexpr SimTime kSecond = 1000 * kMillisecond;
 
+// Read-only clock interface: what every layer above the simulation loop
+// actually needs. Monotonic: successive Now() calls never go backwards.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime Now() const = 0;
+};
+
 // Monotonic simulated clock, advanced explicitly by the simulation loop.
-class SimClock {
+// Thread-safe: concurrent Advance/AdvanceTo/Now are linearizable, and
+// Advance saturates at SimTime's maximum instead of silently wrapping
+// (a wrapped clock would un-expire every deadline and cache entry in the
+// system; saturation keeps "already past" monotone and logs once).
+class SimClock : public Clock {
  public:
   SimClock() = default;
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_.load(std::memory_order_relaxed); }
 
-  // Advances by delta microseconds.
-  void Advance(SimTime delta) { now_ += delta; }
-
-  // Jumps to an absolute time; must not go backwards.
-  void AdvanceTo(SimTime t) {
-    if (t > now_) {
-      now_ = t;
+  // Advances by delta microseconds, saturating at SimTime max.
+  void Advance(SimTime delta) {
+    SimTime observed = now_.load(std::memory_order_relaxed);
+    SimTime next;
+    do {
+      if (delta > kMaxSimTime - observed) {
+        next = kMaxSimTime;
+      } else {
+        next = observed + delta;
+      }
+    } while (!now_.compare_exchange_weak(observed, next, std::memory_order_relaxed));
+    if (next == kMaxSimTime && delta != 0) {
+      LogSaturationOnce(observed, delta);
     }
   }
 
+  // Jumps to an absolute time; must not go backwards (a stale target is
+  // ignored, preserving monotonicity under concurrent advancers).
+  void AdvanceTo(SimTime t) {
+    SimTime observed = now_.load(std::memory_order_relaxed);
+    while (t > observed) {
+      if (now_.compare_exchange_weak(observed, t, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  static constexpr SimTime kMaxSimTime = UINT64_MAX;
+
  private:
-  SimTime now_ = 0;
+  // Out-of-line so <cstdio> stays out of this header; logs at most once
+  // per clock instance.
+  void LogSaturationOnce(SimTime at, SimTime delta);
+
+  std::atomic<SimTime> now_{0};
+  std::atomic<bool> saturation_logged_{false};
 };
 
 }  // namespace ficus

@@ -6,6 +6,7 @@
 namespace ficus {
 
 void Histogram::Record(uint64_t sample) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++count_;
   sum_ += sample;
   if (sample < min_) {
@@ -19,6 +20,7 @@ void Histogram::Record(uint64_t sample) {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   sum_ = 0;
   min_ = UINT64_MAX;
@@ -26,7 +28,38 @@ void Histogram::Reset() {
   buckets_.fill(0);
 }
 
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
 Counter* MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -35,6 +68,7 @@ Counter* MetricRegistry::counter(std::string_view name) {
 }
 
 Histogram* MetricRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -43,11 +77,13 @@ Histogram* MetricRegistry::histogram(std::string_view name) {
 }
 
 const Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -58,6 +94,7 @@ uint64_t MetricRegistry::CounterValue(std::string_view name) const {
 }
 
 void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) {
     c->Reset();
   }
@@ -67,6 +104,7 @@ void MetricRegistry::Reset() {
 }
 
 std::vector<std::string> MetricRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -76,6 +114,7 @@ std::vector<std::string> MetricRegistry::CounterNames() const {
 }
 
 std::vector<std::string> MetricRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -85,6 +124,7 @@ std::vector<std::string> MetricRegistry::HistogramNames() const {
 }
 
 std::string MetricRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << name << " " << c->value() << "\n";
@@ -115,6 +155,7 @@ void AppendJsonString(std::ostringstream& out, std::string_view s) {
 }  // namespace
 
 std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -179,8 +220,8 @@ void MetricScope::RecordLatency(std::string_view name, uint64_t nanos) const {
 }
 
 TraceId NextTraceId() {
-  static TraceId next = 1;
-  return next++;
+  static std::atomic<TraceId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace ficus

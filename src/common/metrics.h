@@ -7,6 +7,12 @@
 // through stable pointers on the hot path — a map lookup never sits on
 // a vnode-operation fast path.
 //
+// Thread safety: counters are relaxed atomics (a bump from an NFS
+// service thread and one from a propagation worker may not observe each
+// other's order, but no increment is ever lost); histograms and the
+// registry maps are mutex-guarded. Reads taken while workers are still
+// running are instantaneous snapshots.
+//
 // Naming scheme (dotted, lowercase): `<subsystem>.<object>.<metric>`,
 // e.g. `vfs.stats.lookup.calls`, `nfs.client.rpcs`,
 // `net.rpc_bytes`, `repl.propagation.pulled_files`,
@@ -16,9 +22,11 @@
 #define FICUS_SRC_COMMON_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,21 +34,22 @@
 namespace ficus {
 
 // Monotonic counter cell. Stable address for the lifetime of its
-// registry; increments are a single add on a plain uint64_t.
+// registry; increments are one relaxed atomic add, safe from any thread.
 class Counter {
  public:
-  void Increment() { ++value_; }
-  void Add(uint64_t delta) { value_ += delta; }
-  void Reset() { value_ = 0; }
-  uint64_t value() const { return value_; }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 // Latency histogram with power-of-two buckets: bucket i counts samples
 // whose value v satisfies 2^i <= v < 2^(i+1) (bucket 0 also takes 0).
-// Cheap enough to record a steady_clock delta per vnode op.
+// Mutex-guarded: a histogram records a steady_clock delta per vnode op,
+// and one uncontended lock is cheap next to the op it measures.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
@@ -48,14 +57,15 @@ class Histogram {
   void Record(uint64_t sample);
   void Reset();
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
-  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  uint64_t count() const;
+  uint64_t sum() const;
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+  std::array<uint64_t, kBuckets> buckets() const;
 
  private:
+  mutable std::mutex mu_;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
@@ -64,8 +74,9 @@ class Histogram {
 };
 
 // Owns named counters and histograms. Lookup by name creates on first
-// use and returns a stable pointer; subsystems resolve their cells once
-// and keep the pointers.
+// use and returns a stable pointer (cells are heap-allocated, so the
+// pointer survives rehashing and concurrent registration); subsystems
+// resolve their cells once and keep the pointers.
 class MetricRegistry {
  public:
   MetricRegistry() = default;
@@ -95,6 +106,7 @@ class MetricRegistry {
   std::string ToJson() const;
 
  private:
+  mutable std::mutex mu_;  // guards the maps, not the cells they point to
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
@@ -124,8 +136,9 @@ class MetricScope {
   std::string prefix_;
 };
 
-// Process-wide trace-id source: deterministic, starts at 1 so 0 can
-// mean "no trace attached".
+// Process-wide trace-id source: atomic, starts at 1 so 0 can mean "no
+// trace attached". Ids are unique across threads but their global order
+// is only meaningful in the deterministic runtime.
 using TraceId = uint64_t;
 TraceId NextTraceId();
 

@@ -61,29 +61,41 @@ void Network::ResetStats() {
 }
 
 FaultPlan& Network::InstallFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   faults_ = std::make_unique<FaultPlan>(std::move(plan));
   return *faults_;
 }
 
-void Network::ClearFaultPlan() { faults_.reset(); }
+void Network::ClearFaultPlan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.reset();
+}
 
 HostId Network::AddHost(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   HostId id = next_id_++;
   hosts_[id].name = name;
   return id;
 }
 
 HostPort* Network::port(HostId host) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hosts_.find(host);
   return it != hosts_.end() ? &it->second.port : nullptr;
 }
 
 const std::string& Network::HostName(HostId host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HostNameLocked(host);
+}
+
+const std::string& Network::HostNameLocked(HostId host) const {
   auto it = hosts_.find(host);
   return it != hosts_.end() ? it->second.name : kUnknownHostName;
 }
 
 std::vector<HostId> Network::Hosts() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<HostId> out;
   out.reserve(hosts_.size());
   for (const auto& [id, host] : hosts_) {
@@ -93,14 +105,19 @@ std::vector<HostId> Network::Hosts() const {
 }
 
 void Network::DisconnectPair(HostId a, HostId b) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (a != b) {
     severed_.insert(OrderedPair(a, b));
   }
 }
 
-void Network::ConnectPair(HostId a, HostId b) { severed_.erase(OrderedPair(a, b)); }
+void Network::ConnectPair(HostId a, HostId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  severed_.erase(OrderedPair(a, b));
+}
 
 void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
+  std::lock_guard<std::mutex> lock(mu_);
   severed_.clear();
   // Map each host to its group; hosts absent from all groups are isolated.
   std::map<HostId, size_t> group_of;
@@ -109,7 +126,11 @@ void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
       group_of[h] = g;
     }
   }
-  std::vector<HostId> all = Hosts();
+  std::vector<HostId> all;
+  all.reserve(hosts_.size());
+  for (const auto& [id, host] : hosts_) {
+    all.push_back(id);
+  }
   for (size_t i = 0; i < all.size(); ++i) {
     for (size_t j = i + 1; j < all.size(); ++j) {
       auto gi = group_of.find(all[i]);
@@ -122,9 +143,13 @@ void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
   }
 }
 
-void Network::Heal() { severed_.clear(); }
+void Network::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  severed_.clear();
+}
 
 void Network::SetHostUp(HostId host, bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hosts_.find(host);
   if (it != hosts_.end()) {
     it->second.up = up;
@@ -132,28 +157,38 @@ void Network::SetHostUp(HostId host, bool up) {
 }
 
 bool Network::HostUp(HostId host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HostUpLocked(host);
+}
+
+bool Network::HostUpLocked(HostId host) const {
   auto it = hosts_.find(host);
   return it != hosts_.end() && it->second.up;
 }
 
-bool Network::ScheduledDown(HostId a, HostId b) const {
+bool Network::ScheduledDownLocked(HostId a, HostId b) const {
   return faults_ != nullptr && faults_->ScheduledDown(a, b, Now());
 }
 
 bool Network::Reachable(HostId from, HostId to) const {
-  if (!HostUp(from) || !HostUp(to)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReachableLocked(from, to);
+}
+
+bool Network::ReachableLocked(HostId from, HostId to) const {
+  if (!HostUpLocked(from) || !HostUpLocked(to)) {
     return false;
   }
   if (from == to) {
     return true;
   }
-  if (ScheduledDown(from, to)) {
+  if (ScheduledDownLocked(from, to)) {
     return false;
   }
   return severed_.count(OrderedPair(from, to)) == 0;
 }
 
-SimTime Network::SampleLatency(HostId a, HostId b) {
+SimTime Network::SampleLatencyLocked(HostId a, HostId b) {
   if (faults_ == nullptr) {
     return rpc_latency_;
   }
@@ -167,75 +202,103 @@ SimTime Network::SampleLatency(HostId a, HostId b) {
 
 StatusOr<Payload> Network::Rpc(HostId from, HostId to, const std::string& service,
                                const Payload& request, SimTime timeout) {
-  if (!Reachable(from, to)) {
-    if (HostUp(from) && HostUp(to) && severed_.count(OrderedPair(from, to)) == 0 &&
-        ScheduledDown(from, to)) {
-      stats_.fault_scheduled_blocks->Increment();
+  // Phase 1 (under the state lock): routing, fault draws, and latency
+  // accounting. The handler is copied out so phase 2 can run it without
+  // holding the lock — a handler runs a whole vnode stack and may itself
+  // use the network.
+  HostPort::RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ReachableLocked(from, to)) {
+      if (HostUpLocked(from) && HostUpLocked(to) &&
+          severed_.count(OrderedPair(from, to)) == 0 && ScheduledDownLocked(from, to)) {
+        stats_.fault_scheduled_blocks->Increment();
+      }
+      stats_.rpcs_failed->Increment();
+      return UnreachableError("no route from " + HostNameLocked(from) + " to " +
+                              HostNameLocked(to));
     }
-    stats_.rpcs_failed->Increment();
-    return UnreachableError("no route from " + HostName(from) + " to " + HostName(to));
-  }
-  auto it = hosts_.find(to);
-  if (it == hosts_.end()) {
-    stats_.rpcs_failed->Increment();
-    return UnreachableError("destination host does not exist");
-  }
-  auto handler = it->second.port.rpc_services_.find(service);
-  if (handler == it->second.port.rpc_services_.end()) {
-    stats_.rpcs_failed->Increment();
-    return NotFoundError("service not registered: " + service);
-  }
-  const bool remote = from != to;
-  const LinkFaults* faults =
-      (faults_ != nullptr && remote) ? &faults_->LinkFor(from, to) : nullptr;
-  // The caller's patience: how long it waits before declaring a lost
-  // message a timeout.
-  auto wait_out_timeout = [&]() {
-    if (clock_ != nullptr) {
-      clock_->Advance(timeout != 0 ? timeout : SampleLatency(from, to));
+    auto it = hosts_.find(to);
+    if (it == hosts_.end()) {
+      stats_.rpcs_failed->Increment();
+      return UnreachableError("destination host does not exist");
     }
-  };
-  if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
-    stats_.fault_rpc_request_drops->Increment();
-    stats_.rpcs_failed->Increment();
-    wait_out_timeout();
-    return TimedOutError("rpc request to " + HostName(to) + " lost (" + service + ")");
+    auto found = it->second.port.rpc_services_.find(service);
+    if (found == it->second.port.rpc_services_.end()) {
+      stats_.rpcs_failed->Increment();
+      return NotFoundError("service not registered: " + service);
+    }
+    const bool remote = from != to;
+    const LinkFaults* faults =
+        (faults_ != nullptr && remote) ? &faults_->LinkFor(from, to) : nullptr;
+    // The caller's patience: how long it waits before declaring a lost
+    // message a timeout.
+    auto wait_out_timeout = [&]() {
+      if (clock_ != nullptr) {
+        clock_->Advance(timeout != 0 ? timeout : SampleLatencyLocked(from, to));
+      }
+    };
+    if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+      stats_.fault_rpc_request_drops->Increment();
+      stats_.rpcs_failed->Increment();
+      wait_out_timeout();
+      return TimedOutError("rpc request to " + HostNameLocked(to) + " lost (" + service +
+                           ")");
+    }
+    stats_.rpcs_sent->Increment();
+    stats_.rpc_bytes->Add(request.size());
+    if (clock_ != nullptr && remote) {
+      clock_->Advance(SampleLatencyLocked(from, to));
+    }
+    handler = found->second;
   }
-  stats_.rpcs_sent->Increment();
-  stats_.rpc_bytes->Add(request.size());
-  if (clock_ != nullptr && remote) {
-    clock_->Advance(SampleLatency(from, to));
-  }
-  StatusOr<Payload> response = handler->second(from, request);
-  if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
-    // The handler executed but the reply never arrived: the at-least-once
-    // hazard every NFS retry loop must tolerate.
-    stats_.fault_rpc_response_drops->Increment();
-    stats_.rpcs_failed->Increment();
-    wait_out_timeout();
-    return TimedOutError("rpc response from " + HostName(to) + " lost (" + service + ")");
-  }
-  if (response.ok()) {
-    stats_.rpc_bytes->Add(response.value().size());
+  StatusOr<Payload> response = handler(from, request);
+  // Phase 3: the response's fate, again under the lock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool remote = from != to;
+    const LinkFaults* faults =
+        (faults_ != nullptr && remote) ? &faults_->LinkFor(from, to) : nullptr;
+    if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+      // The handler executed but the reply never arrived: the at-least-once
+      // hazard every NFS retry loop must tolerate.
+      stats_.fault_rpc_response_drops->Increment();
+      stats_.rpcs_failed->Increment();
+      if (clock_ != nullptr) {
+        clock_->Advance(timeout != 0 ? timeout : SampleLatencyLocked(from, to));
+      }
+      return TimedOutError("rpc response from " + HostNameLocked(to) + " lost (" + service +
+                           ")");
+    }
+    if (response.ok()) {
+      stats_.rpc_bytes->Add(response.value().size());
+    }
   }
   return response;
 }
 
 bool Network::DeliverDatagram(HostId from, HostId to, const std::string& channel,
                               const Payload& payload) {
-  auto it = hosts_.find(to);
-  if (it == hosts_.end()) {
-    stats_.datagrams_dropped->Increment();
-    return false;
+  HostPort::DatagramHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hosts_.find(to);
+    if (it == hosts_.end()) {
+      stats_.datagrams_dropped->Increment();
+      return false;
+    }
+    auto found = it->second.port.datagram_channels_.find(channel);
+    if (found == it->second.port.datagram_channels_.end()) {
+      stats_.datagrams_dropped->Increment();
+      return false;
+    }
+    stats_.datagrams_sent->Increment();
+    stats_.datagram_bytes->Add(payload.size());
+    handler = found->second;
   }
-  auto handler = it->second.port.datagram_channels_.find(channel);
-  if (handler == it->second.port.datagram_channels_.end()) {
-    stats_.datagrams_dropped->Increment();
-    return false;
-  }
-  stats_.datagrams_sent->Increment();
-  stats_.datagram_bytes->Add(payload.size());
-  handler->second(from, payload);
+  // Invoked without the lock: the handler files into the destination's
+  // new-version cache (a leaf lock) and may kick a propagation worker.
+  handler(from, payload);
   return true;
 }
 
@@ -246,27 +309,41 @@ size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
     if (to == from) {
       continue;
     }
-    if (!Reachable(from, to)) {
-      stats_.datagrams_dropped->Increment();
-      continue;
+    // Per-destination verdict under the lock; deliveries happen outside it.
+    enum class Verdict { kDrop, kDefer, kDeliver };
+    Verdict verdict;
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!ReachableLocked(from, to)) {
+        stats_.datagrams_dropped->Increment();
+        continue;
+      }
+      const LinkFaults* faults = faults_ != nullptr ? &faults_->LinkFor(from, to) : nullptr;
+      if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
+        stats_.fault_datagram_drops->Increment();
+        verdict = Verdict::kDrop;
+      } else if (faults != nullptr && faults_->rng().NextBool(faults->reorder)) {
+        // Held back until later traffic reaches this destination (or an
+        // explicit flush) — delivered out of order, not lost.
+        stats_.fault_datagram_reorders->Increment();
+        deferred_.push_back(DeferredDatagram{from, to, channel, payload});
+        verdict = Verdict::kDefer;
+      } else {
+        verdict = Verdict::kDeliver;
+        if (faults != nullptr && faults_->rng().NextBool(faults->duplicate)) {
+          stats_.fault_datagram_dups->Increment();
+          duplicate = true;
+        }
+      }
     }
-    const LinkFaults* faults = faults_ != nullptr ? &faults_->LinkFor(from, to) : nullptr;
-    if (faults != nullptr && faults_->rng().NextBool(faults->drop)) {
-      stats_.fault_datagram_drops->Increment();
-      continue;
-    }
-    if (faults != nullptr && faults_->rng().NextBool(faults->reorder)) {
-      // Held back until later traffic reaches this destination (or an
-      // explicit flush) — delivered out of order, not lost.
-      stats_.fault_datagram_reorders->Increment();
-      deferred_.push_back(DeferredDatagram{from, to, channel, payload});
+    if (verdict != Verdict::kDeliver) {
       continue;
     }
     if (DeliverDatagram(from, to, channel, payload)) {
       ++delivered;
     }
-    if (faults != nullptr && faults_->rng().NextBool(faults->duplicate)) {
-      stats_.fault_datagram_dups->Increment();
+    if (duplicate) {
       DeliverDatagram(from, to, channel, payload);
     }
     // The new datagram has arrived; anything deferred for this destination
@@ -277,17 +354,20 @@ size_t Network::Multicast(HostId from, const std::vector<HostId>& destinations,
 }
 
 size_t Network::FlushDeferredFor(HostId to) {
-  size_t delivered = 0;
-  std::vector<DeferredDatagram> keep;
   std::vector<DeferredDatagram> flush;
-  for (auto& d : deferred_) {
-    if (to == kInvalidHost || d.to == to) {
-      flush.push_back(std::move(d));
-    } else {
-      keep.push_back(std::move(d));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<DeferredDatagram> keep;
+    for (auto& d : deferred_) {
+      if (to == kInvalidHost || d.to == to) {
+        flush.push_back(std::move(d));
+      } else {
+        keep.push_back(std::move(d));
+      }
     }
+    deferred_ = std::move(keep);
   }
-  deferred_ = std::move(keep);
+  size_t delivered = 0;
   for (const auto& d : flush) {
     if (!Reachable(d.from, d.to)) {
       stats_.datagrams_dropped->Increment();

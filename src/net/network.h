@@ -9,6 +9,14 @@
 // An installed FaultPlan (src/net/fault.h) layers realistic misbehaviour
 // on top: message loss, latency jitter, datagram duplication/reordering,
 // and scripted flaps/partitions — all seeded and deterministic.
+//
+// Thread safety: one mutex guards the host table, connectivity state,
+// fault plan (including its rng), and the deferred-datagram queue.
+// Handlers — RPC services and datagram channels — are always invoked
+// with the lock RELEASED: a handler runs an entire vnode stack and may
+// itself send on this network. Under the deterministic runtime all of
+// this happens on one thread, so fault-rng draw order (and therefore
+// every seeded test) is unchanged.
 #ifndef FICUS_SRC_NET_NETWORK_H_
 #define FICUS_SRC_NET_NETWORK_H_
 
@@ -16,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -177,10 +186,16 @@ class Network {
   };
 
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+  // Lock-free-context variants of the public queries, for use while mu_
+  // is already held (std::mutex is not recursive).
+  bool HostUpLocked(HostId host) const;
+  bool ReachableLocked(HostId from, HostId to) const;
+  const std::string& HostNameLocked(HostId host) const;
   // The fault schedule's verdict on a<->b right now.
-  bool ScheduledDown(HostId a, HostId b) const;
-  // Samples the one-way latency for a message on a<->b.
-  SimTime SampleLatency(HostId a, HostId b);
+  bool ScheduledDownLocked(HostId a, HostId b) const;
+  // Samples the one-way latency for a message on a<->b (draws from the
+  // fault rng, hence "locked").
+  SimTime SampleLatencyLocked(HostId a, HostId b);
   // Hands `payload` to `to`'s handler for `channel` if one is registered.
   bool DeliverDatagram(HostId from, HostId to, const std::string& channel,
                        const Payload& payload);
@@ -189,6 +204,7 @@ class Network {
   size_t FlushDeferredFor(HostId to);
 
   SimClock* clock_;
+  mutable std::mutex mu_;
   std::map<HostId, Host> hosts_;
   HostId next_id_ = 1;
   // Pairs (a < b) that are explicitly severed.

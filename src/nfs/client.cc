@@ -1,6 +1,9 @@
 #include "src/nfs/client.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "src/common/backoff.h"
 
 namespace ficus::nfs {
 
@@ -13,7 +16,7 @@ using vfs::VAttr;
 using vfs::VnodePtr;
 
 NfsClient::NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
-                     const SimClock* clock, ClientConfig config, std::string service,
+                     const Clock* clock, ClientConfig config, std::string service,
                      MetricRegistry* metrics)
     : network_(network),
       local_host_(local_host),
@@ -79,7 +82,8 @@ void NfsClient::ResetStats() {
 
 StatusOr<Payload> NfsClient::Call(const Payload& request, const OpContext& ctx) {
   const RetryPolicy& retry = config_.retry;
-  SimTime backoff = retry.backoff_base;
+  // An unset cap means constant backoff at the base delay.
+  const SimTime cap = retry.backoff_cap != 0 ? retry.backoff_cap : retry.backoff_base;
   for (uint32_t attempt = 0;; ++attempt) {
     stats_.rpcs->Increment();
     if (!request.empty() && request[0] < kNfsProcCount) {
@@ -109,9 +113,11 @@ StatusOr<Payload> NfsClient::Call(const Payload& request, const OpContext& ctx) 
       return status;
     }
     // Capped exponential backoff with equal jitter: uniform in [b/2, b].
-    SimTime cap = retry.backoff_cap != 0 ? retry.backoff_cap : backoff;
-    SimTime b = std::min(backoff, cap);
-    SimTime delay = b == 0 ? 0 : b / 2 + retry_rng_.NextBelow(b - b / 2 + 1);
+    SimTime delay;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      delay = JitteredBackoffDelay(retry.backoff_base, cap, attempt, retry_rng_);
+    }
     if (ctx.HasDeadline() && ctx.clock->Now() + delay > ctx.deadline) {
       // Sleeping would overrun the caller's deadline; give up now rather
       // than burn the remaining budget waiting.
@@ -123,16 +129,17 @@ StatusOr<Payload> NfsClient::Call(const Payload& request, const OpContext& ctx) 
     }
     stats_.retry_backoff_us->Add(delay);
     stats_.retry_attempts->Increment();
-    backoff = backoff == 0 ? 0 : std::min(backoff * 2, cap);
   }
 }
 
 void NfsClient::InvalidateCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
   attr_cache_.clear();
   dnlc_.clear();
 }
 
 StatusOr<VAttr> NfsClient::CachedAttr(NfsHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = attr_cache_.find(handle);
   if (it != attr_cache_.end() && it->second.expires > Now()) {
     stats_.attr_cache_hits->Increment();
@@ -146,12 +153,17 @@ void NfsClient::StoreAttr(NfsHandle handle, const VAttr& attr) {
   if (config_.attr_cache_ttl == 0) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   attr_cache_[handle] = AttrEntry{attr, Now() + config_.attr_cache_ttl};
 }
 
-void NfsClient::DropAttr(NfsHandle handle) { attr_cache_.erase(handle); }
+void NfsClient::DropAttr(NfsHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attr_cache_.erase(handle);
+}
 
 StatusOr<NfsHandle> NfsClient::CachedName(NfsHandle dir, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = dnlc_.find(std::make_pair(dir, std::string(name)));
   if (it != dnlc_.end() && it->second.expires > Now()) {
     stats_.dnlc_hits->Increment();
@@ -165,14 +177,17 @@ void NfsClient::StoreName(NfsHandle dir, std::string_view name, NfsHandle child)
   if (config_.dnlc_ttl == 0) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   dnlc_[std::make_pair(dir, std::string(name))] = NameEntry{child, Now() + config_.dnlc_ttl};
 }
 
 void NfsClient::DropName(NfsHandle dir, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   dnlc_.erase(std::make_pair(dir, std::string(name)));
 }
 
 void NfsClient::DropDirNames(NfsHandle dir) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = dnlc_.lower_bound(std::make_pair(dir, std::string()));
   while (it != dnlc_.end() && it->first.first == dir) {
     it = dnlc_.erase(it);
@@ -180,8 +195,11 @@ void NfsClient::DropDirNames(NfsHandle dir) {
 }
 
 StatusOr<VnodePtr> NfsClient::Root() {
-  if (root_handle_ != kInvalidHandle) {
-    return VnodePtr(std::make_shared<NfsVnode>(this, root_handle_));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (root_handle_ != kInvalidHandle) {
+      return VnodePtr(std::make_shared<NfsVnode>(this, root_handle_));
+    }
   }
   Payload request;
   ByteWriter w(request);
@@ -193,7 +211,10 @@ StatusOr<VnodePtr> NfsClient::Root() {
   FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
   VAttr attr;
   FICUS_RETURN_IF_ERROR(GetVAttr(r, attr));
-  root_handle_ = handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root_handle_ = handle;
+  }
   StoreAttr(handle, attr);
   return VnodePtr(std::make_shared<NfsVnode>(this, handle));
 }

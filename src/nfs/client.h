@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
@@ -119,7 +120,7 @@ class NfsClient : public vfs::Vfs {
   // `metrics` (borrowed, optional) receives the `nfs.client.*` counters;
   // without one the client keeps them in a private registry.
   NfsClient(net::Network* network, net::HostId local_host, net::HostId server_host,
-            const SimClock* clock, ClientConfig config = ClientConfig{},
+            const Clock* clock, ClientConfig config = ClientConfig{},
             std::string service = kNfsService, MetricRegistry* metrics = nullptr);
 
   // Root() fetches (and caches) the remote root handle.
@@ -134,7 +135,10 @@ class NfsClient : public vfs::Vfs {
 
   // Forgets the cached root handle so the next Root() re-fetches it from
   // the server — the recovery step after a server restart staled it.
-  void ForgetRoot() { root_handle_ = kInvalidHandle; }
+  void ForgetRoot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    root_handle_ = kInvalidHandle;
+  }
 
  private:
   friend class NfsVnode;
@@ -190,12 +194,16 @@ class NfsClient : public vfs::Vfs {
   net::Network* network_;
   net::HostId local_host_;
   net::HostId server_host_;
-  const SimClock* clock_;
+  const Clock* clock_;
   ClientConfig config_;
   std::string service_;
   MetricRegistry owned_registry_;
   MetricRegistry* registry_;
   StatCells stats_;
+  // Guards the caches, the cached root handle, and the jitter rng —
+  // everything a concurrent NfsVnode operation may touch. Never held
+  // across an RPC.
+  mutable std::mutex mu_;
   Rng retry_rng_;
   NfsHandle root_handle_ = kInvalidHandle;
   std::map<NfsHandle, AttrEntry> attr_cache_;

@@ -1,6 +1,9 @@
 #include "src/nfs/server.h"
 
 #include <algorithm>
+#include <future>
+#include <mutex>
+#include <utility>
 
 namespace ficus::nfs {
 
@@ -12,7 +15,7 @@ using vfs::VAttr;
 using vfs::VnodePtr;
 
 NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
-                     std::string service, const SimClock* clock, MetricRegistry* metrics)
+                     std::string service, const Clock* clock, MetricRegistry* metrics)
     : network_(network),
       host_(host),
       exported_(exported),
@@ -28,9 +31,24 @@ NfsServer::NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported
   if (port != nullptr) {
     port->RegisterRpcService(
         std::move(service), [this](net::HostId sender, const Payload& request) {
-          return Dispatch(sender, request);
+          return Serve(sender, request);
         });
   }
+}
+
+StatusOr<Payload> NfsServer::Serve(net::HostId sender, const Payload& request) {
+  if (service_pool_ == nullptr) {
+    return Dispatch(sender, request);
+  }
+  // Hand the request to the bounded service pool and wait for its reply.
+  // Submit() blocks when every service slot is busy, which is the
+  // backpressure a fixed nfsd population applies to its transports.
+  std::promise<StatusOr<Payload>> reply;
+  std::future<StatusOr<Payload>> got = reply.get_future();
+  service_pool_->Submit([this, sender, &request, &reply] {
+    reply.set_value(Dispatch(sender, request));
+  });
+  return got.get();
 }
 
 ServerStats NfsServer::stats() const {
@@ -41,6 +59,7 @@ ServerStats NfsServer::stats() const {
 }
 
 void NfsServer::FlushHandles() {
+  std::lock_guard<std::mutex> lock(mu_);
   handle_to_vnode_.clear();
   file_to_handle_.clear();
 }
@@ -48,7 +67,10 @@ void NfsServer::FlushHandles() {
 NfsHandle NfsServer::HandleFor(const VnodePtr& vnode) {
   // Different vnode objects can name the same file (each Lookup may mint a
   // fresh vnode); unify on (fsid, fileid) so handles are durable names.
+  // GetAttr runs before taking mu_ so the table lock is not held across a
+  // vnode-stack call on the common path.
   auto attr = vnode->GetAttr();
+  std::lock_guard<std::mutex> lock(mu_);
   if (attr.ok()) {
     auto key = std::make_pair(attr->fsid, attr->fileid);
     auto it = file_to_handle_.find(key);
@@ -64,11 +86,11 @@ NfsHandle NfsServer::HandleFor(const VnodePtr& vnode) {
   if (attr.ok()) {
     file_to_handle_[std::make_pair(attr->fsid, attr->fileid)] = handle;
   }
-  EvictExcessHandles();
+  EvictExcessHandlesLocked();
   return handle;
 }
 
-void NfsServer::EvictExcessHandles() {
+void NfsServer::EvictExcessHandlesLocked() {
   while (handle_to_vnode_.size() > kMaxHandles) {
     // Handles are issued in increasing order, so begin() is the oldest.
     auto oldest = handle_to_vnode_.begin();
@@ -87,6 +109,7 @@ void NfsServer::EvictExcessHandles() {
 }
 
 StatusOr<VnodePtr> NfsServer::VnodeFor(NfsHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = handle_to_vnode_.find(handle);
   if (it == handle_to_vnode_.end()) {
     return StaleError("handle " + std::to_string(handle));
@@ -153,8 +176,12 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
         return fail(attr.status());
       }
       PutStatus(w, OkStatus());
-      root_handle_ = HandleFor(root.value());
-      w.PutU64(root_handle_);
+      NfsHandle handle = HandleFor(root.value());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        root_handle_ = handle;
+      }
+      w.PutU64(handle);
       PutVAttr(w, attr.value());
       return out;
     }

@@ -10,10 +10,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
+#include "src/common/runtime.h"
 #include "src/net/network.h"
 #include "src/nfs/protocol.h"
 #include "src/vfs/vnode.h"
@@ -36,23 +38,36 @@ class NfsServer {
   // `metrics` (borrowed, optional) receives the `nfs.server.*` counters;
   // without one the server keeps them in a private registry.
   NfsServer(net::Network* network, net::HostId host, vfs::Vfs* exported,
-            std::string service = kNfsService, const SimClock* clock = nullptr,
+            std::string service = kNfsService, const Clock* clock = nullptr,
             MetricRegistry* metrics = nullptr);
 
   // Server restart: all handles become stale except the root, which clients
   // re-acquire via kGetRoot.
   void FlushHandles();
 
+  // Bounded service pool (borrowed, optional). When set, each incoming RPC
+  // is handed to the pool and the transport thread blocks until its reply
+  // is ready — the pool's width bounds how many requests are in service at
+  // once, like the fixed population of nfsd threads on a real server. Must
+  // be wired before traffic starts; a null pool serves requests inline.
+  void set_service_pool(Executor* pool) { service_pool_ = pool; }
+
   ServerStats stats() const;
   net::HostId host() const { return host_; }
 
  private:
+  // Transport entry point: runs Dispatch inline or via the service pool.
+  StatusOr<net::Payload> Serve(net::HostId sender, const net::Payload& request);
   StatusOr<net::Payload> Dispatch(net::HostId sender, const net::Payload& request);
 
   // Returns the handle for a vnode, minting one if needed.
   NfsHandle HandleFor(const vfs::VnodePtr& vnode);
   StatusOr<vfs::VnodePtr> VnodeFor(NfsHandle handle);
-  void EvictExcessHandles();
+  // Requires mu_ held. May call GetAttr() on evicted vnodes while holding
+  // mu_ — lock order is server handle table before the exported vnode
+  // stack, which is safe because the stack never calls back into the
+  // server.
+  void EvictExcessHandlesLocked();
 
   // Registry-backed counter cells, resolved once at construction.
   struct StatCells {
@@ -66,7 +81,12 @@ class NfsServer {
   net::Network* network_;
   net::HostId host_;
   vfs::Vfs* exported_;
-  const SimClock* clock_ = nullptr;
+  const Clock* clock_ = nullptr;
+  Executor* service_pool_ = nullptr;
+  // Guards the handle maps, next_handle_, and root_handle_ against
+  // concurrent service-pool threads. Leaf with respect to the exported
+  // stack's locks except inside EvictExcessHandlesLocked (see above).
+  mutable std::mutex mu_;
   std::map<NfsHandle, vfs::VnodePtr> handle_to_vnode_;
   // Durable-name index: one handle per (fsid, fileid). Vnode objects are
   // cheap per-lookup handles, so identity must be by file, not by pointer.

@@ -6,6 +6,7 @@
 #define FICUS_SRC_REPL_CONFLICT_LOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,13 +33,23 @@ struct ConflictRecord {
   std::string detail;
 };
 
+// Thread-safe: reporters (logical layer, propagation workers) and
+// readers (oracle, tests) may interleave; records() hands back a
+// snapshot copy.
 class ConflictLog {
  public:
-  void Report(ConflictRecord record) { records_.push_back(std::move(record)); }
+  void Report(ConflictRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+  }
 
-  const std::vector<ConflictRecord>& records() const { return records_; }
+  std::vector<ConflictRecord> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
 
   size_t CountOf(ConflictKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t n = 0;
     for (const auto& r : records_) {
       if (r.kind == kind) {
@@ -48,9 +59,13 @@ class ConflictLog {
     return n;
   }
 
-  void Clear() { records_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<ConflictRecord> records_;
 };
 

@@ -553,6 +553,7 @@ StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_
     if (!fresh.ok()) {
       return result;
     }
+    std::lock_guard<std::mutex> lock(root_mu_);
     root_ = std::move(fresh).value();
   }
   return InternalError("unreachable");
@@ -560,16 +561,21 @@ StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_
 
 StatusOr<std::vector<uint8_t>> RemotePhysical::TransactOnce(
     const std::vector<uint8_t>& request, const OpContext& ctx) {
+  VnodePtr root;
+  {
+    std::lock_guard<std::mutex> lock(root_mu_);
+    root = root_;
+  }
   VnodePtr channel;
   if (request.size() <= kMaxInlineRequest) {
     // Small request: encode it into a lookup name that NFS forwards
     // verbatim (the paper's overloaded-lookup technique).
-    ++inline_calls_;
+    inline_calls_.fetch_add(1, std::memory_order_relaxed);
     std::string name = std::string(kReqPrefix) + HexEncodeBytes(request);
-    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(name, ctx));
+    FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(name, ctx));
   } else {
-    ++session_calls_;
-    FICUS_ASSIGN_OR_RETURN(channel, root_->Lookup(kSessionName, ctx));
+    session_calls_.fetch_add(1, std::memory_order_relaxed);
+    FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(kSessionName, ctx));
     FICUS_RETURN_IF_ERROR(channel->Write(0, request, ctx).status());
   }
   // Drain the response (it can exceed one NFS read quantum).

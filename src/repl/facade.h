@@ -26,8 +26,10 @@
 #ifndef FICUS_SRC_REPL_FACADE_H_
 #define FICUS_SRC_REPL_FACADE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/repl/physical.h"
@@ -83,12 +85,14 @@ class PhysicalFacadeVfs : public vfs::Vfs {
 
   PhysicalLayer* layer() { return layer_; }
   uint64_t fsid() const { return fsid_; }
-  uint64_t NextFileId() { return next_fileid_++; }
+  // Concurrent server threads mint session/response vnodes, so ids come
+  // from an atomic.
+  uint64_t NextFileId() { return next_fileid_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
   PhysicalLayer* layer_;
   uint64_t fsid_;
-  uint64_t next_fileid_ = 2;
+  std::atomic<uint64_t> next_fileid_{2};
 };
 
 // PhysicalApi proxy over a facade root vnode (local or across NFS).
@@ -138,8 +142,8 @@ class RemotePhysical : public PhysicalApi {
   Status NoteClose(FileId file) override;
 
   // How many calls went inline through a lookup name vs. via a session.
-  uint64_t inline_calls() const { return inline_calls_; }
-  uint64_t session_calls() const { return session_calls_; }
+  uint64_t inline_calls() const { return inline_calls_.load(std::memory_order_relaxed); }
+  uint64_t session_calls() const { return session_calls_.load(std::memory_order_relaxed); }
 
  private:
   // Ships a marshalled request and returns the response with its leading
@@ -149,12 +153,15 @@ class RemotePhysical : public PhysicalApi {
   StatusOr<std::vector<uint8_t>> TransactOnce(const std::vector<uint8_t>& request,
                                               const vfs::OpContext& ctx);
 
+  // Guards root_ against a concurrent stale-handle refresh; snapshotted
+  // before each transaction so the lock is never held across the call.
+  mutable std::mutex root_mu_;
   vfs::VnodePtr root_;
   RootRefresher refresher_;
   VolumeId volume_;
   ReplicaId replica_ = kInvalidReplica;
-  uint64_t inline_calls_ = 0;
-  uint64_t session_calls_ = 0;
+  std::atomic<uint64_t> inline_calls_{0};
+  std::atomic<uint64_t> session_calls_{0};
 };
 
 }  // namespace ficus::repl

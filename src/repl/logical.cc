@@ -11,7 +11,7 @@ using vfs::VnodePtr;
 using vfs::VnodeType;
 
 LogicalLayer::LogicalLayer(VolumeId volume, ReplicaResolver* resolver,
-                           UpdateNotifier* notifier, ConflictLog* log, const SimClock* clock,
+                           UpdateNotifier* notifier, ConflictLog* log, const Clock* clock,
                            MetricRegistry* metrics)
     : volume_(volume),
       resolver_(resolver),
@@ -108,11 +108,19 @@ StatusOr<PhysicalApi*> LogicalLayer::SelectForRead(FileId file) {
           best_is_preferred = true;
         }
         break;
-      case VectorOrder::kDominatedBy:
       case VectorOrder::kConcurrent:
-        // Concurrent versions: keep the earlier pick (deterministic —
-        // replicas iterate in id order); the conflict flag set by
-        // propagation/reconciliation surfaces the situation to the owner.
+        // Concurrent versions: prefer the site-local replica, so a client
+        // keeps reading its own writes while the versions race (the
+        // conflict flag set by propagation/reconciliation surfaces the
+        // situation to the owner); otherwise keep the earlier pick
+        // (deterministic — replicas iterate in id order).
+        if (replica == preferred && !best_is_preferred) {
+          best = *access;
+          best_vv = attrs->vv;
+          best_is_preferred = true;
+        }
+        break;
+      case VectorOrder::kDominatedBy:
         break;
     }
   }

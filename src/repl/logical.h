@@ -77,7 +77,7 @@ class LogicalLayer : public vfs::Vfs {
   // optional. `metrics` receives the `repl.logical.*` counters; without
   // one the layer keeps them in a private registry.
   LogicalLayer(VolumeId volume, ReplicaResolver* resolver, UpdateNotifier* notifier,
-               ConflictLog* log, const SimClock* clock,
+               ConflictLog* log, const Clock* clock,
                MetricRegistry* metrics = nullptr);
 
   StatusOr<vfs::VnodePtr> Root() override;
@@ -116,7 +116,7 @@ class LogicalLayer : public vfs::Vfs {
   UpdateNotifier* notifier_;
   GraftResolver* graft_resolver_ = nullptr;
   ConflictLog* log_;
-  const SimClock* clock_;
+  const Clock* clock_;
   MetricRegistry owned_registry_;
   MetricRegistry* registry_;
   StatCells stats_;

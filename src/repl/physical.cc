@@ -73,7 +73,7 @@ constexpr uint8_t kExtInlineAttrs = 0x01;  // attributes follow inline
 constexpr uint8_t kExtSpilled = 0x02;      // attributes live in the aux file
 }  // namespace
 
-PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptions options,
+PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const Clock* clock, PhysicalOptions options,
                              MetricRegistry* metrics)
     : ufs_(ufs),
       clock_(clock),
@@ -94,6 +94,7 @@ PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock, PhysicalOptio
 }
 
 PhysicalStats PhysicalLayer::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PhysicalStats out;
   out.opens_noted = stats_.opens_noted->value();
   out.closes_noted = stats_.closes_noted->value();
@@ -111,6 +112,7 @@ PhysicalStats PhysicalLayer::stats() const {
 }
 
 Status PhysicalLayer::CheckAttached() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!attached_) {
     return InternalError("physical layer not attached to a volume replica");
   }
@@ -118,6 +120,7 @@ Status PhysicalLayer::CheckAttached() const {
 }
 
 Status PhysicalLayer::PersistMeta() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta, ufs_->DirLookup(container_, kMetaFile));
   std::vector<uint8_t> bytes;
   ByteWriter w(bytes);
@@ -131,6 +134,7 @@ Status PhysicalLayer::PersistMeta() {
 
 Status PhysicalLayer::CreateVolume(const VolumeId& volume, ReplicaId replica,
                                    std::string_view container_name, bool first_replica) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (replica == kInvalidReplica) {
     return InvalidArgumentError("replica id 0 is reserved");
   }
@@ -178,6 +182,7 @@ Status PhysicalLayer::CreateVolume(const VolumeId& volume, ReplicaId replica,
 }
 
 Status PhysicalLayer::Attach(std::string_view container_name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(container_, ufs_->DirLookup(ufs::kRootInode, container_name));
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta, ufs_->DirLookup(container_, kMetaFile));
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(meta));
@@ -210,6 +215,7 @@ Status PhysicalLayer::Attach(std::string_view container_name) {
 }
 
 Status PhysicalLayer::RecoverShadows(ufs::InodeNum ufs_dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs_->DirList(ufs_dir));
   for (const auto& e : entries) {
     if (HasSuffix(e.name, kShadowSuffix)) {
@@ -233,6 +239,7 @@ Status PhysicalLayer::RecoverShadows(ufs::InodeNum ufs_dir) {
 }
 
 Status PhysicalLayer::ScanTree(ufs::InodeNum ufs_dir, FileId dir_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<ufs::UfsDirEntry> entries, ufs_->DirList(ufs_dir));
   for (const auto& e : entries) {
     if (e.name == kDirFile || e.name == kAttrFile || HasSuffix(e.name, kAttrSuffix) ||
@@ -262,6 +269,7 @@ Status PhysicalLayer::ScanTree(ufs::InodeNum ufs_dir, FileId dir_id) {
 }
 
 StatusOr<PhysicalLayer::Location> PhysicalLayer::Find(FileId file) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = locations_.find(file);
   if (it == locations_.end()) {
     return NotFoundError("no replica of file " + file.ToString() + " stored here");
@@ -270,6 +278,7 @@ StatusOr<PhysicalLayer::Location> PhysicalLayer::Find(FileId file) const {
 }
 
 StatusOr<ufs::InodeNum> PhysicalLayer::DataInode(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
   if (IsDirectoryLike(loc.type)) {
     return IsDirError("file " + file.ToString() + " is a directory");
@@ -278,6 +287,7 @@ StatusOr<ufs::InodeNum> PhysicalLayer::DataInode(FileId file) {
 }
 
 StatusOr<ufs::InodeNum> PhysicalLayer::AttrInode(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
   if (IsDirectoryLike(loc.type)) {
     return ufs_->DirLookup(loc.self_dir, kAttrFile);
@@ -286,6 +296,7 @@ StatusOr<ufs::InodeNum> PhysicalLayer::AttrInode(FileId file) {
 }
 
 StatusOr<ufs::InodeNum> PhysicalLayer::AttrExtInode(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
   if (IsDirectoryLike(loc.type)) {
     return loc.self_dir;
@@ -294,6 +305,7 @@ StatusOr<ufs::InodeNum> PhysicalLayer::AttrExtInode(FileId file) {
 }
 
 StatusOr<ReplicaAttributes> PhysicalLayer::LoadAttributes(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (options_.attr_placement == AttrPlacement::kInode) {
     FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrExtInode(file));
     FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> ext, ufs_->ReadExt(ino));
@@ -309,6 +321,7 @@ StatusOr<ReplicaAttributes> PhysicalLayer::LoadAttributes(FileId file) {
 }
 
 Status PhysicalLayer::StoreAttributes(FileId file, const ReplicaAttributes& attrs) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (options_.attr_placement == AttrPlacement::kInode) {
     std::vector<uint8_t> bytes = attrs.ToBytes();
     FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrExtInode(file));
@@ -338,6 +351,7 @@ Status PhysicalLayer::StoreAttributes(FileId file, const ReplicaAttributes& attr
 }
 
 StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(dir));
   if (!IsDirectoryLike(loc.type)) {
     return NotDirError("file " + dir.ToString() + " is not a directory");
@@ -382,6 +396,7 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
 }
 
 Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntry>& entries) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(dir));
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, ufs_->DirLookup(loc.self_dir, kDirFile));
   // Next generation: one past whatever is cached or on disk.
@@ -418,6 +433,7 @@ Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntr
 }
 
 bool PhysicalLayer::HasLiveEntries(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto entries = LoadDirEntries(dir);
   if (!entries.ok()) {
     return false;
@@ -431,6 +447,7 @@ bool PhysicalLayer::HasLiveEntries(FileId dir) {
 }
 
 StatusOr<bool> PhysicalLayer::SubtreeContains(FileId root, FileId candidate) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (root == candidate) {
     return true;
   }
@@ -452,6 +469,7 @@ StatusOr<bool> PhysicalLayer::SubtreeContains(FileId root, FileId candidate) {
 
 Status PhysicalLayer::CreateStorage(FileId dir, FileId file, FicusFileType type,
                                     uint32_t owner_uid, const VersionVector& vv) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Location dir_loc, Find(dir));
   if (!IsDirectoryLike(dir_loc.type)) {
     return NotDirError("parent is not a directory");
@@ -492,6 +510,7 @@ Status PhysicalLayer::CreateStorage(FileId dir, FileId file, FicusFileType type,
 }
 
 Status PhysicalLayer::BumpDirVersion(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(dir));
   attrs.vv.Increment(replica_);
   attrs.mtime = Now();
@@ -501,11 +520,13 @@ Status PhysicalLayer::BumpDirVersion(FileId dir) {
 // --- PhysicalApi: attributes ---
 
 StatusOr<ReplicaAttributes> PhysicalLayer::GetAttributes(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   return LoadAttributes(file);
 }
 
 Status PhysicalLayer::SetConflict(FileId file, bool conflict) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(file));
   attrs.conflict = conflict;
@@ -514,6 +535,7 @@ Status PhysicalLayer::SetConflict(FileId file, bool conflict) {
 
 StatusOr<std::vector<FileAttrResult>> PhysicalLayer::BatchGetAttributes(
     const std::vector<FileId>& files) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   std::vector<FileAttrResult> out;
   out.reserve(files.size());
@@ -534,6 +556,7 @@ StatusOr<std::vector<FileAttrResult>> PhysicalLayer::BatchGetAttributes(
 
 StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadData(FileId file, uint64_t offset,
                                                        uint32_t length) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   std::vector<uint8_t> out;
@@ -542,12 +565,14 @@ StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadData(FileId file, uint64_t off
 }
 
 StatusOr<std::vector<uint8_t>> PhysicalLayer::ReadAllData(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   return ufs_->ReadAll(ino);
 }
 
 StatusOr<uint64_t> PhysicalLayer::DataSize(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   FICUS_ASSIGN_OR_RETURN(ufs::Inode inode, ufs_->ReadInode(ino));
@@ -555,6 +580,7 @@ StatusOr<uint64_t> PhysicalLayer::DataSize(FileId file) {
 }
 
 StatusOr<BlockDigestInfo> PhysicalLayer::ReadBlockDigests(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
   if (IsDirectoryLike(loc.type)) {
@@ -584,6 +610,7 @@ StatusOr<BlockDigestInfo> PhysicalLayer::ReadBlockDigests(FileId file) {
 
 Status PhysicalLayer::WriteData(FileId file, uint64_t offset,
                                 const std::vector<uint8_t>& data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   FICUS_RETURN_IF_ERROR(ufs_->WriteAt(ino, offset, data).status());
@@ -595,6 +622,7 @@ Status PhysicalLayer::WriteData(FileId file, uint64_t offset,
 }
 
 Status PhysicalLayer::TruncateData(FileId file, uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   FICUS_RETURN_IF_ERROR(ufs_->Truncate(ino, size));
@@ -606,6 +634,7 @@ Status PhysicalLayer::TruncateData(FileId file, uint64_t size) {
 }
 
 Status PhysicalLayer::MaybeCrash(ShadowCrashPoint point) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (options_.crash_point != nullptr && options_.crash_point(point)) {
     return IoError("simulated crash at shadow commit point " +
                    std::to_string(static_cast<int>(point)));
@@ -615,6 +644,7 @@ Status PhysicalLayer::MaybeCrash(ShadowCrashPoint point) const {
 
 Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& contents,
                                      const VersionVector& vv) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(Location loc, Find(file));
   if (IsDirectoryLike(loc.type)) {
@@ -692,6 +722,7 @@ Status PhysicalLayer::InstallVersion(FileId file, const std::vector<uint8_t>& co
 // --- PhysicalApi: directories ---
 
 StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::ReadDirectory(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   // Raw entries, colliding spellings and tombstones included: peers need
   // the truth; the logical layer presents disambiguated names to clients.
@@ -700,6 +731,7 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::ReadDirectory(FileId dir) {
 
 StatusOr<FileId> PhysicalLayer::CreateChild(FileId dir, std::string_view name,
                                             FicusFileType type, uint32_t owner_uid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_RETURN_IF_ERROR(ValidateEntryName(name));
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
@@ -727,6 +759,7 @@ StatusOr<FileId> PhysicalLayer::CreateChild(FileId dir, std::string_view name,
 
 Status PhysicalLayer::AddEntry(FileId dir, std::string_view name, FileId target,
                                FicusFileType type) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_RETURN_IF_ERROR(ValidateEntryName(name));
   if (locations_.count(target) == 0) {
@@ -766,6 +799,7 @@ Status PhysicalLayer::AddEntry(FileId dir, std::string_view name, FileId target,
 }
 
 Status PhysicalLayer::RemoveEntry(FileId dir, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
   FICUS_ASSIGN_OR_RETURN(size_t index, FindAliveByPresentedName(entries, name));
@@ -803,6 +837,7 @@ Status PhysicalLayer::RemoveEntry(FileId dir, std::string_view name) {
 
 Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, FileId new_dir,
                                   std::string_view new_name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_RETURN_IF_ERROR(ValidateEntryName(new_name));
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> old_entries, LoadDirEntries(old_dir));
@@ -917,6 +952,7 @@ Status PhysicalLayer::RenameEntry(FileId old_dir, std::string_view old_name, Fil
 StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
                                               std::vector<FicusDirEntry>& entries,
                                               const FicusDirEntry& remote) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   stats_.entries_applied->Increment();
   for (auto& local : entries) {
     if (local.name != remote.name || local.file != remote.file) {
@@ -1030,6 +1066,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
 }
 
 Status PhysicalLayer::ApplyEntry(FileId dir, const FicusDirEntry& remote) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
   FICUS_ASSIGN_OR_RETURN(bool changed, ApplyEntryToSet(dir, entries, remote));
@@ -1045,6 +1082,7 @@ Status PhysicalLayer::ApplyEntry(FileId dir, const FicusDirEntry& remote) {
 }
 
 Status PhysicalLayer::ApplyEntries(FileId dir, const std::vector<FicusDirEntry>& remote) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
   bool any_changed = false;
@@ -1060,6 +1098,7 @@ Status PhysicalLayer::ApplyEntries(FileId dir, const std::vector<FicusDirEntry>&
 }
 
 Status PhysicalLayer::MergeDirVersion(FileId dir, const VersionVector& vv) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(dir));
   attrs.vv.MergeWith(vv);
@@ -1069,11 +1108,13 @@ Status PhysicalLayer::MergeDirVersion(FileId dir, const VersionVector& vv) {
 // --- PhysicalApi: symlinks ---
 
 StatusOr<std::string> PhysicalLayer::ReadLink(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadAllData(file));
   return std::string(bytes.begin(), bytes.end());
 }
 
 Status PhysicalLayer::WriteLink(FileId file, std::string_view target) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, DataInode(file));
   std::vector<uint8_t> bytes(target.begin(), target.end());
@@ -1088,6 +1129,7 @@ Status PhysicalLayer::WriteLink(FileId file, std::string_view target) {
 // --- PhysicalApi: open/close ---
 
 Status PhysicalLayer::NoteOpen(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   stats_.opens_noted->Increment();
   // Warm the caches exactly as a real open would: attributes now, so the
@@ -1096,6 +1138,7 @@ Status PhysicalLayer::NoteOpen(FileId file) {
 }
 
 Status PhysicalLayer::NoteClose(FileId file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   (void)file;
   stats_.closes_noted->Increment();
@@ -1106,6 +1149,7 @@ Status PhysicalLayer::NoteClose(FileId file) {
 
 void PhysicalLayer::NoteNewVersion(const GlobalFileId& id, const VersionVector& vv,
                                    ReplicaId source) {
+  std::lock_guard<std::mutex> lock(nv_mu_);
   stats_.notifications_noted->Increment();
   auto it = new_version_cache_.find(id);
   if (it == new_version_cache_.end()) {
@@ -1126,6 +1170,7 @@ void PhysicalLayer::NoteNewVersion(const GlobalFileId& id, const VersionVector& 
 }
 
 void PhysicalLayer::RestoreNewVersion(const NewVersionEntry& entry) {
+  std::lock_guard<std::mutex> lock(nv_mu_);
   auto it = new_version_cache_.find(entry.id);
   if (it == new_version_cache_.end()) {
     new_version_cache_[entry.id] = entry;
@@ -1144,6 +1189,7 @@ void PhysicalLayer::RestoreNewVersion(const NewVersionEntry& entry) {
 }
 
 std::vector<NewVersionEntry> PhysicalLayer::TakePendingVersions() {
+  std::lock_guard<std::mutex> lock(nv_mu_);
   std::vector<NewVersionEntry> out;
   out.reserve(new_version_cache_.size());
   for (auto& [id, entry] : new_version_cache_) {
@@ -1156,6 +1202,7 @@ std::vector<NewVersionEntry> PhysicalLayer::TakePendingVersions() {
 // --- garbage collection ---
 
 StatusOr<int> PhysicalLayer::GarbageCollect() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   int collected = 0;
   bool progress = true;
@@ -1229,6 +1276,7 @@ StatusOr<int> PhysicalLayer::GarbageCollect() {
 }
 
 StatusOr<std::vector<std::string>> PhysicalLayer::OrphanNames() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   std::vector<std::string> out;
   auto orphans = ufs_->DirLookup(container_, kOrphanDir);
@@ -1244,6 +1292,7 @@ StatusOr<std::vector<std::string>> PhysicalLayer::OrphanNames() {
 }
 
 StatusOr<std::vector<std::string>> PhysicalLayer::CheckConsistency() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckAttached());
   std::vector<std::string> problems;
   std::map<FileId, int> observed_refs;
@@ -1311,6 +1360,7 @@ StatusOr<std::vector<std::string>> PhysicalLayer::CheckConsistency() {
 }
 
 std::vector<FileId> PhysicalLayer::StoredFiles() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<FileId> out;
   out.reserve(locations_.size());
   for (const auto& [file, loc] : locations_) {

@@ -31,6 +31,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -113,7 +114,7 @@ class PhysicalLayer : public PhysicalApi {
   // ufs must be mounted; clock may be null. `metrics` (borrowed,
   // optional) receives the `repl.physical.*` counters; without one the
   // layer keeps them in a private registry.
-  PhysicalLayer(ufs::Ufs* ufs, const SimClock* clock,
+  PhysicalLayer(ufs::Ufs* ufs, const Clock* clock,
                 PhysicalOptions options = PhysicalOptions{},
                 MetricRegistry* metrics = nullptr);
 
@@ -175,11 +176,17 @@ class PhysicalLayer : public PhysicalApi {
   // Hands the accumulated entries to the propagation daemon and clears
   // the cache.
   std::vector<NewVersionEntry> TakePendingVersions();
-  size_t PendingVersionCount() const { return new_version_cache_.size(); }
+  size_t PendingVersionCount() const {
+    std::lock_guard<std::mutex> lock(nv_mu_);
+    return new_version_cache_.size();
+  }
 
   // Does this replica store the file at all? (Storage of any particular
   // file is optional within a volume replica, section 4.1.)
-  bool Stores(FileId file) const { return locations_.count(file) != 0; }
+  bool Stores(FileId file) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return locations_.count(file) != 0;
+  }
 
   // Removes local storage of files no live directory entry references.
   // Returns the number of replicas collected. With options.orphanage set,
@@ -261,8 +268,20 @@ class PhysicalLayer : public PhysicalApi {
   Status ScanTree(ufs::InodeNum ufs_dir, FileId dir_id);
   Status RecoverShadows(ufs::InodeNum ufs_dir);
 
+  // Layer-wide lock: serializes every PhysicalApi operation and the
+  // caches behind them. Recursive because public operations compose
+  // (ApplyEntries -> ApplyEntry -> CreateStorage). Never held across a
+  // network call — remote I/O happens in the propagation daemon and the
+  // logical layer, both of which call in and return between RPCs.
+  mutable std::recursive_mutex mu_;
+  // Leaf lock for the new-version cache alone, so an update-notification
+  // datagram delivered by another host's writer thread files its entry
+  // without waiting on (or deadlocking against) a long-running local
+  // operation under mu_. Acquired after mu_ when both are needed; no
+  // code path acquires mu_ while holding nv_mu_.
+  mutable std::mutex nv_mu_;
   ufs::Ufs* ufs_;
-  const SimClock* clock_;
+  const Clock* clock_;
   PhysicalOptions options_;
   VolumeId volume_;
   ReplicaId replica_ = kInvalidReplica;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "src/common/backoff.h"
+
 namespace ficus::repl {
 
 PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver,
-                                     ConflictLog* log, const SimClock* clock,
+                                     ConflictLog* log, const Clock* clock,
                                      PropagationConfig config, MetricRegistry* metrics)
     : local_(local),
       resolver_(resolver),
@@ -47,7 +49,7 @@ PropagationStats PropagationDaemon::stats() const {
 }
 
 Status PropagationDaemon::RunOnce() {
-  last_trace_ = NextTraceId();
+  last_trace_.store(NextTraceId(), std::memory_order_relaxed);
   stats_.runs->Increment();
   std::vector<NewVersionEntry> pending = local_->TakePendingVersions();
   // A notification for a file we do not store yet may become actionable
@@ -137,12 +139,9 @@ Status PropagationDaemon::RunOnce() {
           continue;
         }
         if (config_.retry_backoff_base != 0) {
-          SimTime delay = config_.retry_backoff_base;
-          for (uint32_t k = 1; k < state.attempts && delay < config_.retry_backoff_cap;
-               ++k) {
-            delay *= 2;
-          }
-          state.next_attempt = Now() + std::min(delay, config_.retry_backoff_cap);
+          state.next_attempt = Now() + BackoffDelay(config_.retry_backoff_base,
+                                                    config_.retry_backoff_cap,
+                                                    state.attempts - 1);
         }
         stats_.deferred_unreachable->Increment();
         local_->RestoreNewVersion(entry);
@@ -347,6 +346,70 @@ StatusOr<std::vector<uint8_t>> PropagationDaemon::TryDeltaFetch(FileId file,
   }
   *fetched_bytes = fetched;
   return out;
+}
+
+PropagationWorker::PropagationWorker(PropagationDaemon* daemon)
+    : daemon_(daemon), thread_([this] { Loop(); }) {}
+
+PropagationWorker::~PropagationWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  kicked_.notify_all();
+  thread_.join();
+}
+
+void PropagationWorker::Kick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requested_;
+  }
+  kicked_.notify_one();
+}
+
+void PropagationWorker::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t goal = requested_;
+  idle_.wait(lock, [this, goal] { return served_ >= goal; });
+}
+
+uint64_t PropagationWorker::passes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_;
+}
+
+Status PropagationWorker::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void PropagationWorker::Loop() {
+  for (;;) {
+    uint64_t goal;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      kicked_.wait(lock, [this] { return requested_ > served_ || stop_; });
+      if (requested_ <= served_) {
+        return;  // stop requested, queue drained
+      }
+      // One pass serves every kick issued so far (coalescing): a kick
+      // that arrives mid-pass leaves requested_ > served_ and triggers
+      // another pass, because its notification may have missed the
+      // snapshot this pass takes from the new-version cache.
+      goal = requested_;
+    }
+    Status status = daemon_->RunOnce();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      served_ = goal;
+      ++passes_;
+      if (!status.ok() && last_error_.ok()) {
+        last_error_ = status;
+      }
+      idle_.notify_all();
+    }
+  }
 }
 
 }  // namespace ficus::repl

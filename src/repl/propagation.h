@@ -14,8 +14,12 @@
 #ifndef FICUS_SRC_REPL_PROPAGATION_H_
 #define FICUS_SRC_REPL_PROPAGATION_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -79,7 +83,7 @@ class PropagationDaemon {
   // `metrics` (borrowed, optional) receives the `repl.propagation.*`
   // counters; without one the daemon keeps them in a private registry.
   PropagationDaemon(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-                    const SimClock* clock, PropagationConfig config = PropagationConfig{},
+                    const Clock* clock, PropagationConfig config = PropagationConfig{},
                     MetricRegistry* metrics = nullptr);
 
   // Processes the new-version cache once. Unreachable sources and
@@ -91,7 +95,7 @@ class PropagationDaemon {
   PropagationStats stats() const;
 
   // Trace id stamped on the most recent RunOnce (0 before the first).
-  TraceId last_trace() const { return last_trace_; }
+  TraceId last_trace() const { return last_trace_.load(std::memory_order_relaxed); }
 
  private:
   // Registry-backed counter cells, resolved once at construction.
@@ -137,13 +141,62 @@ class PropagationDaemon {
   PhysicalLayer* local_;
   ReplicaResolver* resolver_;
   ConflictLog* log_;
-  const SimClock* clock_;
+  const Clock* clock_;
   PropagationConfig config_;
   MetricRegistry owned_registry_;
   MetricRegistry* registry_;
   StatCells stats_;
-  TraceId last_trace_ = 0;
+  std::atomic<TraceId> last_trace_{0};
   std::map<GlobalFileId, RetryState> retries_;
+};
+
+// Threaded-runtime driver for one daemon: a dedicated worker thread
+// draining a bounded, coalescing kick queue with condition-variable
+// wakeups (SNIPPETS.md snippet 1's shape) instead of polled RunOnce.
+//
+// Kicks coalesce: a pass started after N kicks serves all N, so the
+// queue never holds more than one pending pass — bounded by
+// construction, no matter how fast notifications arrive. The daemon
+// itself stays single-consumer (only this thread calls RunOnce); cross-
+// thread safety below it comes from the physical layer's own locks.
+class PropagationWorker {
+ public:
+  // `daemon` borrowed, must outlive the worker. The thread starts
+  // immediately and sleeps until the first Kick.
+  explicit PropagationWorker(PropagationDaemon* daemon);
+  ~PropagationWorker();
+
+  PropagationWorker(const PropagationWorker&) = delete;
+  PropagationWorker& operator=(const PropagationWorker&) = delete;
+
+  // Requests one propagation pass; returns immediately. Safe from any
+  // thread, including network-delivery callbacks.
+  void Kick();
+
+  // Blocks until every kick issued before the call has been served by a
+  // complete pass (a pass that *started* after the kick).
+  void Drain();
+
+  // Completed passes (monotonic).
+  uint64_t passes() const;
+
+  // First non-ok status any pass returned since construction (passes
+  // keep running; errors here are diagnostic).
+  Status last_error() const;
+
+ private:
+  void Loop();
+
+  PropagationDaemon* daemon_;
+  mutable std::mutex mu_;
+  std::condition_variable kicked_;  // worker waits for requested_ > served_
+  std::condition_variable idle_;    // Drain waits for served_ to catch up
+  uint64_t requested_ = 0;  // kicks issued
+  uint64_t served_ = 0;     // kicks covered by a completed pass
+  uint64_t passes_ = 0;
+  bool stop_ = false;
+  Status last_error_;
+  std::thread thread_;
 };
 
 }  // namespace ficus::repl

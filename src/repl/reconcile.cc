@@ -6,7 +6,7 @@
 namespace ficus::repl {
 
 Reconciler::Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-                       const SimClock* clock)
+                       const Clock* clock)
     : local_(local), resolver_(resolver), log_(log), clock_(clock) {}
 
 Status Reconciler::ReconcileDirectory(FileId dir, PhysicalApi* remote) {

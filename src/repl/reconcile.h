@@ -38,7 +38,7 @@ class Reconciler {
   // All pointers borrowed. `local` is the replica being brought up to
   // date; conflicts are recorded in `log`.
   Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-             const SimClock* clock = nullptr);
+             const Clock* clock = nullptr);
 
   // Reconciles one directory (entries + the directory's version vector)
   // against the remote replica. Does not touch file contents. One
@@ -74,7 +74,7 @@ class Reconciler {
   PhysicalLayer* local_;
   ReplicaResolver* resolver_;
   ConflictLog* log_;
-  const SimClock* clock_;
+  const Clock* clock_;
   ReconcileStats stats_;
 };
 

@@ -36,7 +36,8 @@ struct Runner {
   std::set<std::string> violations;  // deduplicated across checkpoints
   RunResult result;
 
-  explicit Runner(const Schedule& s) : schedule(s) {}
+  Runner(const Schedule& s, const RuntimeOptions& runtime_options)
+      : schedule(s), cluster(runtime_options) {}
 
   bool IsCrashed(uint32_t host) const { return crashed.count(host) != 0; }
 
@@ -102,6 +103,54 @@ struct Runner {
         ScanShadowResidue(host, entry.ino, path);
       }
     }
+  }
+
+  // Canonical text of every host's replica state after convergence.
+  // Mtimes are deliberately excluded: the threaded runtime spends the same
+  // simulated time differently, so stamps differ while the logical state
+  // (contents, version vectors, conflict flags, name bindings) must not.
+  std::string ConvergedDigest() {
+    std::string out;
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (IsCrashed(h)) continue;
+      repl::PhysicalLayer* layer = physical(h);
+      out += "host " + hosts[h]->name() + "\n";
+      std::vector<repl::FileId> files = layer->StoredFiles();
+      std::sort(files.begin(), files.end());
+      for (const repl::FileId& file : files) {
+        StatusOr<repl::ReplicaAttributes> attrs = layer->GetAttributes(file);
+        if (!attrs.ok()) {
+          out += "  " + file.ToString() + " attrs: " + attrs.status().ToString() + "\n";
+          continue;
+        }
+        out += "  " + file.ToString() + " type=" +
+               std::to_string(static_cast<int>(attrs->type)) +
+               " vv=" + attrs->vv.ToString() +
+               " conflict=" + (attrs->conflict ? "1" : "0") + "\n";
+        if (attrs->type == repl::FicusFileType::kRegular) {
+          StatusOr<std::vector<uint8_t>> data = layer->ReadAllData(file);
+          if (data.ok()) {
+            out += "    data=" + std::string(data->begin(), data->end()) + "\n";
+          }
+        } else if (attrs->type == repl::FicusFileType::kSymlink) {
+          StatusOr<std::string> target = layer->ReadLink(file);
+          if (target.ok()) out += "    link=" + target.value() + "\n";
+        } else {
+          StatusOr<std::vector<repl::FicusDirEntry>> entries = layer->ReadDirectory(file);
+          if (entries.ok()) {
+            std::sort(entries->begin(), entries->end(),
+                      [](const repl::FicusDirEntry& a, const repl::FicusDirEntry& b) {
+                        return a.name < b.name;
+                      });
+            for (const repl::FicusDirEntry& entry : *entries) {
+              if (!entry.alive) continue;
+              out += "    entry " + entry.name + " -> " + entry.file.ToString() + "\n";
+            }
+          }
+        }
+      }
+    }
+    return out;
   }
 
   // Heal-and-quiesce, then run the oracle and the per-host storage checks.
@@ -422,7 +471,7 @@ std::string RunResult::Summary() const {
 }
 
 RunResult ModelChecker::Run(const Schedule& schedule) {
-  Runner runner(schedule);
+  Runner runner(schedule, runtime_options_);
   if (schedule.config.hosts == 0 || schedule.config.files == 0) {
     runner.HarnessError("config needs at least one host and one file slot");
     return runner.result;
@@ -438,8 +487,22 @@ RunResult ModelChecker::Run(const Schedule& schedule) {
     runner.cluster.Sleep(kMillisecond);
   }
   runner.Checkpoint(static_cast<int>(schedule.ops.size()));
+  runner.result.converged_digest = runner.ConvergedDigest();
   runner.result.violations.assign(runner.violations.begin(), runner.violations.end());
   return runner.result;
+}
+
+DifferentialResult RunDifferential(const Schedule& schedule) {
+  DifferentialResult out;
+  ModelChecker deterministic{RuntimeOptions{}};
+  RuntimeOptions threaded_options;
+  threaded_options.mode = RuntimeMode::kThreaded;
+  ModelChecker threaded{threaded_options};
+  out.deterministic = deterministic.Run(schedule);
+  out.threaded = threaded.Run(schedule);
+  out.digests_match = !out.deterministic.converged_digest.empty() &&
+                      out.deterministic.converged_digest == out.threaded.converged_digest;
+  return out;
 }
 
 ModelChecker::ExploreResult ModelChecker::Explore(

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/runtime.h"
 #include "src/sim/checker/oracle.h"
 #include "src/sim/checker/schedule.h"
 
@@ -24,6 +25,12 @@ struct RunResult {
   int ops_skipped = 0;  // implausible after shrinking, crashed hosts, refused ops
   int checkpoints = 0;
   bool quiesced = true;
+  // Canonical text of the fully converged replica state (every host's
+  // stored files: type, version vector, conflict flag, contents, alive
+  // directory entries — mtimes excluded, they are wall-clock artifacts).
+  // Two runs of the same schedule that end in the same logical state have
+  // equal digests; the differential test compares this across runtimes.
+  std::string converged_digest;
 
   bool failed() const { return !violations.empty(); }
   std::string Summary() const;
@@ -31,6 +38,13 @@ struct RunResult {
 
 class ModelChecker {
  public:
+  // `runtime_options` selects the cluster execution mode for every run:
+  // deterministic (default) replays schedules bit-for-bit; threaded runs
+  // the same schedule over real NFS service pools and propagation worker
+  // threads.
+  explicit ModelChecker(const RuntimeOptions& runtime_options = RuntimeOptions{})
+      : runtime_options_(runtime_options) {}
+
   // Runs one schedule start to finish (a final heal-and-quiesce checkpoint
   // is always appended). Deterministic: same schedule, same result.
   RunResult Run(const Schedule& schedule);
@@ -49,7 +63,20 @@ class ModelChecker {
   // smallest schedule found that still produces an oracle violation.
   // Returns the input unchanged if its violation does not reproduce.
   Schedule Shrink(const Schedule& schedule);
+
+ private:
+  RuntimeOptions runtime_options_;
 };
+
+// One schedule, both runtimes. The threaded run must be oracle-clean
+// whenever the deterministic run is, and both must converge to the same
+// replica state (equal digests) — the differential acceptance criterion.
+struct DifferentialResult {
+  RunResult deterministic;
+  RunResult threaded;
+  bool digests_match = false;
+};
+DifferentialResult RunDifferential(const Schedule& schedule);
 
 }  // namespace ficus::sim::checker
 

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/common/rng.h"
 #include "src/sim/checker/checker.h"
 #include "src/sim/checker/schedule.h"
 
@@ -21,7 +22,8 @@ void Usage(const char* argv0) {
                "usage: %s [--schedules N] [--seed S] [--hosts N] [--files N] [--dirs N]\n"
                "          [--ops N] [--fault-plan NAME] [--inject-lost-update]\n"
                "          [--no-shrink] [--trace-out FILE] [--replay FILE]\n"
-               "          [--canonicalize FILE]\n",
+               "          [--canonicalize FILE] [--runtime deterministic|threaded]\n"
+               "          [--differential]\n",
                argv0);
 }
 
@@ -43,6 +45,8 @@ int main(int argc, char** argv) {
   uint64_t base_seed = 1;
   uint64_t schedules = 500;
   bool shrink = true;
+  bool differential = false;
+  ficus::RuntimeOptions runtime_options;
   std::string trace_out;
   std::string replay_file;
 
@@ -82,6 +86,22 @@ int main(int argc, char** argv) {
       config.inject_lost_update = true;
     } else if (arg == "--no-shrink") {
       shrink = false;
+    } else if (arg == "--runtime") {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        return 2;
+      }
+      std::string mode = argv[++i];
+      if (mode == "threaded") {
+        runtime_options.mode = ficus::RuntimeMode::kThreaded;
+      } else if (mode == "deterministic") {
+        runtime_options.mode = ficus::RuntimeMode::kDeterministic;
+      } else {
+        std::fprintf(stderr, "unknown runtime %s\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--differential") {
+      differential = true;
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) {
         Usage(argv[0]);
@@ -124,7 +144,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  ModelChecker checker;
+  ModelChecker checker{runtime_options};
+
+  if (differential) {
+    // Each schedule runs under BOTH runtimes; pass = both oracle-clean and
+    // identical converged state.
+    std::printf("sim_checker differential: %llu schedules, base seed %llu\n",
+                static_cast<unsigned long long>(schedules),
+                static_cast<unsigned long long>(base_seed));
+    int failures = 0;
+    ficus::Rng seeds(base_seed);
+    for (uint64_t n = 0; n < schedules; ++n) {
+      uint64_t seed = seeds.Next();
+      Schedule schedule = ficus::sim::checker::GenerateSchedule(config, seed);
+      auto diff = ficus::sim::checker::RunDifferential(schedule);
+      bool ok = !diff.deterministic.failed() && !diff.threaded.failed() &&
+                diff.deterministic.harness_errors.empty() &&
+                diff.threaded.harness_errors.empty() && diff.digests_match;
+      if (!ok) {
+        ++failures;
+        std::printf("DIFFERENTIAL FAILURE at seed %llu%s\n deterministic: %s\n threaded: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    diff.digests_match ? "" : " (converged state diverged)",
+                    diff.deterministic.Summary().c_str(), diff.threaded.Summary().c_str());
+      }
+      if ((n + 1) % 10 == 0) {
+        std::printf("  ... %llu/%llu differential schedules done\n",
+                    static_cast<unsigned long long>(n + 1),
+                    static_cast<unsigned long long>(schedules));
+      }
+    }
+    std::printf("differential: %llu schedules, %d failure(s)\n",
+                static_cast<unsigned long long>(schedules), failures);
+    return failures == 0 ? 0 : 1;
+  }
 
   if (!replay_file.empty()) {
     std::ifstream in(replay_file);

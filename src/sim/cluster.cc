@@ -5,7 +5,7 @@
 namespace ficus::sim {
 
 FicusHost* Cluster::AddHost(const std::string& name, const HostConfig& config) {
-  hosts_.push_back(std::make_unique<FicusHost>(&network_, &clock_, name, config));
+  hosts_.push_back(std::make_unique<FicusHost>(&network_, &clock_, name, config, &runtime_));
   return hosts_.back().get();
 }
 

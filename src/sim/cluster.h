@@ -14,10 +14,16 @@ namespace ficus::sim {
 
 class Cluster {
  public:
-  Cluster() : network_(&clock_) {}
+  // The runtime options pick the execution mode for every host in the
+  // cluster: deterministic (default — all daemons are pumped inline,
+  // schedules replay exactly) or threaded (real NFS service pools and
+  // propagation worker threads; same protocols, real interleavings).
+  explicit Cluster(const RuntimeOptions& runtime_options = RuntimeOptions{})
+      : runtime_(runtime_options), network_(&clock_) {}
 
   SimClock& clock() { return clock_; }
   net::Network& network() { return network_; }
+  Runtime& runtime() { return runtime_; }
 
   FicusHost* AddHost(const std::string& name, const HostConfig& config = HostConfig{});
 
@@ -85,6 +91,9 @@ class Cluster {
   Status RunFor(SimTime duration, SimTime propagation_period, SimTime reconcile_period);
 
  private:
+  // Declared before the hosts so worker threads are joined (host
+  // destructors) before the runtime they came from goes away.
+  Runtime runtime_;
   SimClock clock_;
   net::Network network_;
   std::vector<std::unique_ptr<FicusHost>> hosts_;

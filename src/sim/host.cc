@@ -29,6 +29,9 @@ class FicusHost::ExportVfs : public vfs::Vfs {
 
     StatusOr<vfs::VnodePtr> Lookup(std::string_view name,
                                    const vfs::OpContext&) override {
+      // Runs on service-pool threads; the map lock keeps the walk safe
+      // against control-plane replica creation.
+      std::lock_guard<std::mutex> lock(host_->locals_mu_);
       for (auto& [key, local] : host_->locals_) {
         if (ExportName(key.first, key.second) == name) {
           return local.facade->Root();
@@ -38,6 +41,7 @@ class FicusHost::ExportVfs : public vfs::Vfs {
     }
 
     StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext&) override {
+      std::lock_guard<std::mutex> lock(host_->locals_mu_);
       std::vector<vfs::DirEntry> out;
       for (auto& [key, local] : host_->locals_) {
         out.push_back(vfs::DirEntry{ExportName(key.first, key.second), 0,
@@ -56,12 +60,13 @@ class FicusHost::ExportVfs : public vfs::Vfs {
 // --- FicusHost ---
 
 FicusHost::FicusHost(net::Network* network, SimClock* clock, const std::string& name,
-                     const HostConfig& config)
+                     const HostConfig& config, Runtime* runtime)
     : network_(network),
       clock_(clock),
       name_(name),
       id_(network->AddHost(name)),
       config_(config),
+      runtime_(runtime),
       device_(config.disk_blocks),
       cache_(&device_, config.cache_blocks),
       ufs_(&cache_, clock),
@@ -73,13 +78,26 @@ FicusHost::FicusHost(net::Network* network, SimClock* clock, const std::string& 
   }
   export_vfs_ = std::make_unique<ExportVfs>(this);
   server_ = std::make_unique<nfs::NfsServer>(network_, id_, export_vfs_.get());
+  if (threaded()) {
+    // Fixed nfsd population: concurrent peer RPCs get real interleaving,
+    // bounded by the pool width.
+    service_pool_ = runtime_->NewExecutor(runtime_->options().nfs_service_threads);
+    server_->set_service_pool(service_pool_.get());
+  }
   network_->port(id_)->RegisterDatagramChannel(
       kUpdateChannel, [this](net::HostId sender, const net::Payload& payload) {
         HandleUpdateDatagram(sender, payload);
       });
 }
 
-FicusHost::~FicusHost() = default;
+FicusHost::~FicusHost() {
+  // Join propagation workers while the transports/proxies they pull
+  // through are still alive; member destruction order alone would tear
+  // the proxies down first.
+  for (auto& [key, local] : locals_) {
+    local.worker.reset();
+  }
+}
 
 std::string FicusHost::ExportName(const repl::VolumeId& volume, repl::ReplicaId replica) {
   return "vol-" + HexEncode32(volume.allocator) + HexEncode32(volume.volume) + "-" +
@@ -90,8 +108,11 @@ StatusOr<repl::PhysicalLayer*> FicusHost::CreateVolumeReplica(const repl::Volume
                                                               repl::ReplicaId replica,
                                                               bool first_replica) {
   auto key = std::make_pair(volume, replica);
-  if (locals_.count(key) != 0) {
-    return ExistsError("replica already stored on this host");
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    if (locals_.count(key) != 0) {
+      return ExistsError("replica already stored on this host");
+    }
   }
   LocalReplica local;
   local.physical = std::make_unique<repl::PhysicalLayer>(&ufs_, clock_, config_.physical);
@@ -109,8 +130,14 @@ StatusOr<repl::PhysicalLayer*> FicusHost::CreateVolumeReplica(const repl::Volume
       local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
   local.reconciler =
       std::make_unique<repl::Reconciler>(local.physical.get(), this, &conflict_log_, clock_);
+  if (threaded()) {
+    local.worker = std::make_unique<repl::PropagationWorker>(local.propagation.get());
+  }
   repl::PhysicalLayer* raw = local.physical.get();
-  locals_[key] = std::move(local);
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    locals_[key] = std::move(local);
+  }
   registry_.RegisterLocal(raw, id_);
   return raw;
 }
@@ -150,19 +177,32 @@ Status RemoveUfsTree(ufs::Ufs* ufs, ufs::InodeNum dir, const std::string& name) 
 }  // namespace
 
 Status FicusHost::DropVolumeReplica(const repl::VolumeId& volume) {
-  for (auto it = locals_.begin(); it != locals_.end(); ++it) {
-    if (it->first.first != volume) {
-      continue;
+  // Pull the replica out of the map under the lock but destroy it outside:
+  // its worker's final pass may itself need locals_mu_ via the resolver.
+  LocalReplica doomed;
+  repl::ReplicaId replica = repl::kInvalidReplica;
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    for (auto it = locals_.begin(); it != locals_.end(); ++it) {
+      if (it->first.first != volume) {
+        continue;
+      }
+      replica = it->first.second;
+      doomed = std::move(it->second);
+      locals_.erase(it);
+      break;
     }
-    repl::ReplicaId replica = it->first.second;
-    std::string container = "vol_" + HexEncode32(volume.allocator) +
-                            HexEncode32(volume.volume) + "_r" + std::to_string(replica);
-    locals_.erase(it);  // daemons/facade die before the storage goes
-    FICUS_RETURN_IF_ERROR(RemoveUfsTree(&ufs_, ufs::kRootInode, container));
-    registry_.ForgetReplica(volume, replica);
-    return OkStatus();
   }
-  return NotFoundError("no local replica of volume " + volume.ToString());
+  if (replica == repl::kInvalidReplica) {
+    return NotFoundError("no local replica of volume " + volume.ToString());
+  }
+  doomed.worker.reset();
+  doomed = LocalReplica{};  // daemons/facade die before the storage goes
+  std::string container = "vol_" + HexEncode32(volume.allocator) +
+                          HexEncode32(volume.volume) + "_r" + std::to_string(replica);
+  FICUS_RETURN_IF_ERROR(RemoveUfsTree(&ufs_, ufs::kRootInode, container));
+  registry_.ForgetReplica(volume, replica);
+  return OkStatus();
 }
 
 void FicusHost::Crash() {
@@ -179,6 +219,19 @@ Status FicusHost::Reboot() {
   // everything holding it (facade, daemons, registry entry) are rebuilt —
   // exactly what a kernel reboot does. Callers reach replicas through the
   // resolver, which looks the fresh objects up per call.
+  {
+    // Retire the old workers before their daemons go; joining must happen
+    // without locals_mu_ held (a worker's in-flight pass may need it).
+    std::vector<std::unique_ptr<repl::PropagationWorker>> retired;
+    {
+      std::lock_guard<std::mutex> lock(locals_mu_);
+      for (auto& [key, local] : locals_) {
+        retired.push_back(std::move(local.worker));
+      }
+    }
+    retired.clear();
+  }
+  std::lock_guard<std::mutex> lock(locals_mu_);
   for (auto& [key, local] : locals_) {
     std::string container = "vol_" + HexEncode32(key.first.allocator) +
                             HexEncode32(key.first.volume) + "_r" + std::to_string(key.second);
@@ -193,6 +246,9 @@ Status FicusHost::Reboot() {
         local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
     local.reconciler = std::make_unique<repl::Reconciler>(local.physical.get(), this,
                                                           &conflict_log_, clock_);
+    if (threaded()) {
+      local.worker = std::make_unique<repl::PropagationWorker>(local.propagation.get());
+    }
     registry_.RegisterLocal(local.physical.get(), id_);
   }
   // A rebooted server answers with a fresh handle table (clients see
@@ -202,15 +258,57 @@ Status FicusHost::Reboot() {
 }
 
 Status FicusHost::RunPropagation() {
-  for (auto& [key, local] : locals_) {
-    FICUS_RETURN_IF_ERROR(local.propagation->RunOnce());
+  if (threaded()) {
+    // Kick every worker, then wait for all of them: the replicas' pull
+    // passes overlap on their own threads.
+    std::vector<repl::PropagationWorker*> workers;
+    {
+      std::lock_guard<std::mutex> lock(locals_mu_);
+      for (auto& [key, local] : locals_) {
+        if (local.worker != nullptr) {
+          workers.push_back(local.worker.get());
+        }
+      }
+    }
+    for (repl::PropagationWorker* worker : workers) {
+      worker->Kick();
+    }
+    for (repl::PropagationWorker* worker : workers) {
+      worker->Drain();
+    }
+    for (repl::PropagationWorker* worker : workers) {
+      FICUS_RETURN_IF_ERROR(worker->last_error());
+    }
+    return OkStatus();
+  }
+  // Deterministic mode: run the daemons serially on this thread. The
+  // pointer snapshot keeps the contract identical to the threaded path
+  // (no map lock held across the pull RPCs).
+  std::vector<repl::PropagationDaemon*> daemons;
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    for (auto& [key, local] : locals_) {
+      daemons.push_back(local.propagation.get());
+    }
+  }
+  for (repl::PropagationDaemon* daemon : daemons) {
+    FICUS_RETURN_IF_ERROR(daemon->RunOnce());
   }
   return OkStatus();
 }
 
 Status FicusHost::RunReconciliation() {
-  for (auto& [key, local] : locals_) {
-    FICUS_RETURN_IF_ERROR(local.reconciler->ReconcileWithAllReplicas());
+  // Reconciliation stays serial in both runtimes — its pairwise protocol
+  // is the determinism anchor the differential tests compare against.
+  std::vector<repl::Reconciler*> reconcilers;
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    for (auto& [key, local] : locals_) {
+      reconcilers.push_back(local.reconciler.get());
+    }
+  }
+  for (repl::Reconciler* reconciler : reconcilers) {
+    FICUS_RETURN_IF_ERROR(reconciler->ReconcileWithAllReplicas());
   }
   return OkStatus();
 }
@@ -229,13 +327,19 @@ repl::ReplicaId FicusHost::PreferredReplica(const repl::VolumeId& volume) {
 StatusOr<repl::PhysicalApi*> FicusHost::Access(const repl::VolumeId& volume,
                                                repl::ReplicaId replica) {
   auto key = std::make_pair(volume, replica);
-  auto local = locals_.find(key);
-  if (local != locals_.end()) {
-    return static_cast<repl::PhysicalApi*>(local->second.physical.get());
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    auto local = locals_.find(key);
+    if (local != locals_.end()) {
+      return static_cast<repl::PhysicalApi*>(local->second.physical.get());
+    }
   }
-  auto proxy = proxies_.find(key);
-  if (proxy != proxies_.end()) {
-    return static_cast<repl::PhysicalApi*>(proxy->second.get());
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    auto proxy = proxies_.find(key);
+    if (proxy != proxies_.end()) {
+      return static_cast<repl::PhysicalApi*>(proxy->second.get());
+    }
   }
   auto host = registry_.HostOf(volume, replica);
   if (!host.has_value()) {
@@ -248,22 +352,28 @@ StatusOr<repl::PhysicalApi*> FicusHost::Access(const repl::VolumeId& volume,
 StatusOr<repl::PhysicalApi*> FicusHost::ConnectRemote(const repl::VolumeId& volume,
                                                       repl::ReplicaId replica,
                                                       net::HostId host) {
-  // One NFS client (transport) per peer host, shared by all proxies.
-  auto transport = transports_.find(host);
-  if (transport == transports_.end()) {
-    nfs::ClientConfig client_config;
-    client_config.attr_cache_ttl = config_.transport_attr_ttl;
-    client_config.dnlc_ttl = config_.transport_dnlc_ttl;
-    client_config.retry = config_.transport_retry;
-    auto client = std::make_unique<nfs::NfsClient>(network_, id_, host, clock_,
-                                                   client_config, nfs::kNfsService,
-                                                   &metrics_);
-    transport = transports_.emplace(host, std::move(client)).first;
+  // One NFS client (transport) per peer host, shared by all proxies. The
+  // map lock covers only the lookups/inserts; the connection handshake
+  // RPCs run unlocked (the client object is itself thread-safe).
+  nfs::NfsClient* client_ptr = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(remote_mu_);
+    auto transport = transports_.find(host);
+    if (transport == transports_.end()) {
+      nfs::ClientConfig client_config;
+      client_config.attr_cache_ttl = config_.transport_attr_ttl;
+      client_config.dnlc_ttl = config_.transport_dnlc_ttl;
+      client_config.retry = config_.transport_retry;
+      auto client = std::make_unique<nfs::NfsClient>(network_, id_, host, clock_,
+                                                     client_config, nfs::kNfsService,
+                                                     &metrics_);
+      transport = transports_.emplace(host, std::move(client)).first;
+    }
+    client_ptr = transport->second.get();
   }
-  FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr export_root, transport->second->Root());
+  FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr export_root, client_ptr->Root());
   FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr facade_root,
                          export_root->Lookup(ExportName(volume, replica), {}));
-  nfs::NfsClient* client_ptr = transport->second.get();
   auto refresher = [client_ptr, volume, replica]() -> StatusOr<vfs::VnodePtr> {
     client_ptr->ForgetRoot();
     client_ptr->InvalidateCaches();
@@ -273,9 +383,12 @@ StatusOr<repl::PhysicalApi*> FicusHost::ConnectRemote(const repl::VolumeId& volu
   auto proxy = std::make_unique<repl::RemotePhysical>(std::move(facade_root),
                                                       std::move(refresher));
   FICUS_RETURN_IF_ERROR(proxy->Connect());
-  repl::PhysicalApi* raw = proxy.get();
-  proxies_[std::make_pair(volume, replica)] = std::move(proxy);
-  return raw;
+  std::lock_guard<std::mutex> lock(remote_mu_);
+  // A racing connector may have beaten us here; keep the first entry so
+  // handed-out pointers stay valid.
+  auto [it, inserted] =
+      proxies_.emplace(std::make_pair(volume, replica), std::move(proxy));
+  return static_cast<repl::PhysicalApi*>(it->second.get());
 }
 
 void FicusHost::NotifyUpdate(const repl::GlobalFileId& id, const repl::VersionVector& vv,
@@ -308,9 +421,16 @@ void FicusHost::HandleUpdateDatagram(net::HostId, const net::Payload& payload) {
   if (!vv.ok() || !source.ok()) {
     return;
   }
+  const bool kick = threaded() && runtime_->options().kick_propagation_on_notify;
+  std::lock_guard<std::mutex> lock(locals_mu_);
   for (auto& [key, local] : locals_) {
     if (key.first == id.volume && key.second != source.value()) {
       local.physical->NoteNewVersion(id, vv.value(), source.value());
+      if (kick && local.worker != nullptr) {
+        // Eager mode: a notification wakes the replica's worker instead of
+        // waiting for the next scheduled pump.
+        local.worker->Kick();
+      }
     }
   }
 }
@@ -350,6 +470,7 @@ StatusOr<vfs::VnodePtr> FicusHost::ResolveGraft(const repl::GlobalFileId& graft_
 
 std::optional<repl::PropagationStats> FicusHost::propagation_stats(
     const repl::VolumeId& volume) const {
+  std::lock_guard<std::mutex> lock(locals_mu_);
   for (const auto& [key, local] : locals_) {
     if (key.first == volume) {
       return local.propagation->stats();
@@ -359,6 +480,7 @@ std::optional<repl::PropagationStats> FicusHost::propagation_stats(
 }
 
 const repl::ReconcileStats* FicusHost::reconcile_stats(const repl::VolumeId& volume) const {
+  std::lock_guard<std::mutex> lock(locals_mu_);
   for (const auto& [key, local] : locals_) {
     if (key.first == volume) {
       return &local.reconciler->stats();

@@ -15,11 +15,13 @@
 #define FICUS_SRC_SIM_HOST_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/runtime.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
 #include "src/repl/conflict_log.h"
@@ -63,8 +65,13 @@ class FicusHost : public repl::ReplicaResolver,
                   public repl::UpdateNotifier,
                   public repl::GraftResolver {
  public:
+  // `runtime` (borrowed, optional) selects the execution mode. Under a
+  // threaded runtime the host runs a bounded NFS service pool and one
+  // propagation worker thread per local replica; with a null or
+  // deterministic runtime everything runs inline on the caller's thread,
+  // exactly as before.
   FicusHost(net::Network* network, SimClock* clock, const std::string& name,
-            const HostConfig& config = HostConfig{});
+            const HostConfig& config = HostConfig{}, Runtime* runtime = nullptr);
   ~FicusHost();  // out of line: ExportVfs is incomplete here
 
   net::HostId id() const { return id_; }
@@ -141,12 +148,15 @@ class FicusHost : public repl::ReplicaResolver,
   static std::string ExportName(const repl::VolumeId& volume, repl::ReplicaId replica);
 
  private:
-  // Per local volume replica: the physical layer and its daemons.
+  // Per local volume replica: the physical layer and its daemons. The
+  // worker (threaded runtime only) is declared last so it joins before
+  // the daemon it drives is torn down.
   struct LocalReplica {
     std::unique_ptr<repl::PhysicalLayer> physical;
     std::unique_ptr<repl::PhysicalFacadeVfs> facade;
     std::unique_ptr<repl::PropagationDaemon> propagation;
     std::unique_ptr<repl::Reconciler> reconciler;
+    std::unique_ptr<repl::PropagationWorker> worker;
   };
 
   // Vfs multiplexing all exported facades, served by one NfsServer.
@@ -155,12 +165,14 @@ class FicusHost : public repl::ReplicaResolver,
   void HandleUpdateDatagram(net::HostId sender, const net::Payload& payload);
   StatusOr<repl::PhysicalApi*> ConnectRemote(const repl::VolumeId& volume,
                                              repl::ReplicaId replica, net::HostId host);
+  bool threaded() const { return runtime_ != nullptr && runtime_->threaded(); }
 
   net::Network* network_;
   SimClock* clock_;
   std::string name_;
   net::HostId id_;
   HostConfig config_;
+  Runtime* runtime_ = nullptr;
 
   storage::BlockDevice device_;
   storage::BufferCache cache_;
@@ -171,10 +183,24 @@ class FicusHost : public repl::ReplicaResolver,
   repl::ConflictLog conflict_log_;
   MetricRegistry metrics_;
 
+  // Guards the locals_ map STRUCTURE: export lookups and update-datagram
+  // fan-in run on service-pool threads while the control plane (main
+  // thread) creates or drops replicas. Never held across an RPC — daemon
+  // pumps snapshot the daemon pointers and run unlocked, since a cycle of
+  // hosts each holding its map lock while awaiting the other's NFS reply
+  // would deadlock.
+  mutable std::mutex locals_mu_;
   std::map<std::pair<repl::VolumeId, repl::ReplicaId>, LocalReplica> locals_;
   std::unique_ptr<ExportVfs> export_vfs_;
   std::unique_ptr<nfs::NfsServer> server_;
+  // Bounded NFS service pool (threaded runtime only; null otherwise).
+  std::unique_ptr<Executor> service_pool_;
 
+  // Guards the transport/proxy maps: propagation workers and reconcilers
+  // connect to peers lazily and may race on first contact. Released while
+  // the connection handshake RPCs run; a losing racer keeps the winner's
+  // entry.
+  mutable std::mutex remote_mu_;
   std::map<net::HostId, std::unique_ptr<nfs::NfsClient>> transports_;
   std::map<std::pair<repl::VolumeId, repl::ReplicaId>, std::unique_ptr<repl::RemotePhysical>>
       proxies_;

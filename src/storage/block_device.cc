@@ -7,6 +7,7 @@ BlockDevice::BlockDevice(uint32_t block_count)
       blocks_(block_count, std::vector<uint8_t>(kBlockSize, 0)) {}
 
 Status BlockDevice::Read(BlockNum block, std::vector<uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (block >= block_count_) {
     return IoError("read past end of device");
   }
@@ -16,6 +17,7 @@ Status BlockDevice::Read(BlockNum block, std::vector<uint8_t>& out) {
 }
 
 Status BlockDevice::Write(BlockNum block, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (block >= block_count_) {
     return IoError("write past end of device");
   }

@@ -2,11 +2,14 @@
 // write so benchmarks can reproduce the paper's section 6 I/O accounting
 // (4 extra I/Os on a cold Ficus open, none on a warm one). Supports fault
 // injection: a crash point after which writes are dropped, used to test the
-// shadow-file atomic commit recovery path.
+// shadow-file atomic commit recovery path. Thread-safe: one mutex
+// serializes block I/O (the device is the bottom of the lock order; it
+// never calls out while holding it).
 #ifndef FICUS_SRC_STORAGE_BLOCK_DEVICE_H_
 #define FICUS_SRC_STORAGE_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
@@ -38,16 +41,32 @@ class BlockDevice {
   // is silently dropped (the "power failed before the platter moved" model).
   Status Write(BlockNum block, const std::vector<uint8_t>& data);
 
-  const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  DeviceStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
 
   // All subsequent writes are dropped until ClearCrash(). Reads still serve
   // the pre-crash contents, modeling recovery from the surviving image.
-  void InjectCrash() { crashed_ = true; }
-  void ClearCrash() { crashed_ = false; }
-  bool crashed() const { return crashed_; }
+  void InjectCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+  }
+  void ClearCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = false;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
 
  private:
+  mutable std::mutex mu_;
   uint32_t block_count_;
   std::vector<std::vector<uint8_t>> blocks_;
   DeviceStats stats_;

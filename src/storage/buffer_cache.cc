@@ -23,6 +23,7 @@ void BufferCache::InsertLocked(BlockNum block, const std::vector<uint8_t>& data)
 }
 
 Status BufferCache::Read(BlockNum block, std::vector<uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(block);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -37,6 +38,7 @@ Status BufferCache::Read(BlockNum block, std::vector<uint8_t>& out) {
 }
 
 Status BufferCache::Write(BlockNum block, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(device_->Write(block, data));
   auto it = map_.find(block);
   if (it != map_.end()) {
@@ -49,12 +51,14 @@ Status BufferCache::Write(BlockNum block, const std::vector<uint8_t>& data) {
 }
 
 void BufferCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
   ++epoch_;
 }
 
 void BufferCache::InvalidateBlock(BlockNum block) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(block);
   if (it != map_.end()) {
     lru_.erase(it->second);

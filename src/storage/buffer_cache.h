@@ -1,11 +1,16 @@
 // Write-through LRU buffer cache in front of a BlockDevice. The UFS does
 // all its block I/O through this cache; its hit/miss counters are what make
 // the cold-versus-warm open experiments (P2/P3 in DESIGN.md) measurable.
+//
+// Thread-safe: one mutex covers the LRU list, map, stats, and epoch.
+// Lock order: callers (UFS) may hold their own lock when entering; the
+// cache only calls down into the BlockDevice, never back up.
 #ifndef FICUS_SRC_STORAGE_BUFFER_CACHE_H_
 #define FICUS_SRC_STORAGE_BUFFER_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -38,17 +43,29 @@ class BufferCache {
   // Drops one block if cached.
   void InvalidateBlock(BlockNum block);
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = CacheStats{};
+  }
 
   // Bumped by every Invalidate/InvalidateBlock. Layers that keep parsed
   // copies of block data (e.g. the UFS directory index) compare epochs to
   // notice that the backing store may have diverged underneath them.
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
 
   BlockDevice* device() { return device_; }
 
-  size_t cached_blocks() const { return map_.size(); }
+  size_t cached_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
   struct Entry {
@@ -59,6 +76,7 @@ class BufferCache {
   void Touch(std::list<Entry>::iterator it);
   void InsertLocked(BlockNum block, const std::vector<uint8_t>& data);
 
+  mutable std::mutex mu_;
   BlockDevice* device_;
   uint32_t capacity_;
   std::list<Entry> lru_;  // front = most recently used

@@ -102,9 +102,10 @@ StatusOr<std::vector<UfsDirEntry>> DeserializeDir(const std::vector<uint8_t>& da
 
 }  // namespace
 
-Ufs::Ufs(storage::BufferCache* cache, const SimClock* clock) : cache_(cache), clock_(clock) {}
+Ufs::Ufs(storage::BufferCache* cache, const Clock* clock) : cache_(cache), clock_(clock) {}
 
 Status Ufs::CheckMounted() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!mounted_) {
     return InternalError("filesystem not mounted");
   }
@@ -112,6 +113,7 @@ Status Ufs::CheckMounted() const {
 }
 
 Status Ufs::WriteSuperBlock() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<uint8_t> block;
   block.reserve(kBlockSize);
   ByteWriter w(block);
@@ -132,6 +134,7 @@ Status Ufs::WriteSuperBlock() {
 }
 
 Status Ufs::Format(uint32_t inode_count) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t block_count = cache_->device()->block_count();
   if (inode_count == 0 || block_count < 16) {
     return InvalidArgumentError("device too small to format");
@@ -178,6 +181,7 @@ Status Ufs::Format(uint32_t inode_count) {
 }
 
 Status Ufs::Mount() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   dir_index_.clear();
   std::vector<uint8_t> block;
   FICUS_RETURN_IF_ERROR(cache_->Read(0, block));
@@ -207,6 +211,7 @@ Status Ufs::Mount() {
 // --- Bitmaps ---
 
 StatusOr<bool> Ufs::BitmapGet(uint32_t base, uint32_t index) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t block = base + index / (kBlockSize * 8);
   uint32_t bit = index % (kBlockSize * 8);
   std::vector<uint8_t> data;
@@ -215,6 +220,7 @@ StatusOr<bool> Ufs::BitmapGet(uint32_t base, uint32_t index) {
 }
 
 Status Ufs::BitmapSet(uint32_t base, uint32_t index, bool value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t block = base + index / (kBlockSize * 8);
   uint32_t bit = index % (kBlockSize * 8);
   std::vector<uint8_t> data;
@@ -228,6 +234,7 @@ Status Ufs::BitmapSet(uint32_t base, uint32_t index, bool value) {
 }
 
 StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t blocks = DivRoundUp(DivRoundUp(count, 8), kBlockSize);
   for (uint32_t b = 0; b < blocks; ++b) {
     std::vector<uint8_t> data;
@@ -253,6 +260,7 @@ StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
 // --- Inodes ---
 
 StatusOr<InodeNum> Ufs::AllocInode(FileType type, uint32_t mode, uint32_t uid, uint32_t gid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   FICUS_ASSIGN_OR_RETURN(uint32_t ino, BitmapFindFree(sb_.inode_bitmap_start, sb_.inode_count));
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, ino, true));
@@ -271,6 +279,7 @@ StatusOr<InodeNum> Ufs::AllocInode(FileType type, uint32_t mode, uint32_t uid, u
 }
 
 Status Ufs::FreeInode(InodeNum ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   FICUS_RETURN_IF_ERROR(Truncate(ino, 0));
   Inode inode;
@@ -282,6 +291,7 @@ Status Ufs::FreeInode(InodeNum ino) {
 }
 
 StatusOr<Inode> Ufs::ReadInode(InodeNum ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   if (ino == kInvalidInode || ino >= sb_.inode_count) {
     return InvalidArgumentError("inode number out of range");
@@ -296,6 +306,7 @@ StatusOr<Inode> Ufs::ReadInode(InodeNum ino) {
 }
 
 Status Ufs::WriteInode(InodeNum ino, const Inode& inode) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   if (ino == kInvalidInode || ino >= sb_.inode_count) {
     return InvalidArgumentError("inode number out of range");
@@ -309,11 +320,13 @@ Status Ufs::WriteInode(InodeNum ino, const Inode& inode) {
 }
 
 StatusOr<std::vector<uint8_t>> Ufs::ReadExt(InodeNum ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   return inode.ext;
 }
 
 Status Ufs::WriteExt(InodeNum ino, const std::vector<uint8_t>& ext) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (ext.size() > kMaxInodeExt) {
     return NoSpaceError("inode extension area overflow");
   }
@@ -325,6 +338,7 @@ Status Ufs::WriteExt(InodeNum ino, const std::vector<uint8_t>& ext) {
 // --- Blocks ---
 
 StatusOr<uint32_t> Ufs::AllocBlock() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(uint32_t block, BitmapFindFree(sb_.block_bitmap_start, sb_.block_count));
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, block, true));
   std::vector<uint8_t> zero(kBlockSize, 0);
@@ -335,6 +349,7 @@ StatusOr<uint32_t> Ufs::AllocBlock() {
 }
 
 Status Ufs::FreeBlock(uint32_t block) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (block < sb_.data_start || block >= sb_.block_count) {
     return InternalError("freeing non-data block");
   }
@@ -345,6 +360,7 @@ Status Ufs::FreeBlock(uint32_t block) {
 }
 
 StatusOr<uint32_t> Ufs::MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_block < kDirectBlocks) {
     if (inode.direct[file_block] == 0) {
       if (!allocate) {
@@ -385,6 +401,7 @@ StatusOr<uint32_t> Ufs::MapBlock(Inode& inode, uint32_t file_block, bool allocat
 
 StatusOr<size_t> Ufs::ReadAt(InodeNum ino, uint64_t offset, size_t length,
                              std::vector<uint8_t>& out) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   out.clear();
   if (offset >= inode.size) {
@@ -414,6 +431,7 @@ StatusOr<size_t> Ufs::ReadAt(InodeNum ino, uint64_t offset, size_t length,
 }
 
 StatusOr<size_t> Ufs::WriteAt(InodeNum ino, uint64_t offset, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   if (offset + data.size() > kMaxFileSize) {
     return NoSpaceError("write exceeds maximum file size");
@@ -454,6 +472,7 @@ StatusOr<size_t> Ufs::WriteAt(InodeNum ino, uint64_t offset, const std::vector<u
 }
 
 Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   if (new_size > kMaxFileSize) {
     return NoSpaceError("truncate exceeds maximum file size");
@@ -516,6 +535,7 @@ Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
 }
 
 StatusOr<std::vector<uint8_t>> Ufs::ReadAll(InodeNum ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   std::vector<uint8_t> out;
   FICUS_RETURN_IF_ERROR(ReadAt(ino, 0, static_cast<size_t>(inode.size), out).status());
@@ -523,6 +543,7 @@ StatusOr<std::vector<uint8_t>> Ufs::ReadAll(InodeNum ino) {
 }
 
 Status Ufs::WriteAll(InodeNum ino, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(Truncate(ino, 0));
   if (!data.empty()) {
     FICUS_RETURN_IF_ERROR(WriteAt(ino, 0, data).status());
@@ -533,11 +554,13 @@ Status Ufs::WriteAll(InodeNum ino, const std::vector<uint8_t>& data) {
 // --- Directories ---
 
 StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
   return CachedDirEntries(dir, inode);
 }
 
 StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir, const Inode& inode) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   SyncDirIndexEpoch();
   auto it = dir_index_.find(dir);
   if (it != dir_index_.end() && it->second.mtime == inode.mtime &&
@@ -556,6 +579,7 @@ StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir, const Ino
 }
 
 void Ufs::SyncDirIndexEpoch() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // A buffer-cache invalidation means the device may have diverged from
   // everything we have parsed (crash simulation, external mutation); the
   // (mtime, size) stamp cannot be trusted across it, so drop the index.
@@ -566,6 +590,7 @@ void Ufs::SyncDirIndexEpoch() {
 }
 
 void Ufs::RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   SyncDirIndexEpoch();
   auto inode = ReadInode(dir);
   if (!inode.ok() || inode->type != FileType::kDirectory) {
@@ -578,6 +603,7 @@ void Ufs::RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries
 }
 
 Status Ufs::WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // WriteAll's Truncate/WriteAt erase the index entry; re-stamp it with
   // the freshly written state so the next access is a hit.
   FICUS_RETURN_IF_ERROR(WriteAll(dir, SerializeDir(entries)));
@@ -586,6 +612,7 @@ Status Ufs::WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entrie
 }
 
 StatusOr<InodeNum> Ufs::DirLookup(InodeNum dir, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirLookup on non-directory inode");
@@ -600,6 +627,7 @@ StatusOr<InodeNum> Ufs::DirLookup(InodeNum dir, std::string_view name) {
 }
 
 Status Ufs::DirAdd(InodeNum dir, std::string_view name, InodeNum ino, FileType type) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (name.empty() || name.size() > vfs::kMaxComponentLength ||
       name.find('/') != std::string_view::npos) {
     return InvalidArgumentError("bad directory entry name");
@@ -619,6 +647,7 @@ Status Ufs::DirAdd(InodeNum dir, std::string_view name, InodeNum ino, FileType t
 }
 
 Status Ufs::DirRemove(InodeNum dir, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir));
   auto it = std::find_if(entries.begin(), entries.end(),
                          [&](const UfsDirEntry& e) { return e.name == name; });
@@ -630,6 +659,7 @@ Status Ufs::DirRemove(InodeNum dir, std::string_view name) {
 }
 
 StatusOr<std::vector<UfsDirEntry>> Ufs::DirList(InodeNum dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirList on non-directory inode");
@@ -638,11 +668,13 @@ StatusOr<std::vector<UfsDirEntry>> Ufs::DirList(InodeNum dir) {
 }
 
 StatusOr<bool> Ufs::DirIsEmpty(InodeNum dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DirList(dir));
   return entries.empty();
 }
 
 Status Ufs::DirRepoint(InodeNum dir, std::string_view name, InodeNum new_ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir));
   for (auto& e : entries) {
     if (e.name == name) {
@@ -657,6 +689,7 @@ Status Ufs::DirRepoint(InodeNum dir, std::string_view name, InodeNum new_ino) {
 
 StatusOr<InodeNum> Ufs::CreateFile(InodeNum dir, std::string_view name, FileType type,
                                    uint32_t mode, uint32_t uid, uint32_t gid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Fail before allocating if the name is taken.
   auto existing = DirLookup(dir, name);
   if (existing.ok()) {
@@ -685,6 +718,7 @@ StatusOr<InodeNum> Ufs::CreateFile(InodeNum dir, std::string_view name, FileType
 }
 
 Status Ufs::Unlink(InodeNum dir, std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(InodeNum ino, DirLookup(dir, name));
   FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
   if (inode.type == FileType::kDirectory) {
@@ -709,11 +743,13 @@ Status Ufs::Unlink(InodeNum dir, std::string_view name) {
 }
 
 StatusOr<uint32_t> Ufs::FreeBlockCount() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   return sb_.free_blocks;
 }
 
 StatusOr<uint32_t> Ufs::FreeInodeCount() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   return sb_.free_inodes;
 }
@@ -721,6 +757,7 @@ StatusOr<uint32_t> Ufs::FreeInodeCount() {
 // --- fsck ---
 
 StatusOr<std::vector<std::string>> Ufs::Check() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   std::vector<std::string> problems;
 
@@ -821,6 +858,7 @@ StatusOr<std::vector<std::string>> Ufs::Check() {
 }
 
 StatusOr<uint32_t> Ufs::ReclaimOrphans() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
   std::vector<uint32_t> refcount(sb_.inode_count, 0);
   std::vector<bool> allocated(sb_.inode_count, false);

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,10 +100,17 @@ struct SuperBlock {
 
 // The filesystem proper. All block access goes through the BufferCache so
 // cold/warm I/O experiments can count device reads precisely.
+//
+// Thread-safe: one recursive mutex serializes every operation (public
+// operations compose — CreateFile calls AllocInode + DirAdd — hence
+// recursive). Coarse by design: a UFS instance is one disk, and the
+// paper's concurrency lives above it; sharding comes later if profiles
+// demand it. The UFS never calls out of itself while holding the lock
+// except into its own BufferCache/BlockDevice (lower in the lock order).
 class Ufs {
  public:
   // cache is borrowed; clock may be null (mtimes stay zero).
-  Ufs(storage::BufferCache* cache, const SimClock* clock = nullptr);
+  Ufs(storage::BufferCache* cache, const Clock* clock = nullptr);
 
   // Writes a fresh filesystem with `inode_count` inodes onto the device and
   // creates the root directory.
@@ -215,8 +223,9 @@ class Ufs {
   uint64_t dir_index_epoch_ = 0;
   static constexpr size_t kMaxDirIndexEntries = 128;
 
+  mutable std::recursive_mutex mu_;
   storage::BufferCache* cache_;
-  const SimClock* clock_;
+  const Clock* clock_;
   SuperBlock sb_;
   bool mounted_ = false;
 };

@@ -281,7 +281,7 @@ StatusOr<size_t> MemVnode::Write(uint64_t offset, const std::vector<uint8_t>& da
 
 Status MemVnode::Fsync(const OpContext&) { return OkStatus(); }
 
-MemVfs::MemVfs(const SimClock* clock, uint64_t fsid) : clock_(clock), fsid_(fsid) {
+MemVfs::MemVfs(const Clock* clock, uint64_t fsid) : clock_(clock), fsid_(fsid) {
   root_ = std::make_shared<MemVnode>(this, VnodeType::kDirectory, 1);
 }
 

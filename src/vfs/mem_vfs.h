@@ -72,7 +72,7 @@ class MemVnode : public Vnode, public std::enable_shared_from_this<MemVnode> {
 class MemVfs : public Vfs {
  public:
   // clock may be null; mtimes then stay zero.
-  explicit MemVfs(const SimClock* clock = nullptr, uint64_t fsid = 1);
+  explicit MemVfs(const Clock* clock = nullptr, uint64_t fsid = 1);
 
   StatusOr<VnodePtr> Root() override;
   StatusOr<FsStats> Statfs() override;
@@ -82,7 +82,7 @@ class MemVfs : public Vfs {
   uint64_t NextFileId() { return next_fileid_++; }
 
  private:
-  const SimClock* clock_;
+  const Clock* clock_;
   uint64_t fsid_;
   uint64_t next_fileid_ = 2;  // 1 is the root
   std::shared_ptr<MemVnode> root_;

@@ -45,6 +45,10 @@ class PassThroughVnode : public Vnode {
   Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
                std::vector<uint8_t>& response, const OpContext& ctx) override;
 
+  // The nullfs rule: locking the pass-through vnode locks the one object
+  // below it, not a per-layer shadow.
+  std::recursive_mutex& LockObject() override { return lower_->LockObject(); }
+
   const VnodePtr& lower() const { return lower_; }
 
  protected:

@@ -1,8 +1,10 @@
 #include "src/vfs/syscalls.h"
 
+#include <mutex>
+
 namespace ficus::vfs {
 
-SyscallInterface::SyscallInterface(Vfs* fs, Credentials cred, const SimClock* clock,
+SyscallInterface::SyscallInterface(Vfs* fs, Credentials cred, const Clock* clock,
                                    MetricRegistry* metrics)
     : fs_(fs), cred_(cred), clock_(clock), metrics_(metrics, "syscall.") {}
 
@@ -82,6 +84,7 @@ StatusOr<std::pair<VnodePtr, std::string>> SyscallInterface::ResolveParent(
 }
 
 StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("open");
   VnodePtr vnode;
   auto resolved = Resolve(path, /*follow_final=*/true, ctx);
@@ -95,7 +98,15 @@ StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
     VAttr attr;
     attr.type = VnodeType::kRegular;
     attr.uid = cred_.uid;
-    FICUS_ASSIGN_OR_RETURN(vnode, parent.first->Create(parent.second, attr, ctx));
+    auto created = parent.first->Create(parent.second, attr, ctx);
+    if (!created.ok() && created.status().code() == ErrorCode::kExists &&
+        (flags & kExcl) == 0) {
+      // Lost the create race (another client or a propagation install
+      // landed between our lookup miss and the create). O_CREAT without
+      // O_EXCL means the existing file wins: open it.
+      created = parent.first->Lookup(parent.second, ctx);
+    }
+    FICUS_ASSIGN_OR_RETURN(vnode, std::move(created));
   } else {
     return resolved.status();
   }
@@ -122,6 +133,7 @@ StatusOr<Fd> SyscallInterface::Open(const std::string& path, uint32_t flags) {
 }
 
 Status SyscallInterface::Close(Fd fd) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("close");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   Status status = file->vnode->Close(kOpenRead, ctx);
@@ -130,16 +142,20 @@ Status SyscallInterface::Close(Fd fd) {
 }
 
 StatusOr<size_t> SyscallInterface::Read(Fd fd, std::vector<uint8_t>& out, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("read");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   FICUS_ASSIGN_OR_RETURN(size_t n, file->vnode->Read(file->offset, count, out, ctx));
   file->offset += n;
   return n;
 }
 
 StatusOr<size_t> SyscallInterface::Write(Fd fd, const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("write");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
     return PermissionError("descriptor not open for writing");
   }
@@ -153,6 +169,7 @@ StatusOr<size_t> SyscallInterface::Write(Fd fd, const std::vector<uint8_t>& data
 }
 
 StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("lseek");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
   int64_t base = 0;
@@ -179,15 +196,19 @@ StatusOr<uint64_t> SyscallInterface::Lseek(Fd fd, int64_t offset, Whence whence)
 
 StatusOr<size_t> SyscallInterface::Pread(Fd fd, uint64_t offset, std::vector<uint8_t>& out,
                                          size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("pread");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   return file->vnode->Read(offset, count, out, ctx);
 }
 
 StatusOr<size_t> SyscallInterface::Pwrite(Fd fd, uint64_t offset,
                                           const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("pwrite");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   if ((file->flags & (kWrOnly | kRdWr | kAppend)) == 0) {
     return PermissionError("descriptor not open for writing");
   }
@@ -195,14 +216,18 @@ StatusOr<size_t> SyscallInterface::Pwrite(Fd fd, uint64_t offset,
 }
 
 StatusOr<VAttr> SyscallInterface::Fstat(Fd fd) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("fstat");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   return file->vnode->GetAttr(ctx);
 }
 
 Status SyscallInterface::Ftruncate(Fd fd, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("ftruncate");
   FICUS_ASSIGN_OR_RETURN(OpenFile * file, Lookup(fd));
+  VnodeLockGuard vnode_lock(file->vnode);
   SetAttrRequest request;
   request.set_size = true;
   request.size = size;
@@ -210,36 +235,42 @@ Status SyscallInterface::Ftruncate(Fd fd, uint64_t size) {
 }
 
 StatusOr<VAttr> SyscallInterface::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("stat");
   FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true, ctx));
   return vnode->GetAttr(ctx);
 }
 
 StatusOr<VAttr> SyscallInterface::Lstat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("lstat");
   FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false, ctx));
   return vnode->GetAttr(ctx);
 }
 
 Status SyscallInterface::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("mkdir");
   FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
   return parent.first->Mkdir(parent.second, VAttr{}, ctx).status();
 }
 
 Status SyscallInterface::Rmdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("rmdir");
   FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
   return parent.first->Rmdir(parent.second, ctx);
 }
 
 Status SyscallInterface::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("unlink");
   FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path, ctx));
   return parent.first->Remove(parent.second, ctx);
 }
 
 Status SyscallInterface::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("rename");
   FICUS_ASSIGN_OR_RETURN(auto from_parent, ResolveParent(from, ctx));
   FICUS_ASSIGN_OR_RETURN(auto to_parent, ResolveParent(to, ctx));
@@ -248,6 +279,7 @@ Status SyscallInterface::Rename(const std::string& from, const std::string& to) 
 }
 
 Status SyscallInterface::Link(const std::string& target, const std::string& link_path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("link");
   FICUS_ASSIGN_OR_RETURN(VnodePtr target_vnode, Resolve(target, /*follow_final=*/true, ctx));
   FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path, ctx));
@@ -255,18 +287,21 @@ Status SyscallInterface::Link(const std::string& target, const std::string& link
 }
 
 Status SyscallInterface::Symlink(const std::string& target, const std::string& link_path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("symlink");
   FICUS_ASSIGN_OR_RETURN(auto parent, ResolveParent(link_path, ctx));
   return parent.first->Symlink(parent.second, target, ctx).status();
 }
 
 StatusOr<std::string> SyscallInterface::Readlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("readlink");
   FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/false, ctx));
   return vnode->Readlink(ctx);
 }
 
 StatusOr<std::vector<DirEntry>> SyscallInterface::Readdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpContext ctx = NewOp("readdir");
   FICUS_ASSIGN_OR_RETURN(VnodePtr vnode, Resolve(path, /*follow_final=*/true, ctx));
   return vnode->Readdir(ctx);

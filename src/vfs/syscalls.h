@@ -18,6 +18,7 @@
 #define FICUS_SRC_VFS_SYSCALLS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "src/common/clock.h"
@@ -46,15 +47,18 @@ enum class Whence { kSet, kCur, kEnd };
 // Maximum symlink expansions in one path resolution (ELOOP beyond it).
 constexpr int kMaxSymlinkDepth = 8;
 
-// One process's view of a mounted vnode stack. Not thread-safe (the
-// simulation is single-threaded by design).
+// One process's view of a mounted vnode stack. Thread-safe: an interface
+// mutex serializes the fd table (like a process's file table lock), and
+// the data-path operations additionally take the target vnode's
+// LockObject() so a read-modify-write on one file (append, offset
+// advance) is atomic even against another interface sharing the stack.
 class SyscallInterface {
  public:
   // fs borrowed; cred applied to every operation. `clock` (borrowed,
   // optional) enables per-op deadlines; `metrics` (borrowed, optional)
   // receives `syscall.<op>` call counters.
   explicit SyscallInterface(Vfs* fs, Credentials cred = {},
-                            const SimClock* clock = nullptr,
+                            const Clock* clock = nullptr,
                             MetricRegistry* metrics = nullptr);
 
   // Per-operation time budget (simulated). 0 disables. Requires a clock;
@@ -115,9 +119,11 @@ class SyscallInterface {
                                                            int depth = 0);
   StatusOr<OpenFile*> Lookup(Fd fd);
 
+  // Serializes this interface's public entry points (fd table, trace id).
+  mutable std::mutex mu_;
   Vfs* fs_;
   Credentials cred_;
-  const SimClock* clock_;
+  const Clock* clock_;
   MetricScope metrics_;
   SimTime op_timeout_ = 0;
   TraceId last_trace_ = 0;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -109,7 +110,7 @@ struct OpContext {
   Credentials cred;
   TraceId trace = 0;                // 0 = no trace attached
   SimTime deadline = 0;             // absolute sim time; 0 = no deadline
-  const SimClock* clock = nullptr;  // clock the deadline is judged against
+  const Clock* clock = nullptr;  // clock the deadline is judged against
   MetricScope* metrics = nullptr;   // optional per-caller metric sink
 
   OpContext() = default;
@@ -170,6 +171,44 @@ class Vnode {
   // such RPC) — which is exactly why Ficus overloads Lookup instead.
   virtual Status Ioctl(std::string_view command, const std::vector<uint8_t>& request,
                        std::vector<uint8_t>& response, const OpContext& ctx);
+
+  // --- Locking (threaded runtime) ---
+  // Per-object lock for callers that need a multi-op sequence on one file
+  // to be atomic (e.g. the syscall layer's read-modify-write on an open
+  // fd). Pass-through layers MUST forward this to the layer below — the
+  // nullfs rule: locking a vnode at any layer of a stack locks the one
+  // underlying object, never a per-layer shadow of it. Recursive so a
+  // caller holding the lock may invoke operations that take it again.
+  //
+  // Lock order: a vnode lock is taken ABOVE any layer-internal lock
+  // (logical, physical, UFS, cache), and a holder never acquires a second
+  // object's lock — which is why it composes with remote calls without
+  // deadlock.
+  virtual std::recursive_mutex& LockObject() { return object_lock_; }
+
+ private:
+  std::recursive_mutex object_lock_;
+};
+
+// Scoped holder for Vnode::LockObject(), tolerating a null vnode.
+class VnodeLockGuard {
+ public:
+  explicit VnodeLockGuard(const VnodePtr& vnode)
+      : mu_(vnode != nullptr ? &vnode->LockObject() : nullptr) {
+    if (mu_ != nullptr) {
+      mu_->lock();
+    }
+  }
+  ~VnodeLockGuard() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    }
+  }
+  VnodeLockGuard(const VnodeLockGuard&) = delete;
+  VnodeLockGuard& operator=(const VnodeLockGuard&) = delete;
+
+ private:
+  std::recursive_mutex* mu_;
 };
 
 // Filesystem statistics for Statfs.

@@ -94,6 +94,7 @@ StatusOr<GraftPointInfo> ReadGraftPoint(repl::PhysicalApi* phys, repl::FileId gr
 }
 
 repl::LogicalLayer* GraftTable::Find(const repl::VolumeId& volume) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = grafts_.find(volume);
   if (it == grafts_.end()) {
     return nullptr;
@@ -106,6 +107,7 @@ repl::LogicalLayer* GraftTable::Find(const repl::VolumeId& volume) {
 repl::LogicalLayer* GraftTable::Insert(const repl::VolumeId& volume,
                                        std::unique_ptr<repl::LogicalLayer> logical,
                                        bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
   Graft graft;
   graft.logical = std::move(logical);
   graft.last_use = Now();
@@ -116,6 +118,7 @@ repl::LogicalLayer* GraftTable::Insert(const repl::VolumeId& volume,
 }
 
 int GraftTable::Prune(SimTime horizon) {
+  std::lock_guard<std::mutex> lock(mu_);
   int pruned = 0;
   SimTime now = Now();
   for (auto it = grafts_.begin(); it != grafts_.end();) {

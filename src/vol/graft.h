@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,7 +61,7 @@ StatusOr<GraftPointInfo> ReadGraftPoint(repl::PhysicalApi* phys, repl::FileId gr
 // time." (section 4.4)
 class GraftTable {
  public:
-  explicit GraftTable(const SimClock* clock) : clock_(clock) {}
+  explicit GraftTable(const Clock* clock) : clock_(clock) {}
 
   // The logical layer for a grafted volume, or null when not grafted.
   // Touches the graft's last-use stamp.
@@ -82,9 +83,18 @@ class GraftTable {
   // replica is being used").
   int Prune(SimTime horizon);
 
-  size_t size() const { return grafts_.size(); }
-  uint64_t grafts_performed() const { return grafts_performed_; }
-  uint64_t graft_hits() const { return graft_hits_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return grafts_.size();
+  }
+  uint64_t grafts_performed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return grafts_performed_;
+  }
+  uint64_t graft_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return graft_hits_;
+  }
 
  private:
   struct Graft {
@@ -95,7 +105,8 @@ class GraftTable {
 
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
-  const SimClock* clock_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
   std::map<repl::VolumeId, Graft> grafts_;
   uint64_t grafts_performed_ = 0;
   uint64_t graft_hits_ = 0;

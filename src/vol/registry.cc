@@ -3,6 +3,7 @@
 namespace ficus::vol {
 
 void VolumeRegistry::RegisterLocal(repl::PhysicalLayer* layer, net::HostId self) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = volumes_[layer->volume_id()][layer->replica_id()];
   entry.host = self;
   entry.local = layer;
@@ -10,6 +11,7 @@ void VolumeRegistry::RegisterLocal(repl::PhysicalLayer* layer, net::HostId self)
 
 void VolumeRegistry::RegisterRemote(const repl::VolumeId& volume, repl::ReplicaId replica,
                                     net::HostId host) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = volumes_[volume][replica];
   if (entry.local != nullptr) {
     return;  // local knowledge is authoritative
@@ -18,6 +20,7 @@ void VolumeRegistry::RegisterRemote(const repl::VolumeId& volume, repl::ReplicaI
 }
 
 std::vector<repl::ReplicaId> VolumeRegistry::ReplicasOf(const repl::VolumeId& volume) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<repl::ReplicaId> out;
   auto it = volumes_.find(volume);
   if (it == volumes_.end()) {
@@ -32,6 +35,7 @@ std::vector<repl::ReplicaId> VolumeRegistry::ReplicasOf(const repl::VolumeId& vo
 
 std::optional<net::HostId> VolumeRegistry::HostOf(const repl::VolumeId& volume,
                                                   repl::ReplicaId replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = volumes_.find(volume);
   if (it == volumes_.end()) {
     return std::nullopt;
@@ -44,6 +48,7 @@ std::optional<net::HostId> VolumeRegistry::HostOf(const repl::VolumeId& volume,
 }
 
 repl::PhysicalLayer* VolumeRegistry::LocalReplica(const repl::VolumeId& volume) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = volumes_.find(volume);
   if (it == volumes_.end()) {
     return nullptr;
@@ -57,6 +62,7 @@ repl::PhysicalLayer* VolumeRegistry::LocalReplica(const repl::VolumeId& volume) 
 }
 
 std::vector<repl::PhysicalLayer*> VolumeRegistry::AllLocal() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<repl::PhysicalLayer*> out;
   for (const auto& [volume, replicas] : volumes_) {
     for (const auto& [replica, entry] : replicas) {
@@ -69,6 +75,7 @@ std::vector<repl::PhysicalLayer*> VolumeRegistry::AllLocal() const {
 }
 
 void VolumeRegistry::ForgetReplica(const repl::VolumeId& volume, repl::ReplicaId replica) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = volumes_.find(volume);
   if (it == volumes_.end()) {
     return;
@@ -80,6 +87,7 @@ void VolumeRegistry::ForgetReplica(const repl::VolumeId& volume, repl::ReplicaId
 }
 
 std::vector<repl::VolumeId> VolumeRegistry::KnownVolumes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<repl::VolumeId> out;
   out.reserve(volumes_.size());
   for (const auto& [volume, replicas] : volumes_) {

@@ -10,6 +10,7 @@
 #define FICUS_SRC_VOL_REGISTRY_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -18,6 +19,8 @@
 
 namespace ficus::vol {
 
+// Thread-safe: propagation workers and NFS service threads resolve
+// replicas while the main thread registers/forgets them.
 class VolumeRegistry {
  public:
   // Records a locally stored volume replica (borrowed pointer).
@@ -52,6 +55,7 @@ class VolumeRegistry {
     repl::PhysicalLayer* local = nullptr;  // set when the replica is ours
   };
 
+  mutable std::mutex mu_;
   std::map<repl::VolumeId, std::map<repl::ReplicaId, Entry>> volumes_;
 };
 

@@ -1,0 +1,79 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace ficus {
+namespace {
+
+TEST(BackoffTest, DoublesUpToCap) {
+  EXPECT_EQ(BackoffDelay(100, 1000, 0), 100u);
+  EXPECT_EQ(BackoffDelay(100, 1000, 1), 200u);
+  EXPECT_EQ(BackoffDelay(100, 1000, 2), 400u);
+  EXPECT_EQ(BackoffDelay(100, 1000, 3), 800u);
+  EXPECT_EQ(BackoffDelay(100, 1000, 4), 1000u);
+  EXPECT_EQ(BackoffDelay(100, 1000, 40), 1000u);
+}
+
+TEST(BackoffTest, CapIsLiteralSoZeroCapMeansNoDelay) {
+  // The propagation daemon's legacy arithmetic: cap == 0 clamps to 0.
+  EXPECT_EQ(BackoffDelay(250, 0, 0), 0u);
+  EXPECT_EQ(BackoffDelay(250, 0, 7), 0u);
+}
+
+TEST(BackoffTest, CapEqualToBaseIsConstantBackoff) {
+  // The NFS transport maps an unset cap to cap = base before calling.
+  for (uint32_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(BackoffDelay(50, 50, attempt), 50u);
+  }
+}
+
+TEST(BackoffTest, SaturatesInsteadOfOverflowing) {
+  SimTime huge = SimClock::kMaxSimTime - 3;
+  EXPECT_EQ(BackoffDelay(huge, SimClock::kMaxSimTime, 1), SimClock::kMaxSimTime);
+  EXPECT_EQ(BackoffDelay(1, SimClock::kMaxSimTime, 200), SimClock::kMaxSimTime);
+}
+
+TEST(BackoffTest, JitterStaysInEqualJitterWindow) {
+  Rng rng(42);
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    SimTime b = BackoffDelay(100, 1600, attempt);
+    for (int i = 0; i < 50; ++i) {
+      SimTime delay = JitteredBackoffDelay(100, 1600, attempt, rng);
+      EXPECT_GE(delay, b / 2);
+      EXPECT_LE(delay, b);
+    }
+  }
+}
+
+TEST(BackoffTest, JitterDrawsExactlyOneValuePerCall) {
+  // Seeded retry sequences must replay exactly, so the draw count is part
+  // of the contract: one draw per nonzero delay, none for a zero delay.
+  Rng a(7);
+  Rng b(7);
+  (void)JitteredBackoffDelay(100, 400, 2, a);
+  (void)b.NextBelow(1000);
+  EXPECT_EQ(a.Next(), b.Next());
+
+  Rng c(9);
+  Rng d(9);
+  (void)JitteredBackoffDelay(100, 0, 2, c);  // b == 0: no draw
+  EXPECT_EQ(c.Next(), d.Next());
+}
+
+TEST(BackoffTest, JitterMatchesLegacyNfsFormula) {
+  // b/2 + uniform-below(b - b/2 + 1), byte-for-byte what the NFS client
+  // used to compute inline.
+  Rng ours(1234);
+  Rng legacy(1234);
+  for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+    SimTime got = JitteredBackoffDelay(30, 480, attempt, ours);
+    SimTime b = BackoffDelay(30, 480, attempt);
+    SimTime want = b / 2 + legacy.NextBelow(b - b / 2 + 1);
+    EXPECT_EQ(got, want) << "attempt " << attempt;
+  }
+}
+
+}  // namespace
+}  // namespace ficus

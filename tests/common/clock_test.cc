@@ -1,0 +1,55 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ficus {
+namespace {
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(5);
+  clock.Advance(7);
+  EXPECT_EQ(clock.Now(), 12u);
+}
+
+TEST(SimClockTest, AdvanceToIsMonotonic) {
+  SimClock clock;
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.AdvanceTo(50);  // going backwards is ignored
+  EXPECT_EQ(clock.Now(), 100u);
+}
+
+TEST(SimClockTest, AdvanceSaturatesInsteadOfWrapping) {
+  SimClock clock;
+  clock.AdvanceTo(SimClock::kMaxSimTime - 10);
+  clock.Advance(100);  // would wrap around without the saturation guard
+  EXPECT_EQ(clock.Now(), SimClock::kMaxSimTime);
+  clock.Advance(1);  // already pinned at the end of time
+  EXPECT_EQ(clock.Now(), SimClock::kMaxSimTime);
+}
+
+TEST(SimClockTest, ConcurrentAdvancesLoseNothing) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kSteps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kSteps; ++i) {
+        clock.Advance(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(clock.Now(), static_cast<SimTime>(kThreads) * kSteps);
+}
+
+}  // namespace
+}  // namespace ficus

@@ -1,0 +1,105 @@
+#include "src/common/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace ficus {
+namespace {
+
+TEST(InlineExecutorTest, SubmitRunsInlineOnCallingThread) {
+  InlineExecutor executor;
+  std::thread::id ran_on;
+  int order = 0;
+  executor.Submit([&] {
+    ran_on = std::this_thread::get_id();
+    order = 1;
+  });
+  // The job completed before Submit returned: deterministic mode.
+  EXPECT_EQ(order, 1);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_EQ(executor.concurrency(), 1);
+  executor.Drain();  // no-op, must not hang
+}
+
+TEST(ThreadPoolExecutorTest, RunsEveryJob) {
+  ThreadPoolExecutor pool(4, 16);
+  EXPECT_EQ(pool.concurrency(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolExecutorTest, JobsRunOffTheSubmittingThread) {
+  ThreadPoolExecutor pool(2, 8);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(seen.count(std::this_thread::get_id()), 0u);
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolExecutorTest, DrainWaitsForInFlightJobs) {
+  ThreadPoolExecutor pool(2, 4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolExecutorTest, BoundedQueueAppliesBackpressureWithoutDeadlock) {
+  // More jobs than queue slots: Submit must block-and-recover, not drop.
+  ThreadPoolExecutor pool(1, 2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(RuntimeTest, DeterministicRuntimeHandsOutInlineExecutors) {
+  Runtime runtime;  // default: deterministic
+  EXPECT_FALSE(runtime.threaded());
+  auto executor = runtime.NewExecutor(8);
+  EXPECT_EQ(executor->concurrency(), 1);
+}
+
+TEST(RuntimeTest, ThreadedRuntimeHandsOutPools) {
+  RuntimeOptions options;
+  options.mode = RuntimeMode::kThreaded;
+  Runtime runtime(options);
+  EXPECT_TRUE(runtime.threaded());
+  auto executor = runtime.NewExecutor(3);
+  EXPECT_EQ(executor->concurrency(), 3);
+  std::atomic<int> count{0};
+  executor->Submit([&count] { count.fetch_add(1); });
+  executor->Drain();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(RuntimeTest, ModeNames) {
+  EXPECT_STREQ(RuntimeModeName(RuntimeMode::kDeterministic), "deterministic");
+  EXPECT_STREQ(RuntimeModeName(RuntimeMode::kThreaded), "threaded");
+}
+
+}  // namespace
+}  // namespace ficus

@@ -1,0 +1,211 @@
+// Real-concurrency stress: a threaded-runtime cluster with N client
+// threads hammering one replicated volume through the syscall veneer
+// while eager update notifications kick the propagation workers. The
+// assertions are about safety and convergence, not any particular
+// interleaving. Runs under the `thread` label and the TSan CI tier.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/vfs/syscalls.h"
+
+namespace ficus {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// Name -> contents of every alive regular file in a replica's root.
+StatusOr<std::map<std::string, std::string>> Snapshot(repl::PhysicalLayer* layer) {
+  std::map<std::string, std::string> out;
+  FICUS_ASSIGN_OR_RETURN(std::vector<repl::FicusDirEntry> entries,
+                         layer->ReadDirectory(repl::kRootFileId));
+  for (const repl::FicusDirEntry& entry : entries) {
+    if (!entry.alive || entry.type != repl::FicusFileType::kRegular) {
+      continue;
+    }
+    FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, layer->ReadAllData(entry.file));
+    out[entry.name] = std::string(data.begin(), data.end());
+  }
+  return out;
+}
+
+TEST(ThreadStressTest, ConcurrentClientsConvergeToOneCopy) {
+  RuntimeOptions options;
+  options.mode = RuntimeMode::kThreaded;
+  options.nfs_service_threads = 4;
+  options.kick_propagation_on_notify = true;
+
+  sim::Cluster cluster(options);
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  auto volume = cluster.CreateVolume({a, b});
+  ASSERT_TRUE(volume.ok()) << volume.status().ToString();
+  auto logical_a = cluster.MountEverywhere(a, *volume);
+  auto logical_b = cluster.MountEverywhere(b, *volume);
+  ASSERT_TRUE(logical_a.ok());
+  ASSERT_TRUE(logical_b.ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 25;
+  std::vector<Status> failures(kThreads, OkStatus());
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    vfs::Vfs* fs = (t % 2 == 0) ? *logical_a : *logical_b;
+    clients.emplace_back([t, fs, &failures] {
+      // Each client gets its own process-like view of the stack.
+      vfs::SyscallInterface sys(fs);
+      std::string mine = "f" + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        std::string payload = mine + "-round" + std::to_string(round);
+        auto fd = sys.Open(mine, vfs::kWrOnly | vfs::kCreat | vfs::kTrunc);
+        if (!fd.ok()) {
+          failures[static_cast<size_t>(t)] = fd.status();
+          return;
+        }
+        auto wrote = sys.Write(*fd, Bytes(payload));
+        if (!wrote.ok()) {
+          failures[static_cast<size_t>(t)] = wrote.status();
+          return;
+        }
+        Status closed = sys.Close(*fd);
+        if (!closed.ok()) {
+          failures[static_cast<size_t>(t)] = closed;
+          return;
+        }
+        // Read-your-writes through the same replica.
+        auto rd = sys.Open(mine, vfs::kRdOnly);
+        if (!rd.ok()) {
+          failures[static_cast<size_t>(t)] = rd.status();
+          return;
+        }
+        std::vector<uint8_t> back;
+        auto got = sys.Read(*rd, back, 256);
+        (void)sys.Close(*rd);
+        if (!got.ok()) {
+          failures[static_cast<size_t>(t)] = got.status();
+          return;
+        }
+        if (std::string(back.begin(), back.end()) != payload) {
+          failures[static_cast<size_t>(t)] =
+              InternalError("read-your-writes violated for " + mine);
+          return;
+        }
+        // And one contended write: every thread updates the shared file,
+        // racing replicas on both hosts (conflicts allowed, crashes not).
+        (void)sys.Open("shared", vfs::kWrOnly | vfs::kCreat);
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[static_cast<size_t>(t)].ok())
+        << "client " << t << ": " << failures[static_cast<size_t>(t)].ToString();
+  }
+
+  // Quiesce: scheduled pumps plus reconciliation until no replica changes.
+  cluster.Sleep(60 * kSecond);
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(cluster.RunPropagationEverywhere().ok());
+    cluster.Sleep(kSecond);
+  }
+  auto rounds = cluster.ReconcileUntilQuiescent(32);
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+
+  repl::PhysicalLayer* replica_a = a->registry().LocalReplica(*volume);
+  repl::PhysicalLayer* replica_b = b->registry().LocalReplica(*volume);
+  ASSERT_NE(replica_a, nullptr);
+  ASSERT_NE(replica_b, nullptr);
+  auto snap_a = Snapshot(replica_a);
+  auto snap_b = Snapshot(replica_b);
+  ASSERT_TRUE(snap_a.ok()) << snap_a.status().ToString();
+  ASSERT_TRUE(snap_b.ok()) << snap_b.status().ToString();
+
+  // One-copy: both replicas bind the same names to the same bytes.
+  EXPECT_EQ(*snap_a, *snap_b);
+  // And every client's file survived with its final payload.
+  for (int t = 0; t < kThreads; ++t) {
+    std::string mine = "f" + std::to_string(t);
+    ASSERT_TRUE(snap_a->count(mine) != 0) << mine << " missing after convergence";
+    EXPECT_EQ((*snap_a)[mine], mine + "-round" + std::to_string(kRounds - 1));
+  }
+
+  // Storage-level invariants held under fire.
+  for (sim::FicusHost* host : {a, b}) {
+    auto fsck = host->ufs().Check();
+    ASSERT_TRUE(fsck.ok());
+    EXPECT_TRUE(fsck->empty()) << "ufs inconsistency on " << host->name() << ": "
+                               << fsck->front();
+  }
+}
+
+TEST(ThreadStressTest, ServicePoolHandlesConcurrentRemoteClients) {
+  // Clients on host b reach host a's replica across the NFS transport;
+  // the server's bounded pool serves them concurrently.
+  RuntimeOptions options;
+  options.mode = RuntimeMode::kThreaded;
+  options.nfs_service_threads = 3;
+
+  sim::Cluster cluster(options);
+  sim::FicusHost* a = cluster.AddHost("a");
+  sim::FicusHost* b = cluster.AddHost("b");
+  // Single replica on a; b mounts it purely remotely.
+  auto volume = cluster.CreateVolume({a});
+  ASSERT_TRUE(volume.ok());
+  auto remote = cluster.MountEverywhere(b, *volume);
+  ASSERT_TRUE(remote.ok());
+
+  constexpr int kThreads = 5;
+  std::vector<Status> failures(kThreads, OkStatus());
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([t, fs = *remote, &failures] {
+      vfs::SyscallInterface sys(fs);
+      for (int round = 0; round < 10; ++round) {
+        std::string name = "remote-" + std::to_string(t) + "-" + std::to_string(round);
+        auto fd = sys.Open(name, vfs::kWrOnly | vfs::kCreat);
+        if (!fd.ok()) {
+          failures[static_cast<size_t>(t)] = fd.status();
+          return;
+        }
+        auto wrote = sys.Write(*fd, Bytes(name));
+        (void)sys.Close(*fd);
+        if (!wrote.ok()) {
+          failures[static_cast<size_t>(t)] = wrote.status();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[static_cast<size_t>(t)].ok())
+        << "client " << t << ": " << failures[static_cast<size_t>(t)].ToString();
+  }
+
+  // All 50 files landed on a's replica.
+  repl::PhysicalLayer* replica = a->registry().LocalReplica(*volume);
+  ASSERT_NE(replica, nullptr);
+  auto snap = Snapshot(replica);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  int found = 0;
+  for (const auto& [name, contents] : *snap) {
+    if (name.rfind("remote-", 0) == 0) {
+      EXPECT_EQ(contents, name);
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, kThreads * 10);
+}
+
+}  // namespace
+}  // namespace ficus
