@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: compare a fresh BENCH_*.json against a committed
-baseline.
+"""Perf-regression gate: compare fresh BENCH_*.json files against their
+committed baselines.
 
-Usage: compare_baseline.py <current.json> <baseline.json> [--tolerance 0.20]
+Usage (multi-bench form, what CI runs):
+  compare_baseline.py --bench propagation=build/BENCH_propagation.json:bench/baselines/propagation.json \
+                      --bench lookup=build/BENCH_lookup.json:bench/baselines/lookup.json \
+                      [--tolerance 0.20] [--summary $GITHUB_STEP_SUMMARY]
 
-Walks both JSON trees in lockstep and compares every numeric leaf. A leaf
-fails when it differs from the baseline by more than the relative
-tolerance AND by more than a small absolute slack (so counters that sit
-near zero — e.g. a savings percentage of 0.0 vs 0.4 — do not trip the
-gate on noise). Structural mismatches (missing/extra keys, different
-array lengths) fail outright: a bench that silently stops emitting a
-section is itself a regression.
+Usage (single-pair form, kept for local runs):
+  compare_baseline.py <current.json> <baseline.json> [--tolerance 0.20]
+
+Walks each current/baseline JSON pair in lockstep and compares every
+numeric leaf. A leaf fails when it differs from the baseline by more than
+the relative tolerance AND by more than a small absolute slack (so
+counters that sit near zero — e.g. a savings percentage of 0.0 vs 0.4 —
+do not trip the gate on noise). Structural mismatches (missing/extra
+keys, different array lengths) fail outright: a bench that silently stops
+emitting a section is itself a regression.
+
+--summary appends a per-metric markdown diff table (every numeric leaf:
+baseline, current, delta) to the given file — point it at
+$GITHUB_STEP_SUMMARY so the job summary shows the whole matrix, not just
+the failures.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
 """
@@ -22,24 +33,30 @@ import sys
 ABS_SLACK = 4.0  # absolute difference ignored regardless of ratio
 
 # Wall-clock leaves vary with the machine and load; the gate only holds
-# deterministic counters (pulls, bytes, RPCs) to the baseline.
-VOLATILE_KEYS = {"wall_ms"}
+# deterministic counters (pulls, bytes, RPCs, hits) to the baseline.
+# "wall_ms"/"*_us" are timings; "speedup" is a ratio of timings.
+VOLATILE_KEYS = {"wall_ms", "speedup"}
 
 
-def compare(current, baseline, tolerance, path, failures):
+def is_volatile(key):
+    return key in VOLATILE_KEYS or key.endswith("_us") or key.endswith("_ms")
+
+
+def compare(current, baseline, tolerance, path, failures, rows):
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             failures.append(f"{path}: expected object, got {type(current).__name__}")
             return
         for key in baseline:
-            if key in VOLATILE_KEYS:
+            if is_volatile(key):
                 continue
             if key not in current:
                 failures.append(f"{path}.{key}: missing from current output")
                 continue
-            compare(current[key], baseline[key], tolerance, f"{path}.{key}", failures)
+            compare(current[key], baseline[key], tolerance, f"{path}.{key}",
+                    failures, rows)
         for key in current:
-            if key not in baseline:
+            if key not in baseline and not is_volatile(key):
                 failures.append(f"{path}.{key}: not present in baseline")
     elif isinstance(baseline, list):
         if not isinstance(current, list):
@@ -49,7 +66,7 @@ def compare(current, baseline, tolerance, path, failures):
             failures.append(f"{path}: length {len(current)} != baseline {len(baseline)}")
             return
         for i, (c, b) in enumerate(zip(current, baseline)):
-            compare(c, b, tolerance, f"{path}[{i}]", failures)
+            compare(c, b, tolerance, f"{path}[{i}]", failures, rows)
     elif isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
         if current != baseline:
             failures.append(f"{path}: {current!r} != baseline {baseline!r}")
@@ -58,43 +75,106 @@ def compare(current, baseline, tolerance, path, failures):
             failures.append(f"{path}: expected number, got {current!r}")
             return
         diff = abs(current - baseline)
-        if diff <= ABS_SLACK:
-            return
-        limit = tolerance * max(abs(baseline), 1.0)
-        if diff > limit:
+        delta_pct = (100.0 * (current - baseline) / baseline) if baseline else 0.0
+        ok = diff <= ABS_SLACK or diff <= tolerance * max(abs(baseline), 1.0)
+        rows.append((path, baseline, current, delta_pct, ok))
+        if not ok:
+            limit = tolerance * max(abs(baseline), 1.0)
             failures.append(
                 f"{path}: {current} vs baseline {baseline} "
                 f"(diff {diff:.2f} > allowed {limit:.2f})"
             )
 
 
+def write_summary(summary_path, bench_tables, tolerance):
+    with open(summary_path, "a") as f:
+        f.write(f"## Perf gate (±{tolerance:.0%} on deterministic counters)\n\n")
+        for name, rows, failures in bench_tables:
+            verdict = "✅ pass" if not failures else f"❌ {len(failures)} deviation(s)"
+            f.write(f"### {name} — {verdict}\n\n")
+            f.write("| metric | baseline | current | delta |\n")
+            f.write("|---|---:|---:|---:|\n")
+            for path, base, cur, delta_pct, ok in rows:
+                flag = "" if ok else " ⚠️"
+                f.write(f"| `{path}` | {base:g} | {cur:g} | {delta_pct:+.1f}%{flag} |\n")
+            for line in failures:
+                if "vs baseline" not in line:  # structural failures have no table row
+                    f.write(f"\n- ⚠️ {line}")
+            f.write("\n")
+
+
+def run_pair(name, current_path, baseline_path, tolerance):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures, rows = [], []
+    compare(current, baseline, tolerance, "$", failures, rows)
+    return name, rows, failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current")
-    parser.add_argument("baseline")
+    parser.add_argument("pair", nargs="*",
+                        help="legacy single-pair form: <current.json> <baseline.json>")
+    parser.add_argument("--bench", action="append", default=[],
+                        metavar="NAME=CURRENT:BASELINE",
+                        help="one gated bench; repeatable")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative deviation per numeric leaf")
+    parser.add_argument("--summary", default=None,
+                        help="file to append a markdown diff table to "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args()
 
-    try:
-        with open(args.current) as f:
-            current = json.load(f)
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"compare_baseline: {e}", file=sys.stderr)
+    pairs = []
+    for spec in args.bench:
+        try:
+            name, files = spec.split("=", 1)
+            current_path, baseline_path = files.split(":", 1)
+        except ValueError:
+            print(f"compare_baseline: bad --bench spec {spec!r} "
+                  "(want NAME=CURRENT:BASELINE)", file=sys.stderr)
+            return 2
+        pairs.append((name, current_path, baseline_path))
+    if args.pair:
+        if len(args.pair) != 2:
+            print("compare_baseline: legacy form takes exactly two paths",
+                  file=sys.stderr)
+            return 2
+        pairs.append(("bench", args.pair[0], args.pair[1]))
+    if not pairs:
+        print("compare_baseline: nothing to compare (no --bench, no pair)",
+              file=sys.stderr)
         return 2
 
-    failures = []
-    compare(current, baseline, args.tolerance, "$", failures)
-    if failures:
-        print(f"PERF GATE FAILED ({len(failures)} deviations "
-              f"beyond ±{args.tolerance:.0%}):")
-        for line in failures:
-            print(f"  {line}")
-        return 1
-    print(f"perf gate ok: {args.current} within ±{args.tolerance:.0%} of {args.baseline}")
-    return 0
+    bench_tables = []
+    total_failures = 0
+    for name, current_path, baseline_path in pairs:
+        try:
+            result = run_pair(name, current_path, baseline_path, args.tolerance)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"compare_baseline: {name}: {e}", file=sys.stderr)
+            return 2
+        bench_tables.append(result)
+        _, _, failures = result
+        if failures:
+            print(f"PERF GATE FAILED [{name}] ({len(failures)} deviations "
+                  f"beyond ±{args.tolerance:.0%}):")
+            for line in failures:
+                print(f"  {line}")
+            total_failures += len(failures)
+        else:
+            print(f"perf gate ok [{name}]: within ±{args.tolerance:.0%} of "
+                  f"{baseline_path}")
+
+    if args.summary:
+        try:
+            write_summary(args.summary, bench_tables, args.tolerance)
+        except OSError as e:
+            print(f"compare_baseline: summary: {e}", file=sys.stderr)
+            return 2
+    return 1 if total_failures else 0
 
 
 if __name__ == "__main__":

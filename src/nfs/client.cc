@@ -430,6 +430,46 @@ StatusOr<std::vector<DirEntry>> NfsVnode::Readdir(const OpContext& ctx) {
   return entries;
 }
 
+StatusOr<std::vector<vfs::DirEntryPlus>> NfsVnode::ReaddirPlus(const OpContext& ctx) {
+  // Pages like Readdir, but each row carries the child's attributes — one
+  // RPC per page instead of one GetAttr RPC per entry.
+  std::vector<vfs::DirEntryPlus> rows;
+  uint32_t cookie = 0;
+  for (;;) {
+    Payload request = BeginRequest(NfsProc::kReaddirPlus, ctx, handle_);
+    ByteWriter w(request);
+    w.PutU32(cookie);
+    FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
+    ByteReader r(response);
+    FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+    // Minimum wire row: name (2) + fileid (8) + type (1) + status (6).
+    FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(17));
+    rows.reserve(rows.size() + count);
+    for (uint32_t i = 0; i < count; ++i) {
+      vfs::DirEntryPlus row;
+      FICUS_ASSIGN_OR_RETURN(row.entry.name, r.GetString());
+      FICUS_ASSIGN_OR_RETURN(row.entry.fileid, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+      row.entry.type = static_cast<vfs::VnodeType>(type);
+      row.attr_status = ReadWireStatus(r);
+      if (row.attr_status.ok()) {
+        FICUS_RETURN_IF_ERROR(GetVAttr(r, row.attr));
+      } else if (row.attr_status.code() == ErrorCode::kCorrupt) {
+        // A decode failure (vs. a per-row failure shipped in the row)
+        // poisons the rest of the page.
+        return row.attr_status;
+      }
+      rows.push_back(std::move(row));
+    }
+    FICUS_ASSIGN_OR_RETURN(uint8_t eof, r.GetU8());
+    FICUS_ASSIGN_OR_RETURN(cookie, r.GetU32());
+    if (eof != 0) {
+      break;
+    }
+  }
+  return rows;
+}
+
 StatusOr<VnodePtr> NfsVnode::Symlink(std::string_view name, std::string_view target,
                                      const OpContext& ctx) {
   Payload request = BeginRequest(NfsProc::kSymlink, ctx, handle_);

@@ -93,6 +93,7 @@ class NfsVnode : public vfs::Vnode {
   Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
                 std::string_view new_name, const vfs::OpContext& ctx) override;
   StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<vfs::DirEntryPlus>> ReaddirPlus(const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
                                   const vfs::OpContext& ctx) override;
   StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;

@@ -21,6 +21,7 @@ const char* NfsProcName(NfsProc proc) {
     case NfsProc::kRead: return "read";
     case NfsProc::kWrite: return "write";
     case NfsProc::kStatfs: return "statfs";
+    case NfsProc::kReaddirPlus: return "readdirplus";
   }
   return "unknown";
 }

@@ -47,10 +47,14 @@ enum class NfsProc : uint8_t {
   kRead = 14,
   kWrite = 15,
   kStatfs = 16,
+  // Batched readdir + per-entry attributes, one page per RPC — the
+  // NFSv3 READDIRPLUS idea, here so an `ls -l` scan of an N-entry
+  // directory does not cost N+1 round trips.
+  kReaddirPlus = 17,
 };
 
 // Number of procedures (for per-proc counter tables).
-inline constexpr size_t kNfsProcCount = 17;
+inline constexpr size_t kNfsProcCount = 18;
 
 // Stable lower-case name of a procedure ("lookup", "read", ...) used to
 // build per-proc metric names like `nfs.client.proc.lookup`. Returns

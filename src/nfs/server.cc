@@ -379,6 +379,38 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       w.PutU32(static_cast<uint32_t>(end));  // next cookie
       return out;
     }
+    case NfsProc::kReaddirPlus: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint32_t cookie, r.GetU32());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      auto rows = dir.value()->ReaddirPlus(ctx);
+      if (!rows.ok()) {
+        return fail(rows.status());
+      }
+      // Same cookie contract as kReaddir: an index into the listing,
+      // stable within one client burst.
+      size_t total = rows.value().size();
+      size_t begin = std::min<size_t>(cookie, total);
+      size_t end = std::min<size_t>(begin + kReaddirPageSize, total);
+      PutStatus(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        const auto& row = rows.value()[i];
+        w.PutString(row.entry.name);
+        w.PutU64(row.entry.fileid);
+        w.PutU8(static_cast<uint8_t>(row.entry.type));
+        PutStatus(w, row.attr_status);
+        if (row.attr_status.ok()) {
+          PutVAttr(w, row.attr);
+        }
+      }
+      w.PutU8(end >= total ? 1 : 0);  // eof
+      w.PutU32(static_cast<uint32_t>(end));  // next cookie
+      return out;
+    }
     case NfsProc::kSymlink: {
       FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
       FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());

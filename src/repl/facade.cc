@@ -368,6 +368,27 @@ std::vector<uint8_t> ExecutePhysRequest(PhysicalLayer* layer,
       }
       return out;
     }
+    case PhysOp::kReadDirPlus: {
+      FileId dir;
+      if (Status s = GetFileId(r, dir); !s.ok()) {
+        return ErrorResponse(s);
+      }
+      auto rows = layer->ReadDirPlus(dir);
+      if (!rows.ok()) {
+        return ErrorResponse(rows.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(rows->size()));
+      for (const auto& row : rows.value()) {
+        row.entry.Serialize(w);
+        PutStatusBytes(w, row.attr_status);
+        if (row.attr_status.ok()) {
+          row.attrs.Serialize(w);
+          w.PutU64(row.size);
+        }
+      }
+      return out;
+    }
     case PhysOp::kBatchGetAttributes: {
       auto count = r.GetCount(8);  // one FileId per row
       if (!count.ok()) {
@@ -740,6 +761,30 @@ StatusOr<std::vector<FicusDirEntry>> RemotePhysical::ReadDirectory(FileId dir) {
     entries.push_back(std::move(entry));
   }
   return entries;
+}
+
+StatusOr<std::vector<DirEntryPlus>> RemotePhysical::ReadDirPlus(FileId dir) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(BeginPhysRequest(PhysOp::kReadDirPlus, dir)));
+  ByteReader r(results);
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(26));  // entry + min status bytes
+  std::vector<DirEntryPlus> rows;
+  rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DirEntryPlus row;
+    FICUS_ASSIGN_OR_RETURN(row.entry, FicusDirEntry::Deserialize(r));
+    row.attr_status = ReadStatusBytes(r);
+    if (row.attr_status.ok()) {
+      FICUS_ASSIGN_OR_RETURN(row.attrs, ReplicaAttributes::Deserialize(r));
+      FICUS_ASSIGN_OR_RETURN(row.size, r.GetU64());
+    } else if (row.attr_status.code() == ErrorCode::kCorrupt) {
+      // A marshalling error (vs. a per-row failure shipped in the row)
+      // poisons the rest of the stream.
+      return row.attr_status;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 StatusOr<FileId> RemotePhysical::CreateChild(FileId dir, std::string_view name,

@@ -68,6 +68,7 @@ enum class PhysOp : uint8_t {
   kApplyEntries = 21,
   kReadBlockDigests = 22,
   kBatchGetAttributes = 23,
+  kReadDirPlus = 24,
 };
 
 // Executes one marshalled request against a local physical layer and
@@ -126,6 +127,7 @@ class RemotePhysical : public PhysicalApi {
   Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,
                         const VersionVector& vv) override;
   StatusOr<std::vector<FicusDirEntry>> ReadDirectory(FileId dir) override;
+  StatusOr<std::vector<DirEntryPlus>> ReadDirPlus(FileId dir) override;
   StatusOr<FileId> CreateChild(FileId dir, std::string_view name, FicusFileType type,
                                uint32_t owner_uid) override;
   Status AddEntry(FileId dir, std::string_view name, FileId target,

@@ -18,7 +18,8 @@ LogicalLayer::LogicalLayer(VolumeId volume, ReplicaResolver* resolver,
       notifier_(notifier),
       log_(log),
       clock_(clock),
-      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+      registry_(metrics != nullptr ? metrics : &owned_registry_),
+      name_cache_(registry_) {
   stats_.reads = registry_->counter("repl.logical.reads");
   stats_.writes = registry_->counter("repl.logical.writes");
   stats_.lookups = registry_->counter("repl.logical.lookups");
@@ -165,6 +166,10 @@ Status LogicalLayer::ResolveFileConflict(FileId file, const std::vector<uint8_t>
   merged.Increment(target->replica_id());
   FICUS_RETURN_IF_ERROR(target->InstallVersion(file, resolved, merged));
   FICUS_RETURN_IF_ERROR(target->SetConflict(file, false));
+  // If the resolved file is a directory, every cached binding under it
+  // was filled under a pre-merge vector; drop them rather than letting
+  // each one age out through a vector-mismatch miss.
+  name_cache_.InvalidateDir(file);
   Notify(file, merged, target->replica_id());
   return OkStatus();
 }
@@ -217,11 +222,55 @@ StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const OpContext&)
   FICUS_RETURN_IF_ERROR(CheckDir());
   layer_->stat_cells().lookups->Increment();
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  // Name-cache fast path. The directory's current version vector (from
+  // the replica just selected) is both the coherence check for a hit and
+  // the stamp for a fill: any change to the directory — local mutation,
+  // propagated remote update, reconcile merge — advances the vector and
+  // voids every binding cached under the old one.
+  NameCache* cache = layer_->name_cache();
+  VersionVector dir_vv;
+  bool have_dir_vv = false;
+  if (cache->enabled()) {
+    auto dir_attrs = phys->GetAttributes(file_);
+    if (dir_attrs.ok()) {
+      dir_vv = std::move(dir_attrs->vv);
+      have_dir_vv = true;
+      if (auto hit = cache->Lookup(file_, name, dir_vv)) {
+        if (hit->negative) {
+          return NotFoundError(std::string(name));
+        }
+        (void)phys->NoteOpen(hit->file);
+        if (hit->type == FicusFileType::kGraftPoint &&
+            layer_->graft_resolver() != nullptr) {
+          return layer_->graft_resolver()->ResolveGraft(
+              GlobalFileId{layer_->volume(), hit->file});
+        }
+        return VnodePtr(std::make_shared<LogicalVnode>(layer_, hit->file, hit->type));
+      }
+    }
+  }
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, phys->ReadDirectory(file_));
   std::vector<FicusDirEntry> entries = PresentEntries(raw);
+  if (have_dir_vv && entries.size() <= cache->capacity() / 2) {
+    // The directory read is already paid for; seed the cache with every
+    // sibling so an ls -l style scan misses once, not once per name. The
+    // requested name is entered last, below, so capacity eviction can
+    // never drop the binding the caller is about to use. Directories
+    // bigger than half the cache skip the seed: pumping them through
+    // would evict every other binding (including previously warmed ones)
+    // for siblings that mostly cannot stay resident anyway.
+    for (const auto& entry : entries) {
+      if (entry.alive && entry.name != name) {
+        cache->EnterPositive(file_, entry.name, dir_vv, entry.file, entry.type);
+      }
+    }
+  }
   for (const auto& entry : entries) {
     if (!entry.alive || entry.name != name) {
       continue;
+    }
+    if (have_dir_vv) {
+      cache->EnterPositive(file_, name, dir_vv, entry.file, entry.type);
     }
     // The information NFS eats: tell the physical layer the file is being
     // touched so its caches warm exactly as an open would (section 2.3).
@@ -233,6 +282,9 @@ StatusOr<VnodePtr> LogicalVnode::Lookup(std::string_view name, const OpContext&)
     }
     return VnodePtr(std::make_shared<LogicalVnode>(layer_, entry.file, entry.type));
   }
+  if (have_dir_vv) {
+    cache->EnterNegative(file_, name, dir_vv);
+  }
   return NotFoundError(std::string(name));
 }
 
@@ -243,6 +295,8 @@ StatusOr<VnodePtr> LogicalVnode::Create(std::string_view name, const VAttr& attr
   FICUS_ASSIGN_OR_RETURN(FileId child,
                          phys->CreateChild(file_, name, FicusFileType::kRegular,
                                            ctx.cred.uid != 0 ? ctx.cred.uid : attr.uid));
+  // A cached "no such name" must not outlive the file's birth.
+  layer_->name_cache()->Invalidate(file_, name);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kRegular));
@@ -266,6 +320,7 @@ Status LogicalVnode::RemoveCommon(std::string_view name, bool expect_dir) {
     break;
   }
   FICUS_RETURN_IF_ERROR(phys->RemoveEntry(file_, name));
+  layer_->name_cache()->Invalidate(file_, name);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return OkStatus();
@@ -282,6 +337,7 @@ StatusOr<VnodePtr> LogicalVnode::Mkdir(std::string_view name, const VAttr& attr,
   FICUS_ASSIGN_OR_RETURN(FileId child,
                          phys->CreateChild(file_, name, FicusFileType::kDirectory,
                                            ctx.cred.uid != 0 ? ctx.cred.uid : attr.uid));
+  layer_->name_cache()->Invalidate(file_, name);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return VnodePtr(std::make_shared<LogicalVnode>(layer_, child, FicusFileType::kDirectory));
@@ -302,6 +358,7 @@ Status LogicalVnode::Link(std::string_view name, const VnodePtr& target, const O
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_RETURN_IF_ERROR(phys->AddEntry(file_, name, logical_target->file_,
                                        logical_target->type_));
+  layer_->name_cache()->Invalidate(file_, name);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   return OkStatus();
@@ -317,6 +374,10 @@ Status LogicalVnode::Rename(std::string_view old_name, const VnodePtr& new_paren
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_RETURN_IF_ERROR(
       phys->RenameEntry(file_, old_name, logical_parent->file_, new_name));
+  // Both ends of the rename: the old binding is dead, and any negative
+  // entry for the new name just became a lie.
+  layer_->name_cache()->Invalidate(file_, old_name);
+  layer_->name_cache()->Invalidate(logical_parent->file_, new_name);
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());
   if (logical_parent->file_ != file_) {
@@ -342,12 +403,48 @@ StatusOr<std::vector<DirEntry>> LogicalVnode::Readdir(const OpContext&) {
   return out;
 }
 
+StatusOr<std::vector<vfs::DirEntryPlus>> LogicalVnode::ReaddirPlus(const OpContext& ctx) {
+  FICUS_RETURN_IF_ERROR(CheckDir());
+  FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForRead(file_));
+  FICUS_ASSIGN_OR_RETURN(std::vector<DirEntryPlus> rows, phys->ReadDirPlus(file_));
+  const uint64_t fsid = (static_cast<uint64_t>(layer_->volume().allocator) << 32) |
+                        layer_->volume().volume;
+  std::vector<vfs::DirEntryPlus> out;
+  out.reserve(rows.size());
+  for (auto& row : rows) {
+    vfs::DirEntryPlus v;
+    v.entry = DirEntry{row.entry.name, row.entry.file.Pack(), ToVnodeType(row.entry.type)};
+    if (row.attr_status.ok()) {
+      v.attr.type = ToVnodeType(row.attrs.type);
+      v.attr.uid = row.attrs.owner_uid;
+      v.attr.mtime = row.attrs.mtime;
+      v.attr.ctime = row.attrs.mtime;
+      v.attr.size = row.size;
+      v.attr.fileid = row.entry.file.Pack();
+      v.attr.fsid = fsid;
+    } else {
+      // The replica that served the listing does not store this child:
+      // fall back to the per-file path (replica selection included) for
+      // this row alone, keeping the batch savings for the rest.
+      LogicalVnode child(layer_, row.entry.file, row.entry.type);
+      auto attr = child.GetAttr(ctx);
+      v.attr_status = attr.status();
+      if (attr.ok()) {
+        v.attr = attr.value();
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 StatusOr<VnodePtr> LogicalVnode::Symlink(std::string_view name, std::string_view target,
                                          const OpContext& ctx) {
   FICUS_RETURN_IF_ERROR(CheckDir());
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * phys, layer_->SelectForUpdate(file_));
   FICUS_ASSIGN_OR_RETURN(FileId child,
                          phys->CreateChild(file_, name, FicusFileType::kSymlink, ctx.cred.uid));
+  layer_->name_cache()->Invalidate(file_, name);
   FICUS_RETURN_IF_ERROR(phys->WriteLink(child, target));
   FICUS_ASSIGN_OR_RETURN(ReplicaAttributes dir_attrs, phys->GetAttributes(file_));
   layer_->Notify(file_, dir_attrs.vv, phys->replica_id());

@@ -27,6 +27,7 @@
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
 #include "src/repl/conflict_log.h"
+#include "src/repl/name_cache.h"
 #include "src/repl/resolver.h"
 #include "src/vfs/vnode.h"
 
@@ -107,6 +108,9 @@ class LogicalLayer : public vfs::Vfs {
   ReplicaResolver* resolver() { return resolver_; }
   GraftResolver* graft_resolver() { return graft_resolver_; }
   ConflictLog* conflict_log() { return log_; }
+  // The layer's dnlc (see name_cache.h). Lookup consults it before
+  // reading the directory; mutation paths shoot down affected names.
+  NameCache* name_cache() { return &name_cache_; }
   const StatCells& stat_cells() const { return stats_; }
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
 
@@ -120,6 +124,7 @@ class LogicalLayer : public vfs::Vfs {
   MetricRegistry owned_registry_;
   MetricRegistry* registry_;
   StatCells stats_;
+  NameCache name_cache_;
 };
 
 // Client-visible vnode for one logical file. Carries no replica binding:
@@ -145,6 +150,7 @@ class LogicalVnode : public vfs::Vnode {
   Status Rename(std::string_view old_name, const vfs::VnodePtr& new_parent,
                 std::string_view new_name, const vfs::OpContext& ctx) override;
   StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<vfs::DirEntryPlus>> ReaddirPlus(const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
                                   const vfs::OpContext& ctx) override;
   StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;

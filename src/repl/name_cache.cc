@@ -1,0 +1,128 @@
+#include "src/repl/name_cache.h"
+
+namespace ficus::repl {
+
+NameCache::NameCache(MetricRegistry* metrics, size_t capacity)
+    : registry_(metrics != nullptr ? metrics : &owned_registry_),
+      hits_(registry_->counter("repl.name_cache.hit")),
+      misses_(registry_->counter("repl.name_cache.miss")),
+      neg_hits_(registry_->counter("repl.name_cache.neg_hit")),
+      invalidates_(registry_->counter("repl.name_cache.invalidate")),
+      capacity_(capacity),
+      shard_capacity_(capacity / kShards + 1) {}
+
+std::optional<NameCache::Hit> NameCache::Lookup(FileId dir, std::string_view name,
+                                                const VersionVector& dir_vv) {
+  if (!enabled_) {
+    misses_->Increment();
+    return std::nullopt;
+  }
+  Key key{dir.Pack(), std::string(name)};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) {
+    misses_->Increment();
+    return std::nullopt;
+  }
+  if (it->second.dir_vv.Compare(dir_vv) != VectorOrder::kEqual) {
+    // The directory moved on since the fill — locally or at a remote
+    // replica whose update has since propagated. Stale binding dies here.
+    shard.table.erase(it);
+    invalidates_->Increment();
+    misses_->Increment();
+    return std::nullopt;
+  }
+  const Entry& entry = it->second;
+  if (entry.negative) {
+    neg_hits_->Increment();
+    return Hit{true, FileId{}, FicusFileType::kRegular};
+  }
+  hits_->Increment();
+  return Hit{false, entry.child, entry.type};
+}
+
+void NameCache::Enter(FileId dir, std::string_view name, Entry entry) {
+  if (!enabled_) {
+    return;
+  }
+  Key key{dir.Pack(), std::string(name)};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.table.size() >= shard_capacity_ && shard.table.count(key) == 0) {
+    // Capacity replacement, not coherence: evict an arbitrary entry
+    // (hash order ~ random) without charging the invalidate counter.
+    shard.table.erase(shard.table.begin());
+  }
+  shard.table[std::move(key)] = std::move(entry);
+}
+
+void NameCache::EnterPositive(FileId dir, std::string_view name,
+                              const VersionVector& dir_vv, FileId child,
+                              FicusFileType type) {
+  Entry entry;
+  entry.negative = false;
+  entry.child = child;
+  entry.type = type;
+  entry.dir_vv = dir_vv;
+  Enter(dir, name, std::move(entry));
+}
+
+void NameCache::EnterNegative(FileId dir, std::string_view name,
+                              const VersionVector& dir_vv) {
+  Entry entry;
+  entry.negative = true;
+  entry.dir_vv = dir_vv;
+  Enter(dir, name, std::move(entry));
+}
+
+void NameCache::Invalidate(FileId dir, std::string_view name) {
+  Key key{dir.Pack(), std::string(name)};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.table.erase(key) != 0) {
+    invalidates_->Increment();
+  }
+}
+
+void NameCache::InvalidateDir(FileId dir) {
+  const uint64_t packed = dir.Pack();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.table.begin(); it != shard.table.end();) {
+      if (it->first.dir == packed) {
+        it = shard.table.erase(it);
+        invalidates_->Increment();
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void NameCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.clear();
+  }
+}
+
+NameCacheStats NameCache::stats() const {
+  NameCacheStats out;
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.neg_hits = neg_hits_->value();
+  out.invalidates = invalidates_->value();
+  return out;
+}
+
+size_t NameCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.table.size();
+  }
+  return total;
+}
+
+}  // namespace ficus::repl

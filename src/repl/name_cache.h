@@ -1,0 +1,148 @@
+// A dnlc-style name cache for the Ficus logical layer, modelled on the
+// BSD vfs name cache: pathname translation is the hottest operation a
+// file system serves, and most translations repeat, so the logical layer
+// remembers (directory file-id, component) -> child bindings instead of
+// re-reading and re-presenting the whole directory on every Lookup.
+//
+// Entries come in two flavours:
+//   * positive — the component resolved to a child (file-id + type);
+//   * negative — the component was absent, so repeated misses (PATH
+//     searches, create-probes) fail without touching the directory.
+//
+// Coherence. Every entry is stamped with the directory's version vector
+// as served by the replica that answered the fill. A hit is honoured
+// only when the stamped vector equals the directory's current vector —
+// any local update, rename, remove, reconcile-merge, or remotely
+// propagated change advances the directory's vector and thereby kills
+// every stale binding wholesale, including ones made under a replica
+// that has since been healed. Local mutation paths additionally shoot
+// down the affected names eagerly (the cheap, precise half of the BSD
+// cache_purge discipline) so a writer never observes its own stale
+// entry even within one version-vector tick.
+//
+// Concurrency. The table is sharded by key hash; each shard has its own
+// mutex, held only for the table operation itself (never across any I/O
+// or RPC), so the PR-6 threaded runtime's NFS workers contend only when
+// they hash to the same shard. Lock order: a shard mutex is a leaf —
+// nothing is acquired under it.
+//
+// Metrics: repl.name_cache.{hit,miss,neg_hit,invalidate} in the shared
+// MetricRegistry.
+#ifndef FICUS_SRC_REPL_NAME_CACHE_H_
+#define FICUS_SRC_REPL_NAME_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/metrics.h"
+#include "src/repl/types.h"
+
+namespace ficus::repl {
+
+// Snapshot of the cache's registry cells (tests / bench reporting).
+struct NameCacheStats {
+  uint64_t hits = 0;        // positive hits
+  uint64_t misses = 0;      // absent or stale entries
+  uint64_t neg_hits = 0;    // negative hits (known-absent names)
+  uint64_t invalidates = 0; // entries dropped by shootdown or staleness
+};
+
+class NameCache {
+ public:
+  // `metrics` (borrowed, optional) receives the `repl.name_cache.*`
+  // counters; without one the cache keeps them in a private registry.
+  // `capacity` bounds the total entry count across all shards.
+  explicit NameCache(MetricRegistry* metrics = nullptr, size_t capacity = 16384);
+
+  // A resolved cache entry. `negative` means the name is known absent;
+  // file/type are meaningful only when it is false.
+  struct Hit {
+    bool negative = false;
+    FileId file;
+    FicusFileType type = FicusFileType::kRegular;
+  };
+
+  // Looks up (dir, name) and validates the entry against the directory's
+  // current version vector. A stamped vector that no longer equals
+  // `dir_vv` means the directory changed since the fill — the entry is
+  // dropped (counted as an invalidate) and the lookup misses.
+  std::optional<Hit> Lookup(FileId dir, std::string_view name,
+                            const VersionVector& dir_vv);
+
+  // Fill paths; `dir_vv` is the directory's version vector as served by
+  // the replica the caller just consulted. No-ops while disabled.
+  void EnterPositive(FileId dir, std::string_view name, const VersionVector& dir_vv,
+                     FileId child, FicusFileType type);
+  void EnterNegative(FileId dir, std::string_view name, const VersionVector& dir_vv);
+
+  // Precise shootdown of one binding (create kills the negative entry,
+  // remove/rename kill the positive one). Counted when present.
+  void Invalidate(FileId dir, std::string_view name);
+  // Shoots down every binding under `dir` — the reconcile-merge hammer.
+  void InvalidateDir(FileId dir);
+  // Drops everything (remount, volume switch, bench cold-start).
+  void Clear();
+
+  // Disabling turns Lookup into a guaranteed miss and the fills into
+  // no-ops, so benchmarks can measure the uncached path with the same
+  // stack. Enabled by default.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  NameCacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    uint64_t dir = 0;  // FileId::Pack() of the directory
+    std::string name;
+    bool operator==(const Key& o) const { return dir == o.dir && name == o.name; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // splitmix-style scramble of the dir id folded into the name hash.
+      uint64_t h = k.dir + 0x9e3779b97f4a7c15ULL;
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h ^= std::hash<std::string>{}(k.name);
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+  };
+  struct Entry {
+    bool negative = false;
+    FileId child;
+    FicusFileType type = FicusFileType::kRegular;
+    VersionVector dir_vv;
+  };
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> table;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return shards_[KeyHash{}(key) % kShards];
+  }
+  void Enter(FileId dir, std::string_view name, Entry entry);
+
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* neg_hits_;
+  Counter* invalidates_;
+  size_t capacity_;
+  size_t shard_capacity_;
+  bool enabled_ = true;
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace ficus::repl
+
+#endif  // FICUS_SRC_REPL_NAME_CACHE_H_

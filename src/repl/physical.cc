@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/vfs/vnode.h"
@@ -57,8 +58,11 @@ Status ValidateEntryName(std::string_view name) {
 // entries by presented names).
 StatusOr<size_t> FindAliveByPresentedName(const std::vector<FicusDirEntry>& entries,
                                           std::string_view name) {
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i].alive && PresentedEntryName(entries, i) == name) {
+  // Presenting once keeps the scan O(N); a per-entry PresentedEntryName
+  // call here would make every directory mutation quadratic.
+  std::vector<FicusDirEntry> presented = PresentEntries(entries);
+  for (size_t i = 0; i < presented.size(); ++i) {
+    if (presented[i].alive && presented[i].name == name) {
       return i;
     }
   }
@@ -729,6 +733,34 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::ReadDirectory(FileId dir) {
   return LoadDirEntries(dir);
 }
 
+StatusOr<std::vector<DirEntryPlus>> PhysicalLayer::ReadDirPlus(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> raw, LoadDirEntries(dir));
+  std::vector<FicusDirEntry> entries = PresentEntries(raw);
+  std::vector<DirEntryPlus> out;
+  for (auto& entry : entries) {
+    if (!entry.alive) {
+      continue;  // tombstones never reach an ls -l scan
+    }
+    DirEntryPlus row;
+    row.entry = std::move(entry);
+    auto attrs = LoadAttributes(row.entry.file);
+    row.attr_status = attrs.status();
+    if (attrs.ok()) {
+      row.attrs = std::move(attrs).value();
+      if (!IsDirectoryLike(row.attrs.type)) {
+        auto size = DataSize(row.entry.file);
+        if (size.ok()) {
+          row.size = size.value();
+        }
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 StatusOr<FileId> PhysicalLayer::CreateChild(FileId dir, std::string_view name,
                                             FicusFileType type, uint32_t owner_uid) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
@@ -755,6 +787,98 @@ StatusOr<FileId> PhysicalLayer::CreateChild(FileId dir, std::string_view name,
   ++alive_refs_[file];
   FICUS_RETURN_IF_ERROR(BumpDirVersion(dir));
   return file;
+}
+
+StatusOr<std::vector<FileId>> PhysicalLayer::CreateChildren(
+    FileId dir, const std::vector<std::string>& names, FicusFileType type,
+    uint32_t owner_uid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  // Validate the whole batch before touching storage so a bad name at
+  // position k does not leave k-1 stray files behind.
+  std::unordered_set<std::string> taken;
+  for (FicusDirEntry& entry : PresentEntries(entries)) {
+    if (entry.alive) {
+      taken.insert(std::move(entry.name));
+    }
+  }
+  for (const std::string& name : names) {
+    FICUS_RETURN_IF_ERROR(ValidateEntryName(name));
+    if (!taken.insert(name).second) {
+      return ExistsError(name);
+    }
+  }
+  // Reserve the whole id range up front (one meta write) so a crash
+  // mid-batch cannot recycle an id a created file already carries.
+  const uint32_t first_unique = next_unique_;
+  next_unique_ += static_cast<uint32_t>(names.size());
+  FICUS_RETURN_IF_ERROR(PersistMeta());
+  std::vector<FileId> created;
+  created.reserve(names.size());
+  entries.reserve(entries.size() + names.size());
+  if (!IsDirectoryLike(type)) {
+    // Batched storage path: allocate every backing ufs file with one
+    // directory rewrite instead of one per child. Per-child CreateStorage
+    // calls ufs CreateFile, which rewrites the whole backing directory
+    // each time — populating an N-file directory that way is O(N^2).
+    FICUS_ASSIGN_OR_RETURN(Location dir_loc, Find(dir));
+    if (!IsDirectoryLike(dir_loc.type)) {
+      return NotDirError("parent is not a directory");
+    }
+    const bool aux = options_.attr_placement == AttrPlacement::kAuxFile;
+    std::vector<std::string> ufs_names;
+    ufs_names.reserve(names.size() * (aux ? 2 : 1));
+    for (size_t i = 0; i < names.size(); ++i) {
+      FileId file{replica_, first_unique + static_cast<uint32_t>(i)};
+      ufs_names.push_back(file.ToHex());
+      if (aux) {
+        ufs_names.push_back(file.ToHex() + kAttrSuffix);
+      }
+    }
+    FICUS_RETURN_IF_ERROR(ufs_->CreateFiles(dir_loc.self_dir, ufs_names,
+                                            ufs::FileType::kRegular, 0644, owner_uid, 0)
+                              .status());
+    for (size_t i = 0; i < names.size(); ++i) {
+      FileId file{replica_, first_unique + static_cast<uint32_t>(i)};
+      locations_[file] = Location{dir_loc.self_dir, ufs::kInvalidInode, type};
+      ReplicaAttributes attrs;
+      attrs.id = GlobalFileId{volume_, file};
+      attrs.type = type;
+      attrs.vv.Increment(replica_);
+      attrs.owner_uid = owner_uid;
+      attrs.mtime = Now();
+      FICUS_RETURN_IF_ERROR(StoreAttributes(file, attrs));
+      FicusDirEntry entry;
+      entry.name = names[i];
+      entry.file = file;
+      entry.type = type;
+      entry.alive = true;
+      entry.vv.Increment(replica_);
+      entries.push_back(std::move(entry));
+      ++alive_refs_[file];
+      created.push_back(file);
+    }
+  } else {
+    for (size_t i = 0; i < names.size(); ++i) {
+      FileId file{replica_, first_unique + static_cast<uint32_t>(i)};
+      VersionVector file_vv;
+      file_vv.Increment(replica_);
+      FICUS_RETURN_IF_ERROR(CreateStorage(dir, file, type, owner_uid, file_vv));
+      FicusDirEntry entry;
+      entry.name = names[i];
+      entry.file = file;
+      entry.type = type;
+      entry.alive = true;
+      entry.vv.Increment(replica_);
+      entries.push_back(std::move(entry));
+      ++alive_refs_[file];
+      created.push_back(file);
+    }
+  }
+  FICUS_RETURN_IF_ERROR(StoreDirEntries(dir, entries));
+  FICUS_RETURN_IF_ERROR(BumpDirVersion(dir));
+  return created;
 }
 
 Status PhysicalLayer::AddEntry(FileId dir, std::string_view name, FileId target,

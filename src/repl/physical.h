@@ -150,8 +150,18 @@ class PhysicalLayer : public PhysicalApi {
   Status InstallVersion(FileId file, const std::vector<uint8_t>& contents,
                         const VersionVector& vv) override;
   StatusOr<std::vector<FicusDirEntry>> ReadDirectory(FileId dir) override;
+  StatusOr<std::vector<DirEntryPlus>> ReadDirPlus(FileId dir) override;
   StatusOr<FileId> CreateChild(FileId dir, std::string_view name, FicusFileType type,
                                uint32_t owner_uid) override;
+  // Local-only bulk creation: makes one child per name in a single
+  // directory transaction (one parse, one serialize, one version bump),
+  // so populating an N-entry directory is O(N) where a CreateChild loop
+  // is O(N^2). Restore tooling and benchmark population use this; it is
+  // deliberately not part of PhysicalApi. Fails without creating anything
+  // if any name is invalid or already present.
+  StatusOr<std::vector<FileId>> CreateChildren(FileId dir,
+                                               const std::vector<std::string>& names,
+                                               FicusFileType type, uint32_t owner_uid);
   Status AddEntry(FileId dir, std::string_view name, FileId target,
                   FicusFileType type) override;
   Status RemoveEntry(FileId dir, std::string_view name) override;

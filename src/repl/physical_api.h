@@ -62,6 +62,19 @@ struct FileAttrResult {
   ReplicaAttributes attrs;
 };
 
+// One row of a ReadDirPlus scan: a presented, alive directory entry
+// together with the child's replication attributes and (for regular
+// files and symlinks) its data size. `attrs`/`size` are meaningful only
+// when `attr_status` is ok — a replica may list a child whose storage it
+// does not hold, in which case the row still names the child and the
+// caller falls back to per-file attribute fetches for that row alone.
+struct DirEntryPlus {
+  FicusDirEntry entry;
+  Status attr_status = OkStatus();
+  ReplicaAttributes attrs;
+  uint64_t size = 0;
+};
+
 class PhysicalApi {
  public:
   virtual ~PhysicalApi() = default;
@@ -104,6 +117,12 @@ class PhysicalApi {
 
   // --- directories ---
   virtual StatusOr<std::vector<FicusDirEntry>> ReadDirectory(FileId dir) = 0;
+  // The `ls -l` shape in one round trip: presented, alive entries of
+  // `dir` with each child's attributes and size riding along, so a scan
+  // of an N-entry directory costs one RPC instead of 1 + N GetAttributes
+  // calls (the NFS readdirplus idea). Per-child attribute failures are
+  // reported in the row, never as a call failure.
+  virtual StatusOr<std::vector<DirEntryPlus>> ReadDirPlus(FileId dir) = 0;
   // Client operations; each advances the directory replica's version
   // vector and the touched entry's version vector at this replica.
   virtual StatusOr<FileId> CreateChild(FileId dir, std::string_view name,

@@ -1,5 +1,8 @@
 #include "src/repl/types.h"
 
+#include <string_view>
+#include <unordered_map>
+
 namespace ficus::repl {
 
 void ReplicaAttributes::Serialize(ByteWriter& w) const {
@@ -90,9 +93,23 @@ std::string PresentedEntryName(const std::vector<FicusDirEntry>& entries, size_t
 }
 
 std::vector<FicusDirEntry> PresentEntries(const std::vector<FicusDirEntry>& entries) {
+  // One pass to find the lowest alive file id per spelling, one pass to
+  // suffix everyone else. The per-entry PresentedEntryName scan this
+  // replaces was O(N) per entry — quadratic presentation dominated every
+  // uncached lookup in large directories.
+  std::unordered_map<std::string_view, FileId> min_alive;
+  for (const FicusDirEntry& e : entries) {
+    if (!e.alive) continue;
+    auto [it, inserted] = min_alive.try_emplace(std::string_view(e.name), e.file);
+    if (!inserted && e.file < it->second) it->second = e.file;
+  }
   std::vector<FicusDirEntry> out = entries;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i].name = PresentedEntryName(entries, i);
+  for (FicusDirEntry& e : out) {
+    if (!e.alive) continue;
+    auto it = min_alive.find(std::string_view(e.name));
+    if (it != min_alive.end() && it->second < e.file) {
+      e.name += "#" + e.file.ToHex();
+    }
   }
   return out;
 }

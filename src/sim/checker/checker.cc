@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/net/fault.h"
+#include "src/repl/name_cache.h"
 #include "src/sim/cluster.h"
 #include "src/vfs/path_ops.h"
 
@@ -64,6 +65,39 @@ struct Runner {
   void ObserveParentEverywhere(uint32_t slot) {
     size_t index = ParentIndex(schedule.config, slot);
     if (index < parent_ids.size()) ObserveDirEverywhere(parent_ids[index]);
+  }
+
+  // Union ground truth for a slot's leaf name across every live replica's
+  // raw parent directory, read directly like the oracle's observations so
+  // faults and partitions cannot distort it. A positive lookup result is
+  // only defensible if SOME live replica holds the name alive (the cache
+  // stamps entries with the directory vector of a live replica, and equal
+  // vectors mean equal directory contents); a negative result is only
+  // defensible if SOME live replica lacks it.
+  struct NameTruth {
+    int live_replicas = 0;
+    bool alive_somewhere = false;
+    bool absent_somewhere = false;
+  };
+  NameTruth ReadNameTruth(uint32_t slot) {
+    NameTruth truth;
+    size_t index = ParentIndex(schedule.config, slot);
+    if (index >= parent_ids.size()) return truth;
+    std::string leaf = "f" + std::to_string(slot);
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (IsCrashed(h)) continue;
+      StatusOr<std::vector<repl::FicusDirEntry>> raw =
+          physical(h)->ReadDirectory(parent_ids[index]);
+      if (!raw.ok()) continue;
+      ++truth.live_replicas;
+      bool alive_here = false;
+      for (const repl::FicusDirEntry& entry : raw.value()) {
+        if (entry.alive && entry.name == leaf) alive_here = true;
+      }
+      truth.alive_somewhere = truth.alive_somewhere || alive_here;
+      truth.absent_somewhere = truth.absent_somewhere || !alive_here;
+    }
+    return truth;
   }
 
   uint64_t ReconcileWorkTotal() const {
@@ -153,6 +187,65 @@ struct Runner {
     return out;
   }
 
+  // The deliberate bug the guarded name-cache tests hunt: plant a binding
+  // in host 0's cache that contradicts the converged root directory,
+  // stamped with the converged directory vector so the vector-mismatch
+  // defense cannot kill it — exactly what a missed invalidation looks
+  // like. CheckConvergedLookups must flag it.
+  void PoisonNameCache() {
+    StatusOr<repl::ReplicaAttributes> attrs = physical(0)->GetAttributes(parent_ids[0]);
+    StatusOr<std::vector<repl::FicusDirEntry>> raw = physical(0)->ReadDirectory(parent_ids[0]);
+    if (!attrs.ok() || !raw.ok()) return;
+    bool alive = false;  // slot 0 always lives at the root
+    for (const repl::FicusDirEntry& entry : raw.value()) {
+      if (entry.alive && entry.name == "f0") alive = true;
+    }
+    repl::NameCache* cache = logicals[0]->name_cache();
+    if (alive) {
+      cache->EnterNegative(parent_ids[0], "f0", attrs->vv);
+    } else {
+      cache->EnterPositive(parent_ids[0], "f0", attrs->vv, repl::FileId{1, 424242},
+                           repl::FicusFileType::kRegular);
+    }
+  }
+
+  // After heal-and-quiesce every replica holds the identical directory
+  // state, so cached name resolution has no excuse: a lookup through any
+  // host's logical layer that disagrees with the converged raw directory
+  // is a stale name-cache hit that survived the merge-driven
+  // invalidations.
+  void CheckConvergedLookups(int op_index) {
+    const CheckerConfig& config = schedule.config;
+    if (config.inject_stale_name_cache) PoisonNameCache();
+    for (uint32_t slot = 0; slot < config.files; ++slot) {
+      size_t parent_index = ParentIndex(config, slot);
+      if (parent_index >= parent_ids.size()) continue;
+      StatusOr<std::vector<repl::FicusDirEntry>> raw =
+          physical(0)->ReadDirectory(parent_ids[parent_index]);
+      if (!raw.ok()) continue;  // the oracle walk already flagged this
+      std::string leaf = "f" + std::to_string(slot);
+      bool truth_alive = false;
+      for (const repl::FicusDirEntry& entry : raw.value()) {
+        if (entry.alive && entry.name == leaf) truth_alive = true;
+      }
+      std::string path = SlotPath(config, slot);
+      for (uint32_t h = 0; h < hosts.size(); ++h) {
+        StatusOr<vfs::VnodePtr> root = logicals[h]->Root();
+        if (!root.ok()) continue;
+        StatusOr<vfs::VnodePtr> resolved = vfs::WalkPath(root.value(), path, {});
+        if (!resolved.ok() && resolved.status().code() != ErrorCode::kNotFound) continue;
+        bool found = resolved.ok();
+        if (found != truth_alive) {
+          violations.insert(
+              "stale name-cache hit after heal (op " + std::to_string(op_index) + "): '" +
+              path + "' at " + hosts[h]->name() +
+              (found ? " resolves a binding the converged directory does not hold"
+                     : " reports absent although the converged directory holds the name"));
+        }
+      }
+    }
+  }
+
   // Heal-and-quiesce, then run the oracle and the per-host storage checks.
   void Checkpoint(int op_index) {
     ++result.checkpoints;
@@ -216,6 +309,7 @@ struct Runner {
         }
       }
     }
+    CheckConvergedLookups(op_index);
   }
 };
 
@@ -378,6 +472,110 @@ void ApplyRename(Runner& r, const Op& op, int /*op_index*/) {
   r.ObserveParentEverywhere(dst_slot);
 }
 
+void ApplyLookup(Runner& r, const Op& op, int op_index) {
+  const CheckerConfig& config = r.schedule.config;
+  uint32_t slot = op.file % config.files;
+  std::string path = SlotPath(config, slot);
+  StatusOr<vfs::VnodePtr> root = r.logicals[op.host]->Root();
+  if (!root.ok()) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  StatusOr<vfs::VnodePtr> resolved = vfs::WalkPath(root.value(), path, {});
+  if (!resolved.ok() && resolved.status().code() != ErrorCode::kNotFound) {
+    ++r.result.ops_skipped;  // no reachable replica, conflicted directory, ...
+    return;
+  }
+  ++r.result.ops_applied;
+  const bool found = resolved.ok();
+  Runner::NameTruth truth = r.ReadNameTruth(slot);
+  if (truth.live_replicas == 0) return;
+  if (found && !truth.alive_somewhere) {
+    r.violations.insert("op " + std::to_string(op_index) + ": stale positive name-cache hit: '" +
+                        path + "' resolves at " + r.hosts[op.host]->name() +
+                        " but no live replica holds the name alive");
+  }
+  if (!found && !truth.absent_somewhere) {
+    r.violations.insert("op " + std::to_string(op_index) + ": stale negative name-cache hit: '" +
+                        path + "' reports absent at " + r.hosts[op.host]->name() +
+                        " but every live replica holds the name alive");
+  }
+}
+
+void ApplyReaddir(Runner& r, const Op& op, int op_index) {
+  const CheckerConfig& config = r.schedule.config;
+  uint32_t slot = op.file % config.files;
+  size_t parent_index = ParentIndex(config, slot);
+  if (parent_index >= r.parent_ids.size()) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  StatusOr<vfs::VnodePtr> dir = r.logicals[op.host]->Root();
+  if (dir.ok() && parent_index > 0) {
+    dir = vfs::WalkPath(dir.value(), "d" + std::to_string(parent_index - 1), {});
+  }
+  if (!dir.ok()) {
+    ++r.result.ops_skipped;
+    return;
+  }
+  StatusOr<std::vector<vfs::DirEntryPlus>> listing = dir.value()->ReaddirPlus({});
+  if (!listing.ok()) {
+    ++r.result.ops_skipped;  // no reachable replica
+    return;
+  }
+  ++r.result.ops_applied;
+  // The listing was served by exactly one live replica, so every row must
+  // be alive at SOME live replica (no ghosts from a stale parsed-dir
+  // index), and a name alive at EVERY live replica cannot be omitted.
+  std::set<std::string> somewhere;   // union of alive names over live replicas
+  std::set<std::string> everywhere;  // intersection
+  bool first = true;
+  int live = 0;
+  for (uint32_t h = 0; h < r.hosts.size(); ++h) {
+    if (r.IsCrashed(h)) continue;
+    StatusOr<std::vector<repl::FicusDirEntry>> raw =
+        r.physical(h)->ReadDirectory(r.parent_ids[parent_index]);
+    if (!raw.ok()) continue;
+    ++live;
+    std::set<std::string> alive_names;
+    for (const repl::FicusDirEntry& entry : raw.value()) {
+      if (entry.alive) alive_names.insert(entry.name);
+    }
+    somewhere.insert(alive_names.begin(), alive_names.end());
+    if (first) {
+      everywhere = alive_names;
+      first = false;
+    } else {
+      std::set<std::string> kept;
+      for (const std::string& name : everywhere) {
+        if (alive_names.count(name) != 0) kept.insert(name);
+      }
+      everywhere = std::move(kept);
+    }
+  }
+  if (live == 0) return;
+  // Presentation suffixes ("name#<hex>" on conflicted duplicates) are
+  // stripped back to the stored name before comparing against raw state.
+  std::set<std::string> listed;
+  for (const vfs::DirEntryPlus& row : listing.value()) {
+    listed.insert(row.entry.name.substr(0, row.entry.name.find('#')));
+  }
+  for (const std::string& name : listed) {
+    if (somewhere.count(name) == 0) {
+      r.violations.insert("op " + std::to_string(op_index) + ": readdirplus ghost entry '" +
+                          name + "' at " + r.hosts[op.host]->name() +
+                          ": no live replica holds the name alive");
+    }
+  }
+  for (const std::string& name : everywhere) {
+    if (listed.count(name) == 0) {
+      r.violations.insert("op " + std::to_string(op_index) + ": readdirplus at " +
+                          r.hosts[op.host]->name() + " omits '" + name +
+                          "' although every live replica holds it alive");
+    }
+  }
+}
+
 void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
   const CheckerConfig& config = r.schedule.config;
   Op op = raw_op;
@@ -386,6 +584,7 @@ void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
   // can separate an op from the reboot that made it plausible).
   bool needs_live_host =
       op.kind == OpKind::kWrite || op.kind == OpKind::kRemove || op.kind == OpKind::kRename ||
+      op.kind == OpKind::kLookup || op.kind == OpKind::kReaddir ||
       op.kind == OpKind::kCrash || op.kind == OpKind::kReconcile;
   if (needs_live_host && r.IsCrashed(op.host)) {
     ++r.result.ops_skipped;
@@ -400,6 +599,12 @@ void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
       break;
     case OpKind::kRename:
       ApplyRename(r, op, op_index);
+      break;
+    case OpKind::kLookup:
+      ApplyLookup(r, op, op_index);
+      break;
+    case OpKind::kReaddir:
+      ApplyReaddir(r, op, op_index);
       break;
     case OpKind::kCrash:
       r.hosts[op.host]->Crash();

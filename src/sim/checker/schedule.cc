@@ -18,7 +18,8 @@ struct KindName {
 
 constexpr KindName kKindNames[] = {
     {OpKind::kWrite, "write"},         {OpKind::kRemove, "remove"},
-    {OpKind::kRename, "rename"},       {OpKind::kCrash, "crash"},
+    {OpKind::kRename, "rename"},       {OpKind::kLookup, "lookup"},
+    {OpKind::kReaddir, "readdir"},     {OpKind::kCrash, "crash"},
     {OpKind::kReboot, "reboot"},       {OpKind::kPartition, "partition"},
     {OpKind::kHeal, "heal"},           {OpKind::kPropagate, "propagate"},
     {OpKind::kReconcile, "reconcile"}, {OpKind::kAdvance, "advance"},
@@ -70,24 +71,35 @@ Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed) {
   for (uint32_t i = 0; i < config.ops; ++i) {
     uint64_t roll = rng.NextBelow(100);
     Op op;
-    if (roll < 38) {
+    if (roll < 30) {
       op.kind = OpKind::kWrite;
       op.host = live_host();
       op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
-    } else if (roll < 48) {
+    } else if (roll < 38) {
       op.kind = OpKind::kRemove;
       op.host = live_host();
       op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
-    } else if (roll < 54) {
+    } else if (roll < 44) {
       op.kind = OpKind::kRename;
       op.host = live_host();
       op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
       op.arg = rng.NextBelow(config.files);
-    } else if (roll < 59 && crashed.size() + 1 < config.hosts) {
+    } else if (roll < 52) {
+      // Namespace reads interleave with the mutations so name-cache
+      // bindings (positive and negative) exist when invalidations race
+      // with propagation, partitions, and reconciliation.
+      op.kind = OpKind::kLookup;
+      op.host = live_host();
+      op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
+    } else if (roll < 56) {
+      op.kind = OpKind::kReaddir;
+      op.host = live_host();
+      op.file = static_cast<uint32_t>(rng.NextBelow(config.files));
+    } else if (roll < 61 && crashed.size() + 1 < config.hosts) {
       op.kind = OpKind::kCrash;
       op.host = live_host();
       crashed.insert(op.host);
-    } else if (roll < 65 && !crashed.empty()) {
+    } else if (roll < 66 && !crashed.empty()) {
       // Reboot the lowest crashed host (deterministic pick).
       op.kind = OpKind::kReboot;
       op.host = *crashed.begin();
@@ -154,6 +166,9 @@ std::string ToJson(const Schedule& schedule) {
   out += ",\n";
   out += "  \"inject_lost_update\": ";
   out += schedule.config.inject_lost_update ? "true" : "false";
+  out += ",\n";
+  out += "  \"inject_stale_name_cache\": ";
+  out += schedule.config.inject_stale_name_cache ? "true" : "false";
   out += ",\n";
   out += "  \"expect_violation\": ";
   out += schedule.expect_violation ? "true" : "false";
@@ -377,6 +392,7 @@ StatusOr<Schedule> FromJson(std::string_view json) {
     schedule.config.fault_plan = it->second.string;
   }
   schedule.config.inject_lost_update = GetBool(root, "inject_lost_update", false);
+  schedule.config.inject_stale_name_cache = GetBool(root, "inject_stale_name_cache", false);
   schedule.expect_violation = GetBool(root, "expect_violation", false);
 
   auto ops_it = root.object.find("ops");

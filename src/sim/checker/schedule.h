@@ -23,6 +23,8 @@ enum class OpKind : uint8_t {
   kWrite,       // overwrite file `file` at host `host` with a unique payload
   kRemove,      // remove file `file` at host `host`
   kRename,      // rename file `file` to the name of file-slot `arg`
+  kLookup,      // resolve slot `file`'s path at host `host` (exercises the name cache)
+  kReaddir,     // readdirplus slot `file`'s parent directory at host `host`
   kCrash,       // hard-crash host `host` (writes dropped, off the network)
   kReboot,      // reboot host `host` (shadow recovery runs)
   kPartition,   // split the network: hosts with bit set in `arg` vs the rest
@@ -57,6 +59,12 @@ struct CheckerConfig {
   // replica's version vector back to its pre-write value — a classic lost
   // update the oracle must catch (guarded test, never on by default).
   bool inject_lost_update = false;
+  // Testing the tester, name-cache edition: at every checkpoint, plant one
+  // deliberately wrong binding in host 0's name cache, stamped with the
+  // converged directory vector so it cannot die by vector mismatch. The
+  // post-heal lookup sweep must flag it as a stale hit (guarded test,
+  // never on by default).
+  bool inject_stale_name_cache = false;
 
   bool operator==(const CheckerConfig&) const = default;
 };

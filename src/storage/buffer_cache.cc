@@ -64,7 +64,6 @@ void BufferCache::InvalidateBlock(BlockNum block) {
     lru_.erase(it->second);
     map_.erase(it);
   }
-  ++epoch_;
 }
 
 }  // namespace ficus::storage

@@ -52,9 +52,12 @@ class BufferCache {
     stats_ = CacheStats{};
   }
 
-  // Bumped by every Invalidate/InvalidateBlock. Layers that keep parsed
-  // copies of block data (e.g. the UFS directory index) compare epochs to
-  // notice that the backing store may have diverged underneath them.
+  // Bumped by every full Invalidate(). Layers that keep parsed copies of
+  // block data (e.g. the UFS directory index) compare epochs to notice
+  // that the backing store may have diverged underneath them. Targeted
+  // InvalidateBlock() calls do NOT advance the epoch: they are issued by
+  // the owning layer for blocks it just freed, so its parsed copies of
+  // *other* blocks remain trustworthy.
   uint64_t epoch() const {
     std::lock_guard<std::mutex> lock(mu_);
     return epoch_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "src/common/serialize.h"
 #include "src/vfs/vnode.h"
@@ -33,6 +34,7 @@ Status SerializeInode(const Inode& inode, uint8_t* out) {
     w.PutU32(d);
   }
   w.PutU32(inode.indirect);
+  w.PutU32(inode.double_indirect);
   w.PutU16(static_cast<uint16_t>(inode.ext.size()));
   buf.insert(buf.end(), inode.ext.begin(), inode.ext.end());
   buf.resize(kInodeSize, 0);
@@ -59,6 +61,7 @@ Status DeserializeInode(const uint8_t* in, Inode& inode) {
     FICUS_ASSIGN_OR_RETURN(d, r.GetU32());
   }
   FICUS_ASSIGN_OR_RETURN(inode.indirect, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(inode.double_indirect, r.GetU32());
   FICUS_ASSIGN_OR_RETURN(uint16_t ext_len, r.GetU16());
   if (ext_len > kMaxInodeExt) {
     return CorruptError("inode extension length out of range");
@@ -73,22 +76,10 @@ Status DeserializeInode(const uint8_t* in, Inode& inode) {
   return OkStatus();
 }
 
-// Directory file format: a sequence of records
-//   u32 ino | u8 type | u16 name_len | name bytes
-std::vector<uint8_t> SerializeDir(const std::vector<UfsDirEntry>& entries) {
-  std::vector<uint8_t> out;
-  ByteWriter w(out);
-  for (const auto& e : entries) {
-    w.PutU32(e.ino);
-    w.PutU8(static_cast<uint8_t>(e.type));
-    w.PutString(e.name);
-  }
-  return out;
-}
-
-StatusOr<std::vector<UfsDirEntry>> DeserializeDir(const std::vector<uint8_t>& data) {
-  std::vector<UfsDirEntry> entries;
-  ByteReader r(data);
+// Parses one flat record run: u32 ino | u8 type | u16 name_len | name.
+// Shared by the legacy whole-file format and the per-bucket record runs
+// of the hashed format.
+Status ParseDirRecords(ByteReader& r, std::vector<UfsDirEntry>& entries) {
   while (!r.AtEnd()) {
     UfsDirEntry e;
     FICUS_ASSIGN_OR_RETURN(e.ino, r.GetU32());
@@ -97,10 +88,195 @@ StatusOr<std::vector<UfsDirEntry>> DeserializeDir(const std::vector<uint8_t>& da
     FICUS_ASSIGN_OR_RETURN(e.name, r.GetString());
     entries.push_back(std::move(e));
   }
+  return OkStatus();
+}
+
+// Serializes entries in the hashed on-disk format (see ufs.h): header,
+// bucket table, then per-bucket record runs.
+std::vector<uint8_t> SerializeDir(const std::vector<UfsDirEntry>& entries) {
+  uint32_t buckets = UfsDirBucketCount(entries.size());
+  std::vector<std::vector<uint8_t>> runs(buckets);
+  for (const auto& e : entries) {
+    ByteWriter w(runs[UfsNameHash(e.name) & (buckets - 1)]);
+    w.PutU32(e.ino);
+    w.PutU8(static_cast<uint8_t>(e.type));
+    w.PutString(e.name);
+  }
+  std::vector<uint8_t> out;
+  ByteWriter w(out);
+  w.PutU32(kUfsDirMagic);
+  w.PutU32(buckets);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  w.PutU32(0);
+  uint32_t offset = 0;
+  for (const auto& run : runs) {
+    w.PutU32(offset);
+    w.PutU32(static_cast<uint32_t>(run.size()));
+    offset += static_cast<uint32_t>(run.size());
+  }
+  for (const auto& run : runs) {
+    out.insert(out.end(), run.begin(), run.end());
+  }
+  return out;
+}
+
+bool IsHashedDir(const std::vector<uint8_t>& data) {
+  if (data.size() < kUfsDirHeaderBytes) {
+    return false;
+  }
+  uint32_t first = 0;
+  std::memcpy(&first, data.data(), 4);
+  return first == kUfsDirMagic;
+}
+
+// Accepts both formats; legacy linear images parse until their next
+// mutation rewrites them hashed.
+StatusOr<std::vector<UfsDirEntry>> DeserializeDir(const std::vector<uint8_t>& data) {
+  std::vector<UfsDirEntry> entries;
+  if (!IsHashedDir(data)) {
+    ByteReader r(data);
+    FICUS_RETURN_IF_ERROR(ParseDirRecords(r, entries));
+    return entries;
+  }
+  ByteReader r(data);
+  FICUS_RETURN_IF_ERROR(r.GetU32().status());  // magic
+  FICUS_ASSIGN_OR_RETURN(uint32_t buckets, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  FICUS_RETURN_IF_ERROR(r.GetU32().status());  // reserved
+  if (buckets == 0 || (buckets & (buckets - 1)) != 0 ||
+      buckets > data.size() / 8 + 1) {
+    return CorruptError("hashed directory bucket count invalid");
+  }
+  size_t record_area = kUfsDirHeaderBytes + static_cast<size_t>(buckets) * 8;
+  if (record_area > data.size()) {
+    return CorruptError("hashed directory bucket table truncated");
+  }
+  std::vector<uint8_t> run;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    FICUS_ASSIGN_OR_RETURN(uint32_t offset, r.GetU32());
+    FICUS_ASSIGN_OR_RETURN(uint32_t length, r.GetU32());
+    if (length == 0) {
+      continue;
+    }
+    if (record_area + offset + length > data.size() || offset + length < offset) {
+      return CorruptError("hashed directory bucket out of range");
+    }
+    run.assign(data.begin() + static_cast<ptrdiff_t>(record_area + offset),
+               data.begin() + static_cast<ptrdiff_t>(record_area + offset + length));
+    ByteReader rr(run);
+    FICUS_RETURN_IF_ERROR(ParseDirRecords(rr, entries));
+  }
+  if (entries.size() != count) {
+    return CorruptError("hashed directory entry count mismatch");
+  }
   return entries;
 }
 
+// Structural validation of one directory image for fsck: both formats
+// must parse, and a hashed image must additionally place every record in
+// the bucket its name hashes to with an honest header count — that is
+// what DirHashLookup's one-bucket read relies on.
+void ValidateDirImage(InodeNum ino, const std::vector<uint8_t>& data,
+                      std::vector<std::string>& problems) {
+  auto report = [&](const std::string& what) {
+    problems.push_back("directory inode " + std::to_string(ino) + ": " + what);
+  };
+  if (!IsHashedDir(data)) {
+    // Legacy linear format: valid as long as it parses (it is upgraded
+    // in place by the next mutation).
+    std::vector<UfsDirEntry> ignored;
+    ByteReader r(data);
+    if (!ParseDirRecords(r, ignored).ok()) {
+      report("legacy records corrupt");
+    }
+    return;
+  }
+  ByteReader r(data);
+  (void)r.GetU32();
+  auto buckets_or = r.GetU32();
+  auto count_or = r.GetU32();
+  (void)r.GetU32();
+  if (!buckets_or.ok() || !count_or.ok()) {
+    report("header truncated");
+    return;
+  }
+  uint32_t buckets = *buckets_or;
+  uint32_t count = *count_or;
+  if (buckets == 0 || (buckets & (buckets - 1)) != 0) {
+    report("bucket count " + std::to_string(buckets) + " is not a power of two");
+    return;
+  }
+  size_t record_area = kUfsDirHeaderBytes + static_cast<size_t>(buckets) * 8;
+  if (record_area > data.size()) {
+    report("bucket table extends past end of file");
+    return;
+  }
+  uint32_t expected_offset = 0;
+  size_t seen = 0;
+  for (uint32_t b = 0; b < buckets; ++b) {
+    auto offset = r.GetU32();
+    auto length = r.GetU32();
+    if (!offset.ok() || !length.ok()) {
+      report("bucket table truncated");
+      return;
+    }
+    if (*offset != expected_offset) {
+      report("bucket " + std::to_string(b) + " offset " + std::to_string(*offset) +
+             " != expected " + std::to_string(expected_offset));
+      return;
+    }
+    if (record_area + *offset + *length > data.size()) {
+      report("bucket " + std::to_string(b) + " run out of range");
+      return;
+    }
+    std::vector<uint8_t> run(
+        data.begin() + static_cast<ptrdiff_t>(record_area + *offset),
+        data.begin() + static_cast<ptrdiff_t>(record_area + *offset + *length));
+    ByteReader rr(run);
+    std::vector<UfsDirEntry> in_bucket;
+    if (!ParseDirRecords(rr, in_bucket).ok()) {
+      report("bucket " + std::to_string(b) + " records corrupt");
+      return;
+    }
+    for (const auto& e : in_bucket) {
+      if ((UfsNameHash(e.name) & (buckets - 1)) != b) {
+        report("entry '" + e.name + "' stored in bucket " + std::to_string(b) +
+               " but hashes to bucket " +
+               std::to_string(UfsNameHash(e.name) & (buckets - 1)));
+      }
+    }
+    seen += in_bucket.size();
+    expected_offset = *offset + *length;
+  }
+  if (record_area + expected_offset != data.size()) {
+    report("record area has " +
+           std::to_string(data.size() - record_area - expected_offset) +
+           " trailing bytes");
+  }
+  if (seen != count) {
+    report("header entry count " + std::to_string(count) + " != stored " +
+           std::to_string(seen));
+  }
+}
+
 }  // namespace
+
+uint32_t UfsNameHash(std::string_view name) {
+  uint32_t h = 2166136261u;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+uint32_t UfsDirBucketCount(size_t entry_count) {
+  uint32_t buckets = 1;
+  while (buckets < 65536 && static_cast<size_t>(buckets) * 8 < entry_count) {
+    buckets <<= 1;
+  }
+  return buckets;
+}
 
 Ufs::Ufs(storage::BufferCache* cache, const Clock* clock) : cache_(cache), clock_(clock) {}
 
@@ -233,10 +409,12 @@ Status Ufs::BitmapSet(uint32_t base, uint32_t index, bool value) {
   return cache_->Write(block, data);
 }
 
-StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
+StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count, uint32_t& hint) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t blocks = DivRoundUp(DivRoundUp(count, 8), kBlockSize);
-  for (uint32_t b = 0; b < blocks; ++b) {
+  const uint32_t start_block = std::min(hint, count - 1) / (kBlockSize * 8);
+  for (uint32_t step = 0; step < blocks; ++step) {
+    uint32_t b = (start_block + step) % blocks;
     std::vector<uint8_t> data;
     FICUS_RETURN_IF_ERROR(cache_->Read(base + b, data));
     for (uint32_t byte = 0; byte < kBlockSize; ++byte) {
@@ -246,9 +424,10 @@ StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
       for (uint32_t bit = 0; bit < 8; ++bit) {
         uint32_t index = b * kBlockSize * 8 + byte * 8 + bit;
         if (index >= count) {
-          return NoSpaceError("bitmap full");
+          break;
         }
         if ((data[byte] >> bit & 1) == 0) {
+          hint = index + 1 < count ? index + 1 : 0;
           return index;
         }
       }
@@ -262,7 +441,8 @@ StatusOr<uint32_t> Ufs::BitmapFindFree(uint32_t base, uint32_t count) {
 StatusOr<InodeNum> Ufs::AllocInode(FileType type, uint32_t mode, uint32_t uid, uint32_t gid) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_RETURN_IF_ERROR(CheckMounted());
-  FICUS_ASSIGN_OR_RETURN(uint32_t ino, BitmapFindFree(sb_.inode_bitmap_start, sb_.inode_count));
+  FICUS_ASSIGN_OR_RETURN(uint32_t ino, BitmapFindFree(sb_.inode_bitmap_start, sb_.inode_count,
+                                                      inode_alloc_hint_));
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, ino, true));
   Inode inode;
   inode.type = type;
@@ -286,6 +466,7 @@ Status Ufs::FreeInode(InodeNum ino) {
   inode.type = FileType::kFree;
   FICUS_RETURN_IF_ERROR(WriteInode(ino, inode));
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.inode_bitmap_start, ino, false));
+  inode_alloc_hint_ = std::min(inode_alloc_hint_, ino);
   ++sb_.free_inodes;
   return WriteSuperBlock();
 }
@@ -339,7 +520,8 @@ Status Ufs::WriteExt(InodeNum ino, const std::vector<uint8_t>& ext) {
 
 StatusOr<uint32_t> Ufs::AllocBlock() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  FICUS_ASSIGN_OR_RETURN(uint32_t block, BitmapFindFree(sb_.block_bitmap_start, sb_.block_count));
+  FICUS_ASSIGN_OR_RETURN(uint32_t block, BitmapFindFree(sb_.block_bitmap_start, sb_.block_count,
+                                                        block_alloc_hint_));
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, block, true));
   std::vector<uint8_t> zero(kBlockSize, 0);
   FICUS_RETURN_IF_ERROR(cache_->Write(block, zero));
@@ -354,6 +536,7 @@ Status Ufs::FreeBlock(uint32_t block) {
     return InternalError("freeing non-data block");
   }
   FICUS_RETURN_IF_ERROR(BitmapSet(sb_.block_bitmap_start, block, false));
+  block_alloc_hint_ = std::min(block_alloc_hint_, block);
   cache_->InvalidateBlock(block);
   ++sb_.free_blocks;
   return WriteSuperBlock();
@@ -373,26 +556,64 @@ StatusOr<uint32_t> Ufs::MapBlock(Inode& inode, uint32_t file_block, bool allocat
     return inode.direct[file_block];
   }
   uint32_t indirect_index = file_block - kDirectBlocks;
-  if (indirect_index >= kPointersPerBlock) {
+  if (indirect_index < kPointersPerBlock) {
+    if (inode.indirect == 0) {
+      if (!allocate) {
+        return uint32_t{0};
+      }
+      FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+      inode.indirect = block;
+      dirty = true;
+    }
+    std::vector<uint8_t> pointers;
+    FICUS_RETURN_IF_ERROR(cache_->Read(inode.indirect, pointers));
+    uint32_t entry = 0;
+    std::memcpy(&entry, pointers.data() + indirect_index * 4, 4);
+    if (entry == 0 && allocate) {
+      FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+      entry = block;
+      std::memcpy(pointers.data() + indirect_index * 4, &entry, 4);
+      FICUS_RETURN_IF_ERROR(cache_->Write(inode.indirect, pointers));
+    }
+    return entry;
+  }
+  // Double-indirect tier: one block of pointers to pointer blocks.
+  uint64_t di_index = static_cast<uint64_t>(indirect_index) - kPointersPerBlock;
+  if (di_index >= static_cast<uint64_t>(kPointersPerBlock) * kPointersPerBlock) {
     return NoSpaceError("file exceeds maximum size");
   }
-  if (inode.indirect == 0) {
+  uint32_t l1_index = static_cast<uint32_t>(di_index / kPointersPerBlock);
+  uint32_t l2_index = static_cast<uint32_t>(di_index % kPointersPerBlock);
+  if (inode.double_indirect == 0) {
     if (!allocate) {
       return uint32_t{0};
     }
     FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
-    inode.indirect = block;
+    inode.double_indirect = block;
     dirty = true;
   }
-  std::vector<uint8_t> pointers;
-  FICUS_RETURN_IF_ERROR(cache_->Read(inode.indirect, pointers));
+  std::vector<uint8_t> l1;
+  FICUS_RETURN_IF_ERROR(cache_->Read(inode.double_indirect, l1));
+  uint32_t l2_block = 0;
+  std::memcpy(&l2_block, l1.data() + l1_index * 4, 4);
+  if (l2_block == 0) {
+    if (!allocate) {
+      return uint32_t{0};
+    }
+    FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
+    l2_block = block;
+    std::memcpy(l1.data() + l1_index * 4, &l2_block, 4);
+    FICUS_RETURN_IF_ERROR(cache_->Write(inode.double_indirect, l1));
+  }
+  std::vector<uint8_t> l2;
+  FICUS_RETURN_IF_ERROR(cache_->Read(l2_block, l2));
   uint32_t entry = 0;
-  std::memcpy(&entry, pointers.data() + indirect_index * 4, 4);
+  std::memcpy(&entry, l2.data() + l2_index * 4, 4);
   if (entry == 0 && allocate) {
     FICUS_ASSIGN_OR_RETURN(uint32_t block, AllocBlock());
     entry = block;
-    std::memcpy(pointers.data() + indirect_index * 4, &entry, 4);
-    FICUS_RETURN_IF_ERROR(cache_->Write(inode.indirect, pointers));
+    std::memcpy(l2.data() + l2_index * 4, &entry, 4);
+    FICUS_RETURN_IF_ERROR(cache_->Write(l2_block, l2));
   }
   return entry;
 }
@@ -477,8 +698,8 @@ Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
   if (new_size > kMaxFileSize) {
     return NoSpaceError("truncate exceeds maximum file size");
   }
-  uint32_t keep_blocks = static_cast<uint32_t>(DivRoundUp(
-      static_cast<uint32_t>(std::min<uint64_t>(new_size, kMaxFileSize)), kBlockSize));
+  uint64_t keep_blocks =
+      (std::min<uint64_t>(new_size, kMaxFileSize) + kBlockSize - 1) / kBlockSize;
   // Free direct blocks beyond the boundary.
   for (uint32_t i = keep_blocks; i < kDirectBlocks; ++i) {
     if (inode.direct[i] != 0) {
@@ -513,6 +734,58 @@ Status Ufs::Truncate(InodeNum ino, uint64_t new_size) {
       inode.indirect = 0;
     } else if (changed) {
       FICUS_RETURN_IF_ERROR(cache_->Write(inode.indirect, pointers));
+    }
+  }
+  // Free double-indirect-mapped blocks beyond the boundary.
+  if (inode.double_indirect != 0) {
+    std::vector<uint8_t> l1;
+    FICUS_RETURN_IF_ERROR(cache_->Read(inode.double_indirect, l1));
+    bool l1_any_kept = false;
+    bool l1_changed = false;
+    for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+      uint32_t l2_block = 0;
+      std::memcpy(&l2_block, l1.data() + i * 4, 4);
+      if (l2_block == 0) {
+        continue;
+      }
+      std::vector<uint8_t> l2;
+      FICUS_RETURN_IF_ERROR(cache_->Read(l2_block, l2));
+      bool l2_any_kept = false;
+      bool l2_changed = false;
+      for (uint32_t j = 0; j < kPointersPerBlock; ++j) {
+        uint32_t entry = 0;
+        std::memcpy(&entry, l2.data() + j * 4, 4);
+        if (entry == 0) {
+          continue;
+        }
+        uint64_t file_block = static_cast<uint64_t>(kDirectBlocks) + kPointersPerBlock +
+                              static_cast<uint64_t>(i) * kPointersPerBlock + j;
+        if (file_block >= keep_blocks) {
+          FICUS_RETURN_IF_ERROR(FreeBlock(entry));
+          entry = 0;
+          std::memcpy(l2.data() + j * 4, &entry, 4);
+          l2_changed = true;
+        } else {
+          l2_any_kept = true;
+        }
+      }
+      if (!l2_any_kept) {
+        FICUS_RETURN_IF_ERROR(FreeBlock(l2_block));
+        l2_block = 0;
+        std::memcpy(l1.data() + i * 4, &l2_block, 4);
+        l1_changed = true;
+      } else {
+        if (l2_changed) {
+          FICUS_RETURN_IF_ERROR(cache_->Write(l2_block, l2));
+        }
+        l1_any_kept = true;
+      }
+    }
+    if (!l1_any_kept) {
+      FICUS_RETURN_IF_ERROR(FreeBlock(inode.double_indirect));
+      inode.double_indirect = 0;
+    } else if (l1_changed) {
+      FICUS_RETURN_IF_ERROR(cache_->Write(inode.double_indirect, l1));
     }
   }
   // Zero the tail of the final kept block so a later extension reads
@@ -563,26 +836,27 @@ StatusOr<std::vector<UfsDirEntry>> Ufs::CachedDirEntries(InodeNum dir, const Ino
   std::lock_guard<std::recursive_mutex> lock(mu_);
   SyncDirIndexEpoch();
   auto it = dir_index_.find(dir);
-  if (it != dir_index_.end() && it->second.mtime == inode.mtime &&
-      it->second.size == inode.size) {
+  if (it != dir_index_.end()) {
     return it->second.entries;
   }
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, ReadAll(dir));
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DeserializeDir(data));
   if (inode.type == FileType::kDirectory) {
-    if (dir_index_.size() >= kMaxDirIndexEntries) {
-      dir_index_.erase(dir_index_.begin());
-    }
-    dir_index_[dir] = CachedDirIndex{inode.mtime, inode.size, entries};
+    RememberDirIndex(dir, entries);
   }
   return entries;
 }
 
 void Ufs::SyncDirIndexEpoch() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  // A buffer-cache invalidation means the device may have diverged from
-  // everything we have parsed (crash simulation, external mutation); the
-  // (mtime, size) stamp cannot be trusted across it, so drop the index.
+  // A full buffer-cache invalidation means the device may have diverged
+  // from everything we have parsed (crash simulation, external mutation),
+  // so drop the index wholesale. This epoch — not a per-entry
+  // (mtime, size) stamp — is what keys the index: under the simulated
+  // clock a same-tick, same-size rewrite leaves mtime and size untouched,
+  // so a stamp cannot distinguish fresh contents from stale ones. Local
+  // mutations stay correct because WriteAt/Truncate erase the entry and
+  // WriteDirEntries re-stamps it.
   if (cache_->epoch() != dir_index_epoch_) {
     dir_index_.clear();
     dir_index_epoch_ = cache_->epoch();
@@ -592,14 +866,16 @@ void Ufs::SyncDirIndexEpoch() {
 void Ufs::RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   SyncDirIndexEpoch();
-  auto inode = ReadInode(dir);
-  if (!inode.ok() || inode->type != FileType::kDirectory) {
-    return;
-  }
   if (dir_index_.size() >= kMaxDirIndexEntries) {
     dir_index_.erase(dir_index_.begin());
   }
-  dir_index_[dir] = CachedDirIndex{inode->mtime, inode->size, entries};
+  CachedDirIndex index;
+  index.entries = entries;
+  index.by_name.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    index.by_name.emplace(entries[i].name, i);
+  }
+  dir_index_[dir] = std::move(index);
 }
 
 Status Ufs::WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entries) {
@@ -617,8 +893,69 @@ StatusOr<InodeNum> Ufs::DirLookup(InodeNum dir, std::string_view name) {
   if (inode.type != FileType::kDirectory) {
     return NotDirError("DirLookup on non-directory inode");
   }
+  SyncDirIndexEpoch();
+  auto it = dir_index_.find(dir);
+  if (it != dir_index_.end()) {
+    auto hit = it->second.by_name.find(std::string(name));
+    if (hit == it->second.by_name.end()) {
+      return NotFoundError(std::string(name));
+    }
+    return it->second.entries[hit->second].ino;
+  }
+  // Cold: a hashed directory answers from one bucket (three short reads)
+  // without parsing — O(1) even at 100k entries. Legacy images take the
+  // full parse below, which also warms the index.
+  auto fast = DirHashLookup(dir, inode, name);
+  if (fast.status().code() != ErrorCode::kNotSupported) {
+    return fast;
+  }
   FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir, inode));
   for (const auto& e : entries) {
+    if (e.name == name) {
+      return e.ino;
+    }
+  }
+  return NotFoundError(std::string(name));
+}
+
+StatusOr<InodeNum> Ufs::DirHashLookup(InodeNum dir, const Inode& inode,
+                                      std::string_view name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (inode.size < kUfsDirHeaderBytes) {
+    return NotSupportedError("directory too small for hashed format");
+  }
+  std::vector<uint8_t> header;
+  FICUS_RETURN_IF_ERROR(ReadAt(dir, 0, kUfsDirHeaderBytes, header).status());
+  ByteReader hr(header);
+  FICUS_ASSIGN_OR_RETURN(uint32_t magic, hr.GetU32());
+  if (magic != kUfsDirMagic) {
+    return NotSupportedError("legacy directory format");
+  }
+  FICUS_ASSIGN_OR_RETURN(uint32_t buckets, hr.GetU32());
+  if (buckets == 0 || (buckets & (buckets - 1)) != 0) {
+    return CorruptError("hashed directory bucket count invalid");
+  }
+  uint32_t bucket = UfsNameHash(name) & (buckets - 1);
+  std::vector<uint8_t> slot;
+  FICUS_RETURN_IF_ERROR(
+      ReadAt(dir, kUfsDirHeaderBytes + static_cast<uint64_t>(bucket) * 8, 8, slot)
+          .status());
+  ByteReader sr(slot);
+  FICUS_ASSIGN_OR_RETURN(uint32_t offset, sr.GetU32());
+  FICUS_ASSIGN_OR_RETURN(uint32_t length, sr.GetU32());
+  if (length == 0) {
+    return NotFoundError(std::string(name));
+  }
+  uint64_t record_area = kUfsDirHeaderBytes + static_cast<uint64_t>(buckets) * 8;
+  if (record_area + offset + length > inode.size) {
+    return CorruptError("hashed directory bucket out of range");
+  }
+  std::vector<uint8_t> run;
+  FICUS_RETURN_IF_ERROR(ReadAt(dir, record_area + offset, length, run).status());
+  std::vector<UfsDirEntry> in_bucket;
+  ByteReader rr(run);
+  FICUS_RETURN_IF_ERROR(ParseDirRecords(rr, in_bucket));
+  for (const auto& e : in_bucket) {
     if (e.name == name) {
       return e.ino;
     }
@@ -717,6 +1054,64 @@ StatusOr<InodeNum> Ufs::CreateFile(InodeNum dir, std::string_view name, FileType
   return ino;
 }
 
+StatusOr<std::vector<InodeNum>> Ufs::CreateFiles(InodeNum dir,
+                                                 const std::vector<std::string>& names,
+                                                 FileType type, uint32_t mode, uint32_t uid,
+                                                 uint32_t gid) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  if (type == FileType::kDirectory) {
+    // Directories need per-entry nlink bookkeeping; batch callers create
+    // them through CreateFile.
+    return InvalidArgumentError("CreateFiles only creates non-directory inodes");
+  }
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(dir));
+  if (inode.type != FileType::kDirectory) {
+    return NotDirError("CreateFiles on non-directory inode");
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, CachedDirEntries(dir, inode));
+  {
+    // Views into `entries`/`names` are only safe while neither mutates;
+    // all validation completes before the allocation loop below appends.
+    std::unordered_set<std::string_view> taken;
+    taken.reserve(entries.size() + names.size());
+    for (const auto& e : entries) {
+      taken.insert(std::string_view(e.name));
+    }
+    for (const auto& name : names) {
+      if (name.empty() || name.size() > vfs::kMaxComponentLength ||
+          name.find('/') != std::string_view::npos) {
+        return InvalidArgumentError("bad directory entry name");
+      }
+      if (!taken.insert(std::string_view(name)).second) {
+        return ExistsError(name);
+      }
+    }
+  }
+  std::vector<InodeNum> created;
+  created.reserve(names.size());
+  entries.reserve(entries.size() + names.size());
+  for (const auto& name : names) {
+    auto ino = AllocInode(type, mode, uid, gid);
+    if (!ino.ok()) {
+      for (InodeNum undo : created) {
+        (void)FreeInode(undo);
+      }
+      return ino.status();
+    }
+    entries.push_back(UfsDirEntry{name, *ino, type});
+    created.push_back(*ino);
+  }
+  Status wrote = WriteDirEntries(dir, entries);
+  if (!wrote.ok()) {
+    for (InodeNum undo : created) {
+      (void)FreeInode(undo);
+    }
+    return wrote;
+  }
+  return created;
+}
+
 Status Ufs::Unlink(InodeNum dir, std::string_view name) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   FICUS_ASSIGN_OR_RETURN(InodeNum ino, DirLookup(dir, name));
@@ -807,9 +1202,42 @@ StatusOr<std::vector<std::string>> Ufs::Check() {
         use_block(entry);
       }
     }
-    // Directory contents reference inodes.
+    if (inode.double_indirect != 0) {
+      use_block(inode.double_indirect);
+      std::vector<uint8_t> l1;
+      FICUS_RETURN_IF_ERROR(cache_->Read(inode.double_indirect, l1));
+      for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        uint32_t l2_block = 0;
+        std::memcpy(&l2_block, l1.data() + i * 4, 4);
+        if (l2_block == 0) {
+          continue;
+        }
+        use_block(l2_block);
+        if (l2_block < sb_.data_start || l2_block >= sb_.block_count) {
+          continue;
+        }
+        std::vector<uint8_t> l2;
+        FICUS_RETURN_IF_ERROR(cache_->Read(l2_block, l2));
+        for (uint32_t j = 0; j < kPointersPerBlock; ++j) {
+          uint32_t entry = 0;
+          std::memcpy(&entry, l2.data() + j * 4, 4);
+          use_block(entry);
+        }
+      }
+    }
+    // Directory contents reference inodes. Validate the on-disk image
+    // structurally (hashed header honest, records in the right buckets)
+    // before trusting its parse.
     if (inode.type == FileType::kDirectory) {
-      FICUS_ASSIGN_OR_RETURN(std::vector<UfsDirEntry> entries, DirList(ino));
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, ReadAll(ino));
+      ValidateDirImage(ino, raw, problems);
+      auto entries_or = DeserializeDir(raw);
+      if (!entries_or.ok()) {
+        problems.push_back("directory inode " + std::to_string(ino) +
+                           " unparsable: " + entries_or.status().ToString());
+        continue;
+      }
+      const std::vector<UfsDirEntry>& entries = *entries_or;
       for (const auto& e : entries) {
         if (e.ino == kInvalidInode || e.ino >= sb_.inode_count) {
           problems.push_back("directory inode " + std::to_string(ino) +

@@ -11,8 +11,12 @@
 //   [bb .. data)           inode table (256-byte inodes, 16 per block)
 //   [data .. end)          data blocks
 //
-// Files use 12 direct block pointers plus one single-indirect block
-// (1024 pointers), for a maximum file size of (12 + 1024) * 4 KiB ≈ 4 MiB.
+// Files use 12 direct block pointers, one single-indirect block
+// (1024 pointers), and one double-indirect block (1024 pointer blocks),
+// for a maximum file size of (12 + 1024 + 1024²) * 4 KiB ≈ 4 GiB. The
+// double-indirect tier exists for the Ficus physical layer's directory
+// blobs: a 10⁶-entry replicated directory serializes to tens of MiB,
+// far past what direct + single-indirect addressing covers.
 // Directories store variable-length {inode, type, name} records in their
 // data blocks, exactly like a file.
 //
@@ -29,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -46,7 +51,9 @@ constexpr uint32_t kInodesPerBlock = storage::kBlockSize / kInodeSize;
 constexpr uint32_t kDirectBlocks = 12;
 constexpr uint32_t kPointersPerBlock = storage::kBlockSize / sizeof(uint32_t);
 constexpr uint64_t kMaxFileSize =
-    static_cast<uint64_t>(kDirectBlocks + kPointersPerBlock) * storage::kBlockSize;
+    static_cast<uint64_t>(kDirectBlocks + kPointersPerBlock +
+                          static_cast<uint64_t>(kPointersPerBlock) * kPointersPerBlock) *
+    storage::kBlockSize;
 constexpr uint32_t kUfsMagic = 0xF1C05000;
 
 enum class FileType : uint8_t {
@@ -68,13 +75,14 @@ struct Inode {
   SimTime ctime = 0;
   uint32_t direct[kDirectBlocks] = {};
   uint32_t indirect = 0;
+  uint32_t double_indirect = 0;
   // Opaque client extension area (see kMaxInodeExt).
   std::vector<uint8_t> ext;
 };
 
-// Fixed on-disk inode fields occupy 93 bytes; a 2-byte length prefix and
+// Fixed on-disk inode fields occupy 97 bytes; a 2-byte length prefix and
 // the extension share the rest of the 256-byte inode.
-constexpr uint32_t kMaxInodeExt = kInodeSize - 93 - 2;
+constexpr uint32_t kMaxInodeExt = kInodeSize - 97 - 2;
 
 // One directory record as returned by DirList.
 struct UfsDirEntry {
@@ -82,6 +90,32 @@ struct UfsDirEntry {
   InodeNum ino = kInvalidInode;
   FileType type = FileType::kRegular;
 };
+
+// On-disk directory format. Directories written before the hashed format
+// existed are flat record sequences ("legacy"); everything written since
+// leads with kUfsDirMagic and carries a bucket table so one component
+// lookup touches one bucket instead of scanning 100k records. The upgrade
+// is transparent: legacy images parse fine and are rewritten hashed by
+// their next mutation.
+//
+//   u32 magic = kUfsDirMagic
+//   u32 bucket_count          (power of two)
+//   u32 entry_count
+//   u32 reserved (0)
+//   bucket_count x { u32 offset, u32 length }   bucket table; offsets are
+//                                               relative to the record area
+//   record area: per-bucket runs of records
+//       u32 ino | u8 type | u16 name_len | name
+//
+// Legacy records are the same u32-led shape; the magic is far above any
+// valid inode number, so the first word disambiguates the two formats.
+constexpr uint32_t kUfsDirMagic = 0xF1C0D1E5;
+constexpr uint32_t kUfsDirHeaderBytes = 16;
+
+// FNV-1a over the component name; bucket = hash & (bucket_count - 1).
+uint32_t UfsNameHash(std::string_view name);
+// Power-of-two bucket count targeting ~8 entries per bucket.
+uint32_t UfsDirBucketCount(size_t entry_count);
 
 struct SuperBlock {
   uint32_t magic = kUfsMagic;
@@ -163,6 +197,17 @@ class Ufs {
   // Creates a file/directory/symlink under `dir`. Returns the new inode.
   StatusOr<InodeNum> CreateFile(InodeNum dir, std::string_view name, FileType type,
                                 uint32_t mode, uint32_t uid, uint32_t gid);
+  // Batch creation of non-directory files under one parent: allocates
+  // every inode, then rewrites the directory once. Per-name CreateFile
+  // rewrites the whole directory file each call, which makes populating
+  // an N-entry directory O(N^2) in serialized bytes; this is the O(N)
+  // path bulk writers (replica propagation, CreateChildren) should use.
+  // All-or-nothing: any bad or duplicate name fails the whole batch
+  // before storage is touched.
+  StatusOr<std::vector<InodeNum>> CreateFiles(InodeNum dir,
+                                              const std::vector<std::string>& names,
+                                              FileType type, uint32_t mode, uint32_t uid,
+                                              uint32_t gid);
   // Unlinks name from dir; frees the inode when nlink drops to zero.
   Status Unlink(InodeNum dir, std::string_view name);
 
@@ -189,22 +234,29 @@ class Ufs {
   Status FreeBlock(uint32_t block);
 
   // Bitmap helpers: index is an inode/block ordinal; base is the bitmap's
-  // first device block.
+  // first device block. `hint` is an allocation rotor (first ordinal that
+  // might be free): FindFree starts its scan at the hint's bitmap block
+  // and wraps, advancing the rotor past the bit it hands out — without it
+  // every allocation rescans the bitmap's used prefix, turning an
+  // N-file population into O(N^2) bitmap block reads. Frees lower the
+  // rotor so the scan stays exhaustive.
   StatusOr<bool> BitmapGet(uint32_t base, uint32_t index);
   Status BitmapSet(uint32_t base, uint32_t index, bool value);
-  StatusOr<uint32_t> BitmapFindFree(uint32_t base, uint32_t count);
+  StatusOr<uint32_t> BitmapFindFree(uint32_t base, uint32_t count, uint32_t& hint);
 
   // Maps a file block ordinal to a device block, optionally allocating.
   StatusOr<uint32_t> MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty);
 
   // --- parsed-directory index ---
   // Every DirLookup/DirAdd/DirRemove used to re-read and re-parse the
-  // whole directory file; this per-inode index keeps the parsed entries,
-  // validated by the inode's (mtime, size) stamp and erased outright by
-  // any data mutation (WriteAt/Truncate), mirroring the physical layer's
-  // generation-validated dir_cache_.
-  // Drops the whole index if the buffer cache has been invalidated since
-  // we last looked (the device may have diverged, e.g. crash simulation).
+  // whole directory file; this per-inode index keeps the parsed entries
+  // plus a name map for O(1) warm lookups. An index entry is valid by
+  // construction: every local data mutation (WriteAt/Truncate) erases it,
+  // directory writers re-stamp it, and the whole index is keyed on the
+  // buffer cache's invalidation epoch so an external device divergence
+  // (crash simulation, remount) drops it wholesale. The previous
+  // (mtime, size) stamp is gone — it could not tell a same-tick,
+  // same-size rewrite from the cached state under the simulated clock.
   void SyncDirIndexEpoch();
   StatusOr<std::vector<UfsDirEntry>> CachedDirEntries(InodeNum dir);
   // Overload for callers that already read the inode (saves a re-read).
@@ -214,10 +266,16 @@ class Ufs {
   Status WriteDirEntries(InodeNum dir, const std::vector<UfsDirEntry>& entries);
   void RememberDirIndex(InodeNum dir, const std::vector<UfsDirEntry>& entries);
 
+  // Targeted one-bucket lookup against the hashed on-disk format, used
+  // when the index is cold so a 100k-entry directory costs three short
+  // reads instead of a full parse. kNotSupported = legacy format (caller
+  // falls back to a full parse), kNotFound = name absent.
+  StatusOr<InodeNum> DirHashLookup(InodeNum dir, const Inode& inode, std::string_view name);
+
   struct CachedDirIndex {
-    SimTime mtime = 0;
-    uint64_t size = 0;
     std::vector<UfsDirEntry> entries;
+    // name -> index into entries; rebuilt whenever entries are (re)stamped.
+    std::unordered_map<std::string, size_t> by_name;
   };
   std::map<InodeNum, CachedDirIndex> dir_index_;
   uint64_t dir_index_epoch_ = 0;
@@ -228,6 +286,10 @@ class Ufs {
   const Clock* clock_;
   SuperBlock sb_;
   bool mounted_ = false;
+  // Allocation rotors (see BitmapFindFree). Reset at mount; purely an
+  // in-memory scan accelerator, never persisted.
+  uint32_t inode_alloc_hint_ = 0;
+  uint32_t block_alloc_hint_ = 0;
 };
 
 }  // namespace ficus::ufs

@@ -58,6 +58,10 @@ StatusOr<std::vector<DirEntry>> PassThroughVnode::Readdir(const OpContext& ctx) 
   return lower_->Readdir(ctx);
 }
 
+StatusOr<std::vector<DirEntryPlus>> PassThroughVnode::ReaddirPlus(const OpContext& ctx) {
+  return lower_->ReaddirPlus(ctx);
+}
+
 StatusOr<VnodePtr> PassThroughVnode::Symlink(std::string_view name, std::string_view target,
                                              const OpContext& ctx) {
   FICUS_ASSIGN_OR_RETURN(VnodePtr child, lower_->Symlink(name, target, ctx));

@@ -42,6 +42,8 @@ std::string_view VnodeOpName(VnodeOp op) {
       return "fsync";
     case VnodeOp::kIoctl:
       return "ioctl";
+    case VnodeOp::kReaddirPlus:
+      return "readdirplus";
     case VnodeOp::kCount:
       break;
   }
@@ -167,6 +169,10 @@ Status StatsVnode::Rename(std::string_view old_name, const VnodePtr& new_parent,
 
 StatusOr<std::vector<DirEntry>> StatsVnode::Readdir(const OpContext& ctx) {
   return Count(VnodeOp::kReaddir, PassThroughVnode::Readdir(ctx));
+}
+
+StatusOr<std::vector<DirEntryPlus>> StatsVnode::ReaddirPlus(const OpContext& ctx) {
+  return Count(VnodeOp::kReaddirPlus, PassThroughVnode::ReaddirPlus(ctx));
 }
 
 StatusOr<VnodePtr> StatsVnode::Symlink(std::string_view name, std::string_view target,

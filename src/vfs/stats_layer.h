@@ -35,6 +35,7 @@ enum class VnodeOp : size_t {
   kWrite,
   kFsync,
   kIoctl,
+  kReaddirPlus,
   kCount,  // sentinel
 };
 
@@ -93,6 +94,7 @@ class StatsVnode : public PassThroughVnode {
   Status Rename(std::string_view old_name, const VnodePtr& new_parent,
                 std::string_view new_name, const OpContext& ctx) override;
   StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx) override;
+  StatusOr<std::vector<DirEntryPlus>> ReaddirPlus(const OpContext& ctx) override;
   StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
                              const OpContext& ctx) override;
   StatusOr<std::string> Readlink(const OpContext& ctx) override;

@@ -123,6 +123,10 @@ StatusOr<std::vector<DirEntry>> TraceVnode::Readdir(const OpContext& ctx) {
   FICUS_TRACE_OP(VnodeOp::kReaddir, lower_->Readdir(ctx));
 }
 
+StatusOr<std::vector<DirEntryPlus>> TraceVnode::ReaddirPlus(const OpContext& ctx) {
+  FICUS_TRACE_OP(VnodeOp::kReaddirPlus, lower_->ReaddirPlus(ctx));
+}
+
 StatusOr<VnodePtr> TraceVnode::Symlink(std::string_view name, std::string_view target,
                                        const OpContext& ctx) {
   uint64_t start = NowNs();

@@ -49,6 +49,28 @@ StatusOr<std::vector<DirEntry>> Vnode::Readdir(const OpContext&) {
   return Unsupported("readdir");
 }
 
+StatusOr<std::vector<DirEntryPlus>> Vnode::ReaddirPlus(const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, Readdir(ctx));
+  std::vector<DirEntryPlus> out;
+  out.reserve(entries.size());
+  for (auto& entry : entries) {
+    DirEntryPlus row;
+    row.entry = std::move(entry);
+    auto child = Lookup(row.entry.name, ctx);
+    if (child.ok()) {
+      auto attr = child.value()->GetAttr(ctx);
+      row.attr_status = attr.status();
+      if (attr.ok()) {
+        row.attr = attr.value();
+      }
+    } else {
+      row.attr_status = child.status();
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 StatusOr<VnodePtr> Vnode::Symlink(std::string_view, std::string_view, const OpContext&) {
   return Unsupported("symlink");
 }

@@ -80,6 +80,17 @@ struct DirEntry {
   VnodeType type = VnodeType::kRegular;
 };
 
+// One row of a ReaddirPlus listing: the entry plus the child's
+// attributes, so an `ls -l`-shaped scan needs one call per directory
+// instead of one Readdir plus one GetAttr per child. `attr` is
+// meaningful only when `attr_status` is ok — a layer may be able to list
+// a child it cannot currently stat (e.g. an unreachable replica).
+struct DirEntryPlus {
+  DirEntry entry;
+  Status attr_status = OkStatus();
+  VAttr attr;
+};
+
 // Open mode bits (OR-able).
 enum OpenFlags : uint32_t {
   kOpenRead = 1u << 0,
@@ -150,6 +161,12 @@ class Vnode {
   virtual Status Rename(std::string_view old_name, const VnodePtr& new_parent,
                         std::string_view new_name, const OpContext& ctx);
   virtual StatusOr<std::vector<DirEntry>> Readdir(const OpContext& ctx);
+  // Batched readdir + getattr. The default composes Readdir with one
+  // Lookup + GetAttr per entry — correct for any directory vnode, with
+  // the same N+1 cost the batch exists to avoid; layers that can do
+  // better (NFS client: one RPC per page; Ficus logical: one physical
+  // ReadDirPlus) override it.
+  virtual StatusOr<std::vector<DirEntryPlus>> ReaddirPlus(const OpContext& ctx);
   virtual StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
                                      const OpContext& ctx);
   virtual StatusOr<std::string> Readlink(const OpContext& ctx);

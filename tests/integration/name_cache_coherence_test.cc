@@ -1,0 +1,140 @@
+// Name-cache coherence end to end: negative and positive bindings cached
+// on one host must die when the directory's version vector advances from
+// the other side — via propagation, partition-heal reconciliation, or a
+// lossy network — so after convergence every host's cached lookups agree
+// with the converged directory. Runs under both runtimes (the cache is
+// sharded and locked for the threaded one) and under a Lossy fault plan.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/net/fault.h"
+#include "src/repl/logical.h"
+#include "src/repl/name_cache.h"
+#include "src/sim/cluster.h"
+#include "src/vfs/path_ops.h"
+
+namespace ficus::sim {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+void RunCoherenceScenario(RuntimeMode mode, bool lossy) {
+  RuntimeOptions options;
+  options.mode = mode;
+  Cluster cluster(options);
+  HostConfig config;
+  if (lossy) {
+    // Same patience the fault tier uses: cheap per-attempt timeouts and
+    // retries, so dropped messages cost simulated time rather than truth.
+    config.transport_retry.rpc_timeout = 20 * kMillisecond;
+    config.transport_retry.backoff_base = 10 * kMillisecond;
+    config.transport_retry.retry_unreachable = true;
+    config.transport_retry.rng_seed = kSeed;
+    config.propagation.retry_backoff_base = 250 * kMillisecond;
+  }
+  FicusHost* a = cluster.AddHost("a", config);
+  FicusHost* b = cluster.AddHost("b", config);
+  FicusHost* c = cluster.AddHost("c", config);
+  auto volume = cluster.CreateVolume({a, b, c});
+  ASSERT_TRUE(volume.ok()) << volume.status().ToString();
+  auto la = cluster.MountEverywhere(a, volume.value());
+  auto lb = cluster.MountEverywhere(b, volume.value());
+  auto lc = cluster.MountEverywhere(c, volume.value());
+  ASSERT_TRUE(la.ok() && lb.ok() && lc.ok());
+  if (lossy) {
+    cluster.InstallFaultPlan(net::FaultPlan::Lossy(kSeed));
+  }
+
+  // Cache "fN is absent" on b before the names exist anywhere.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(vfs::Exists(lb.value(), "f" + std::to_string(i)));
+  }
+  // Birth on a: the creations advance the root vector at a's replica, so
+  // b's negatives must die by vector mismatch once the update arrives —
+  // no logical-layer shootdown ever runs on b.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        vfs::WriteFileAt(la.value(), "f" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    cluster.network().FlushDeferredDatagrams();
+    (void)cluster.RunPropagationEverywhere();  // lossy failures retry later
+    cluster.Sleep(kSecond);
+  }
+  // Warm positive bindings everywhere (whatever each replica knows so far).
+  for (int i = 0; i < 6; ++i) {
+    (void)vfs::Exists(lb.value(), "f" + std::to_string(i));
+    (void)vfs::Exists(lc.value(), "f" + std::to_string(i));
+  }
+
+  // Cross-directional churn: a removes and renames while c is partitioned
+  // away caching stale bindings of both polarities.
+  cluster.Partition({{a, b}, {c}});
+  ASSERT_TRUE(vfs::RemovePath(la.value(), "f0").ok());
+  ASSERT_TRUE(vfs::RenamePath(la.value(), "f1", "g1").ok());
+  ASSERT_TRUE(vfs::WriteFileAt(la.value(), "f6", "late").ok());
+  (void)vfs::Exists(lc.value(), "f6");  // caches "f6 is absent" on c
+  (void)vfs::Exists(lc.value(), "f0");  // caches the doomed positive on c
+  cluster.Heal();
+  cluster.ClearFaults();
+
+  // Drain retry backoff, then propagate and reconcile to quiescence.
+  cluster.Sleep(60 * kSecond);
+  for (int pass = 0; pass < 4; ++pass) {
+    cluster.network().FlushDeferredDatagrams();
+    (void)cluster.RunPropagationEverywhere();
+    cluster.Sleep(kSecond);
+  }
+  auto rounds = cluster.ReconcileUntilQuiescent(32);
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+
+  // Converged truth straight from a's raw replica, bypassing every cache.
+  repl::PhysicalLayer* raw = a->registry().LocalReplica(volume.value());
+  ASSERT_NE(raw, nullptr);
+  auto entries = raw->ReadDirectory(repl::kRootFileId);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  std::set<std::string> alive;
+  for (const repl::FicusDirEntry& entry : entries.value()) {
+    if (entry.alive) alive.insert(entry.name);
+  }
+
+  // Every host's cached name resolution must now match that truth; a
+  // disagreement is a stale binding that survived the merge.
+  const std::string names[] = {"f0", "f1", "f2", "f3", "f4", "f5", "f6", "g1"};
+  struct Mount {
+    const char* host;
+    repl::LogicalLayer* logical;
+  } mounts[] = {{"a", la.value()}, {"b", lb.value()}, {"c", lc.value()}};
+  for (const Mount& mount : mounts) {
+    for (const std::string& name : names) {
+      EXPECT_EQ(vfs::Exists(mount.logical, name), alive.count(name) != 0)
+          << "host " << mount.host << " disagrees with the converged directory about '"
+          << name << "'";
+    }
+  }
+  // The assertions above must have gone through the cache, not around it.
+  repl::NameCacheStats stats = lb.value()->name_cache()->stats();
+  EXPECT_GT(stats.hits + stats.neg_hits, 0u) << "name cache never produced a hit on b";
+  EXPECT_GT(stats.invalidates, 0u) << "no binding on b was ever invalidated";
+}
+
+TEST(NameCacheCoherenceTest, DeterministicRuntime) {
+  RunCoherenceScenario(RuntimeMode::kDeterministic, /*lossy=*/false);
+}
+
+TEST(NameCacheCoherenceTest, ThreadedRuntime) {
+  RunCoherenceScenario(RuntimeMode::kThreaded, /*lossy=*/false);
+}
+
+TEST(NameCacheCoherenceTest, DeterministicRuntimeLossyNetwork) {
+  RunCoherenceScenario(RuntimeMode::kDeterministic, /*lossy=*/true);
+}
+
+TEST(NameCacheCoherenceTest, ThreadedRuntimeLossyNetwork) {
+  RunCoherenceScenario(RuntimeMode::kThreaded, /*lossy=*/true);
+}
+
+}  // namespace
+}  // namespace ficus::sim

@@ -1,0 +1,209 @@
+// The dnlc invalidation contract (name_cache.h): positive and negative
+// bindings die on the precise shootdowns the mutation paths issue, and —
+// the replicated-FS half — on any version-vector advance of the
+// directory, however it arrives (direct remote write, propagation,
+// reconcile merge).
+#include "src/repl/name_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repl/logical.h"
+#include "src/vfs/path_ops.h"
+#include "tests/repl/replica_fixture.h"
+
+namespace ficus::repl {
+namespace {
+
+using vfs::VnodePtr;
+
+VersionVector Vv(ReplicaId replica, int ticks) {
+  VersionVector vv;
+  for (int i = 0; i < ticks; ++i) {
+    vv.Increment(replica);
+  }
+  return vv;
+}
+
+TEST(NameCacheUnit, PositiveHitReturnsBinding) {
+  NameCache cache;
+  FileId dir{1, 10};
+  FileId child{1, 11};
+  cache.EnterPositive(dir, "f", Vv(1, 1), child, FicusFileType::kRegular);
+  auto hit = cache.Lookup(dir, "f", Vv(1, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->negative);
+  EXPECT_EQ(hit->file, child);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(NameCacheUnit, NegativeHitIsKnownAbsent) {
+  NameCache cache;
+  FileId dir{1, 10};
+  cache.EnterNegative(dir, "missing", Vv(1, 1));
+  auto hit = cache.Lookup(dir, "missing", Vv(1, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_EQ(cache.stats().neg_hits, 1u);
+}
+
+TEST(NameCacheUnit, VectorMismatchDropsEntryAndMisses) {
+  NameCache cache;
+  FileId dir{1, 10};
+  cache.EnterPositive(dir, "f", Vv(1, 1), FileId{1, 11}, FicusFileType::kRegular);
+  // The directory moved on (one more update at replica 2): stale binding.
+  VersionVector newer = Vv(1, 1);
+  newer.Increment(2);
+  EXPECT_FALSE(cache.Lookup(dir, "f", newer).has_value());
+  EXPECT_EQ(cache.stats().invalidates, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NameCacheUnit, InvalidateTargetsOneBinding) {
+  NameCache cache;
+  FileId dir{1, 10};
+  cache.EnterPositive(dir, "a", Vv(1, 1), FileId{1, 11}, FicusFileType::kRegular);
+  cache.EnterPositive(dir, "b", Vv(1, 1), FileId{1, 12}, FicusFileType::kRegular);
+  cache.Invalidate(dir, "a");
+  EXPECT_FALSE(cache.Lookup(dir, "a", Vv(1, 1)).has_value());
+  EXPECT_TRUE(cache.Lookup(dir, "b", Vv(1, 1)).has_value());
+  EXPECT_EQ(cache.stats().invalidates, 1u);
+  // Invalidating an absent binding is not charged.
+  cache.Invalidate(dir, "never-cached");
+  EXPECT_EQ(cache.stats().invalidates, 1u);
+}
+
+TEST(NameCacheUnit, InvalidateDirSweepsEveryBinding) {
+  NameCache cache;
+  FileId dir{1, 10};
+  FileId other{1, 20};
+  for (int i = 0; i < 64; ++i) {
+    cache.EnterPositive(dir, "f" + std::to_string(i), Vv(1, 1),
+                        FileId{1, static_cast<uint32_t>(100 + i)},
+                        FicusFileType::kRegular);
+  }
+  cache.EnterPositive(other, "kept", Vv(1, 1), FileId{1, 200}, FicusFileType::kRegular);
+  cache.InvalidateDir(dir);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup(other, "kept", Vv(1, 1)).has_value());
+  EXPECT_EQ(cache.stats().invalidates, 64u);
+}
+
+TEST(NameCacheUnit, CapacityEvictionIsNotAnInvalidate) {
+  NameCache cache(nullptr, /*capacity=*/16);
+  FileId dir{1, 10};
+  for (int i = 0; i < 256; ++i) {
+    cache.EnterPositive(dir, "f" + std::to_string(i), Vv(1, 1),
+                        FileId{1, static_cast<uint32_t>(100 + i)},
+                        FicusFileType::kRegular);
+  }
+  EXPECT_LE(cache.size(), 32u);  // capacity/kShards + 1 per shard
+  EXPECT_EQ(cache.stats().invalidates, 0u);
+}
+
+TEST(NameCacheUnit, DisabledCacheNeverHitsAndNeverFills) {
+  NameCache cache;
+  FileId dir{1, 10};
+  cache.set_enabled(false);
+  cache.EnterPositive(dir, "f", Vv(1, 1), FileId{1, 11}, FicusFileType::kRegular);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(dir, "f", Vv(1, 1)).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(NameCacheUnit, CountersLandInSharedRegistry) {
+  MetricRegistry registry;
+  NameCache cache(&registry);
+  FileId dir{1, 10};
+  cache.EnterPositive(dir, "f", Vv(1, 1), FileId{1, 11}, FicusFileType::kRegular);
+  (void)cache.Lookup(dir, "f", Vv(1, 1));
+  EXPECT_EQ(registry.CounterValue("repl.name_cache.hit"), 1u);
+  (void)cache.Lookup(dir, "g", Vv(1, 1));
+  EXPECT_EQ(registry.CounterValue("repl.name_cache.miss"), 1u);
+}
+
+// --- invalidation through the logical layer (ReplicaFixture: two
+// replicas of volume {1,1} behind an in-process resolver) ---
+
+class NameCacheLogicalTest : public ReplicaFixture {
+ protected:
+  NameCacheLogicalTest() : ReplicaFixture(2) {
+    logical_ = std::make_unique<LogicalLayer>(VolumeId{1, 1}, &resolver_, &notifier_, &log_,
+                                              &clock_);
+    resolver_.SetPreferred(1);
+    root_ = *logical_->Root();
+  }
+
+  NameCacheStats stats() { return logical_->name_cache()->stats(); }
+
+  std::unique_ptr<LogicalLayer> logical_;
+  VnodePtr root_;
+};
+
+TEST_F(NameCacheLogicalTest, NegativeEntryShotDownByCreate) {
+  // Miss caches "f is absent"...
+  EXPECT_EQ(root_->Lookup("f", {}).status().code(), ErrorCode::kNotFound);
+  uint64_t neg_before = stats().neg_hits;
+  EXPECT_EQ(root_->Lookup("f", {}).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(stats().neg_hits, neg_before + 1);
+  // ...create must kill it even before any vector re-probe.
+  ASSERT_TRUE(root_->Create("f", {}, {}).ok());
+  EXPECT_TRUE(root_->Lookup("f", {}).ok());
+}
+
+TEST_F(NameCacheLogicalTest, PositiveEntryShotDownByRemove) {
+  ASSERT_TRUE(root_->Create("f", {}, {}).ok());
+  ASSERT_TRUE(root_->Lookup("f", {}).ok());  // fills
+  ASSERT_TRUE(root_->Remove("f", {}).ok());
+  EXPECT_EQ(root_->Lookup("f", {}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NameCacheLogicalTest, RenameShootsDownBothNames) {
+  ASSERT_TRUE(root_->Create("old", {}, {}).ok());
+  ASSERT_TRUE(root_->Lookup("old", {}).ok());
+  // Cache "new is absent" too; rename must kill both bindings.
+  EXPECT_EQ(root_->Lookup("new", {}).status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(root_->Rename("old", root_, "new", {}).ok());
+  EXPECT_EQ(root_->Lookup("old", {}).status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(root_->Lookup("new", {}).ok());
+}
+
+TEST_F(NameCacheLogicalTest, RemoteVectorAdvanceInvalidatesStaleNegative) {
+  // "g is absent" is cached while only replica 1 is consulted.
+  EXPECT_EQ(root_->Lookup("g", {}).status().code(), ErrorCode::kNotFound);
+  // The name is born at replica 2 — no logical-layer shootdown runs here,
+  // exactly like an update arriving from another host.
+  ASSERT_TRUE(layer(1)->CreateChild(kRootFileId, "g", FicusFileType::kRegular, 1).ok());
+  ReconcileAll();
+  // The merge advanced the root's vector on every replica, so the stale
+  // negative binding must die on its own.
+  uint64_t invalidates_before = stats().invalidates;
+  EXPECT_TRUE(root_->Lookup("g", {}).ok());
+  EXPECT_GT(stats().invalidates, invalidates_before);
+}
+
+TEST_F(NameCacheLogicalTest, ReconcileMergeInvalidatesStalePositive) {
+  ASSERT_TRUE(root_->Create("f", {}, {}).ok());
+  ReconcileAll();
+  ASSERT_TRUE(root_->Lookup("f", {}).ok());  // cached under the merged vector
+  // Replica 2 removes the name; reconciliation merges the removal in.
+  ASSERT_TRUE(layer(1)->RemoveEntry(kRootFileId, "f").ok());
+  ReconcileAll();
+  EXPECT_EQ(root_->Lookup("f", {}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NameCacheLogicalTest, LookupSeedsSiblingsFromOneDirectoryRead) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(root_->Create("f" + std::to_string(i), {}, {}).ok());
+  }
+  logical_->name_cache()->Clear();
+  ASSERT_TRUE(root_->Lookup("f0", {}).ok());  // one miss, fills all eight
+  uint64_t misses_before = stats().misses;
+  for (int i = 1; i < 8; ++i) {
+    ASSERT_TRUE(root_->Lookup("f" + std::to_string(i), {}).ok());
+  }
+  EXPECT_EQ(stats().misses, misses_before);
+}
+
+}  // namespace
+}  // namespace ficus::repl

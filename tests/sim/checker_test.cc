@@ -56,6 +56,20 @@ TEST(ScheduleTest, SlotPathsSpreadAcrossDirectories) {
   EXPECT_EQ(SlotPath(config, 5), "f5");
 }
 
+TEST(ScheduleTest, GenerationMixesNamespaceReadsIntoTheWorkload) {
+  CheckerConfig config;
+  config.ops = 200;
+  Schedule schedule = GenerateSchedule(config, 31337);
+  int lookups = 0;
+  int readdirs = 0;
+  for (const Op& op : schedule.ops) {
+    if (op.kind == OpKind::kLookup) ++lookups;
+    if (op.kind == OpKind::kReaddir) ++readdirs;
+  }
+  EXPECT_GT(lookups, 0) << "generator never emits lookup ops";
+  EXPECT_GT(readdirs, 0) << "generator never emits readdir ops";
+}
+
 TEST(ModelCheckerTest, RunIsDeterministic) {
   CheckerConfig config;
   config.ops = 24;
@@ -103,6 +117,26 @@ TEST(ModelCheckerTest, InjectedLostUpdateIsCaughtAndShrunk) {
   EXPECT_LT(minimal.ops.size(), failing.ops.size());
   RunResult replay = checker.Run(minimal);
   EXPECT_TRUE(replay.failed()) << "minimal repro no longer reproduces the violation";
+}
+
+// Testing the tester, name-cache edition: a binding planted in host 0's
+// cache that contradicts the converged directory — stamped with the
+// converged vector, so it is exactly a missed invalidation — must be
+// flagged by the post-heal lookup sweep as a stale name-cache hit.
+TEST(ModelCheckerTest, InjectedStaleNameCacheHitIsCaught) {
+  CheckerConfig config;
+  config.inject_stale_name_cache = true;
+  config.ops = 12;
+  ModelChecker checker;
+  RunResult result = checker.Run(GenerateSchedule(config, 5));
+  ASSERT_TRUE(result.failed()) << "the planted stale binding went undetected";
+  bool mentions_cache = false;
+  for (const std::string& violation : result.violations) {
+    if (violation.find("stale name-cache hit after heal") != std::string::npos) {
+      mentions_cache = true;
+    }
+  }
+  EXPECT_TRUE(mentions_cache) << result.Summary();
 }
 
 }  // namespace

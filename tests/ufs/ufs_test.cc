@@ -112,6 +112,78 @@ TEST_F(UfsTest, LargeFileUsesIndirectBlocks) {
   ExpectClean();
 }
 
+TEST_F(UfsTest, DoubleIndirectRoundTrip) {
+  auto ino = ufs_.CreateFile(kRootInode, "big", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  // Sparse write straddling the single-indirect boundary: the last
+  // single-indirect block and the first few double-indirect ones.
+  const uint64_t boundary =
+      static_cast<uint64_t>(kDirectBlocks + kPointersPerBlock) * storage::kBlockSize;
+  std::vector<uint8_t> payload(4 * storage::kBlockSize);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  ASSERT_TRUE(ufs_.WriteAt(*ino, boundary - storage::kBlockSize, payload).ok());
+  auto inode = ufs_.ReadInode(*ino);
+  ASSERT_TRUE(inode.ok());
+  EXPECT_NE(inode->double_indirect, 0u);
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(ufs_.ReadAt(*ino, boundary - storage::kBlockSize, payload.size(), got).ok());
+  EXPECT_EQ(got, payload);
+  ExpectClean();
+}
+
+TEST_F(UfsTest, TruncateFreesDoubleIndirectTree) {
+  auto ino = ufs_.CreateFile(kRootInode, "big", FileType::kRegular, 0644, 0, 0);
+  ASSERT_TRUE(ino.ok());
+  auto free_before = ufs_.FreeBlockCount();
+  ASSERT_TRUE(free_before.ok());
+  const uint64_t boundary =
+      static_cast<uint64_t>(kDirectBlocks + kPointersPerBlock) * storage::kBlockSize;
+  std::vector<uint8_t> payload(8 * storage::kBlockSize, 0x5A);
+  ASSERT_TRUE(ufs_.WriteAt(*ino, boundary, payload).ok());
+  ASSERT_TRUE(ufs_.Truncate(*ino, 0).ok());
+  auto inode = ufs_.ReadInode(*ino);
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode->double_indirect, 0u);
+  auto free_after = ufs_.FreeBlockCount();
+  ASSERT_TRUE(free_after.ok());
+  EXPECT_EQ(free_after.value(), free_before.value());
+  ExpectClean();
+}
+
+TEST_F(UfsTest, CreateFilesBatchesOneDirectoryWrite) {
+  std::vector<std::string> names = {"a", "b", "c", "d"};
+  auto created = ufs_.CreateFiles(kRootInode, names, FileType::kRegular, 0644, 3, 0);
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto found = ufs_.DirLookup(kRootInode, names[i]);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), (*created)[i]);
+    auto inode = ufs_.ReadInode((*created)[i]);
+    ASSERT_TRUE(inode.ok());
+    EXPECT_EQ(inode->uid, 3u);
+  }
+  ExpectClean();
+}
+
+TEST_F(UfsTest, CreateFilesRejectsWholeBatchOnDuplicate) {
+  ASSERT_TRUE(ufs_.CreateFile(kRootInode, "taken", FileType::kRegular, 0644, 0, 0).ok());
+  auto free_before = ufs_.FreeInodeCount();
+  ASSERT_TRUE(free_before.ok());
+  std::vector<std::string> names = {"fresh", "taken"};
+  EXPECT_EQ(ufs_.CreateFiles(kRootInode, names, FileType::kRegular, 0644, 0, 0)
+                .status()
+                .code(),
+            ErrorCode::kExists);
+  EXPECT_EQ(ufs_.DirLookup(kRootInode, "fresh").status().code(), ErrorCode::kNotFound);
+  auto free_after = ufs_.FreeInodeCount();
+  ASSERT_TRUE(free_after.ok());
+  EXPECT_EQ(free_after.value(), free_before.value());
+  ExpectClean();
+}
+
 TEST_F(UfsTest, MaxFileSizeEnforced) {
   auto ino = ufs_.CreateFile(kRootInode, "huge", FileType::kRegular, 0644, 0, 0);
   ASSERT_TRUE(ino.ok());
