@@ -1,11 +1,29 @@
-// Experiments R1 / R2 (paper section 3.3): directory reconciliation cost
-// scaling, and the non-blocking property of the subtree protocol
-// ("execution proceeds concurrently with respect to normal file activity,
-// so that client service is not blocked or impeded").
+// Experiments R1 / R2 (paper section 3.3): reconciliation cost scaling
+// and the non-blocking property of the subtree protocol ("execution
+// proceeds concurrently with respect to normal file activity, so that
+// client service is not blocked or impeded").
+//
+// R1 is the Merkle-digest headline sweep: the same namespace (10^3..10^6
+// files spread over 1024-entry directories) reconciled under the original
+// full entry-replay walk and under digest-guided mode, at 0 / 0.1 / 1 /
+// 10 % dirty fractions. The full walk pays O(files) RPCs even when
+// nothing changed; the digest walk exchanges per-level subtree digests
+// and descends only into differing directories, so its RPC count tracks
+// the delta. RPC and prune counters are deterministic and gated against
+// bench/baselines/reconciliation.json; wall-clock leaves (_ms keys) are
+// volatile.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "src/repl/physical.h"
 #include "src/sim/cluster.h"
 #include "src/vfs/path_ops.h"
 
@@ -13,65 +31,169 @@ namespace {
 
 using namespace ficus;  // NOLINT
 
+// Files per directory in the R1 namespace; the tree is root -> d<k> ->
+// f<i>, so pruning has real structure to work with (a flat root would
+// make the digest walk all-or-nothing).
+constexpr size_t kFanout = 1024;
+
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
       .count();
 }
 
-// R1: one directory with `entries` files; `divergence` fraction of them
-// created only on host 0 while partitioned. Measures host 1's
-// reconciliation time and entries examined.
-void SweepDirectorySize() {
-  std::printf("R1 — directory reconciliation cost vs size & divergence\n");
-  std::printf("%10s %12s %18s %14s\n", "entries", "divergent", "entries examined",
-              "time (ms)");
-  for (int entries : {10, 100, 500, 1500}) {
-    for (double divergence : {0.1, 0.5}) {
-      sim::Cluster cluster;
-      sim::HostConfig host_config;
-      host_config.disk_blocks = 1 << 16;
-      host_config.inode_count = 1 << 15;
-      host_config.cache_blocks = 1 << 13;
-      sim::FicusHost* a = cluster.AddHost("a", host_config);
-      sim::FicusHost* b = cluster.AddHost("b", host_config);
-      auto volume = cluster.CreateVolume({a, b});
-      auto logical = cluster.MountEverywhere(a, *volume);
-      int shared = static_cast<int>(entries * (1.0 - divergence));
-      for (int i = 0; i < shared; ++i) {
-        (void)vfs::WriteFileAt(*logical, "f" + std::to_string(i), "x");
-      }
-      (void)cluster.ReconcileUntilQuiescent(4);
-      cluster.Partition({{a}, {b}});
-      for (int i = shared; i < entries; ++i) {
-        (void)vfs::WriteFileAt(*logical, "f" + std::to_string(i), "x");
-      }
-      cluster.Heal();
+// The full sweep seeds a million-file replica pair twice; phase marks on
+// stderr (unbuffered, unlike the piped stdout tables) show where the
+// time goes.
+void Progress(const char* phase, size_t n) {
+  static const auto t0 = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[%7.1fs] %s (n=%zu)\n", MillisSince(t0) / 1e3, phase, n);
+}
 
-      const repl::ReconcileStats* before = b->reconcile_stats(*volume);
-      uint64_t examined_before = before != nullptr ? before->entries_examined : 0;
-      auto start = std::chrono::steady_clock::now();
-      (void)b->RunReconciliation();
-      double ms = MillisSince(start);
-      const repl::ReconcileStats* after = b->reconcile_stats(*volume);
-      uint64_t examined = (after != nullptr ? after->entries_examined : 0) - examined_before;
-      std::printf("%10d %11.0f%% %18llu %14.2f\n", entries, divergence * 100,
-                  static_cast<unsigned long long>(examined), ms);
+// Host sized for a `files`-entry namespace on BOTH replicas, attributes
+// in the inode extension area so the sweep is bounded by the protocol,
+// not by artifacts of the default tiny-disk config.
+sim::HostConfig ConfigFor(size_t files, bool digest_guided) {
+  sim::HostConfig config;
+  config.inode_count = static_cast<uint32_t>(files + files / 4 + 8192);
+  config.disk_blocks =
+      std::max<uint32_t>(16 * 1024, static_cast<uint32_t>(files / 2) + 16384);
+  config.cache_blocks = files >= 100000 ? 16384 : 2048;
+  config.physical.attr_placement = repl::AttrPlacement::kInode;
+  config.reconcile.digest_guided = digest_guided;
+  return config;
+}
+
+std::string SlotPath(size_t i) {
+  return "d" + std::to_string(i / kFanout) + "/f" + std::to_string(i);
+}
+
+// One two-replica volume in a given reconciliation mode, seeded with
+// `files` regular files and fully converged.
+struct ModeCluster {
+  std::unique_ptr<sim::Cluster> cluster;
+  sim::FicusHost* a = nullptr;
+  sim::FicusHost* b = nullptr;
+  repl::VolumeId volume;
+  repl::LogicalLayer* logical_a = nullptr;  // client mount on the writer host
+};
+
+ModeCluster MakeSeeded(size_t files, bool digest_guided) {
+  Progress(digest_guided ? "seed digest-mode pair" : "seed full-walk pair", files);
+  ModeCluster mc;
+  mc.cluster = std::make_unique<sim::Cluster>();
+  mc.a = mc.cluster->AddHost("a", ConfigFor(files, digest_guided));
+  mc.b = mc.cluster->AddHost("b", ConfigFor(files, digest_guided));
+  mc.volume = *mc.cluster->CreateVolume({mc.a, mc.b});
+  mc.logical_a = *mc.cluster->MountEverywhere(mc.a, mc.volume);
+
+  auto* phys = dynamic_cast<repl::PhysicalLayer*>(*mc.a->Access(mc.volume, 1));
+  const size_t dirs = (files + kFanout - 1) / kFanout;
+  for (size_t d = 0; d < dirs; ++d) {
+    auto dir = phys->CreateChild(repl::kRootFileId, "d" + std::to_string(d),
+                                 repl::FicusFileType::kDirectory, /*owner_uid=*/1);
+    if (!dir.ok()) {
+      std::fprintf(stderr, "mkdir d%zu failed: %s\n", d, dir.status().ToString().c_str());
+      std::exit(2);
+    }
+    std::vector<std::string> names;
+    names.reserve(kFanout);
+    for (size_t i = d * kFanout; i < std::min(files, (d + 1) * kFanout); ++i) {
+      names.push_back("f" + std::to_string(i));
+    }
+    auto created =
+        phys->CreateChildren(*dir, names, repl::FicusFileType::kRegular, /*owner_uid=*/1);
+    if (!created.ok()) {
+      std::fprintf(stderr, "populate d%zu failed: %s\n", d,
+                   created.status().ToString().c_str());
+      std::exit(2);
     }
   }
-  std::printf("\n");
+  auto rounds = mc.cluster->ReconcileUntilQuiescent(12);
+  if (!rounds.ok()) {
+    std::fprintf(stderr, "seed reconcile failed: %s\n", rounds.status().ToString().c_str());
+    std::exit(2);
+  }
+  return mc;
 }
+
+// Writes `count` files (evenly strided across the namespace) on host a
+// while b is partitioned away, then heals — the divergence one
+// reconciliation pass on b must absorb.
+void DirtyFiles(ModeCluster& mc, size_t files, size_t count, int round) {
+  if (count == 0) {
+    return;
+  }
+  mc.cluster->Partition({{mc.a}, {mc.b}});
+  const size_t stride = std::max<size_t>(1, files / count);
+  const std::string content = "dirty-r" + std::to_string(round);
+  for (size_t j = 0; j < count; ++j) {
+    const std::string path = SlotPath((j * stride) % files);
+    auto written = vfs::WriteFileAt(mc.logical_a, path, content);
+    if (!written.ok()) {
+      std::fprintf(stderr, "dirty %s failed: %s\n", path.c_str(),
+                   written.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  mc.cluster->Heal();
+}
+
+struct PassStats {
+  uint64_t rpcs = 0;          // remote calls in the measured pass, either mode
+  uint64_t pruned_dirs = 0;   // directories skipped on a digest match
+  uint64_t digest_match = 0;
+  uint64_t digest_mismatch = 0;
+  double wall_ms = 0;
+};
+
+// One reconciliation pass on host b (the stale replica), with the
+// reconciler's counters differenced around it.
+PassStats MeasurePass(ModeCluster& mc) {
+  const repl::ReconcileStats* stats = mc.b->reconcile_stats(mc.volume);
+  repl::ReconcileStats before = stats != nullptr ? *stats : repl::ReconcileStats{};
+  auto start = std::chrono::steady_clock::now();
+  auto run = mc.b->RunReconciliation();
+  PassStats pass;
+  pass.wall_ms = MillisSince(start);
+  if (!run.ok()) {
+    std::fprintf(stderr, "measured reconcile failed: %s\n", run.ToString().c_str());
+    std::exit(2);
+  }
+  stats = mc.b->reconcile_stats(mc.volume);
+  if (stats == nullptr) {
+    std::fprintf(stderr, "host b has no reconciler for the volume\n");
+    std::exit(2);
+  }
+  pass.rpcs = stats->remote_calls - before.remote_calls;
+  pass.pruned_dirs = stats->digest_pruned_dirs - before.digest_pruned_dirs;
+  pass.digest_match = stats->digest_match - before.digest_match;
+  pass.digest_mismatch = stats->digest_mismatch - before.digest_mismatch;
+  return pass;
+}
+
+struct SweepRow {
+  size_t files = 0;
+  double dirty_pct = 0;
+  size_t dirty_files = 0;
+  PassStats full;
+  PassStats digest;
+  double rpc_reduction = 0;  // full.rpcs / digest.rpcs (both deterministic)
+};
 
 // R2: reconcile a populated tree while a client keeps issuing operations;
 // client ops must all succeed mid-reconciliation (nothing locks).
-void NonBlockingSubtree() {
-  std::printf("R2 — client activity during subtree reconciliation\n");
+struct NonBlockingResult {
+  int client_ops = 0;
+  int client_failures = 0;
+  bool converged = false;
+  double wall_ms = 0;
+};
+
+NonBlockingResult NonBlockingSubtree() {
+  Progress("R2 non-blocking subtree", 500);
   sim::Cluster cluster;
-  sim::HostConfig host_config;
-  host_config.disk_blocks = 1 << 16;
-  host_config.inode_count = 1 << 15;
-  host_config.cache_blocks = 1 << 13;
-  sim::FicusHost* a = cluster.AddHost("a", host_config);
-  sim::FicusHost* b = cluster.AddHost("b", host_config);
+  sim::FicusHost* a = cluster.AddHost("a", ConfigFor(4096, true));
+  sim::FicusHost* b = cluster.AddHost("b", ConfigFor(4096, true));
   auto volume = cluster.CreateVolume({a, b});
   auto la = cluster.MountEverywhere(a, *volume);
   auto lb = cluster.MountEverywhere(b, *volume);
@@ -86,40 +208,138 @@ void NonBlockingSubtree() {
 
   // Interleave: each reconciliation pass on b is followed by client ops on
   // both hosts; every client op must succeed.
-  int client_ops = 0;
-  int client_failures = 0;
+  NonBlockingResult result;
   auto start = std::chrono::steady_clock::now();
   for (int round = 0; round < 4; ++round) {
     (void)b->RunReconciliation();
     for (int i = 0; i < 25; ++i) {
-      ++client_ops;
+      ++result.client_ops;
       if (!vfs::WriteFileAt(*la, "live/a" + std::to_string(round * 25 + i), "during").ok()) {
-        ++client_failures;
+        ++result.client_failures;
       }
-      ++client_ops;
+      ++result.client_ops;
       if (!vfs::OpenReadClose(*lb, "d0/f0").ok()) {
-        ++client_failures;
+        ++result.client_failures;
       }
     }
   }
-  double ms = MillisSince(start);
+  result.wall_ms = MillisSince(start);
   (void)cluster.ReconcileUntilQuiescent(8);
-  bool converged = vfs::Exists(*lb, "live/a0") && vfs::Exists(*lb, "live/a99");
-  std::printf("  500-file tree, 4 interleaved reconcile passes: %.1f ms\n", ms);
-  std::printf("  client ops during reconciliation: %d, failures: %d\n", client_ops,
-              client_failures);
-  std::printf("  post-run convergence of files written mid-reconcile: %s\n",
-              converged ? "yes" : "NO");
-  std::printf("\nShape check vs paper: cost grows with directory size and divergent\n"
-              "fraction; client operations never block or fail during the\n"
-              "reconciliation protocol (section 3.3).\n");
+  result.converged = vfs::Exists(*lb, "live/a0") && vfs::Exists(*lb, "live/a99");
+  return result;
 }
 
 }  // namespace
 
 int main() {
+  const bool smoke = std::getenv("FICUS_BENCH_SMOKE") != nullptr;
   std::printf("Experiments R1/R2 — reconciliation (section 3.3)\n\n");
-  SweepDirectorySize();
-  NonBlockingSubtree();
-  return 0;
+
+  std::ostringstream json;
+  json << "{\"bench\":\"reconciliation\",\"sweep\":[";
+
+  std::printf("R1 — digest-guided vs full-walk RPCs per reconciliation pass\n");
+  std::printf("%9s %9s %9s | %12s %12s %10s | %8s %10s %10s\n", "files", "dirty %",
+              "dirty", "full RPCs", "digest RPCs", "reduction", "pruned", "full ms",
+              "digest ms");
+  // FICUS_BENCH_MAX_FILES caps the sweep's largest size (the full 10^6
+  // leg seeds two million-file replica pairs and takes the better part of
+  // an hour; =100000 covers the acceptance measurement in minutes).
+  size_t max_files = SIZE_MAX;
+  if (const char* cap = std::getenv("FICUS_BENCH_MAX_FILES")) {
+    max_files = static_cast<size_t>(std::strtoull(cap, nullptr, 10));
+  }
+  std::vector<size_t> sizes = smoke
+                                  ? std::vector<size_t>{1000, 10000}
+                                  : std::vector<size_t>{1000, 10000, 100000, 1000000};
+  std::erase_if(sizes, [max_files](size_t n) { return n > max_files; });
+  const std::vector<double> dirty_pcts = {0.0, 0.1, 1.0, 10.0};
+
+  std::vector<SweepRow> rows;
+  bool first = true;
+  for (size_t files : sizes) {
+    // One cluster pair per size, advanced through every dirty fraction:
+    // each measured pass leaves the pair converged again, so fractions
+    // compose without reseeding the million-file namespace.
+    ModeCluster full = MakeSeeded(files, /*digest_guided=*/false);
+    ModeCluster digest = MakeSeeded(files, /*digest_guided=*/true);
+    int round = 0;
+    for (double dirty_pct : dirty_pcts) {
+      SweepRow row;
+      row.files = files;
+      row.dirty_pct = dirty_pct;
+      row.dirty_files = static_cast<size_t>(static_cast<double>(files) * dirty_pct / 100.0);
+      Progress("R1 measure", row.dirty_files);
+      DirtyFiles(full, files, row.dirty_files, round);
+      DirtyFiles(digest, files, row.dirty_files, round);
+      ++round;
+      row.full = MeasurePass(full);
+      row.digest = MeasurePass(digest);
+      row.rpc_reduction = row.digest.rpcs > 0 ? static_cast<double>(row.full.rpcs) /
+                                                    static_cast<double>(row.digest.rpcs)
+                                              : 0;
+      // No quiescence rounds between fractions: dirty writes land only on
+      // host a, and b's measured pass absorbs all of them, so the pair is
+      // converged again the moment the measurement ends (the recon
+      // differential suite holds both modes to identical state).
+
+      std::printf("%9zu %8.1f%% %9zu | %12llu %12llu %9.1fx | %8llu %10.2f %10.2f\n",
+                  row.files, row.dirty_pct, row.dirty_files,
+                  static_cast<unsigned long long>(row.full.rpcs),
+                  static_cast<unsigned long long>(row.digest.rpcs), row.rpc_reduction,
+                  static_cast<unsigned long long>(row.digest.pruned_dirs),
+                  row.full.wall_ms, row.digest.wall_ms);
+      std::fflush(stdout);  // rows survive a mid-sweep kill when piped
+      if (!first) json << ",";
+      first = false;
+      json << "{\"files\":" << row.files << ",\"dirty_pct\":" << row.dirty_pct
+           << ",\"dirty_files\":" << row.dirty_files
+           << ",\"full_rpcs\":" << row.full.rpcs
+           << ",\"digest_rpcs\":" << row.digest.rpcs
+           << ",\"rpc_reduction\":" << row.rpc_reduction
+           << ",\"digest_match\":" << row.digest.digest_match
+           << ",\"digest_mismatch\":" << row.digest.digest_mismatch
+           << ",\"digest_pruned_dirs\":" << row.digest.pruned_dirs
+           << ",\"full_ms\":" << row.full.wall_ms
+           << ",\"digest_ms\":" << row.digest.wall_ms << "}";
+      rows.push_back(row);
+    }
+  }
+  json << "]";
+
+  // Acceptance spotlight: the clean pass at the largest size must show at
+  // least 50x fewer RPCs in digest mode — an unchanged replica pair
+  // reconciles in O(1) digest exchanges instead of O(files) entry reads.
+  double clean_reduction = 0;
+  size_t clean_files = 0;
+  for (const SweepRow& row : rows) {
+    if (row.dirty_files == 0 && row.files >= clean_files) {
+      clean_files = row.files;
+      clean_reduction = row.rpc_reduction;
+    }
+  }
+  std::printf("\nclean reconcile at %zu files: %.1fx fewer RPCs (acceptance floor 50x)\n",
+              clean_files, clean_reduction);
+  json << ",\"clean_files\":" << clean_files
+       << ",\"clean_rpc_reduction\":" << clean_reduction;
+
+  NonBlockingResult r2 = NonBlockingSubtree();
+  std::printf("\nR2 — client activity during subtree reconciliation\n");
+  std::printf("  client ops during reconciliation: %d, failures: %d\n", r2.client_ops,
+              r2.client_failures);
+  std::printf("  post-run convergence of files written mid-reconcile: %s\n",
+              r2.converged ? "yes" : "NO");
+  json << ",\"nonblocking\":{\"client_ops\":" << r2.client_ops
+       << ",\"client_failures\":" << r2.client_failures
+       << ",\"converged\":" << (r2.converged ? "true" : "false")
+       << ",\"wall_ms\":" << r2.wall_ms << "}";
+
+  json << "}";
+  std::ofstream out("BENCH_reconciliation.json");
+  out << json.str() << "\n";
+  std::printf("\nwrote BENCH_reconciliation.json\n");
+  std::printf("\nShape check vs paper: full-walk RPCs grow with directory size even\n"
+              "when nothing changed; digest-guided RPCs track the dirty delta, and\n"
+              "client operations never block or fail during the protocol (3.3).\n");
+  return (clean_reduction >= 50.0 && r2.client_failures == 0 && r2.converged) ? 0 : 1;
 }

@@ -294,6 +294,20 @@ StatusOr<VnodePtr> NfsVnode::Lookup(std::string_view name, const OpContext& ctx)
   return VnodePtr(std::make_shared<NfsVnode>(client_, child));
 }
 
+StatusOr<std::vector<uint8_t>> NfsVnode::LookupRead(std::string_view name,
+                                                    const OpContext& ctx) {
+  // One RPC for lookup + whole-contents read. No handle comes back, so
+  // nothing is cached: the intended callers (Ficus facade transactions)
+  // name one-shot request/response vnodes that must not be re-resolved.
+  Payload request = BeginRequest(NfsProc::kLookupRead, ctx, handle_);
+  ByteWriter w(request);
+  w.PutString(name);
+  FICUS_ASSIGN_OR_RETURN(Payload response, client_->Call(request, ctx));
+  ByteReader r(response);
+  FICUS_RETURN_IF_ERROR(ReadWireStatus(r));
+  return r.GetBytes();
+}
+
 StatusOr<VnodePtr> NfsVnode::Create(std::string_view name, const VAttr& attr,
                                     const OpContext& ctx) {
   Payload request = BeginRequest(NfsProc::kCreate, ctx, handle_);

@@ -94,6 +94,8 @@ class NfsVnode : public vfs::Vnode {
                 std::string_view new_name, const vfs::OpContext& ctx) override;
   StatusOr<std::vector<vfs::DirEntry>> Readdir(const vfs::OpContext& ctx) override;
   StatusOr<std::vector<vfs::DirEntryPlus>> ReaddirPlus(const vfs::OpContext& ctx) override;
+  StatusOr<std::vector<uint8_t>> LookupRead(std::string_view name,
+                                            const vfs::OpContext& ctx) override;
   StatusOr<vfs::VnodePtr> Symlink(std::string_view name, std::string_view target,
                                   const vfs::OpContext& ctx) override;
   StatusOr<std::string> Readlink(const vfs::OpContext& ctx) override;

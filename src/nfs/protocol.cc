@@ -22,6 +22,7 @@ const char* NfsProcName(NfsProc proc) {
     case NfsProc::kWrite: return "write";
     case NfsProc::kStatfs: return "statfs";
     case NfsProc::kReaddirPlus: return "readdirplus";
+    case NfsProc::kLookupRead: return "lookupread";
   }
   return "unknown";
 }

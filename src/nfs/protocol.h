@@ -51,10 +51,16 @@ enum class NfsProc : uint8_t {
   // NFSv3 READDIRPLUS idea, here so an `ls -l` scan of an N-entry
   // directory does not cost N+1 round trips.
   kReaddirPlus = 17,
+  // Combined LOOKUP + whole-contents READ of the named child in one RPC.
+  // Exists for the Ficus facade transactions (encoded-name request whose
+  // response is read back from the returned vnode): one round trip
+  // instead of lookup-then-read, which halves the wire cost of every
+  // small digest exchange during reconciliation.
+  kLookupRead = 18,
 };
 
 // Number of procedures (for per-proc counter tables).
-inline constexpr size_t kNfsProcCount = 18;
+inline constexpr size_t kNfsProcCount = 19;
 
 // Stable lower-case name of a procedure ("lookup", "read", ...) used to
 // build per-proc metric names like `nfs.client.proc.lookup`. Returns

@@ -239,6 +239,23 @@ StatusOr<Payload> NfsServer::Dispatch(net::HostId, const Payload& request) {
       PutVAttr(w, attr.value());
       return out;
     }
+    case NfsProc::kLookupRead: {
+      FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      auto dir = VnodeFor(handle);
+      if (!dir.ok()) {
+        return fail(dir.status());
+      }
+      // Server-side composition: the exported vfs does the lookup and the
+      // full read locally, so the client pays one round trip for both.
+      auto contents = dir.value()->LookupRead(name, ctx);
+      if (!contents.ok()) {
+        return fail(contents.status());
+      }
+      PutStatus(w, OkStatus());
+      w.PutBytes(contents.value());
+      return out;
+    }
     case NfsProc::kCreate: {
       FICUS_ASSIGN_OR_RETURN(NfsHandle handle, r.GetU64());
       FICUS_ASSIGN_OR_RETURN(std::string name, r.GetString());

@@ -418,6 +418,43 @@ std::vector<uint8_t> ExecutePhysRequest(PhysicalLayer* layer,
       }
       return out;
     }
+    case PhysOp::kGetSubtreeDigests: {
+      auto count = r.GetCount(8);  // one FileId per row
+      if (!count.ok()) {
+        return ErrorResponse(count.status());
+      }
+      std::vector<FileId> dirs;
+      dirs.reserve(count.value());
+      for (uint32_t i = 0; i < count.value(); ++i) {
+        FileId dir;
+        if (Status s = GetFileId(r, dir); !s.ok()) {
+          return ErrorResponse(s);
+        }
+        dirs.push_back(dir);
+      }
+      auto rows = layer->GetSubtreeDigests(dirs);
+      if (!rows.ok()) {
+        return ErrorResponse(rows.status());
+      }
+      PutStatusBytes(w, OkStatus());
+      w.PutU32(static_cast<uint32_t>(rows->size()));
+      for (const auto& row : rows.value()) {
+        PutFileId(w, row.dir);
+        PutStatusBytes(w, row.status);
+        if (row.status.ok()) {
+          row.vv.Serialize(w);
+          w.PutU64(row.entry_digest);
+          w.PutU64(row.files_digest);
+          w.PutU64(row.subtree_digest);
+          w.PutU32(static_cast<uint32_t>(row.children.size()));
+          for (const auto& [child, digest] : row.children) {
+            PutFileId(w, child);
+            w.PutU64(digest);
+          }
+        }
+      }
+      return out;
+    }
   }
   return ErrorResponse(InvalidArgumentError("unknown physical-layer opcode"));
 }
@@ -560,12 +597,13 @@ StatusOr<VnodePtr> PhysicalFacadeVfs::Root() {
 RemotePhysical::RemotePhysical(VnodePtr root, RootRefresher refresher)
     : root_(std::move(root)), refresher_(std::move(refresher)) {}
 
-StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_t>& request) {
+StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_t>& request,
+                                                        bool single_trip) {
   Credentials ctx;
   // One retry: a stale facade-root handle (server handle-table eviction
   // or restart) is recovered by re-acquiring the root, as NFS clients do.
   for (int attempt = 0; attempt < 2; ++attempt) {
-    auto result = TransactOnce(request, ctx);
+    auto result = TransactOnce(request, ctx, single_trip);
     if (result.ok() || result.status().code() != ErrorCode::kStale ||
         refresher_ == nullptr || attempt == 1) {
       return result;
@@ -581,33 +619,41 @@ StatusOr<std::vector<uint8_t>> RemotePhysical::Transact(const std::vector<uint8_
 }
 
 StatusOr<std::vector<uint8_t>> RemotePhysical::TransactOnce(
-    const std::vector<uint8_t>& request, const OpContext& ctx) {
+    const std::vector<uint8_t>& request, const OpContext& ctx, bool single_trip) {
   VnodePtr root;
   {
     std::lock_guard<std::mutex> lock(root_mu_);
     root = root_;
   }
-  VnodePtr channel;
-  if (request.size() <= kMaxInlineRequest) {
-    // Small request: encode it into a lookup name that NFS forwards
-    // verbatim (the paper's overloaded-lookup technique).
+  std::vector<uint8_t> response;
+  if (request.size() <= kMaxInlineRequest && single_trip) {
+    // Small request whose caller asked for the combined op: the encoded
+    // name and the full response ride one LookupRead RPC.
     inline_calls_.fetch_add(1, std::memory_order_relaxed);
     std::string name = std::string(kReqPrefix) + HexEncodeBytes(request);
-    FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(name, ctx));
+    FICUS_ASSIGN_OR_RETURN(response, root->LookupRead(name, ctx));
   } else {
-    session_calls_.fetch_add(1, std::memory_order_relaxed);
-    FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(kSessionName, ctx));
-    FICUS_RETURN_IF_ERROR(channel->Write(0, request, ctx).status());
-  }
-  // Drain the response (it can exceed one NFS read quantum).
-  std::vector<uint8_t> response;
-  constexpr size_t kChunk = 64 * 1024;
-  for (;;) {
-    std::vector<uint8_t> piece;
-    FICUS_ASSIGN_OR_RETURN(size_t got, channel->Read(response.size(), kChunk, piece, ctx));
-    response.insert(response.end(), piece.begin(), piece.end());
-    if (got < kChunk) {
-      break;
+    VnodePtr channel;
+    if (request.size() <= kMaxInlineRequest) {
+      // Small request: encode it into a lookup name that NFS forwards
+      // verbatim (the paper's overloaded-lookup technique).
+      inline_calls_.fetch_add(1, std::memory_order_relaxed);
+      std::string name = std::string(kReqPrefix) + HexEncodeBytes(request);
+      FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(name, ctx));
+    } else {
+      session_calls_.fetch_add(1, std::memory_order_relaxed);
+      FICUS_ASSIGN_OR_RETURN(channel, root->Lookup(kSessionName, ctx));
+      FICUS_RETURN_IF_ERROR(channel->Write(0, request, ctx).status());
+    }
+    // Drain the response (it can exceed one NFS read quantum).
+    constexpr size_t kChunk = 64 * 1024;
+    for (;;) {
+      std::vector<uint8_t> piece;
+      FICUS_ASSIGN_OR_RETURN(size_t got, channel->Read(response.size(), kChunk, piece, ctx));
+      response.insert(response.end(), piece.begin(), piece.end());
+      if (got < kChunk) {
+        break;
+      }
     }
   }
   ByteReader r(response);
@@ -677,6 +723,48 @@ StatusOr<std::vector<FileAttrResult>> RemotePhysical::BatchGetAttributes(
     } else if (row.status.code() == ErrorCode::kCorrupt) {
       // A marshalling error (vs. a per-file failure shipped in the row)
       // poisons the rest of the stream.
+      return row.status;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+StatusOr<std::vector<SubtreeDigest>> RemotePhysical::GetSubtreeDigests(
+    const std::vector<FileId>& dirs) {
+  std::vector<uint8_t> request;
+  ByteWriter w(request);
+  w.PutU8(static_cast<uint8_t>(PhysOp::kGetSubtreeDigests));
+  w.PutU32(static_cast<uint32_t>(dirs.size()));
+  for (FileId dir : dirs) {
+    PutFileId(w, dir);
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> results,
+                         Transact(request, /*single_trip=*/true));
+  ByteReader r(results);
+  FICUS_ASSIGN_OR_RETURN(uint32_t count, r.GetCount(14));  // FileId + min status bytes
+  std::vector<SubtreeDigest> rows;
+  rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SubtreeDigest row;
+    FICUS_RETURN_IF_ERROR(GetFileId(r, row.dir));
+    row.status = ReadStatusBytes(r);
+    if (row.status.ok()) {
+      FICUS_ASSIGN_OR_RETURN(row.vv, VersionVector::Deserialize(r));
+      FICUS_ASSIGN_OR_RETURN(row.entry_digest, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(row.files_digest, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(row.subtree_digest, r.GetU64());
+      FICUS_ASSIGN_OR_RETURN(uint32_t kids, r.GetCount(16));  // FileId + digest per row
+      row.children.reserve(kids);
+      for (uint32_t k = 0; k < kids; ++k) {
+        FileId child;
+        FICUS_RETURN_IF_ERROR(GetFileId(r, child));
+        FICUS_ASSIGN_OR_RETURN(uint64_t digest, r.GetU64());
+        row.children.emplace_back(child, digest);
+      }
+    } else if (row.status.code() == ErrorCode::kCorrupt) {
+      // A marshalling error (vs. a per-directory failure shipped in the
+      // row) poisons the rest of the stream.
       return row.status;
     }
     rows.push_back(std::move(row));

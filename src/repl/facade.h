@@ -69,6 +69,7 @@ enum class PhysOp : uint8_t {
   kReadBlockDigests = 22,
   kBatchGetAttributes = 23,
   kReadDirPlus = 24,
+  kGetSubtreeDigests = 25,
 };
 
 // Executes one marshalled request against a local physical layer and
@@ -117,6 +118,8 @@ class RemotePhysical : public PhysicalApi {
   Status SetConflict(FileId file, bool conflict) override;
   StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
       const std::vector<FileId>& files) override;
+  StatusOr<std::vector<SubtreeDigest>> GetSubtreeDigests(
+      const std::vector<FileId>& dirs) override;
   StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
                                           uint32_t length) override;
   StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) override;
@@ -150,10 +153,14 @@ class RemotePhysical : public PhysicalApi {
  private:
   // Ships a marshalled request and returns the response with its leading
   // Status checked and consumed, retrying once through the refresher on a
-  // stale root handle.
-  StatusOr<std::vector<uint8_t>> Transact(const std::vector<uint8_t>& request);
+  // stale root handle. `single_trip` routes a small request through the
+  // combined LookupRead vnode op (one NFS RPC instead of lookup + read) —
+  // used by the digest exchanges, whose latency bounds every
+  // reconciliation descent level.
+  StatusOr<std::vector<uint8_t>> Transact(const std::vector<uint8_t>& request,
+                                          bool single_trip = false);
   StatusOr<std::vector<uint8_t>> TransactOnce(const std::vector<uint8_t>& request,
-                                              const vfs::OpContext& ctx);
+                                              const vfs::OpContext& ctx, bool single_trip);
 
   // Guards root_ against a concurrent stale-handle refresh; snapshotted
   // before each transaction so the lock is never held across the call.

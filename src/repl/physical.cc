@@ -21,6 +21,16 @@ constexpr uint32_t kMetaMagic = 0xF1C0501D;
 // Header of every on-disk Ficus directory file: magic + generation.
 constexpr uint32_t kDirMagic = 0xF1C0D1D0;
 constexpr size_t kDirHeaderSize = 12;  // u32 magic + u64 generation
+// v2 header appends the order-independent digest of the entry set, so a
+// stale or corrupted parsed-directory image is detectable on load the
+// same way a stale cached parse is detectable by generation. v1 files
+// (pre-digest) still load; the next store rewrites them as v2.
+constexpr uint32_t kDirMagicV2 = 0xF1C0D1D2;
+constexpr size_t kDirHeaderSizeV2 = 20;
+// Folded in place of a child's subtree digest when the descent revisits a
+// directory already on the current path (should be impossible in the
+// acyclic namespace; the marker keeps the rollup finite regardless).
+constexpr uint64_t kDigestCycleMarker = 0xF1C05C1CF1C05C1CULL;  // u32 magic + u64 generation + u64 entry digest
 
 bool HasSuffix(std::string_view name, std::string_view suffix) {
   return name.size() >= suffix.size() &&
@@ -95,6 +105,7 @@ PhysicalLayer::PhysicalLayer(ufs::Ufs* ufs, const Clock* clock, PhysicalOptions 
   stats_.orphans_reclaimed = registry_->counter("repl.physical.orphans_reclaimed");
   stats_.dir_cache_hits = registry_->counter("repl.physical.dir_cache.hits");
   stats_.dir_cache_misses = registry_->counter("repl.physical.dir_cache.misses");
+  stats_.crdt_rename_merges = registry_->counter("repl.physical.crdt_rename_merges");
 }
 
 PhysicalStats PhysicalLayer::stats() const {
@@ -112,6 +123,7 @@ PhysicalStats PhysicalLayer::stats() const {
   out.orphans_reclaimed = stats_.orphans_reclaimed->value();
   out.dir_cache_hits = stats_.dir_cache_hits->value();
   out.dir_cache_misses = stats_.dir_cache_misses->value();
+  out.crdt_rename_merges = stats_.crdt_rename_merges->value();
   return out;
 }
 
@@ -155,6 +167,8 @@ Status PhysicalLayer::CreateVolume(const VolumeId& volume, ReplicaId replica,
   attached_ = true;
   locations_.clear();
   alive_refs_.clear();
+  digest_tree_.clear();
+  digest_parents_.clear();
 
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum meta,
                          ufs_->CreateFile(container_, kMetaFile, ufs::FileType::kRegular,
@@ -205,6 +219,8 @@ Status PhysicalLayer::Attach(std::string_view container_name) {
   attached_ = true;
   locations_.clear();
   alive_refs_.clear();
+  digest_tree_.clear();
+  digest_parents_.clear();
 
   FICUS_ASSIGN_OR_RETURN(ufs::InodeNum root_dir,
                          ufs_->DirLookup(container_, kRootFileId.ToHex()));
@@ -264,6 +280,7 @@ Status PhysicalLayer::ScanTree(ufs::InodeNum ufs_dir, FileId dir_id) {
     if (fe.alive) {
       ++alive_refs_[fe.file];
     }
+    LinkDigestParent(fe.file, dir_id);
     auto it = locations_.find(fe.file);
     if (it != locations_.end()) {
       it->second.type = fe.type;
@@ -326,6 +343,10 @@ StatusOr<ReplicaAttributes> PhysicalLayer::LoadAttributes(FileId file) {
 
 Status PhysicalLayer::StoreAttributes(FileId file, const ReplicaAttributes& attrs) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Every version-vector or conflict-flag change funnels through here, so
+  // this is the one choke point for content-state digest invalidation.
+  // (Mtime-only stores over-invalidate; that is safe, merely lazy work.)
+  InvalidateDigestUp(file);
   if (options_.attr_placement == AttrPlacement::kInode) {
     std::vector<uint8_t> bytes = attrs.ToBytes();
     FICUS_ASSIGN_OR_RETURN(ufs::InodeNum ino, AttrExtInode(file));
@@ -364,18 +385,25 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
 
   // Peek at the header: a matching generation validates the cached parse.
   std::vector<uint8_t> header;
-  FICUS_RETURN_IF_ERROR(ufs_->ReadAt(ino, 0, kDirHeaderSize, header).status());
+  FICUS_RETURN_IF_ERROR(ufs_->ReadAt(ino, 0, kDirHeaderSizeV2, header).status());
   uint64_t generation = 0;
-  bool has_header = false;
-  if (header.size() == kDirHeaderSize) {
+  uint64_t stored_digest = 0;
+  size_t header_size = 0;  // 0 = legacy header-less file
+  bool has_digest = false;
+  if (header.size() >= kDirHeaderSize) {
     ByteReader hr(header);
     FICUS_ASSIGN_OR_RETURN(uint32_t magic, hr.GetU32());
-    if (magic == kDirMagic) {
+    if (magic == kDirMagicV2 && header.size() >= kDirHeaderSizeV2) {
       FICUS_ASSIGN_OR_RETURN(generation, hr.GetU64());
-      has_header = true;
+      FICUS_ASSIGN_OR_RETURN(stored_digest, hr.GetU64());
+      header_size = kDirHeaderSizeV2;
+      has_digest = true;
+    } else if (magic == kDirMagic) {
+      FICUS_ASSIGN_OR_RETURN(generation, hr.GetU64());
+      header_size = kDirHeaderSize;
     }
   }
-  if (has_header) {
+  if (header_size != 0) {
     auto it = dir_cache_.find(dir);
     if (it != dir_cache_.end() && it->second.generation == generation) {
       stats_.dir_cache_hits->Increment();
@@ -386,12 +414,16 @@ StatusOr<std::vector<FicusDirEntry>> PhysicalLayer::LoadDirEntries(FileId dir) {
 
   FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ufs_->ReadAll(ino));
   std::vector<uint8_t> body;
-  if (has_header) {
-    body.assign(bytes.begin() + kDirHeaderSize, bytes.end());
+  if (header_size != 0) {
+    body.assign(bytes.begin() + static_cast<std::ptrdiff_t>(header_size), bytes.end());
   } else {
     body = std::move(bytes);  // legacy header-less file (fresh empty dirs)
   }
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, DeserializeDirEntries(body));
+  if (has_digest && EntrySetDigest(entries) != stored_digest) {
+    return CorruptError("directory " + dir.ToString() +
+                        ": entry digest mismatch (stale or damaged directory file)");
+  }
   if (dir_cache_.size() >= kMaxCachedDirs) {
     dir_cache_.erase(dir_cache_.begin());
   }
@@ -414,7 +446,7 @@ Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntr
     if (header.size() == kDirHeaderSize) {
       ByteReader hr(header);
       auto magic = hr.GetU32();
-      if (magic.ok() && magic.value() == kDirMagic) {
+      if (magic.ok() && (magic.value() == kDirMagic || magic.value() == kDirMagicV2)) {
         auto old_gen = hr.GetU64();
         if (old_gen.ok()) {
           generation = old_gen.value() + 1;
@@ -424,8 +456,9 @@ Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntr
   }
   std::vector<uint8_t> bytes;
   ByteWriter w(bytes);
-  w.PutU32(kDirMagic);
+  w.PutU32(kDirMagicV2);
   w.PutU64(generation);
+  w.PutU64(EntrySetDigest(entries));
   std::vector<uint8_t> body = SerializeDirEntries(entries);
   bytes.insert(bytes.end(), body.begin(), body.end());
   FICUS_RETURN_IF_ERROR(ufs_->WriteAll(ino, bytes));
@@ -433,6 +466,13 @@ Status PhysicalLayer::StoreDirEntries(FileId dir, const std::vector<FicusDirEntr
     dir_cache_.erase(dir_cache_.begin());
   }
   dir_cache_[dir] = CachedDir{generation, entries};
+  // Keep the digest tree honest: every child named here hangs off this
+  // directory for rollup purposes, and this directory's summary (plus
+  // every ancestor's) is now stale.
+  for (const auto& e : entries) {
+    LinkDigestParent(e.file, dir);
+  }
+  InvalidateDigestUp(dir);
   return OkStatus();
 }
 
@@ -1086,8 +1126,22 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
       case VectorOrder::kEqual:
       case VectorOrder::kDominatedBy:
         return false;  // we already know everything the remote does
-      case VectorOrder::kDominates:
-        if (local.alive && !remote.alive &&
+      case VectorOrder::kDominates: {
+        // CRDT rename/link merge rule (arXiv 1207.5990): when the file is
+        // still alive under another local name — a hard link, or the
+        // surviving half of a rename the remover never saw — removing THIS
+        // name loses no data, because any concurrent update stays reachable
+        // through the other name. Apply the tombstone plainly instead of
+        // resurrecting the entry and logging a remove/update conflict.
+        bool alive_elsewhere = false;
+        if (local.alive && !remote.alive) {
+          auto refs = alive_refs_.find(local.file);
+          alive_elsewhere = refs != alive_refs_.end() && refs->second >= 2;
+          if (alive_elsewhere) {
+            stats_.crdt_rename_merges->Increment();
+          }
+        }
+        if (!alive_elsewhere && local.alive && !remote.alive &&
             (local.type == FicusFileType::kRegular ||
              local.type == FicusFileType::kSymlink) &&
             !remote.deleted_file_vv.Empty() && Stores(local.file)) {
@@ -1104,7 +1158,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
             return true;
           }
         }
-        if (local.alive && !remote.alive && IsDirectoryLike(local.type)) {
+        if (!alive_elsewhere && local.alive && !remote.alive && IsDirectoryLike(local.type)) {
           // A remote rmdir ordered after our view of the entry — but the
           // local directory may have gained children the remover never
           // saw (created in another partition). Deleting would orphan
@@ -1136,6 +1190,7 @@ StatusOr<bool> PhysicalLayer::ApplyEntryToSet(FileId dir,
         // would make different resurrection decisions later.
         local.deleted_file_vv = remote.deleted_file_vv;
         return true;
+      }
       case VectorOrder::kConcurrent: {
         // Concurrent insert/delete of the same entry: automatic repair in
         // favour of liveness (a delete loses to a concurrent recreate).
@@ -1392,6 +1447,9 @@ StatusOr<int> PhysicalLayer::GarbageCollect() {
       }
       it = locations_.erase(it);
       alive_refs_.erase(file);
+      InvalidateDigestUp(file);
+      digest_tree_.erase(file);
+      digest_parents_.erase(file);
       ++collected;
       progress = true;
     }
@@ -1481,6 +1539,248 @@ StatusOr<std::vector<std::string>> PhysicalLayer::CheckConsistency() {
     }
   }
   return problems;
+}
+
+// --- Merkle subtree digests (digest-guided reconciliation) ---
+
+uint64_t PhysicalLayer::EntrySetDigest(const std::vector<FicusDirEntry>& entries) {
+  uint64_t set = 0;
+  std::vector<uint8_t> scratch;
+  for (const auto& e : entries) {
+    scratch.clear();
+    ByteWriter w(scratch);
+    e.Serialize(w);
+    set = DigestAddElement(set, BlockDigest(scratch.data(), scratch.size()));
+  }
+  return set;
+}
+
+void PhysicalLayer::LinkDigestParent(FileId child, FileId dir) {
+  if (child == dir) {
+    return;
+  }
+  digest_parents_[child].insert(dir);
+}
+
+void PhysicalLayer::InvalidateDigestUp(FileId file) {
+  // Drop the memoized node for `file` and every ancestor reachable
+  // through the reverse links. Absence of a cached node is NOT a stop
+  // condition: links are built eagerly (scan/store time) while nodes are
+  // built lazily (first GetSubtreeDigests), so an un-memoized directory
+  // can still have memoized ancestors above it.
+  std::set<FileId> visited;
+  std::vector<FileId> stack{file};
+  while (!stack.empty()) {
+    FileId cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    digest_tree_.erase(cur);
+    auto it = digest_parents_.find(cur);
+    if (it != digest_parents_.end()) {
+      for (FileId parent : it->second) {
+        stack.push_back(parent);
+      }
+    }
+  }
+}
+
+StatusOr<PhysicalLayer::DigestNode> PhysicalLayer::ComputeDigestNode(
+    FileId dir, std::set<FileId>& visiting, std::map<FileId, DigestNode>& memo) {
+  auto cached = memo.find(dir);
+  if (cached != memo.end()) {
+    return cached->second;
+  }
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, LoadDirEntries(dir));
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes attrs, LoadAttributes(dir));
+
+  DigestNode node;
+  node.vv = attrs.vv;
+  node.entry_digest = EntrySetDigest(entries);
+
+  // Content-state stamps for every ALIVE non-directory child: file-id +
+  // version vector + conflict flag. Mtime and ownership are deliberately
+  // excluded — they do not participate in reconciliation decisions, so
+  // including them would cause spurious descents. An alive entry whose
+  // storage this replica declined (selective replication) gets a distinct
+  // "unstored" stamp: such a directory can never digest-equal a replica
+  // that stores the file, which safely forces the per-file sweep there.
+  uint64_t files = 0;
+  std::vector<uint8_t> scratch;
+  for (const auto& e : entries) {
+    if (!e.alive || IsDirectoryLike(e.type)) {
+      continue;
+    }
+    scratch.clear();
+    ByteWriter sw(scratch);
+    sw.PutU64(e.file.Pack());
+    auto fa = Stores(e.file) ? LoadAttributes(e.file)
+                             : StatusOr<ReplicaAttributes>(
+                                   NotFoundError("unstored"));
+    if (fa.ok()) {
+      sw.PutU8(1);
+      fa->vv.Serialize(sw);
+      sw.PutU8(fa->conflict ? 1 : 0);
+    } else {
+      sw.PutU8(0);  // unstored marker
+    }
+    files = DigestAddElement(files, BlockDigest(scratch.data(), scratch.size()));
+  }
+  node.files_digest = files;
+
+  // Locally stored directory-like children, dead entries INCLUDED (a
+  // tombstoned subdirectory still holds entries and tombstones a remote
+  // may be missing), deduplicated and folded in sorted file-id order.
+  std::set<FileId> child_dirs;
+  for (const auto& e : entries) {
+    if (IsDirectoryLike(e.type) && Stores(e.file)) {
+      child_dirs.insert(e.file);
+    }
+  }
+  uint64_t subtree = DigestMix(0, node.entry_digest);
+  subtree = DigestMix(subtree, node.files_digest);
+  scratch.clear();
+  {
+    ByteWriter vw(scratch);
+    node.vv.Serialize(vw);
+  }
+  subtree = DigestMix(subtree, BlockDigest(scratch.data(), scratch.size()));
+  visiting.insert(dir);
+  for (FileId child : child_dirs) {
+    uint64_t child_digest;
+    if (visiting.count(child) != 0) {
+      // Revisit along the current descent path (a cycle would violate the
+      // acyclic-DAG invariant, but a digest must never loop): fold a fixed
+      // marker so both sides at least agree on the shape.
+      child_digest = kDigestCycleMarker;
+    } else {
+      auto child_node = ComputeDigestNode(child, visiting, memo);
+      if (!child_node.ok()) {
+        visiting.erase(dir);
+        return child_node.status();
+      }
+      child_digest = child_node->subtree_digest;
+    }
+    node.children.emplace_back(child, child_digest);
+    subtree = DigestMix(DigestMix(subtree, child.Pack()), child_digest);
+  }
+  visiting.erase(dir);
+  node.subtree_digest = subtree;
+  memo[dir] = node;
+  return node;
+}
+
+StatusOr<std::vector<SubtreeDigest>> PhysicalLayer::GetSubtreeDigests(
+    const std::vector<FileId>& dirs) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::vector<SubtreeDigest> out;
+  out.reserve(dirs.size());
+  for (FileId dir : dirs) {
+    SubtreeDigest row;
+    row.dir = dir;
+    auto loc = Find(dir);
+    if (!loc.ok()) {
+      row.status = loc.status();
+    } else if (!IsDirectoryLike(loc->type)) {
+      row.status = NotDirError("file " + dir.ToString() + " is not a directory");
+    } else {
+      std::set<FileId> visiting;
+      auto node = ComputeDigestNode(dir, visiting, digest_tree_);
+      if (!node.ok()) {
+        row.status = node.status();
+      } else {
+        row.vv = node->vv;
+        row.entry_digest = node->entry_digest;
+        row.files_digest = node->files_digest;
+        row.subtree_digest = node->subtree_digest;
+        row.children = node->children;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::string>> PhysicalLayer::ValidateDigestTree() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::vector<std::string> problems;
+
+  // Every memoized node, recomputed from scratch into a private memo,
+  // must agree with its cached value — a disagreement means a mutation
+  // path missed its invalidation hook.
+  std::map<FileId, DigestNode> snapshot = digest_tree_;
+  for (const auto& [dir, cached] : snapshot) {
+    std::set<FileId> visiting;
+    std::map<FileId, DigestNode> scratch;
+    auto fresh = ComputeDigestNode(dir, visiting, scratch);
+    if (!fresh.ok()) {
+      problems.push_back("digest " + dir.ToString() + ": recompute failed: " +
+                         fresh.status().ToString());
+      continue;
+    }
+    if (fresh->subtree_digest != cached.subtree_digest ||
+        fresh->entry_digest != cached.entry_digest ||
+        fresh->files_digest != cached.files_digest) {
+      problems.push_back("digest " + dir.ToString() +
+                         ": cached digest disagrees with recomputed contents");
+    }
+  }
+
+  // Every persisted v2 header must cover exactly the entry set that
+  // follows it. LoadDirEntries only validates on a full (cache-missing)
+  // parse, so go under the cache and check the raw bytes.
+  for (const auto& [file, loc] : locations_) {
+    if (!IsDirectoryLike(loc.type)) {
+      continue;
+    }
+    auto ino = ufs_->DirLookup(loc.self_dir, kDirFile);
+    if (!ino.ok()) {
+      continue;
+    }
+    auto bytes = ufs_->ReadAll(*ino);
+    if (!bytes.ok() || bytes->size() < kDirHeaderSizeV2) {
+      continue;
+    }
+    ByteReader hr(*bytes);
+    auto magic = hr.GetU32();
+    if (!magic.ok() || magic.value() != kDirMagicV2) {
+      continue;
+    }
+    (void)hr.GetU64();  // generation
+    auto stored = hr.GetU64();
+    if (!stored.ok()) {
+      continue;
+    }
+    std::vector<uint8_t> body(bytes->begin() + kDirHeaderSizeV2, bytes->end());
+    auto entries = DeserializeDirEntries(body);
+    if (!entries.ok()) {
+      problems.push_back("directory " + file.ToString() + ": entries unreadable: " +
+                         entries.status().ToString());
+      continue;
+    }
+    if (EntrySetDigest(*entries) != stored.value()) {
+      problems.push_back("directory " + file.ToString() +
+                         ": persisted entry digest disagrees with entry set");
+    }
+  }
+  return problems;
+}
+
+Status PhysicalLayer::CorruptDigestForTest(FileId dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckAttached());
+  std::set<FileId> visiting;
+  FICUS_RETURN_IF_ERROR(ComputeDigestNode(dir, visiting, digest_tree_).status());
+  auto it = digest_tree_.find(dir);
+  if (it == digest_tree_.end()) {
+    return InternalError("digest node for " + dir.ToString() + " not cached");
+  }
+  it->second.subtree_digest ^= 0xDEADBEEFCAFEF00DULL;
+  it->second.entry_digest ^= 0xDEADBEEFCAFEF00DULL;
+  return OkStatus();
 }
 
 std::vector<FileId> PhysicalLayer::StoredFiles() const {

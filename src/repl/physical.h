@@ -32,6 +32,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,7 @@ struct PhysicalStats {
   uint64_t orphans_reclaimed = 0;     // unreferenced inodes freed at Attach
   uint64_t dir_cache_hits = 0;        // parsed-directory cache generation matches
   uint64_t dir_cache_misses = 0;      // full read + reparse was needed
+  uint64_t crdt_rename_merges = 0;    // remove-vs-update auto-merged: file alive elsewhere
 };
 
 // Where replication attributes live on disk.
@@ -140,6 +142,8 @@ class PhysicalLayer : public PhysicalApi {
   Status SetConflict(FileId file, bool conflict) override;
   StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
       const std::vector<FileId>& files) override;
+  StatusOr<std::vector<SubtreeDigest>> GetSubtreeDigests(
+      const std::vector<FileId>& dirs) override;
   StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,
                                           uint32_t length) override;
   StatusOr<std::vector<uint8_t>> ReadAllData(FileId file) override;
@@ -211,6 +215,19 @@ class PhysicalLayer : public PhysicalApi {
   // contents, and every non-root replica is referenced by some entry.
   // Returns a list of problems (empty = consistent).
   StatusOr<std::vector<std::string>> CheckConsistency();
+
+  // Digest-tree oracle: recomputes every cached subtree digest from
+  // scratch (bypassing the incremental cache) and reports any cached node
+  // that disagrees, plus any persisted directory header whose entry
+  // digest no longer matches the entries it covers. Directories with no
+  // cached node are not problems — the tree is lazily built. Returns a
+  // list of problems (empty = digests agree with contents).
+  StatusOr<std::vector<std::string>> ValidateDigestTree();
+
+  // Testing the tester: flips the cached subtree digest of `dir` (filling
+  // the cache first if needed) so the digest-agreement oracle has a known
+  // corruption to catch. Never called outside fault-injection self-tests.
+  Status CorruptDigestForTest(FileId dir);
 
   PhysicalStats stats() const;
 
@@ -318,6 +335,41 @@ class PhysicalLayer : public PhysicalApi {
   };
   std::map<FileId, CachedDigests> digest_cache_;
   static constexpr size_t kMaxCachedDigests = 64;
+
+  // --- Merkle subtree digest tree (digest-guided reconciliation) ---
+  // One memoized node per directory. The tree is maintained by
+  // invalidation: every attribute store and directory store erases the
+  // affected node and walks digest_parents_ to the root erasing ancestors;
+  // GetSubtreeDigests recomputes missing nodes lazily (child-first, so an
+  // unchanged subtree is one map lookup). In-memory only — rebuilt after
+  // Attach — while the per-directory ENTRY digest is also persisted in
+  // the .dir header (v2) and validated on every full parse.
+  struct DigestNode {
+    VersionVector vv;           // dir's own vv at compute time
+    uint64_t entry_digest = 0;
+    uint64_t files_digest = 0;
+    uint64_t subtree_digest = 0;
+    std::vector<std::pair<FileId, uint64_t>> children;
+  };
+  // Computes (or fetches from `memo`) the digest node for `dir`.
+  // `visiting` breaks DAG sharing/cycles: a revisit contributes a fixed
+  // marker instead of recursing. Pass &digest_tree_ for the incremental
+  // path or a scratch map for the from-scratch oracle recompute.
+  StatusOr<DigestNode> ComputeDigestNode(FileId dir, std::set<FileId>& visiting,
+                                         std::map<FileId, DigestNode>& memo);
+  // Digest of one directory's raw entry set (order-independent).
+  static uint64_t EntrySetDigest(const std::vector<FicusDirEntry>& entries);
+  // Erases the digest nodes of `file` (if a directory) and every ancestor
+  // reachable through digest_parents_. Absence of a node is not a stop
+  // condition — an ancestor may be cached while the child is not.
+  void InvalidateDigestUp(FileId file);
+  // Records that `dir` holds an entry for `child` (reverse links for
+  // invalidation). Entries are never physically removed, so links only
+  // grow until GarbageCollect drops the child.
+  void LinkDigestParent(FileId child, FileId dir);
+
+  std::map<FileId, DigestNode> digest_tree_;
+  std::map<FileId, std::set<FileId>> digest_parents_;  // child -> dirs naming it
   std::map<GlobalFileId, NewVersionEntry> new_version_cache_;
   // Registry-backed counter cells, resolved once at construction.
   struct StatCells {
@@ -333,6 +385,7 @@ class PhysicalLayer : public PhysicalApi {
     Counter* orphans_reclaimed;
     Counter* dir_cache_hits;
     Counter* dir_cache_misses;
+    Counter* crdt_rename_merges;
   };
 
   MetricRegistry owned_registry_;

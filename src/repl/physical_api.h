@@ -62,6 +62,51 @@ struct FileAttrResult {
   ReplicaAttributes attrs;
 };
 
+// Order-independent combinator for digests of set elements: modular sum,
+// not XOR, so duplicate elements (two tombstones serializing identically
+// is legal mid-merge) do not cancel out. Replicas converge to equal entry
+// SETS but append entries in different orders, so the per-directory entry
+// digest must not depend on position.
+inline uint64_t DigestAddElement(uint64_t set_digest, uint64_t element_digest) {
+  return set_digest + element_digest;  // u64 arithmetic is mod 2^64
+}
+
+// Order-dependent mixer for the subtree rollup (children are folded in
+// sorted file-id order, so determinism is by construction).
+inline uint64_t DigestMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// One row of a GetSubtreeDigests response: the Merkle-style summary of a
+// directory and the subtree hanging off it. `status` is per-directory
+// (a replica may not store a directory its sibling in the same batch
+// stores); the digest fields are meaningful only when it is ok.
+//
+//   entry_digest   — order-independent digest of the raw entry set
+//                    (names, file-ids, types, liveness, entry version
+//                    vectors, deleted_file_vv tombstone payloads);
+//   files_digest   — digest of the content state (version vector +
+//                    conflict flag) of every ALIVE non-directory child;
+//   subtree_digest — entry_digest + files_digest + the directory's own
+//                    version vector + the recursive subtree digests of
+//                    every locally stored directory-like child.
+//
+// Equal subtree digests on two replicas prove the subtrees need no
+// reconciliation; a mismatch says nothing beyond "descend".
+struct SubtreeDigest {
+  FileId dir;
+  Status status = OkStatus();
+  VersionVector vv;             // the directory's own version vector
+  uint64_t entry_digest = 0;
+  uint64_t files_digest = 0;
+  uint64_t subtree_digest = 0;
+  // Locally stored directory-like children (dead entries included — a
+  // tombstoned subdirectory still holds state the remote may need) with
+  // their subtree digests, deduplicated and sorted by file-id.
+  std::vector<std::pair<FileId, uint64_t>> children;
+};
+
 // One row of a ReadDirPlus scan: a presented, alive directory entry
 // together with the child's replication attributes and (for regular
 // files and symlinks) its data size. `attrs`/`size` are meaningful only
@@ -93,6 +138,12 @@ class PhysicalApi {
   // errors. Rows come back in request order.
   virtual StatusOr<std::vector<FileAttrResult>> BatchGetAttributes(
       const std::vector<FileId>& files) = 0;
+  // Batched probe for digest-guided reconciliation: Merkle-style subtree
+  // summaries for many directories of this volume in one round trip.
+  // Per-directory failures are reported in the row's status; rows come
+  // back in request order.
+  virtual StatusOr<std::vector<SubtreeDigest>> GetSubtreeDigests(
+      const std::vector<FileId>& dirs) = 0;
 
   // --- regular file data ---
   virtual StatusOr<std::vector<uint8_t>> ReadData(FileId file, uint64_t offset,

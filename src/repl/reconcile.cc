@@ -1,13 +1,30 @@
 #include "src/repl/reconcile.h"
 
 #include <deque>
+#include <map>
 #include <set>
 
 namespace ficus::repl {
 
 Reconciler::Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-                       const Clock* clock)
-    : local_(local), resolver_(resolver), log_(log), clock_(clock) {}
+                       const Clock* clock, ReconcileOptions options, MetricRegistry* metrics)
+    : local_(local), resolver_(resolver), log_(log), clock_(clock), options_(options) {
+  if (metrics == nullptr) {
+    owned_registry_ = std::make_unique<MetricRegistry>();
+    metrics = owned_registry_.get();
+  }
+  registry_ = metrics;
+  cells_.match = registry_->counter("repl.recon.digest.match");
+  cells_.mismatch = registry_->counter("repl.recon.digest.mismatch");
+  cells_.pruned_dirs = registry_->counter("repl.recon.digest.pruned_dirs");
+  cells_.fallback = registry_->counter("repl.recon.digest.fallback");
+  cells_.remote_calls = registry_->counter("repl.recon.remote_calls");
+}
+
+void Reconciler::CountRemoteCall() {
+  ++stats_.remote_calls;
+  cells_.remote_calls->Increment();
+}
 
 Status Reconciler::ReconcileDirectory(FileId dir, PhysicalApi* remote) {
   std::set<FileId> visiting;
@@ -20,6 +37,7 @@ Status Reconciler::ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
     return OkStatus();  // already being reconciled higher up this chain
   }
   // Fetch raw remote entries (tombstones included) and replay each one.
+  CountRemoteCall();
   auto remote_attrs_or = remote->GetAttributes(dir);
   if (!remote_attrs_or.ok()) {
     if (remote_attrs_or.status().code() == ErrorCode::kNotFound) {
@@ -36,6 +54,7 @@ Status Reconciler::ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
   if (local_attrs.vv.Dominates(remote_attrs.vv)) {
     return OkStatus();
   }
+  CountRemoteCall();
   FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> remote_entries,
                          remote->ReadDirectory(dir));
   uint64_t repairs_before = local_->stats().insert_delete_conflicts;
@@ -97,7 +116,7 @@ Status Reconciler::ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
 }
 
 Status Reconciler::ReconcileFile(FileId file, PhysicalApi* remote) {
-  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(file));
+  CountRemoteCall();
   auto remote_attrs = remote->GetAttributes(file);
   if (!remote_attrs.ok()) {
     if (remote_attrs.status().code() == ErrorCode::kNotFound) {
@@ -107,17 +126,24 @@ Status Reconciler::ReconcileFile(FileId file, PhysicalApi* remote) {
     }
     return remote_attrs.status();
   }
-  switch (remote_attrs->vv.Compare(local_attrs.vv)) {
+  return ReconcileFileWithAttrs(file, remote, remote_attrs.value());
+}
+
+Status Reconciler::ReconcileFileWithAttrs(FileId file, PhysicalApi* remote,
+                                          const ReplicaAttributes& remote_attrs) {
+  FICUS_ASSIGN_OR_RETURN(ReplicaAttributes local_attrs, local_->GetAttributes(file));
+  switch (remote_attrs.vv.Compare(local_attrs.vv)) {
     case VectorOrder::kEqual:
     case VectorOrder::kDominatedBy:
       return OkStatus();
     case VectorOrder::kDominates: {
+      CountRemoteCall();
       FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t> contents, remote->ReadAllData(file));
-      FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs->vv));
+      FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs.vv));
       // A strictly newer version subsumes whatever the conflict flag was
       // complaining about only if the remote resolved it; propagate the
       // remote's flag rather than guessing.
-      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs->conflict));
+      FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs.conflict));
       ++stats_.files_pulled;
       return OkStatus();
     }
@@ -131,7 +157,7 @@ Status Reconciler::ReconcileFile(FileId file, PhysicalApi* remote) {
         record.local_replica = local_->replica_id();
         record.remote_replica = remote->replica_id();
         record.local_vv = local_attrs.vv;
-        record.remote_vv = remote_attrs->vv;
+        record.remote_vv = remote_attrs.vv;
         record.detected_at = Now();
         record.detail = "concurrent updates to regular file; owner must resolve";
         log_->Report(std::move(record));
@@ -146,7 +172,21 @@ Status Reconciler::ReconcileSubtree(FileId root, ReplicaId remote_replica) {
   FICUS_ASSIGN_OR_RETURN(PhysicalApi * remote,
                          resolver_->Access(local_->volume_id(), remote_replica));
   ++stats_.subtree_runs;
+  if (options_.digest_guided) {
+    Status status = ReconcileSubtreeDigest(root, remote);
+    if (status.code() != ErrorCode::kNotSupported &&
+        status.code() != ErrorCode::kInvalidArgument) {
+      return status;
+    }
+    // The remote predates the digest protocol (rolling upgrade): the
+    // whole subtree falls back to the entry-replay walk.
+    ++stats_.digest_fallback;
+    cells_.fallback->Increment();
+  }
+  return ReconcileSubtreeFullWalk(root, remote);
+}
 
+Status Reconciler::ReconcileSubtreeFullWalk(FileId root, PhysicalApi* remote) {
   // Breadth-first over the local directory graph. Directories are
   // reconciled as they are dequeued, which can surface new children that
   // are then visited in turn. A visited set guards against the DAG's
@@ -180,6 +220,135 @@ Status Reconciler::ReconcileSubtree(FileId root, ReplicaId remote_replica) {
   }
   for (FileId file : files) {
     FICUS_RETURN_IF_ERROR(ReconcileFile(file, remote));
+  }
+  return OkStatus();
+}
+
+Status Reconciler::SweepDirectoryFiles(FileId dir, PhysicalApi* remote) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries, local_->ReadDirectory(dir));
+  std::set<FileId> unique;
+  std::vector<FileId> files;
+  for (const auto& entry : entries) {
+    if (entry.alive && !IsDirectoryLike(entry.type) &&
+        (entry.type == FicusFileType::kRegular ||
+         entry.type == FicusFileType::kSymlink) &&
+        local_->Stores(entry.file) && unique.insert(entry.file).second) {
+      files.push_back(entry.file);
+    }
+  }
+  if (files.empty()) {
+    return OkStatus();
+  }
+  // One RPC covers every file of the directory; per-file divergence is
+  // resolved from the returned rows without further attribute fetches.
+  CountRemoteCall();
+  FICUS_ASSIGN_OR_RETURN(std::vector<FileAttrResult> rows,
+                         remote->BatchGetAttributes(files));
+  for (const auto& row : rows) {
+    if (!row.status.ok()) {
+      if (row.status.code() == ErrorCode::kNotFound) {
+        continue;  // remote does not store this file — legal
+      }
+      return row.status;
+    }
+    FICUS_RETURN_IF_ERROR(ReconcileFileWithAttrs(row.file, remote, row.attrs));
+  }
+  return OkStatus();
+}
+
+Status Reconciler::ReconcileSubtreeDigest(FileId root, PhysicalApi* remote) {
+  // Level-by-level frontier walk: one batched GetSubtreeDigests RPC per
+  // level covers every directory still in play. Equal subtree digests
+  // prune whole subtrees (the vv fold makes MergeDirVersion a no-op and
+  // the files digest covers content pulls, so pruning loses nothing);
+  // a mismatch is triaged into entry replay, file sweep, and descent.
+  std::set<FileId> seen{root};
+  std::vector<FileId> frontier{root};
+  while (!frontier.empty()) {
+    CountRemoteCall();
+    auto remote_rows_or = remote->GetSubtreeDigests(frontier);
+    if (!remote_rows_or.ok()) {
+      return remote_rows_or.status();  // kNotSupported → caller falls back
+    }
+    const std::vector<SubtreeDigest>& remote_rows = remote_rows_or.value();
+    if (remote_rows.size() != frontier.size()) {
+      return CorruptError("GetSubtreeDigests row count mismatch");
+    }
+    FICUS_ASSIGN_OR_RETURN(std::vector<SubtreeDigest> local_rows,
+                           local_->GetSubtreeDigests(frontier));
+    std::vector<FileId> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      FileId dir = frontier[i];
+      const SubtreeDigest& local_row = local_rows[i];
+      const SubtreeDigest& remote_row = remote_rows[i];
+      if (!remote_row.status.ok()) {
+        if (remote_row.status.code() == ErrorCode::kNotFound) {
+          // The remote stores nothing of this subtree (directories are
+          // stored transitively, so neither does it store anything
+          // below): there is nothing to pull.
+          continue;
+        }
+        return remote_row.status;
+      }
+      if (local_row.status.ok() &&
+          local_row.subtree_digest == remote_row.subtree_digest) {
+        ++stats_.digest_match;
+        cells_.match->Increment();
+        stats_.digest_pruned_dirs += 1 + local_row.children.size();
+        cells_.pruned_dirs->Add(1 + local_row.children.size());
+        continue;
+      }
+      ++stats_.digest_mismatch;
+      cells_.mismatch->Increment();
+      // A local row failure (racing removal) is treated like a full
+      // mismatch: replay the directory and descend everywhere.
+      bool dir_differs = !local_row.status.ok() ||
+                         local_row.entry_digest != remote_row.entry_digest ||
+                         !(local_row.vv == remote_row.vv);
+      bool files_differ =
+          !local_row.status.ok() || local_row.files_digest != remote_row.files_digest;
+      if (dir_differs) {
+        // Per-directory fallback to the existing entry-replay protocol.
+        ++stats_.digest_fallback;
+        cells_.fallback->Increment();
+        FICUS_RETURN_IF_ERROR(ReconcileDirectory(dir, remote));
+      }
+      if (files_differ || dir_differs) {
+        FICUS_RETURN_IF_ERROR(SweepDirectoryFiles(dir, remote));
+      }
+      // Descend. After an entry replay the local child set may have
+      // grown, and anything below may differ — visit every stored
+      // directory-like child (equal ones are pruned next level for one
+      // digest-row each). On a pure child-rollup mismatch, only the
+      // children whose digests disagree need visiting.
+      std::map<FileId, uint64_t> remote_children(remote_row.children.begin(),
+                                                 remote_row.children.end());
+      std::map<FileId, uint64_t> local_children(local_row.children.begin(),
+                                                local_row.children.end());
+      FICUS_ASSIGN_OR_RETURN(std::vector<FicusDirEntry> entries,
+                             local_->ReadDirectory(dir));
+      for (const auto& entry : entries) {
+        if (!IsDirectoryLike(entry.type) || !local_->Stores(entry.file) ||
+            seen.count(entry.file) != 0) {
+          continue;
+        }
+        if (!dir_differs) {
+          auto lc = local_children.find(entry.file);
+          auto rc = remote_children.find(entry.file);
+          if (lc != local_children.end() && rc != remote_children.end() &&
+              lc->second == rc->second) {
+            ++stats_.digest_match;
+            cells_.match->Increment();
+            ++stats_.digest_pruned_dirs;
+            cells_.pruned_dirs->Increment();
+            continue;  // child rollups agree — prune without visiting
+          }
+        }
+        seen.insert(entry.file);
+        next.push_back(entry.file);
+      }
+    }
+    frontier = std::move(next);
   }
   return OkStatus();
 }

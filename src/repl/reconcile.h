@@ -16,9 +16,11 @@
 #define FICUS_SRC_REPL_RECONCILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/repl/conflict_log.h"
 #include "src/repl/physical.h"
 #include "src/repl/resolver.h"
@@ -31,14 +33,33 @@ struct ReconcileStats {
   uint64_t files_in_conflict = 0;      // concurrent versions detected
   uint64_t entries_examined = 0;
   uint64_t subtree_runs = 0;
+  // Digest-guided mode bookkeeping.
+  uint64_t digest_match = 0;        // subtree digests agreed (subtree pruned)
+  uint64_t digest_mismatch = 0;     // subtree digests differed (descended)
+  uint64_t digest_pruned_dirs = 0;  // directories never visited thanks to a match
+  uint64_t digest_fallback = 0;     // entry-replay fallbacks (per differing dir,
+                                    // plus whole-subtree on an old remote)
+  uint64_t remote_calls = 0;        // every RPC to the remote replica, both modes
+};
+
+// Knobs for the subtree protocol, plumbed from HostConfig so experiments
+// can run the same cluster with and without the digest optimisation.
+struct ReconcileOptions {
+  // Exchange Merkle subtree digests first and descend only into differing
+  // subtrees; directories whose digests agree are pruned without a single
+  // per-entry RPC. Off = the original full entry-replay walk.
+  bool digest_guided = true;
 };
 
 class Reconciler {
  public:
   // All pointers borrowed. `local` is the replica being brought up to
-  // date; conflicts are recorded in `log`.
+  // date; conflicts are recorded in `log`. `metrics` feeds the
+  // repl.recon.digest.* counters; a private registry is created when
+  // null so counting never needs a null check.
   Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, ConflictLog* log,
-             const Clock* clock = nullptr);
+             const Clock* clock = nullptr, ReconcileOptions options = {},
+             MetricRegistry* metrics = nullptr);
 
   // Reconciles one directory (entries + the directory's version vector)
   // against the remote replica. Does not touch file contents. One
@@ -70,11 +91,35 @@ class Reconciler {
   // `visiting` guards against cycles in the directory DAG.
   Status ReconcileDirectoryInner(FileId dir, PhysicalApi* remote,
                                  std::set<FileId>& visiting);
+  // ReconcileFile with the remote attributes already in hand (the digest
+  // sweep fetches them batched, one RPC per directory).
+  Status ReconcileFileWithAttrs(FileId file, PhysicalApi* remote,
+                                const ReplicaAttributes& remote_attrs);
+  // The original entry-replay walk over the whole local subtree.
+  Status ReconcileSubtreeFullWalk(FileId root, PhysicalApi* remote);
+  // Digest-guided walk: level-by-level batched digest exchange, pruning
+  // equal subtrees. Returns kNotSupported untouched when the remote
+  // predates the digest protocol (caller falls back to the full walk).
+  Status ReconcileSubtreeDigest(FileId root, PhysicalApi* remote);
+  // Batched per-directory file sweep: one BatchGetAttributes for every
+  // alive, locally stored non-directory child, then per-file resolution.
+  Status SweepDirectoryFiles(FileId dir, PhysicalApi* remote);
+  void CountRemoteCall();
 
   PhysicalLayer* local_;
   ReplicaResolver* resolver_;
   ConflictLog* log_;
   const Clock* clock_;
+  ReconcileOptions options_;
+  std::unique_ptr<MetricRegistry> owned_registry_;
+  MetricRegistry* registry_;
+  struct DigestCells {
+    Counter* match = nullptr;
+    Counter* mismatch = nullptr;
+    Counter* pruned_dirs = nullptr;
+    Counter* fallback = nullptr;
+    Counter* remote_calls = nullptr;
+  } cells_;
   ReconcileStats stats_;
 };
 

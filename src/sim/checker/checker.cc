@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
+
+#include "src/common/serialize.h"
 
 #include "src/net/fault.h"
 #include "src/repl/name_cache.h"
@@ -246,6 +249,109 @@ struct Runner {
     }
   }
 
+  // The deliberate bug the guarded digest tests hunt: corrupt host 0's
+  // cached root subtree digest after it has been computed. The digest
+  // oracle (cached vs recomputed-from-contents) must flag it.
+  void PoisonDigestTree() {
+    Status status = physical(0)->CorruptDigestForTest(repl::kRootFileId);
+    if (!status.ok()) {
+      HarnessError("digest corruption injection failed: " + status.ToString());
+    }
+  }
+
+  // Digest-agreement oracle, run on every converged checkpoint state:
+  //   1. every host's cached Merkle digest tree must agree with a fresh
+  //      recomputation from directory contents (a mismatch means an
+  //      invalidation hook was missed — exactly the bug class that makes
+  //      digest-guided reconciliation silently skip real differences);
+  //   2. the digest must be a pure function of replica state: hosts whose
+  //      digest-relevant raw state (stored set, types, version vectors,
+  //      conflict flags, full directory entry sets including tombstones)
+  //      is byte-identical must compute the same root subtree digest.
+  //      Hosts are grouped by state first because replicas may legitimately
+  //      differ after convergence — an unresolved conflict holds different
+  //      bytes per replica, and tombstone garbage collection fires on
+  //      per-replica timing — and those differences are exactly what the
+  //      digest is supposed to expose to reconciliation.
+
+  // Canonical text of everything the Merkle digest hashes at one host —
+  // deliberately excluding mtimes and owners (so is the digest) and file
+  // contents (content changes always advance the version vector).
+  std::string DigestStateKey(uint32_t h) {
+    repl::PhysicalLayer* layer = physical(h);
+    std::string out;
+    std::vector<repl::FileId> files = layer->StoredFiles();
+    std::sort(files.begin(), files.end());
+    for (const repl::FileId& file : files) {
+      StatusOr<repl::ReplicaAttributes> attrs = layer->GetAttributes(file);
+      if (!attrs.ok()) {
+        out += file.ToString() + " unreadable\n";
+        continue;
+      }
+      out += file.ToString() + " t=" + std::to_string(static_cast<int>(attrs->type)) +
+             " vv=" + attrs->vv.ToString() + " c=" + (attrs->conflict ? "1" : "0") + "\n";
+      if (!repl::IsDirectoryLike(attrs->type)) continue;
+      StatusOr<std::vector<repl::FicusDirEntry>> entries = layer->ReadDirectory(file);
+      if (!entries.ok()) {
+        out += "  entries unreadable\n";
+        continue;
+      }
+      std::sort(entries->begin(), entries->end(),
+                [](const repl::FicusDirEntry& a, const repl::FicusDirEntry& b) {
+                  return std::tie(a.name, a.file, a.alive) < std::tie(b.name, b.file, b.alive);
+                });
+      for (const repl::FicusDirEntry& entry : *entries) {
+        std::vector<uint8_t> bytes;
+        ByteWriter w(bytes);
+        entry.Serialize(w);
+        out += "  entry ";
+        out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+        out += "\n";
+      }
+    }
+    return out;
+  }
+
+  void CheckDigestAgreement(int op_index) {
+    // state key -> (root digest -> host names)
+    std::map<std::string, std::map<uint64_t, std::vector<std::string>>> groups;
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      // Populate (or refresh) the cache through the public batched API —
+      // the same entry point reconciliation uses.
+      StatusOr<std::vector<repl::SubtreeDigest>> rows =
+          physical(h)->GetSubtreeDigests({repl::kRootFileId});
+      if (!rows.ok() || rows->size() != 1 || !rows->front().status.ok()) {
+        HarnessError("root digest unreadable on " + hosts[h]->name() + " at op " +
+                     std::to_string(op_index));
+        continue;
+      }
+      groups[DigestStateKey(h)][rows->front().subtree_digest].push_back(hosts[h]->name());
+    }
+    if (schedule.config.inject_stale_digest) PoisonDigestTree();
+    for (uint32_t h = 0; h < hosts.size(); ++h) {
+      StatusOr<std::vector<std::string>> problems = physical(h)->ValidateDigestTree();
+      if (!problems.ok()) {
+        HarnessError("digest validation failed on " + hosts[h]->name() + ": " +
+                     problems.status().ToString());
+        continue;
+      }
+      for (const std::string& problem : problems.value()) {
+        violations.insert("digest disagreement on " + hosts[h]->name() + " (op " +
+                          std::to_string(op_index) + "): " + problem);
+      }
+    }
+    for (const auto& [state, roots] : groups) {
+      if (roots.size() <= 1) continue;
+      std::string detail;
+      for (const auto& [digest, names] : roots) {
+        if (!detail.empty()) detail += " vs ";
+        detail += names.front() + "(" + std::to_string(digest) + ")";
+      }
+      violations.insert("replicas with identical state disagree on root subtree digest (op " +
+                        std::to_string(op_index) + "): " + detail);
+    }
+  }
+
   // Heal-and-quiesce, then run the oracle and the per-host storage checks.
   void Checkpoint(int op_index) {
     ++result.checkpoints;
@@ -310,6 +416,17 @@ struct Runner {
       }
     }
     CheckConvergedLookups(op_index);
+    CheckDigestAgreement(op_index);
+  }
+
+  uint64_t ReconcileRemoteCallTotal() const {
+    uint64_t total = 0;
+    for (FicusHost* host : hosts) {
+      if (const repl::ReconcileStats* stats = host->reconcile_stats(volume)) {
+        total += stats->remote_calls;
+      }
+    }
+    return total;
   }
 };
 
@@ -320,6 +437,7 @@ Status SetUp(Runner& r) {
   host_config.disk_blocks = 2048;
   host_config.inode_count = 512;
   host_config.cache_blocks = 128;
+  host_config.reconcile.digest_guided = config.reconcile_digest_guided;
   if (!config.fault_plan.empty()) {
     // Same patience the fault tier uses: cheap per-attempt timeouts and
     // retry on unreachable, so a lossy network costs sim time, not truth.
@@ -693,6 +811,7 @@ RunResult ModelChecker::Run(const Schedule& schedule) {
   }
   runner.Checkpoint(static_cast<int>(schedule.ops.size()));
   runner.result.converged_digest = runner.ConvergedDigest();
+  runner.result.reconcile_remote_calls = runner.ReconcileRemoteCallTotal();
   runner.result.violations.assign(runner.violations.begin(), runner.violations.end());
   return runner.result;
 }

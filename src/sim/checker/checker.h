@@ -31,6 +31,11 @@ struct RunResult {
   // Two runs of the same schedule that end in the same logical state have
   // equal digests; the differential test compares this across runtimes.
   std::string converged_digest;
+  // Total reconciliation RPCs issued across every host's reconcilers
+  // (repl::ReconcileStats::remote_calls summed at the end of the run).
+  // The digest-vs-full-walk differential asserts this shrinks strictly
+  // when digest guidance is on.
+  uint64_t reconcile_remote_calls = 0;
 
   bool failed() const { return !violations.empty(); }
   std::string Summary() const;

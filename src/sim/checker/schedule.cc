@@ -170,6 +170,12 @@ std::string ToJson(const Schedule& schedule) {
   out += "  \"inject_stale_name_cache\": ";
   out += schedule.config.inject_stale_name_cache ? "true" : "false";
   out += ",\n";
+  out += "  \"inject_stale_digest\": ";
+  out += schedule.config.inject_stale_digest ? "true" : "false";
+  out += ",\n";
+  out += "  \"reconcile_digest_guided\": ";
+  out += schedule.config.reconcile_digest_guided ? "true" : "false";
+  out += ",\n";
   out += "  \"expect_violation\": ";
   out += schedule.expect_violation ? "true" : "false";
   out += ",\n";
@@ -393,6 +399,8 @@ StatusOr<Schedule> FromJson(std::string_view json) {
   }
   schedule.config.inject_lost_update = GetBool(root, "inject_lost_update", false);
   schedule.config.inject_stale_name_cache = GetBool(root, "inject_stale_name_cache", false);
+  schedule.config.inject_stale_digest = GetBool(root, "inject_stale_digest", false);
+  schedule.config.reconcile_digest_guided = GetBool(root, "reconcile_digest_guided", true);
   schedule.expect_violation = GetBool(root, "expect_violation", false);
 
   auto ops_it = root.object.find("ops");

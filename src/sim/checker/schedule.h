@@ -65,6 +65,15 @@ struct CheckerConfig {
   // post-heal lookup sweep must flag it as a stale hit (guarded test,
   // never on by default).
   bool inject_stale_name_cache = false;
+  // Testing the tester, digest edition: at every checkpoint, corrupt the
+  // cached Merkle subtree digest of host 0's volume root. The digest
+  // oracle (cached vs recomputed-from-contents) must flag it (guarded
+  // test, never on by default).
+  bool inject_stale_digest = false;
+  // Subtree reconciliation mode for every host in the run. The recon
+  // differential tier runs each schedule both ways and asserts identical
+  // converged state with strictly fewer RPCs here when true.
+  bool reconcile_digest_guided = true;
 
   bool operator==(const CheckerConfig&) const = default;
 };

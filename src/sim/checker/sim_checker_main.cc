@@ -21,6 +21,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--schedules N] [--seed S] [--hosts N] [--files N] [--dirs N]\n"
                "          [--ops N] [--fault-plan NAME] [--inject-lost-update]\n"
+               "          [--inject-stale-digest] [--full-walk-reconcile]\n"
                "          [--no-shrink] [--trace-out FILE] [--replay FILE]\n"
                "          [--canonicalize FILE] [--runtime deterministic|threaded]\n"
                "          [--differential]\n",
@@ -84,6 +85,10 @@ int main(int argc, char** argv) {
       config.fault_plan = argv[++i];
     } else if (arg == "--inject-lost-update") {
       config.inject_lost_update = true;
+    } else if (arg == "--inject-stale-digest") {
+      config.inject_stale_digest = true;
+    } else if (arg == "--full-walk-reconcile") {
+      config.reconcile_digest_guided = false;
     } else if (arg == "--no-shrink") {
       shrink = false;
     } else if (arg == "--runtime") {

@@ -128,8 +128,8 @@ StatusOr<repl::PhysicalLayer*> FicusHost::CreateVolumeReplica(const repl::Volume
   local.facade = std::make_unique<repl::PhysicalFacadeVfs>(local.physical.get(), fsid);
   local.propagation = std::make_unique<repl::PropagationDaemon>(
       local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
-  local.reconciler =
-      std::make_unique<repl::Reconciler>(local.physical.get(), this, &conflict_log_, clock_);
+  local.reconciler = std::make_unique<repl::Reconciler>(
+      local.physical.get(), this, &conflict_log_, clock_, config_.reconcile, &metrics_);
   if (threaded()) {
     local.worker = std::make_unique<repl::PropagationWorker>(local.propagation.get());
   }
@@ -244,8 +244,8 @@ Status FicusHost::Reboot() {
     local.facade = std::make_unique<repl::PhysicalFacadeVfs>(local.physical.get(), fsid);
     local.propagation = std::make_unique<repl::PropagationDaemon>(
         local.physical.get(), this, &conflict_log_, clock_, config_.propagation);
-    local.reconciler = std::make_unique<repl::Reconciler>(local.physical.get(), this,
-                                                          &conflict_log_, clock_);
+    local.reconciler = std::make_unique<repl::Reconciler>(
+        local.physical.get(), this, &conflict_log_, clock_, config_.reconcile, &metrics_);
     if (threaded()) {
       local.worker = std::make_unique<repl::PropagationWorker>(local.propagation.get());
     }

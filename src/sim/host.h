@@ -56,6 +56,9 @@ struct HostConfig {
   // Options for every physical layer this host creates (attribute
   // placement, selective-replication policy, orphanage).
   repl::PhysicalOptions physical;
+  // Options for every reconciler this host creates (digest-guided vs
+  // full-walk subtree protocol).
+  repl::ReconcileOptions reconcile;
 };
 
 // The datagram channel update notifications ride on.

@@ -71,6 +71,22 @@ StatusOr<std::vector<DirEntryPlus>> Vnode::ReaddirPlus(const OpContext& ctx) {
   return out;
 }
 
+StatusOr<std::vector<uint8_t>> Vnode::LookupRead(std::string_view name,
+                                                 const OpContext& ctx) {
+  FICUS_ASSIGN_OR_RETURN(VnodePtr child, Lookup(name, ctx));
+  std::vector<uint8_t> contents;
+  constexpr size_t kChunk = 64 * 1024;
+  for (;;) {
+    std::vector<uint8_t> piece;
+    FICUS_ASSIGN_OR_RETURN(size_t got, child->Read(contents.size(), kChunk, piece, ctx));
+    contents.insert(contents.end(), piece.begin(), piece.end());
+    if (got < kChunk) {
+      break;
+    }
+  }
+  return contents;
+}
+
 StatusOr<VnodePtr> Vnode::Symlink(std::string_view, std::string_view, const OpContext&) {
   return Unsupported("symlink");
 }

@@ -167,6 +167,14 @@ class Vnode {
   // better (NFS client: one RPC per page; Ficus logical: one physical
   // ReadDirPlus) override it.
   virtual StatusOr<std::vector<DirEntryPlus>> ReaddirPlus(const OpContext& ctx);
+  // Combined lookup + whole-contents read of the named child in one call.
+  // The default composes Lookup with chunked Reads — correct for any
+  // directory vnode, at the two-round-trip cost the combined op exists to
+  // avoid; the NFS client overrides it with a single LOOKUPREAD RPC. The
+  // Ficus facade transactions (encoded-name request, read the response)
+  // are the intended caller.
+  virtual StatusOr<std::vector<uint8_t>> LookupRead(std::string_view name,
+                                                    const OpContext& ctx);
   virtual StatusOr<VnodePtr> Symlink(std::string_view name, std::string_view target,
                                      const OpContext& ctx);
   virtual StatusOr<std::string> Readlink(const OpContext& ctx);

@@ -111,6 +111,60 @@ TEST_F(RemoveUpdateTest, RenameRacingUpdateDoesNotResurrectOldName) {
   }
 }
 
+// CRDT rename/link merge rule (arXiv 1207.5990): when the file is still
+// alive under ANOTHER local name, removing one name loses no update — any
+// concurrent write stays reachable through the surviving name — so the
+// tombstone applies plainly instead of resurrecting the entry and logging
+// a remove/update conflict. Before this rule the scenario below logged a
+// kRemoveUpdate record and resurrected "doc"; the conflict log must now
+// stay empty (it shrinks on the PR 5 edge-case suite).
+TEST_F(RemoveUpdateTest, RemoveOfLinkedNameRacingUpdateMergesWithoutConflict) {
+  FileId file = SharedFile();
+  // Second name for the same file, known everywhere before the race.
+  ASSERT_TRUE(layer(0)->AddEntry(kRootFileId, "doc2", file, FicusFileType::kRegular).ok());
+  ReconcileAll();
+
+  // Partitioned race: replica 1 removes "doc" (an informed content
+  // judgement), replica 2 concurrently updates the bytes.
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+
+  ReconcileAll();
+
+  for (int i = 0; i < 2; ++i) {
+    auto entries = layer(i)->ReadDirectory(kRootFileId);
+    ASSERT_TRUE(entries.ok());
+    std::set<std::string> alive_names;
+    for (const auto& e : *entries) {
+      if (e.alive) {
+        alive_names.insert(e.name);
+      }
+    }
+    // The removed name stays dead; the update survives through the link.
+    EXPECT_EQ(alive_names, (std::set<std::string>{"doc2"})) << "replica " << i;
+    auto data = layer(i)->ReadAllData(file);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value(), (std::vector<uint8_t>{'v', '2'})) << "replica " << i;
+  }
+  EXPECT_EQ(log_.CountOf(ConflictKind::kRemoveUpdate), 0u)
+      << "linked-name remove was escalated to a remove/update conflict";
+  EXPECT_GE(layer(1)->stats().crdt_rename_merges, 1u)
+      << "the merge rule never fired — the tombstone applied by luck";
+}
+
+// Control for the rule's guard: with only ONE name the same race must
+// still resurrect and report — the merge rule may only fire when another
+// live name keeps the update reachable.
+TEST_F(RemoveUpdateTest, SingleNameRemoveRacingUpdateStillConflicts) {
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->RemoveEntry(kRootFileId, "doc").ok());
+  ASSERT_TRUE(layer(1)->WriteData(file, 0, {'v', '2'}).ok());
+  ReconcileAll();
+  EXPECT_GE(log_.CountOf(ConflictKind::kRemoveUpdate), 1u);
+  EXPECT_EQ(layer(0)->stats().crdt_rename_merges, 0u);
+  EXPECT_EQ(layer(1)->stats().crdt_rename_merges, 0u);
+}
+
 TEST_F(RemoveUpdateTest, ResurrectionConvergesAcrossThreeReplicas) {
   // Three replicas; deleter and updater are different from the observer.
   // Everyone must converge to the same resurrected state.

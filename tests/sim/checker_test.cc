@@ -28,6 +28,8 @@ TEST(ScheduleTest, JsonRoundTrip) {
   config.ops = 32;
   config.fault_plan = "Lossy";
   config.inject_lost_update = true;
+  config.inject_stale_digest = true;
+  config.reconcile_digest_guided = false;
   Schedule schedule = GenerateSchedule(config, 77);
   schedule.expect_violation = true;
   StatusOr<Schedule> parsed = FromJson(ToJson(schedule));
@@ -38,6 +40,8 @@ TEST(ScheduleTest, JsonRoundTrip) {
   EXPECT_EQ(parsed->config.dirs, schedule.config.dirs);
   EXPECT_EQ(parsed->config.fault_plan, schedule.config.fault_plan);
   EXPECT_EQ(parsed->config.inject_lost_update, schedule.config.inject_lost_update);
+  EXPECT_EQ(parsed->config.inject_stale_digest, schedule.config.inject_stale_digest);
+  EXPECT_EQ(parsed->config.reconcile_digest_guided, schedule.config.reconcile_digest_guided);
   EXPECT_EQ(parsed->expect_violation, schedule.expect_violation);
   EXPECT_EQ(parsed->ops, schedule.ops);
   // The round-tripped schedule serializes byte-identically: the format is
@@ -137,6 +141,26 @@ TEST(ModelCheckerTest, InjectedStaleNameCacheHitIsCaught) {
     }
   }
   EXPECT_TRUE(mentions_cache) << result.Summary();
+}
+
+// Testing the tester, digest edition: corrupting host 0's cached root
+// subtree digest at every checkpoint must be flagged by the digest
+// oracle's cached-vs-recomputed comparison — proof the oracle would catch
+// a missed invalidation hook in the physical layer.
+TEST(ModelCheckerTest, InjectedStaleDigestIsCaught) {
+  CheckerConfig config;
+  config.inject_stale_digest = true;
+  config.ops = 12;
+  ModelChecker checker;
+  RunResult result = checker.Run(GenerateSchedule(config, 7));
+  ASSERT_TRUE(result.failed()) << "the corrupted cached digest went undetected";
+  bool mentions_digest = false;
+  for (const std::string& violation : result.violations) {
+    if (violation.find("digest disagreement") != std::string::npos) {
+      mentions_digest = true;
+    }
+  }
+  EXPECT_TRUE(mentions_digest) << result.Summary();
 }
 
 }  // namespace
