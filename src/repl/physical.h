@@ -59,6 +59,10 @@ struct PhysicalStats {
   uint64_t dir_cache_hits = 0;        // parsed-directory cache generation matches
   uint64_t dir_cache_misses = 0;      // full read + reparse was needed
   uint64_t crdt_rename_merges = 0;    // remove-vs-update auto-merged: file alive elsewhere
+  uint64_t commit_delta = 0;          // installs that took the block-remap path
+  uint64_t commit_shadow = 0;         // installs that took the shadow-file path
+  uint64_t journal_replays = 0;       // sealed commits replayed at Attach
+  uint64_t commit_bytes_written = 0;  // device bytes written by InstallVersion
 };
 
 // Where replication attributes live on disk.
@@ -79,26 +83,44 @@ enum class AttrPlacement : uint8_t {
 // directories are always stored (directories carry the namespace).
 using StoragePolicy = std::function<bool(const FicusDirEntry& entry)>;
 
-// The write points of InstallVersion's shadow-file commit sequence, in
-// order. Used by the crash_point test hook to simulate a crash after each
+// The write points of InstallVersion's two commit sequences, in order.
+// Used by the crash_point test hook to simulate a crash after each
 // durable step (the buffer cache is write-through, so "everything up to
 // the point, nothing after" is exactly what a real crash leaves on disk).
-enum class ShadowCrashPoint {
+// The first six cover the legacy shadow-file commit; the last five cover
+// the journal-backed block-remap (delta) commit.
+enum class CommitCrashPoint {
+  // Shadow-file path (commit point = kAfterRepoint):
   kAfterShadowCreate,  // shadow inode exists, still empty
   kAfterShadowWrite,   // new contents staged in the shadow
   kAfterAttrStage,     // inode-resident/spilled attributes staged
   kAfterRepoint,       // commit point passed: the name now maps to the shadow inode
   kAfterShadowUnlink,  // spare shadow name removed
   kAfterFreeInode,     // superseded inode freed; version vector not yet updated
+  // Block-remap path (commit point = kAfterJournalSeal):
+  kAfterDeltaDataWrite,  // new block images written into still-free blocks
+  kAfterJournalStage,    // redo records staged, intent record unsealed
+  kAfterJournalSeal,     // commit point passed: intent record sealed
+  kAfterJournalApply,    // home metadata blocks rewritten
+  kAfterJournalClear,    // intent retired; delta commit fully complete
 };
+// Historic name, kept for the shadow-specific call sites and tests.
+using ShadowCrashPoint = CommitCrashPoint;
 
 struct PhysicalOptions {
   AttrPlacement attr_placement = AttrPlacement::kAuxFile;
-  // Test-only fault hook: called at each write point of the shadow-file
-  // commit path; returning true aborts the install with an I/O error,
-  // leaving the on-disk image exactly as a crash at that point would.
-  // Null (the default) never fires.
-  std::function<bool(ShadowCrashPoint)> crash_point;
+  // Test-only fault hook: called at each write point of either commit
+  // path; returning true aborts the install with an I/O error, leaving
+  // the on-disk image exactly as a crash at that point would. Null (the
+  // default) never fires.
+  std::function<bool(CommitCrashPoint)> crash_point;
+  // Delta-commit gates, mirroring the propagation daemon's delta-fetch
+  // gates: InstallVersion only attempts the block-remap commit for files
+  // at least this large whose dirty fraction is at most this much;
+  // everything else (and every device without a journal) takes the
+  // shadow-file path.
+  uint64_t commit_min_bytes = 16 * 1024;
+  double commit_max_dirty_frac = 0.5;
   // Null policy = store everything ("a volume replica ... need not store
   // a replica of any particular file", section 4.1). Reads of unstored
   // files are served by other replicas via the logical layer's selection.
@@ -244,8 +266,18 @@ class PhysicalLayer : public PhysicalApi {
   SimTime Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
   Status CheckAttached() const;
   // Fires the options_.crash_point hook: an I/O error when the hook elects
-  // to crash the shadow commit at `point`, OkStatus otherwise.
-  Status MaybeCrash(ShadowCrashPoint point) const;
+  // to crash the commit at `point`, OkStatus otherwise.
+  Status MaybeCrash(CommitCrashPoint point) const;
+
+  // Attempts the journal-backed block-remap commit for InstallVersion.
+  // Returns true when the install completed on the delta path, false when
+  // the caller should fall back to the shadow-file commit (gates unmet,
+  // no journal, attribute spill, ...). Errors — including the simulated
+  // crash hook's I/O error — propagate without fallback: after a mid-
+  // commit crash the image must be left exactly as the crash left it.
+  StatusOr<bool> TryDeltaCommit(FileId file, const Location& loc,
+                                const std::vector<uint8_t>& contents,
+                                const VersionVector& vv);
 
   StatusOr<Location> Find(FileId file) const;
   // UFS inode of a regular replica's data file.
@@ -386,6 +418,10 @@ class PhysicalLayer : public PhysicalApi {
     Counter* dir_cache_hits;
     Counter* dir_cache_misses;
     Counter* crdt_rename_merges;
+    Counter* commit_delta;
+    Counter* commit_shadow;
+    Counter* journal_replays;
+    Counter* commit_bytes_written;
   };
 
   MetricRegistry owned_registry_;

@@ -28,6 +28,7 @@ PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* reso
   stats_.delta_bytes_saved = registry_->counter("repl.prop.delta.bytes_saved");
   stats_.whole_file_fallbacks = registry_->counter("repl.prop.delta.whole_file_fallbacks");
   stats_.batched_probes = registry_->counter("repl.prop.delta.batched_probes");
+  stats_.apply_bytes_written = registry_->counter("repl.prop.apply.bytes_written");
 }
 
 PropagationStats PropagationDaemon::stats() const {
@@ -45,6 +46,7 @@ PropagationStats PropagationDaemon::stats() const {
   out.delta_bytes_saved = stats_.delta_bytes_saved->value();
   out.whole_file_fallbacks = stats_.whole_file_fallbacks->value();
   out.batched_probes = stats_.batched_probes->value();
+  out.apply_bytes_written = stats_.apply_bytes_written->value();
   return out;
 }
 
@@ -222,7 +224,12 @@ Status PropagationDaemon::Propagate(const NewVersionEntry& entry,
         FICUS_ASSIGN_OR_RETURN(contents, source->ReadAllData(file));
         fetched_bytes = contents.size();
       }
+      // Measure the install's local device writes: with delta fetch AND
+      // delta commit this stays O(dirty blocks) while the file grows.
+      const uint64_t commit_bytes_before = local_->stats().commit_bytes_written;
       FICUS_RETURN_IF_ERROR(local_->InstallVersion(file, contents, remote_attrs.vv));
+      stats_.apply_bytes_written->Add(local_->stats().commit_bytes_written -
+                                      commit_bytes_before);
       FICUS_RETURN_IF_ERROR(local_->SetConflict(file, remote_attrs.conflict));
       stats_.pulled_files->Increment();
       stats_.bytes_pulled->Add(fetched_bytes);

@@ -48,6 +48,10 @@ struct PropagationStats {
   uint64_t delta_bytes_saved = 0;      // file bytes NOT transferred thanks to deltas
   uint64_t whole_file_fallbacks = 0;   // delta attempted/eligible but whole file pulled
   uint64_t batched_probes = 0;         // BatchGetAttributes probe RPCs issued
+  // Apply side (`repl.prop.apply.*`): local device bytes written while
+  // installing pulled versions — the delta *commit* savings, complementing
+  // delta_bytes_saved's wire savings.
+  uint64_t apply_bytes_written = 0;
 };
 
 struct PropagationConfig {
@@ -113,6 +117,7 @@ class PropagationDaemon {
     Counter* delta_bytes_saved;
     Counter* whole_file_fallbacks;
     Counter* batched_probes;
+    Counter* apply_bytes_written;
   };
 
   // Backoff bookkeeping for an entry whose source keeps failing.

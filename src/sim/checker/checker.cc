@@ -438,6 +438,11 @@ Status SetUp(Runner& r) {
   host_config.inode_count = 512;
   host_config.cache_blocks = 128;
   host_config.reconcile.digest_guided = config.reconcile_digest_guided;
+  // Route every install through the block-remap (delta) commit: the
+  // checker's payloads are tiny, so without dropping the gates the
+  // journal path would never run under differential/thread schedules.
+  host_config.physical.commit_min_bytes = 0;
+  host_config.physical.commit_max_dirty_frac = 1.0;
   if (!config.fault_plan.empty()) {
     // Same patience the fault tier uses: cheap per-attempt timeouts and
     // retry on unreachable, so a lossy network costs sim time, not truth.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/serialize.h"
+#include "src/storage/block_journal.h"
 #include "src/vfs/vnode.h"
 
 namespace ficus::ufs {
@@ -305,6 +306,8 @@ Status Ufs::WriteSuperBlock() {
   w.PutU32(sb_.data_start);
   w.PutU32(sb_.free_blocks);
   w.PutU32(sb_.free_inodes);
+  w.PutU32(sb_.journal_start);
+  w.PutU32(sb_.journal_blocks);
   block.resize(kBlockSize, 0);
   return cache_->Write(0, block);
 }
@@ -325,7 +328,17 @@ Status Ufs::Format(uint32_t inode_count) {
   sb_.block_bitmap_blocks = DivRoundUp(DivRoundUp(block_count, 8), kBlockSize);
   sb_.inode_table_start = sb_.block_bitmap_start + sb_.block_bitmap_blocks;
   sb_.inode_table_blocks = DivRoundUp(inode_count, kInodesPerBlock);
-  sb_.data_start = sb_.inode_table_start + sb_.inode_table_blocks;
+  // Reserve a redo-journal region between the inode table and the data
+  // area when the device can spare it (the journal plus a like-sized data
+  // area); tiny test devices simply go without and RemapCommit reports
+  // kNotSupported.
+  uint32_t after_tables = sb_.inode_table_start + sb_.inode_table_blocks;
+  constexpr uint32_t kJournalRegionBlocks = 65;  // 1 intent + 64 image slots
+  if (after_tables + 2 * kJournalRegionBlocks <= block_count) {
+    sb_.journal_start = after_tables;
+    sb_.journal_blocks = kJournalRegionBlocks;
+  }
+  sb_.data_start = after_tables + sb_.journal_blocks;
   if (sb_.data_start >= block_count) {
     return NoSpaceError("metadata exceeds device size");
   }
@@ -377,11 +390,15 @@ Status Ufs::Mount() {
   FICUS_ASSIGN_OR_RETURN(sb_.data_start, r.GetU32());
   FICUS_ASSIGN_OR_RETURN(sb_.free_blocks, r.GetU32());
   FICUS_ASSIGN_OR_RETURN(sb_.free_inodes, r.GetU32());
+  // Legacy images carry zeros here (the superblock tail is zero-padded),
+  // which reads back as "no journal".
+  FICUS_ASSIGN_OR_RETURN(sb_.journal_start, r.GetU32());
+  FICUS_ASSIGN_OR_RETURN(sb_.journal_blocks, r.GetU32());
   if (sb_.block_count != cache_->device()->block_count()) {
     return CorruptError("superblock block count does not match device");
   }
   mounted_ = true;
-  return OkStatus();
+  return RecoverJournal().status();
 }
 
 // --- Bitmaps ---
@@ -822,6 +839,251 @@ Status Ufs::WriteAll(InodeNum ino, const std::vector<uint8_t>& data) {
     FICUS_RETURN_IF_ERROR(WriteAt(ino, 0, data).status());
   }
   return OkStatus();
+}
+
+// --- Block-remap commit ---
+
+StatusOr<std::vector<uint32_t>> Ufs::CollectFreeDataBlocks(size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  uint32_t bitmap_blocks = DivRoundUp(DivRoundUp(sb_.block_count, 8), kBlockSize);
+  const uint32_t start_block =
+      std::min(block_alloc_hint_, sb_.block_count - 1) / (kBlockSize * 8);
+  for (uint32_t step = 0; step < bitmap_blocks && out.size() < n; ++step) {
+    uint32_t b = (start_block + step) % bitmap_blocks;
+    std::vector<uint8_t> data;
+    FICUS_RETURN_IF_ERROR(cache_->Read(sb_.block_bitmap_start + b, data));
+    for (uint32_t byte = 0; byte < kBlockSize && out.size() < n; ++byte) {
+      if (data[byte] == 0xFF) {
+        continue;
+      }
+      for (uint32_t bit = 0; bit < 8 && out.size() < n; ++bit) {
+        uint32_t index = b * kBlockSize * 8 + byte * 8 + bit;
+        if (index >= sb_.block_count) {
+          break;
+        }
+        if ((data[byte] >> bit & 1) == 0) {
+          out.push_back(index);
+        }
+      }
+    }
+  }
+  if (out.size() < n) {
+    return NoSpaceError("not enough free blocks for remap commit");
+  }
+  return out;
+}
+
+Status Ufs::RemapCommit(InodeNum ino, const std::vector<RemapBlock>& blocks,
+                        uint64_t new_size, const std::vector<uint8_t>* new_ext,
+                        const RemapCommitHook& hook) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  if (sb_.journal_blocks < 2) {
+    return NotSupportedError("device formatted without a journal");
+  }
+  if (blocks.empty()) {
+    return InvalidArgumentError("remap commit with no dirty blocks");
+  }
+  if (new_size > kMaxFileSize) {
+    return NoSpaceError("file too large");
+  }
+  if (new_ext != nullptr && new_ext->size() > kMaxInodeExt) {
+    return NoSpaceError("inode extension area overflow");
+  }
+  FICUS_ASSIGN_OR_RETURN(Inode inode, ReadInode(ino));
+  uint64_t old_block_count = (inode.size + kBlockSize - 1) / kBlockSize;
+  uint64_t new_block_count = (new_size + kBlockSize - 1) / kBlockSize;
+  if (old_block_count != new_block_count) {
+    return NotSupportedError("remap commit cannot change the block count");
+  }
+
+  // Plan, read-only: where each dirty block lives and which pointer word
+  // must swing to its replacement.
+  struct Slot {
+    uint32_t file_block = 0;
+    uint32_t old_block = 0;
+    uint32_t fresh_block = 0;
+    bool direct = false;
+    uint32_t ptr_block = 0;  // device block holding the pointer word (if !direct)
+    uint32_t ptr_index = 0;  // word index within it
+    const std::vector<uint8_t>* image = nullptr;
+  };
+  auto read_word = [&](uint32_t block, uint32_t index) -> StatusOr<uint32_t> {
+    std::vector<uint8_t> data;
+    FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+    uint32_t word = 0;
+    std::memcpy(&word, data.data() + static_cast<size_t>(index) * 4, 4);
+    return word;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(blocks.size());
+  std::unordered_set<uint32_t> seen;
+  for (const RemapBlock& rb : blocks) {
+    if (rb.image.size() != kBlockSize) {
+      return InvalidArgumentError("remap image is not one full block");
+    }
+    if (rb.file_block >= new_block_count) {
+      return InvalidArgumentError("remap block beyond end of file");
+    }
+    if (!seen.insert(rb.file_block).second) {
+      return InvalidArgumentError("duplicate remap block");
+    }
+    Slot slot;
+    slot.file_block = rb.file_block;
+    slot.image = &rb.image;
+    if (rb.file_block < kDirectBlocks) {
+      slot.direct = true;
+      slot.old_block = inode.direct[rb.file_block];
+    } else {
+      uint32_t idx = rb.file_block - kDirectBlocks;
+      if (idx < kPointersPerBlock) {
+        if (inode.indirect == 0) {
+          return NotSupportedError("remap target is a hole");
+        }
+        slot.ptr_block = inode.indirect;
+        slot.ptr_index = idx;
+      } else {
+        uint64_t di = static_cast<uint64_t>(idx) - kPointersPerBlock;
+        if (inode.double_indirect == 0) {
+          return NotSupportedError("remap target is a hole");
+        }
+        FICUS_ASSIGN_OR_RETURN(
+            uint32_t l2_block,
+            read_word(inode.double_indirect,
+                      static_cast<uint32_t>(di / kPointersPerBlock)));
+        if (l2_block == 0) {
+          return NotSupportedError("remap target is a hole");
+        }
+        slot.ptr_block = l2_block;
+        slot.ptr_index = static_cast<uint32_t>(di % kPointersPerBlock);
+      }
+      FICUS_ASSIGN_OR_RETURN(slot.old_block, read_word(slot.ptr_block, slot.ptr_index));
+    }
+    if (slot.old_block == 0) {
+      return NotSupportedError("remap target is a hole");
+    }
+    slots.push_back(slot);
+  }
+
+  // Provisionally pick replacement blocks. No bitmap is written yet: until
+  // the journaled metadata commits these blocks stay free on disk, so a
+  // crash leaks nothing and leaves nothing reachable.
+  FICUS_ASSIGN_OR_RETURN(std::vector<uint32_t> fresh, CollectFreeDataBlocks(slots.size()));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i].fresh_block = fresh[i];
+  }
+
+  // Assemble the metadata redo set as whole-block images edited in memory:
+  // bitmap blocks (fresh bits on, old bits off), pointer blocks with swung
+  // words, and the inode-table block with new direct pointers, size, mtime,
+  // and extension area. The superblock is untouched — N blocks allocated
+  // and N freed keeps free_blocks exact.
+  std::map<uint32_t, std::vector<uint8_t>> redo;
+  auto load = [&](uint32_t block) -> StatusOr<std::vector<uint8_t>*> {
+    auto it = redo.find(block);
+    if (it == redo.end()) {
+      std::vector<uint8_t> data;
+      FICUS_RETURN_IF_ERROR(cache_->Read(block, data));
+      it = redo.emplace(block, std::move(data)).first;
+    }
+    return &it->second;
+  };
+  auto bit_edit = [&](uint32_t index, bool value) -> Status {
+    uint32_t block = sb_.block_bitmap_start + index / (kBlockSize * 8);
+    uint32_t bit = index % (kBlockSize * 8);
+    FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t>* data, load(block));
+    if (value) {
+      (*data)[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    } else {
+      (*data)[bit / 8] &= static_cast<uint8_t>(~(1u << (bit % 8)));
+    }
+    return OkStatus();
+  };
+  for (const Slot& s : slots) {
+    FICUS_RETURN_IF_ERROR(bit_edit(s.fresh_block, true));
+    FICUS_RETURN_IF_ERROR(bit_edit(s.old_block, false));
+    if (!s.direct) {
+      FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t>* data, load(s.ptr_block));
+      std::memcpy(data->data() + static_cast<size_t>(s.ptr_index) * 4,
+                  &s.fresh_block, 4);
+    }
+  }
+  Inode new_inode = inode;
+  for (const Slot& s : slots) {
+    if (s.direct) {
+      new_inode.direct[s.file_block] = s.fresh_block;
+    }
+  }
+  new_inode.size = new_size;
+  new_inode.mtime = Now();
+  if (new_ext != nullptr) {
+    new_inode.ext = *new_ext;
+  }
+  uint32_t itable_block = sb_.inode_table_start + ino / kInodesPerBlock;
+  uint32_t ioffset = (ino % kInodesPerBlock) * kInodeSize;
+  {
+    FICUS_ASSIGN_OR_RETURN(std::vector<uint8_t>* data, load(itable_block));
+    FICUS_RETURN_IF_ERROR(SerializeInode(new_inode, data->data() + ioffset));
+  }
+
+  storage::BlockJournal journal(cache_, sb_.journal_start, sb_.journal_blocks);
+  if (redo.size() > journal.capacity()) {
+    return NotSupportedError("metadata redo set exceeds journal capacity");
+  }
+  auto checkpoint = [&](RemapCommitPoint point) -> Status {
+    return hook != nullptr ? hook(point) : OkStatus();
+  };
+
+  // 1. New data into still-free blocks.
+  for (const Slot& s : slots) {
+    FICUS_RETURN_IF_ERROR(cache_->Write(s.fresh_block, *s.image));
+  }
+  FICUS_RETURN_IF_ERROR(checkpoint(RemapCommitPoint::kAfterDataWrite));
+
+  // 2-5. Journal the metadata swing; sealing is the commit point.
+  std::vector<storage::JournalRecord> records;
+  records.reserve(redo.size());
+  for (auto& [target, image] : redo) {
+    records.push_back({target, std::move(image)});
+  }
+  FICUS_RETURN_IF_ERROR(journal.Stage(records));
+  FICUS_RETURN_IF_ERROR(checkpoint(RemapCommitPoint::kAfterJournalStage));
+  FICUS_RETURN_IF_ERROR(journal.Seal());
+  FICUS_RETURN_IF_ERROR(checkpoint(RemapCommitPoint::kAfterJournalSeal));
+  FICUS_RETURN_IF_ERROR(journal.Apply());
+  FICUS_RETURN_IF_ERROR(checkpoint(RemapCommitPoint::kAfterJournalApply));
+  FICUS_RETURN_IF_ERROR(journal.Clear());
+  FICUS_RETURN_IF_ERROR(checkpoint(RemapCommitPoint::kAfterJournalClear));
+
+  // Post-commit maintenance: the superseded blocks are free now (the
+  // applied bitmap says so); drop their cached copies and lower the rotor
+  // so allocation rescans them.
+  for (const Slot& s : slots) {
+    cache_->InvalidateBlock(s.old_block);
+    block_alloc_hint_ = std::min(block_alloc_hint_, s.old_block);
+  }
+  dir_index_.erase(ino);
+  return OkStatus();
+}
+
+StatusOr<bool> Ufs::RecoverJournal() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  FICUS_RETURN_IF_ERROR(CheckMounted());
+  if (sb_.journal_blocks < 2) {
+    return false;
+  }
+  storage::BlockJournal journal(cache_, sb_.journal_start, sb_.journal_blocks);
+  FICUS_ASSIGN_OR_RETURN(storage::JournalRecoveryResult result, journal.Recover());
+  if (result.replayed) {
+    // The replay rewrote bitmap/pointer/inode blocks under every in-memory
+    // parse of them; drop derived state and rescan bitmaps from the start.
+    dir_index_.clear();
+    inode_alloc_hint_ = 0;
+    block_alloc_hint_ = 0;
+  }
+  return result.replayed;
 }
 
 // --- Directories ---
@@ -1280,6 +1542,17 @@ StatusOr<std::vector<std::string>> Ufs::Check() {
         problems.push_back("directory inode " + std::to_string(ino) + " has " +
                            std::to_string(refcount[ino]) + " parent references");
       }
+    }
+  }
+
+  // Pass 4: the journal must be quiescent. A sealed intent surviving to
+  // fsck means a committed update was never replayed (recovery did not
+  // run); its staged home-block images are the orphans to flag.
+  if (sb_.journal_blocks >= 2) {
+    storage::BlockJournal journal(cache_, sb_.journal_start, sb_.journal_blocks);
+    FICUS_ASSIGN_OR_RETURN(bool sealed, journal.SealedOnDisk());
+    if (sealed) {
+      problems.push_back("journal intent record left sealed (unreplayed commit)");
     }
   }
   return problems;

@@ -29,6 +29,7 @@
 #define FICUS_SRC_UFS_UFS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -130,6 +131,31 @@ struct SuperBlock {
   uint32_t data_start = 0;
   uint32_t free_blocks = 0;
   uint32_t free_inodes = 0;
+  // Redo-journal region between the inode table and the data area, used by
+  // RemapCommit. Zero on images formatted before the journal existed or on
+  // devices too small to afford one; the block-remap commit is then
+  // unsupported and callers stay on the shadow-file path.
+  uint32_t journal_start = 0;
+  uint32_t journal_blocks = 0;
+};
+
+// Durable-write boundaries of Ufs::RemapCommit, in commit order. A test
+// hook may abort after any of them; because all I/O is write-through, the
+// on-disk image is then exactly what a crash at that boundary leaves.
+enum class RemapCommitPoint : uint8_t {
+  kAfterDataWrite,     // new images written into still-free blocks
+  kAfterJournalStage,  // redo records staged, intent record unsealed
+  kAfterJournalSeal,   // commit point: intent record sealed
+  kAfterJournalApply,  // home metadata blocks rewritten
+  kAfterJournalClear,  // intent retired; commit fully complete
+};
+using RemapCommitHook = std::function<Status(RemapCommitPoint)>;
+
+// One dirty file block for RemapCommit: the file-block ordinal plus its
+// new full-block image (callers zero-pad a trailing partial block).
+struct RemapBlock {
+  uint32_t file_block = 0;
+  std::vector<uint8_t> image;
 };
 
 // The filesystem proper. All block access goes through the BufferCache so
@@ -180,6 +206,31 @@ class Ufs {
   StatusOr<std::vector<uint8_t>> ReadAll(InodeNum ino);
   // Replaces the entire file contents.
   Status WriteAll(InodeNum ino, const std::vector<uint8_t>& data);
+
+  // --- Block-remap commit (journal-backed; DESIGN.md "Commit protocol") ---
+  // Atomically replaces the listed file blocks of `ino` with new images,
+  // updating size, mtime, and (when new_ext != nullptr) the extension area
+  // in the same commit. The new data lands in freshly chosen free blocks;
+  // the bitmaps, indirect pointers, and inode then swing over through one
+  // sealed redo journal, so a crash at any point yields the complete old
+  // or the complete new file — never a mix, never a leaked block, and
+  // never a superblock write (the free count is commit-neutral).
+  // Returns kNotSupported when the device has no journal, a listed block
+  // is a hole, new_size changes the file's block count, or the metadata
+  // redo set exceeds journal capacity — callers fall back to the
+  // shadow-file commit.
+  Status RemapCommit(InodeNum ino, const std::vector<RemapBlock>& blocks,
+                     uint64_t new_size, const std::vector<uint8_t>* new_ext,
+                     const RemapCommitHook& hook = nullptr);
+
+  // Journal recovery: replays a sealed commit left by a crash, discards an
+  // unsealed one. Returns true when a commit was replayed. Idempotent.
+  // Mount() runs this; the physical layer also runs it on Attach because
+  // simulated reboots re-attach to the surviving image without remounting.
+  StatusOr<bool> RecoverJournal();
+
+  // Does this image carry a usable journal region?
+  bool journal_enabled() const { return sb_.journal_blocks >= 2; }
 
   // --- Directory operations ---
   StatusOr<InodeNum> DirLookup(InodeNum dir, std::string_view name);
@@ -243,6 +294,11 @@ class Ufs {
   StatusOr<bool> BitmapGet(uint32_t base, uint32_t index);
   Status BitmapSet(uint32_t base, uint32_t index, bool value);
   StatusOr<uint32_t> BitmapFindFree(uint32_t base, uint32_t count, uint32_t& hint);
+
+  // Read-only scan for `n` distinct free data blocks (RemapCommit's
+  // provisional allocation: nothing is marked used until the journaled
+  // bitmap images commit, so an aborted commit leaks nothing).
+  StatusOr<std::vector<uint32_t>> CollectFreeDataBlocks(size_t n);
 
   // Maps a file block ordinal to a device block, optionally allocating.
   StatusOr<uint32_t> MapBlock(Inode& inode, uint32_t file_block, bool allocate, bool& dirty);

@@ -137,29 +137,53 @@ TEST_F(CrashRecoveryTest, RepeatedCrashCyclesStayConsistent) {
   }
 }
 
-// Crash-point matrix over the shadow-file commit path: host b's install
-// of a peer update is cut at every write point of InstallVersion (via the
+const char* CrashPointName(repl::CommitCrashPoint point) {
+  switch (point) {
+    case repl::CommitCrashPoint::kAfterShadowCreate: return "AfterShadowCreate";
+    case repl::CommitCrashPoint::kAfterShadowWrite: return "AfterShadowWrite";
+    case repl::CommitCrashPoint::kAfterAttrStage: return "AfterAttrStage";
+    case repl::CommitCrashPoint::kAfterRepoint: return "AfterRepoint";
+    case repl::CommitCrashPoint::kAfterShadowUnlink: return "AfterShadowUnlink";
+    case repl::CommitCrashPoint::kAfterFreeInode: return "AfterFreeInode";
+    case repl::CommitCrashPoint::kAfterDeltaDataWrite: return "AfterDeltaDataWrite";
+    case repl::CommitCrashPoint::kAfterJournalStage: return "AfterJournalStage";
+    case repl::CommitCrashPoint::kAfterJournalSeal: return "AfterJournalSeal";
+    case repl::CommitCrashPoint::kAfterJournalApply: return "AfterJournalApply";
+    case repl::CommitCrashPoint::kAfterJournalClear: return "AfterJournalClear";
+  }
+  return "Unknown";
+}
+
+// Crash-point matrix over both commit paths: host b's install of a peer
+// update is cut at every write point of InstallVersion (via the
 // PhysicalOptions::crash_point hook), b then crashes and reboots, and
-// recovery must leave no shadow residue, a clean UFS, consistent replica
-// metadata, and exactly the pre- or post-commit contents — never a torn
-// file.
+// recovery must leave no shadow residue, a quiescent journal, a clean
+// UFS, consistent replica metadata, and exactly the pre- or post-commit
+// contents — never a torn file. The shadow instantiation leaves the
+// delta gates at their defaults (tiny payloads stay on the shadow path);
+// the delta instantiation drops the gates to zero so the same install
+// takes the journal-backed block-remap path.
 class ShadowCommitCrashTest
-    : public ::testing::TestWithParam<repl::ShadowCrashPoint> {
+    : public ::testing::TestWithParam<repl::CommitCrashPoint> {
  protected:
   static constexpr int kDisarmed = -1;
 
-  ShadowCommitCrashTest() {
+  explicit ShadowCommitCrashTest(bool delta_commit = false) {
     a_ = cluster_.AddHost("a");
     HostConfig config;
     // Fires once at the parameterized point, then disarms so reboot
     // recovery and later reinstalls run unimpeded. The armed state lives
     // behind a shared_ptr because Reboot() rebuilds the physical layer
     // from a copy of this config.
-    config.physical.crash_point = [armed = armed_](repl::ShadowCrashPoint p) {
+    config.physical.crash_point = [armed = armed_](repl::CommitCrashPoint p) {
       if (*armed != static_cast<int>(p)) return false;
       *armed = kDisarmed;
       return true;
     };
+    if (delta_commit) {
+      config.physical.commit_min_bytes = 0;
+      config.physical.commit_max_dirty_frac = 1.0;
+    }
     b_ = cluster_.AddHost("b", config);
     auto volume = cluster_.CreateVolume({a_, b_});
     EXPECT_TRUE(volume.ok());
@@ -205,6 +229,56 @@ class ShadowCommitCrashTest
     }
   }
 
+  // The shared crash-reboot-verify cycle. `commit_point` is the first
+  // crash point (in enum order within the exercised path) at or after
+  // which the new version must survive the reboot.
+  void RunMatrix(repl::CommitCrashPoint commit_point) {
+    auto fs_a = cluster_.MountEverywhere(a_, volume_);
+    ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v1").ok());
+    ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+
+    // v2 must land on a's replica only: partition a alone so update
+    // selection cannot route the write to b.
+    cluster_.Partition({{a_}});
+    ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v2").ok());
+    cluster_.Heal();
+
+    *armed_ = static_cast<int>(GetParam());
+    // b pulls v2 from a and the install dies at the armed point; the error
+    // aborts the pull, leaving exactly the crash-point disk image.
+    Status pull = b_->RunReconciliation();
+    EXPECT_FALSE(pull.ok()) << "the interrupted install must surface an error";
+    ASSERT_EQ(*armed_, kDisarmed)
+        << "the crash point never fired (wrong commit path taken?)";
+
+    b_->Crash();
+    ASSERT_TRUE(b_->Reboot().ok());
+
+    ExpectNoShadowResidue(ufs::kRootInode, "");
+    auto fsck = b_->ufs().Check();
+    ASSERT_TRUE(fsck.ok());
+    EXPECT_TRUE(fsck->empty()) << fsck->front();
+    for (repl::PhysicalLayer* layer : b_->registry().AllLocal()) {
+      auto problems = layer->CheckConsistency();
+      ASSERT_TRUE(problems.ok());
+      EXPECT_TRUE(problems->empty()) << problems->front();
+    }
+
+    // Atomicity: before the commit point b still serves v1 intact, from
+    // the commit point onward it serves v2 — never a torn or empty file.
+    std::string contents = LocalContentsAtB("f");
+    if (GetParam() < commit_point) {
+      EXPECT_EQ(contents, "v1");
+    } else {
+      EXPECT_EQ(contents, "v2");
+    }
+
+    // With the hook disarmed, reconciliation finishes the interrupted (or
+    // unacknowledged) install and the cluster converges on v2.
+    ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
+    EXPECT_EQ(LocalContentsAtB("f"), "v2");
+  }
+
   std::shared_ptr<int> armed_ = std::make_shared<int>(kDisarmed);
   Cluster cluster_;
   FicusHost* a_;
@@ -213,69 +287,53 @@ class ShadowCommitCrashTest
 };
 
 TEST_P(ShadowCommitCrashTest, RecoveryIsCleanAtEveryWritePoint) {
-  auto fs_a = cluster_.MountEverywhere(a_, volume_);
-  ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v1").ok());
-  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
-
-  // v2 must land on a's replica only: partition a alone so update
-  // selection cannot route the write to b.
-  cluster_.Partition({{a_}});
-  ASSERT_TRUE(vfs::WriteFileAt(*fs_a, "f", "v2").ok());
-  cluster_.Heal();
-
-  *armed_ = static_cast<int>(GetParam());
-  // b pulls v2 from a and the install dies at the armed point; the error
-  // aborts the pull, leaving exactly the crash-point disk image.
-  Status pull = b_->RunReconciliation();
-  EXPECT_FALSE(pull.ok()) << "the interrupted install must surface an error";
-  ASSERT_EQ(*armed_, kDisarmed) << "the crash point never fired";
-
-  b_->Crash();
-  ASSERT_TRUE(b_->Reboot().ok());
-
-  ExpectNoShadowResidue(ufs::kRootInode, "");
-  auto fsck = b_->ufs().Check();
-  ASSERT_TRUE(fsck.ok());
-  EXPECT_TRUE(fsck->empty()) << fsck->front();
-  for (repl::PhysicalLayer* layer : b_->registry().AllLocal()) {
-    auto problems = layer->CheckConsistency();
-    ASSERT_TRUE(problems.ok());
-    EXPECT_TRUE(problems->empty()) << problems->front();
-  }
-
-  // Atomicity: before the repoint b still serves v1 intact, from the
-  // repoint onward it serves v2 — never a torn or empty file.
-  std::string contents = LocalContentsAtB("f");
-  if (GetParam() < repl::ShadowCrashPoint::kAfterRepoint) {
-    EXPECT_EQ(contents, "v1");
-  } else {
-    EXPECT_EQ(contents, "v2");
-  }
-
-  // With the hook disarmed, reconciliation finishes the interrupted (or
-  // unacknowledged) install and the cluster converges on v2.
-  ASSERT_TRUE(cluster_.ReconcileUntilQuiescent().ok());
-  EXPECT_EQ(LocalContentsAtB("f"), "v2");
+  RunMatrix(repl::CommitCrashPoint::kAfterRepoint);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllWritePoints, ShadowCommitCrashTest,
-    ::testing::Values(repl::ShadowCrashPoint::kAfterShadowCreate,
-                      repl::ShadowCrashPoint::kAfterShadowWrite,
-                      repl::ShadowCrashPoint::kAfterAttrStage,
-                      repl::ShadowCrashPoint::kAfterRepoint,
-                      repl::ShadowCrashPoint::kAfterShadowUnlink,
-                      repl::ShadowCrashPoint::kAfterFreeInode),
-    [](const ::testing::TestParamInfo<repl::ShadowCrashPoint>& point) {
-      switch (point.param) {
-        case repl::ShadowCrashPoint::kAfterShadowCreate: return "AfterShadowCreate";
-        case repl::ShadowCrashPoint::kAfterShadowWrite: return "AfterShadowWrite";
-        case repl::ShadowCrashPoint::kAfterAttrStage: return "AfterAttrStage";
-        case repl::ShadowCrashPoint::kAfterRepoint: return "AfterRepoint";
-        case repl::ShadowCrashPoint::kAfterShadowUnlink: return "AfterShadowUnlink";
-        case repl::ShadowCrashPoint::kAfterFreeInode: return "AfterFreeInode";
-      }
-      return "Unknown";
+    ::testing::Values(repl::CommitCrashPoint::kAfterShadowCreate,
+                      repl::CommitCrashPoint::kAfterShadowWrite,
+                      repl::CommitCrashPoint::kAfterAttrStage,
+                      repl::CommitCrashPoint::kAfterRepoint,
+                      repl::CommitCrashPoint::kAfterShadowUnlink,
+                      repl::CommitCrashPoint::kAfterFreeInode),
+    [](const ::testing::TestParamInfo<repl::CommitCrashPoint>& point) {
+      return CrashPointName(point.param);
+    });
+
+// Same matrix through the journal-backed block-remap commit: with the
+// delta gates dropped to zero, b's install of v2 swings only the dirty
+// block, and a crash at every journal write point must resolve to the
+// complete old or complete new file after reboot (sealing is the commit
+// point; recovery replays sealed intents and discards unsealed ones).
+class DeltaCommitCrashTest : public ShadowCommitCrashTest {
+ protected:
+  DeltaCommitCrashTest() : ShadowCommitCrashTest(/*delta_commit=*/true) {}
+};
+
+TEST_P(DeltaCommitCrashTest, RecoveryIsCleanAtEveryJournalPoint) {
+  RunMatrix(repl::CommitCrashPoint::kAfterJournalSeal);
+
+  // A crash between seal and clear leaves a sealed intent on disk; the
+  // reboot's Attach must have replayed it (counted once per replay).
+  if (GetParam() == repl::CommitCrashPoint::kAfterJournalSeal ||
+      GetParam() == repl::CommitCrashPoint::kAfterJournalApply) {
+    repl::PhysicalLayer* physical = b_->registry().LocalReplica(volume_);
+    ASSERT_NE(physical, nullptr);
+    EXPECT_GE(physical->stats().journal_replays, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllJournalPoints, DeltaCommitCrashTest,
+    ::testing::Values(repl::CommitCrashPoint::kAfterDeltaDataWrite,
+                      repl::CommitCrashPoint::kAfterJournalStage,
+                      repl::CommitCrashPoint::kAfterJournalSeal,
+                      repl::CommitCrashPoint::kAfterJournalApply,
+                      repl::CommitCrashPoint::kAfterJournalClear),
+    [](const ::testing::TestParamInfo<repl::CommitCrashPoint>& point) {
+      return CrashPointName(point.param);
     });
 
 }  // namespace

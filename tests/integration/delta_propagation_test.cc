@@ -30,11 +30,19 @@ HostConfig FaultTolerantConfig(bool delta_enabled) {
   config.transport_retry.rng_seed = kSeed;
   config.propagation.retry_backoff_base = 250 * kMillisecond;
   config.propagation.delta_enabled = delta_enabled;
+  if (!delta_enabled) {
+    // The legacy leg measures the pre-delta world end to end: whole-file
+    // fetch AND whole-file shadow commit (the delta *commit* would
+    // otherwise kick in locally even for a whole-file pull, since the
+    // dirty set is diffed locally).
+    config.physical.commit_min_bytes = ~0ull;
+  }
   return config;
 }
 
 struct EditRun {
   uint64_t bytes_pulled = 0;          // payload the edit's propagation moved
+  uint64_t apply_bytes = 0;           // local device bytes the install wrote
   std::vector<uint8_t> converged;     // host b's copy after convergence
   std::vector<uint8_t> expected;      // host a's authoritative contents
 };
@@ -57,8 +65,10 @@ EditRun RunFaultedEdit(const char* plan, bool delta_enabled) {
   EXPECT_TRUE(b->RunPropagation().ok());
 
   uint64_t bytes_before = 0;
+  uint64_t apply_before = 0;
   if (auto stats = b->propagation_stats(*volume); stats.has_value()) {
     bytes_before = stats->bytes_pulled;
+    apply_before = stats->apply_bytes_written;
   }
   EXPECT_EQ(bytes_before, kBigFileSize);  // seeding really went whole-file
 
@@ -84,6 +94,7 @@ EditRun RunFaultedEdit(const char* plan, bool delta_enabled) {
 
   if (auto stats = b->propagation_stats(*volume); stats.has_value()) {
     run.bytes_pulled = stats->bytes_pulled - bytes_before;
+    run.apply_bytes = stats->apply_bytes_written - apply_before;
   }
   repl::PhysicalLayer* pa = a->registry().LocalReplica(*volume);
   EXPECT_NE(pa, nullptr);
@@ -120,10 +131,18 @@ TEST_P(DeltaPropagationFaultTest, DeltaConvergesAndMovesFewerBytesUnderFaults) {
   EXPECT_EQ(delta.converged, whole.converged);
   ASSERT_EQ(delta.converged.size(), kBigFileSize);
 
-  // ...but the delta pull moves strictly fewer payload bytes.
+  // ...but the delta pull moves strictly fewer payload bytes...
   EXPECT_GT(whole.bytes_pulled, 0u);
   EXPECT_GT(delta.bytes_pulled, 0u);
   EXPECT_LT(delta.bytes_pulled, whole.bytes_pulled);
+
+  // ...and the delta *commit* writes strictly fewer local device bytes:
+  // the shadow leg clones the whole 256 KiB file, the journal leg swings
+  // one dirty block plus a handful of metadata and journal blocks.
+  EXPECT_GT(whole.apply_bytes, 0u);
+  EXPECT_GT(delta.apply_bytes, 0u);
+  EXPECT_LT(delta.apply_bytes, whole.apply_bytes / 2)
+      << "delta=" << delta.apply_bytes << " whole=" << whole.apply_bytes;
 }
 
 INSTANTIATE_TEST_SUITE_P(Plans, DeltaPropagationFaultTest,

@@ -1,0 +1,146 @@
+// Journal-recovery unit suite: the stage/seal/apply/clear cycle, the
+// replay-or-discard recovery decision at every interruption point, and
+// idempotence of double replay. "Reboot" here is BufferCache::Invalidate —
+// the cache is write-through, so dropping it is exactly what survives a
+// power cut under the whole-block-atomic crash model.
+#include "src/storage/block_journal.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::storage {
+namespace {
+
+constexpr BlockNum kStart = 2;
+constexpr uint32_t kBlocks = 5;  // 1 intent + 4 image slots
+
+std::vector<uint8_t> Block(uint8_t fill) { return std::vector<uint8_t>(kBlockSize, fill); }
+
+std::vector<JournalRecord> TwoRecords() {
+  return {{8, Block(0xAA)}, {9, Block(0xBB)}};
+}
+
+class BlockJournalTest : public ::testing::Test {
+ protected:
+  BlockJournalTest() : device_(16), cache_(&device_, 8), journal_(&cache_, kStart, kBlocks) {}
+
+  std::vector<uint8_t> ReadBlock(BlockNum b) {
+    std::vector<uint8_t> data;
+    EXPECT_TRUE(cache_.Read(b, data).ok());
+    return data;
+  }
+
+  void Reboot() { cache_.Invalidate(); }
+
+  BlockDevice device_;
+  BufferCache cache_;
+  BlockJournal journal_;
+};
+
+TEST_F(BlockJournalTest, FullCycleAppliesImagesToHomeBlocks) {
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+  ASSERT_TRUE(journal_.Seal().ok());
+  ASSERT_TRUE(journal_.Apply().ok());
+  ASSERT_TRUE(journal_.Clear().ok());
+  EXPECT_EQ(ReadBlock(8), Block(0xAA));
+  EXPECT_EQ(ReadBlock(9), Block(0xBB));
+  auto sealed = journal_.SealedOnDisk();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(sealed.value());
+}
+
+TEST_F(BlockJournalTest, RecoverReplaysSealedIntent) {
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+  ASSERT_TRUE(journal_.Seal().ok());
+  Reboot();  // crash after the commit point, before Apply
+  auto result = journal_.Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->replayed);
+  EXPECT_EQ(result->records, 2u);
+  EXPECT_EQ(ReadBlock(8), Block(0xAA));
+  EXPECT_EQ(ReadBlock(9), Block(0xBB));
+}
+
+TEST_F(BlockJournalTest, RecoverDiscardsUnsealedIntent) {
+  ASSERT_TRUE(cache_.Write(8, Block(0x11)).ok());
+  ASSERT_TRUE(journal_.Stage({{8, Block(0xAA)}}).ok());
+  Reboot();  // crash before the seal: the commit never happened
+  auto result = journal_.Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->replayed);
+  EXPECT_EQ(ReadBlock(8), Block(0x11)) << "home block must be untouched";
+  // The debris is gone: a fresh commit can stage immediately.
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+}
+
+TEST_F(BlockJournalTest, DoubleReplayIsIdempotent) {
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+  ASSERT_TRUE(journal_.Seal().ok());
+  ASSERT_TRUE(journal_.Apply().ok());
+  Reboot();  // crash after Apply but before Clear: intent still sealed
+  auto first = journal_.Recover();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->replayed);  // applied a second time — same images, same result
+  EXPECT_EQ(ReadBlock(8), Block(0xAA));
+  EXPECT_EQ(ReadBlock(9), Block(0xBB));
+  auto second = journal_.Recover();
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->replayed) << "a cleared journal recovers as a no-op";
+}
+
+TEST_F(BlockJournalTest, RecoverOnFreshRegionIsNoOp) {
+  auto result = journal_.Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->replayed);
+  EXPECT_EQ(device_.stats().writes, 0u) << "nothing to clear on a zeroed region";
+}
+
+TEST_F(BlockJournalTest, StageValidatesRecords) {
+  EXPECT_FALSE(journal_.Stage({}).ok());
+  // Too many records for 4 image slots.
+  std::vector<JournalRecord> five;
+  for (uint32_t i = 0; i < 5; ++i) {
+    five.push_back({8u + i, Block(0x01)});
+  }
+  EXPECT_FALSE(journal_.Stage(five).ok());
+  // Partial image.
+  EXPECT_FALSE(journal_.Stage({{8, std::vector<uint8_t>(10, 0)}}).ok());
+  // Target inside the journal region.
+  EXPECT_FALSE(journal_.Stage({{kStart + 1, Block(0x01)}}).ok());
+  // A journal-less region supports nothing.
+  BlockJournal none(&cache_, 0, 0);
+  EXPECT_FALSE(none.Stage(TwoRecords()).ok());
+}
+
+TEST_F(BlockJournalTest, StageRefusesToOverwriteSealedIntent) {
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+  ASSERT_TRUE(journal_.Seal().ok());
+  // A sealed intent is a committed update; staging over it would lose it.
+  EXPECT_FALSE(journal_.Stage({{10, Block(0xCC)}}).ok());
+  ASSERT_TRUE(journal_.Recover().status().ok());
+  EXPECT_TRUE(journal_.Stage({{10, Block(0xCC)}}).ok());
+}
+
+TEST_F(BlockJournalTest, GarbageIntentBlockReadsAsEmpty) {
+  // Foreign bytes where the intent record lives (e.g. a pre-journal image
+  // reused as a journal region) parse as "no commit", not an error.
+  ASSERT_TRUE(cache_.Write(kStart, Block(0x5A)).ok());
+  auto sealed = journal_.SealedOnDisk();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(sealed.value());
+  auto result = journal_.Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->replayed);
+}
+
+TEST_F(BlockJournalTest, TornImageUnderSealedIntentIsCorruption) {
+  ASSERT_TRUE(journal_.Stage(TwoRecords()).ok());
+  ASSERT_TRUE(journal_.Seal().ok());
+  // Simulate media corruption of a staged image (the crash model itself
+  // never tears a sealed journal — images land before the seal).
+  ASSERT_TRUE(cache_.Write(kStart + 1, Block(0xEE)).ok());
+  auto result = journal_.Recover();
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace ficus::storage
