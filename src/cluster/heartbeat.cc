@@ -1,0 +1,192 @@
+#include "src/cluster/heartbeat.h"
+
+#include <algorithm>
+
+#include "src/common/backoff.h"
+
+namespace ficus::cluster {
+
+const char* PeerStateName(PeerState state) {
+  switch (state) {
+    case PeerState::kAlive:
+      return "alive";
+    case PeerState::kSuspect:
+      return "suspect";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+void HeartbeatMonitor::RegisterResponder(net::Network* network, net::HostId self) {
+  network->port(self)->RegisterRpcService(
+      kService, [](net::HostId, const net::Payload& request) -> StatusOr<net::Payload> {
+        return request;  // echo: reachability is the only question asked
+      });
+}
+
+HeartbeatMonitor::HeartbeatMonitor(net::Network* network, net::HostId self,
+                                   const SimClock* clock, HeartbeatConfig config,
+                                   MetricRegistry* metrics)
+    : network_(network),
+      self_(self),
+      clock_(clock),
+      config_(config),
+      registry_(metrics != nullptr ? metrics : &owned_registry_) {
+  stats_.probes_sent = registry_->counter("cluster.hb.probes_sent");
+  stats_.probes_missed = registry_->counter("cluster.hb.probes_missed");
+  stats_.transitions = registry_->counter("cluster.hb.transitions");
+  stats_.deaths = registry_->counter("cluster.hb.deaths");
+  stats_.recoveries = registry_->counter("cluster.hb.recoveries");
+}
+
+void HeartbeatMonitor::Watch(net::HostId peer) {
+  if (peer == self_ || peer == net::kInvalidHost) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.try_emplace(peer);  // keeps existing state on re-watch
+}
+
+void HeartbeatMonitor::Forget(net::HostId peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.erase(peer);
+}
+
+std::vector<net::HostId> HeartbeatMonitor::Watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<net::HostId> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void HeartbeatMonitor::AddCallback(TransitionCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.push_back(std::move(callback));
+}
+
+std::vector<PeerTransition> HeartbeatMonitor::Poll() {
+  if (config_.interval == 0) {
+    return {};
+  }
+  SimTime now = clock_->Now();
+  // Snapshot the due peers, then probe with the lock released: a probe
+  // RPC runs the peer's handler inline and may advance the sim clock.
+  std::vector<net::HostId> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, peer] : peers_) {
+      if (now >= peer.next_probe) {
+        due.push_back(id);
+      }
+    }
+  }
+
+  std::vector<PeerTransition> transitions;
+  for (net::HostId id : due) {
+    SimTime before = clock_->Now();
+    stats_.probes_sent->Increment();
+    auto reply = network_->Rpc(self_, id, kService, net::Payload{0xBE}, config_.timeout);
+    SimTime rtt = clock_->Now() - before;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(id);
+    if (it == peers_.end()) {
+      continue;  // forgotten while we probed
+    }
+    Peer& peer = it->second;
+    PeerState old_state = peer.state;
+    if (reply.ok()) {
+      peer.consecutive_misses = 0;
+      peer.state = PeerState::kAlive;
+      // Smooth the RTT estimate (7/8 old + 1/8 new, the classic SRTT
+      // filter) so one jittered probe does not re-rank read selection.
+      peer.rtt = peer.rtt == 0 ? rtt : (peer.rtt * 7 + rtt) / 8;
+      peer.next_probe = now + config_.interval;
+    } else {
+      stats_.probes_missed->Increment();
+      ++peer.consecutive_misses;
+      if (peer.consecutive_misses >= config_.dead_threshold) {
+        peer.state = PeerState::kDead;
+      } else if (peer.consecutive_misses >= config_.suspect_threshold) {
+        peer.state = PeerState::kSuspect;
+      }
+      if (peer.state == PeerState::kDead && config_.dead_backoff_base != 0) {
+        // Probes of a dead peer back off exponentially; the exponent is
+        // how many misses it has been dead for.
+        uint32_t dead_misses = peer.consecutive_misses - config_.dead_threshold;
+        peer.next_probe = now + BackoffDelay(config_.dead_backoff_base,
+                                             config_.dead_backoff_cap, dead_misses);
+      } else {
+        peer.next_probe = now + config_.interval;
+      }
+    }
+    if (peer.state != old_state) {
+      transitions.push_back(PeerTransition{id, old_state, peer.state, clock_->Now()});
+    }
+  }
+
+  if (!transitions.empty()) {
+    std::sort(transitions.begin(), transitions.end(),
+              [](const PeerTransition& a, const PeerTransition& b) {
+                return a.peer < b.peer;
+              });
+    std::vector<TransitionCallback> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      callbacks = callbacks_;
+    }
+    for (const PeerTransition& t : transitions) {
+      stats_.transitions->Increment();
+      if (t.to == PeerState::kDead) {
+        stats_.deaths->Increment();
+      }
+      if (t.to == PeerState::kAlive) {
+        stats_.recoveries->Increment();
+      }
+      for (const TransitionCallback& callback : callbacks) {
+        callback(t);
+      }
+    }
+  }
+  return transitions;
+}
+
+PeerState HeartbeatMonitor::StateOf(net::HostId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  return it != peers_.end() ? it->second.state : PeerState::kAlive;
+}
+
+SimTime HeartbeatMonitor::RttOf(net::HostId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  return it != peers_.end() ? it->second.rtt : 0;
+}
+
+void HeartbeatMonitor::ForceState(net::HostId peer, PeerState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return;
+  }
+  it->second.state = state;
+  if (state == PeerState::kDead) {
+    it->second.consecutive_misses =
+        std::max(it->second.consecutive_misses, config_.dead_threshold);
+  }
+}
+
+HeartbeatStats HeartbeatMonitor::stats() const {
+  HeartbeatStats out;
+  out.probes_sent = stats_.probes_sent->value();
+  out.probes_missed = stats_.probes_missed->value();
+  out.transitions = stats_.transitions->value();
+  out.deaths = stats_.deaths->value();
+  out.recoveries = stats_.recoveries->value();
+  return out;
+}
+
+}  // namespace ficus::cluster

@@ -1,0 +1,178 @@
+// Heartbeat-based failure detection for a Ficus host (ROADMAP item 4;
+// SNIPPETS.md snippets 1-2 give the shape: a monitor pinging peers on a
+// configurable interval with a miss threshold, publishing transitions
+// through callbacks so the replication daemons can fail over and resync).
+//
+// Each host runs one HeartbeatMonitor. It answers peers' pings through a
+// trivial echo RPC service ("ficus.heartbeat") and probes every watched
+// peer over the same fault-injectable network the replication protocols
+// use, so a flapping link degrades the detector exactly as it degrades
+// propagation. The verdict per peer is a three-state machine with
+// hysteresis:
+//
+//     alive --misses >= suspect_threshold--> suspect
+//     suspect --misses >= dead_threshold--> dead
+//     suspect/dead --one successful probe--> alive
+//
+// Suspect is the hedge against flapping links: the propagation daemon
+// stops burning per-entry retry budget against a suspect peer but keeps
+// the entries queued; only a dead verdict suppresses RPCs entirely. Dead
+// peers are re-probed with capped exponential backoff (common/backoff.h)
+// so a long-dead host costs O(log t) probes instead of one per interval.
+//
+// Determinism and threading: all timing is SimClock-driven — Poll(), not
+// a wall-clock timer, decides which probes are due, so seeded schedules
+// replay byte-identically and the unit suite never sleeps. One mutex
+// guards the peer table; it is RELEASED around the probe RPC (a probe
+// runs a network handler that may itself send), mirroring the network's
+// own locking rule, which keeps the monitor safe under the threaded
+// runtime.
+#ifndef FICUS_SRC_CLUSTER_HEARTBEAT_H_
+#define FICUS_SRC_CLUSTER_HEARTBEAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/net/network.h"
+
+namespace ficus::cluster {
+
+// The failure detector's verdict on one peer.
+enum class PeerState : uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kDead = 2,
+};
+
+const char* PeerStateName(PeerState state);
+
+struct HeartbeatConfig {
+  // How often each watched peer is probed. 0 disables the monitor (the
+  // host-level integration uses this as the "membership off" default so
+  // existing seeded workloads replay unchanged).
+  SimTime interval = 100 * kMillisecond;
+  // Patience per probe RPC before it counts as a miss.
+  SimTime timeout = 20 * kMillisecond;
+  // Consecutive misses before alive degrades to suspect.
+  uint32_t suspect_threshold = 2;
+  // Consecutive misses before suspect degrades to dead. Must be
+  // >= suspect_threshold; the gap is the hysteresis band that keeps a
+  // flapping link bouncing alive<->suspect without ever reaching dead.
+  uint32_t dead_threshold = 5;
+  // Probe spacing for peers already declared dead: the k-th post-death
+  // probe waits min(dead_backoff_base * 2^k, dead_backoff_cap). A base of
+  // 0 keeps probing every interval (no backoff).
+  SimTime dead_backoff_base = 0;
+  SimTime dead_backoff_cap = 30 * kSecond;
+};
+
+// One published state change. `at` is the SimClock time of the poll that
+// decided it.
+struct PeerTransition {
+  net::HostId peer = net::kInvalidHost;
+  PeerState from = PeerState::kAlive;
+  PeerState to = PeerState::kAlive;
+  SimTime at = 0;
+};
+
+// Snapshot of the monitor's `cluster.hb.*` registry cells.
+struct HeartbeatStats {
+  uint64_t probes_sent = 0;
+  uint64_t probes_missed = 0;   // probe failed (unreachable/timeout)
+  uint64_t transitions = 0;     // published state changes
+  uint64_t deaths = 0;          // transitions into dead
+  uint64_t recoveries = 0;      // suspect/dead -> alive
+};
+
+class HeartbeatMonitor {
+ public:
+  using TransitionCallback = std::function<void(const PeerTransition&)>;
+
+  // The echo service peers answer pings on. Every FicusHost registers a
+  // responder whether or not it runs a monitor itself, so membership can
+  // be enabled per-host.
+  static constexpr char kService[] = "ficus.heartbeat";
+
+  // Registers the echo responder for `self` on `network`'s port. Split
+  // from the monitor so hosts that only *answer* pings need no monitor.
+  static void RegisterResponder(net::Network* network, net::HostId self);
+
+  // All pointers borrowed and must outlive the monitor. `metrics`
+  // (optional) receives the `cluster.hb.*` counters.
+  HeartbeatMonitor(net::Network* network, net::HostId self, const SimClock* clock,
+                   HeartbeatConfig config = HeartbeatConfig{},
+                   MetricRegistry* metrics = nullptr);
+
+  const HeartbeatConfig& config() const { return config_; }
+
+  // Starts watching `peer` (idempotent; watching self is a no-op). A new
+  // peer starts alive with its first probe due immediately.
+  void Watch(net::HostId peer);
+  void Forget(net::HostId peer);
+  std::vector<net::HostId> Watched() const;
+
+  // Registered callbacks fire on every state change, in registration
+  // order, outside the monitor's lock (a callback may query the monitor
+  // or trigger resync RPCs).
+  void AddCallback(TransitionCallback callback);
+
+  // Probes every watched peer whose probe is due at the current SimClock
+  // time, updates the state machine, fires callbacks, and returns the
+  // transitions in ascending peer-id order (deterministic under the sim).
+  std::vector<PeerTransition> Poll();
+
+  // Current verdicts. Unwatched peers read as alive — the detector never
+  // claims knowledge it does not have.
+  PeerState StateOf(net::HostId peer) const;
+  bool IsDead(net::HostId peer) const { return StateOf(peer) == PeerState::kDead; }
+
+  // Smoothed round-trip time of the last successful probes, microseconds;
+  // 0 until a probe has succeeded. Feeds read-your-nearest selection.
+  SimTime RttOf(net::HostId peer) const;
+
+  // Test/fault-injection hook: overrides `peer`'s verdict without a probe
+  // (the checker's --inject-false-death self-test). The next real probe
+  // re-evaluates honestly.
+  void ForceState(net::HostId peer, PeerState state);
+
+  HeartbeatStats stats() const;
+
+ private:
+  struct Peer {
+    PeerState state = PeerState::kAlive;
+    uint32_t consecutive_misses = 0;
+    SimTime next_probe = 0;  // due immediately on first poll
+    SimTime rtt = 0;         // exponentially smoothed, 0 = unmeasured
+  };
+
+  struct StatCells {
+    Counter* probes_sent;
+    Counter* probes_missed;
+    Counter* transitions;
+    Counter* deaths;
+    Counter* recoveries;
+  };
+
+  net::Network* network_;
+  net::HostId self_;
+  const SimClock* clock_;
+  HeartbeatConfig config_;
+  MetricRegistry owned_registry_;
+  MetricRegistry* registry_;
+  StatCells stats_;
+
+  // Guards peers_ and callbacks_; released around probe RPCs and while
+  // callbacks run.
+  mutable std::mutex mu_;
+  std::map<net::HostId, Peer> peers_;
+  std::vector<TransitionCallback> callbacks_;
+};
+
+}  // namespace ficus::cluster
+
+#endif  // FICUS_SRC_CLUSTER_HEARTBEAT_H_

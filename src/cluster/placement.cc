@@ -1,0 +1,24 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ficus::cluster {
+
+std::vector<size_t> PickReplicaHosts(const std::vector<size_t>& load, size_t rf,
+                                     PlacementPolicy policy) {
+  rf = std::min(rf, load.size());
+  std::vector<size_t> order(load.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (policy == PlacementPolicy::kSpread) {
+    // stable_sort keeps equal-load hosts in index order — the tie-break
+    // that makes placement reproducible run to run.
+    std::stable_sort(order.begin(), order.end(),
+                     [&load](size_t a, size_t b) { return load[a] < load[b]; });
+  }
+  order.resize(rf);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace ficus::cluster

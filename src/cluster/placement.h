@@ -1,0 +1,31 @@
+// Replica-set placement policies (ROADMAP item 4): given per-host load
+// (how many volume replicas each host already stores), pick the hosts a
+// new volume's replicas should land on. Pure functions over indices so
+// the policy is unit-testable without a cluster and usable by any
+// control plane (sim::Cluster today).
+#ifndef FICUS_SRC_CLUSTER_PLACEMENT_H_
+#define FICUS_SRC_CLUSTER_PLACEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ficus::cluster {
+
+enum class PlacementPolicy {
+  // Replicas land on the first `rf` hosts in index order — the legacy
+  // "installation-time fstab" behaviour.
+  kFirstFit,
+  // Replicas spread across the least-loaded hosts (ties broken by index,
+  // so placement is deterministic).
+  kSpread,
+};
+
+// Returns the indices of the `rf` hosts chosen by `policy`, in ascending
+// index order. `load[i]` is the number of replicas host i already
+// stores. rf is clamped to load.size(); rf == 0 yields an empty pick.
+std::vector<size_t> PickReplicaHosts(const std::vector<size_t>& load, size_t rf,
+                                     PlacementPolicy policy);
+
+}  // namespace ficus::cluster
+
+#endif  // FICUS_SRC_CLUSTER_PLACEMENT_H_

@@ -56,7 +56,15 @@ bool FaultPlan::ScheduledDown(HostId a, HostId b, SimTime now) const {
   }
   auto [lo, hi] = OrderedPair(a, b);
   for (const Flap& flap : flaps_) {
-    bool matches = (flap.a == 0 || flap.a == lo) && (flap.b == 0 || flap.b == hi);
+    // Stored ordered, so a half-wildcard flap always has flap.a == 0; it
+    // must sever every link touching the named host, whichever side of
+    // the pair ordering that host lands on.
+    bool matches;
+    if (flap.a == 0) {
+      matches = flap.b == 0 || flap.b == lo || flap.b == hi;
+    } else {
+      matches = flap.a == lo && flap.b == hi;
+    }
     if (!matches || now < flap.first_down) {
       continue;
     }

@@ -60,14 +60,22 @@ StatusOr<PhysicalApi*> LogicalLayer::SelectForUpdate(FileId file) {
     }
   }
   // One-copy availability: fall back to any reachable replica that stores
-  // the file.
-  for (ReplicaId replica : resolver_->ReplicasOf(volume_)) {
-    if (replica == preferred) {
-      continue;
-    }
-    auto access = resolver_->Access(volume_, replica);
-    if (access.ok() && (*access)->GetAttributes(file).ok()) {
-      return access;
+  // the file. Peers the failure detector has condemned are tried only
+  // after every trusted candidate failed — a wrong dead verdict must not
+  // cost availability, but a right one saves a timeout per call.
+  for (bool include_dead : {false, true}) {
+    for (ReplicaId replica : replicas) {
+      if (replica == preferred) {
+        continue;
+      }
+      bool dead = resolver_->HealthOf(volume_, replica) == PeerHealth::kDead;
+      if (dead != include_dead) {
+        continue;
+      }
+      auto access = resolver_->Access(volume_, replica);
+      if (access.ok() && (*access)->GetAttributes(file).ok()) {
+        return access;
+      }
     }
   }
   return UnreachableError("no replica of " + file.ToString() + " is available for update");
@@ -79,59 +87,78 @@ StatusOr<PhysicalApi*> LogicalLayer::SelectForRead(FileId file) {
     return resolver_->Access(volume_, replicas.front());
   }
   ReplicaId preferred = resolver_->PreferredReplica(volume_);
-  PhysicalApi* best = nullptr;
-  VersionVector best_vv;
-  bool best_is_preferred = false;
-  for (ReplicaId replica : resolver_->ReplicasOf(volume_)) {
-    auto access = resolver_->Access(volume_, replica);
-    if (!access.ok()) {
-      continue;
-    }
-    auto attrs = (*access)->GetAttributes(file);
-    if (!attrs.ok()) {
-      continue;  // unreachable mid-call, or does not store the file
-    }
-    if (best == nullptr) {
-      best = *access;
-      best_vv = attrs->vv;
-      best_is_preferred = (replica == preferred);
-      continue;
-    }
-    switch (attrs->vv.Compare(best_vv)) {
-      case VectorOrder::kDominates:
+  // Two passes: candidates the failure detector trusts first; condemned
+  // peers only as a last resort (a wrong dead verdict must not cost
+  // one-copy availability; a right one saves a timeout per read).
+  for (bool include_dead : {false, true}) {
+    PhysicalApi* best = nullptr;
+    VersionVector best_vv;
+    bool best_is_preferred = false;
+    uint64_t best_cost = 0;
+    for (ReplicaId replica : replicas) {
+      bool dead = resolver_->HealthOf(volume_, replica) == PeerHealth::kDead;
+      if (dead != include_dead) {
+        continue;
+      }
+      auto access = resolver_->Access(volume_, replica);
+      if (!access.ok()) {
+        continue;
+      }
+      auto attrs = (*access)->GetAttributes(file);
+      if (!attrs.ok()) {
+        continue;  // unreachable mid-call, or does not store the file
+      }
+      uint64_t cost = resolver_->ReadCost(volume_, replica);
+      if (best == nullptr) {
         best = *access;
         best_vv = attrs->vv;
         best_is_preferred = (replica == preferred);
-        break;
-      case VectorOrder::kEqual:
-        if (replica == preferred && !best_is_preferred) {
-          best = *access;
-          best_is_preferred = true;
-        }
-        break;
-      case VectorOrder::kConcurrent:
-        // Concurrent versions: prefer the site-local replica, so a client
-        // keeps reading its own writes while the versions race (the
-        // conflict flag set by propagation/reconciliation surfaces the
-        // situation to the owner); otherwise keep the earlier pick
-        // (deterministic — replicas iterate in id order).
-        if (replica == preferred && !best_is_preferred) {
+        best_cost = cost;
+        continue;
+      }
+      switch (attrs->vv.Compare(best_vv)) {
+        case VectorOrder::kDominates:
           best = *access;
           best_vv = attrs->vv;
-          best_is_preferred = true;
-        }
-        break;
-      case VectorOrder::kDominatedBy:
-        break;
+          best_is_preferred = (replica == preferred);
+          best_cost = cost;
+          break;
+        case VectorOrder::kEqual:
+          // Equally fresh: read your nearest. With the default resolver
+          // costs (preferred 0, everything else 1) this is exactly the
+          // old preferred-replica tie-break; a membership-aware resolver
+          // ranks remote peers by measured heartbeat RTT.
+          if (cost < best_cost) {
+            best = *access;
+            best_is_preferred = (replica == preferred);
+            best_cost = cost;
+          }
+          break;
+        case VectorOrder::kConcurrent:
+          // Concurrent versions: prefer the site-local replica, so a
+          // client keeps reading its own writes while the versions race
+          // (the conflict flag set by propagation/reconciliation surfaces
+          // the situation to the owner); otherwise keep the earlier pick
+          // (deterministic — replicas iterate in id order).
+          if (replica == preferred && !best_is_preferred) {
+            best = *access;
+            best_vv = attrs->vv;
+            best_is_preferred = true;
+            best_cost = cost;
+          }
+          break;
+        case VectorOrder::kDominatedBy:
+          break;
+      }
+    }
+    if (best != nullptr) {
+      if (!best_is_preferred) {
+        stats_.replica_switches->Increment();
+      }
+      return best;
     }
   }
-  if (best == nullptr) {
-    return UnreachableError("no replica of " + file.ToString() + " is available");
-  }
-  if (!best_is_preferred) {
-    stats_.replica_switches->Increment();
-  }
-  return best;
+  return UnreachableError("no replica of " + file.ToString() + " is available");
 }
 
 void LogicalLayer::Notify(FileId file, const VersionVector& vv, ReplicaId source) {

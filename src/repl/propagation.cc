@@ -23,6 +23,7 @@ PropagationDaemon::PropagationDaemon(PhysicalLayer* local, ReplicaResolver* reso
   stats_.deferred_unreachable = registry_->counter("repl.propagation.deferred_unreachable");
   stats_.deferred_backoff = registry_->counter("repl.propagation.deferred_backoff");
   stats_.retry_dropped = registry_->counter("repl.propagation.retry_dropped");
+  stats_.skipped_dead = registry_->counter("repl.prop.skipped_dead");
   stats_.bytes_pulled = registry_->counter("repl.propagation.bytes_pulled");
   stats_.delta_blocks_fetched = registry_->counter("repl.prop.delta.blocks_fetched");
   stats_.delta_bytes_saved = registry_->counter("repl.prop.delta.bytes_saved");
@@ -41,6 +42,7 @@ PropagationStats PropagationDaemon::stats() const {
   out.deferred_unreachable = stats_.deferred_unreachable->value();
   out.deferred_backoff = stats_.deferred_backoff->value();
   out.retry_dropped = stats_.retry_dropped->value();
+  out.skipped_dead = stats_.skipped_dead->value();
   out.bytes_pulled = stats_.bytes_pulled->value();
   out.delta_blocks_fetched = stats_.delta_blocks_fetched->value();
   out.delta_bytes_saved = stats_.delta_bytes_saved->value();
@@ -81,6 +83,9 @@ Status PropagationDaemon::RunOnce() {
       }
       if (!local_->Stores(entry.id.file)) {
         continue;
+      }
+      if (resolver_->HealthOf(entry.id.volume, entry.source) == PeerHealth::kDead) {
+        continue;  // no probe RPC towards a condemned source
       }
       auto local_attrs = local_->GetAttributes(entry.id.file);
       if (!local_attrs.ok() || local_attrs->vv.Dominates(entry.vv) ||
@@ -128,22 +133,37 @@ Status PropagationDaemon::RunOnce() {
         unstored.push_back(entry);
         continue;
       }
+      if (resolver_->HealthOf(entry.id.volume, entry.source) == PeerHealth::kDead) {
+        // The failure detector has condemned the source: issue no RPC at
+        // all (a timeout per entry per pass adds up fast at 50 hosts) and
+        // charge no retry budget — the entry waits for recovery resync or
+        // the reconciliation safety net.
+        stats_.skipped_dead->Increment();
+        local_->RestoreNewVersion(entry);
+        continue;
+      }
       Status status = Propagate(entry, probed);
       if (status.code() == ErrorCode::kUnreachable ||
           status.code() == ErrorCode::kTimedOut) {
         RetryState& state = retries_[entry.id];
-        ++state.attempts;
-        if (config_.retry_budget != 0 && state.attempts >= config_.retry_budget) {
-          // Budget exhausted: stop carrying the notification. The
-          // periodic reconciliation protocol still converges the replica.
-          stats_.retry_dropped->Increment();
-          retries_.erase(entry.id);
-          continue;
+        if (resolver_->HealthOf(entry.id.volume, entry.source) == PeerHealth::kAlive) {
+          ++state.attempts;
+          if (config_.retry_budget != 0 && state.attempts >= config_.retry_budget) {
+            // Budget exhausted: stop carrying the notification. The
+            // periodic reconciliation protocol still converges the replica.
+            stats_.retry_dropped->Increment();
+            retries_.erase(entry.id);
+            continue;
+          }
         }
+        // While the peer is suspect (or condemned mid-call) the failure
+        // is the detector's problem, not the entry's: keep the budget
+        // intact so a flap does not shed entries the peer would have
+        // served seconds later, but still back off.
         if (config_.retry_backoff_base != 0) {
+          uint32_t exponent = state.attempts == 0 ? 0 : state.attempts - 1;
           state.next_attempt = Now() + BackoffDelay(config_.retry_backoff_base,
-                                                    config_.retry_backoff_cap,
-                                                    state.attempts - 1);
+                                                    config_.retry_backoff_cap, exponent);
         }
         stats_.deferred_unreachable->Increment();
         local_->RestoreNewVersion(entry);

@@ -42,6 +42,10 @@ struct PropagationStats {
   uint64_t deferred_unreachable = 0; // source unreachable; retried later
   uint64_t deferred_backoff = 0;     // still inside a retry backoff window
   uint64_t retry_dropped = 0;        // retry budget exhausted; entry dropped
+  // Membership-driven suppression (`repl.prop.skipped_dead`): entries
+  // whose source the failure detector has condemned — no RPC issued, no
+  // retry budget charged; the entry waits for recovery resync.
+  uint64_t skipped_dead = 0;
   uint64_t bytes_pulled = 0;         // payload bytes actually transferred
   // Delta path (`repl.prop.delta.*`).
   uint64_t delta_blocks_fetched = 0;   // differing blocks pulled via ranged reads
@@ -112,6 +116,7 @@ class PropagationDaemon {
     Counter* deferred_unreachable;
     Counter* deferred_backoff;
     Counter* retry_dropped;
+    Counter* skipped_dead;
     Counter* bytes_pulled;
     Counter* delta_blocks_fetched;
     Counter* delta_bytes_saved;

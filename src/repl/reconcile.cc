@@ -19,6 +19,7 @@ Reconciler::Reconciler(PhysicalLayer* local, ReplicaResolver* resolver, Conflict
   cells_.pruned_dirs = registry_->counter("repl.recon.digest.pruned_dirs");
   cells_.fallback = registry_->counter("repl.recon.digest.fallback");
   cells_.remote_calls = registry_->counter("repl.recon.remote_calls");
+  cells_.skipped_dead = registry_->counter("repl.recon.skipped_dead");
 }
 
 void Reconciler::CountRemoteCall() {
@@ -357,6 +358,14 @@ Status Reconciler::ReconcileWithAllReplicas() {
   Status first_error = OkStatus();
   for (ReplicaId replica : resolver_->ReplicasOf(local_->volume_id())) {
     if (replica == local_->replica_id()) {
+      continue;
+    }
+    if (resolver_->HealthOf(local_->volume_id(), replica) == PeerHealth::kDead) {
+      // Condemned by the failure detector: a subtree walk against it
+      // would only burn timeouts. Recovery resync re-runs this pairing
+      // the moment the peer is seen alive again.
+      ++stats_.skipped_dead;
+      cells_.skipped_dead->Increment();
       continue;
     }
     Status status = ReconcileSubtree(kRootFileId, replica);

@@ -40,6 +40,9 @@ struct ReconcileStats {
   uint64_t digest_fallback = 0;     // entry-replay fallbacks (per differing dir,
                                     // plus whole-subtree on an old remote)
   uint64_t remote_calls = 0;        // every RPC to the remote replica, both modes
+  // Peers skipped by ReconcileWithAllReplicas because the failure
+  // detector condemned them (`repl.recon.skipped_dead`).
+  uint64_t skipped_dead = 0;
 };
 
 // Knobs for the subtree protocol, plumbed from HostConfig so experiments
@@ -119,6 +122,7 @@ class Reconciler {
     Counter* pruned_dirs = nullptr;
     Counter* fallback = nullptr;
     Counter* remote_calls = nullptr;
+    Counter* skipped_dead = nullptr;
   } cells_;
   ReconcileStats stats_;
 };

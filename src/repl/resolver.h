@@ -14,6 +14,22 @@
 
 namespace ficus::repl {
 
+// The failure detector's verdict on the host backing a replica, as seen
+// by this resolver. Mirrors cluster::PeerState without depending on the
+// cluster module — the repl layer only consumes verdicts.
+//   kAlive   — no reason to doubt the peer; normal behaviour.
+//   kSuspect — probes are missing but the peer is not condemned yet:
+//              daemons keep trying, but stop charging per-entry retry
+//              budget (a budget burned during a flap drops entries the
+//              peer would have served seconds later).
+//   kDead    — condemned: daemons skip the peer outright instead of
+//              burning an RPC timeout per entry per pass.
+enum class PeerHealth : uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kDead = 2,
+};
+
 class ReplicaResolver {
  public:
   virtual ~ReplicaResolver() = default;
@@ -31,6 +47,24 @@ class ReplicaResolver {
   virtual ReplicaId PreferredReplica(const VolumeId& volume) {
     (void)volume;
     return kInvalidReplica;
+  }
+
+  // Failure-detector verdict for the host backing `replica`. The default
+  // (no detector wired in) claims every peer alive, which preserves the
+  // pre-membership behaviour exactly: every daemon keeps knocking on
+  // every door.
+  virtual PeerHealth HealthOf(const VolumeId& volume, ReplicaId replica) {
+    (void)volume;
+    (void)replica;
+    return PeerHealth::kAlive;
+  }
+
+  // Relative cost of reading through `replica`, for read-your-nearest
+  // selection among equally-fresh candidates: 0 = local, larger = more
+  // distant. The default ranks the preferred replica first and everything
+  // else equal, which reproduces the old preferred-replica tie-break.
+  virtual uint64_t ReadCost(const VolumeId& volume, ReplicaId replica) {
+    return replica == PreferredReplica(volume) ? 0 : 1;
   }
 };
 

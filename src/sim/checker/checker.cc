@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "src/cluster/heartbeat.h"
 #include "src/common/serialize.h"
 
 #include "src/net/fault.h"
@@ -45,8 +46,16 @@ struct Runner {
 
   bool IsCrashed(uint32_t host) const { return crashed.count(host) != 0; }
 
+  // Membership is on when asked for explicitly or implied by the guarded
+  // false-death injection (which needs monitors to poison).
+  bool membership() const {
+    return schedule.config.heartbeat || schedule.config.inject_false_death;
+  }
+
   // Never cached: Reboot() rebuilds the physical layer, so a stored
-  // pointer dangles after the first crash/recover cycle.
+  // pointer dangles after the first crash/recover cycle. Null when the
+  // host's replica was retired by a drop_replica op — every caller must
+  // guard (host 0 is exempt from drops, so it always stores one).
   repl::PhysicalLayer* physical(uint32_t host) const {
     return hosts[host]->registry().LocalReplica(volume);
   }
@@ -60,7 +69,9 @@ struct Runner {
   void ObserveDirEverywhere(const repl::FileId& dir) {
     for (uint32_t h = 0; h < hosts.size(); ++h) {
       if (IsCrashed(h)) continue;
-      StatusOr<std::vector<repl::FicusDirEntry>> raw = physical(h)->ReadDirectory(dir);
+      repl::PhysicalLayer* layer = physical(h);
+      if (layer == nullptr) continue;
+      StatusOr<std::vector<repl::FicusDirEntry>> raw = layer->ReadDirectory(dir);
       if (raw.ok()) oracle.ObserveDirectory(dir, raw.value());
     }
   }
@@ -89,8 +100,10 @@ struct Runner {
     std::string leaf = "f" + std::to_string(slot);
     for (uint32_t h = 0; h < hosts.size(); ++h) {
       if (IsCrashed(h)) continue;
+      repl::PhysicalLayer* layer = physical(h);
+      if (layer == nullptr) continue;
       StatusOr<std::vector<repl::FicusDirEntry>> raw =
-          physical(h)->ReadDirectory(parent_ids[index]);
+          layer->ReadDirectory(parent_ids[index]);
       if (!raw.ok()) continue;
       ++truth.live_replicas;
       bool alive_here = false;
@@ -113,7 +126,16 @@ struct Runner {
     return total;
   }
 
+  // One membership poll on every live host (no-op unless config.heartbeat
+  // armed the monitors). Resync errors during the run are chaos, not bugs.
+  void PollMembership() {
+    if (!membership()) return;
+    (void)cluster.PollHeartbeatsEverywhere();
+  }
+
   void PropagationPass() {
+    // Detector verdicts precede the pumps, same as the cluster's RunFor.
+    PollMembership();
     cluster.network().FlushDeferredDatagrams();
     for (uint32_t h = 0; h < hosts.size(); ++h) {
       if (IsCrashed(h)) continue;
@@ -151,6 +173,12 @@ struct Runner {
     for (uint32_t h = 0; h < hosts.size(); ++h) {
       if (IsCrashed(h)) continue;
       repl::PhysicalLayer* layer = physical(h);
+      if (layer == nullptr) {
+        // Recorded, not skipped: a drop that succeeded in one runtime but
+        // was refused in the other must diverge the digests.
+        out += "host " + hosts[h]->name() + " (no replica)\n";
+        continue;
+      }
       out += "host " + hosts[h]->name() + "\n";
       std::vector<repl::FileId> files = layer->StoredFiles();
       std::sort(files.begin(), files.end());
@@ -196,8 +224,10 @@ struct Runner {
   // defense cannot kill it — exactly what a missed invalidation looks
   // like. CheckConvergedLookups must flag it.
   void PoisonNameCache() {
-    StatusOr<repl::ReplicaAttributes> attrs = physical(0)->GetAttributes(parent_ids[0]);
-    StatusOr<std::vector<repl::FicusDirEntry>> raw = physical(0)->ReadDirectory(parent_ids[0]);
+    repl::PhysicalLayer* anchor = physical(0);
+    if (anchor == nullptr) return;
+    StatusOr<repl::ReplicaAttributes> attrs = anchor->GetAttributes(parent_ids[0]);
+    StatusOr<std::vector<repl::FicusDirEntry>> raw = anchor->ReadDirectory(parent_ids[0]);
     if (!attrs.ok() || !raw.ok()) return;
     bool alive = false;  // slot 0 always lives at the root
     for (const repl::FicusDirEntry& entry : raw.value()) {
@@ -220,11 +250,13 @@ struct Runner {
   void CheckConvergedLookups(int op_index) {
     const CheckerConfig& config = schedule.config;
     if (config.inject_stale_name_cache) PoisonNameCache();
+    repl::PhysicalLayer* anchor = physical(0);
+    if (anchor == nullptr) return;
     for (uint32_t slot = 0; slot < config.files; ++slot) {
       size_t parent_index = ParentIndex(config, slot);
       if (parent_index >= parent_ids.size()) continue;
       StatusOr<std::vector<repl::FicusDirEntry>> raw =
-          physical(0)->ReadDirectory(parent_ids[parent_index]);
+          anchor->ReadDirectory(parent_ids[parent_index]);
       if (!raw.ok()) continue;  // the oracle walk already flagged this
       std::string leaf = "f" + std::to_string(slot);
       bool truth_alive = false;
@@ -253,7 +285,9 @@ struct Runner {
   // cached root subtree digest after it has been computed. The digest
   // oracle (cached vs recomputed-from-contents) must flag it.
   void PoisonDigestTree() {
-    Status status = physical(0)->CorruptDigestForTest(repl::kRootFileId);
+    repl::PhysicalLayer* anchor = physical(0);
+    if (anchor == nullptr) return;
+    Status status = anchor->CorruptDigestForTest(repl::kRootFileId);
     if (!status.ok()) {
       HarnessError("digest corruption injection failed: " + status.ToString());
     }
@@ -316,6 +350,7 @@ struct Runner {
     // state key -> (root digest -> host names)
     std::map<std::string, std::map<uint64_t, std::vector<std::string>>> groups;
     for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (physical(h) == nullptr) continue;  // replica retired by a drop op
       // Populate (or refresh) the cache through the public batched API —
       // the same entry point reconciliation uses.
       StatusOr<std::vector<repl::SubtreeDigest>> rows =
@@ -329,6 +364,7 @@ struct Runner {
     }
     if (schedule.config.inject_stale_digest) PoisonDigestTree();
     for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (physical(h) == nullptr) continue;
       StatusOr<std::vector<std::string>> problems = physical(h)->ValidateDigestTree();
       if (!problems.ok()) {
         HarnessError("digest validation failed on " + hosts[h]->name() + ": " +
@@ -367,6 +403,15 @@ struct Runner {
     // Clear the propagation daemons' retry backoff (capped at 30 s) and
     // any min_age gate before draining them.
     cluster.Sleep(60 * kSecond);
+    if (membership()) {
+      // Recovery polls: after the sleep every probe is due, so each poll
+      // probes every peer — one success revives a condemned host (and
+      // runs its resync) before the drain pumps would skip it as dead.
+      for (int i = 0; i < 2; ++i) {
+        PollMembership();
+        cluster.Sleep(kSecond);
+      }
+    }
     for (int pass = 0; pass < 4; ++pass) {
       PropagationPass();
       cluster.Sleep(kSecond);
@@ -388,6 +433,7 @@ struct Runner {
 
     std::vector<ReplicaView> views;
     for (uint32_t h = 0; h < hosts.size(); ++h) {
+      if (physical(h) == nullptr) continue;  // replica retired by a drop op
       views.push_back(ReplicaView{hosts[h]->name(), physical(h), logicals[h]});
     }
     for (const std::string& violation : oracle.CheckFinal(views)) {
@@ -417,6 +463,39 @@ struct Runner {
     }
     CheckConvergedLookups(op_index);
     CheckDigestAgreement(op_index);
+    CheckMembership(op_index);
+  }
+
+  // Membership oracle, run on every converged checkpoint state: after
+  // heal-and-quiesce plus the recovery polls, no monitor on a live host
+  // may still condemn a live, reachable peer — a lingering dead verdict
+  // would suppress propagation towards a host that is serving writes,
+  // which is exactly how a detector bug turns into lost availability.
+  void CheckMembership(int op_index) {
+    if (!membership()) return;
+    if (schedule.config.inject_false_death && hosts.size() >= 2) {
+      // The deliberate bug the guarded test hunts: a verdict flipped to
+      // dead with no probe behind it. The oracle below must flag it.
+      if (cluster::HeartbeatMonitor* monitor = hosts[0]->heartbeat()) {
+        monitor->ForceState(hosts[1]->id(), cluster::PeerState::kDead);
+      }
+    }
+    net::Network& net = cluster.network();
+    for (uint32_t a = 0; a < hosts.size(); ++a) {
+      cluster::HeartbeatMonitor* monitor = hosts[a]->heartbeat();
+      if (monitor == nullptr || !net.HostUp(hosts[a]->id())) continue;
+      for (uint32_t b = 0; b < hosts.size(); ++b) {
+        if (a == b) continue;
+        net::HostId peer = hosts[b]->id();
+        if (!net.HostUp(peer) || !net.Reachable(hosts[a]->id(), peer)) continue;
+        if (monitor->IsDead(peer)) {
+          violations.insert("membership: " + hosts[a]->name() +
+                            " still marks reachable peer " + hosts[b]->name() +
+                            " dead after heal-and-quiesce (op " + std::to_string(op_index) +
+                            ")");
+        }
+      }
+    }
   }
 
   uint64_t ReconcileRemoteCallTotal() const {
@@ -443,6 +522,12 @@ Status SetUp(Runner& r) {
   // journal path would never run under differential/thread schedules.
   host_config.physical.commit_min_bytes = 0;
   host_config.physical.commit_max_dirty_frac = 1.0;
+  if (config.heartbeat || config.inject_false_death) {
+    // Full membership participants with the detector's stock timing; the
+    // checker's explicit polls (PropagationPass, kAdvance, checkpoints)
+    // stand in for the cluster's periodic heartbeat pump.
+    host_config.heartbeat = cluster::HeartbeatConfig{};
+  }
   if (!config.fault_plan.empty()) {
     // Same patience the fault tier uses: cheap per-attempt timeouts and
     // retry on unreachable, so a lossy network costs sim time, not truth.
@@ -503,6 +588,7 @@ void ApplyWrite(Runner& r, const Op& op, int op_index) {
   for (uint32_t h = 0; h < r.hosts.size(); ++h) {
     if (r.IsCrashed(h)) continue;
     repl::PhysicalLayer* layer = r.physical(h);
+    if (layer == nullptr) continue;
     for (const repl::FileId& file : layer->StoredFiles()) {
       StatusOr<repl::ReplicaAttributes> attrs = layer->GetAttributes(file);
       if (attrs.ok()) pre[{h, file}] = attrs->vv;
@@ -525,6 +611,7 @@ void ApplyWrite(Runner& r, const Op& op, int op_index) {
   for (uint32_t h = 0; h < r.hosts.size(); ++h) {
     if (r.IsCrashed(h)) continue;
     repl::PhysicalLayer* layer = r.physical(h);
+    if (layer == nullptr) continue;
     for (const repl::FileId& file : layer->StoredFiles()) {
       StatusOr<std::vector<uint8_t>> data = layer->ReadAllData(file);
       if (data.ok() && data.value() == payload_bytes) {
@@ -656,8 +743,10 @@ void ApplyReaddir(Runner& r, const Op& op, int op_index) {
   int live = 0;
   for (uint32_t h = 0; h < r.hosts.size(); ++h) {
     if (r.IsCrashed(h)) continue;
+    repl::PhysicalLayer* layer = r.physical(h);
+    if (layer == nullptr) continue;
     StatusOr<std::vector<repl::FicusDirEntry>> raw =
-        r.physical(h)->ReadDirectory(r.parent_ids[parent_index]);
+        layer->ReadDirectory(r.parent_ids[parent_index]);
     if (!raw.ok()) continue;
     ++live;
     std::set<std::string> alive_names;
@@ -708,7 +797,8 @@ void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
   bool needs_live_host =
       op.kind == OpKind::kWrite || op.kind == OpKind::kRemove || op.kind == OpKind::kRename ||
       op.kind == OpKind::kLookup || op.kind == OpKind::kReaddir ||
-      op.kind == OpKind::kCrash || op.kind == OpKind::kReconcile;
+      op.kind == OpKind::kCrash || op.kind == OpKind::kReconcile ||
+      op.kind == OpKind::kAddReplica || op.kind == OpKind::kDropReplica;
   if (needs_live_host && r.IsCrashed(op.host)) {
     ++r.result.ops_skipped;
     return;
@@ -777,12 +867,42 @@ void ApplyOp(Runner& r, const Op& raw_op, int op_index) {
       break;
     case OpKind::kAdvance:
       r.cluster.Sleep(static_cast<SimTime>(op.arg) * kMillisecond);
+      // Probes come due as simulated time passes; this is where a crashed
+      // or partitioned peer accumulates the misses that condemn it.
+      r.PollMembership();
       ++r.result.ops_applied;
       break;
     case OpKind::kCheckpoint:
       r.Checkpoint(op_index);
       ++r.result.ops_applied;
       break;
+    case OpKind::kAddReplica: {
+      // Re-replicates a volume onto a host whose replica a drop retired.
+      // Refused (and counted skipped) while the host still stores one.
+      StatusOr<repl::ReplicaId> added = r.cluster.AddReplica(r.volume, r.hosts[op.host]);
+      if (!added.ok()) {
+        ++r.result.ops_skipped;
+        break;
+      }
+      ++r.result.ops_applied;
+      break;
+    }
+    case OpKind::kDropReplica: {
+      if (op.host == 0) {
+        ++r.result.ops_skipped;  // host 0 anchors the ground-truth reads
+        break;
+      }
+      // Goes through the safe-retire gate: under a partition or unhealed
+      // loss the drop is refused rather than discarding the only copy of
+      // partition-era updates — the refusal is a deterministic skip.
+      Status status = r.cluster.RemoveReplica(r.volume, r.hosts[op.host]);
+      if (!status.ok()) {
+        ++r.result.ops_skipped;
+        break;
+      }
+      ++r.result.ops_applied;
+      break;
+    }
   }
 }
 

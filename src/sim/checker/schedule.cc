@@ -24,6 +24,8 @@ constexpr KindName kKindNames[] = {
     {OpKind::kHeal, "heal"},           {OpKind::kPropagate, "propagate"},
     {OpKind::kReconcile, "reconcile"}, {OpKind::kAdvance, "advance"},
     {OpKind::kCheckpoint, "checkpoint"},
+    {OpKind::kAddReplica, "add_replica"},
+    {OpKind::kDropReplica, "drop_replica"},
 };
 
 }  // namespace
@@ -58,6 +60,7 @@ Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed) {
   // partition is in force. (Shrinking may break plausibility; the runner
   // skips implausible ops deterministically.)
   std::set<uint32_t> crashed;
+  std::set<uint32_t> dropped;  // hosts whose replica a drop op retired
   bool partitioned = false;
 
   auto live_host = [&]() -> uint32_t {
@@ -66,6 +69,16 @@ Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed) {
       h = static_cast<uint32_t>(rng.NextBelow(config.hosts));
     } while (crashed.count(h) != 0);
     return h;
+  };
+
+  // Hosts eligible for a drop op: live, still storing a replica, and never
+  // host 0 (it anchors the checker's ground-truth reads).
+  auto droppable = [&]() {
+    std::vector<uint32_t> out;
+    for (uint32_t h = 1; h < config.hosts; ++h) {
+      if (crashed.count(h) == 0 && dropped.count(h) == 0) out.push_back(h);
+    }
+    return out;
   };
 
   for (uint32_t i = 0; i < config.ops; ++i) {
@@ -112,11 +125,23 @@ Schedule GenerateSchedule(const CheckerConfig& config, uint64_t seed) {
     } else if (roll < 77 && partitioned) {
       op.kind = OpKind::kHeal;
       partitioned = false;
-    } else if (roll < 87) {
+    } else if (roll < 85) {
       op.kind = OpKind::kPropagate;
-    } else if (roll < 95) {
+    } else if (roll < 91) {
       op.kind = OpKind::kReconcile;
       op.host = live_host();
+    } else if (roll < 93 && config.hosts >= 3 && !droppable().empty()) {
+      std::vector<uint32_t> candidates = droppable();
+      op.kind = OpKind::kDropReplica;
+      op.host = candidates[rng.NextBelow(candidates.size())];
+      dropped.insert(op.host);
+    } else if (roll < 95 && !dropped.empty()) {
+      // Re-replicate the lowest dropped host (deterministic pick, like
+      // reboot). The runner skips the op if the drop it pairs with was
+      // refused by the safe-retire gate.
+      op.kind = OpKind::kAddReplica;
+      op.host = *dropped.begin();
+      dropped.erase(op.host);
     } else if (roll < 99) {
       op.kind = OpKind::kAdvance;
       op.arg = 50 * (1 + rng.NextBelow(10));  // 50ms .. 500ms
@@ -172,6 +197,12 @@ std::string ToJson(const Schedule& schedule) {
   out += ",\n";
   out += "  \"inject_stale_digest\": ";
   out += schedule.config.inject_stale_digest ? "true" : "false";
+  out += ",\n";
+  out += "  \"heartbeat\": ";
+  out += schedule.config.heartbeat ? "true" : "false";
+  out += ",\n";
+  out += "  \"inject_false_death\": ";
+  out += schedule.config.inject_false_death ? "true" : "false";
   out += ",\n";
   out += "  \"reconcile_digest_guided\": ";
   out += schedule.config.reconcile_digest_guided ? "true" : "false";
@@ -400,6 +431,8 @@ StatusOr<Schedule> FromJson(std::string_view json) {
   schedule.config.inject_lost_update = GetBool(root, "inject_lost_update", false);
   schedule.config.inject_stale_name_cache = GetBool(root, "inject_stale_name_cache", false);
   schedule.config.inject_stale_digest = GetBool(root, "inject_stale_digest", false);
+  schedule.config.heartbeat = GetBool(root, "heartbeat", false);
+  schedule.config.inject_false_death = GetBool(root, "inject_false_death", false);
   schedule.config.reconcile_digest_guided = GetBool(root, "reconcile_digest_guided", true);
   schedule.expect_violation = GetBool(root, "expect_violation", false);
 

@@ -33,6 +33,13 @@ enum class OpKind : uint8_t {
   kReconcile,   // one reconciliation pass on host `host`
   kAdvance,     // advance the simulated clock by `arg` milliseconds
   kCheckpoint,  // heal-and-quiesce mid-run, then run the full oracle check
+  // Replica-set churn (section 3.1: replicas may be added or dropped
+  // whenever one is available). Drops go through the cluster's safe-retire
+  // gate, so under partitions the op is refused (and counted skipped)
+  // rather than discarding the only copy of partition-era updates. Host 0
+  // never drops its replica — it anchors the checker's ground-truth reads.
+  kAddReplica,   // re-create a replica of the volume on host `host`
+  kDropReplica,  // retire host `host`'s replica of the volume
 };
 
 const char* OpKindName(OpKind kind);
@@ -70,6 +77,16 @@ struct CheckerConfig {
   // oracle (cached vs recomputed-from-contents) must flag it (guarded
   // test, never on by default).
   bool inject_stale_digest = false;
+  // Runs every host with an active HeartbeatMonitor (membership on): hosts
+  // watch their peers, daemons skip dead peers, and checkpoints run the
+  // membership oracle (no live reachable peer may still be marked dead
+  // after heal-and-quiesce plus recovery polls).
+  bool heartbeat = false;
+  // Testing the tester, membership edition: at every checkpoint force host
+  // 0's monitor to mark host 1 dead after the recovery polls. The
+  // membership oracle must flag the false death (guarded test, never on by
+  // default). Implies `heartbeat`.
+  bool inject_false_death = false;
   // Subtree reconciliation mode for every host in the run. The recon
   // differential tier runs each schedule both ways and asserts identical
   // converged state with strictly fewer RPCs here when true.

@@ -20,8 +20,9 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--schedules N] [--seed S] [--hosts N] [--files N] [--dirs N]\n"
-               "          [--ops N] [--fault-plan NAME] [--inject-lost-update]\n"
-               "          [--inject-stale-digest] [--full-walk-reconcile]\n"
+               "          [--ops N] [--fault-plan NAME] [--heartbeat]\n"
+               "          [--inject-lost-update] [--inject-stale-digest]\n"
+               "          [--inject-false-death] [--full-walk-reconcile]\n"
                "          [--no-shrink] [--trace-out FILE] [--replay FILE]\n"
                "          [--canonicalize FILE] [--runtime deterministic|threaded]\n"
                "          [--differential]\n",
@@ -83,10 +84,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.fault_plan = argv[++i];
+    } else if (arg == "--heartbeat") {
+      config.heartbeat = true;
     } else if (arg == "--inject-lost-update") {
       config.inject_lost_update = true;
     } else if (arg == "--inject-stale-digest") {
       config.inject_stale_digest = true;
+    } else if (arg == "--inject-false-death") {
+      // The membership self-test: monitors on, one verdict poisoned at
+      // every checkpoint; the run must end with a violation (exit 1).
+      config.heartbeat = true;
+      config.inject_false_death = true;
     } else if (arg == "--full-walk-reconcile") {
       config.reconcile_digest_guided = false;
     } else if (arg == "--no-shrink") {

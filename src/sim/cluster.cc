@@ -9,6 +9,25 @@ FicusHost* Cluster::AddHost(const std::string& name, const HostConfig& config) {
   return hosts_.back().get();
 }
 
+std::vector<FicusHost*> Cluster::AddHosts(size_t count, const HostConfig& config,
+                                          const std::string& prefix) {
+  std::vector<FicusHost*> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(AddHost(prefix + std::to_string(i), config));
+  }
+  return out;
+}
+
+FicusHost* Cluster::HostById(net::HostId id) {
+  for (auto& host : hosts_) {
+    if (host->id() == id) {
+      return host.get();
+    }
+  }
+  return nullptr;
+}
+
 StatusOr<repl::VolumeId> Cluster::CreateVolume(const std::vector<FicusHost*>& replica_hosts) {
   if (replica_hosts.empty()) {
     return InvalidArgumentError("a volume needs at least one replica host");
@@ -29,12 +48,30 @@ StatusOr<repl::VolumeId> Cluster::CreateVolume(const std::vector<FicusHost*>& re
     }
   }
   volumes_[volume] = placement;
+  next_replica_[volume] = static_cast<repl::ReplicaId>(placement.size() + 1);
   // Bring later replicas' roots up to the seed's state so all roots share
   // a common history.
   for (FicusHost* host : replica_hosts) {
     FICUS_RETURN_IF_ERROR(host->RunReconciliation());
   }
   return volume;
+}
+
+StatusOr<repl::VolumeId> Cluster::CreateVolumePlaced(size_t replication_factor,
+                                                     cluster::PlacementPolicy policy) {
+  if (replication_factor == 0 || replication_factor > hosts_.size()) {
+    return InvalidArgumentError("replication factor must be in [1, host count]");
+  }
+  std::vector<size_t> load;
+  load.reserve(hosts_.size());
+  for (auto& host : hosts_) {
+    load.push_back(host->registry().AllLocal().size());
+  }
+  std::vector<FicusHost*> picked;
+  for (size_t index : cluster::PickReplicaHosts(load, replication_factor, policy)) {
+    picked.push_back(hosts_[index].get());
+  }
+  return CreateVolume(picked);
 }
 
 StatusOr<repl::LogicalLayer*> Cluster::MountEverywhere(FicusHost* host,
@@ -53,11 +90,18 @@ StatusOr<repl::ReplicaId> Cluster::AddReplica(const repl::VolumeId& volume, Ficu
   if (it == volumes_.end()) {
     return NotFoundError("unknown volume " + volume.ToString());
   }
+  if (host->registry().LocalReplica(volume) != nullptr) {
+    return ExistsError("host already stores a replica of " + volume.ToString());
+  }
   repl::ReplicaId replica = 0;
   for (const auto& [id, host_id] : it->second) {
     replica = std::max(replica, id);
   }
   ++replica;
+  // Skip past every id ever issued for this volume, not just the live
+  // ones — see next_replica_.
+  replica = std::max(replica, next_replica_[volume]);
+  next_replica_[volume] = replica + 1;
   FICUS_RETURN_IF_ERROR(
       host->CreateVolumeReplica(volume, replica, /*first_replica=*/false).status());
   it->second.emplace_back(replica, host->id());
@@ -75,6 +119,19 @@ StatusOr<repl::ReplicaId> Cluster::AddReplica(const repl::VolumeId& volume, Ficu
   return replica;
 }
 
+namespace {
+// The root rollup digest of one locally stored replica, for the
+// safe-retire gate below.
+StatusOr<uint64_t> RootSubtreeDigest(repl::PhysicalLayer* layer) {
+  FICUS_ASSIGN_OR_RETURN(std::vector<repl::SubtreeDigest> rows,
+                         layer->GetSubtreeDigests({repl::kRootFileId}));
+  if (rows.size() != 1 || !rows.front().status.ok()) {
+    return InternalError("root subtree digest unavailable");
+  }
+  return rows.front().subtree_digest;
+}
+}  // namespace
+
 Status Cluster::RemoveReplica(const repl::VolumeId& volume, FicusHost* host) {
   auto it = volumes_.find(volume);
   if (it == volumes_.end()) {
@@ -91,6 +148,39 @@ Status Cluster::RemoveReplica(const repl::VolumeId& volume, FicusHost* host) {
     return NotFoundError("host stores no replica of " + volume.ToString());
   }
   repl::ReplicaId replica = local->replica_id();
+  // Safe-retire gate: at least one survivor must provably carry
+  // everything this replica does (equal root rollup digests) before the
+  // bytes are destroyed. Under partitions or message loss the push above
+  // can silently reach nobody — without this check a drop would discard
+  // the only copy of partition-era updates.
+  FICUS_ASSIGN_OR_RETURN(uint64_t doomed_digest, RootSubtreeDigest(local));
+  bool covered = false;
+  for (const auto& [survivor_id, survivor_host] : it->second) {
+    if (survivor_id == replica) {
+      continue;
+    }
+    if (!network_.HostUp(survivor_host)) {
+      // A crashed survivor's in-memory digest may cover state its dropped
+      // disk writes never made durable — it proves nothing.
+      continue;
+    }
+    FicusHost* other = HostById(survivor_host);
+    repl::PhysicalLayer* layer = other != nullptr && other != host
+                                     ? other->registry().LocalReplica(volume)
+                                     : nullptr;
+    if (layer == nullptr) {
+      continue;
+    }
+    auto digest = RootSubtreeDigest(layer);
+    if (digest.ok() && digest.value() == doomed_digest) {
+      covered = true;
+      break;
+    }
+  }
+  if (!covered) {
+    return BusyError("refusing to retire replica " + std::to_string(replica) + " of " +
+                     volume.ToString() + ": no survivor has absorbed its state");
+  }
   FICUS_RETURN_IF_ERROR(host->DropVolumeReplica(volume));
   auto& placement = it->second;
   for (auto p = placement.begin(); p != placement.end(); ++p) {
@@ -101,6 +191,7 @@ Status Cluster::RemoveReplica(const repl::VolumeId& volume, FicusHost* host) {
   }
   for (auto& h : hosts_) {
     h->registry().ForgetReplica(volume, replica);
+    h->ForgetRemoteReplica(volume, replica);
   }
   return OkStatus();
 }
@@ -112,14 +203,21 @@ Status Cluster::MoveReplica(const repl::VolumeId& volume, FicusHost* from, Ficus
 }
 
 Status Cluster::RunFor(SimTime duration, SimTime propagation_period,
-                       SimTime reconcile_period) {
+                       SimTime reconcile_period, SimTime heartbeat_period) {
   SimTime end = clock_.Now() + duration;
   SimTime next_propagation =
       propagation_period == 0 ? end + 1 : clock_.Now() + propagation_period;
   SimTime next_reconcile = reconcile_period == 0 ? end + 1 : clock_.Now() + reconcile_period;
+  SimTime next_heartbeat = heartbeat_period == 0 ? end + 1 : clock_.Now() + heartbeat_period;
   while (clock_.Now() < end) {
-    SimTime next = std::min({end, next_propagation, next_reconcile});
+    SimTime next = std::min({end, next_propagation, next_reconcile, next_heartbeat});
     clock_.AdvanceTo(next);
+    // Detector verdicts precede the daemon pumps at each wake: a pump
+    // should see the freshest membership view the schedule allows.
+    FICUS_RETURN_IF_ERROR(PollHeartbeatsEverywhere());
+    if (clock_.Now() >= next_heartbeat) {
+      next_heartbeat += heartbeat_period;
+    }
     if (clock_.Now() >= next_propagation) {
       FICUS_RETURN_IF_ERROR(RunPropagationEverywhere());
       next_propagation += propagation_period;
@@ -130,6 +228,13 @@ Status Cluster::RunFor(SimTime duration, SimTime propagation_period,
       }
       next_reconcile += reconcile_period;
     }
+  }
+  return OkStatus();
+}
+
+Status Cluster::PollHeartbeatsEverywhere() {
+  for (auto& host : hosts_) {
+    FICUS_RETURN_IF_ERROR(host->PollHeartbeats());
   }
   return OkStatus();
 }

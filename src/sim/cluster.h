@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/placement.h"
 #include "src/sim/host.h"
 
 namespace ficus::sim {
@@ -27,13 +28,29 @@ class Cluster {
 
   FicusHost* AddHost(const std::string& name, const HostConfig& config = HostConfig{});
 
+  // Scale-out convenience: adds `count` identically configured hosts
+  // named `<prefix>0`..`<prefix>N-1` (the 50-100 host clusters of the
+  // churn tier and bench_availability).
+  std::vector<FicusHost*> AddHosts(size_t count, const HostConfig& config = HostConfig{},
+                                   const std::string& prefix = "h");
+
   FicusHost* host(size_t index) { return hosts_[index].get(); }
   size_t host_count() const { return hosts_.size(); }
+  FicusHost* HostById(net::HostId id);
 
   // Creates a volume with one replica per listed host (replica ids 1..n,
   // the first listed host seeds the root). Every storing host learns all
   // replica locations, like an installation-time fstab.
   StatusOr<repl::VolumeId> CreateVolume(const std::vector<FicusHost*>& replica_hosts);
+
+  // Policy-driven placement: picks `replication_factor` hosts with
+  // cluster::PickReplicaHosts (load = volume replicas already stored per
+  // host) and creates the volume there. kSpread lands replicas on the
+  // least-loaded hosts so volumes spread across the cluster instead of
+  // piling onto the first few.
+  StatusOr<repl::VolumeId> CreateVolumePlaced(
+      size_t replication_factor,
+      cluster::PlacementPolicy policy = cluster::PlacementPolicy::kSpread);
 
   // Tells `host` (which need not store a replica) where every replica of
   // `volume` lives, then mounts it.
@@ -59,6 +76,9 @@ class Cluster {
   // --- daemon pumps ---
   // One propagation pass on every host.
   Status RunPropagationEverywhere();
+  // One heartbeat poll on every host (hosts without a monitor are
+  // no-ops): probes due peers, applies verdicts, runs recovery resyncs.
+  Status PollHeartbeatsEverywhere();
   // Reconciliation rounds until no replica changes or max_rounds is hit.
   // Returns the number of rounds executed.
   StatusOr<int> ReconcileUntilQuiescent(int max_rounds = 8);
@@ -85,10 +105,14 @@ class Cluster {
   void Sleep(SimTime delta) { clock_.Advance(delta); }
 
   // Advances simulated time by `duration`, pumping propagation daemons
-  // every `propagation_period` and full reconciliation every
-  // `reconcile_period` — the wall-clock scheduling a kernel Ficus would
-  // get from its daemons. Periods of 0 disable that pump.
-  Status RunFor(SimTime duration, SimTime propagation_period, SimTime reconcile_period);
+  // every `propagation_period`, full reconciliation every
+  // `reconcile_period`, and heartbeat polls every `heartbeat_period` —
+  // the wall-clock scheduling a kernel Ficus would get from its daemons.
+  // Periods of 0 disable that pump, except heartbeats: with a zero
+  // heartbeat_period the monitors are still polled at every other wake
+  // point (each monitor's own interval gates actual probes).
+  Status RunFor(SimTime duration, SimTime propagation_period, SimTime reconcile_period,
+                SimTime heartbeat_period = 0);
 
  private:
   // Declared before the hosts so worker threads are joined (host
@@ -98,6 +122,10 @@ class Cluster {
   net::Network network_;
   std::vector<std::unique_ptr<FicusHost>> hosts_;
   std::map<repl::VolumeId, std::vector<std::pair<repl::ReplicaId, net::HostId>>> volumes_;
+  // Replica ids are never reused within a volume: a recycled id would
+  // alias stale per-replica state on peers (cached proxies, queued update
+  // notifications) onto an unrelated new replica.
+  std::map<repl::VolumeId, repl::ReplicaId> next_replica_;
   uint32_t next_volume_ = 1;
 };
 

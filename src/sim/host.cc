@@ -88,6 +88,13 @@ FicusHost::FicusHost(net::Network* network, SimClock* clock, const std::string& 
       kUpdateChannel, [this](net::HostId sender, const net::Payload& payload) {
         HandleUpdateDatagram(sender, payload);
       });
+  // Every host answers pings; only hosts with a nonzero interval run a
+  // monitor of their own.
+  cluster::HeartbeatMonitor::RegisterResponder(network_, id_);
+  if (config_.heartbeat.interval != 0) {
+    heartbeat_ = std::make_unique<cluster::HeartbeatMonitor>(network_, id_, clock_,
+                                                             config_.heartbeat, &metrics_);
+  }
 }
 
 FicusHost::~FicusHost() {
@@ -145,6 +152,9 @@ StatusOr<repl::PhysicalLayer*> FicusHost::CreateVolumeReplica(const repl::Volume
 void FicusHost::LearnReplicaLocation(const repl::VolumeId& volume, repl::ReplicaId replica,
                                      net::HostId host) {
   registry_.RegisterRemote(volume, replica, host);
+  if (heartbeat_ != nullptr && host != id_) {
+    heartbeat_->Watch(host);
+  }
 }
 
 StatusOr<repl::LogicalLayer*> FicusHost::MountVolume(const repl::VolumeId& volume,
@@ -197,12 +207,26 @@ Status FicusHost::DropVolumeReplica(const repl::VolumeId& volume) {
     return NotFoundError("no local replica of volume " + volume.ToString());
   }
   doomed.worker.reset();
+  // Retire every handle the NFS server minted for this export before the
+  // facade behind them dies: a peer still holding one gets kStale, and
+  // its refresher's re-lookup now misses the export (erased above).
+  server_->FlushHandles();
   doomed = LocalReplica{};  // daemons/facade die before the storage goes
   std::string container = "vol_" + HexEncode32(volume.allocator) +
                           HexEncode32(volume.volume) + "_r" + std::to_string(replica);
   FICUS_RETURN_IF_ERROR(RemoveUfsTree(&ufs_, ufs::kRootInode, container));
   registry_.ForgetReplica(volume, replica);
   return OkStatus();
+}
+
+void FicusHost::ForgetRemoteReplica(const repl::VolumeId& volume, repl::ReplicaId replica) {
+  std::lock_guard<std::mutex> lock(remote_mu_);
+  auto it = proxies_.find(std::make_pair(volume, replica));
+  if (it == proxies_.end()) {
+    return;
+  }
+  retired_proxies_.push_back(std::move(it->second));
+  proxies_.erase(it);
 }
 
 void FicusHost::Crash() {
@@ -313,6 +337,56 @@ Status FicusHost::RunReconciliation() {
   return OkStatus();
 }
 
+Status FicusHost::PollHeartbeats() {
+  if (heartbeat_ == nullptr || !network_->HostUp(id_)) {
+    return OkStatus();  // no monitor, or this host is the crashed one
+  }
+  std::vector<cluster::PeerTransition> transitions = heartbeat_->Poll();
+  Status first_error = OkStatus();
+  for (const cluster::PeerTransition& t : transitions) {
+    if (t.to == cluster::PeerState::kAlive && t.from == cluster::PeerState::kDead) {
+      // The peer served writes while we suppressed all traffic towards
+      // it; pull that history now instead of waiting for the next
+      // periodic reconcile pass.
+      Status status = ResyncWithPeer(t.peer);
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    }
+  }
+  return first_error;
+}
+
+Status FicusHost::ResyncWithPeer(net::HostId peer) {
+  metrics_.counter("cluster.hb.resyncs")->Increment();
+  // Snapshot the pairings under the map lock, reconcile unlocked — the
+  // same contract as the daemon pumps.
+  std::vector<std::pair<repl::Reconciler*, repl::ReplicaId>> pairings;
+  {
+    std::lock_guard<std::mutex> lock(locals_mu_);
+    for (auto& [key, local] : locals_) {
+      for (repl::ReplicaId replica : registry_.ReplicasOf(key.first)) {
+        if (replica == key.second) {
+          continue;
+        }
+        auto host = registry_.HostOf(key.first, replica);
+        if (host.has_value() && *host == peer) {
+          pairings.emplace_back(local.reconciler.get(), replica);
+        }
+      }
+    }
+  }
+  Status first_error = OkStatus();
+  for (const auto& [reconciler, replica] : pairings) {
+    Status status = reconciler->ReconcileSubtree(repl::kRootFileId, replica);
+    if (!status.ok() && status.code() != ErrorCode::kUnreachable &&
+        status.code() != ErrorCode::kTimedOut && first_error.ok()) {
+      first_error = status;  // it may simply have died again mid-resync
+    }
+  }
+  return first_error;
+}
+
 int FicusHost::PruneGrafts(SimTime horizon) { return grafts_.Prune(horizon); }
 
 std::vector<repl::ReplicaId> FicusHost::ReplicasOf(const repl::VolumeId& volume) {
@@ -322,6 +396,46 @@ std::vector<repl::ReplicaId> FicusHost::ReplicasOf(const repl::VolumeId& volume)
 repl::ReplicaId FicusHost::PreferredReplica(const repl::VolumeId& volume) {
   repl::PhysicalLayer* local = registry_.LocalReplica(volume);
   return local != nullptr ? local->replica_id() : repl::kInvalidReplica;
+}
+
+repl::PeerHealth FicusHost::HealthOf(const repl::VolumeId& volume,
+                                     repl::ReplicaId replica) {
+  if (heartbeat_ == nullptr) {
+    return repl::PeerHealth::kAlive;  // no detector, no opinion
+  }
+  auto host = registry_.HostOf(volume, replica);
+  if (!host.has_value() || *host == id_) {
+    return repl::PeerHealth::kAlive;
+  }
+  switch (heartbeat_->StateOf(*host)) {
+    case cluster::PeerState::kAlive:
+      return repl::PeerHealth::kAlive;
+    case cluster::PeerState::kSuspect:
+      return repl::PeerHealth::kSuspect;
+    case cluster::PeerState::kDead:
+      return repl::PeerHealth::kDead;
+  }
+  return repl::PeerHealth::kAlive;
+}
+
+uint64_t FicusHost::ReadCost(const repl::VolumeId& volume, repl::ReplicaId replica) {
+  // Local replica is free; remote peers rank by measured heartbeat RTT
+  // when a monitor runs. kRemoteBaseline keeps unmeasured (or
+  // monitor-less) peers costlier than local and mutually equal, which
+  // reproduces the legacy prefer-local tie-break exactly.
+  constexpr uint64_t kRemoteBaseline = 1000000;
+  auto host = registry_.HostOf(volume, replica);
+  if (!host.has_value()) {
+    return kRemoteBaseline;
+  }
+  if (*host == id_) {
+    return 0;
+  }
+  if (heartbeat_ == nullptr) {
+    return kRemoteBaseline;
+  }
+  SimTime rtt = heartbeat_->RttOf(*host);
+  return rtt == 0 ? kRemoteBaseline : static_cast<uint64_t>(rtt);
 }
 
 StatusOr<repl::PhysicalApi*> FicusHost::Access(const repl::VolumeId& volume,
@@ -372,15 +486,24 @@ StatusOr<repl::PhysicalApi*> FicusHost::ConnectRemote(const repl::VolumeId& volu
     client_ptr = transport->second.get();
   }
   FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr export_root, client_ptr->Root());
-  FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr facade_root,
-                         export_root->Lookup(ExportName(volume, replica), {}));
+  auto facade_root = export_root->Lookup(ExportName(volume, replica), {});
+  if (!facade_root.ok() && facade_root.status().code() == ErrorCode::kStale) {
+    // The transport's cached export root predates a server handle flush
+    // (replica drop, server restart): re-acquire it once, exactly as the
+    // connected proxies' refresher does on their next call.
+    client_ptr->ForgetRoot();
+    client_ptr->InvalidateCaches();
+    FICUS_ASSIGN_OR_RETURN(export_root, client_ptr->Root());
+    facade_root = export_root->Lookup(ExportName(volume, replica), {});
+  }
+  FICUS_RETURN_IF_ERROR(facade_root.status());
   auto refresher = [client_ptr, volume, replica]() -> StatusOr<vfs::VnodePtr> {
     client_ptr->ForgetRoot();
     client_ptr->InvalidateCaches();
     FICUS_ASSIGN_OR_RETURN(vfs::VnodePtr root, client_ptr->Root());
     return root->Lookup(ExportName(volume, replica), {});
   };
-  auto proxy = std::make_unique<repl::RemotePhysical>(std::move(facade_root),
+  auto proxy = std::make_unique<repl::RemotePhysical>(std::move(facade_root).value(),
                                                       std::move(refresher));
   FICUS_RETURN_IF_ERROR(proxy->Connect());
   std::lock_guard<std::mutex> lock(remote_mu_);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/heartbeat.h"
 #include "src/common/runtime.h"
 #include "src/nfs/client.h"
 #include "src/nfs/server.h"
@@ -59,6 +60,13 @@ struct HostConfig {
   // Options for every reconciler this host creates (digest-guided vs
   // full-walk subtree protocol).
   repl::ReconcileOptions reconcile;
+  // Membership/failure detection. Disabled by default (interval 0): the
+  // host answers peers' pings but runs no monitor of its own, so every
+  // pre-membership seeded workload replays byte-identically. Setting an
+  // interval turns the host into a full membership participant: it
+  // watches every peer it learns a replica location for, feeds verdicts
+  // to its daemons through the resolver, and resyncs on recovery.
+  cluster::HeartbeatConfig heartbeat{.interval = 0};
 };
 
 // The datagram channel update notifications ride on.
@@ -95,6 +103,13 @@ class FicusHost : public repl::ReplicaResolver,
   // (reconcile), or partition-time updates held only here are lost.
   Status DropVolumeReplica(const repl::VolumeId& volume);
 
+  // Retires this host's cached remote proxy for a peer replica that no
+  // longer exists, so later Access() falls through to the registry. The
+  // proxy object itself is parked, not freed: daemon passes already
+  // holding its pointer must stay safe (their next RPC fails cleanly with
+  // a stale handle or a missing export).
+  void ForgetRemoteReplica(const repl::VolumeId& volume, repl::ReplicaId replica);
+
   // The logical layer for a volume, grafting it if needed. Requires the
   // host to know at least one replica location. Explicit mounts are
   // pinned (never pruned); autografts are not.
@@ -120,11 +135,23 @@ class FicusHost : public repl::ReplicaResolver,
   // Drops grafts idle longer than `horizon`.
   int PruneGrafts(SimTime horizon);
 
+  // --- membership (heartbeat failure detection) ---
+  // Probes every watched peer whose probe is due, applies the detector's
+  // state machine, and runs recovery resync (graft-point reconciliation
+  // against the returned peer's replicas) for every dead->alive
+  // transition. No-op without a monitor or while this host is crashed.
+  Status PollHeartbeats();
+  // The monitor, or null when config.heartbeat.interval == 0.
+  cluster::HeartbeatMonitor* heartbeat() { return heartbeat_.get(); }
+
   // --- ReplicaResolver ---
   std::vector<repl::ReplicaId> ReplicasOf(const repl::VolumeId& volume) override;
   StatusOr<repl::PhysicalApi*> Access(const repl::VolumeId& volume,
                                       repl::ReplicaId replica) override;
   repl::ReplicaId PreferredReplica(const repl::VolumeId& volume) override;
+  repl::PeerHealth HealthOf(const repl::VolumeId& volume,
+                            repl::ReplicaId replica) override;
+  uint64_t ReadCost(const repl::VolumeId& volume, repl::ReplicaId replica) override;
 
   // --- UpdateNotifier ---
   void NotifyUpdate(const repl::GlobalFileId& id, const repl::VersionVector& vv,
@@ -168,6 +195,10 @@ class FicusHost : public repl::ReplicaResolver,
   void HandleUpdateDatagram(net::HostId sender, const net::Payload& payload);
   StatusOr<repl::PhysicalApi*> ConnectRemote(const repl::VolumeId& volume,
                                              repl::ReplicaId replica, net::HostId host);
+  // Recovery resync: reconciles every local replica against the replicas
+  // `peer` stores, pulling the state the peer accepted while we thought
+  // it dead. kUnreachable is swallowed (it may have died again).
+  Status ResyncWithPeer(net::HostId peer);
   bool threaded() const { return runtime_ != nullptr && runtime_->threaded(); }
 
   net::Network* network_;
@@ -185,6 +216,11 @@ class FicusHost : public repl::ReplicaResolver,
   vol::GraftTable grafts_;
   repl::ConflictLog conflict_log_;
   MetricRegistry metrics_;
+  // Failure detector (null when membership is disabled). The monitor has
+  // its own lock; it is below locals_mu_/remote_mu_ in the lock order —
+  // resolver calls made under those locks may query it, and it never
+  // calls back into the host while holding its lock.
+  std::unique_ptr<cluster::HeartbeatMonitor> heartbeat_;
 
   // Guards the locals_ map STRUCTURE: export lookups and update-datagram
   // fan-in run on service-pool threads while the control plane (main
@@ -207,6 +243,10 @@ class FicusHost : public repl::ReplicaResolver,
   std::map<net::HostId, std::unique_ptr<nfs::NfsClient>> transports_;
   std::map<std::pair<repl::VolumeId, repl::ReplicaId>, std::unique_ptr<repl::RemotePhysical>>
       proxies_;
+  // Proxies for retired peer replicas, parked here so pointers handed out
+  // by Access() before the retire stay valid for the rest of the host's
+  // life (ForgetRemoteReplica).
+  std::vector<std::unique_ptr<repl::RemotePhysical>> retired_proxies_;
 
   uint32_t next_container_ = 1;
 };

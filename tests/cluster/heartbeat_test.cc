@@ -1,0 +1,261 @@
+// Unit suite for the heartbeat failure detector: threshold edges of the
+// alive/suspect/dead machine, hysteresis under a flapping link, callback
+// ordering, dead-probe backoff, and the SimClock-only timing contract
+// (no test here ever sleeps — every probe is decided by Poll() against
+// an explicitly advanced clock).
+#include "src/cluster/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/fault.h"
+#include "src/net/network.h"
+
+namespace ficus::cluster {
+namespace {
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  HeartbeatTest() : network_(&clock_) {
+    self_ = network_.AddHost("self");
+    peer_ = network_.AddHost("peer");
+    other_ = network_.AddHost("other");
+    HeartbeatMonitor::RegisterResponder(&network_, peer_);
+    HeartbeatMonitor::RegisterResponder(&network_, other_);
+  }
+
+  // One probe cycle: advance past the probe interval, then poll.
+  std::vector<PeerTransition> Cycle(HeartbeatMonitor& monitor) {
+    clock_.Advance(monitor.config().interval);
+    return monitor.Poll();
+  }
+
+  SimClock clock_;
+  net::Network network_;
+  net::HostId self_, peer_, other_;
+};
+
+TEST_F(HeartbeatTest, HealthyPeerStaysAliveAndProbesAtInterval) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  monitor.Watch(peer_);
+  EXPECT_TRUE(monitor.Poll().empty());  // first probe due immediately
+  EXPECT_EQ(monitor.stats().probes_sent, 1u);
+  // Same instant again: nothing is due, no probe burns.
+  EXPECT_TRUE(monitor.Poll().empty());
+  EXPECT_EQ(monitor.stats().probes_sent, 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Cycle(monitor).empty());
+  }
+  EXPECT_EQ(monitor.stats().probes_sent, 6u);
+  EXPECT_EQ(monitor.stats().probes_missed, 0u);
+  EXPECT_EQ(monitor.StateOf(peer_), PeerState::kAlive);
+}
+
+TEST_F(HeartbeatTest, ThresholdEdgesAreExact) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  const HeartbeatConfig& config = monitor.config();
+  ASSERT_EQ(config.suspect_threshold, 2u);
+  ASSERT_EQ(config.dead_threshold, 5u);
+  monitor.Watch(peer_);
+  network_.SetHostUp(peer_, false);
+
+  // Miss 1: one short of suspect — still alive.
+  EXPECT_TRUE(monitor.Poll().empty());
+  EXPECT_EQ(monitor.StateOf(peer_), PeerState::kAlive);
+
+  // Miss 2: exactly suspect_threshold — alive -> suspect.
+  std::vector<PeerTransition> t = Cycle(monitor);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].from, PeerState::kAlive);
+  EXPECT_EQ(t[0].to, PeerState::kSuspect);
+  EXPECT_EQ(t[0].peer, peer_);
+  EXPECT_EQ(t[0].at, clock_.Now());
+
+  // Misses 3 and 4: suspect holds, no transition chatter.
+  EXPECT_TRUE(Cycle(monitor).empty());
+  EXPECT_TRUE(Cycle(monitor).empty());
+  EXPECT_EQ(monitor.StateOf(peer_), PeerState::kSuspect);
+
+  // Miss 5: exactly dead_threshold — suspect -> dead.
+  t = Cycle(monitor);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].from, PeerState::kSuspect);
+  EXPECT_EQ(t[0].to, PeerState::kDead);
+  EXPECT_TRUE(monitor.IsDead(peer_));
+  EXPECT_EQ(monitor.stats().deaths, 1u);
+  EXPECT_EQ(monitor.stats().probes_missed, 5u);
+}
+
+TEST_F(HeartbeatTest, OneSuccessfulProbeRecoversFromAnyState) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  monitor.Watch(peer_);
+  network_.SetHostUp(peer_, false);
+  for (int i = 0; i < 8; ++i) {
+    Cycle(monitor);
+  }
+  ASSERT_TRUE(monitor.IsDead(peer_));
+
+  network_.SetHostUp(peer_, true);
+  std::vector<PeerTransition> t = Cycle(monitor);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].from, PeerState::kDead);
+  EXPECT_EQ(t[0].to, PeerState::kAlive);
+  EXPECT_EQ(monitor.stats().recoveries, 1u);
+  // Recovery resets the miss counter: condemning again takes the full
+  // threshold run, not one miss.
+  network_.SetHostUp(peer_, false);
+  Cycle(monitor);
+  EXPECT_EQ(monitor.StateOf(peer_), PeerState::kAlive);
+}
+
+// The hysteresis contract: a link that flaps faster than the suspect->
+// dead gap bounces alive<->suspect but never reaches dead. Three misses
+// then a success, repeated — misses never accumulate to dead_threshold.
+TEST_F(HeartbeatTest, FlappingLinkNeverReachesDead) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  monitor.Watch(peer_);
+  for (int round = 0; round < 6; ++round) {
+    network_.SetHostUp(peer_, false);
+    for (int miss = 0; miss < 3; ++miss) {
+      Cycle(monitor);
+      EXPECT_NE(monitor.StateOf(peer_), PeerState::kDead);
+    }
+    EXPECT_EQ(monitor.StateOf(peer_), PeerState::kSuspect);
+    network_.SetHostUp(peer_, true);
+    Cycle(monitor);
+    EXPECT_EQ(monitor.StateOf(peer_), PeerState::kAlive);
+  }
+  EXPECT_EQ(monitor.stats().deaths, 0u);
+  EXPECT_EQ(monitor.stats().recoveries, 6u);
+}
+
+// Same contract driven end-to-end through the canned Flapping fault plan
+// instead of hand-toggled host state: outages shorter than the
+// suspect->dead hysteresis band must never produce a death verdict.
+TEST_F(HeartbeatTest, CannedFlappingPlanStaysWithinHysteresisBand) {
+  HeartbeatConfig config;
+  // 100ms probe interval against a 500ms period / 100ms outage flap: at
+  // most ~2 consecutive probes land in an outage window, far under the
+  // dead threshold of 5.
+  HeartbeatMonitor monitor(&network_, self_, &clock_, config);
+  monitor.Watch(peer_);
+  network_.InstallFaultPlan(net::FaultPlan::Flapping(/*seed=*/7));
+  for (int i = 0; i < 100; ++i) {
+    Cycle(monitor);
+    EXPECT_NE(monitor.StateOf(peer_), PeerState::kDead)
+        << "flap declared a live peer dead at cycle " << i;
+  }
+  EXPECT_GT(monitor.stats().probes_missed, 0u) << "the flap never bit a probe";
+  EXPECT_EQ(monitor.stats().deaths, 0u);
+}
+
+TEST_F(HeartbeatTest, TransitionsSortByPeerAndCallbacksRunInRegistrationOrder) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  // Watch in reverse id order to prove the sort is by id, not insertion.
+  monitor.Watch(other_);
+  monitor.Watch(peer_);
+  ASSERT_LT(peer_, other_);
+  std::vector<std::string> events;
+  monitor.AddCallback([&](const PeerTransition& t) {
+    events.push_back("first:" + std::to_string(t.peer) + ":" +
+                     PeerStateName(t.to));
+  });
+  monitor.AddCallback([&](const PeerTransition& t) {
+    events.push_back("second:" + std::to_string(t.peer) + ":" +
+                     PeerStateName(t.to));
+  });
+  network_.SetHostUp(peer_, false);
+  network_.SetHostUp(other_, false);
+  monitor.Poll();           // miss 1 for both
+  std::vector<PeerTransition> t = Cycle(monitor);  // both go suspect
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].peer, peer_);
+  EXPECT_EQ(t[1].peer, other_);
+  std::vector<std::string> expected = {
+      "first:" + std::to_string(peer_) + ":suspect",
+      "second:" + std::to_string(peer_) + ":suspect",
+      "first:" + std::to_string(other_) + ":suspect",
+      "second:" + std::to_string(other_) + ":suspect",
+  };
+  EXPECT_EQ(events, expected);
+}
+
+// Dead peers are probed on capped exponential backoff, not every
+// interval: a long-dead host costs O(log t) probes.
+TEST_F(HeartbeatTest, DeadPeerProbesBackOffExponentially) {
+  HeartbeatConfig config;
+  config.dead_backoff_base = config.interval;
+  config.dead_backoff_cap = 8 * config.interval;
+  HeartbeatMonitor with_backoff(&network_, self_, &clock_, config);
+  HeartbeatConfig no_backoff;  // base 0: keeps probing every interval
+  HeartbeatMonitor control(&network_, self_, &clock_, no_backoff);
+  with_backoff.Watch(peer_);
+  control.Watch(peer_);
+  network_.SetHostUp(peer_, false);
+
+  auto poll_both = [&] {
+    with_backoff.Poll();
+    control.Poll();
+  };
+  poll_both();
+  for (int i = 0; i < 40; ++i) {
+    clock_.Advance(config.interval);
+    poll_both();
+  }
+  ASSERT_TRUE(with_backoff.IsDead(peer_));
+  ASSERT_TRUE(control.IsDead(peer_));
+  // Both burned the same probes reaching the verdict; afterwards the
+  // backoff monitor probes at spacing 1,2,4,8,8,... intervals while the
+  // control probes all 36 remaining slots.
+  EXPECT_EQ(control.stats().probes_sent, 41u);
+  EXPECT_LT(with_backoff.stats().probes_sent, 20u);
+  EXPECT_GT(with_backoff.stats().probes_sent, 5u);
+}
+
+TEST_F(HeartbeatTest, UnwatchedPeersReadAliveAndSelfWatchIsNoop) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  EXPECT_EQ(monitor.StateOf(other_), PeerState::kAlive);
+  monitor.Watch(self_);
+  monitor.Watch(net::kInvalidHost);
+  EXPECT_TRUE(monitor.Watched().empty());
+  monitor.Watch(peer_);
+  monitor.Forget(peer_);
+  EXPECT_TRUE(monitor.Watched().empty());
+  // Forgotten peers stop costing probes entirely.
+  EXPECT_TRUE(monitor.Poll().empty());
+  EXPECT_EQ(monitor.stats().probes_sent, 0u);
+}
+
+TEST_F(HeartbeatTest, ForcedVerdictYieldsToTheNextHonestProbe) {
+  HeartbeatMonitor monitor(&network_, self_, &clock_);
+  monitor.Watch(peer_);
+  monitor.Poll();  // establish alive
+  monitor.ForceState(peer_, PeerState::kDead);
+  ASSERT_TRUE(monitor.IsDead(peer_));
+  // The peer is up and answering: the next due probe re-evaluates
+  // honestly and publishes the recovery.
+  std::vector<PeerTransition> t = Cycle(monitor);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].from, PeerState::kDead);
+  EXPECT_EQ(t[0].to, PeerState::kAlive);
+}
+
+TEST_F(HeartbeatTest, ZeroIntervalDisablesTheMonitor) {
+  HeartbeatConfig config;
+  config.interval = 0;
+  HeartbeatMonitor monitor(&network_, self_, &clock_, config);
+  monitor.Watch(peer_);
+  network_.SetHostUp(peer_, false);
+  for (int i = 0; i < 10; ++i) {
+    clock_.Advance(kSecond);
+    EXPECT_TRUE(monitor.Poll().empty());
+  }
+  EXPECT_EQ(monitor.stats().probes_sent, 0u);
+  EXPECT_EQ(monitor.StateOf(peer_), PeerState::kAlive);
+}
+
+}  // namespace
+}  // namespace ficus::cluster

@@ -1,0 +1,44 @@
+// Unit tests for the replica placement policies: pure index math, no
+// cluster required.
+#include "src/cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace ficus::cluster {
+namespace {
+
+TEST(PlacementTest, FirstFitTakesHostsInIndexOrder) {
+  std::vector<size_t> load = {5, 0, 3, 1};
+  EXPECT_EQ(PickReplicaHosts(load, 2, PlacementPolicy::kFirstFit),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(PickReplicaHosts(load, 4, PlacementPolicy::kFirstFit),
+            (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(PlacementTest, SpreadPicksTheLeastLoadedHosts) {
+  std::vector<size_t> load = {5, 0, 3, 1};
+  EXPECT_EQ(PickReplicaHosts(load, 2, PlacementPolicy::kSpread),
+            (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(PickReplicaHosts(load, 3, PlacementPolicy::kSpread),
+            (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(PlacementTest, SpreadBreaksTiesByIndexDeterministically) {
+  std::vector<size_t> load = {2, 2, 2, 2, 2};
+  EXPECT_EQ(PickReplicaHosts(load, 3, PlacementPolicy::kSpread),
+            (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PlacementTest, ResultIsAlwaysAscendingAndClamped) {
+  std::vector<size_t> load = {9, 1, 8, 0};
+  std::vector<size_t> pick = PickReplicaHosts(load, 99, PlacementPolicy::kSpread);
+  EXPECT_EQ(pick.size(), load.size()) << "rf clamps to the host count";
+  for (size_t i = 1; i < pick.size(); ++i) {
+    EXPECT_LT(pick[i - 1], pick[i]);
+  }
+  EXPECT_TRUE(PickReplicaHosts(load, 0, PlacementPolicy::kSpread).empty());
+  EXPECT_TRUE(PickReplicaHosts({}, 3, PlacementPolicy::kFirstFit).empty());
+}
+
+}  // namespace
+}  // namespace ficus::cluster

@@ -178,6 +178,22 @@ TEST_F(FaultTest, FlapScheduleTogglesReachability) {
   EXPECT_EQ(network_.stats().fault_scheduled_blocks, 1u);
 }
 
+TEST_F(FaultTest, HalfWildcardFlapSeversEveryLinkOfOneHost) {
+  // AddFlap(host, 0) takes one host fully dark. Regression: the wildcard
+  // used to land on the low side of the ordered pair, so only links to
+  // smaller-id peers went down.
+  FaultPlan plan(1);
+  plan.AddFlap(b_, 0, kSecond, kSecond);
+  network_.InstallFaultPlan(std::move(plan));
+  clock_.AdvanceTo(1500 * kMillisecond);
+  EXPECT_FALSE(network_.Reachable(a_, b_));  // smaller id <-> flapped
+  EXPECT_FALSE(network_.Reachable(b_, c_));  // flapped <-> larger id
+  EXPECT_TRUE(network_.Reachable(a_, c_));   // bystander link unaffected
+  clock_.AdvanceTo(2500 * kMillisecond);
+  EXPECT_TRUE(network_.Reachable(a_, b_));
+  EXPECT_TRUE(network_.Reachable(b_, c_));
+}
+
 TEST_F(FaultTest, WildcardFlapCoversEveryLink) {
   FaultPlan plan(1);
   plan.AddFlap(0, 0, kSecond, kSecond);  // one-shot whole-network outage

@@ -321,6 +321,59 @@ TEST_F(PropagationTest, RepeatedDeferralDoesNotStarveMinAge) {
   EXPECT_EQ(delayed.stats().pulled_files, 1u);
 }
 
+TEST_F(PropagationTest, SuspectSourceFailuresDoNotChargeRetryBudget) {
+  // Regression: failures against a source the failure detector already
+  // flags as suspect are the detector's problem, not the entry's. Before
+  // the membership wiring, every timeout charged the per-entry retry
+  // budget, so a flapping peer shed entries it would have served seconds
+  // later.
+  PropagationConfig config;
+  config.retry_budget = 2;
+  PropagationDaemon daemon(layer(1), &resolver_, &log_, &clock_, config);
+
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {1}).ok());
+  NotifyReplica2(file);
+  resolver_.SetReachable(1, false);
+  resolver_.SetHealth(1, PeerHealth::kSuspect);
+
+  // Far more failed passes than the budget allows: every one defers, none
+  // charges, the entry survives.
+  for (int pass = 0; pass < 5; ++pass) {
+    ASSERT_TRUE(daemon.RunOnce().ok());
+  }
+  EXPECT_EQ(daemon.stats().deferred_unreachable, 5u);
+  EXPECT_EQ(daemon.stats().retry_dropped, 0u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);
+
+  // The flap ends: the very entry a budget would have shed still lands.
+  resolver_.SetReachable(1, true);
+  resolver_.SetHealth(1, PeerHealth::kAlive);
+  ASSERT_TRUE(daemon.RunOnce().ok());
+  EXPECT_EQ(daemon.stats().pulled_files, 1u);
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 0u);
+}
+
+TEST_F(PropagationTest, DeadSourceIsSkippedWithoutAnyProbe) {
+  // A condemned source costs no RPC at all — the entry waits, flagged by
+  // the skipped_dead counter, until recovery resync or reconciliation.
+  FileId file = SharedFile();
+  ASSERT_TRUE(layer(0)->WriteData(file, 0, {2}).ok());
+  NotifyReplica2(file);
+  resolver_.SetReachable(1, false);
+  resolver_.SetHealth(1, PeerHealth::kDead);
+
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().skipped_dead, 1u);
+  EXPECT_EQ(daemon1_->stats().deferred_unreachable, 0u) << "a probe was issued";
+  EXPECT_EQ(layer(1)->PendingVersionCount(), 1u);
+
+  resolver_.SetReachable(1, true);
+  resolver_.SetHealth(1, PeerHealth::kAlive);
+  ASSERT_TRUE(daemon1_->RunOnce().ok());
+  EXPECT_EQ(daemon1_->stats().pulled_files, 1u);
+}
+
 TEST_F(PropagationTest, UnstoredFileIgnored) {
   // Notification about a file this volume replica chose not to store.
   GlobalFileId ghost{VolumeId{1, 1}, FileId{1, 999}};

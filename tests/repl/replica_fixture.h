@@ -36,6 +36,10 @@ class TestResolver : public ReplicaResolver {
 
   void SetPreferred(ReplicaId replica) { preferred_ = replica; }
 
+  // Scripted failure-detector verdicts, standing in for a heartbeat
+  // monitor (the daemons only consume HealthOf, never the monitor).
+  void SetHealth(ReplicaId replica, PeerHealth health) { health_[replica] = health; }
+
   std::vector<ReplicaId> ReplicasOf(const VolumeId&) override {
     std::vector<ReplicaId> out;
     for (const auto& [id, layer] : replicas_) {
@@ -57,9 +61,15 @@ class TestResolver : public ReplicaResolver {
 
   ReplicaId PreferredReplica(const VolumeId&) override { return preferred_; }
 
+  PeerHealth HealthOf(const VolumeId&, ReplicaId replica) override {
+    auto it = health_.find(replica);
+    return it != health_.end() ? it->second : PeerHealth::kAlive;
+  }
+
  private:
   std::map<ReplicaId, PhysicalLayer*> replicas_;
   std::set<ReplicaId> unreachable_;
+  std::map<ReplicaId, PeerHealth> health_;
   ReplicaId preferred_ = kInvalidReplica;
 };
 

@@ -29,6 +29,8 @@ TEST(ScheduleTest, JsonRoundTrip) {
   config.fault_plan = "Lossy";
   config.inject_lost_update = true;
   config.inject_stale_digest = true;
+  config.heartbeat = true;
+  config.inject_false_death = true;
   config.reconcile_digest_guided = false;
   Schedule schedule = GenerateSchedule(config, 77);
   schedule.expect_violation = true;
@@ -41,6 +43,8 @@ TEST(ScheduleTest, JsonRoundTrip) {
   EXPECT_EQ(parsed->config.fault_plan, schedule.config.fault_plan);
   EXPECT_EQ(parsed->config.inject_lost_update, schedule.config.inject_lost_update);
   EXPECT_EQ(parsed->config.inject_stale_digest, schedule.config.inject_stale_digest);
+  EXPECT_EQ(parsed->config.heartbeat, schedule.config.heartbeat);
+  EXPECT_EQ(parsed->config.inject_false_death, schedule.config.inject_false_death);
   EXPECT_EQ(parsed->config.reconcile_digest_guided, schedule.config.reconcile_digest_guided);
   EXPECT_EQ(parsed->expect_violation, schedule.expect_violation);
   EXPECT_EQ(parsed->ops, schedule.ops);
@@ -74,6 +78,23 @@ TEST(ScheduleTest, GenerationMixesNamespaceReadsIntoTheWorkload) {
   EXPECT_GT(readdirs, 0) << "generator never emits readdir ops";
 }
 
+TEST(ScheduleTest, GenerationMixesReplicaChurnIntoTheWorkload) {
+  CheckerConfig config;
+  config.ops = 400;
+  Schedule schedule = GenerateSchedule(config, 90210);
+  int drops = 0;
+  int adds = 0;
+  for (const Op& op : schedule.ops) {
+    if (op.kind == OpKind::kDropReplica) {
+      EXPECT_NE(op.host, 0u) << "host 0 anchors ground truth and must never drop";
+      ++drops;
+    }
+    if (op.kind == OpKind::kAddReplica) ++adds;
+  }
+  EXPECT_GT(drops, 0) << "generator never emits drop_replica ops";
+  EXPECT_GT(adds, 0) << "generator never emits add_replica ops";
+}
+
 TEST(ModelCheckerTest, RunIsDeterministic) {
   CheckerConfig config;
   config.ops = 24;
@@ -103,6 +124,36 @@ TEST(ModelCheckerTest, FaultPlanSchedulesSatisfyTheOracle) {
   ModelChecker::ExploreResult result = checker.Explore(config, 9, 5, {});
   EXPECT_TRUE(result.failing_seeds.empty())
       << "seed " << result.failing_seeds[0] << " violated the oracle under a lossy network";
+}
+
+// Full membership runs: monitors on every host, schedules with crashes,
+// partitions, and replica churn — the availability oracle (no live
+// reachable peer still condemned after heal-and-quiesce) must stay clean.
+TEST(ModelCheckerTest, MembershipSchedulesSatisfyTheOracle) {
+  CheckerConfig config;
+  config.heartbeat = true;
+  ModelChecker checker;
+  ModelChecker::ExploreResult result = checker.Explore(config, 4077, 5, {});
+  EXPECT_TRUE(result.failing_seeds.empty())
+      << "seed " << result.failing_seeds[0] << " violated the oracle with membership on";
+}
+
+// Testing the tester, membership edition: a verdict forced to dead with
+// no probe behind it must be flagged by the checkpoint membership oracle
+// — proof the oracle would catch a detector that condemns healthy peers.
+TEST(ModelCheckerTest, InjectedFalseDeathIsCaught) {
+  CheckerConfig config;
+  config.heartbeat = true;
+  config.inject_false_death = true;
+  config.ops = 12;
+  ModelChecker checker;
+  RunResult result = checker.Run(GenerateSchedule(config, 11));
+  ASSERT_TRUE(result.failed()) << "the forced false death went undetected";
+  bool mentions_membership = false;
+  for (const std::string& violation : result.violations) {
+    if (violation.find("membership:") != std::string::npos) mentions_membership = true;
+  }
+  EXPECT_TRUE(mentions_membership) << result.Summary();
 }
 
 // The guarded bug hunt: with the lost-update injection armed (a write's
